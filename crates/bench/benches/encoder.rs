@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the Query Encoder: per-query encoding
+//! cost across plan sizes and encoder variants (the dominant term of
+//! Figure 13a's learned-scheduler latency).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsched_core::encoder::{EncoderConfig, EncoderKind, QueryEncoder};
+use lsched_core::features::{snapshot, FeatureConfig};
+use lsched_engine::scheduler::{QueryId, QueryRuntime, SchedContext};
+use lsched_nn::{Graph, ParamStore};
+use lsched_workloads::tpch;
+use std::sync::Arc;
+
+fn make_ctx(n_queries: usize) -> (Vec<QueryRuntime>, Vec<usize>) {
+    let pool = tpch::plan_pool(&[1.0]);
+    let queries: Vec<QueryRuntime> = (0..n_queries)
+        .map(|i| QueryRuntime::new(QueryId(i as u64), Arc::clone(&pool[i % pool.len()]), 0.0, 24))
+        .collect();
+    (queries, (0..12).collect())
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoder");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for kind in [EncoderKind::TcnGat, EncoderKind::TcnPlain, EncoderKind::SeqGcn] {
+        for &nq in &[1usize, 4, 16] {
+            let mut store = ParamStore::new();
+            let cfg = EncoderConfig { hidden: 16, edge_hidden: 4, pqe_dim: 8, aqe_dim: 8, kind, ..Default::default() };
+            let enc = QueryEncoder::new(&mut store, 1, "enc", cfg);
+            let (queries, free) = make_ctx(nq);
+            let ctx = SchedContext {
+                time: 0.0,
+                total_threads: 24,
+                free_threads: free.len(),
+                free_thread_ids: &free,
+                queries: &queries,
+            };
+            let snap = snapshot(&FeatureConfig::default(), &ctx);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), nq),
+                &snap,
+                |b, snap| {
+                    b.iter(|| {
+                        let mut g = Graph::new();
+                        let sys = enc.encode_system(&mut g, &store, snap);
+                        std::hint::black_box(g.value(sys.aqe).data()[0])
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoder);
+criterion_main!(benches);

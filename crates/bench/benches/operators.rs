@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks of the real engine's work-order operators
+//! (select, probe-hash, aggregate) — the measurements the cost model's
+//! per-tuple constants are calibrated against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsched_engine::block::{Block, Column};
+use lsched_engine::expr::{CmpOp, Predicate, ScalarExpr};
+use lsched_engine::ops::{execute_work_order, OpExecState, WorkOrderInput};
+use lsched_engine::plan::{AggFunc, OpKind, OpSpec, PlanBuilder};
+use lsched_engine::Catalog;
+
+fn setup(rows: usize) -> (Catalog, lsched_engine::plan::PhysicalPlan, Vec<OpExecState>) {
+    let cat = Catalog::new();
+    let mut b = PlanBuilder::new("bench");
+    let src = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![], vec![], rows as f64, 1, 0.1, 1.0);
+    let sel = b.add_op(
+        OpKind::Select,
+        OpSpec::Select { predicate: Predicate::col_cmp(0, CmpOp::Gt, (rows / 2) as i64) },
+        vec![], vec![], rows as f64, 1, 0.1, 1.0,
+    );
+    let agg = b.add_op(
+        OpKind::Aggregate,
+        OpSpec::Aggregate { group_by: vec![], aggs: vec![(AggFunc::Sum, ScalarExpr::col(1))] },
+        vec![], vec![], rows as f64, 1, 0.1, 1.0,
+    );
+    b.connect(src, sel, true);
+    b.connect(src, agg, true);
+    let plan = b.finish(agg);
+    let states: Vec<OpExecState> = (0..3).map(|_| OpExecState::new()).collect();
+    states[0].output.lock().push(Block::new(
+        0,
+        vec![
+            Column::I64((0..rows as i64).collect()),
+            Column::F64((0..rows).map(|i| i as f64).collect()),
+        ],
+    ));
+    (cat, plan, states)
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operators");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &rows in &[1024usize, 16384] {
+        let (cat, plan, states) = setup(rows);
+        group.bench_with_input(BenchmarkId::new("select_wo", rows), &rows, |b, _| {
+            b.iter(|| {
+                let out = execute_work_order(
+                    &cat,
+                    &plan,
+                    &states,
+                    lsched_engine::plan::OpId(1),
+                    &WorkOrderInput::ChildBlock { child: lsched_engine::plan::OpId(0), idx: 0 },
+                );
+                states[1].output.lock().clear();
+                std::hint::black_box(out.output_rows)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("aggregate_wo", rows), &rows, |b, _| {
+            b.iter(|| {
+                let out = execute_work_order(
+                    &cat,
+                    &plan,
+                    &states,
+                    lsched_engine::plan::OpId(2),
+                    &WorkOrderInput::ChildBlock { child: lsched_engine::plan::OpId(0), idx: 0 },
+                );
+                states[2].agg_partials.lock().clear();
+                std::hint::black_box(out.output_rows)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

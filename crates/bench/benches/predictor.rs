@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks of the full decision pass (encode +
+//! three-headed predictor), i.e. one scheduling-event inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsched_core::{snapshot, DecisionMode, FeatureConfig, LSchedConfig, LSchedModel};
+use lsched_engine::scheduler::{QueryId, QueryRuntime, SchedContext};
+use lsched_workloads::tpch;
+use std::sync::Arc;
+
+fn bench_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictor_decide");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let mut cfg = LSchedConfig::default();
+    cfg.encoder.hidden = 16;
+    cfg.encoder.edge_hidden = 4;
+    cfg.encoder.pqe_dim = 8;
+    cfg.encoder.aqe_dim = 8;
+    let model = LSchedModel::new(cfg, 3);
+    let pool = tpch::plan_pool(&[1.0]);
+    for &nq in &[1usize, 8, 32] {
+        let queries: Vec<QueryRuntime> = (0..nq)
+            .map(|i| QueryRuntime::new(QueryId(i as u64), Arc::clone(&pool[i % pool.len()]), 0.0, 24))
+            .collect();
+        let free: Vec<usize> = (0..12).collect();
+        let ctx = SchedContext {
+            time: 0.0,
+            total_threads: 24,
+            free_threads: free.len(),
+            free_thread_ids: &free,
+            queries: &queries,
+        };
+        let snap = snapshot(&FeatureConfig::default(), &ctx);
+        group.bench_with_input(BenchmarkId::new("queries", nq), &snap, |b, snap| {
+            b.iter(|| {
+                let (_, decisions, _, _) =
+                    model.decide_snapshot(snap, DecisionMode::Greedy, None, None);
+                std::hint::black_box(decisions.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decide);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks of the discrete-event simulator: events
+//! per second under a heuristic scheduler across workload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsched_engine::sim::{simulate, SimConfig};
+use lsched_sched::FairScheduler;
+use lsched_workloads::workload::{gen_workload, ArrivalPattern};
+use lsched_workloads::tpch;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let pool = tpch::plan_pool(&[1.0]);
+    for &n in &[8usize, 24, 48] {
+        let wl = gen_workload(&pool, n, ArrivalPattern::Streaming { lambda: 50.0 }, 1);
+        group.bench_with_input(BenchmarkId::new("fair_queries", n), &wl, |b, wl| {
+            b.iter(|| {
+                let res = simulate(
+                    SimConfig { num_threads: 16, ..Default::default() },
+                    wl,
+                    &mut FairScheduler::default(),
+                );
+                std::hint::black_box(res.total_work_orders)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,540 @@
+//! Reproduces every figure of the LSched paper (Section 7).
+//!
+//! ```text
+//! figures <fig1|fig8|fig9|fig10|fig11a|fig11b|fig12|fig13|fig14a|fig14b|fig15|all>
+//!         [--paper] [--threads N] [--episodes N] [--size N] [--seed N] [--no-cache]
+//! ```
+//!
+//! The default ("quick") configuration scales episode counts and
+//! workload sizes down so the full suite finishes in minutes; `--paper`
+//! switches to paper-scale parameters (Section 7.1). Absolute seconds
+//! differ from the authors' testbed (our substrate is the calibrated
+//! simulator — see DESIGN.md §1); the comparisons of *who wins and by
+//! how much* are what each figure reproduces.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use lsched_bench::harness::{
+    self, lsched_config, roster, run_roster, sampler, split, test_workload, trained_decima,
+    trained_lsched, Benchmark, HarnessConfig,
+};
+use lsched_bench::report::FigureReport;
+use lsched_core::{
+    config_for_variant, train, transfer_from, ExperienceManager, LSchedModel, LSchedScheduler,
+    LSchedVariant, TrainConfig,
+};
+use lsched_engine::plan::{OpKind, OpSpec, PlanBuilder};
+use lsched_engine::scheduler::{SchedContext, SchedDecision, SchedEvent, Scheduler};
+use lsched_engine::sim::{simulate, SimConfig, WorkloadItem};
+use lsched_sched::CriticalPathScheduler;
+use lsched_workloads::ArrivalPattern;
+
+fn artifact_dir() -> PathBuf {
+    PathBuf::from("bench_artifacts/figures")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().cloned().unwrap_or_else(|| "all".to_string());
+    let mut cfg = if args.iter().any(|a| a == "--paper") {
+        HarnessConfig::paper()
+    } else {
+        HarnessConfig::quick()
+    };
+    let grab = |flag: &str| -> Option<u64> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    if let Some(t) = grab("--threads") {
+        cfg.threads = t as usize;
+    }
+    if let Some(e) = grab("--episodes") {
+        cfg.train_episodes = e as usize;
+    }
+    if let Some(s) = grab("--size") {
+        cfg.workload_size = s as usize;
+    }
+    if let Some(s) = grab("--seed") {
+        cfg.seed = s;
+    }
+    if args.iter().any(|a| a == "--no-cache") {
+        cfg.cache_dir = None;
+    }
+
+    eprintln!(
+        "[figures] {which}: threads={} episodes={} size={} seed={}",
+        cfg.threads, cfg.train_episodes, cfg.workload_size, cfg.seed
+    );
+
+    match which.as_str() {
+        "fig1" => fig1(&cfg),
+        "fig8" => fig_cdf(&cfg, Benchmark::Tpch, "fig8", true),
+        "fig9" => fig_cdf(&cfg, Benchmark::Ssb, "fig9", false),
+        "fig10" => fig_cdf(&cfg, Benchmark::Job, "fig10", false),
+        "fig11a" => fig11a(&cfg),
+        "fig11b" => fig11b(&cfg),
+        "fig12" => fig12(&cfg),
+        "fig13" => fig13(&cfg),
+        "fig14a" => fig14a(&cfg),
+        "fig14b" => fig14b(&cfg),
+        "fig15" => fig15(&cfg),
+        "all" => {
+            fig1(&cfg);
+            fig_cdf(&cfg, Benchmark::Tpch, "fig8", true);
+            fig_cdf(&cfg, Benchmark::Ssb, "fig9", false);
+            fig_cdf(&cfg, Benchmark::Job, "fig10", false);
+            fig11a(&cfg);
+            fig11b(&cfg);
+            fig12(&cfg);
+            fig13(&cfg);
+            fig14a(&cfg);
+            fig14b(&cfg);
+            fig15(&cfg);
+        }
+        other => {
+            eprintln!("unknown figure {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Figure 1: the quality of pipelining decisions on a 6-operator query
+/// over 5 threads — aggressive pipelining (critical path) vs no
+/// pipelining (Decima) vs learned/proper pipelining.
+fn fig1(cfg: &HarnessConfig) {
+    // Q1: two select chains (o1→o2→o3 and o4→o5) joined by o6.
+    let plan = {
+        let mut b = PlanBuilder::new("fig1_q1");
+        let wos = 12u32;
+        let sel = |b: &mut PlanBuilder, t: usize| {
+            b.add_op(OpKind::Select, OpSpec::Synthetic, vec![t], vec![t], 1e6, wos, 0.02, 40e6)
+        };
+        let o1 = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![0], vec![0], 1e6, wos, 0.02, 40e6);
+        let o2 = sel(&mut b, 0);
+        let o3 = sel(&mut b, 0);
+        let o4 = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![1], vec![1], 1e6, wos, 0.02, 40e6);
+        let o5 = sel(&mut b, 1);
+        let o6 = b.add_op(OpKind::NestedLoopsJoin, OpSpec::Synthetic, vec![0, 1], vec![0, 1], 1e6, wos, 0.03, 60e6);
+        b.connect(o1, o2, true);
+        b.connect(o2, o3, true);
+        b.connect(o4, o5, true);
+        b.connect(o3, o6, false); // blocking side
+        b.connect(o5, o6, true);
+        Arc::new(b.finish(o6))
+    };
+    let wl = vec![WorkloadItem { arrival_time: 0.0, plan }];
+    // Tight memory: aggressive pipelining over-commits buffers.
+    let mut sim = SimConfig { num_threads: 5, seed: cfg.seed, ..Default::default() };
+    sim.cost.memory_budget = 650e6;
+    sim.cost.pipeline_buffer_bytes = 40e6;
+    sim.cost.pipeline_speedup = 0.55;
+    sim.cost.noise_sigma = 0.0;
+
+    /// Greedy policy with a fixed pipeline-degree cap.
+    struct FixedDegree(usize);
+    impl Scheduler for FixedDegree {
+        fn name(&self) -> String {
+            format!("degree_{}", self.0)
+        }
+        fn on_event(&mut self, ctx: &SchedContext<'_>, _: &SchedEvent) -> Vec<SchedDecision> {
+            let mut out = Vec::new();
+            let mut free = ctx.free_threads;
+            for q in ctx.queries {
+                for root in q.schedulable_ops() {
+                    if free == 0 {
+                        return out;
+                    }
+                    let deg = q.plan.longest_npb_chain(root).min(self.0.max(1));
+                    let threads = (free / 2).max(1);
+                    free -= threads;
+                    out.push(SchedDecision { query: q.qid, root, pipeline_degree: deg, threads });
+                }
+            }
+            out
+        }
+    }
+
+    let mut report = FigureReport::new(
+        "fig1",
+        "Scheduling quality: aggressive vs no vs proper pipelining",
+        "scheduler",
+        "makespan (s)",
+    );
+    let runs: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("critical_path_aggressive", Box::new(CriticalPathScheduler)),
+        ("decima_style_no_pipelining", Box::new(FixedDegree(1))),
+        ("lsched_style_proper_pipelining", Box::new(FixedDegree(2))),
+    ];
+    for (i, (name, mut s)) in runs.into_iter().enumerate() {
+        let mut traced = sim.clone();
+        let sink = lsched_engine::trace::trace_sink();
+        traced.trace = Some(std::sync::Arc::clone(&sink));
+        let res = simulate(traced, &wl, s.as_mut());
+        let trace = lsched_engine::trace::ExecutionTrace::from_sink(&sink, sim.num_threads);
+        trace.validate_no_overlap().expect("threads must never overlap");
+        println!(
+            "fig1 {name:<32} makespan = {:.3}s  utilization = {:.0}%  pipelined WOs = {:.0}%",
+            res.makespan,
+            trace.utilization() * 100.0,
+            trace.pipelined_fraction() * 100.0
+        );
+        println!("{}", trace.gantt(64));
+        report.push(name, vec![(i as f64, res.makespan)]);
+    }
+    report.emit(&artifact_dir());
+}
+
+/// Figures 8–10: CDF of average query duration under streaming and
+/// batched workloads for every scheduler.
+fn fig_cdf(cfg: &HarnessConfig, bench: Benchmark, id: &str, include_fifo: bool) {
+    for (mode_name, pattern) in [
+        ("streaming", ArrivalPattern::Streaming { lambda: cfg.stream_lambda }),
+        ("batching", ArrivalPattern::Batch),
+    ] {
+        let wl = test_workload(cfg, bench, cfg.workload_size, pattern);
+        let mut r = roster(cfg, bench, include_fifo);
+        let results = run_roster(&mut r, &wl, &cfg.sim());
+        let mut report = FigureReport::new(
+            &format!("{id}_{mode_name}"),
+            &format!("CDF of query duration, {} {mode_name}", bench.name()),
+            "query duration (s)",
+            "CDF",
+        );
+        println!("\n{id} {} {mode_name}: avg / p90 duration", bench.name());
+        for (name, res) in &results {
+            println!(
+                "  {name:<12} avg={:>9.3}s p90={:>9.3}s sched_ms/q={:>8.3} completed={}",
+                res.avg_duration(),
+                res.quantile_duration(0.9),
+                res.sched_latency_per_query() * 1e3,
+                res.outcomes.len()
+            );
+            report.push(name.clone(), res.cdf());
+        }
+        report.emit(&artifact_dir());
+    }
+}
+
+/// Figure 11a: average query duration vs worker-pool size.
+fn fig11a(cfg: &HarnessConfig) {
+    let workers: Vec<usize> = if cfg.threads >= 60 {
+        vec![20, 40, 60, 80, 100]
+    } else {
+        vec![8, 16, 24, 32, 48]
+    };
+    let wl = test_workload(
+        cfg,
+        Benchmark::Tpch,
+        cfg.workload_size,
+        ArrivalPattern::Streaming { lambda: cfg.stream_lambda },
+    );
+    let mut report = FigureReport::new(
+        "fig11a",
+        "Average query duration vs number of workers (TPCH streaming)",
+        "workers",
+        "avg query duration (s)",
+    );
+    let mut r = roster(cfg, Benchmark::Tpch, false);
+    let labels: Vec<String> = r.entries.iter().map(|(n, _)| n.clone()).collect();
+    let mut columns: Vec<Vec<(f64, f64)>> = vec![Vec::new(); labels.len()];
+    lsched_bench::report::print_sweep_header("workers", &labels);
+    for &w in &workers {
+        let sim = SimConfig { num_threads: w, seed: cfg.seed, ..Default::default() };
+        let results = run_roster(&mut r, &wl, &sim);
+        let vals: Vec<f64> = results.iter().map(|(_, res)| res.avg_duration()).collect();
+        lsched_bench::report::print_sweep_row(w as f64, &vals);
+        for (c, v) in columns.iter_mut().zip(&vals) {
+            c.push((w as f64, *v));
+        }
+    }
+    for (l, c) in labels.into_iter().zip(columns) {
+        report.push(l, c);
+    }
+    report.emit(&artifact_dir());
+}
+
+/// Figure 11b: average query duration vs arrival rate λ.
+fn fig11b(cfg: &HarnessConfig) {
+    let lambdas = [10.0, 50.0, 100.0, 200.0, 400.0];
+    let mut report = FigureReport::new(
+        "fig11b",
+        "Average query duration vs inter-query arrival rate (TPCH streaming)",
+        "lambda (queries/s)",
+        "avg query duration (s)",
+    );
+    let mut r = roster(cfg, Benchmark::Tpch, false);
+    let labels: Vec<String> = r.entries.iter().map(|(n, _)| n.clone()).collect();
+    let mut columns: Vec<Vec<(f64, f64)>> = vec![Vec::new(); labels.len()];
+    lsched_bench::report::print_sweep_header("lambda", &labels);
+    for &lambda in &lambdas {
+        let wl = test_workload(
+            cfg,
+            Benchmark::Tpch,
+            cfg.workload_size,
+            ArrivalPattern::Streaming { lambda },
+        );
+        let results = run_roster(&mut r, &wl, &cfg.sim());
+        let vals: Vec<f64> = results.iter().map(|(_, res)| res.avg_duration()).collect();
+        lsched_bench::report::print_sweep_row(lambda, &vals);
+        for (c, v) in columns.iter_mut().zip(&vals) {
+            c.push((lambda, *v));
+        }
+    }
+    for (l, c) in labels.into_iter().zip(columns) {
+        report.push(l, c);
+    }
+    report.emit(&artifact_dir());
+}
+
+/// Figure 12: average query duration vs workload size, streaming and
+/// batched.
+fn fig12(cfg: &HarnessConfig) {
+    let sizes: Vec<usize> = if cfg.workload_size >= 80 {
+        vec![20, 40, 60, 80, 100]
+    } else {
+        vec![10, 20, 30, 40, 50]
+    };
+    for (mode_name, stream) in [("streaming", true), ("batched", false)] {
+        let mut report = FigureReport::new(
+            &format!("fig12_{mode_name}"),
+            &format!("Average query duration vs number of {mode_name} queries (TPCH)"),
+            "queries",
+            "avg query duration (s)",
+        );
+        let mut r = roster(cfg, Benchmark::Tpch, false);
+        let labels: Vec<String> = r.entries.iter().map(|(n, _)| n.clone()).collect();
+        let mut columns: Vec<Vec<(f64, f64)>> = vec![Vec::new(); labels.len()];
+        println!("\nfig12 {mode_name}");
+        lsched_bench::report::print_sweep_header("queries", &labels);
+        for &n in &sizes {
+            let pattern = if stream {
+                ArrivalPattern::Streaming { lambda: cfg.stream_lambda }
+            } else {
+                ArrivalPattern::Batch
+            };
+            let wl = test_workload(cfg, Benchmark::Tpch, n, pattern);
+            let results = run_roster(&mut r, &wl, &cfg.sim());
+            let vals: Vec<f64> = results.iter().map(|(_, res)| res.avg_duration()).collect();
+            lsched_bench::report::print_sweep_row(n as f64, &vals);
+            for (c, v) in columns.iter_mut().zip(&vals) {
+                c.push((n as f64, *v));
+            }
+        }
+        for (l, c) in labels.into_iter().zip(columns) {
+            report.push(l, c);
+        }
+        report.emit(&artifact_dir());
+    }
+}
+
+/// Figure 13: scheduling overhead — (a) average scheduling latency per
+/// query, (b) number of scheduling actions taken by the learned agents.
+fn fig13(cfg: &HarnessConfig) {
+    let sizes: Vec<usize> = if cfg.workload_size >= 80 {
+        vec![20, 40, 60, 80, 100]
+    } else {
+        vec![10, 20, 30, 40, 50]
+    };
+    let mut lat = FigureReport::new(
+        "fig13a",
+        "Average scheduling latency per query (TPCH streaming)",
+        "queries",
+        "scheduling latency per query (ms)",
+    );
+    let mut actions = FigureReport::new(
+        "fig13b",
+        "Number of scheduling actions taken by learned agents",
+        "queries",
+        "scheduling actions",
+    );
+    let mut r = roster(cfg, Benchmark::Tpch, false);
+    let labels: Vec<String> = r.entries.iter().map(|(n, _)| n.clone()).collect();
+    let mut lat_cols: Vec<Vec<(f64, f64)>> = vec![Vec::new(); labels.len()];
+    let mut act_cols: Vec<Vec<(f64, f64)>> = vec![Vec::new(); labels.len()];
+    println!("\nfig13a scheduling latency per query (ms)");
+    lsched_bench::report::print_sweep_header("queries", &labels);
+    for &n in &sizes {
+        let wl = test_workload(
+            cfg,
+            Benchmark::Tpch,
+            n,
+            ArrivalPattern::Streaming { lambda: cfg.stream_lambda },
+        );
+        let results = run_roster(&mut r, &wl, &cfg.sim());
+        let lats: Vec<f64> =
+            results.iter().map(|(_, res)| res.sched_latency_per_query() * 1e3).collect();
+        lsched_bench::report::print_sweep_row(n as f64, &lats);
+        for ((lc, ac), (_, res)) in lat_cols.iter_mut().zip(&mut act_cols).zip(&results) {
+            lc.push((n as f64, res.sched_latency_per_query() * 1e3));
+            ac.push((n as f64, res.sched_decisions as f64));
+        }
+    }
+    for ((l, lc), ac) in labels.iter().zip(lat_cols).zip(act_cols) {
+        lat.push(l.clone(), lc);
+        if l == "lsched" || l == "decima" {
+            actions.push(l.clone(), ac);
+        }
+    }
+    lat.emit(&artifact_dir());
+    actions.emit(&artifact_dir());
+}
+
+/// Figure 14a: average query duration vs training episodes (LSched
+/// saturates earlier than Decima).
+fn fig14a(cfg: &HarnessConfig) {
+    let checkpoints: Vec<usize> = {
+        let e = cfg.train_episodes;
+        let mut v: Vec<usize> = vec![e / 5, 2 * e / 5, 3 * e / 5, 4 * e / 5, e];
+        v.retain(|&x| x > 0);
+        v.dedup();
+        v
+    };
+    let wl = test_workload(
+        cfg,
+        Benchmark::Tpch,
+        cfg.workload_size,
+        ArrivalPattern::Streaming { lambda: cfg.stream_lambda },
+    );
+    let mut report = FigureReport::new(
+        "fig14a",
+        "Average query duration vs training episodes (TPCH)",
+        "episodes",
+        "avg query duration (s)",
+    );
+    let mut ls_points = Vec::new();
+    let mut dec_points = Vec::new();
+    println!("\nfig14a  episodes  lsched  decima");
+    for &ep in &checkpoints {
+        let ls = trained_lsched(cfg, Benchmark::Tpch, ep);
+        let mut s = LSchedScheduler::greedy(ls);
+        let lr = simulate(cfg.sim(), &wl, &mut s);
+        let dm = trained_decima(cfg, Benchmark::Tpch, ep);
+        let mut d = lsched_decima::DecimaScheduler::greedy(dm);
+        let dr = simulate(cfg.sim(), &wl, &mut d);
+        println!("  {ep:>8}  {:>8.3}  {:>8.3}", lr.avg_duration(), dr.avg_duration());
+        ls_points.push((ep as f64, lr.avg_duration()));
+        dec_points.push((ep as f64, dr.avg_duration()));
+    }
+    report.push("lsched", ls_points);
+    report.push("decima", dec_points);
+    report.emit(&artifact_dir());
+}
+
+/// Figure 14b: training reward vs episodes on SSB, with and without
+/// transfer learning from the TPCH model.
+fn fig14b(cfg: &HarnessConfig) {
+    // Transfer-learning curves only need a short budget to show the
+    // head start; cap to keep the full suite fast.
+    let episodes = cfg.train_episodes.min(50);
+    let tpch_model = trained_lsched(cfg, Benchmark::Tpch, episodes);
+
+    let sp = split(Benchmark::Ssb, cfg.seed);
+    let s = sampler(cfg, sp.train);
+    let tcfg =
+        TrainConfig { episodes, sim: cfg.train_sim(), seed: cfg.seed + 1, ..Default::default() };
+
+    // From scratch.
+    let scratch = LSchedModel::new(lsched_config(cfg.threads * 2), cfg.seed + 2);
+    let mut exp1 = ExperienceManager::new(episodes.max(1));
+    let (_, scratch_stats) = train(scratch, &s, &tcfg, &mut exp1);
+
+    // With transfer.
+    let mut transferred = LSchedModel::new(lsched_config(cfg.threads * 2), cfg.seed + 2);
+    let rep = transfer_from(&mut transferred, &tpch_model.store);
+    eprintln!("[fig14b] transfer: copied {} params, froze {}", rep.copied, rep.frozen);
+    let mut exp2 = ExperienceManager::new(episodes.max(1));
+    let (_, transfer_stats) = train(transferred, &s, &tcfg, &mut exp2);
+
+    let ema = |xs: Vec<(f64, f64)>| -> Vec<(f64, f64)> {
+        let mut out = Vec::with_capacity(xs.len());
+        let mut acc = None;
+        for (x, y) in xs {
+            let v = match acc {
+                None => y,
+                Some(a) => 0.7 * a + 0.3 * y,
+            };
+            acc = Some(v);
+            out.push((x, v));
+        }
+        out
+    };
+    let mut report = FigureReport::new(
+        "fig14b",
+        "Average reward vs training episodes on SSB, with/without transfer learning",
+        "episodes",
+        "avg reward (EMA)",
+    );
+    report.push(
+        "lsched_w_tl",
+        ema(transfer_stats
+            .episodes
+            .iter()
+            .map(|e| (e.episode as f64, e.total_reward))
+            .collect()),
+    );
+    report.push(
+        "lsched_wo_tl",
+        ema(scratch_stats
+            .episodes
+            .iter()
+            .map(|e| (e.episode as f64, e.total_reward))
+            .collect()),
+    );
+    report.emit(&artifact_dir());
+}
+
+/// Figure 15: ablations — CDFs of the LSched variants on the TPCH
+/// streaming workload.
+fn fig15(cfg: &HarnessConfig) {
+    let wl = test_workload(
+        cfg,
+        Benchmark::Tpch,
+        cfg.workload_size,
+        ArrivalPattern::Streaming { lambda: cfg.stream_lambda },
+    );
+    let base = lsched_config(cfg.threads * 2);
+    let sp = split(Benchmark::Tpch, cfg.seed);
+    let s = sampler(cfg, sp.train.clone());
+    // Per-variant training budget is capped: five variants retrain from
+    // scratch, so the full budget would dominate the suite's runtime.
+    let variant_episodes = cfg.train_episodes.min(50);
+    let tcfg = TrainConfig {
+        episodes: variant_episodes,
+        sim: cfg.train_sim(),
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    // Transfer source for the full variant: the SSB-trained model.
+    let ssb_source = harness::trained_lsched(cfg, Benchmark::Ssb, variant_episodes);
+
+    let mut report = FigureReport::new(
+        "fig15",
+        "Ablations: CDF of query duration per LSched variant (TPCH streaming)",
+        "query duration (s)",
+        "CDF",
+    );
+    println!("\nfig15 variants");
+    for variant in LSchedVariant::ALL {
+        let vcfg = config_for_variant(&base, variant);
+        let mut model = LSchedModel::new(vcfg, cfg.seed + 31);
+        if variant == LSchedVariant::Full {
+            let rep = transfer_from(&mut model, &ssb_source.store);
+            eprintln!("[fig15] {}: transferred {} params", variant.label(), rep.copied);
+        }
+        let mut exp = ExperienceManager::new(tcfg.episodes.max(1));
+        let (model, _) = train(model, &s, &tcfg, &mut exp);
+        let mut sched = LSchedScheduler::greedy(model);
+        let res = simulate(cfg.sim(), &wl, &mut sched);
+        println!(
+            "  {:<24} avg={:>9.3}s p90={:>9.3}s",
+            variant.label(),
+            res.avg_duration(),
+            res.quantile_duration(0.9)
+        );
+        report.push(variant.label(), res.cdf());
+    }
+    report.emit(&artifact_dir());
+}

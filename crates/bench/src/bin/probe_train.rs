@@ -1,0 +1,130 @@
+//! Training diagnostics: train LSched with periodic greedy evaluation on
+//! a fixed workload, printing policy statistics (decision counts, thread
+//! grants, pipeline degrees) so convergence problems are visible.
+//!
+//! ```text
+//! probe_train [--episodes N] [--eval-every N] [--threads N] [--size N] [--seed N]
+//! ```
+
+use lsched_core::{
+    train, ExperienceManager, LSchedModel, LSchedScheduler, TrainConfig,
+};
+use lsched_bench::harness::{lsched_config, sampler, split, Benchmark, HarnessConfig};
+use lsched_engine::scheduler::{SchedContext, SchedDecision, SchedEvent, Scheduler};
+use lsched_engine::sim::{simulate, SimConfig};
+use lsched_sched::{FairScheduler, SelfTuneScheduler};
+use lsched_workloads::{gen_workload, ArrivalPattern};
+
+/// Wraps a scheduler and accumulates decision statistics.
+struct Stats<S> {
+    inner: S,
+    decisions: usize,
+    total_threads: usize,
+    total_degree: usize,
+}
+
+impl<S: Scheduler> Scheduler for Stats<S> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn on_event(&mut self, ctx: &SchedContext<'_>, ev: &SchedEvent) -> Vec<SchedDecision> {
+        let ds = self.inner.on_event(ctx, ev);
+        for d in &ds {
+            self.decisions += 1;
+            self.total_threads += d.threads;
+            self.total_degree += d.pipeline_degree;
+        }
+        ds
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let grab = |flag: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let episodes = grab("--episodes", 200) as usize;
+    let lr_milli = grab("--lr-micro", 3000);
+    let eval_every = grab("--eval-every", 20) as usize;
+    let threads = grab("--threads", 24) as usize;
+    let size = grab("--size", 40) as usize;
+    let seed = grab("--seed", 7);
+
+    let mut hcfg = HarnessConfig::quick();
+    hcfg.threads = threads;
+    hcfg.seed = seed;
+    let sp = split(Benchmark::Tpch, seed);
+    let s = sampler(&hcfg, sp.train);
+    let eval_wl =
+        gen_workload(&sp.test, size, ArrivalPattern::Streaming { lambda: 40.0 }, seed ^ 0xbead);
+    let eval_sim = SimConfig { num_threads: threads, seed, ..Default::default() };
+
+    // Baselines on the eval workload.
+    let fair = simulate(eval_sim.clone(), &eval_wl, &mut FairScheduler::default());
+    let selftune = simulate(eval_sim.clone(), &eval_wl, &mut SelfTuneScheduler::default());
+    println!(
+        "baselines: fair avg={:.3}s p90={:.3}s | selftune avg={:.3}s",
+        fair.avg_duration(),
+        fair.quantile_duration(0.9),
+        selftune.avg_duration()
+    );
+
+    let mut model = LSchedModel::new(lsched_config(threads * 2), seed);
+    let tcfg_proto = TrainConfig {
+        episodes: eval_every,
+        lr: lr_milli as f32 * 1e-6,
+        sim: SimConfig { num_threads: threads, ..Default::default() },
+        ..Default::default()
+    };
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "ep", "eval_avg", "stoch_avg", "eval_p90", "dec", "thr/dec", "deg/dec", "train_avg", "reward"
+    );
+    let mut done = 0;
+    while done < episodes {
+        let chunk = eval_every.min(episodes - done);
+        let mut tcfg = tcfg_proto.clone();
+        tcfg.episodes = chunk;
+        tcfg.seed = seed.wrapping_add(done as u64 * 7717);
+        let mut exp = ExperienceManager::new(chunk.max(1));
+        let (m, stats) = train(model, &s, &tcfg, &mut exp);
+        model = m;
+        done += chunk;
+
+        // Greedy evaluation with policy statistics.
+        let json = model.params_json();
+        let mut eval_model = LSchedModel::new(lsched_config(threads * 2), seed);
+        eval_model.load_params_json(&json).expect("roundtrip");
+        let mut probe = Stats {
+            inner: LSchedScheduler::greedy(eval_model),
+            decisions: 0,
+            total_threads: 0,
+            total_degree: 0,
+        };
+        let res = simulate(eval_sim.clone(), &eval_wl, &mut probe);
+        // Stochastic-inference evaluation on the same workload.
+        let mut eval_model2 = LSchedModel::new(lsched_config(threads * 2), seed);
+        eval_model2.load_params_json(&json).expect("roundtrip");
+        let res_s = simulate(
+            eval_sim.clone(),
+            &eval_wl,
+            &mut LSchedScheduler::stochastic(eval_model2, seed ^ 0xeba1),
+        );
+        println!(
+            "{:>6} {:>10.3} {:>10.3} {:>10.3} {:>8} {:>8.2} {:>8.2} {:>10.3} {:>10.1}",
+            done,
+            res.avg_duration(),
+            res_s.avg_duration(),
+            res.quantile_duration(0.9),
+            probe.decisions,
+            probe.total_threads as f64 / probe.decisions.max(1) as f64,
+            probe.total_degree as f64 / probe.decisions.max(1) as f64,
+            stats.recent_avg_duration(chunk),
+            stats.recent_reward(chunk),
+        );
+    }
+}

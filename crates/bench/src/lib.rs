@@ -1,0 +1,12 @@
+//! # lsched-bench
+//!
+//! The benchmark harness reproducing every figure of the paper's
+//! evaluation (Section 7), plus Criterion micro-benchmarks for the
+//! encoder, predictor, simulator and engine operators. See the
+//! `figures` binary for the per-figure entry points and EXPERIMENTS.md
+//! for paper-vs-measured records.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;

@@ -1,0 +1,105 @@
+//! Figure output: aligned text tables on stdout plus JSON artifacts
+//! under `bench_artifacts/figures/` for downstream plotting.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// One output series of a figure (e.g. one scheduler's CDF).
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Series label (scheduler name, variant, ...).
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A complete figure payload.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureReport {
+    /// Figure id, e.g. `"fig8_streaming"`.
+    pub id: String,
+    /// What the figure shows.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl FigureReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.series.push(Series { label: label.into(), points });
+    }
+
+    /// Prints the figure as an aligned table and writes the JSON
+    /// artifact.
+    pub fn emit(&self, artifact_dir: &Path) {
+        println!("\n=== {} — {} ===", self.id, self.title);
+        println!("x = {}, y = {}", self.x_label, self.y_label);
+        for s in &self.series {
+            print!("{:<22}", s.label);
+            // Print up to 12 evenly spaced points to keep rows readable.
+            let n = s.points.len();
+            let step = n.div_ceil(12).max(1);
+            for p in s.points.iter().step_by(step) {
+                print!(" ({:.3},{:.3})", p.0, p.1);
+            }
+            println!();
+        }
+        // Summary line: final/mean y per series for quick comparison.
+        for s in &self.series {
+            if s.points.is_empty() {
+                continue;
+            }
+            let mean_y = s.points.iter().map(|p| p.1).sum::<f64>() / s.points.len() as f64;
+            println!("  {:<20} mean_y={:.4} last_y={:.4}", s.label, mean_y, s.points.last().expect("non-empty").1);
+        }
+        if let Err(e) = self.write_json(artifact_dir) {
+            eprintln!("[report] could not write artifact for {}: {e}", self.id);
+        }
+    }
+
+    fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(serde_json::to_string_pretty(self).expect("serialize figure").as_bytes())?;
+        println!("  [artifact] {}", path.display());
+        Ok(())
+    }
+}
+
+/// Convenience: the `(avg_duration, label)` summary table many sweep
+/// figures print.
+pub fn print_sweep_header(x_name: &str, labels: &[String]) {
+    print!("{x_name:>12}");
+    for l in labels {
+        print!(" {l:>14}");
+    }
+    println!();
+}
+
+/// One row of a sweep table.
+pub fn print_sweep_row(x: f64, values: &[f64]) {
+    print!("{x:>12.2}");
+    for v in values {
+        print!(" {v:>14.4}");
+    }
+    println!();
+}

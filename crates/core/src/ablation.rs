@@ -1,0 +1,118 @@
+//! The LSched variants of Figure 15, each removing one key contribution:
+//! graph attention, triangle (tree) convolution, pipelining prediction,
+//! or transfer learning (the latter is a training-procedure choice, not
+//! an architecture change).
+
+use crate::agent::{LSchedConfig, LSchedModel};
+use crate::encoder::{EncoderConfig, EncoderKind};
+use crate::predictor::PredictorConfig;
+
+/// The ablation variants evaluated in Figure 15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LSchedVariant {
+    /// The complete system.
+    Full,
+    /// "LSched w/o Transfer Learning": same architecture, trained from
+    /// scratch (handled by the training harness, which skips
+    /// `transfer_from`).
+    NoTransferLearning,
+    /// "LSched w/o Pipelining Prediction": the pipeline-degree head is
+    /// bypassed and every pipeline has degree 1.
+    NoPipelining,
+    /// "LSched w/o Graph Attention Support": tree convolution without
+    /// attention-weighted terms.
+    NoGraphAttention,
+    /// "LSched w/o Triangle Convolution": sequential message-passing GCN
+    /// in place of the tree convolution.
+    NoTriangleConvolution,
+}
+
+impl LSchedVariant {
+    /// All variants, in Figure 15's legend order.
+    pub const ALL: [LSchedVariant; 5] = [
+        LSchedVariant::Full,
+        LSchedVariant::NoTransferLearning,
+        LSchedVariant::NoPipelining,
+        LSchedVariant::NoGraphAttention,
+        LSchedVariant::NoTriangleConvolution,
+    ];
+
+    /// Display label matching the figure legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            LSchedVariant::Full => "lsched",
+            LSchedVariant::NoTransferLearning => "lsched_no_transfer",
+            LSchedVariant::NoPipelining => "lsched_no_pipelining",
+            LSchedVariant::NoGraphAttention => "lsched_no_gat",
+            LSchedVariant::NoTriangleConvolution => "lsched_no_tcn",
+        }
+    }
+
+    /// Whether the training harness should apply transfer learning when
+    /// a source model is available.
+    pub fn uses_transfer(self) -> bool {
+        !matches!(self, LSchedVariant::NoTransferLearning)
+    }
+}
+
+/// Builds the agent configuration for a variant on top of a base config.
+pub fn config_for_variant(base: &LSchedConfig, variant: LSchedVariant) -> LSchedConfig {
+    let mut encoder: EncoderConfig = base.encoder.clone();
+    let mut predictor: PredictorConfig = base.predictor.clone();
+    match variant {
+        LSchedVariant::Full | LSchedVariant::NoTransferLearning => {}
+        LSchedVariant::NoPipelining => predictor.ablate_pipelining = true,
+        LSchedVariant::NoGraphAttention => encoder.kind = EncoderKind::TcnPlain,
+        LSchedVariant::NoTriangleConvolution => encoder.kind = EncoderKind::SeqGcn,
+    }
+    LSchedConfig { encoder, predictor }
+}
+
+/// Builds a fresh model for a variant.
+pub fn model_for_variant(base: &LSchedConfig, variant: LSchedVariant, seed: u64) -> LSchedModel {
+    LSchedModel::new(config_for_variant(base, variant), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_configure_expected_knobs() {
+        let base = LSchedConfig::default();
+        let no_pipe = config_for_variant(&base, LSchedVariant::NoPipelining);
+        assert!(no_pipe.predictor.ablate_pipelining);
+        assert_eq!(no_pipe.encoder.kind, EncoderKind::TcnGat);
+
+        let no_gat = config_for_variant(&base, LSchedVariant::NoGraphAttention);
+        assert_eq!(no_gat.encoder.kind, EncoderKind::TcnPlain);
+
+        let no_tcn = config_for_variant(&base, LSchedVariant::NoTriangleConvolution);
+        assert_eq!(no_tcn.encoder.kind, EncoderKind::SeqGcn);
+
+        let full = config_for_variant(&base, LSchedVariant::Full);
+        assert!(!full.predictor.ablate_pipelining);
+        assert_eq!(full.encoder.kind, EncoderKind::TcnGat);
+    }
+
+    #[test]
+    fn labels_unique_and_transfer_flag() {
+        let labels: std::collections::HashSet<_> =
+            LSchedVariant::ALL.iter().map(|v| v.label()).collect();
+        assert_eq!(labels.len(), 5);
+        assert!(!LSchedVariant::NoTransferLearning.uses_transfer());
+        assert!(LSchedVariant::NoPipelining.uses_transfer());
+    }
+
+    #[test]
+    fn variant_models_build() {
+        let base = LSchedConfig {
+            encoder: EncoderConfig { hidden: 8, edge_hidden: 4, pqe_dim: 4, aqe_dim: 4, conv_layers: 2, ..Default::default() },
+            predictor: PredictorConfig { max_degree: 4, max_threads: 8, ..Default::default() },
+        };
+        for v in LSchedVariant::ALL {
+            let m = model_for_variant(&base, v, 1);
+            assert!(m.store.num_scalars() > 0, "{:?}", v);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The LSched scheduling agent: the model bundle (parameters + Query
+//! Encoder + Scheduling Predictor) and the [`Scheduler`] implementation
+//! that plugs it into the engine (Figure 2).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lsched_engine::scheduler::{SchedContext, SchedDecision, SchedEvent, Scheduler};
+use lsched_nn::{Graph, ParamStore};
+
+use crate::encoder::{EncoderConfig, QueryEncoder};
+use crate::features::{snapshot, FeatureConfig, SystemSnapshot};
+use crate::predictor::{DecisionMode, PickTrace, PredictorConfig, SchedulingPredictor};
+
+/// Full agent configuration.
+#[derive(Debug, Clone, Default)]
+pub struct LSchedConfig {
+    /// Encoder settings.
+    pub encoder: EncoderConfig,
+    /// Predictor settings.
+    pub predictor: PredictorConfig,
+}
+
+/// The model bundle: one [`ParamStore`] shared by the encoder and the
+/// predictor heads.
+#[derive(Debug)]
+pub struct LSchedModel {
+    /// All trainable parameters.
+    pub store: ParamStore,
+    /// The Query Encoder (Figure 6).
+    pub encoder: QueryEncoder,
+    /// The Scheduling Predictor (Figure 7).
+    pub predictor: SchedulingPredictor,
+    /// The configuration the model was built with.
+    pub cfg: LSchedConfig,
+}
+
+impl LSchedModel {
+    /// Builds a fresh model with seeded initialization.
+    pub fn new(cfg: LSchedConfig, seed: u64) -> Self {
+        let mut store = ParamStore::new();
+        let encoder = QueryEncoder::new(&mut store, seed, "enc", cfg.encoder.clone());
+        let e = &cfg.encoder;
+        let predictor = SchedulingPredictor::new(
+            &mut store,
+            seed.wrapping_add(1),
+            "pred",
+            cfg.predictor.clone(),
+            e.hidden,
+            e.edge_hidden,
+            e.pqe_dim,
+            e.aqe_dim,
+            e.feat.qf_dim(),
+        );
+        Self { store, encoder, predictor, cfg }
+    }
+
+    /// The feature configuration in use.
+    pub fn feature_config(&self) -> &FeatureConfig {
+        &self.cfg.encoder.feat
+    }
+
+    /// Runs encoder + predictor on a snapshot. With `forced` picks the
+    /// same choices are replayed (training backward pass); otherwise
+    /// choices follow `mode`. Returns the graph (kept alive so callers
+    /// can backprop through the returned log-prob node).
+    pub fn decide_snapshot(
+        &self,
+        snap: &SystemSnapshot,
+        mode: DecisionMode,
+        rng: Option<&mut StdRng>,
+        forced: Option<&[PickTrace]>,
+    ) -> (Graph, Vec<SchedDecision>, Vec<PickTrace>, lsched_nn::NodeId) {
+        let mut g = Graph::new();
+        if snap.queries.is_empty() {
+            let zero = g.input(lsched_nn::Tensor::scalar(0.0));
+            return (g, Vec::new(), Vec::new(), zero);
+        }
+        let enc = self.encoder.encode_system(&mut g, &self.store, snap);
+        let (decisions, picks, logprob) =
+            self.predictor.decide(&mut g, &self.store, snap, &enc, mode, rng, forced);
+        (g, decisions, picks, logprob)
+    }
+
+    /// Serializes the parameters to JSON (checkpointing).
+    pub fn params_json(&self) -> String {
+        self.store.to_json()
+    }
+
+    /// Loads parameters with matching names from a JSON checkpoint.
+    /// Returns how many parameters were restored.
+    pub fn load_params_json(&mut self, json: &str) -> Result<usize, serde_json::Error> {
+        let other = ParamStore::from_json(json)?;
+        Ok(self.store.load_matching(&other))
+    }
+}
+
+/// One recorded scheduling event of an episode (state + actions), the
+/// unit the REINFORCE trainer replays.
+#[derive(Debug, Clone)]
+pub struct EpisodeStep {
+    /// The state snapshot the decision was taken in.
+    pub snapshot: SystemSnapshot,
+    /// The sub-decisions taken.
+    pub picks: Vec<PickTrace>,
+    /// Engine clock at the event.
+    pub time: f64,
+    /// Number of existing queries at the event (the `Q_d` of Section 6).
+    pub num_queries: usize,
+}
+
+/// The LSched scheduler.
+pub struct LSchedScheduler {
+    model: LSchedModel,
+    mode: DecisionMode,
+    rng: StdRng,
+    recording: bool,
+    steps: Vec<EpisodeStep>,
+}
+
+impl LSchedScheduler {
+    /// Inference-mode scheduler (greedy decisions, no recording).
+    pub fn greedy(model: LSchedModel) -> Self {
+        Self {
+            model,
+            mode: DecisionMode::Greedy,
+            rng: StdRng::seed_from_u64(0),
+            recording: false,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Stochastic inference: decisions are sampled from the learned
+    /// policy (no recording). The policy is a distribution; sampling at
+    /// inference avoids the instability of committing to the argmax of
+    /// a stochastically trained policy.
+    pub fn stochastic(model: LSchedModel, seed: u64) -> Self {
+        Self {
+            model,
+            mode: DecisionMode::Sample,
+            rng: StdRng::seed_from_u64(seed),
+            recording: false,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Training-mode scheduler: samples decisions and records every step
+    /// for the episode replay.
+    pub fn sampling(model: LSchedModel, seed: u64) -> Self {
+        Self {
+            model,
+            mode: DecisionMode::Sample,
+            rng: StdRng::seed_from_u64(seed),
+            recording: true,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Consumes the scheduler, returning the model and recorded steps.
+    pub fn finish(self) -> (LSchedModel, Vec<EpisodeStep>) {
+        (self.model, self.steps)
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &LSchedModel {
+        &self.model
+    }
+}
+
+impl Scheduler for LSchedScheduler {
+    fn name(&self) -> String {
+        "lsched".into()
+    }
+
+    fn on_event(&mut self, ctx: &SchedContext<'_>, _ev: &SchedEvent) -> Vec<SchedDecision> {
+        let snap = snapshot(self.model.feature_config(), ctx);
+        let rng = match self.mode {
+            DecisionMode::Sample => Some(&mut self.rng),
+            DecisionMode::Greedy => None,
+        };
+        let (_g, decisions, picks, _lp) =
+            self.model.decide_snapshot(&snap, self.mode, rng, None);
+        if self.recording && !picks.is_empty() {
+            self.steps.push(EpisodeStep {
+                snapshot: snap,
+                picks,
+                time: ctx.time,
+                num_queries: ctx.queries.len(),
+            });
+        }
+        decisions
+    }
+
+    fn reset(&mut self) {
+        self.steps.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsched_engine::sim::{simulate, SimConfig};
+    use lsched_workloads::tpch;
+    use lsched_workloads::workload::{gen_workload, ArrivalPattern};
+
+    fn small_model() -> LSchedModel {
+        let cfg = LSchedConfig {
+            encoder: EncoderConfig {
+                hidden: 12,
+                edge_hidden: 4,
+                pqe_dim: 8,
+                aqe_dim: 8,
+                conv_layers: 2,
+                ..Default::default()
+            },
+            predictor: PredictorConfig { max_degree: 6, max_threads: 32, ..Default::default() },
+        };
+        LSchedModel::new(cfg, 42)
+    }
+
+    #[test]
+    fn untrained_agent_completes_workloads() {
+        let pool = tpch::plan_pool(&[0.5]);
+        let wl = gen_workload(&pool, 6, ArrivalPattern::Batch, 1);
+        let mut sched = LSchedScheduler::greedy(small_model());
+        let res = simulate(SimConfig { num_threads: 8, ..Default::default() }, &wl, &mut sched);
+        assert_eq!(res.outcomes.len(), 6);
+        assert!(!res.timed_out);
+        assert!(res.sched_decisions > 0);
+    }
+
+    #[test]
+    fn sampling_mode_records_steps() {
+        let pool = tpch::plan_pool(&[0.5]);
+        let wl = gen_workload(&pool, 4, ArrivalPattern::Streaming { lambda: 50.0 }, 2);
+        let mut sched = LSchedScheduler::sampling(small_model(), 7);
+        let res = simulate(SimConfig { num_threads: 6, ..Default::default() }, &wl, &mut sched);
+        assert_eq!(res.outcomes.len(), 4);
+        let (_model, steps) = sched.finish();
+        assert!(!steps.is_empty());
+        for s in &steps {
+            assert!(!s.picks.is_empty());
+            assert!(s.num_queries >= 1);
+        }
+        // Steps are time-ordered.
+        for w in steps.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_behavior() {
+        let pool = tpch::plan_pool(&[0.5]);
+        let wl = gen_workload(&pool, 4, ArrivalPattern::Batch, 3);
+        let cfgd = SimConfig { num_threads: 6, ..Default::default() };
+
+        let model = small_model();
+        let json = model.params_json();
+        let mut s1 = LSchedScheduler::greedy(model);
+        let r1 = simulate(cfgd.clone(), &wl, &mut s1);
+
+        let mut restored = small_model();
+        // Perturb then restore.
+        let ids: Vec<_> = restored.store.iter_ids().map(|(id, _)| id).collect();
+        for id in &ids {
+            for v in restored.store.value_mut(*id).data_mut() {
+                *v += 0.5;
+            }
+        }
+        let n = restored.load_params_json(&json).unwrap();
+        assert_eq!(n, ids.len());
+        let mut s2 = LSchedScheduler::greedy(restored);
+        let r2 = simulate(cfgd, &wl, &mut s2);
+        assert_eq!(r1.avg_duration(), r2.avg_duration());
+    }
+}

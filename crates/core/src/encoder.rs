@@ -1,0 +1,485 @@
+//! The Query Encoder (Section 4, Figure 6): a single-query encoder
+//! combining edge-aware tree convolution with graph attention, plus the
+//! high-level Per-Query (PQE) and All-Queries (AQE) summarization
+//! networks implemented as message passing to dummy summary nodes.
+//!
+//! Two ablation variants back Figure 15: `TcnPlain` removes the GAT
+//! importance weighting and `SeqGcn` replaces the tree convolution with
+//! Decima-style *sequential message passing* graph convolution, whose
+//! within-layer child→parent fusion the paper identifies as a source of
+//! over-smoothing (Section 4.2.1).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lsched_nn::{
+    Activation, Graph, Linear, Mlp, NodeId, ParamStore, Tensor, TreeConvStack, TreeSpec,
+};
+
+use crate::features::{FeatureConfig, QuerySnapshot, SystemSnapshot};
+
+/// Which single-query encoder to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncoderKind {
+    /// Full LSched encoder: tree convolution + GAT (the default).
+    TcnGat,
+    /// Tree convolution without attention (Figure 15's "w/o Graph
+    /// Attention Support").
+    TcnPlain,
+    /// Sequential message-passing GCN (Figure 15's "w/o Triangle
+    /// Convolution"; also the building block of the Decima baseline).
+    SeqGcn,
+}
+
+/// Encoder hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct EncoderConfig {
+    /// Feature dimensions.
+    pub feat: FeatureConfig,
+    /// Node-embedding width.
+    pub hidden: usize,
+    /// Edge-embedding width.
+    pub edge_hidden: usize,
+    /// PQE output width.
+    pub pqe_dim: usize,
+    /// AQE output width.
+    pub aqe_dim: usize,
+    /// Convolution depth (≥ 3 leaves an interior layer to freeze during
+    /// transfer learning).
+    pub conv_layers: usize,
+    /// Encoder variant.
+    pub kind: EncoderKind,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        Self {
+            feat: FeatureConfig::default(),
+            hidden: 32,
+            edge_hidden: 8,
+            pqe_dim: 16,
+            aqe_dim: 16,
+            conv_layers: 3,
+            kind: EncoderKind::TcnGat,
+        }
+    }
+}
+
+/// Sequential message-passing GCN layer parameters (the Decima-style
+/// alternative encoder).
+#[derive(Debug, Clone)]
+struct SeqGcnLayer {
+    w_self: Linear,
+    w_child: Linear,
+    w_edge: Linear,
+}
+
+enum ConvStack {
+    Tcn(TreeConvStack),
+    Seq(Vec<SeqGcnLayer>),
+}
+
+impl std::fmt::Debug for ConvStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvStack::Tcn(_) => write!(f, "ConvStack::Tcn"),
+            ConvStack::Seq(_) => write!(f, "ConvStack::Seq"),
+        }
+    }
+}
+
+/// The encodings produced for one query.
+#[derive(Debug, Clone)]
+pub struct QueryEncoding {
+    /// Node embeddings (NE), one per operator.
+    pub node_emb: Vec<NodeId>,
+    /// Edge embeddings (EE), one per plan edge.
+    pub edge_emb: Vec<NodeId>,
+    /// The Per-Query Embedding (PQE).
+    pub pqe: NodeId,
+}
+
+/// Encodings of the whole system at one scheduling event.
+#[derive(Debug)]
+pub struct SystemEncoding {
+    /// Per-query encodings, aligned with the snapshot's query order.
+    pub queries: Vec<QueryEncoding>,
+    /// The All-Queries Embedding (AQE).
+    pub aqe: NodeId,
+}
+
+/// The Query Encoder network (Figure 6).
+#[derive(Debug)]
+pub struct QueryEncoder {
+    cfg: EncoderConfig,
+    node_proj: Linear,
+    edge_proj: Linear,
+    conv: ConvStack,
+    pqe_node_mlp: Mlp,
+    pqe_edge_mlp: Mlp,
+    pqe_out_mlp: Mlp,
+    aqe_in_mlp: Mlp,
+    aqe_out_mlp: Mlp,
+}
+
+impl QueryEncoder {
+    /// Registers all encoder parameters under `"{prefix}.*"`.
+    pub fn new(store: &mut ParamStore, seed: u64, prefix: &str, cfg: EncoderConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opf = cfg.feat.opf_dim();
+        let h = cfg.hidden;
+        let eh = cfg.edge_hidden;
+        let node_proj = Linear::new(store, &mut rng, &format!("{prefix}.node_proj"), opf, h);
+        let edge_proj = Linear::new(
+            store,
+            &mut rng,
+            &format!("{prefix}.edge_proj"),
+            FeatureConfig::EDF_DIM,
+            eh,
+        );
+        let conv = match cfg.kind {
+            EncoderKind::TcnGat | EncoderKind::TcnPlain => ConvStack::Tcn(TreeConvStack::new(
+                store,
+                &mut rng,
+                &format!("{prefix}.tcn"),
+                h,
+                h,
+                FeatureConfig::EDF_DIM,
+                cfg.conv_layers,
+                cfg.kind == EncoderKind::TcnGat,
+            )),
+            EncoderKind::SeqGcn => ConvStack::Seq(
+                (0..cfg.conv_layers)
+                    .map(|l| SeqGcnLayer {
+                        w_self: Linear::new(store, &mut rng, &format!("{prefix}.gcn{l}.self"), h, h),
+                        w_child: Linear::new(store, &mut rng, &format!("{prefix}.gcn{l}.child"), h, h),
+                        w_edge: Linear::new(
+                            store,
+                            &mut rng,
+                            &format!("{prefix}.gcn{l}.edge"),
+                            FeatureConfig::EDF_DIM,
+                            h,
+                        ),
+                    })
+                    .collect(),
+            ),
+        };
+        let pqe_node_mlp = Mlp::new(
+            store,
+            &mut rng,
+            &format!("{prefix}.pqe_node"),
+            &[h + opf, h, h, h],
+            Activation::LeakyRelu,
+            Activation::LeakyRelu,
+        );
+        let pqe_edge_mlp = Mlp::new(
+            store,
+            &mut rng,
+            &format!("{prefix}.pqe_edge"),
+            &[eh + FeatureConfig::EDF_DIM, h, h, h],
+            Activation::LeakyRelu,
+            Activation::LeakyRelu,
+        );
+        let pqe_out_mlp = Mlp::new(
+            store,
+            &mut rng,
+            &format!("{prefix}.pqe_out"),
+            &[h, h, h, cfg.pqe_dim],
+            Activation::LeakyRelu,
+            Activation::None,
+        );
+        let aqe_in_mlp = Mlp::new(
+            store,
+            &mut rng,
+            &format!("{prefix}.aqe_in"),
+            &[cfg.pqe_dim + cfg.feat.qf_dim(), h, h, h],
+            Activation::LeakyRelu,
+            Activation::LeakyRelu,
+        );
+        let aqe_out_mlp = Mlp::new(
+            store,
+            &mut rng,
+            &format!("{prefix}.aqe_out"),
+            &[h, h, h, cfg.aqe_dim],
+            Activation::LeakyRelu,
+            Activation::None,
+        );
+        Self { cfg, node_proj, edge_proj, conv, pqe_node_mlp, pqe_edge_mlp, pqe_out_mlp, aqe_in_mlp, aqe_out_mlp }
+    }
+
+    /// The encoder's configuration.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.cfg
+    }
+
+    /// Topological (children-first) order of a tree.
+    fn topo_order(tree: &TreeSpec) -> Vec<usize> {
+        let n = tree.len();
+        let mut order = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Roots are nodes that are nobody's child.
+        let mut is_child = vec![false; n];
+        for slots in &tree.children {
+            for s in slots.iter().flatten() {
+                is_child[s.0] = true;
+            }
+        }
+        fn dfs(tree: &TreeSpec, node: usize, visited: &mut [bool], order: &mut Vec<usize>) {
+            if visited[node] {
+                return;
+            }
+            visited[node] = true;
+            for s in tree.children[node].iter().flatten() {
+                dfs(tree, s.0, visited, order);
+            }
+            order.push(node);
+        }
+        for (root, &child) in is_child.iter().enumerate() {
+            if !child {
+                dfs(tree, root, &mut visited, &mut order);
+            }
+        }
+        debug_assert_eq!(order.len(), n);
+        order
+    }
+
+    fn conv_forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        qs: &QuerySnapshot,
+        nodes: &[NodeId],
+        raw_edges: &[NodeId],
+    ) -> Vec<NodeId> {
+        match &self.conv {
+            ConvStack::Tcn(stack) => stack.forward(g, store, &qs.tree, nodes, raw_edges),
+            ConvStack::Seq(layers) => {
+                // Sequential message passing: within each layer the
+                // embedding of a parent is computed from the *current
+                // layer's* child embeddings (children first).
+                let order = Self::topo_order(&qs.tree);
+                let mut h: Vec<NodeId> = nodes.to_vec();
+                for layer in layers {
+                    let mut next = h.clone();
+                    for &n in &order {
+                        let own = layer.w_self.forward(g, store, h[n]);
+                        let mut terms = vec![own];
+                        for slot in qs.tree.children[n].iter().flatten() {
+                            let (c, e) = *slot;
+                            let cm = layer.w_child.forward(g, store, next[c]);
+                            let em = layer.w_edge.forward(g, store, raw_edges[e]);
+                            terms.push(cm);
+                            terms.push(em);
+                        }
+                        let sum = g.sum_vec(&terms);
+                        next[n] = g.leaky_relu(sum, 0.01);
+                    }
+                    h = next;
+                }
+                h
+            }
+        }
+    }
+
+    /// Encodes one query: node embeddings (NE), edge embeddings (EE) and
+    /// the PQE summary (Figure 6, left and middle).
+    pub fn encode_query(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        qs: &QuerySnapshot,
+    ) -> QueryEncoding {
+        let opf_nodes: Vec<NodeId> =
+            qs.opf.iter().map(|f| g.input(Tensor::vector(f.clone()))).collect();
+        let raw_edges: Vec<NodeId> =
+            qs.edf.iter().map(|f| g.input(Tensor::vector(f.clone()))).collect();
+
+        // Project raw OPF into the hidden space, then convolve.
+        let projected: Vec<NodeId> = opf_nodes
+            .iter()
+            .map(|&x| {
+                let p = self.node_proj.forward(g, store, x);
+                g.leaky_relu(p, 0.01)
+            })
+            .collect();
+        let node_emb = self.conv_forward(g, store, qs, &projected, &raw_edges);
+
+        // Edge embeddings (EE).
+        let edge_emb: Vec<NodeId> = raw_edges
+            .iter()
+            .map(|&e| {
+                let p = self.edge_proj.forward(g, store, e);
+                g.leaky_relu(p, 0.01)
+            })
+            .collect();
+
+        // PQE: false directed edges from all nodes and edges into a dummy
+        // summary node — message passing implemented as per-element MLPs
+        // followed by a sum and an output MLP. Raw OPF/EDF features are
+        // concatenated with the learned embeddings, per Figure 6.
+        let mut messages: Vec<NodeId> = Vec::with_capacity(node_emb.len() + edge_emb.len());
+        for (ne, opf) in node_emb.iter().zip(&opf_nodes) {
+            let cat = g.concat(&[*ne, *opf]);
+            messages.push(self.pqe_node_mlp.forward(g, store, cat));
+        }
+        for (ee, edf) in edge_emb.iter().zip(&raw_edges) {
+            let cat = g.concat(&[*ee, *edf]);
+            messages.push(self.pqe_edge_mlp.forward(g, store, cat));
+        }
+        let summed = g.sum_vec(&messages);
+        // Scale by 1/|messages| to keep magnitudes stable across plan sizes.
+        let mean = g.scale(summed, 1.0 / messages.len() as f32);
+        let pqe = self.pqe_out_mlp.forward(g, store, mean);
+
+        QueryEncoding { node_emb, edge_emb, pqe }
+    }
+
+    /// Encodes the whole system: every query plus the AQE summary
+    /// (Figure 6, bottom).
+    pub fn encode_system(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        snap: &SystemSnapshot,
+    ) -> SystemEncoding {
+        assert!(!snap.queries.is_empty(), "encode_system needs at least one query");
+        let queries: Vec<QueryEncoding> =
+            snap.queries.iter().map(|qs| self.encode_query(g, store, qs)).collect();
+        let mut messages = Vec::with_capacity(queries.len());
+        for (enc, qs) in queries.iter().zip(&snap.queries) {
+            let qf = g.input(Tensor::vector(qs.qf.clone()));
+            let cat = g.concat(&[enc.pqe, qf]);
+            messages.push(self.aqe_in_mlp.forward(g, store, cat));
+        }
+        let summed = g.sum_vec(&messages);
+        let mean = g.scale(summed, 1.0 / messages.len() as f32);
+        let aqe = self.aqe_out_mlp.forward(g, store, mean);
+        SystemEncoding { queries, aqe }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{snapshot, FeatureConfig};
+    use lsched_engine::plan::{OpKind, OpSpec, PlanBuilder};
+    use lsched_engine::scheduler::{QueryId, QueryRuntime, SchedContext};
+    use std::sync::Arc;
+
+    fn snap(n_queries: usize) -> SystemSnapshot {
+        let queries: Vec<QueryRuntime> = (0..n_queries)
+            .map(|i| {
+                let mut b = PlanBuilder::new(format!("q{i}"));
+                let s1 = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![0], vec![1], 100.0, 4, 0.01, 1e5);
+                let s2 = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![1], vec![2], 100.0, 4, 0.01, 1e5);
+                let bh = b.add_op(OpKind::BuildHash, OpSpec::Synthetic, vec![0], vec![1], 100.0, 4, 0.02, 2e5);
+                let ph = b.add_op(OpKind::ProbeHash, OpSpec::Synthetic, vec![0, 1], vec![1, 2], 100.0, 4, 0.02, 2e5);
+                b.connect(s1, bh, true);
+                b.connect(bh, ph, false);
+                b.connect(s2, ph, true);
+                QueryRuntime::new(QueryId(i as u64), Arc::new(b.finish(ph)), 0.0, 8)
+            })
+            .collect();
+        let free = [0usize, 1, 2, 3];
+        let ctx = SchedContext {
+            time: 0.0,
+            total_threads: 8,
+            free_threads: 4,
+            free_thread_ids: &free,
+            queries: &queries,
+        };
+        snapshot(&FeatureConfig::default(), &ctx)
+    }
+
+    fn build(kind: EncoderKind) -> (ParamStore, QueryEncoder) {
+        let mut store = ParamStore::new();
+        let cfg = EncoderConfig { kind, hidden: 16, pqe_dim: 8, aqe_dim: 8, ..Default::default() };
+        let enc = QueryEncoder::new(&mut store, 7, "enc", cfg);
+        (store, enc)
+    }
+
+    #[test]
+    fn encodes_expected_shapes() {
+        for kind in [EncoderKind::TcnGat, EncoderKind::TcnPlain, EncoderKind::SeqGcn] {
+            let (store, enc) = build(kind);
+            let s = snap(3);
+            let mut g = Graph::new();
+            let sys = enc.encode_system(&mut g, &store, &s);
+            assert_eq!(sys.queries.len(), 3);
+            for qe in &sys.queries {
+                assert_eq!(qe.node_emb.len(), 4);
+                assert_eq!(qe.edge_emb.len(), 3);
+                assert_eq!(g.value(qe.pqe).len(), 8);
+                for &ne in &qe.node_emb {
+                    assert_eq!(g.value(ne).len(), 16);
+                    assert!(g.value(ne).data().iter().all(|v| v.is_finite()));
+                }
+            }
+            assert_eq!(g.value(sys.aqe).len(), 8);
+        }
+    }
+
+    #[test]
+    fn gradients_reach_all_encoder_params() {
+        let (mut store, enc) = build(EncoderKind::TcnGat);
+        let s = snap(2);
+        let mut g = Graph::new();
+        let sys = enc.encode_system(&mut g, &store, &s);
+        let loss = g.sum_elems(sys.aqe);
+        g.backward(loss, &mut store);
+        // Every encoder parameter should receive some gradient through
+        // the AQE path (node/edge embeddings feed PQE feed AQE).
+        let mut nonzero = 0;
+        let mut total = 0;
+        let ids: Vec<_> = store.iter_ids().map(|(id, _)| id).collect();
+        for id in ids {
+            total += 1;
+            if store.grad(id).iter().any(|&v| v != 0.0) {
+                nonzero += 1;
+            }
+        }
+        assert!(
+            nonzero as f64 > total as f64 * 0.85,
+            "only {nonzero}/{total} params got gradient"
+        );
+    }
+
+    #[test]
+    fn deterministic_encoding() {
+        let (store, enc) = build(EncoderKind::TcnGat);
+        let s = snap(2);
+        let mut g1 = Graph::new();
+        let e1 = enc.encode_system(&mut g1, &store, &s);
+        let mut g2 = Graph::new();
+        let e2 = enc.encode_system(&mut g2, &store, &s);
+        assert_eq!(g1.value(e1.aqe).data(), g2.value(e2.aqe).data());
+    }
+
+    #[test]
+    fn variants_differ_in_parameter_sets() {
+        let (s1, _) = build(EncoderKind::TcnGat);
+        let (s2, _) = build(EncoderKind::TcnPlain);
+        let (s3, _) = build(EncoderKind::SeqGcn);
+        // GAT adds attention vectors; SeqGcn swaps conv weights entirely.
+        assert!(s1.num_scalars() > s2.num_scalars());
+        assert!(s3.iter_ids().any(|(_, n)| n.contains("gcn0")));
+        assert!(s1.iter_ids().any(|(_, n)| n.contains("tcn.conv0.gat")));
+    }
+
+    #[test]
+    fn pqe_sensitive_to_progress_features() {
+        // Changing a dynamic feature (remaining work orders) must change
+        // the PQE — the encoder actually reads its inputs.
+        let (store, enc) = build(EncoderKind::TcnGat);
+        let mut s = snap(1);
+        let mut g1 = Graph::new();
+        let pqe1 = enc.encode_query(&mut g1, &store, &s.queries[0]).pqe;
+        let before = g1.value(pqe1).clone();
+        let dim = s.queries[0].opf[0].len();
+        s.queries[0].opf[0][dim - 3] = 0.0; // zero out O-WO
+        let mut g2 = Graph::new();
+        let pqe2 = enc.encode_query(&mut g2, &store, &s.queries[0]).pqe;
+        let after = g2.value(pqe2).clone();
+        assert_ne!(before.data(), after.data());
+    }
+}

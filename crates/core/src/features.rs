@@ -1,0 +1,364 @@
+//! Physical-plan feature extraction (Section 4.1): Operator Features
+//! (OPF), Edge Features (EDF) and Query Features (QF), plus the
+//! state-snapshot structure the encoder and trainer operate on.
+//!
+//! Feature dimensions are *workload-independent* (tables and columns are
+//! folded into fixed-width one-hot slots) so a model trained on one
+//! benchmark can be transferred to another with the same layer shapes —
+//! the precondition for Section 6's transfer learning ("the dimensions
+//! of these layers remain the same among different workloads").
+
+use lsched_engine::plan::{OpKind, PlanEdge};
+use lsched_engine::scheduler::{QueryId, QueryRuntime, SchedContext};
+use lsched_nn::TreeSpec;
+
+/// Fixed feature dimensions.
+#[derive(Debug, Clone)]
+pub struct FeatureConfig {
+    /// One-hot slots for input relations (O-IN); table indices fold in
+    /// modulo this width.
+    pub max_tables: usize,
+    /// One-hot slots for columns (O-COLS); global column ids fold in
+    /// modulo this width.
+    pub max_columns: usize,
+    /// Downsampled block-bitmap width (Eq. 1's `|d|`).
+    pub blocks_dim: usize,
+    /// Q-LOC width: the maximum thread-pool size supported.
+    pub max_threads: usize,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        Self { max_tables: 32, max_columns: 160, blocks_dim: 8, max_threads: 128 }
+    }
+}
+
+impl FeatureConfig {
+    /// Dimension of one operator's OPF vector:
+    /// O-TY ‖ O-IN ‖ O-COLS ‖ O-BLCKS ‖ O-WO ‖ O-DUR ‖ O-MEM.
+    /// (O-CON, the operator connectivity, is consumed structurally as
+    /// the tree the convolution slides over rather than as a vector.)
+    pub fn opf_dim(&self) -> usize {
+        OpKind::COUNT + self.max_tables + self.max_columns + self.blocks_dim + 3
+    }
+
+    /// Dimension of one edge's EDF vector: E-NPB ‖ E-DIR.
+    pub const EDF_DIM: usize = 2;
+
+    /// Dimension of one query's QF vector: Q-ATH ‖ Q-FTH ‖ Q-LOC.
+    pub fn qf_dim(&self) -> usize {
+        2 + self.max_threads
+    }
+}
+
+/// Equation 1: moving-average downsampling of a block bitmap `b` to a
+/// fixed-size array of `d_len` entries:
+///
+/// ```text
+/// d_j = (|d|/|b|) * Σ_{k=j·|b|/|d|}^{(j+1)·|b|/|d|} b_k
+/// ```
+///
+/// Bounds are inclusive with out-of-range entries contributing zero,
+/// matching the paper's worked example `b = {1,1,0,1,1,0} → d = {1,1,0.5}`.
+pub fn downsample_blocks(bitmap: &[bool], d_len: usize) -> Vec<f32> {
+    assert!(d_len > 0);
+    if bitmap.is_empty() {
+        return vec![0.0; d_len];
+    }
+    let b_len = bitmap.len() as f64;
+    let ratio = b_len / d_len as f64;
+    (0..d_len)
+        .map(|j| {
+            let lo = (j as f64 * ratio).floor() as usize;
+            let hi = ((j + 1) as f64 * ratio).floor() as usize; // inclusive
+            let mut sum = 0.0;
+            for k in lo..=hi {
+                if k < bitmap.len() && bitmap[k] {
+                    sum += 1.0;
+                }
+            }
+            ((d_len as f64 / b_len) * sum) as f32
+        })
+        .collect()
+}
+
+fn one_hot_fold(slots: usize, indices: &[usize]) -> Vec<f32> {
+    let mut v = vec![0.0f32; slots];
+    for &i in indices {
+        v[i % slots] = 1.0;
+    }
+    v
+}
+
+/// Log-compresses a non-negative magnitude into a small feature value.
+fn squash(x: f64) -> f32 {
+    (x.max(0.0) + 1.0).ln() as f32
+}
+
+/// Extracts the OPF vector of operator `op` in query `q` (Section 4.1).
+pub fn op_features(cfg: &FeatureConfig, q: &QueryRuntime, op: usize) -> Vec<f32> {
+    let plan_op = &q.plan.ops[op];
+    let rt = &q.ops[op];
+    let mut v = Vec::with_capacity(cfg.opf_dim());
+    // O-TY: operator type one-hot.
+    let mut ty = vec![0.0f32; OpKind::COUNT];
+    ty[plan_op.kind.index()] = 1.0;
+    v.extend(ty);
+    // O-IN: input relations one-hot (base + transitive).
+    v.extend(one_hot_fold(cfg.max_tables, &plan_op.input_tables));
+    // O-COLS: used columns one-hot.
+    v.extend(one_hot_fold(cfg.max_columns, &plan_op.columns_used));
+    // O-BLCKS: Eq. 1 downsampled block bitmap.
+    v.extend(downsample_blocks(&plan_op.block_bitmap, cfg.blocks_dim));
+    // O-WO: remaining work orders.
+    v.push(squash(rt.remaining_work_orders() as f64));
+    // O-DUR: regression-estimated remaining duration.
+    v.push(squash(rt.est_remaining_duration()));
+    // O-MEM: regression-estimated remaining memory (MB scale).
+    v.push(squash(rt.est_remaining_memory() / 1e6));
+    v
+}
+
+/// Extracts the EDF vector of a plan edge: E-NPB (1 = non-pipeline-
+/// breaking) and E-DIR (pipeline direction; the producer/child is the
+/// source, so a 1 marks child→parent flow on pipelined edges and 0
+/// marks a blocked edge where no pipelining direction exists).
+pub fn edge_features(edge: &PlanEdge) -> Vec<f32> {
+    let npb = if edge.non_pipeline_breaking { 1.0 } else { 0.0 };
+    vec![npb, npb]
+}
+
+/// Extracts the QF vector of query `q` given the current context
+/// (Section 4.1): assigned threads, free threads, per-thread locality.
+pub fn query_features(cfg: &FeatureConfig, ctx: &SchedContext<'_>, q: &QueryRuntime) -> Vec<f32> {
+    let mut v = Vec::with_capacity(cfg.qf_dim());
+    let total = ctx.total_threads.max(1) as f32;
+    // Q-ATH.
+    v.push(q.assigned_threads as f32 / total);
+    // Q-FTH.
+    v.push(ctx.free_threads as f32 / total);
+    // Q-LOC: for each *available* thread, whether it ran this query.
+    let mut loc = vec![0.0f32; cfg.max_threads];
+    for &t in ctx.free_thread_ids {
+        if q.executed_on.get(t).copied().unwrap_or(false) {
+            loc[t % cfg.max_threads] = 1.0;
+        }
+    }
+    v.extend(loc);
+    v
+}
+
+/// The per-query slice of a [`SystemSnapshot`].
+#[derive(Debug, Clone)]
+pub struct QuerySnapshot {
+    /// The query's id.
+    pub qid: QueryId,
+    /// OPF vectors, one per operator.
+    pub opf: Vec<Vec<f32>>,
+    /// EDF vectors, one per plan edge.
+    pub edf: Vec<Vec<f32>>,
+    /// QF vector.
+    pub qf: Vec<f32>,
+    /// Binary-tree structure for the tree convolution (O-CON).
+    pub tree: TreeSpec,
+    /// `(child, parent)` endpoints per edge, aligned with `edf`.
+    pub edge_endpoints: Vec<(usize, usize)>,
+    /// Indices of currently schedulable operators (candidate roots).
+    pub schedulable: Vec<usize>,
+    /// Max pipeline degree per schedulable operator (aligned with
+    /// `schedulable`).
+    pub max_degree: Vec<usize>,
+}
+
+/// A self-contained snapshot of the scheduling state at one event —
+/// everything the encoder, predictor and REINFORCE trainer need, with no
+/// references back into the engine (so episodes can be replayed for the
+/// backward pass after the fact).
+#[derive(Debug, Clone)]
+pub struct SystemSnapshot {
+    /// Engine clock at the event.
+    pub time: f64,
+    /// Worker-pool size.
+    pub total_threads: usize,
+    /// Idle threads.
+    pub free_threads: usize,
+    /// Active queries.
+    pub queries: Vec<QuerySnapshot>,
+}
+
+impl SystemSnapshot {
+    /// Flattened (query index, schedulable-list index) candidate pairs.
+    pub fn candidates(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (qi, q) in self.queries.iter().enumerate() {
+            for si in 0..q.schedulable.len() {
+                out.push((qi, si));
+            }
+        }
+        out
+    }
+}
+
+/// Builds the binary [`TreeSpec`] of a plan (its O-CON connectivity) and
+/// the aligned edge-endpoint list.
+pub fn tree_of(plan: &lsched_engine::plan::PhysicalPlan) -> (TreeSpec, Vec<(usize, usize)>) {
+    let mut tree = TreeSpec::with_nodes(plan.num_ops());
+    let mut endpoints = Vec::with_capacity(plan.edges.len());
+    for (ei, e) in plan.edges.iter().enumerate() {
+        tree.attach(e.parent.0, e.child.0, ei);
+        endpoints.push((e.child.0, e.parent.0));
+    }
+    (tree, endpoints)
+}
+
+/// Captures a full [`SystemSnapshot`] from a scheduling context.
+pub fn snapshot(cfg: &FeatureConfig, ctx: &SchedContext<'_>) -> SystemSnapshot {
+    let queries = ctx
+        .queries
+        .iter()
+        .map(|q| {
+            let (tree, edge_endpoints) = tree_of(&q.plan);
+            let opf = (0..q.plan.num_ops()).map(|op| op_features(cfg, q, op)).collect();
+            let edf = q.plan.edges.iter().map(edge_features).collect();
+            let schedulable: Vec<usize> =
+                q.schedulable_ops().into_iter().map(|o| o.0).collect();
+            let max_degree = schedulable
+                .iter()
+                .map(|&o| q.plan.longest_npb_chain(lsched_engine::plan::OpId(o)))
+                .collect();
+            QuerySnapshot {
+                qid: q.qid,
+                opf,
+                edf,
+                qf: query_features(cfg, ctx, q),
+                tree,
+                edge_endpoints,
+                schedulable,
+                max_degree,
+            }
+        })
+        .collect();
+    SystemSnapshot {
+        time: ctx.time,
+        total_threads: ctx.total_threads,
+        free_threads: ctx.free_threads,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsched_engine::plan::{OpId, OpKind, OpSpec, PlanBuilder};
+    use std::sync::Arc;
+
+    #[test]
+    fn eq1_worked_example() {
+        // The paper's example: b = {1,1,0,1,1,0} downsized to 3 gives
+        // {1, 1, 0.5}.
+        let b = [true, true, false, true, true, false];
+        assert_eq!(downsample_blocks(&b, 3), vec![1.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn eq1_empty_and_full() {
+        assert_eq!(downsample_blocks(&[], 4), vec![0.0; 4]);
+        let all = vec![true; 8];
+        let d = downsample_blocks(&all, 4);
+        // Inclusive windows overlap, so interior entries may exceed 1
+        // slightly; mass should stay close to fully-touched.
+        assert!(d.iter().all(|&v| v >= 1.0));
+    }
+
+    #[test]
+    fn eq1_preserves_rough_mass() {
+        let b: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        let d = downsample_blocks(&b, 8);
+        let mean = d.iter().sum::<f32>() / 8.0;
+        assert!((mean - 0.5).abs() < 0.2, "mean {mean}");
+    }
+
+    fn demo_query() -> QueryRuntime {
+        let mut b = PlanBuilder::new("f");
+        let scan = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![2], vec![5, 9], 100.0, 4, 0.01, 2e6);
+        let sel = b.add_op(OpKind::Select, OpSpec::Synthetic, vec![2], vec![5], 50.0, 4, 0.005, 1e6);
+        b.connect(scan, sel, true);
+        b.set_block_bitmap(scan, vec![true, true, false, false]);
+        let plan = Arc::new(b.finish(sel));
+        QueryRuntime::new(QueryId(0), plan, 0.0, 8)
+    }
+
+    #[test]
+    fn opf_has_configured_dim_and_onehots() {
+        let cfg = FeatureConfig::default();
+        let q = demo_query();
+        let v = op_features(&cfg, &q, 0);
+        assert_eq!(v.len(), cfg.opf_dim());
+        // O-TY: TableScan is index 0.
+        assert_eq!(v[OpKind::TableScan.index()], 1.0);
+        assert_eq!(v.iter().take(OpKind::COUNT).sum::<f32>(), 1.0);
+        // O-IN: table 2 set.
+        assert_eq!(v[OpKind::COUNT + 2], 1.0);
+        // O-COLS: columns 5 and 9 set.
+        let cols_base = OpKind::COUNT + cfg.max_tables;
+        assert_eq!(v[cols_base + 5], 1.0);
+        assert_eq!(v[cols_base + 9], 1.0);
+    }
+
+    #[test]
+    fn opf_dynamic_features_shrink_with_progress() {
+        let cfg = FeatureConfig::default();
+        let mut q = demo_query();
+        let before = op_features(&cfg, &q, 0);
+        q.ops[0].dispatched_work_orders = 2;
+        q.ops[0].observe_completion(&lsched_engine::stats::WorkOrderStats {
+            duration: 0.01,
+            memory: 1e6,
+            output_rows: 5,
+            completed_at: 0.1,
+        });
+        let after = op_features(&cfg, &q, 0);
+        let d = cfg.opf_dim();
+        // O-WO (third from the end) decreased.
+        assert!(after[d - 3] < before[d - 3]);
+    }
+
+    #[test]
+    fn edge_features_encode_npb() {
+        let q = demo_query();
+        let e = edge_features(&q.plan.edges[0]);
+        assert_eq!(e, vec![1.0, 1.0]);
+        let blocked = lsched_engine::plan::PlanEdge {
+            child: OpId(0),
+            parent: OpId(1),
+            non_pipeline_breaking: false,
+        };
+        assert_eq!(edge_features(&blocked), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn snapshot_captures_structure() {
+        let cfg = FeatureConfig::default();
+        let q = demo_query();
+        let queries = vec![q];
+        let free = [0usize, 1, 2];
+        let ctx = SchedContext {
+            time: 1.5,
+            total_threads: 8,
+            free_threads: 3,
+            free_thread_ids: &free,
+            queries: &queries,
+        };
+        let snap = snapshot(&cfg, &ctx);
+        assert_eq!(snap.queries.len(), 1);
+        let qs = &snap.queries[0];
+        assert_eq!(qs.opf.len(), 2);
+        assert_eq!(qs.edf.len(), 1);
+        assert_eq!(qs.qf.len(), cfg.qf_dim());
+        assert_eq!(qs.schedulable, vec![0]); // only the scan is schedulable
+        assert_eq!(qs.max_degree, vec![2]);
+        assert_eq!(snap.candidates(), vec![(0, 0)]);
+        // QF: q-fth = 3/8.
+        assert!((qs.qf[1] - 3.0 / 8.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,210 @@
+//! Online self-correction (Section 3): "In the online mode, the
+//! completely executed scheduling decisions are also rewarded and used
+//! for self-correcting the predictor either on a query-by-query basis or
+//! at checkpoints (controlled by the user)."
+//!
+//! [`OnlineLSched`] wraps a trained model, keeps sampling decisions in
+//! production, records every executed decision, and applies a small
+//! REINFORCE update at each checkpoint (every `checkpoint_queries`
+//! completed queries). Online updates have no second rollout to baseline
+//! against, so the window's mean return serves as the baseline — a
+//! deliberately conservative correction signal.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lsched_engine::scheduler::{QueryId, SchedContext, SchedDecision, SchedEvent, Scheduler};
+use lsched_nn::Adam;
+
+use crate::agent::{LSchedModel, LSchedScheduler};
+use crate::experience::{ExperienceManager, ExperienceSource};
+use crate::rl::RewardConfig;
+use crate::train::{accumulate_rollout_gradients, rollout_returns, TrainConfig};
+
+/// Online-correction settings.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Apply a correction after this many completed queries
+    /// (1 = query-by-query, larger = checkpoints).
+    pub checkpoint_queries: usize,
+    /// Learning rate of online updates (smaller than offline training).
+    pub lr: f32,
+    /// Max decisions replayed per correction.
+    pub sample_cap: usize,
+    /// Reward configuration.
+    pub reward: RewardConfig,
+    /// Gradient clipping norm.
+    pub max_grad_norm: f32,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_queries: 8,
+            lr: 2e-4,
+            sample_cap: 16,
+            reward: RewardConfig::default(),
+            max_grad_norm: 2.0,
+        }
+    }
+}
+
+/// A production scheduler that keeps improving from its own executed
+/// decisions.
+pub struct OnlineLSched {
+    inner: LSchedScheduler,
+    cfg: OnlineConfig,
+    opt: Adam,
+    rng: StdRng,
+    completed_since_checkpoint: usize,
+    corrections: usize,
+    experience: ExperienceManager,
+}
+
+impl OnlineLSched {
+    /// Wraps a (typically pre-trained) model for online operation.
+    pub fn new(model: LSchedModel, cfg: OnlineConfig, seed: u64) -> Self {
+        Self {
+            inner: LSchedScheduler::sampling(model, seed),
+            opt: Adam::new(cfg.lr),
+            cfg,
+            rng: StdRng::seed_from_u64(seed ^ 0x0411),
+            completed_since_checkpoint: 0,
+            corrections: 0,
+            experience: ExperienceManager::new(256),
+        }
+    }
+
+    /// Number of corrections applied so far.
+    pub fn corrections(&self) -> usize {
+        self.corrections
+    }
+
+    /// The accumulated online reward experiences.
+    pub fn experience(&self) -> &ExperienceManager {
+        &self.experience
+    }
+
+    /// Consumes the scheduler, returning the (self-corrected) model.
+    pub fn into_model(self) -> LSchedModel {
+        self.inner.finish().0
+    }
+
+    fn checkpoint(&mut self, now: f64) {
+        // Take the recorded steps out of the inner scheduler.
+        let model_steps = {
+            let inner = std::mem::replace(
+                &mut self.inner,
+                // Placeholder; replaced right below.
+                LSchedScheduler::sampling(
+                    LSchedModel::new(crate::agent::LSchedConfig::default(), 0),
+                    0,
+                ),
+            );
+            inner.finish()
+        };
+        let (mut model, steps) = model_steps;
+        if steps.len() >= 2 {
+            let returns = rollout_returns(&self.cfg.reward, &steps, now);
+            let mean = returns.iter().sum::<f64>() / returns.len() as f64;
+            let advantages: Vec<f64> = returns.iter().map(|g| g - mean).collect();
+            let tcfg = TrainConfig {
+                decision_sample_cap: self.cfg.sample_cap,
+                reward: self.cfg.reward,
+                ..Default::default()
+            };
+            model.store.zero_grads();
+            accumulate_rollout_gradients(&mut model, &steps, &advantages, &tcfg, &mut self.rng);
+            model.store.clip_grad_norm(self.cfg.max_grad_norm);
+            self.opt.step(&mut model.store);
+            self.corrections += 1;
+            self.experience.record(
+                ExperienceSource::Online,
+                returns.first().copied().unwrap_or(0.0),
+                steps.len(),
+                0.0,
+                0.0,
+            );
+        }
+        let seed: u64 = rand::Rng::gen(&mut self.rng);
+        self.inner = LSchedScheduler::sampling(model, seed);
+    }
+}
+
+impl Scheduler for OnlineLSched {
+    fn name(&self) -> String {
+        "lsched_online".into()
+    }
+
+    fn on_event(&mut self, ctx: &SchedContext<'_>, ev: &SchedEvent) -> Vec<SchedDecision> {
+        self.inner.on_event(ctx, ev)
+    }
+
+    fn on_query_finished(&mut self, time: f64, query: QueryId) {
+        self.inner.on_query_finished(time, query);
+        self.completed_since_checkpoint += 1;
+        if self.completed_since_checkpoint >= self.cfg.checkpoint_queries {
+            self.completed_since_checkpoint = 0;
+            self.checkpoint(time);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.completed_since_checkpoint = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::LSchedConfig;
+    use crate::encoder::EncoderConfig;
+    use crate::predictor::PredictorConfig;
+    use lsched_engine::sim::{simulate, SimConfig};
+    use lsched_workloads::tpch;
+    use lsched_workloads::workload::{gen_workload, ArrivalPattern};
+
+    fn small_model() -> LSchedModel {
+        LSchedModel::new(
+            LSchedConfig {
+                encoder: EncoderConfig {
+                    hidden: 10,
+                    edge_hidden: 4,
+                    pqe_dim: 6,
+                    aqe_dim: 6,
+                    conv_layers: 2,
+                    ..Default::default()
+                },
+                predictor: PredictorConfig { max_degree: 4, max_threads: 16, ..Default::default() },
+            },
+            9,
+        )
+    }
+
+    #[test]
+    fn online_mode_applies_corrections() {
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, 12, ArrivalPattern::Streaming { lambda: 60.0 }, 4);
+        let cfg = OnlineConfig { checkpoint_queries: 4, ..Default::default() };
+        let mut online = OnlineLSched::new(small_model(), cfg, 5);
+        let before = online.inner.model().params_json();
+        let res = simulate(SimConfig { num_threads: 8, ..Default::default() }, &wl, &mut online);
+        assert_eq!(res.outcomes.len(), 12);
+        assert!(online.corrections() >= 2, "expected checkpoints, got {}", online.corrections());
+        assert!(!online.experience().is_empty());
+        let model = online.into_model();
+        assert_ne!(model.params_json(), before, "online corrections must move parameters");
+    }
+
+    #[test]
+    fn query_by_query_mode() {
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, 6, ArrivalPattern::Batch, 5);
+        let cfg = OnlineConfig { checkpoint_queries: 1, ..Default::default() };
+        let mut online = OnlineLSched::new(small_model(), cfg, 6);
+        let res = simulate(SimConfig { num_threads: 6, ..Default::default() }, &wl, &mut online);
+        assert_eq!(res.outcomes.len(), 6);
+        assert!(online.corrections() >= 3);
+    }
+}

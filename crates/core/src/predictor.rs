@@ -1,0 +1,544 @@
+//! The Scheduling Predictor (Section 5.3, Figure 7): three
+//! fully-connected softmax heads deciding, at every scheduling event,
+//! (1) which operator roots a new pipeline and from which query, (2) the
+//! pipeline degree from that root, and (3) how many threads the query
+//! gets.
+//!
+//! A single event can admit several pipelines (until threads run out),
+//! so the predictor loops: each iteration softmaxes the remaining
+//! candidate roots, picks one (sampled during training, argmax at
+//! inference), then picks a masked degree and a masked thread count.
+//! The log-probability of every choice is accumulated on the graph so
+//! REINFORCE can differentiate through the full decision sequence.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use lsched_engine::plan::OpId;
+use lsched_engine::scheduler::SchedDecision;
+use lsched_nn::{softmax_vals, Activation, Graph, Mlp, NodeId, ParamStore, Tensor};
+
+use crate::encoder::SystemEncoding;
+use crate::features::SystemSnapshot;
+
+/// Predictor hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct PredictorConfig {
+    /// Output width of the pipeline-degree head (degrees 1..=max).
+    pub max_degree: usize,
+    /// Output width of the parallelism head (thread counts 1..=max).
+    pub max_threads: usize,
+    /// Hidden width of the head MLPs.
+    pub hidden: usize,
+    /// Cap on pipelines admitted per scheduling event.
+    pub max_picks_per_event: usize,
+    /// Figure 15 ablation: ignore the pipeline-degree prediction and
+    /// always schedule the root alone.
+    pub ablate_pipelining: bool,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self {
+            max_degree: 8,
+            max_threads: 128,
+            hidden: 32,
+            max_picks_per_event: 4,
+            ablate_pipelining: false,
+        }
+    }
+}
+
+/// How choices are made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionMode {
+    /// Argmax (inference).
+    Greedy,
+    /// Categorical sampling (training exploration).
+    Sample,
+}
+
+/// One recorded sub-decision: which candidate root, which degree, which
+/// thread count. Enough to replay the event deterministically for the
+/// REINFORCE backward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PickTrace {
+    /// Index into the snapshot's flattened candidate list.
+    pub cand_idx: usize,
+    /// Chosen pipeline degree (≥ 1).
+    pub degree: usize,
+    /// Chosen thread grant (≥ 1).
+    pub threads: usize,
+}
+
+/// The three-headed predictor network.
+#[derive(Debug)]
+pub struct SchedulingPredictor {
+    cfg: PredictorConfig,
+    root_head: Mlp,
+    degree_head: Mlp,
+    threads_head: Mlp,
+}
+
+impl SchedulingPredictor {
+    /// Registers the predictor's parameters under `"{prefix}.*"`.
+    /// `node_dim`/`edge_dim`/`pqe_dim`/`aqe_dim`/`qf_dim` must match the
+    /// encoder's output dimensions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        store: &mut ParamStore,
+        seed: u64,
+        prefix: &str,
+        cfg: PredictorConfig,
+        node_dim: usize,
+        edge_dim: usize,
+        pqe_dim: usize,
+        aqe_dim: usize,
+        qf_dim: usize,
+    ) -> Self {
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let h = cfg.hidden;
+        // Execution Roots Predictor: NE ‖ EE ‖ PQE → score.
+        let root_head = Mlp::new(
+            store,
+            &mut rng,
+            &format!("{prefix}.root"),
+            &[node_dim + edge_dim + pqe_dim, h, h, 1],
+            Activation::LeakyRelu,
+            Activation::None,
+        );
+        // Pipeline Degree Predictor: NE ‖ EE ‖ PQE ‖ EDFagg → degree logits.
+        let degree_head = Mlp::new(
+            store,
+            &mut rng,
+            &format!("{prefix}.degree"),
+            &[node_dim + edge_dim + pqe_dim + 2, h, h, cfg.max_degree],
+            Activation::LeakyRelu,
+            Activation::None,
+        );
+        // Parallelism Degree Predictor: AQE ‖ PQE ‖ QF → thread logits.
+        let threads_head = Mlp::new(
+            store,
+            &mut rng,
+            &format!("{prefix}.threads"),
+            &[aqe_dim + pqe_dim + qf_dim, h, h, cfg.max_threads],
+            Activation::LeakyRelu,
+            Activation::None,
+        );
+        Self { cfg, root_head, degree_head, threads_head }
+    }
+
+    /// The predictor's configuration.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.cfg
+    }
+
+    /// Aggregated edge embedding incident to `op` (mean of EE vectors),
+    /// or zeros when the operator has no edges.
+    fn edge_agg(
+        g: &mut Graph,
+        enc: &crate::encoder::QueryEncoding,
+        endpoints: &[(usize, usize)],
+        op: usize,
+        edge_dim: usize,
+    ) -> NodeId {
+        let incident: Vec<NodeId> = endpoints
+            .iter()
+            .enumerate()
+            .filter(|(_, (c, p))| *c == op || *p == op)
+            .map(|(ei, _)| enc.edge_emb[ei])
+            .collect();
+        if incident.is_empty() {
+            g.input(Tensor::zero_vector(edge_dim))
+        } else {
+            let s = g.sum_vec(&incident);
+            g.scale(s, 1.0 / incident.len() as f32)
+        }
+    }
+
+    /// Mean raw EDF of edges incident to `op` (the extra input of the
+    /// pipeline head, Figure 7).
+    fn edf_agg(g: &mut Graph, qs: &crate::features::QuerySnapshot, op: usize) -> NodeId {
+        let incident: Vec<&Vec<f32>> = qs
+            .edge_endpoints
+            .iter()
+            .zip(&qs.edf)
+            .filter(|((c, p), _)| *c == op || *p == op)
+            .map(|(_, f)| f)
+            .collect();
+        let mut mean = vec![0.0f32; 2];
+        if !incident.is_empty() {
+            for f in &incident {
+                mean[0] += f[0];
+                mean[1] += f[1];
+            }
+            mean[0] /= incident.len() as f32;
+            mean[1] /= incident.len() as f32;
+        }
+        g.input(Tensor::vector(mean))
+    }
+
+    fn choose(
+        g: &Graph,
+        logits_sm: NodeId,
+        valid: &[usize],
+        mode: DecisionMode,
+        rng: Option<&mut StdRng>,
+        forced: Option<usize>,
+    ) -> usize {
+        if let Some(f) = forced {
+            return f;
+        }
+        let log_probs = g.value(logits_sm).data();
+        match mode {
+            DecisionMode::Greedy => *valid
+                .iter()
+                .max_by(|&&a, &&b| log_probs[a].total_cmp(&log_probs[b]))
+                .expect("non-empty valid set"),
+            DecisionMode::Sample => {
+                let rng = rng.expect("sampling requires an RNG");
+                let probs = softmax_vals(
+                    &valid.iter().map(|&i| log_probs[i]).collect::<Vec<_>>(),
+                );
+                let mut u: f32 = rng.gen();
+                for (k, p) in probs.iter().enumerate() {
+                    u -= p;
+                    if u <= 0.0 {
+                        return valid[k];
+                    }
+                }
+                *valid.last().expect("non-empty valid set")
+            }
+        }
+    }
+
+    /// Runs the full decision pass for one scheduling event.
+    ///
+    /// With `forced` picks (training replay) the same choices are
+    /// re-taken and their log-probability is rebuilt on `g`; otherwise
+    /// choices follow `mode`. Returns the decisions, the pick traces,
+    /// and the total log-probability node.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        snap: &SystemSnapshot,
+        enc: &SystemEncoding,
+        mode: DecisionMode,
+        mut rng: Option<&mut StdRng>,
+        forced: Option<&[PickTrace]>,
+    ) -> (Vec<SchedDecision>, Vec<PickTrace>, NodeId) {
+        let candidates = snap.candidates();
+        let mut available: Vec<bool> = vec![true; candidates.len()];
+        let mut free = snap.free_threads;
+        let mut decisions = Vec::new();
+        let mut picks: Vec<PickTrace> = Vec::new();
+        let mut logprob_terms: Vec<NodeId> = Vec::new();
+
+        // Precompute per-candidate head inputs (reused across picks).
+        let edge_dim = if snap.queries.iter().all(|q| q.edf.is_empty()) {
+            // Degenerate single-op plans: derive from encoder width.
+            enc.queries
+                .first()
+                .and_then(|qe| qe.edge_emb.first())
+                .map(|&e| g.value(e).len())
+                .unwrap_or(8)
+        } else {
+            enc.queries
+                .iter()
+                .find_map(|qe| qe.edge_emb.first().map(|&e| g.value(e).len()))
+                .unwrap_or(8)
+        };
+        let cand_inputs: Vec<(NodeId, NodeId)> = candidates
+            .iter()
+            .map(|&(qi, si)| {
+                let qs = &snap.queries[qi];
+                let qe = &enc.queries[qi];
+                let op = qs.schedulable[si];
+                let ee = Self::edge_agg(g, qe, &qs.edge_endpoints, op, edge_dim);
+                let root_in = g.concat(&[qe.node_emb[op], ee, qe.pqe]);
+                let edf = Self::edf_agg(g, qs, op);
+                let pipe_in = g.concat(&[qe.node_emb[op], ee, qe.pqe, edf]);
+                (root_in, pipe_in)
+            })
+            .collect();
+        let cand_scores: Vec<NodeId> = cand_inputs
+            .iter()
+            .map(|&(root_in, _)| self.root_head.forward(g, store, root_in))
+            .collect();
+
+        let max_iters = if let Some(f) = forced { f.len() } else { self.cfg.max_picks_per_event };
+        for it in 0..max_iters {
+            if free == 0 {
+                break;
+            }
+            let valid: Vec<usize> =
+                (0..candidates.len()).filter(|&i| available[i]).collect();
+            if valid.is_empty() {
+                break;
+            }
+
+            // --- Execution root (softmax over available candidates).
+            let stacked = g.concat(&cand_scores);
+            let mask: Vec<f32> = available
+                .iter()
+                .map(|&a| if a { 0.0 } else { -1e9 })
+                .collect();
+            let mask_node = g.input(Tensor::vector(mask));
+            let masked = g.add(stacked, mask_node);
+            let root_lsm = g.log_softmax(masked);
+            let forced_pick = forced.map(|f| f[it]);
+            let cand_idx = Self::choose(
+                g,
+                root_lsm,
+                &valid,
+                mode,
+                rng.as_deref_mut(),
+                forced_pick.map(|p| p.cand_idx),
+            );
+            logprob_terms.push(g.gather(root_lsm, cand_idx));
+
+            let (qi, si) = candidates[cand_idx];
+            let qs = &snap.queries[qi];
+            let op = qs.schedulable[si];
+
+            // --- Pipeline degree.
+            let max_deg = qs.max_degree[si].min(self.cfg.max_degree).max(1);
+            let degree = if self.cfg.ablate_pipelining {
+                1
+            } else {
+                let logits = self.degree_head.forward(g, store, cand_inputs[cand_idx].1);
+                let dmask: Vec<f32> = (0..self.cfg.max_degree)
+                    .map(|d| if d < max_deg { 0.0 } else { -1e9 })
+                    .collect();
+                let dmask_node = g.input(Tensor::vector(dmask));
+                let dmasked = g.add(logits, dmask_node);
+                let dlsm = g.log_softmax(dmasked);
+                let dvalid: Vec<usize> = (0..max_deg).collect();
+                let didx = Self::choose(
+                    g,
+                    dlsm,
+                    &dvalid,
+                    mode,
+                    rng.as_deref_mut(),
+                    forced_pick.map(|p| p.degree - 1),
+                );
+                logprob_terms.push(g.gather(dlsm, didx));
+                didx + 1
+            };
+
+            // --- Parallelism degree (threads for this query).
+            let max_thr = free.min(self.cfg.max_threads).max(1);
+            let qf = g.input(Tensor::vector(qs.qf.clone()));
+            let tin = g.concat(&[enc.aqe, enc.queries[qi].pqe, qf]);
+            let tlogits = self.threads_head.forward(g, store, tin);
+            let tmask: Vec<f32> = (0..self.cfg.max_threads)
+                .map(|t| if t < max_thr { 0.0 } else { -1e9 })
+                .collect();
+            let tmask_node = g.input(Tensor::vector(tmask));
+            let tmasked = g.add(tlogits, tmask_node);
+            let tlsm = g.log_softmax(tmasked);
+            let tvalid: Vec<usize> = (0..max_thr).collect();
+            let tidx = Self::choose(
+                g,
+                tlsm,
+                &tvalid,
+                mode,
+                rng.as_deref_mut(),
+                forced_pick.map(|p| p.threads - 1),
+            );
+            logprob_terms.push(g.gather(tlsm, tidx));
+            let threads = tidx + 1;
+
+            decisions.push(SchedDecision {
+                query: qs.qid,
+                root: OpId(op),
+                pipeline_degree: degree,
+                threads,
+            });
+            picks.push(PickTrace { cand_idx, degree, threads });
+            free -= threads;
+            // The chosen operator can't root another pipeline this event.
+            available[cand_idx] = false;
+        }
+
+        let logprob = if logprob_terms.is_empty() {
+            g.input(Tensor::scalar(0.0))
+        } else {
+            let s = g.concat(&logprob_terms);
+            g.sum_elems(s)
+        };
+        (decisions, picks, logprob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{EncoderConfig, EncoderKind, QueryEncoder};
+    use crate::features::{snapshot, FeatureConfig};
+    use lsched_engine::plan::{OpKind, OpSpec, PlanBuilder};
+    use lsched_engine::scheduler::{QueryId, QueryRuntime, SchedContext};
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn setup() -> (ParamStore, QueryEncoder, SchedulingPredictor, SystemSnapshot) {
+        let mut store = ParamStore::new();
+        let ecfg = EncoderConfig {
+            hidden: 16,
+            edge_hidden: 8,
+            pqe_dim: 8,
+            aqe_dim: 8,
+            kind: EncoderKind::TcnGat,
+            ..Default::default()
+        };
+        let qf_dim = ecfg.feat.qf_dim();
+        let enc = QueryEncoder::new(&mut store, 3, "enc", ecfg);
+        let pcfg = PredictorConfig { max_degree: 4, max_threads: 16, ..Default::default() };
+        let pred = SchedulingPredictor::new(&mut store, 4, "pred", pcfg, 16, 8, 8, 8, qf_dim);
+
+        let queries: Vec<QueryRuntime> = (0..2)
+            .map(|i| {
+                let mut b = PlanBuilder::new(format!("q{i}"));
+                let scan = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![0], vec![0], 100.0, 4, 0.01, 1e5);
+                let sel = b.add_op(OpKind::Select, OpSpec::Synthetic, vec![0], vec![1], 50.0, 4, 0.01, 1e5);
+                let agg = b.add_op(OpKind::Aggregate, OpSpec::Synthetic, vec![0], vec![1], 10.0, 4, 0.01, 1e5);
+                let fin = b.add_op(OpKind::FinalizeAggregate, OpSpec::Synthetic, vec![0], vec![1], 10.0, 1, 0.01, 1e4);
+                b.connect(scan, sel, true);
+                b.connect(sel, agg, true);
+                b.connect(agg, fin, false);
+                QueryRuntime::new(QueryId(i as u64), Arc::new(b.finish(fin)), 0.0, 8)
+            })
+            .collect();
+        let free = [0usize, 1, 2, 3, 4, 5];
+        let ctx = SchedContext {
+            time: 0.0,
+            total_threads: 8,
+            free_threads: 6,
+            free_thread_ids: &free,
+            queries: &queries,
+        };
+        let snap = snapshot(&FeatureConfig::default(), &ctx);
+        (store, enc, pred, snap)
+    }
+
+    #[test]
+    fn greedy_decisions_are_valid() {
+        let (store, enc, pred, snap) = setup();
+        let mut g = Graph::new();
+        let sys = enc.encode_system(&mut g, &store, &snap);
+        let (decisions, picks, lp) =
+            pred.decide(&mut g, &store, &snap, &sys, DecisionMode::Greedy, None, None);
+        assert!(!decisions.is_empty());
+        assert_eq!(decisions.len(), picks.len());
+        let total_threads: usize = decisions.iter().map(|d| d.threads).sum();
+        assert!(total_threads <= 6);
+        for d in &decisions {
+            assert!(d.pipeline_degree >= 1 && d.pipeline_degree <= 4);
+            assert!(d.threads >= 1);
+        }
+        assert!(g.value(lp).item() <= 0.0, "log-prob must be ≤ 0");
+    }
+
+    #[test]
+    fn sampling_is_reproducible_with_seed() {
+        let (store, enc, pred, snap) = setup();
+        let run = |seed: u64| {
+            let mut g = Graph::new();
+            let sys = enc.encode_system(&mut g, &store, &snap);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (d, _, _) = pred.decide(
+                &mut g,
+                &store,
+                &snap,
+                &sys,
+                DecisionMode::Sample,
+                Some(&mut rng),
+                None,
+            );
+            d
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn replay_reproduces_logprob() {
+        let (mut store, enc, pred, snap) = setup();
+        let (picks, lp_act) = {
+            let mut g = Graph::new();
+            let sys = enc.encode_system(&mut g, &store, &snap);
+            let mut rng = StdRng::seed_from_u64(9);
+            let (_, picks, lp) = pred.decide(
+                &mut g,
+                &store,
+                &snap,
+                &sys,
+                DecisionMode::Sample,
+                Some(&mut rng),
+                None,
+            );
+            (picks, g.value(lp).item())
+        };
+        // Replay with forced picks must land on the same log-prob, and
+        // gradients must flow.
+        let mut g = Graph::new();
+        let sys = enc.encode_system(&mut g, &store, &snap);
+        let (decisions, picks2, lp) = pred.decide(
+            &mut g,
+            &store,
+            &snap,
+            &sys,
+            DecisionMode::Greedy,
+            None,
+            Some(&picks),
+        );
+        assert_eq!(picks, picks2);
+        assert!((g.value(lp).item() - lp_act).abs() < 1e-5);
+        assert!(!decisions.is_empty());
+        let loss = g.scale(lp, -1.0);
+        g.backward(loss, &mut store);
+        assert!(store.grad_norm() > 0.0);
+    }
+
+    #[test]
+    fn ablated_pipelining_forces_degree_one() {
+        let (mut store, _, _, snap) = setup();
+        // Rebuild predictor with ablation on (fresh params to avoid
+        // name clashes).
+        let pcfg = PredictorConfig {
+            max_degree: 4,
+            max_threads: 16,
+            ablate_pipelining: true,
+            ..Default::default()
+        };
+        let ecfg = EncoderConfig {
+            hidden: 16,
+            edge_hidden: 8,
+            pqe_dim: 8,
+            aqe_dim: 8,
+            ..Default::default()
+        };
+        let qf_dim = ecfg.feat.qf_dim();
+        let enc = QueryEncoder::new(&mut store, 13, "enc2", ecfg);
+        let pred =
+            SchedulingPredictor::new(&mut store, 14, "pred2", pcfg, 16, 8, 8, 8, qf_dim);
+        let mut g = Graph::new();
+        let sys = enc.encode_system(&mut g, &store, &snap);
+        let (decisions, _, _) =
+            pred.decide(&mut g, &store, &snap, &sys, DecisionMode::Greedy, None, None);
+        assert!(decisions.iter().all(|d| d.pipeline_degree == 1));
+    }
+
+    #[test]
+    fn thread_mask_respects_free_threads() {
+        let (store, enc, pred, mut snap) = setup();
+        snap.free_threads = 2;
+        let mut g = Graph::new();
+        let sys = enc.encode_system(&mut g, &store, &snap);
+        let (decisions, _, _) =
+            pred.decide(&mut g, &store, &snap, &sys, DecisionMode::Greedy, None, None);
+        let total: usize = decisions.iter().map(|d| d.threads).sum();
+        assert!(total <= 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! The REINFORCE machinery of Section 6: the average+tail reward, suffix
+//! returns, and the time-indexed reward baseline. Shared by LSched's
+//! trainer and the Decima baseline (which uses the same policy-gradient
+//! loop over its own network).
+
+/// Reward weighting between average and tail latency (the `w1`, `w2`
+/// of Section 6; both default to 0.5 per Section 7.1).
+#[derive(Debug, Clone, Copy)]
+pub struct RewardConfig {
+    /// Weight of the average-latency term.
+    pub w_avg: f64,
+    /// Weight of the tail-latency term.
+    pub w_tail: f64,
+    /// The percentile used as the tail indicator `P` (0.9 in the paper).
+    pub tail_percentile: f64,
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        Self { w_avg: 0.5, w_tail: 0.5, tail_percentile: 0.9 }
+    }
+}
+
+/// Computes the per-decision latency approximations
+/// `H_d = (t_d − t_{d−1}) · Q_d` for an episode, given the decision
+/// times and the number of existing queries at each decision, plus a
+/// terminal interval to the episode's end (`makespan`).
+pub fn latency_approximations(
+    times: &[f64],
+    num_queries: &[usize],
+    makespan: f64,
+) -> Vec<f64> {
+    assert_eq!(times.len(), num_queries.len());
+    let mut h = Vec::with_capacity(times.len() + 1);
+    let mut prev = 0.0;
+    for (&t, &q) in times.iter().zip(num_queries) {
+        h.push((t - prev).max(0.0) * q as f64);
+        prev = t;
+    }
+    // Terminal stretch after the last decision.
+    let tail_q = num_queries.last().copied().unwrap_or(0);
+    h.push((makespan - prev).max(0.0) * tail_q as f64);
+    h
+}
+
+/// The `p`-percentile of a sample (nearest-rank on a sorted copy).
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
+    v[idx]
+}
+
+/// Section 6's reward for one decision:
+/// `r_d = (w1·r¹_d + w2·r²_d)/(w1+w2)` with `r¹_d = −H_d` and a tail
+/// term derived from the paper's `r²_d = −(H_d − P)`.
+///
+/// **Deviation (documented in DESIGN.md):** we clamp the tail term to
+/// `−max(0, H_d − P)`. Taken literally, `−(H_d − P)` pays a bonus of
+/// `+P` to every below-tail decision, so a policy can *increase* its
+/// episode return by making the 90th-percentile latency worse — we
+/// observed exactly this divergence during training. The clamped form
+/// keeps the intended semantics (extra penalty on tail intervals, none
+/// elsewhere) while leaving the objective monotone in latency.
+pub fn reward(cfg: &RewardConfig, h_d: f64, p: f64) -> f64 {
+    let r1 = -h_d;
+    let r2 = -((h_d - p).max(0.0));
+    (cfg.w_avg * r1 + cfg.w_tail * r2) / (cfg.w_avg + cfg.w_tail)
+}
+
+/// Per-episode rewards for every decision (the terminal interval
+/// contributes to returns but carries no decision of its own, so one
+/// more reward than decisions is produced; callers drop the last).
+pub fn episode_rewards(cfg: &RewardConfig, h: &[f64]) -> Vec<f64> {
+    let p = percentile(h, cfg.tail_percentile);
+    h.iter().map(|&hd| reward(cfg, hd, p)).collect()
+}
+
+/// Suffix returns `G_d = Σ_{k ≥ d} r_k` (undiscounted, as the episode
+/// horizon is finite).
+pub fn suffix_returns(rewards: &[f64]) -> Vec<f64> {
+    let mut g = vec![0.0; rewards.len()];
+    let mut acc = 0.0;
+    for i in (0..rewards.len()).rev() {
+        acc += rewards[i];
+        g[i] = acc;
+    }
+    g
+}
+
+/// A time-indexed (per-decision-index) exponential-moving-average
+/// baseline over episode returns — the variance-reduction baseline of
+/// Weaver & Tao that Section 6 cites.
+#[derive(Debug, Clone, Default)]
+pub struct StepBaseline {
+    means: Vec<f64>,
+    counts: Vec<u64>,
+    momentum: f64,
+}
+
+impl StepBaseline {
+    /// Creates a baseline with the given EMA momentum (e.g. 0.9).
+    pub fn new(momentum: f64) -> Self {
+        Self { means: Vec::new(), counts: Vec::new(), momentum }
+    }
+
+    /// The baseline value for decision index `d`.
+    pub fn value(&self, d: usize) -> f64 {
+        self.means.get(d).copied().unwrap_or(0.0)
+    }
+
+    /// Folds an episode's returns into the baseline.
+    pub fn update(&mut self, returns: &[f64]) {
+        if self.means.len() < returns.len() {
+            self.means.resize(returns.len(), 0.0);
+            self.counts.resize(returns.len(), 0);
+        }
+        for (d, &g) in returns.iter().enumerate() {
+            if self.counts[d] == 0 {
+                self.means[d] = g;
+            } else {
+                self.means[d] = self.momentum * self.means[d] + (1.0 - self.momentum) * g;
+            }
+            self.counts[d] += 1;
+        }
+    }
+
+    /// Advantages `G_d − b_d` for an episode.
+    pub fn advantages(&self, returns: &[f64]) -> Vec<f64> {
+        returns.iter().enumerate().map(|(d, &g)| g - self.value(d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_approximations_match_definition() {
+        // Decisions at t=1 (2 queries), t=3 (3 queries); makespan 4.
+        let h = latency_approximations(&[1.0, 3.0], &[2, 3], 4.0);
+        assert_eq!(h, vec![2.0, 6.0, 3.0]);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 0.9), 9.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.9), 0.0);
+    }
+
+    #[test]
+    fn reward_balances_avg_and_tail() {
+        let cfg = RewardConfig::default();
+        let p = 10.0;
+        // Below the tail threshold: only the average term applies.
+        let small = reward(&cfg, 2.0, p);
+        assert!((small - (-1.0)).abs() < 1e-12); // (-2 + 0)/2
+        // Above the threshold: tail excess is penalized on top.
+        let big = reward(&cfg, 20.0, p);
+        assert!((big - (-15.0)).abs() < 1e-12); // (-20 - 10)/2
+        assert!(small > big);
+    }
+
+    #[test]
+    fn avg_only_reward_matches_decima_style() {
+        let cfg = RewardConfig { w_avg: 1.0, w_tail: 0.0, tail_percentile: 0.9 };
+        assert_eq!(reward(&cfg, 7.0, 100.0), -7.0);
+    }
+
+    #[test]
+    fn suffix_returns_accumulate_backwards() {
+        assert_eq!(suffix_returns(&[1.0, 2.0, 3.0]), vec![6.0, 5.0, 3.0]);
+        assert!(suffix_returns(&[]).is_empty());
+    }
+
+    #[test]
+    fn baseline_tracks_returns() {
+        let mut b = StepBaseline::new(0.5);
+        b.update(&[10.0, 5.0]);
+        assert_eq!(b.value(0), 10.0);
+        b.update(&[20.0, 5.0]);
+        assert_eq!(b.value(0), 15.0);
+        let adv = b.advantages(&[16.0, 5.0]);
+        assert!((adv[0] - 1.0).abs() < 1e-12);
+        assert_eq!(adv[1], 0.0);
+    }
+
+    #[test]
+    fn baseline_handles_varying_lengths() {
+        let mut b = StepBaseline::new(0.9);
+        b.update(&[1.0]);
+        b.update(&[1.0, 2.0, 3.0]);
+        assert_eq!(b.value(2), 3.0);
+        assert_eq!(b.value(9), 0.0);
+    }
+}

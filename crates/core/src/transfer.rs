@@ -1,0 +1,184 @@
+//! Transfer learning (Section 6): reuse a model trained on one workload
+//! as the starting point for another, freezing every *interior*
+//! convolution/hidden layer and retraining only the layers adjacent to
+//! each network's input and output.
+//!
+//! Freezing is driven purely by parameter names: layers register as
+//! `"{net}.l{i}.*"` (MLPs) or `"{net}.conv{i}.*"` / `"{net}.gcn{i}.*"`
+//! (convolution stacks); within each `{net}` group the minimum and
+//! maximum layer indices stay trainable and everything in between is
+//! frozen. This is valid across workloads because the feature widths —
+//! and hence every layer shape — are workload-independent (see
+//! `features::FeatureConfig`).
+
+use std::collections::HashMap;
+
+use lsched_nn::ParamStore;
+
+use crate::agent::LSchedModel;
+
+/// What a transfer did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferReport {
+    /// Parameters copied from the source model.
+    pub copied: usize,
+    /// Parameters frozen for retraining.
+    pub frozen: usize,
+}
+
+/// Parses `"{net}.(l|conv|gcn){i}.rest"` into `(net, i)`.
+fn layer_of(name: &str) -> Option<(String, usize)> {
+    for (pos, part) in name.split('.').enumerate() {
+        for prefix in ["l", "conv", "gcn"] {
+            if let Some(num) = part.strip_prefix(prefix) {
+                if !num.is_empty() && num.chars().all(|c| c.is_ascii_digit()) {
+                    let net: Vec<&str> = name.split('.').take(pos).collect();
+                    return Some((net.join("."), num.parse().ok()?));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Freezes every interior layer of every layered network in `store`
+/// (layers strictly between each network's minimum and maximum index).
+/// Returns the number of parameters frozen.
+pub fn freeze_interior(store: &mut ParamStore) -> usize {
+    // Group layer indices per network.
+    let mut nets: HashMap<String, (usize, usize)> = HashMap::new();
+    let named: Vec<(String, Option<(String, usize)>)> = store
+        .iter_ids()
+        .map(|(_, n)| (n.to_string(), layer_of(n)))
+        .collect();
+    for (_, parsed) in &named {
+        if let Some((net, i)) = parsed {
+            let e = nets.entry(net.clone()).or_insert((*i, *i));
+            e.0 = e.0.min(*i);
+            e.1 = e.1.max(*i);
+        }
+    }
+    let mut frozen = 0;
+    for (name, parsed) in &named {
+        if let Some((net, i)) = parsed {
+            let (lo, hi) = nets[net];
+            if *i > lo && *i < hi {
+                frozen += store.set_frozen_where(true, |n| n == name);
+            }
+        }
+    }
+    frozen
+}
+
+/// Unfreezes every parameter (undo a transfer, train everything).
+pub fn unfreeze_all(store: &mut ParamStore) -> usize {
+    store.set_frozen_where(false, |_| true)
+}
+
+/// Applies transfer learning: copies all matching parameters from
+/// `source` into `model` and freezes the interior layers.
+pub fn transfer_from(model: &mut LSchedModel, source: &ParamStore) -> TransferReport {
+    let copied = model.store.load_matching(source);
+    let frozen = freeze_interior(&mut model.store);
+    TransferReport { copied, frozen }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{LSchedConfig, LSchedModel};
+    use crate::encoder::EncoderConfig;
+    use crate::predictor::PredictorConfig;
+
+    fn model(seed: u64) -> LSchedModel {
+        LSchedModel::new(
+            LSchedConfig {
+                encoder: EncoderConfig {
+                    hidden: 8,
+                    edge_hidden: 4,
+                    pqe_dim: 6,
+                    aqe_dim: 6,
+                    conv_layers: 3,
+                    ..Default::default()
+                },
+                predictor: PredictorConfig { max_degree: 4, max_threads: 8, ..Default::default() },
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn layer_name_parsing() {
+        assert_eq!(layer_of("enc.tcn.conv1.w_self"), Some(("enc.tcn".into(), 1)));
+        assert_eq!(layer_of("pred.root.l2.w"), Some(("pred.root".into(), 2)));
+        assert_eq!(layer_of("enc.gcn0.self.w"), Some(("enc".into(), 0)));
+        assert_eq!(layer_of("enc.node_proj.w"), None);
+    }
+
+    #[test]
+    fn interior_layers_frozen_boundaries_trainable() {
+        let mut m = model(1);
+        let frozen = freeze_interior(&mut m.store);
+        assert!(frozen > 0);
+        // conv stack has 3 layers: conv0/conv2 trainable, conv1 frozen.
+        let check = |name: &str, expect_frozen: bool| {
+            let id = m.store.id(name).unwrap_or_else(|| panic!("param {name} missing"));
+            assert_eq!(m.store.is_frozen(id), expect_frozen, "{name}");
+        };
+        check("enc.tcn.conv0.w_self", false);
+        check("enc.tcn.conv1.w_self", true);
+        check("enc.tcn.conv2.w_self", false);
+        // MLPs are [in, h, h, out] = 3 linear layers: l1 interior.
+        check("pred.root.l0.w", false);
+        check("pred.root.l1.w", true);
+        check("pred.root.l2.w", false);
+        // Non-layered params stay trainable.
+        check("enc.node_proj.w", false);
+    }
+
+    #[test]
+    fn transfer_copies_and_freezes() {
+        let src = model(10);
+        let mut dst = model(20);
+        let before_names: usize = dst.store.len();
+        let report = transfer_from(&mut dst, &src.store);
+        assert_eq!(report.copied, before_names, "identical architectures copy fully");
+        assert!(report.frozen > 0);
+        // Values actually copied.
+        let id = dst.store.id("enc.tcn.conv1.w_self").unwrap();
+        let sid = src.store.id("enc.tcn.conv1.w_self").unwrap();
+        assert_eq!(dst.store.value(id).data(), src.store.value(sid).data());
+    }
+
+    #[test]
+    fn unfreeze_restores_training() {
+        let mut m = model(2);
+        let frozen = freeze_interior(&mut m.store);
+        let unfrozen = unfreeze_all(&mut m.store);
+        assert_eq!(frozen, unfrozen);
+        let ids: Vec<_> = m.store.iter_ids().map(|(id, _)| id).collect();
+        assert!(ids.iter().all(|&id| !m.store.is_frozen(id)));
+    }
+
+    #[test]
+    fn frozen_params_survive_training_step() {
+        use lsched_nn::Adam;
+        let mut m = model(3);
+        freeze_interior(&mut m.store);
+        let fid = m.store.id("enc.tcn.conv1.w_self").unwrap();
+        let before = m.store.value(fid).clone();
+        // Fake a gradient step.
+        let ids: Vec<_> = m.store.iter_ids().map(|(id, _)| id).collect();
+        for id in ids {
+            let g: Vec<f32> = vec![1.0; m.store.value(id).len()];
+            m.store.accumulate_grad(id, &g);
+        }
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut m.store);
+        assert_eq!(m.store.value(fid).data(), before.data());
+        // And an unfrozen one moved.
+        let tid = m.store.id("enc.tcn.conv0.w_self").unwrap();
+        let moved = m.store.value(tid).data().iter().any(|&v| v != 0.0);
+        assert!(moved);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for LSched's feature extraction and reward machinery.
+
+use lsched_core::downsample_blocks;
+use lsched_core::rl::{
+    episode_rewards, latency_approximations, percentile, reward, suffix_returns, RewardConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Eq. 1 downsampling is bounded, preserves emptiness/fullness, and
+    /// keeps roughly the bitmap's mass.
+    #[test]
+    fn downsampling_bounded_and_mass_preserving(
+        bitmap in prop::collection::vec(any::<bool>(), 1..200),
+        d_len in 1usize..16,
+    ) {
+        let d = downsample_blocks(&bitmap, d_len);
+        prop_assert_eq!(d.len(), d_len);
+        // The inclusive windows overlap and, when upsampling, a window
+        // can straddle two set elements: entries are bounded by
+        // 1 + 2·|d|/|b|.
+        let slack = 1.0 + 2.0 * d_len as f32 / bitmap.len() as f32;
+        prop_assert!(d.iter().all(|&v| (0.0..=slack + 1e-5).contains(&v)));
+        if bitmap.iter().all(|&b| !b) {
+            prop_assert!(d.iter().all(|&v| v == 0.0));
+        }
+        if bitmap.iter().all(|&b| b) {
+            prop_assert!(d.iter().all(|&v| v >= 1.0 - 1e-6));
+        }
+        // Mass: the mean downsampled value tracks the true fill fraction
+        // within the overlap slack.
+        let fill = bitmap.iter().filter(|&&b| b).count() as f32 / bitmap.len() as f32;
+        let mean = d.iter().sum::<f32>() / d_len as f32;
+        prop_assert!((mean - fill).abs() <= 0.5 + d_len as f32 / bitmap.len() as f32);
+    }
+
+    /// H_d values are non-negative and scale linearly with query count.
+    #[test]
+    fn latency_approximations_nonnegative_and_linear(
+        mut times in prop::collection::vec(0.0f64..100.0, 1..20),
+        counts in prop::collection::vec(1usize..50, 1..20),
+    ) {
+        times.sort_by(f64::total_cmp);
+        let n = times.len().min(counts.len());
+        let times = &times[..n];
+        let counts = &counts[..n];
+        let makespan = times.last().unwrap() + 1.0;
+        let h = latency_approximations(times, counts, makespan);
+        prop_assert_eq!(h.len(), n + 1);
+        prop_assert!(h.iter().all(|&v| v >= 0.0));
+        // Doubling every count doubles every H.
+        let doubled: Vec<usize> = counts.iter().map(|c| c * 2).collect();
+        let h2 = latency_approximations(times, &doubled, makespan);
+        for (a, b) in h.iter().zip(&h2) {
+            prop_assert!((b - 2.0 * a).abs() < 1e-9);
+        }
+    }
+
+    /// The combined reward interpolates between its average-only and
+    /// tail-only components and decreases in H.
+    #[test]
+    fn reward_monotone_and_bounded(
+        h in 0.0f64..1000.0,
+        p in 0.0f64..1000.0,
+        w_avg in 0.01f64..10.0,
+        w_tail in 0.01f64..10.0,
+    ) {
+        let cfg = RewardConfig { w_avg, w_tail, tail_percentile: 0.9 };
+        let r = reward(&cfg, h, p);
+        let avg_only = -h;
+        let tail_only = -(h - p);
+        prop_assert!(r >= avg_only.min(tail_only) - 1e-9);
+        prop_assert!(r <= avg_only.max(tail_only) + 1e-9);
+        // Larger H → smaller reward.
+        let worse = reward(&cfg, h + 1.0, p);
+        prop_assert!(worse < r);
+    }
+
+    /// Suffix returns telescope: G_d − G_{d+1} = r_d.
+    #[test]
+    fn suffix_returns_telescope(rs in prop::collection::vec(-100.0f64..100.0, 1..30)) {
+        let g = suffix_returns(&rs);
+        for d in 0..rs.len() - 1 {
+            prop_assert!((g[d] - g[d + 1] - rs[d]).abs() < 1e-9);
+        }
+        prop_assert!((g[rs.len() - 1] - rs[rs.len() - 1]).abs() < 1e-9);
+    }
+
+    /// The percentile is an element of the sample and at least the
+    /// median share of values sit below the 90th percentile.
+    #[test]
+    fn percentile_is_order_statistic(values in prop::collection::vec(0.0f64..1e6, 1..50)) {
+        let p90 = percentile(&values, 0.9);
+        prop_assert!(values.contains(&p90));
+        let below = values.iter().filter(|&&v| v <= p90).count();
+        prop_assert!(below as f64 >= values.len() as f64 * 0.5);
+    }
+
+    /// Episode rewards against their own p90: entries below the tail
+    /// threshold receive a reward bonus relative to average-only.
+    #[test]
+    fn tail_term_rewards_below_percentile(h in prop::collection::vec(0.1f64..100.0, 3..30)) {
+        let combined_cfg = RewardConfig::default();
+        let avg_cfg = RewardConfig { w_avg: 1.0, w_tail: 0.0, tail_percentile: 0.9 };
+        let combined = episode_rewards(&combined_cfg, &h);
+        let avg_only = episode_rewards(&avg_cfg, &h);
+        let p = percentile(&h, 0.9);
+        for ((&hd, c), a) in h.iter().zip(&combined).zip(&avg_only) {
+            if hd < p {
+                prop_assert!(c > a, "below-tail H should earn a bonus");
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # lsched-decima
+//!
+//! The Decima baseline (Mao et al., SIGCOMM 2019) as the LSched paper
+//! characterizes it: black-box task features, sequential
+//! message-passing GCN encoding with isotropic aggregation, no
+//! pipelining support (a node is schedulable only when every producer
+//! has *finished*), node-selection + parallelism-limit heads, and an
+//! average-latency-only REINFORCE objective.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod train;
+
+pub use model::{
+    decima_snapshot, DecimaConfig, DecimaModel, DecimaPick, DecimaScheduler, DecimaSnapshot,
+    DecimaStep,
+};
+pub use train::{train_decima, DecimaEpisodeStats, DecimaTrainConfig};

@@ -1,0 +1,188 @@
+//! Decima's REINFORCE trainer: the same policy-gradient loop as LSched
+//! (Section 6 notes any policy-gradient algorithm fits) with Decima's
+//! own input-dependent baseline — multiple exploration rollouts per
+//! workload, baselined against each other — but the average-latency-only
+//! reward Decima optimizes.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use lsched_core::rl::{episode_rewards, latency_approximations, suffix_returns};
+use lsched_core::train::time_aligned_baseline;
+use lsched_engine::sim::{simulate, SimConfig};
+use lsched_nn::Adam;
+use lsched_workloads::EpisodeSampler;
+
+use crate::model::{DecimaModel, DecimaScheduler, DecimaStep};
+
+/// Decima training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct DecimaTrainConfig {
+    /// Number of episodes.
+    pub episodes: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Gradient clipping norm.
+    pub max_grad_norm: f32,
+    /// Max decisions replayed per rollout.
+    pub decision_sample_cap: usize,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+    /// Exploration rollouts per sampled workload.
+    pub rollouts_per_episode: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DecimaTrainConfig {
+    fn default() -> Self {
+        Self {
+            episodes: 50,
+            lr: 1e-3,
+            max_grad_norm: 5.0,
+            decision_sample_cap: 32,
+            sim: SimConfig { num_threads: 16, ..Default::default() },
+            rollouts_per_episode: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-episode stats of a Decima training run.
+#[derive(Debug, Clone)]
+pub struct DecimaEpisodeStats {
+    /// Episode index.
+    pub episode: usize,
+    /// Average query duration achieved (mean over rollouts).
+    pub avg_duration: f64,
+    /// Sum of decision rewards (first rollout).
+    pub total_reward: f64,
+}
+
+fn returns_of(model: &DecimaModel, steps: &[DecimaStep], makespan: f64) -> Vec<f64> {
+    if steps.is_empty() {
+        return Vec::new();
+    }
+    let times: Vec<f64> = steps.iter().map(|s| s.time).collect();
+    let counts: Vec<usize> = steps.iter().map(|s| s.num_queries).collect();
+    let h = latency_approximations(&times, &counts, makespan);
+    let rewards = episode_rewards(&model.config().reward, &h);
+    let returns = suffix_returns(&rewards);
+    returns[..steps.len()].to_vec()
+}
+
+/// Trains a Decima model on episodes from `sampler`.
+pub fn train_decima(
+    mut model: DecimaModel,
+    sampler: &EpisodeSampler,
+    cfg: &DecimaTrainConfig,
+) -> (DecimaModel, Vec<DecimaEpisodeStats>) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    let mut stats = Vec::with_capacity(cfg.episodes);
+    let rollouts = cfg.rollouts_per_episode.max(1);
+
+    for ep in 0..cfg.episodes {
+        let workload = sampler.sample(&mut rng);
+        let mut all_steps: Vec<Vec<DecimaStep>> = Vec::with_capacity(rollouts);
+        let mut all_returns: Vec<Vec<f64>> = Vec::with_capacity(rollouts);
+        let mut avg_dur = 0.0;
+        for r in 0..rollouts {
+            let mut sim_cfg = cfg.sim.clone();
+            sim_cfg.seed = cfg.seed.wrapping_add(ep as u64 * 6007 + r as u64 * 233);
+            let mut sched = DecimaScheduler::sampling(model, sim_cfg.seed ^ 0xdec1);
+            let res = simulate(sim_cfg, &workload, &mut sched);
+            let (m, steps) = sched.finish();
+            model = m;
+            all_returns.push(returns_of(&model, &steps, res.makespan));
+            all_steps.push(steps);
+            avg_dur += res.avg_duration() / rollouts as f64;
+        }
+
+        let curves: Vec<Vec<(f64, f64)>> = all_steps
+            .iter()
+            .zip(&all_returns)
+            .map(|(steps, returns)| {
+                steps.iter().map(|s| s.time).zip(returns.iter().copied()).collect()
+            })
+            .collect();
+        model.store.zero_grads();
+        for (steps, returns) in all_steps.iter().zip(&all_returns) {
+            if steps.is_empty() {
+                continue;
+            }
+            let advantages: Vec<f64> = steps
+                .iter()
+                .zip(returns)
+                .map(|(s, g)| g - time_aligned_baseline(&curves, s.time))
+                .collect();
+            let var =
+                advantages.iter().map(|a| a * a).sum::<f64>() / advantages.len() as f64;
+            let std = var.sqrt().max(1e-6);
+
+            let mut order: Vec<usize> = (0..steps.len()).collect();
+            order.shuffle(&mut rng);
+            let take = order.len().min(cfg.decision_sample_cap);
+            let scale = order.len() as f64 / take as f64;
+            for &d in order.iter().take(take) {
+                let step = &steps[d];
+                let adv = (advantages[d] / std) * scale;
+                let (mut g, _, _, lp) =
+                    model.decide(&step.snapshot, false, None, Some(&step.picks));
+                let loss = g.scale(lp, -(adv as f32));
+                g.backward(loss, &mut model.store);
+            }
+        }
+        model.store.clip_grad_norm(cfg.max_grad_norm);
+        opt.step(&mut model.store);
+
+        stats.push(DecimaEpisodeStats {
+            episode: ep,
+            avg_duration: avg_dur,
+            total_reward: all_returns.first().and_then(|r| r.first()).copied().unwrap_or(0.0),
+        });
+    }
+    (model, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DecimaConfig;
+    use lsched_workloads::tpch;
+
+    #[test]
+    fn decima_training_runs() {
+        let model = DecimaModel::new(
+            DecimaConfig { hidden: 10, layers: 2, max_threads: 16, ..Default::default() },
+            1,
+        );
+        let before = model.store.to_json();
+        let sampler = EpisodeSampler {
+            pool: tpch::plan_pool(&[0.3]),
+            size_range: (3, 5),
+            rate_range: (20.0, 50.0),
+            batch_fraction: 0.5,
+        };
+        let cfg = DecimaTrainConfig {
+            episodes: 3,
+            sim: SimConfig { num_threads: 6, ..Default::default() },
+            ..Default::default()
+        };
+        let (model, stats) = train_decima(model, &sampler, &cfg);
+        assert_eq!(stats.len(), 3);
+        assert_ne!(model.store.to_json(), before);
+        assert!(stats.iter().all(|s| s.avg_duration > 0.0));
+    }
+
+    #[test]
+    fn time_aligned_baseline_interpolates() {
+        let curves = vec![vec![(0.0, 10.0), (1.0, 4.0)], vec![(0.5, 6.0), (2.0, 1.0)]];
+        // t = 0.6: first rollout's next decision is at t=1 (G=4), second's
+        // at t=2 (G=1) -> baseline 2.5.
+        assert_eq!(time_aligned_baseline(&curves, 0.6), 2.5);
+        // Past both ends -> 0.
+        assert_eq!(time_aligned_baseline(&curves, 5.0), 0.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Columnar storage blocks.
+//!
+//! Following Quickstep (Section 2 of the paper), a table is stored as a set
+//! of self-contained blocks. Each [`Block`] holds a column-oriented slice
+//! of a relation plus a metadata header; work orders are generated at block
+//! granularity, so the block count of an operator's input determines its
+//! work-order count.
+
+use crate::value::{ColumnType, Value};
+
+/// One column of a block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Integer column.
+    I64(Vec<i64>),
+    /// Float column.
+    F64(Vec<f64>),
+    /// String column.
+    Str(Vec<String>),
+}
+
+impl Column {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I64(v) => v.len(),
+            Column::F64(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// Whether the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's type.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Column::I64(_) => ColumnType::Int64,
+            Column::F64(_) => ColumnType::Float64,
+            Column::Str(_) => ColumnType::Str,
+        }
+    }
+
+    /// Creates an empty column of the given type.
+    pub fn empty(ty: ColumnType) -> Self {
+        match ty {
+            ColumnType::Int64 => Column::I64(Vec::new()),
+            ColumnType::Float64 => Column::F64(Vec::new()),
+            ColumnType::Str => Column::Str(Vec::new()),
+        }
+    }
+
+    /// The value at row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            Column::I64(v) => Value::Int64(v[i]),
+            Column::F64(v) => Value::Float64(v[i]),
+            Column::Str(v) => Value::Str(v[i].clone()),
+        }
+    }
+
+    /// Appends a value of matching type.
+    ///
+    /// # Panics
+    /// Panics on a type mismatch.
+    pub fn push(&mut self, v: Value) {
+        match (self, v) {
+            (Column::I64(c), Value::Int64(x)) => c.push(x),
+            (Column::F64(c), Value::Float64(x)) => c.push(x),
+            (Column::F64(c), Value::Int64(x)) => c.push(x as f64),
+            (Column::Str(c), Value::Str(x)) => c.push(x),
+            (c, v) => panic!("type mismatch pushing {:?} into {:?} column", v, c.column_type()),
+        }
+    }
+
+    /// Keeps only the rows whose index appears in `sel`, in order.
+    pub fn filter(&self, sel: &[usize]) -> Column {
+        match self {
+            Column::I64(v) => Column::I64(sel.iter().map(|&i| v[i]).collect()),
+            Column::F64(v) => Column::F64(sel.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::Str(sel.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Column::I64(v) => v.len() * 8,
+            Column::F64(v) => v.len() * 8,
+            Column::Str(v) => v.iter().map(|s| s.len() + 24).sum(),
+        }
+    }
+}
+
+/// Metadata header of a block (Quickstep's self-describing block design).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockHeader {
+    /// Index of the block within its relation.
+    pub block_index: usize,
+    /// Number of tuples stored.
+    pub num_rows: usize,
+    /// Schema of the stored columns.
+    pub column_types: Vec<ColumnType>,
+}
+
+/// A self-contained columnar storage block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Metadata header describing the block's contents.
+    pub header: BlockHeader,
+    /// Column data, one entry per schema column.
+    pub columns: Vec<Column>,
+}
+
+impl Block {
+    /// Creates a block from columns, deriving the header.
+    ///
+    /// # Panics
+    /// Panics if columns have inconsistent lengths.
+    pub fn new(block_index: usize, columns: Vec<Column>) -> Self {
+        let num_rows = columns.first().map_or(0, Column::len);
+        for c in &columns {
+            assert_eq!(c.len(), num_rows, "ragged block columns");
+        }
+        let column_types = columns.iter().map(Column::column_type).collect();
+        Self { header: BlockHeader { block_index, num_rows, column_types }, columns }
+    }
+
+    /// Creates an empty block with the given schema.
+    pub fn empty(block_index: usize, types: &[ColumnType]) -> Self {
+        let columns = types.iter().map(|&t| Column::empty(t)).collect();
+        Self {
+            header: BlockHeader {
+                block_index,
+                num_rows: 0,
+                column_types: types.to_vec(),
+            },
+            columns,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.header.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// One full row as values.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Appends a row of values.
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        for (c, v) in self.columns.iter_mut().zip(row) {
+            c.push(v);
+        }
+        self.header.num_rows += 1;
+    }
+
+    /// Returns a new block containing the selected row indices.
+    pub fn select_rows(&self, sel: &[usize]) -> Block {
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.filter(sel)).collect();
+        Block::new(self.header.block_index, columns)
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(Column::byte_size).sum::<usize>() + 64
+    }
+}
+
+/// Splits `rows_per_block`-sized chunks of prebuilt columns into blocks.
+pub fn blocks_from_columns(columns: Vec<Column>, rows_per_block: usize) -> Vec<Block> {
+    assert!(rows_per_block > 0, "rows_per_block must be positive");
+    let total = columns.first().map_or(0, Column::len);
+    let mut blocks = Vec::new();
+    let mut start = 0;
+    let mut idx = 0;
+    while start < total {
+        let end = (start + rows_per_block).min(total);
+        let sel: Vec<usize> = (start..end).collect();
+        let cols: Vec<Column> = columns.iter().map(|c| c.filter(&sel)).collect();
+        blocks.push(Block::new(idx, cols));
+        start = end;
+        idx += 1;
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> Block {
+        Block::new(
+            0,
+            vec![
+                Column::I64(vec![1, 2, 3]),
+                Column::F64(vec![1.5, 2.5, 3.5]),
+                Column::Str(vec!["a".into(), "b".into(), "c".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn block_header_derived() {
+        let b = sample_block();
+        assert_eq!(b.num_rows(), 3);
+        assert_eq!(b.num_columns(), 3);
+        assert_eq!(
+            b.header.column_types,
+            vec![ColumnType::Int64, ColumnType::Float64, ColumnType::Str]
+        );
+    }
+
+    #[test]
+    fn row_access() {
+        let b = sample_block();
+        assert_eq!(
+            b.row(1),
+            vec![Value::Int64(2), Value::Float64(2.5), Value::from("b")]
+        );
+    }
+
+    #[test]
+    fn select_rows_filters() {
+        let b = sample_block();
+        let f = b.select_rows(&[2, 0]);
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.row(0)[0], Value::Int64(3));
+        assert_eq!(f.row(1)[0], Value::Int64(1));
+    }
+
+    #[test]
+    fn push_row_grows() {
+        let mut b = Block::empty(0, &[ColumnType::Int64, ColumnType::Str]);
+        b.push_row(vec![Value::Int64(9), Value::from("z")]);
+        assert_eq!(b.num_rows(), 1);
+        assert_eq!(b.row(0)[1], Value::from("z"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_columns_panic() {
+        let _ = Block::new(0, vec![Column::I64(vec![1]), Column::I64(vec![1, 2])]);
+    }
+
+    #[test]
+    fn blocks_from_columns_chunks() {
+        let cols = vec![Column::I64((0..10).collect())];
+        let blocks = blocks_from_columns(cols, 4);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].num_rows(), 4);
+        assert_eq!(blocks[2].num_rows(), 2);
+        assert_eq!(blocks[2].header.block_index, 2);
+        assert_eq!(blocks[1].row(0)[0], Value::Int64(4));
+    }
+
+    #[test]
+    fn byte_size_positive() {
+        assert!(sample_block().byte_size() > 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Table catalog: schemas and block-resident table data.
+
+use std::collections::HashMap;
+
+use crate::block::{blocks_from_columns, Block, Column};
+use crate::value::ColumnType;
+
+/// Identifier of a table within a [`Catalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub usize);
+
+/// Schema of a relation: named, typed columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    /// Column names, in position order.
+    pub names: Vec<String>,
+    /// Column types, aligned with `names`.
+    pub types: Vec<ColumnType>,
+}
+
+impl Schema {
+    /// Creates a schema from `(name, type)` pairs.
+    pub fn new(cols: Vec<(&str, ColumnType)>) -> Self {
+        let (names, types) = cols.into_iter().map(|(n, t)| (n.to_string(), t)).unzip();
+        Self { names, types }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Resolves a column name to its position.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+}
+
+/// An in-memory, block-resident table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Table schema.
+    pub schema: Schema,
+    /// Storage blocks.
+    pub blocks: Vec<Block>,
+}
+
+impl Table {
+    /// Creates a table by chunking prebuilt columns into blocks.
+    pub fn from_columns(
+        name: &str,
+        schema: Schema,
+        columns: Vec<Column>,
+        rows_per_block: usize,
+    ) -> Self {
+        assert_eq!(schema.arity(), columns.len(), "schema/column arity mismatch");
+        for (t, c) in schema.types.iter().zip(&columns) {
+            assert_eq!(*t, c.column_type(), "schema/column type mismatch");
+        }
+        Self { name: name.to_string(), schema, blocks: blocks_from_columns(columns, rows_per_block) }
+    }
+
+    /// Total number of rows across blocks.
+    pub fn num_rows(&self) -> usize {
+        self.blocks.iter().map(Block::num_rows).sum()
+    }
+
+    /// Number of storage blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// The engine's table catalog.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Vec<Table>,
+    by_name: HashMap<String, TableId>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table, returning its id.
+    ///
+    /// # Panics
+    /// Panics on duplicate table names.
+    pub fn add_table(&mut self, table: Table) -> TableId {
+        assert!(
+            !self.by_name.contains_key(&table.name),
+            "duplicate table {:?}",
+            table.name
+        );
+        let id = TableId(self.tables.len());
+        self.by_name.insert(table.name.clone(), id);
+        self.tables.push(table);
+        id
+    }
+
+    /// Looks up a table id by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The table with the given id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.0]
+    }
+
+    /// The table with the given name, if present.
+    pub fn table_by_name(&self, name: &str) -> Option<&Table> {
+        self.table_id(name).map(|id| self.table(id))
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Iterates over all tables.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables.iter().enumerate().map(|(i, t)| (TableId(i), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_table() -> Table {
+        Table::from_columns(
+            "t",
+            Schema::new(vec![("id", ColumnType::Int64), ("v", ColumnType::Float64)]),
+            vec![Column::I64((0..100).collect()), Column::F64((0..100).map(|i| i as f64).collect())],
+            32,
+        )
+    }
+
+    #[test]
+    fn table_blocks_and_rows() {
+        let t = demo_table();
+        assert_eq!(t.num_rows(), 100);
+        assert_eq!(t.num_blocks(), 4); // 32+32+32+4
+        assert_eq!(t.blocks[3].num_rows(), 4);
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let t = demo_table();
+        assert_eq!(t.schema.col("v"), Some(1));
+        assert_eq!(t.schema.col("nope"), None);
+        assert_eq!(t.schema.arity(), 2);
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut c = Catalog::new();
+        let id = c.add_table(demo_table());
+        assert_eq!(c.table_id("t"), Some(id));
+        assert_eq!(c.table(id).num_rows(), 100);
+        assert_eq!(c.len(), 1);
+        assert!(c.table_by_name("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_table_panics() {
+        let mut c = Catalog::new();
+        c.add_table(demo_table());
+        c.add_table(demo_table());
+    }
+}

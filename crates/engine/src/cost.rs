@@ -1,0 +1,184 @@
+//! The cost model shared by the query planner (a-priori work-order
+//! estimates), the discrete-event simulator (sampled durations with
+//! pipelining/locality/thrashing dynamics), and the heuristics.
+//!
+//! The per-operator per-tuple costs are calibrated against the real
+//! threaded executor in this repository (see `tests/engine_sim_agreement`
+//! and the `operators` Criterion bench); the *dynamics* — pipelined
+//! work orders run faster thanks to cache locality, but deep pipelines
+//! hold more buffer memory and overshooting the memory budget causes a
+//! thrashing slowdown — reproduce the trade-off the paper's pipeline
+//! degree predictor learns to balance (Section 5.3.2).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::plan::OpKind;
+
+/// Cost/dynamics parameters of the execution environment.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Seconds of CPU work per input tuple, per operator kind.
+    pub per_tuple_cost: [f64; OpKind::COUNT],
+    /// Fixed per-work-order dispatch overhead (seconds).
+    pub base_wo_overhead: f64,
+    /// Bytes of working memory per input tuple, per operator kind.
+    pub mem_per_tuple: [f64; OpKind::COUNT],
+    /// Duration multiplier (< 1) applied to the work orders of non-root
+    /// pipeline operators: their input is still cache-hot.
+    pub pipeline_speedup: f64,
+    /// Bytes of pipeline buffer held per pipeline stage per thread while
+    /// the pipeline runs. Deeper pipelines and wider thread grants hold
+    /// more memory — the paper's "consumes memory buffers at a high
+    /// rate" effect.
+    pub pipeline_buffer_bytes: f64,
+    /// Duration multiplier (< 1) when the executing thread has run work
+    /// of the same query before (warm caches; the Q-LOC effect).
+    pub thread_locality_speedup: f64,
+    /// Total memory budget (bytes) before thrashing sets in.
+    pub memory_budget: f64,
+    /// Thrashing slowdown slope: duration multiplier is
+    /// `1 + thrash_slope * max(0, in_flight/budget - 1)`.
+    pub thrash_slope: f64,
+    /// Log-normal noise sigma on sampled work-order durations.
+    pub noise_sigma: f64,
+}
+
+impl CostModel {
+    /// The default calibrated model.
+    pub fn default_model() -> Self {
+        let mut per_tuple = [60e-9f64; OpKind::COUNT]; // generic 60ns/tuple
+        let mut mem = [16.0f64; OpKind::COUNT];
+        let set = |arr: &mut [f64; OpKind::COUNT], k: OpKind, v: f64| arr[k.index()] = v;
+        // Scans and selects stream cheaply; joins, sorts and aggregates
+        // are heavier (ratios follow measurements of the real engine's
+        // operators on TPC-H-shaped data).
+        set(&mut per_tuple, OpKind::TableScan, 25e-9);
+        set(&mut per_tuple, OpKind::IndexScan, 15e-9);
+        set(&mut per_tuple, OpKind::Select, 35e-9);
+        set(&mut per_tuple, OpKind::Project, 30e-9);
+        set(&mut per_tuple, OpKind::BuildHash, 120e-9);
+        set(&mut per_tuple, OpKind::ProbeHash, 90e-9);
+        set(&mut per_tuple, OpKind::DestroyHash, 5e-9);
+        set(&mut per_tuple, OpKind::NestedLoopsJoin, 400e-9);
+        set(&mut per_tuple, OpKind::IndexNestedLoopsJoin, 140e-9);
+        set(&mut per_tuple, OpKind::MergeJoin, 110e-9);
+        set(&mut per_tuple, OpKind::Aggregate, 100e-9);
+        set(&mut per_tuple, OpKind::FinalizeAggregate, 80e-9);
+        set(&mut per_tuple, OpKind::SortRunGeneration, 180e-9);
+        set(&mut per_tuple, OpKind::SortMergeRun, 120e-9);
+        set(&mut per_tuple, OpKind::TopK, 60e-9);
+        set(&mut per_tuple, OpKind::HashDistinct, 110e-9);
+        set(&mut per_tuple, OpKind::WindowAggregate, 150e-9);
+
+        set(&mut mem, OpKind::BuildHash, 64.0);
+        set(&mut mem, OpKind::ProbeHash, 32.0);
+        set(&mut mem, OpKind::Aggregate, 48.0);
+        set(&mut mem, OpKind::FinalizeAggregate, 48.0);
+        set(&mut mem, OpKind::SortRunGeneration, 40.0);
+        set(&mut mem, OpKind::SortMergeRun, 40.0);
+        set(&mut mem, OpKind::HashDistinct, 48.0);
+
+        Self {
+            per_tuple_cost: per_tuple,
+            base_wo_overhead: 40e-6,
+            mem_per_tuple: mem,
+            pipeline_speedup: 0.72,
+            pipeline_buffer_bytes: 8.0 * 1024.0 * 1024.0,
+            thread_locality_speedup: 0.92,
+            memory_budget: 1.25 * 1024.0 * 1024.0 * 1024.0,
+            thrash_slope: 3.0,
+            noise_sigma: 0.08,
+        }
+    }
+
+    /// Optimizer-time estimate of one work order's duration for an
+    /// operator processing `rows_per_wo` tuples per work order.
+    pub fn wo_duration_estimate(&self, kind: OpKind, rows_per_wo: f64) -> f64 {
+        self.base_wo_overhead + self.per_tuple_cost[kind.index()] * rows_per_wo.max(0.0)
+    }
+
+    /// Optimizer-time estimate of one work order's memory footprint.
+    pub fn wo_memory_estimate(&self, kind: OpKind, rows_per_wo: f64) -> f64 {
+        1024.0 + self.mem_per_tuple[kind.index()] * rows_per_wo.max(0.0)
+    }
+
+    /// Samples an actual duration around `base` with log-normal noise.
+    pub fn sample_duration(&self, rng: &mut StdRng, base: f64) -> f64 {
+        if self.noise_sigma <= 0.0 {
+            return base;
+        }
+        // Box–Muller standard normal.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        base * (self.noise_sigma * z).exp()
+    }
+
+    /// The thrashing duration multiplier for a given in-flight memory.
+    pub fn thrash_multiplier(&self, in_flight_bytes: f64) -> f64 {
+        let excess = (in_flight_bytes / self.memory_budget - 1.0).max(0.0);
+        1.0 + self.thrash_slope * excess
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::default_model()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimates_scale_with_rows() {
+        let m = CostModel::default_model();
+        let d1 = m.wo_duration_estimate(OpKind::Select, 1_000.0);
+        let d2 = m.wo_duration_estimate(OpKind::Select, 100_000.0);
+        assert!(d2 > d1 * 10.0);
+        assert!(m.wo_memory_estimate(OpKind::BuildHash, 1000.0) > 1024.0);
+    }
+
+    #[test]
+    fn joins_cost_more_than_scans() {
+        let m = CostModel::default_model();
+        assert!(
+            m.per_tuple_cost[OpKind::ProbeHash.index()]
+                > m.per_tuple_cost[OpKind::TableScan.index()]
+        );
+        assert!(
+            m.per_tuple_cost[OpKind::NestedLoopsJoin.index()]
+                > m.per_tuple_cost[OpKind::ProbeHash.index()]
+        );
+    }
+
+    #[test]
+    fn thrash_multiplier_kicks_in_past_budget() {
+        let m = CostModel::default_model();
+        assert_eq!(m.thrash_multiplier(0.0), 1.0);
+        assert_eq!(m.thrash_multiplier(m.memory_budget), 1.0);
+        let over = m.thrash_multiplier(m.memory_budget * 2.0);
+        assert!((over - (1.0 + m.thrash_slope)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_is_multiplicative_and_centered() {
+        let m = CostModel::default_model();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 4000;
+        let mean: f64 =
+            (0..n).map(|_| m.sample_duration(&mut rng, 1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let mut m = CostModel::default_model();
+        m.noise_sigma = 0.0;
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.sample_duration(&mut rng, 2.0), 2.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Scalar expressions and predicates evaluated over storage blocks.
+
+use crate::block::{Block, Column};
+use crate::value::Value;
+
+/// Comparison operators for predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// Arithmetic operators for scalar expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (floats; integer division for two ints).
+    Div,
+}
+
+/// A scalar expression evaluated row-wise over a block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Reference to an input column by position.
+    Col(usize),
+    /// A literal value.
+    Lit(Value),
+    /// Binary arithmetic on two sub-expressions.
+    Arith(ArithOp, Box<ScalarExpr>, Box<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// Convenience constructor for column references.
+    pub fn col(i: usize) -> Self {
+        ScalarExpr::Col(i)
+    }
+
+    /// Convenience constructor for literals.
+    pub fn lit(v: impl Into<Value>) -> Self {
+        ScalarExpr::Lit(v.into())
+    }
+
+    /// Builds an arithmetic node.
+    pub fn arith(op: ArithOp, l: ScalarExpr, r: ScalarExpr) -> Self {
+        ScalarExpr::Arith(op, Box::new(l), Box::new(r))
+    }
+
+    /// Evaluates the expression for row `row` of `block`.
+    pub fn eval_row(&self, block: &Block, row: usize) -> Value {
+        match self {
+            ScalarExpr::Col(i) => block.columns[*i].get(row),
+            ScalarExpr::Lit(v) => v.clone(),
+            ScalarExpr::Arith(op, l, r) => {
+                let lv = l.eval_row(block, row);
+                let rv = r.eval_row(block, row);
+                eval_arith(*op, &lv, &rv)
+            }
+        }
+    }
+
+    /// Evaluates the expression for every row, producing a column.
+    pub fn eval_block(&self, block: &Block) -> Column {
+        // Fast path: bare column reference clones the column.
+        if let ScalarExpr::Col(i) = self {
+            return block.columns[*i].clone();
+        }
+        let n = block.num_rows();
+        if n == 0 {
+            // Derive the output type from a probe over an empty block:
+            // default to Float64 for arithmetic, the literal's type
+            // otherwise.
+            return match self {
+                ScalarExpr::Lit(v) => Column::empty(v.column_type()),
+                _ => Column::F64(Vec::new()),
+            };
+        }
+        let first = self.eval_row(block, 0);
+        let mut col = Column::empty(first.column_type());
+        col.push(first);
+        for row in 1..n {
+            col.push(self.eval_row(block, row));
+        }
+        col
+    }
+
+    /// All column positions referenced by the expression.
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            ScalarExpr::Col(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            ScalarExpr::Lit(_) => {}
+            ScalarExpr::Arith(_, l, r) => {
+                l.referenced_columns(out);
+                r.referenced_columns(out);
+            }
+        }
+    }
+}
+
+fn eval_arith(op: ArithOp, l: &Value, r: &Value) -> Value {
+    if let (Value::Int64(a), Value::Int64(b)) = (l, r) {
+        return Value::Int64(match op {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div => {
+                if *b == 0 {
+                    0
+                } else {
+                    a / b
+                }
+            }
+        });
+    }
+    let a = l.as_f64().unwrap_or(0.0);
+    let b = r.as_f64().unwrap_or(0.0);
+    Value::Float64(match op {
+        ArithOp::Add => a + b,
+        ArithOp::Sub => a - b,
+        ArithOp::Mul => a * b,
+        ArithOp::Div => {
+            if b == 0.0 {
+                0.0
+            } else {
+                a / b
+            }
+        }
+    })
+}
+
+/// A boolean predicate over a row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// Comparison between two scalar expressions.
+    Cmp(CmpOp, ScalarExpr, ScalarExpr),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Builds a comparison between a column and a literal — the most
+    /// common filter shape in the benchmarks.
+    pub fn col_cmp(col: usize, op: CmpOp, v: impl Into<Value>) -> Self {
+        Predicate::Cmp(op, ScalarExpr::Col(col), ScalarExpr::Lit(v.into()))
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates for a single row of a block.
+    pub fn eval_row(&self, block: &Block, row: usize) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Cmp(op, l, r) => {
+                let lv = l.eval_row(block, row);
+                let rv = r.eval_row(block, row);
+                op.eval(lv.total_cmp(&rv))
+            }
+            Predicate::And(a, b) => a.eval_row(block, row) && b.eval_row(block, row),
+            Predicate::Or(a, b) => a.eval_row(block, row) || b.eval_row(block, row),
+            Predicate::Not(p) => !p.eval_row(block, row),
+        }
+    }
+
+    /// Returns the indices of rows satisfying the predicate.
+    pub fn selected_rows(&self, block: &Block) -> Vec<usize> {
+        (0..block.num_rows()).filter(|&r| self.eval_row(block, r)).collect()
+    }
+
+    /// All column positions referenced by the predicate (for the O-COLS
+    /// feature, Section 4.1).
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Predicate::True => {}
+            Predicate::Cmp(_, l, r) => {
+                l.referenced_columns(out);
+                r.referenced_columns(out);
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.referenced_columns(out);
+                b.referenced_columns(out);
+            }
+            Predicate::Not(p) => p.referenced_columns(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Column;
+
+    fn block() -> Block {
+        Block::new(
+            0,
+            vec![
+                Column::I64(vec![1, 2, 3, 4, 5]),
+                Column::F64(vec![10.0, 20.0, 30.0, 40.0, 50.0]),
+                Column::Str(vec!["a".into(), "b".into(), "c".into(), "d".into(), "e".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn cmp_filters_rows() {
+        let b = block();
+        let p = Predicate::col_cmp(0, CmpOp::Gt, 3i64);
+        assert_eq!(p.selected_rows(&b), vec![3, 4]);
+    }
+
+    #[test]
+    fn and_or_not() {
+        let b = block();
+        let p = Predicate::col_cmp(0, CmpOp::Ge, 2i64)
+            .and(Predicate::col_cmp(0, CmpOp::Le, 4i64));
+        assert_eq!(p.selected_rows(&b), vec![1, 2, 3]);
+        let q = Predicate::Not(Box::new(p.clone()));
+        assert_eq!(q.selected_rows(&b), vec![0, 4]);
+        let r = p.or(Predicate::col_cmp(0, CmpOp::Eq, 1i64));
+        assert_eq!(r.selected_rows(&b), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn string_predicate() {
+        let b = block();
+        let p = Predicate::col_cmp(2, CmpOp::Lt, "c");
+        assert_eq!(p.selected_rows(&b), vec![0, 1]);
+    }
+
+    #[test]
+    fn arithmetic_expression() {
+        let b = block();
+        // col0 * 10 + col1
+        let e = ScalarExpr::arith(
+            ArithOp::Add,
+            ScalarExpr::arith(ArithOp::Mul, ScalarExpr::col(0), ScalarExpr::lit(10i64)),
+            ScalarExpr::col(1),
+        );
+        assert_eq!(e.eval_row(&b, 2), Value::Float64(60.0));
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_integer() {
+        let b = block();
+        let e = ScalarExpr::arith(ArithOp::Mul, ScalarExpr::col(0), ScalarExpr::lit(3i64));
+        assert_eq!(e.eval_row(&b, 1), Value::Int64(6));
+    }
+
+    #[test]
+    fn div_by_zero_is_zero() {
+        let b = block();
+        let e = ScalarExpr::arith(ArithOp::Div, ScalarExpr::col(0), ScalarExpr::lit(0i64));
+        assert_eq!(e.eval_row(&b, 0), Value::Int64(0));
+    }
+
+    #[test]
+    fn eval_block_matches_rowwise() {
+        let b = block();
+        let e = ScalarExpr::arith(ArithOp::Sub, ScalarExpr::col(1), ScalarExpr::lit(5.0));
+        let col = e.eval_block(&b);
+        assert_eq!(col.len(), 5);
+        assert_eq!(col.get(0), Value::Float64(5.0));
+        assert_eq!(col.get(4), Value::Float64(45.0));
+    }
+
+    #[test]
+    fn referenced_columns_collects() {
+        let p = Predicate::col_cmp(3, CmpOp::Eq, 1i64)
+            .and(Predicate::col_cmp(1, CmpOp::Lt, 2i64));
+        let mut cols = Vec::new();
+        p.referenced_columns(&mut cols);
+        assert_eq!(cols, vec![3, 1]);
+    }
+}

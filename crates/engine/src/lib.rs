@@ -1,0 +1,46 @@
+//! # lsched-engine
+//!
+//! A Quickstep-style block-based in-memory analytical query engine — the
+//! substrate LSched schedules (Section 2 of the paper). It provides:
+//!
+//! * columnar storage [`block`]s grouped into catalog [`catalog`] tables;
+//! * [`expr`] predicates/projections evaluated per block;
+//! * [`plan`] physical DAGs of 29 work-order-based operator kinds with
+//!   pipeline-breaking edge metadata;
+//! * the [`scheduler`] interface every policy implements, including the
+//!   per-operator trailing regressors behind the O-DUR/O-MEM features;
+//! * a deterministic discrete-event [`sim`]ulator of work-order execution
+//!   with pipelining, memory-pressure and locality dynamics;
+//! * a real multi-threaded [`executor`] that runs plans on actual blocks
+//!   through the [`ops`] operator implementations;
+//! * the calibrated [`cost`] model connecting the two.
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod catalog;
+pub mod cost;
+pub mod executor;
+pub mod expr;
+pub mod ops;
+pub mod plan;
+pub mod scheduler;
+pub mod sim;
+pub mod stats;
+pub mod trace;
+pub mod value;
+
+pub use block::{Block, Column};
+pub use catalog::{Catalog, Schema, Table, TableId};
+pub use cost::CostModel;
+pub use executor::Executor;
+pub use expr::{ArithOp, CmpOp, Predicate, ScalarExpr};
+pub use plan::{AggFunc, OpId, OpKind, OpSpec, PhysicalPlan, PlanBuilder, PlanEdge, PlanOp};
+pub use scheduler::{
+    validate_decision, DecisionError, OpRuntime, OpStatus, QueryId, QueryRuntime, SchedContext,
+    SchedDecision, SchedEvent, Scheduler,
+};
+pub use sim::{simulate, QueryOutcome, SimConfig, SimResult, Simulator, WorkloadItem};
+pub use trace::{trace_sink, ExecutionTrace, TraceEntry, TraceSink};
+pub use stats::{TrailingRegressor, WorkOrderStats};
+pub use value::{ColumnType, Value};

@@ -1,0 +1,316 @@
+//! Aggregate (per-block partial) and FinalizeAggregate (merge) work
+//! orders — Quickstep's two-phase aggregation.
+
+use std::collections::HashMap;
+
+use crate::block::Block;
+use crate::plan::{AggFunc, OpId, OpSpec, PhysicalPlan};
+use crate::value::{ColumnType, Value};
+
+use super::{child_ops, OpExecState, WorkOrderInput, WorkOrderOutput};
+
+/// Group key: rendered values (stable, hashable).
+pub type GroupKey = Vec<String>;
+
+/// Partial aggregation state for one block: per group, per aggregate:
+/// (sum, count, min, max) accumulators.
+#[derive(Debug, Clone, Default)]
+pub struct AggState {
+    /// Group key → per-aggregate accumulators.
+    pub groups: HashMap<GroupKey, Vec<Accumulator>>,
+    /// The raw group-by values backing each key (for output).
+    pub key_values: HashMap<GroupKey, Vec<Value>>,
+}
+
+/// One aggregate accumulator.
+#[derive(Debug, Clone, Copy)]
+pub struct Accumulator {
+    /// Running sum.
+    pub sum: f64,
+    /// Running count.
+    pub count: u64,
+    /// Running minimum.
+    pub min: f64,
+    /// Running maximum.
+    pub max: f64,
+}
+
+impl Default for Accumulator {
+    fn default() -> Self {
+        Self { sum: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl Accumulator {
+    /// Folds one value in.
+    pub fn add(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another accumulator in.
+    pub fn merge(&mut self, o: &Accumulator) {
+        self.sum += o.sum;
+        self.count += o.count;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+    }
+
+    /// Finalizes to the requested aggregate function's value.
+    pub fn finish(&self, f: AggFunc) -> Value {
+        match f {
+            AggFunc::Count => Value::Int64(self.count as i64),
+            AggFunc::Sum => Value::Float64(self.sum),
+            AggFunc::Min => Value::Float64(if self.count == 0 { 0.0 } else { self.min }),
+            AggFunc::Max => Value::Float64(if self.count == 0 { 0.0 } else { self.max }),
+            AggFunc::Avg => {
+                Value::Float64(if self.count == 0 { 0.0 } else { self.sum / self.count as f64 })
+            }
+        }
+    }
+}
+
+pub(super) fn execute_partial(
+    plan: &PhysicalPlan,
+    states: &[OpExecState],
+    op: OpId,
+    group_by: &[usize],
+    aggs: &[(AggFunc, crate::expr::ScalarExpr)],
+    input: &WorkOrderInput,
+) -> WorkOrderOutput {
+    let block = match input {
+        WorkOrderInput::ChildBlock { child, idx } => states[child.0].output_block(*idx),
+        WorkOrderInput::BaseBlock { idx } => {
+            let child = child_ops(plan, op)[0];
+            states[child.0].output_block(*idx)
+        }
+        WorkOrderInput::AllInputs => panic!("Aggregate streams one block per work order"),
+    };
+
+    let mut state = AggState::default();
+    for r in 0..block.num_rows() {
+        let key_vals: Vec<Value> = group_by.iter().map(|&c| block.columns[c].get(r)).collect();
+        let key: GroupKey = key_vals.iter().map(Value::to_string).collect();
+        let accs = state
+            .groups
+            .entry(key.clone())
+            .or_insert_with(|| vec![Accumulator::default(); aggs.len()]);
+        for (ai, (_, expr)) in aggs.iter().enumerate() {
+            let v = expr.eval_row(&block, r).as_f64().unwrap_or(0.0);
+            accs[ai].add(v);
+        }
+        state.key_values.entry(key).or_insert(key_vals);
+    }
+
+    let groups = state.groups.len();
+    let mem = (block.byte_size() + groups * (group_by.len() * 24 + aggs.len() * 32)) as u64;
+    states[op.0].agg_partials.lock().push(state);
+    WorkOrderOutput { output_rows: groups as u64, memory_bytes: mem }
+}
+
+pub(super) fn execute_finalize(
+    plan: &PhysicalPlan,
+    states: &[OpExecState],
+    op: OpId,
+) -> WorkOrderOutput {
+    let agg_child = child_ops(plan, op)[0];
+    // Recover the aggregate spec from the child operator.
+    let (group_by, aggs) = match &plan.op(agg_child).spec {
+        OpSpec::Aggregate { group_by, aggs } => (group_by.clone(), aggs.clone()),
+        other => panic!("FinalizeAggregate child must be Aggregate, got {other:?}"),
+    };
+
+    let partials = states[agg_child.0].agg_partials.lock();
+    let mut merged: HashMap<GroupKey, Vec<Accumulator>> = HashMap::new();
+    let mut key_values: HashMap<GroupKey, Vec<Value>> = HashMap::new();
+    for p in partials.iter() {
+        for (k, accs) in &p.groups {
+            let slot =
+                merged.entry(k.clone()).or_insert_with(|| vec![Accumulator::default(); aggs.len()]);
+            for (s, a) in slot.iter_mut().zip(accs) {
+                s.merge(a);
+            }
+            if let Some(kv) = p.key_values.get(k) {
+                key_values.entry(k.clone()).or_insert_with(|| kv.clone());
+            }
+        }
+    }
+
+    // Deterministic output: sort groups by key.
+    let mut keys: Vec<&GroupKey> = merged.keys().collect();
+    keys.sort();
+
+    let mut types: Vec<ColumnType> = Vec::new();
+    if let Some(first) = keys.first() {
+        for v in &key_values[*first] {
+            types.push(v.column_type());
+        }
+    } else {
+        types.extend(std::iter::repeat_n(ColumnType::Int64, group_by.len()));
+    }
+    for (f, _) in &aggs {
+        types.push(match f {
+            AggFunc::Count => ColumnType::Int64,
+            _ => ColumnType::Float64,
+        });
+    }
+
+    let mut out = Block::empty(0, &types);
+    for k in &keys {
+        let mut row = key_values[*k].clone();
+        for (acc, (f, _)) in merged[*k].iter().zip(&aggs) {
+            row.push(acc.finish(*f));
+        }
+        out.push_row(row);
+    }
+    let rows = out.num_rows() as u64;
+    let mem = (out.byte_size() + merged.len() * 64) as u64;
+    states[op.0].output.lock().push(out);
+    WorkOrderOutput { output_rows: rows, memory_bytes: mem }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Column;
+    use crate::expr::ScalarExpr;
+    use crate::plan::{OpKind, PlanBuilder};
+
+    fn agg_setup(group_by: Vec<usize>, aggs: Vec<(AggFunc, ScalarExpr)>) -> (PhysicalPlan, Vec<OpExecState>) {
+        let mut b = PlanBuilder::new("a");
+        let scan = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![], vec![], 8.0, 1, 0.1, 1.0);
+        let agg = b.add_op(
+            OpKind::Aggregate,
+            OpSpec::Aggregate { group_by, aggs },
+            vec![],
+            vec![],
+            8.0,
+            1,
+            0.1,
+            1.0,
+        );
+        let fin = b.add_op(OpKind::FinalizeAggregate, OpSpec::FinalizeAggregate, vec![], vec![], 1.0, 1, 0.1, 1.0);
+        b.connect(scan, agg, true);
+        b.connect(agg, fin, false);
+        let plan = b.finish(fin);
+        let states: Vec<OpExecState> = (0..3).map(|_| OpExecState::new()).collect();
+        // Two child blocks: (group, value)
+        states[0].output.lock().push(Block::new(
+            0,
+            vec![Column::I64(vec![1, 1, 2]), Column::F64(vec![10.0, 20.0, 5.0])],
+        ));
+        states[0].output.lock().push(Block::new(
+            1,
+            vec![Column::I64(vec![2, 3]), Column::F64(vec![15.0, 7.0])],
+        ));
+        (plan, states)
+    }
+
+    fn run_both_blocks(plan: &PhysicalPlan, states: &[OpExecState]) {
+        let spec = match &plan.op(OpId(1)).spec {
+            OpSpec::Aggregate { group_by, aggs } => (group_by.clone(), aggs.clone()),
+            _ => unreachable!(),
+        };
+        for idx in 0..2 {
+            execute_partial(
+                plan,
+                states,
+                OpId(1),
+                &spec.0,
+                &spec.1,
+                &WorkOrderInput::ChildBlock { child: OpId(0), idx },
+            );
+        }
+        execute_finalize(plan, states, OpId(2));
+    }
+
+    #[test]
+    fn grouped_sum_and_count() {
+        let (plan, states) = agg_setup(
+            vec![0],
+            vec![(AggFunc::Sum, ScalarExpr::col(1)), (AggFunc::Count, ScalarExpr::col(1))],
+        );
+        run_both_blocks(&plan, &states);
+        let rows = states[2].collect_rows();
+        // Groups 1, 2, 3 sorted by key string: "1","2","3".
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec![Value::Int64(1), Value::Float64(30.0), Value::Int64(2)]);
+        assert_eq!(rows[1], vec![Value::Int64(2), Value::Float64(20.0), Value::Int64(2)]);
+        assert_eq!(rows[2], vec![Value::Int64(3), Value::Float64(7.0), Value::Int64(1)]);
+    }
+
+    #[test]
+    fn scalar_min_max_avg() {
+        let (plan, states) = agg_setup(
+            vec![],
+            vec![
+                (AggFunc::Min, ScalarExpr::col(1)),
+                (AggFunc::Max, ScalarExpr::col(1)),
+                (AggFunc::Avg, ScalarExpr::col(1)),
+            ],
+        );
+        run_both_blocks(&plan, &states);
+        let rows = states[2].collect_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Float64(5.0));
+        assert_eq!(rows[0][1], Value::Float64(20.0));
+        assert_eq!(rows[0][2], Value::Float64(57.0 / 5.0));
+    }
+
+    #[test]
+    fn partials_independent_of_block_split() {
+        // Same data in 1 block vs 2 blocks must aggregate identically.
+        let (plan, states) = agg_setup(vec![0], vec![(AggFunc::Sum, ScalarExpr::col(1))]);
+        run_both_blocks(&plan, &states);
+        let split = states[2].collect_rows();
+
+        let (plan2, states2) = agg_setup(vec![0], vec![(AggFunc::Sum, ScalarExpr::col(1))]);
+        {
+            let mut out = states2[0].output.lock();
+            out.clear();
+            out.push(Block::new(
+                0,
+                vec![
+                    Column::I64(vec![1, 1, 2, 2, 3]),
+                    Column::F64(vec![10.0, 20.0, 5.0, 15.0, 7.0]),
+                ],
+            ));
+        }
+        let spec = match &plan2.op(OpId(1)).spec {
+            OpSpec::Aggregate { group_by, aggs } => (group_by.clone(), aggs.clone()),
+            _ => unreachable!(),
+        };
+        execute_partial(
+            &plan2,
+            &states2,
+            OpId(1),
+            &spec.0,
+            &spec.1,
+            &WorkOrderInput::ChildBlock { child: OpId(0), idx: 0 },
+        );
+        execute_finalize(&plan2, &states2, OpId(2));
+        assert_eq!(split, states2[2].collect_rows());
+    }
+
+    #[test]
+    fn accumulator_merge_matches_sequential() {
+        let mut a = Accumulator::default();
+        let mut b = Accumulator::default();
+        let mut whole = Accumulator::default();
+        for v in [1.0, 5.0, -2.0] {
+            a.add(v);
+            whole.add(v);
+        }
+        for v in [10.0, 0.5] {
+            b.add(v);
+            whole.add(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.sum, whole.sum);
+        assert_eq!(a.count, whole.count);
+        assert_eq!(a.min, whole.min);
+        assert_eq!(a.max, whole.max);
+    }
+}

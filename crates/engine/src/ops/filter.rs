@@ -1,0 +1,115 @@
+//! Select and Project work orders over a child's output blocks.
+
+use crate::block::Block;
+use crate::expr::{Predicate, ScalarExpr};
+use crate::plan::{OpId, PhysicalPlan};
+
+use super::{child_ops, OpExecState, WorkOrderInput, WorkOrderOutput};
+
+fn input_block(
+    plan: &PhysicalPlan,
+    states: &[OpExecState],
+    op: OpId,
+    input: &WorkOrderInput,
+) -> Block {
+    match input {
+        WorkOrderInput::ChildBlock { child, idx } => states[child.0].output_block(*idx),
+        WorkOrderInput::BaseBlock { idx } => {
+            // Tolerated alias: single-child ops addressed by bare index.
+            let child = child_ops(plan, op)[0];
+            states[child.0].output_block(*idx)
+        }
+        WorkOrderInput::AllInputs => panic!("streaming operator got AllInputs"),
+    }
+}
+
+pub(super) fn execute_select(
+    plan: &PhysicalPlan,
+    states: &[OpExecState],
+    op: OpId,
+    predicate: &Predicate,
+    input: &WorkOrderInput,
+) -> WorkOrderOutput {
+    let block = input_block(plan, states, op, input);
+    let sel = predicate.selected_rows(&block);
+    let out = block.select_rows(&sel);
+    let rows = out.num_rows() as u64;
+    let mem = (block.byte_size() + out.byte_size()) as u64;
+    states[op.0].output.lock().push(out);
+    WorkOrderOutput { output_rows: rows, memory_bytes: mem }
+}
+
+pub(super) fn execute_project(
+    plan: &PhysicalPlan,
+    states: &[OpExecState],
+    op: OpId,
+    exprs: &[ScalarExpr],
+    input: &WorkOrderInput,
+) -> WorkOrderOutput {
+    let block = input_block(plan, states, op, input);
+    let columns = exprs.iter().map(|e| e.eval_block(&block)).collect();
+    let out = Block::new(block.header.block_index, columns);
+    let rows = out.num_rows() as u64;
+    let mem = (block.byte_size() + out.byte_size()) as u64;
+    states[op.0].output.lock().push(out);
+    WorkOrderOutput { output_rows: rows, memory_bytes: mem }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Column;
+    use crate::expr::{ArithOp, CmpOp};
+    use crate::plan::{OpKind, OpSpec, PlanBuilder};
+    use crate::value::Value;
+
+    fn plan_and_states() -> (PhysicalPlan, Vec<OpExecState>) {
+        let mut b = PlanBuilder::new("t");
+        let child = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![], vec![], 10.0, 1, 0.1, 1.0);
+        let sel = b.add_op(OpKind::Select, OpSpec::Synthetic, vec![], vec![], 10.0, 1, 0.1, 1.0);
+        b.connect(child, sel, true);
+        let plan = b.finish(sel);
+        let states = vec![OpExecState::new(), OpExecState::new()];
+        states[0].output.lock().push(Block::new(
+            0,
+            vec![Column::I64(vec![1, 2, 3, 4]), Column::F64(vec![0.5, 1.5, 2.5, 3.5])],
+        ));
+        (plan, states)
+    }
+
+    #[test]
+    fn select_filters_child_block() {
+        let (plan, states) = plan_and_states();
+        let pred = Predicate::col_cmp(0, CmpOp::Gt, 2i64);
+        let out = execute_select(
+            &plan,
+            &states,
+            OpId(1),
+            &pred,
+            &WorkOrderInput::ChildBlock { child: OpId(0), idx: 0 },
+        );
+        assert_eq!(out.output_rows, 2);
+        let rows = states[1].collect_rows();
+        assert_eq!(rows[0][0], Value::Int64(3));
+        assert_eq!(rows[1][0], Value::Int64(4));
+    }
+
+    #[test]
+    fn project_computes_expressions() {
+        let (plan, states) = plan_and_states();
+        let exprs = vec![
+            ScalarExpr::arith(ArithOp::Mul, ScalarExpr::col(0), ScalarExpr::lit(2i64)),
+            ScalarExpr::col(1),
+        ];
+        let out = execute_project(
+            &plan,
+            &states,
+            OpId(1),
+            &exprs,
+            &WorkOrderInput::ChildBlock { child: OpId(0), idx: 0 },
+        );
+        assert_eq!(out.output_rows, 4);
+        let rows = states[1].collect_rows();
+        assert_eq!(rows[3], vec![Value::Int64(8), Value::Float64(3.5)]);
+    }
+}

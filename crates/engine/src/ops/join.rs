@@ -1,0 +1,118 @@
+//! Nested-loops join work orders: one left block joined against the
+//! right child's full output per work order.
+
+use crate::block::Block;
+use crate::expr::Predicate;
+use crate::plan::{OpId, PhysicalPlan};
+use crate::value::Value;
+
+use super::{all_child_blocks, child_ops, OpExecState, WorkOrderInput, WorkOrderOutput};
+
+pub(super) fn execute_nlj(
+    plan: &PhysicalPlan,
+    states: &[OpExecState],
+    op: OpId,
+    predicate: &Predicate,
+    input: &WorkOrderInput,
+) -> WorkOrderOutput {
+    let children = child_ops(plan, op);
+    assert_eq!(children.len(), 2, "NestedLoopsJoin needs two children");
+    let (left, right) = (children[0], children[1]);
+
+    let left_block = match input {
+        WorkOrderInput::ChildBlock { child, idx } => {
+            debug_assert_eq!(*child, left, "NLJ streams the left child");
+            states[child.0].output_block(*idx)
+        }
+        WorkOrderInput::BaseBlock { idx } => states[left.0].output_block(*idx),
+        WorkOrderInput::AllInputs => panic!("NLJ streams one left block per work order"),
+    };
+    let right_blocks = all_child_blocks(states, right);
+
+    let mut out: Option<Block> = None;
+    let mut scanned = 0usize;
+    for rb in &right_blocks {
+        scanned += rb.byte_size();
+        for lr in 0..left_block.num_rows() {
+            for rr in 0..rb.num_rows() {
+                // Evaluate the predicate over the concatenated row by
+                // materializing it into a 1-row block.
+                let mut row = left_block.row(lr);
+                row.extend(rb.row(rr));
+                let types: Vec<_> = row.iter().map(Value::column_type).collect();
+                let mut probe = Block::empty(0, &types);
+                probe.push_row(row.clone());
+                if predicate.eval_row(&probe, 0) {
+                    match &mut out {
+                        Some(b) => b.push_row(row),
+                        None => {
+                            let mut b = Block::empty(left_block.header.block_index, &types);
+                            b.push_row(row);
+                            out = Some(b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // A work order with zero joined rows produces no output block.
+    let (rows, out_bytes) = match out {
+        Some(out) => {
+            let rows = out.num_rows() as u64;
+            let bytes = out.byte_size();
+            states[op.0].output.lock().push(out);
+            (rows, bytes)
+        }
+        None => (0, 0),
+    };
+    let mem = (left_block.byte_size() + scanned + out_bytes) as u64;
+    WorkOrderOutput { output_rows: rows, memory_bytes: mem }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Column;
+    use crate::expr::CmpOp;
+    use crate::expr::ScalarExpr;
+    use crate::plan::{OpKind, OpSpec, PlanBuilder};
+
+    #[test]
+    fn theta_join_on_inequality() {
+        let mut b = PlanBuilder::new("nlj");
+        let l = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![], vec![], 3.0, 1, 0.1, 1.0);
+        let r = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![], vec![], 3.0, 1, 0.1, 1.0);
+        let j = b.add_op(
+            OpKind::NestedLoopsJoin,
+            OpSpec::NestedLoopsJoin {
+                predicate: Predicate::Cmp(CmpOp::Lt, ScalarExpr::col(0), ScalarExpr::col(1)),
+            },
+            vec![],
+            vec![],
+            9.0,
+            1,
+            0.1,
+            1.0,
+        );
+        b.connect(l, j, true);
+        b.connect(r, j, false);
+        let plan = b.finish(j);
+        let states: Vec<OpExecState> = (0..3).map(|_| OpExecState::new()).collect();
+        states[0].output.lock().push(Block::new(0, vec![Column::I64(vec![1, 5])]));
+        states[1].output.lock().push(Block::new(0, vec![Column::I64(vec![2, 6])]));
+
+        let out = execute_nlj(
+            &plan,
+            &states,
+            OpId(2),
+            &Predicate::Cmp(CmpOp::Lt, ScalarExpr::col(0), ScalarExpr::col(1)),
+            &WorkOrderInput::ChildBlock { child: OpId(0), idx: 0 },
+        );
+        // Pairs with l < r: (1,2), (1,6), (5,6) -> 3 rows.
+        assert_eq!(out.output_rows, 3);
+        let rows = states[2].collect_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec![Value::Int64(1), Value::Int64(2)]);
+        assert_eq!(rows[2], vec![Value::Int64(5), Value::Int64(6)]);
+    }
+}

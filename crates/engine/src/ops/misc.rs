@@ -1,0 +1,79 @@
+//! UnionAll and Materialize work orders (blocking pass-throughs).
+
+use crate::plan::{OpId, PhysicalPlan};
+
+use super::{all_child_blocks, child_ops, OpExecState, WorkOrderOutput};
+
+pub(super) fn execute_union_all(
+    plan: &PhysicalPlan,
+    states: &[OpExecState],
+    op: OpId,
+) -> WorkOrderOutput {
+    let mut rows = 0u64;
+    let mut mem = 0u64;
+    let mut out = states[op.0].output.lock();
+    for child in child_ops(plan, op) {
+        for b in all_child_blocks(states, child) {
+            rows += b.num_rows() as u64;
+            mem += b.byte_size() as u64;
+            out.push(b);
+        }
+    }
+    WorkOrderOutput { output_rows: rows, memory_bytes: mem }
+}
+
+pub(super) fn execute_materialize(
+    plan: &PhysicalPlan,
+    states: &[OpExecState],
+    op: OpId,
+) -> WorkOrderOutput {
+    let child = child_ops(plan, op)[0];
+    let blocks = all_child_blocks(states, child);
+    let mut rows = 0u64;
+    let mut mem = 0u64;
+    let mut out = states[op.0].output.lock();
+    for b in blocks {
+        rows += b.num_rows() as u64;
+        mem += (2 * b.byte_size()) as u64;
+        out.push(b);
+    }
+    WorkOrderOutput { output_rows: rows, memory_bytes: mem }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, Column};
+    use crate::plan::{OpKind, OpSpec, PlanBuilder};
+
+    #[test]
+    fn union_all_concatenates_children() {
+        let mut b = PlanBuilder::new("u");
+        let l = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![], vec![], 2.0, 1, 0.1, 1.0);
+        let r = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![], vec![], 2.0, 1, 0.1, 1.0);
+        let u = b.add_op(OpKind::UnionAll, OpSpec::UnionAll, vec![], vec![], 4.0, 1, 0.1, 1.0);
+        b.connect(l, u, false);
+        b.connect(r, u, false);
+        let plan = b.finish(u);
+        let states: Vec<OpExecState> = (0..3).map(|_| OpExecState::new()).collect();
+        states[0].output.lock().push(Block::new(0, vec![Column::I64(vec![1, 2])]));
+        states[1].output.lock().push(Block::new(0, vec![Column::I64(vec![3])]));
+        let out = execute_union_all(&plan, &states, OpId(2));
+        assert_eq!(out.output_rows, 3);
+        assert_eq!(states[2].output_len(), 2);
+    }
+
+    #[test]
+    fn materialize_passes_blocks_through() {
+        let mut b = PlanBuilder::new("m");
+        let c = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![], vec![], 2.0, 1, 0.1, 1.0);
+        let m = b.add_op(OpKind::Materialize, OpSpec::Materialize, vec![], vec![], 2.0, 1, 0.1, 1.0);
+        b.connect(c, m, false);
+        let plan = b.finish(m);
+        let states: Vec<OpExecState> = (0..2).map(|_| OpExecState::new()).collect();
+        states[0].output.lock().push(Block::new(0, vec![Column::I64(vec![7, 8, 9])]));
+        let out = execute_materialize(&plan, &states, OpId(1));
+        assert_eq!(out.output_rows, 3);
+        assert_eq!(states[1].collect_rows().len(), 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Executable work-order operator implementations for the real engine.
+//!
+//! Each operator processes *one work order at a time* — one input block
+//! (or, for blocking operators, the full set of accumulated inputs) — and
+//! appends its output blocks and state to a shared [`OpExecState`]. This
+//! mirrors Quickstep's work-order decomposition (Section 2): a `Select`
+//! over a 40-block relation yields 40 independent work orders that worker
+//! threads can execute in any interleaving the scheduler decides.
+
+mod aggregate;
+mod filter;
+mod hash_join;
+mod join;
+mod misc;
+mod scan;
+mod sort;
+
+pub use aggregate::{AggState, GroupKey};
+pub use hash_join::JoinHashTable;
+
+use parking_lot::Mutex;
+
+use crate::block::Block;
+use crate::catalog::Catalog;
+use crate::plan::{OpId, OpSpec, PhysicalPlan};
+
+/// Shared, thread-safe execution state of one operator.
+#[derive(Debug, Default)]
+pub struct OpExecState {
+    /// Output blocks produced so far (consumers stream from here).
+    pub output: Mutex<Vec<Block>>,
+    /// Hash table being built (BuildHash only).
+    pub hash_table: Mutex<Option<JoinHashTable>>,
+    /// Partial aggregation states (Aggregate only).
+    pub agg_partials: Mutex<Vec<AggState>>,
+    /// Sorted runs awaiting the merge (SortRunGeneration only).
+    pub sorted_runs: Mutex<Vec<Block>>,
+}
+
+impl OpExecState {
+    /// Creates empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of output blocks currently available.
+    pub fn output_len(&self) -> usize {
+        self.output.lock().len()
+    }
+
+    /// Clones the output block at `idx` (consumers copy their input so
+    /// producers can keep appending without aliasing).
+    pub fn output_block(&self, idx: usize) -> Block {
+        self.output.lock()[idx].clone()
+    }
+
+    /// Concatenated output rows (test/inspection helper).
+    pub fn collect_rows(&self) -> Vec<Vec<crate::value::Value>> {
+        let blocks = self.output.lock();
+        blocks.iter().flat_map(|b| (0..b.num_rows()).map(|i| b.row(i))).collect()
+    }
+}
+
+/// The input of one work order.
+#[derive(Debug, Clone)]
+pub enum WorkOrderInput {
+    /// The `idx`-th block of a base table (TableScan).
+    BaseBlock {
+        /// Block index within the table.
+        idx: usize,
+    },
+    /// The `idx`-th output block of a child operator.
+    ChildBlock {
+        /// Producing child.
+        child: OpId,
+        /// Block index within the child's output.
+        idx: usize,
+    },
+    /// All accumulated inputs of the children (blocking operators).
+    AllInputs,
+}
+
+/// The result of executing one work order.
+#[derive(Debug, Clone)]
+pub struct WorkOrderOutput {
+    /// Rows produced by this work order.
+    pub output_rows: u64,
+    /// Approximate memory touched/held, in bytes.
+    pub memory_bytes: u64,
+}
+
+/// Executes one work order of `op` against the shared execution states.
+///
+/// `states[i]` is the [`OpExecState`] of operator `i` in `plan`. Returns
+/// the produced row/memory accounting.
+///
+/// # Panics
+/// Panics on a [`OpSpec::Synthetic`] operator — synthetic plans only run
+/// on the simulator — and on malformed plans (e.g. a ProbeHash whose
+/// build side has not been built; the executor's dependency tracking must
+/// prevent that).
+pub fn execute_work_order(
+    catalog: &Catalog,
+    plan: &PhysicalPlan,
+    states: &[OpExecState],
+    op: OpId,
+    input: &WorkOrderInput,
+) -> WorkOrderOutput {
+    let plan_op = plan.op(op);
+    match &plan_op.spec {
+        OpSpec::TableScan { table, predicate, project } => {
+            scan::execute(catalog, states, op, *table, predicate, project.as_deref(), input)
+        }
+        OpSpec::IndexScan { table, col, lo, hi, project } => {
+            scan::execute_index(catalog, states, op, *table, *col, *lo, *hi, project.as_deref(), input)
+        }
+        OpSpec::Select { predicate } => filter::execute_select(plan, states, op, predicate, input),
+        OpSpec::Project { exprs } => filter::execute_project(plan, states, op, exprs, input),
+        OpSpec::BuildHash { keys } => hash_join::execute_build(plan, states, op, keys, input),
+        OpSpec::ProbeHash { keys } => hash_join::execute_probe(plan, states, op, keys, input),
+        OpSpec::Aggregate { group_by, aggs } => {
+            aggregate::execute_partial(plan, states, op, group_by, aggs, input)
+        }
+        OpSpec::FinalizeAggregate => aggregate::execute_finalize(plan, states, op),
+        OpSpec::SortRunGeneration { cols, desc } => {
+            sort::execute_run_generation(plan, states, op, cols, desc, input)
+        }
+        OpSpec::SortMergeRun { cols, desc } => sort::execute_merge(plan, states, op, cols, desc),
+        OpSpec::TopK { k, col, desc } => sort::execute_topk(plan, states, op, *k, *col, *desc),
+        OpSpec::NestedLoopsJoin { predicate } => {
+            join::execute_nlj(plan, states, op, predicate, input)
+        }
+        OpSpec::UnionAll => misc::execute_union_all(plan, states, op),
+        OpSpec::Materialize => misc::execute_materialize(plan, states, op),
+        OpSpec::Synthetic => {
+            panic!("synthetic operator {:?} in plan {:?} cannot execute on the real engine", op, plan.name)
+        }
+    }
+}
+
+/// The producer children of `op` in plan order (left, right).
+pub(crate) fn child_ops(plan: &PhysicalPlan, op: OpId) -> Vec<OpId> {
+    let mut c: Vec<OpId> = plan.children_of(op).into_iter().map(|(_, id)| id).collect();
+    c.sort_unstable();
+    c
+}
+
+/// Collects all output blocks of `child` (blocking-consumer helper).
+pub(crate) fn all_child_blocks(states: &[OpExecState], child: OpId) -> Vec<Block> {
+    states[child.0].output.lock().clone()
+}

@@ -1,0 +1,194 @@
+//! TableScan work orders: read one base block, filter, project.
+
+use crate::block::Block;
+use crate::catalog::{Catalog, TableId};
+use crate::expr::Predicate;
+use crate::plan::OpId;
+
+use super::{OpExecState, WorkOrderInput, WorkOrderOutput};
+
+pub(super) fn execute(
+    catalog: &Catalog,
+    states: &[OpExecState],
+    op: OpId,
+    table: TableId,
+    predicate: &Predicate,
+    project: Option<&[usize]>,
+    input: &WorkOrderInput,
+) -> WorkOrderOutput {
+    let idx = match input {
+        WorkOrderInput::BaseBlock { idx } => *idx,
+        other => panic!("TableScan expects a base block input, got {other:?}"),
+    };
+    let block = &catalog.table(table).blocks[idx];
+    let sel = predicate.selected_rows(block);
+    let mut out = block.select_rows(&sel);
+    if let Some(cols) = project {
+        let columns = cols.iter().map(|&c| out.columns[c].clone()).collect();
+        out = Block::new(out.header.block_index, columns);
+    }
+    let rows = out.num_rows() as u64;
+    let mem = (block.byte_size() + out.byte_size()) as u64;
+    states[op.0].output.lock().push(out);
+    WorkOrderOutput { output_rows: rows, memory_bytes: mem }
+}
+
+/// Zone-map index scan work order: prune the block when its min/max on
+/// the indexed column falls outside `[lo, hi]`, otherwise filter rows to
+/// the range.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn execute_index(
+    catalog: &Catalog,
+    states: &[OpExecState],
+    op: OpId,
+    table: TableId,
+    col: usize,
+    lo: i64,
+    hi: i64,
+    project: Option<&[usize]>,
+    input: &WorkOrderInput,
+) -> WorkOrderOutput {
+    let idx = match input {
+        WorkOrderInput::BaseBlock { idx } => *idx,
+        other => panic!("IndexScan expects a base block input, got {other:?}"),
+    };
+    let block = &catalog.table(table).blocks[idx];
+    let keys = match &block.columns[col] {
+        crate::block::Column::I64(v) => v,
+        other => panic!("IndexScan over non-integer column {:?}", other.column_type()),
+    };
+    // Zone-map check: min/max of this block's key column.
+    let (bmin, bmax) = keys
+        .iter()
+        .fold((i64::MAX, i64::MIN), |(mn, mx), &k| (mn.min(k), mx.max(k)));
+    if keys.is_empty() || bmax < lo || bmin > hi {
+        // Pruned: only the header was touched.
+        return WorkOrderOutput { output_rows: 0, memory_bytes: 128 };
+    }
+    let sel: Vec<usize> =
+        (0..block.num_rows()).filter(|&r| (lo..=hi).contains(&keys[r])).collect();
+    let mut out = block.select_rows(&sel);
+    if let Some(cols) = project {
+        let columns = cols.iter().map(|&c| out.columns[c].clone()).collect();
+        out = Block::new(out.header.block_index, columns);
+    }
+    let rows = out.num_rows() as u64;
+    let mem = (block.byte_size() / 4 + out.byte_size()) as u64;
+    if rows > 0 {
+        states[op.0].output.lock().push(out);
+    }
+    WorkOrderOutput { output_rows: rows, memory_bytes: mem }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Column;
+    use crate::catalog::{Schema, Table};
+    use crate::expr::CmpOp;
+    use crate::value::{ColumnType, Value};
+
+    fn setup() -> (Catalog, TableId) {
+        let mut cat = Catalog::new();
+        let t = Table::from_columns(
+            "nums",
+            Schema::new(vec![("id", ColumnType::Int64), ("v", ColumnType::Float64)]),
+            vec![
+                Column::I64((0..20).collect()),
+                Column::F64((0..20).map(|i| (i * 10) as f64).collect()),
+            ],
+            8,
+        );
+        let id = cat.add_table(t);
+        (cat, id)
+    }
+
+    #[test]
+    fn scan_block_filters_and_projects() {
+        let (cat, tid) = setup();
+        let states = vec![OpExecState::new()];
+        let pred = Predicate::col_cmp(0, CmpOp::Ge, 4i64);
+        let out = execute(
+            &cat,
+            &states,
+            OpId(0),
+            tid,
+            &pred,
+            Some(&[1]),
+            &WorkOrderInput::BaseBlock { idx: 0 },
+        );
+        // Block 0 holds ids 0..8; ids >= 4 -> 4 rows, projected to column v.
+        assert_eq!(out.output_rows, 4);
+        let rows = states[0].collect_rows();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], vec![Value::Float64(40.0)]);
+        assert_eq!(rows[3], vec![Value::Float64(70.0)]);
+    }
+
+    #[test]
+    fn index_scan_prunes_and_filters() {
+        let (cat, tid) = setup();
+        let states = vec![OpExecState::new()];
+        // ids 0..20 over 3 blocks of 8; range [10, 13] lives in block 1.
+        let mut total = 0;
+        let mut touched_blocks = 0;
+        for idx in 0..cat.table(tid).num_blocks() {
+            let out = execute_index(
+                &cat,
+                &states,
+                OpId(0),
+                tid,
+                0,
+                10,
+                13,
+                Some(&[0]),
+                &WorkOrderInput::BaseBlock { idx },
+            );
+            total += out.output_rows;
+            if out.output_rows > 0 {
+                touched_blocks += 1;
+            }
+        }
+        assert_eq!(total, 4); // ids 10, 11, 12, 13
+        assert_eq!(touched_blocks, 1, "zone map must prune the other blocks");
+        let rows = states[0].collect_rows();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], vec![Value::Int64(10)]);
+    }
+
+    #[test]
+    fn index_scan_empty_range_produces_nothing() {
+        let (cat, tid) = setup();
+        let states = vec![OpExecState::new()];
+        for idx in 0..cat.table(tid).num_blocks() {
+            let out = execute_index(
+                &cat, &states, OpId(0), tid, 0, 100, 200, None,
+                &WorkOrderInput::BaseBlock { idx },
+            );
+            assert_eq!(out.output_rows, 0);
+        }
+        assert_eq!(states[0].output_len(), 0);
+    }
+
+    #[test]
+    fn scan_all_blocks_covers_table() {
+        let (cat, tid) = setup();
+        let states = vec![OpExecState::new()];
+        let n_blocks = cat.table(tid).num_blocks();
+        let mut total = 0;
+        for idx in 0..n_blocks {
+            total += execute(
+                &cat,
+                &states,
+                OpId(0),
+                tid,
+                &Predicate::True,
+                None,
+                &WorkOrderInput::BaseBlock { idx },
+            )
+            .output_rows;
+        }
+        assert_eq!(total, 20);
+        assert_eq!(states[0].output_len(), n_blocks);
+    }
+}

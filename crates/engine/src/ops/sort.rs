@@ -1,0 +1,272 @@
+//! Sort (run generation + merge) and TopK work orders.
+
+use std::cmp::Ordering;
+
+use crate::block::Block;
+use crate::plan::{OpId, PhysicalPlan};
+use crate::value::Value;
+
+use super::{all_child_blocks, child_ops, OpExecState, WorkOrderInput, WorkOrderOutput};
+
+fn cmp_rows(a: &[Value], b: &[Value], cols: &[usize], desc: &[bool]) -> Ordering {
+    for (i, &c) in cols.iter().enumerate() {
+        let ord = a[c].total_cmp(&b[c]);
+        let ord = if desc.get(i).copied().unwrap_or(false) { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+fn sort_block(block: &Block, cols: &[usize], desc: &[bool]) -> Block {
+    let mut idx: Vec<usize> = (0..block.num_rows()).collect();
+    idx.sort_by(|&x, &y| {
+        let rx = block.row(x);
+        let ry = block.row(y);
+        cmp_rows(&rx, &ry, cols, desc)
+    });
+    block.select_rows(&idx)
+}
+
+pub(super) fn execute_run_generation(
+    plan: &PhysicalPlan,
+    states: &[OpExecState],
+    op: OpId,
+    cols: &[usize],
+    desc: &[bool],
+    input: &WorkOrderInput,
+) -> WorkOrderOutput {
+    let block = match input {
+        WorkOrderInput::ChildBlock { child, idx } => states[child.0].output_block(*idx),
+        WorkOrderInput::BaseBlock { idx } => {
+            let child = child_ops(plan, op)[0];
+            states[child.0].output_block(*idx)
+        }
+        WorkOrderInput::AllInputs => panic!("SortRunGeneration streams one block per work order"),
+    };
+    let run = sort_block(&block, cols, desc);
+    let rows = run.num_rows() as u64;
+    let mem = (2 * block.byte_size()) as u64;
+    states[op.0].sorted_runs.lock().push(run);
+    WorkOrderOutput { output_rows: rows, memory_bytes: mem }
+}
+
+pub(super) fn execute_merge(
+    plan: &PhysicalPlan,
+    states: &[OpExecState],
+    op: OpId,
+    cols: &[usize],
+    desc: &[bool],
+) -> WorkOrderOutput {
+    let run_child = child_ops(plan, op)[0];
+    let runs = states[run_child.0].sorted_runs.lock().clone();
+    // k-way merge via repeated minimum over run cursors (runs are few).
+    let mut cursors = vec![0usize; runs.len()];
+    let total: usize = runs.iter().map(Block::num_rows).sum();
+    let mut out: Option<Block> = None;
+    for _ in 0..total {
+        let mut best: Option<(usize, Vec<Value>)> = None;
+        for (ri, run) in runs.iter().enumerate() {
+            if cursors[ri] >= run.num_rows() {
+                continue;
+            }
+            let row = run.row(cursors[ri]);
+            let better = match &best {
+                None => true,
+                Some((_, brow)) => cmp_rows(&row, brow, cols, desc) == Ordering::Less,
+            };
+            if better {
+                best = Some((ri, row));
+            }
+        }
+        let (ri, row) = best.expect("total counted rows");
+        cursors[ri] += 1;
+        match &mut out {
+            Some(b) => b.push_row(row),
+            None => {
+                let types: Vec<_> = row.iter().map(Value::column_type).collect();
+                let mut b = Block::empty(0, &types);
+                b.push_row(row);
+                out = Some(b);
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| Block::new(0, Vec::new()));
+    let rows = out.num_rows() as u64;
+    let mem = (out.byte_size() * 2) as u64;
+    states[op.0].output.lock().push(out);
+    WorkOrderOutput { output_rows: rows, memory_bytes: mem }
+}
+
+pub(super) fn execute_topk(
+    plan: &PhysicalPlan,
+    states: &[OpExecState],
+    op: OpId,
+    k: usize,
+    col: usize,
+    desc: bool,
+) -> WorkOrderOutput {
+    let child = child_ops(plan, op)[0];
+    let blocks = all_child_blocks(states, child);
+    let mut rows: Vec<Vec<Value>> =
+        blocks.iter().flat_map(|b| (0..b.num_rows()).map(|i| b.row(i))).collect();
+    rows.sort_by(|a, b| {
+        let ord = a[col].total_cmp(&b[col]);
+        if desc {
+            ord.reverse()
+        } else {
+            ord
+        }
+    });
+    rows.truncate(k);
+    let mut out: Option<Block> = None;
+    for row in rows {
+        match &mut out {
+            Some(b) => b.push_row(row),
+            None => {
+                let types: Vec<_> = row.iter().map(Value::column_type).collect();
+                let mut b = Block::empty(0, &types);
+                b.push_row(row);
+                out = Some(b);
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| Block::new(0, Vec::new()));
+    let nrows = out.num_rows() as u64;
+    let mem = (blocks.iter().map(Block::byte_size).sum::<usize>() + out.byte_size()) as u64;
+    states[op.0].output.lock().push(out);
+    WorkOrderOutput { output_rows: nrows, memory_bytes: mem }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Column;
+    use crate::plan::{OpKind, OpSpec, PlanBuilder};
+
+    fn sort_setup() -> (PhysicalPlan, Vec<OpExecState>) {
+        let mut b = PlanBuilder::new("s");
+        let scan = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![], vec![], 6.0, 1, 0.1, 1.0);
+        let run = b.add_op(
+            OpKind::SortRunGeneration,
+            OpSpec::SortRunGeneration { cols: vec![0], desc: vec![false] },
+            vec![],
+            vec![],
+            6.0,
+            1,
+            0.1,
+            1.0,
+        );
+        let merge = b.add_op(
+            OpKind::SortMergeRun,
+            OpSpec::SortMergeRun { cols: vec![0], desc: vec![false] },
+            vec![],
+            vec![],
+            6.0,
+            1,
+            0.1,
+            1.0,
+        );
+        b.connect(scan, run, true);
+        b.connect(run, merge, false);
+        let plan = b.finish(merge);
+        let states: Vec<OpExecState> = (0..3).map(|_| OpExecState::new()).collect();
+        states[0].output.lock().push(Block::new(
+            0,
+            vec![Column::I64(vec![5, 1, 3]), Column::Str(vec!["e".into(), "a".into(), "c".into()])],
+        ));
+        states[0].output.lock().push(Block::new(
+            1,
+            vec![Column::I64(vec![4, 2]), Column::Str(vec!["d".into(), "b".into()])],
+        ));
+        (plan, states)
+    }
+
+    #[test]
+    fn run_generation_sorts_each_block() {
+        let (plan, states) = sort_setup();
+        execute_run_generation(
+            &plan,
+            &states,
+            OpId(1),
+            &[0],
+            &[false],
+            &WorkOrderInput::ChildBlock { child: OpId(0), idx: 0 },
+        );
+        let runs = states[1].sorted_runs.lock();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].row(0)[0], Value::Int64(1));
+        assert_eq!(runs[0].row(2)[0], Value::Int64(5));
+    }
+
+    #[test]
+    fn merge_produces_global_order() {
+        let (plan, states) = sort_setup();
+        for idx in 0..2 {
+            execute_run_generation(
+                &plan,
+                &states,
+                OpId(1),
+                &[0],
+                &[false],
+                &WorkOrderInput::ChildBlock { child: OpId(0), idx },
+            );
+        }
+        let out = execute_merge(&plan, &states, OpId(2), &[0], &[false]);
+        assert_eq!(out.output_rows, 5);
+        let rows = states[2].collect_rows();
+        let keys: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5]);
+        let names: Vec<String> =
+            rows.iter().map(|r| r[1].as_str().unwrap().to_string()).collect();
+        assert_eq!(names, vec!["a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn descending_sort() {
+        let (plan, states) = sort_setup();
+        for idx in 0..2 {
+            execute_run_generation(
+                &plan,
+                &states,
+                OpId(1),
+                &[0],
+                &[true],
+                &WorkOrderInput::ChildBlock { child: OpId(0), idx },
+            );
+        }
+        execute_merge(&plan, &states, OpId(2), &[0], &[true]);
+        let rows = states[2].collect_rows();
+        let keys: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(keys, vec![5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn topk_keeps_k_best() {
+        let mut b = PlanBuilder::new("t");
+        let scan = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![], vec![], 5.0, 1, 0.1, 1.0);
+        let topk = b.add_op(
+            OpKind::TopK,
+            OpSpec::TopK { k: 2, col: 0, desc: true },
+            vec![],
+            vec![],
+            5.0,
+            1,
+            0.1,
+            1.0,
+        );
+        b.connect(scan, topk, false);
+        let plan = b.finish(topk);
+        let states: Vec<OpExecState> = (0..2).map(|_| OpExecState::new()).collect();
+        states[0]
+            .output
+            .lock()
+            .push(Block::new(0, vec![Column::I64(vec![3, 9, 1, 7, 5])]));
+        let out = execute_topk(&plan, &states, OpId(1), 2, 0, true);
+        assert_eq!(out.output_rows, 2);
+        let rows = states[1].collect_rows();
+        assert_eq!(rows[0][0], Value::Int64(9));
+        assert_eq!(rows[1][0], Value::Int64(7));
+    }
+}

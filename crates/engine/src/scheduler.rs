@@ -1,0 +1,426 @@
+//! The scheduling interface: runtime query state, scheduling events and
+//! decisions, and the [`Scheduler`] trait every policy (heuristic or
+//! learned) implements.
+//!
+//! Both the discrete-event simulator and the real threaded executor build
+//! a [`SchedContext`] snapshot at every scheduling event (Section 5.2 of
+//! the paper) and hand it to the active [`Scheduler`], which answers with
+//! zero or more [`SchedDecision`]s: *which operator to start a pipeline
+//! from, how deep the pipeline runs, and how many threads the query gets*
+//! (Section 5.3).
+
+use std::sync::Arc;
+
+use crate::plan::{OpId, PhysicalPlan};
+use crate::stats::{TrailingRegressor, WorkOrderStats};
+
+/// Identifier of a query within one execution session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+/// Lifecycle of an operator during execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpStatus {
+    /// Some blocking (pipeline-breaking) producer has not finished.
+    Blocked,
+    /// All blocking producers finished; the operator can root a pipeline.
+    Schedulable,
+    /// Currently part of a scheduled pipeline.
+    Running,
+    /// All work orders completed.
+    Finished,
+}
+
+/// Window size of the per-operator trailing regressors (footnote 1 of the
+/// paper: fit only on the work orders within the last time window).
+pub const REGRESSOR_WINDOW: usize = 16;
+
+/// Per-operator runtime state.
+#[derive(Debug, Clone)]
+pub struct OpRuntime {
+    /// Current lifecycle status.
+    pub status: OpStatus,
+    /// Planned number of work orders.
+    pub total_work_orders: u32,
+    /// Completed work orders.
+    pub completed_work_orders: u32,
+    /// Dispatched (running or queued on a thread) but not yet completed.
+    pub dispatched_work_orders: u32,
+    /// Duration estimator over completed work orders (drives O-DUR).
+    pub dur_estimator: TrailingRegressor,
+    /// Memory estimator over completed work orders (drives O-MEM).
+    pub mem_estimator: TrailingRegressor,
+}
+
+impl OpRuntime {
+    /// Creates runtime state for an operator with optimizer estimates as
+    /// regression fallbacks.
+    pub fn new(total_work_orders: u32, est_duration: f64, est_memory: f64) -> Self {
+        Self {
+            status: OpStatus::Blocked,
+            total_work_orders,
+            completed_work_orders: 0,
+            dispatched_work_orders: 0,
+            dur_estimator: TrailingRegressor::new(REGRESSOR_WINDOW, est_duration),
+            mem_estimator: TrailingRegressor::new(REGRESSOR_WINDOW, est_memory),
+        }
+    }
+
+    /// Remaining (not completed) work orders — the O-WO feature.
+    pub fn remaining_work_orders(&self) -> u32 {
+        self.total_work_orders - self.completed_work_orders
+    }
+
+    /// Work orders not even dispatched yet.
+    pub fn undispatched_work_orders(&self) -> u32 {
+        self.total_work_orders - self.completed_work_orders - self.dispatched_work_orders
+    }
+
+    /// Estimated total duration of the remaining work orders — the O-DUR
+    /// feature (per-WO regression prediction × remaining count).
+    pub fn est_remaining_duration(&self) -> f64 {
+        self.dur_estimator.predict_next() * self.remaining_work_orders() as f64
+    }
+
+    /// Estimated total memory of the remaining work orders — the O-MEM
+    /// feature.
+    pub fn est_remaining_memory(&self) -> f64 {
+        self.mem_estimator.predict_next() * self.remaining_work_orders() as f64
+    }
+
+    /// Records a completed work order's stats.
+    pub fn observe_completion(&mut self, stats: &WorkOrderStats) {
+        debug_assert!(self.dispatched_work_orders > 0);
+        self.dispatched_work_orders -= 1;
+        self.completed_work_orders += 1;
+        self.dur_estimator.observe(stats.duration);
+        self.mem_estimator.observe(stats.memory);
+        if self.completed_work_orders == self.total_work_orders {
+            self.status = OpStatus::Finished;
+        }
+    }
+}
+
+/// Runtime state of one query.
+#[derive(Debug, Clone)]
+pub struct QueryRuntime {
+    /// Query id.
+    pub qid: QueryId,
+    /// The physical plan being executed.
+    pub plan: Arc<PhysicalPlan>,
+    /// Per-operator runtime state, indexed by [`OpId`].
+    pub ops: Vec<OpRuntime>,
+    /// Arrival time (engine clock).
+    pub arrival_time: f64,
+    /// Completion time, once finished.
+    pub finish_time: Option<f64>,
+    /// Threads currently granted to this query's pipelines.
+    pub assigned_threads: usize,
+    /// Which threads have executed work of this query before — the Q-LOC
+    /// feature (1-hot locality status per thread).
+    pub executed_on: Vec<bool>,
+}
+
+impl QueryRuntime {
+    /// Creates runtime state for a newly arrived query.
+    pub fn new(qid: QueryId, plan: Arc<PhysicalPlan>, arrival_time: f64, total_threads: usize) -> Self {
+        let ops = plan
+            .ops
+            .iter()
+            .map(|o| OpRuntime::new(o.num_work_orders, o.est_wo_duration, o.est_wo_memory))
+            .collect();
+        let mut rt = Self {
+            qid,
+            plan,
+            ops,
+            arrival_time,
+            finish_time: None,
+            assigned_threads: 0,
+            executed_on: vec![false; total_threads],
+        };
+        rt.refresh_statuses();
+        rt
+    }
+
+    /// Recomputes Blocked/Schedulable statuses. An operator is
+    /// schedulable when every producer behind a *pipeline-breaking* edge
+    /// has finished and every producer behind a non-breaking edge has at
+    /// least started producing (Running or Finished). Leaves are always
+    /// schedulable until started.
+    pub fn refresh_statuses(&mut self) {
+        let plan = Arc::clone(&self.plan);
+        for i in 0..self.ops.len() {
+            if matches!(self.ops[i].status, OpStatus::Running | OpStatus::Finished) {
+                continue;
+            }
+            let mut ok = true;
+            for (edge, child) in plan.children_of(OpId(i)) {
+                let cs = self.ops[child.0].status;
+                let satisfied = if edge.non_pipeline_breaking {
+                    matches!(cs, OpStatus::Running | OpStatus::Finished)
+                } else {
+                    cs == OpStatus::Finished
+                };
+                if !satisfied {
+                    ok = false;
+                    break;
+                }
+            }
+            self.ops[i].status = if ok { OpStatus::Schedulable } else { OpStatus::Blocked };
+        }
+    }
+
+    /// Operators currently schedulable (candidate execution roots).
+    pub fn schedulable_ops(&self) -> Vec<OpId> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.status == OpStatus::Schedulable)
+            .map(|(i, _)| OpId(i))
+            .collect()
+    }
+
+    /// Whether every operator has finished.
+    pub fn is_finished(&self) -> bool {
+        self.ops.iter().all(|o| o.status == OpStatus::Finished)
+    }
+
+    /// Total remaining estimated work across operators (seconds).
+    pub fn est_remaining_work(&self) -> f64 {
+        self.ops.iter().map(OpRuntime::est_remaining_duration).sum()
+    }
+
+    /// The query's latency, if finished.
+    pub fn duration(&self) -> Option<f64> {
+        self.finish_time.map(|f| f - self.arrival_time)
+    }
+}
+
+/// The state snapshot handed to a scheduler at each scheduling event.
+#[derive(Debug)]
+pub struct SchedContext<'a> {
+    /// Engine clock (seconds since session start).
+    pub time: f64,
+    /// Current worker-pool size.
+    pub total_threads: usize,
+    /// Threads currently idle (assignable) — drives the Q-FTH feature.
+    pub free_threads: usize,
+    /// Which threads are currently idle (for Q-LOC).
+    pub free_thread_ids: &'a [usize],
+    /// Active (arrived, unfinished) queries.
+    pub queries: &'a [QueryRuntime],
+}
+
+impl<'a> SchedContext<'a> {
+    /// Finds an active query by id.
+    pub fn query(&self, qid: QueryId) -> Option<&QueryRuntime> {
+        self.queries.iter().find(|q| q.qid == qid)
+    }
+
+    /// True when at least one active query has a schedulable operator.
+    pub fn has_schedulable_work(&self) -> bool {
+        self.queries.iter().any(|q| !q.schedulable_ops().is_empty())
+    }
+}
+
+/// The events that trigger a scheduler invocation (Section 5.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedEvent {
+    /// A new query arrived.
+    QueryArrived(QueryId),
+    /// A scheduled operator completed all its work orders.
+    OperatorCompleted {
+        /// The query the operator belongs to.
+        query: QueryId,
+        /// The completed operator.
+        op: OpId,
+    },
+    /// Threads finished all assigned work orders and returned to the pool.
+    ThreadsFreed(usize),
+    /// The worker pool was resized.
+    ThreadPoolResized(usize),
+}
+
+/// One scheduling decision (Section 5.3): start a pipeline of
+/// `pipeline_degree` operators rooted at `root` in `query`, granting the
+/// query up to `threads` worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedDecision {
+    /// Target query.
+    pub query: QueryId,
+    /// Execution root (must be schedulable).
+    pub root: OpId,
+    /// Number of operators in the pipeline, `>= 1` (1 = root only).
+    pub pipeline_degree: usize,
+    /// Worker threads to grant, `>= 1`.
+    pub threads: usize,
+}
+
+/// Why a decision was rejected by the executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecisionError {
+    /// The referenced query is not active.
+    UnknownQuery(QueryId),
+    /// The root operator is not schedulable.
+    RootNotSchedulable(OpId),
+    /// The pipeline degree is zero or exceeds the longest
+    /// non-pipeline-breaking chain from the root.
+    BadPipelineDegree {
+        /// Requested degree.
+        requested: usize,
+        /// Maximum valid degree.
+        max: usize,
+    },
+    /// Zero threads requested.
+    ZeroThreads,
+}
+
+/// Validates a decision against the current context. Executors clamp the
+/// thread grant to the free-thread count but reject structurally invalid
+/// decisions outright.
+pub fn validate_decision(ctx: &SchedContext<'_>, d: &SchedDecision) -> Result<(), DecisionError> {
+    let q = ctx.query(d.query).ok_or(DecisionError::UnknownQuery(d.query))?;
+    if q.ops[d.root.0].status != OpStatus::Schedulable {
+        return Err(DecisionError::RootNotSchedulable(d.root));
+    }
+    let max = q.plan.longest_npb_chain(d.root);
+    if d.pipeline_degree == 0 || d.pipeline_degree > max {
+        return Err(DecisionError::BadPipelineDegree { requested: d.pipeline_degree, max });
+    }
+    if d.threads == 0 {
+        return Err(DecisionError::ZeroThreads);
+    }
+    Ok(())
+}
+
+/// A query-scheduling policy.
+///
+/// Implementations range from FIFO to the fully learned LSched agent; the
+/// executor invokes [`Scheduler::on_event`] at every scheduling event and
+/// executes the returned decisions in order (clamping thread grants to
+/// availability and ignoring decisions that fail validation).
+pub trait Scheduler {
+    /// Human-readable policy name (used in benchmark output).
+    fn name(&self) -> String;
+
+    /// Produces scheduling decisions for the given event.
+    fn on_event(&mut self, ctx: &SchedContext<'_>, event: &SchedEvent) -> Vec<SchedDecision>;
+
+    /// Notifies the policy that a previously returned decision finished
+    /// executing (LSched uses this for online reward feedback).
+    fn on_decision_executed(&mut self, _ctx: &SchedContext<'_>, _decision: &SchedDecision) {}
+
+    /// Notifies the policy that a query completed.
+    fn on_query_finished(&mut self, _time: f64, _query: QueryId) {}
+
+    /// Resets per-episode state (called between workload runs).
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{OpKind, OpSpec, PlanBuilder};
+
+    fn join_plan() -> Arc<PhysicalPlan> {
+        let mut b = PlanBuilder::new("t");
+        let sl = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![0], vec![], 10.0, 2, 0.1, 1.0);
+        let sr = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![1], vec![], 10.0, 2, 0.1, 1.0);
+        let bh = b.add_op(OpKind::BuildHash, OpSpec::Synthetic, vec![0], vec![], 10.0, 2, 0.1, 1.0);
+        let ph = b.add_op(OpKind::ProbeHash, OpSpec::Synthetic, vec![0, 1], vec![], 10.0, 2, 0.1, 1.0);
+        b.connect(sl, bh, true);
+        b.connect(sr, ph, true);
+        b.connect(bh, ph, false);
+        Arc::new(b.finish(ph))
+    }
+
+    #[test]
+    fn initial_statuses() {
+        let q = QueryRuntime::new(QueryId(1), join_plan(), 0.0, 4);
+        // Scans schedulable; build blocked until scan starts; probe blocked.
+        assert_eq!(q.ops[0].status, OpStatus::Schedulable);
+        assert_eq!(q.ops[1].status, OpStatus::Schedulable);
+        assert_eq!(q.ops[2].status, OpStatus::Blocked);
+        assert_eq!(q.ops[3].status, OpStatus::Blocked);
+        assert_eq!(q.schedulable_ops(), vec![OpId(0), OpId(1)]);
+    }
+
+    #[test]
+    fn statuses_unblock_as_children_progress() {
+        let mut q = QueryRuntime::new(QueryId(1), join_plan(), 0.0, 4);
+        // Left scan starts running -> build (non-breaking child) unblocks.
+        q.ops[0].status = OpStatus::Running;
+        q.refresh_statuses();
+        assert_eq!(q.ops[2].status, OpStatus::Schedulable);
+        // Probe still blocked: build (breaking) unfinished.
+        assert_eq!(q.ops[3].status, OpStatus::Blocked);
+        // Build finishes, right scan running -> probe schedulable.
+        q.ops[2].status = OpStatus::Finished;
+        q.ops[1].status = OpStatus::Running;
+        q.refresh_statuses();
+        assert_eq!(q.ops[3].status, OpStatus::Schedulable);
+    }
+
+    #[test]
+    fn op_runtime_counters() {
+        let mut o = OpRuntime::new(3, 0.5, 100.0);
+        assert_eq!(o.remaining_work_orders(), 3);
+        assert_eq!(o.est_remaining_duration(), 1.5);
+        o.dispatched_work_orders = 2;
+        assert_eq!(o.undispatched_work_orders(), 1);
+        o.observe_completion(&WorkOrderStats {
+            duration: 0.4,
+            memory: 80.0,
+            output_rows: 10,
+            completed_at: 1.0,
+        });
+        assert_eq!(o.completed_work_orders, 1);
+        assert_eq!(o.dispatched_work_orders, 1);
+        assert_ne!(o.status, OpStatus::Finished);
+    }
+
+    #[test]
+    fn op_finishes_at_last_work_order() {
+        let mut o = OpRuntime::new(1, 0.5, 100.0);
+        o.dispatched_work_orders = 1;
+        o.observe_completion(&WorkOrderStats {
+            duration: 0.4,
+            memory: 80.0,
+            output_rows: 10,
+            completed_at: 1.0,
+        });
+        assert_eq!(o.status, OpStatus::Finished);
+        assert_eq!(o.remaining_work_orders(), 0);
+        assert_eq!(o.est_remaining_duration(), 0.0);
+    }
+
+    #[test]
+    fn validate_decision_errors() {
+        let q = QueryRuntime::new(QueryId(1), join_plan(), 0.0, 4);
+        let queries = vec![q];
+        let free = [0usize, 1, 2, 3];
+        let ctx = SchedContext {
+            time: 0.0,
+            total_threads: 4,
+            free_threads: 4,
+            free_thread_ids: &free,
+            queries: &queries,
+        };
+        // Unknown query.
+        let d = SchedDecision { query: QueryId(9), root: OpId(0), pipeline_degree: 1, threads: 1 };
+        assert!(matches!(validate_decision(&ctx, &d), Err(DecisionError::UnknownQuery(_))));
+        // Blocked root.
+        let d = SchedDecision { query: QueryId(1), root: OpId(3), pipeline_degree: 1, threads: 1 };
+        assert!(matches!(validate_decision(&ctx, &d), Err(DecisionError::RootNotSchedulable(_))));
+        // Degree too deep: left scan -> build is the only npb chain (2).
+        let d = SchedDecision { query: QueryId(1), root: OpId(0), pipeline_degree: 5, threads: 1 };
+        assert!(matches!(
+            validate_decision(&ctx, &d),
+            Err(DecisionError::BadPipelineDegree { max: 2, .. })
+        ));
+        // Valid.
+        let d = SchedDecision { query: QueryId(1), root: OpId(0), pipeline_degree: 2, threads: 2 };
+        assert!(validate_decision(&ctx, &d).is_ok());
+        assert!(ctx.has_schedulable_work());
+    }
+}

@@ -1,0 +1,1010 @@
+//! Discrete-event simulation of the work-order execution engine.
+//!
+//! The simulator shares the plan/work-order/scheduling model with the real
+//! threaded executor but replaces actual block processing with sampled
+//! work-order durations from the [`CostModel`]. It reproduces the dynamics
+//! that make scheduling interesting:
+//!
+//! * **pipelining** — work orders of non-root pipeline operators run
+//!   faster (cache-hot inputs), and a consumer's work orders become
+//!   dispatchable proportionally to its producer's progress;
+//! * **memory pressure** — each in-flight work order and each pipeline
+//!   stage holds memory; exceeding the budget slows everything down
+//!   (thrashing), which punishes over-aggressive pipelining;
+//! * **thread locality** — threads that already ran a query execute its
+//!   further work orders slightly faster (the Q-LOC effect);
+//! * **scheduling events** — the scheduler is invoked exactly on the
+//!   events of Section 5.2 and its decisions are validated and clamped
+//!   like the paper's executor does.
+//!
+//! Determinism: given the same seed, workload and scheduler behaviour,
+//! a run is exactly reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cost::CostModel;
+use crate::trace::{TraceEntry, TraceSink};
+use crate::plan::{OpId, PhysicalPlan};
+use crate::scheduler::{
+    validate_decision, OpStatus, QueryId, QueryRuntime, SchedContext, SchedDecision, SchedEvent,
+    Scheduler,
+};
+use crate::stats::WorkOrderStats;
+
+/// One query of a workload: a plan plus its arrival time.
+#[derive(Debug, Clone)]
+pub struct WorkloadItem {
+    /// Arrival time (seconds since session start; 0 for batch workloads).
+    pub arrival_time: f64,
+    /// The physical plan to execute.
+    pub plan: Arc<PhysicalPlan>,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Worker-pool size (the paper's default is 60).
+    pub num_threads: usize,
+    /// Cost/dynamics model.
+    pub cost: CostModel,
+    /// RNG seed for duration noise.
+    pub seed: u64,
+    /// Safety cap on processed events.
+    pub max_events: u64,
+    /// Optional execution-trace sink (records every work order).
+    pub trace: Option<TraceSink>,
+    /// Scheduled worker-pool resizes as `(time, new_size)` pairs — the
+    /// paper's scheduling trigger (1), "adding or removing a thread to
+    /// the pool" (Section 5.2). Growth adds fresh idle threads; shrink
+    /// retires idle threads immediately and busy threads as they free.
+    pub pool_resizes: Vec<(f64, usize)>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            num_threads: 60,
+            cost: CostModel::default_model(),
+            seed: 0,
+            max_events: 50_000_000,
+            trace: None,
+            pool_resizes: Vec::new(),
+        }
+    }
+}
+
+/// Outcome of one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Query id.
+    pub qid: QueryId,
+    /// Plan name.
+    pub name: String,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Finish time.
+    pub finish: f64,
+    /// Latency (`finish - arrival`).
+    pub duration: f64,
+}
+
+/// Result of simulating a workload under a scheduler.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-query outcomes, in completion order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Time the last query finished.
+    pub makespan: f64,
+    /// Number of scheduler invocations.
+    pub sched_invocations: u64,
+    /// Number of accepted scheduling decisions.
+    pub sched_decisions: u64,
+    /// Decisions rejected by validation.
+    pub sched_rejected: u64,
+    /// Progress-guard fallback decisions (a well-behaved scheduler
+    /// should keep this at zero).
+    pub fallback_decisions: u64,
+    /// Wall-clock seconds spent inside `Scheduler::on_event` (the
+    /// scheduling overhead of Figure 13a).
+    pub sched_wall_time: f64,
+    /// Total executed work orders.
+    pub total_work_orders: u64,
+    /// True when the event cap was hit before completion.
+    pub timed_out: bool,
+}
+
+impl SimResult {
+    /// Mean query latency.
+    pub fn avg_duration(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(|o| o.duration).sum::<f64>() / self.outcomes.len() as f64
+    }
+
+    /// The `p`-quantile of query latency (0.9 = tail latency indicator).
+    pub fn quantile_duration(&self, p: f64) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let mut d: Vec<f64> = self.outcomes.iter().map(|o| o.duration).collect();
+        d.sort_by(f64::total_cmp);
+        let idx = ((d.len() as f64 - 1.0) * p).round() as usize;
+        d[idx]
+    }
+
+    /// Sorted latencies with cumulative fractions — the CDF the paper's
+    /// Figures 8–10 plot.
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let mut d: Vec<f64> = self.outcomes.iter().map(|o| o.duration).collect();
+        d.sort_by(f64::total_cmp);
+        let n = d.len() as f64;
+        d.into_iter().enumerate().map(|(i, v)| (v, (i + 1) as f64 / n)).collect()
+    }
+
+    /// Average scheduling latency charged per query (seconds).
+    pub fn sched_latency_per_query(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.sched_wall_time / self.outcomes.len() as f64
+    }
+}
+
+/// Heap key ordering events by time (earliest first), tie-broken by
+/// insertion sequence for determinism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EvKey {
+    time: f64,
+    seq: u64,
+}
+
+impl Eq for EvKey {}
+
+impl Ord for EvKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for EvKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Arrival(usize),
+    WoDone { pipeline: usize, op: OpId, thread: usize, duration: f64, memory: f64 },
+    PoolResize(usize),
+}
+
+#[derive(Debug)]
+struct HeapItem {
+    key: EvKey,
+    ev: Ev,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct PipelineRun {
+    query: QueryId,
+    chain: Vec<OpId>,
+    threads: Vec<usize>,
+    stalled: Vec<usize>,
+    buffer_mem: f64,
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    cfg: SimConfig,
+    rng: StdRng,
+    time: f64,
+    heap: BinaryHeap<HeapItem>,
+    seq: u64,
+    queries: Vec<QueryRuntime>,
+    free_threads: Vec<usize>,
+    pool_size: usize,
+    next_thread_id: usize,
+    pending_retirements: usize,
+    pipelines: Vec<Option<PipelineRun>>,
+    in_flight_mem: f64,
+    // metrics
+    outcomes: Vec<QueryOutcome>,
+    invocations: u64,
+    decisions: u64,
+    rejected: u64,
+    fallbacks: u64,
+    sched_wall: f64,
+    work_orders: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let free_threads: Vec<usize> = (0..cfg.num_threads).collect();
+        let pool_size = cfg.num_threads;
+        let next_thread_id = cfg.num_threads;
+        Self {
+            cfg,
+            rng,
+            time: 0.0,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            queries: Vec::new(),
+            free_threads,
+            pool_size,
+            next_thread_id,
+            pending_retirements: 0,
+            pipelines: Vec::new(),
+            in_flight_mem: 0.0,
+            outcomes: Vec::new(),
+            invocations: 0,
+            decisions: 0,
+            rejected: 0,
+            fallbacks: 0,
+            sched_wall: 0.0,
+            work_orders: 0,
+        }
+    }
+
+    fn push_event(&mut self, time: f64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(HeapItem { key: EvKey { time, seq: self.seq }, ev });
+    }
+
+    /// Runs `workload` to completion under `scheduler`.
+    pub fn run(mut self, workload: &[WorkloadItem], scheduler: &mut dyn Scheduler) -> SimResult {
+        for (i, item) in workload.iter().enumerate() {
+            self.push_event(item.arrival_time, Ev::Arrival(i));
+        }
+        let resizes = self.cfg.pool_resizes.clone();
+        for (t, size) in resizes {
+            self.push_event(t, Ev::PoolResize(size.max(1)));
+        }
+
+        let mut processed: u64 = 0;
+        let mut timed_out = false;
+        while let Some(item) = self.heap.pop() {
+            processed += 1;
+            if processed > self.cfg.max_events {
+                timed_out = true;
+                break;
+            }
+            self.time = self.time.max(item.key.time);
+            match item.ev {
+                Ev::Arrival(i) => {
+                    let qid = QueryId(i as u64);
+                    let qr = QueryRuntime::new(
+                        qid,
+                        Arc::clone(&workload[i].plan),
+                        self.time,
+                        self.pool_size.max(self.cfg.num_threads) + 64,
+                    );
+                    self.queries.push(qr);
+                    self.invoke_scheduler(scheduler, SchedEvent::QueryArrived(qid));
+                }
+                Ev::WoDone { pipeline, op, thread, duration, memory } => {
+                    self.handle_wo_done(scheduler, pipeline, op, thread, duration, memory);
+                }
+                Ev::PoolResize(size) => self.handle_pool_resize(scheduler, size),
+            }
+
+            // Progress guard: no pending events but unfinished queries.
+            if self.heap.is_empty() && !self.queries.is_empty() {
+                self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(0));
+                if self.heap.is_empty() {
+                    self.force_fallback();
+                }
+                if self.heap.is_empty() {
+                    // Nothing dispatchable at all — structural dead end.
+                    timed_out = true;
+                    break;
+                }
+            }
+        }
+
+        SimResult {
+            makespan: self.outcomes.iter().map(|o| o.finish).fold(0.0, f64::max),
+            outcomes: self.outcomes,
+            sched_invocations: self.invocations,
+            sched_decisions: self.decisions,
+            sched_rejected: self.rejected,
+            fallback_decisions: self.fallbacks,
+            sched_wall_time: self.sched_wall,
+            total_work_orders: self.work_orders,
+            timed_out,
+        }
+    }
+
+    fn query_index(&self, qid: QueryId) -> Option<usize> {
+        self.queries.iter().position(|q| q.qid == qid)
+    }
+
+    fn handle_wo_done(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        pid: usize,
+        op: OpId,
+        thread: usize,
+        duration: f64,
+        memory: f64,
+    ) {
+        self.in_flight_mem -= memory;
+        self.work_orders += 1;
+        let qid = self.pipelines[pid].as_ref().expect("pipeline alive").query;
+        let qidx = self.query_index(qid).expect("query alive while pipeline runs");
+
+        let stats = WorkOrderStats {
+            duration,
+            memory,
+            output_rows: 0,
+            completed_at: self.time,
+        };
+        self.queries[qidx].ops[op.0].observe_completion(&stats);
+        let op_finished = self.queries[qidx].ops[op.0].status == OpStatus::Finished;
+        if op_finished {
+            self.queries[qidx].refresh_statuses();
+        }
+
+        // Wake the completing thread plus any stalled threads of *all* of
+        // this query's pipelines: producer progress in one pipeline can
+        // make consumer work orders dispatchable in another.
+        let mut to_dispatch: Vec<(usize, usize)> = vec![(pid, thread)];
+        for (i, slot) in self.pipelines.iter_mut().enumerate() {
+            if let Some(p) = slot {
+                if p.query == qid {
+                    to_dispatch.extend(p.stalled.drain(..).map(|t| (i, t)));
+                }
+            }
+        }
+        for (p, t) in to_dispatch {
+            self.dispatch_thread(p, t);
+        }
+
+        // Pipeline completion check: all chain ops finished and no thread
+        // still holds an in-flight work order for it.
+        let done = {
+            let p = self.pipelines[pid].as_ref().expect("pipeline alive");
+            let chain_done =
+                p.chain.iter().all(|o| self.queries[qidx].ops[o.0].status == OpStatus::Finished);
+            chain_done && p.threads.iter().all(|t| p.stalled.contains(t))
+        };
+        let mut freed = 0;
+        if done {
+            let p = self.pipelines[pid].take().expect("pipeline alive");
+            self.in_flight_mem -= p.buffer_mem;
+            self.queries[qidx].assigned_threads -= p.threads.len();
+            for t in p.threads {
+                if self.pending_retirements > 0 {
+                    // A shrink is outstanding: retire the thread instead
+                    // of returning it to the pool.
+                    self.pending_retirements -= 1;
+                } else {
+                    self.free_threads.push(t);
+                    freed += 1;
+                }
+            }
+            self.free_threads.sort_unstable();
+        }
+
+        // Query completion.
+        let mut query_finished = false;
+        if self.queries[qidx].is_finished() {
+            query_finished = true;
+            let q = &mut self.queries[qidx];
+            q.finish_time = Some(self.time);
+            self.outcomes.push(QueryOutcome {
+                qid: q.qid,
+                name: q.plan.name.clone(),
+                arrival: q.arrival_time,
+                finish: self.time,
+                duration: self.time - q.arrival_time,
+            });
+            let t = self.time;
+            scheduler.on_query_finished(t, qid);
+            self.queries.remove(qidx);
+        }
+
+        // Scheduling events, per Section 5.2.
+        if op_finished && !query_finished {
+            self.invoke_scheduler(scheduler, SchedEvent::OperatorCompleted { query: qid, op });
+        }
+        if freed > 0 {
+            self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(freed));
+        }
+    }
+
+    /// How many work orders of `op` may be dispatched given producer
+    /// progress: `min_c floor(frac(c) * total(op))` over children, where a
+    /// finished child contributes fraction 1.
+    fn allowed_dispatch(&self, qidx: usize, op: OpId) -> u32 {
+        let q = &self.queries[qidx];
+        let total = q.ops[op.0].total_work_orders;
+        let mut allowed = total;
+        for (_, child) in q.plan.children_of(op) {
+            let c = &q.ops[child.0];
+            let frac = if c.status == OpStatus::Finished {
+                1.0
+            } else {
+                c.completed_work_orders as f64 / c.total_work_orders as f64
+            };
+            allowed = allowed.min((frac * total as f64).floor() as u32);
+        }
+        allowed
+    }
+
+    /// Tries to hand `thread` its next work order from pipeline `pid`;
+    /// stalls the thread in the pipeline when nothing is dispatchable.
+    fn dispatch_thread(&mut self, pid: usize, thread: usize) {
+        let (qid, chain) = {
+            let p = self.pipelines[pid].as_ref().expect("pipeline alive");
+            (p.query, p.chain.clone())
+        };
+        let qidx = match self.query_index(qid) {
+            Some(i) => i,
+            None => return,
+        };
+
+        // Producers first: upstream ops appear first in the chain.
+        let mut picked: Option<(OpId, bool)> = None;
+        for (ci, &op) in chain.iter().enumerate() {
+            let o = &self.queries[qidx].ops[op.0];
+            if o.undispatched_work_orders() == 0 {
+                continue;
+            }
+            let in_progress = o.completed_work_orders + o.dispatched_work_orders;
+            if in_progress < self.allowed_dispatch(qidx, op) {
+                picked = Some((op, ci > 0));
+                break;
+            }
+        }
+
+        match picked {
+            Some((op, is_pipelined_consumer)) => {
+                let plan_op = self.queries[qidx].plan.op(op).clone();
+                let mut base = plan_op.est_wo_duration;
+                if is_pipelined_consumer {
+                    base *= self.cfg.cost.pipeline_speedup;
+                }
+                if self.queries[qidx].executed_on.get(thread).copied().unwrap_or(false) {
+                    base *= self.cfg.cost.thread_locality_speedup;
+                }
+                base *= self.cfg.cost.thrash_multiplier(self.in_flight_mem);
+                let duration = self.cfg.cost.sample_duration(&mut self.rng, base).max(1e-9);
+                let memory = plan_op.est_wo_memory;
+                self.in_flight_mem += memory;
+                self.queries[qidx].ops[op.0].dispatched_work_orders += 1;
+                if let Some(slot) = self.queries[qidx].executed_on.get_mut(thread) {
+                    *slot = true;
+                }
+                let t = self.time + duration;
+                if let Some(sink) = &self.cfg.trace {
+                    sink.lock().push(TraceEntry {
+                        thread,
+                        query: qid,
+                        op,
+                        start: self.time,
+                        end: t,
+                        pipelined: is_pipelined_consumer,
+                    });
+                }
+                self.push_event(t, Ev::WoDone { pipeline: pid, op, thread, duration, memory });
+            }
+            None => {
+                let p = self.pipelines[pid].as_mut().expect("pipeline alive");
+                if !p.stalled.contains(&thread) {
+                    p.stalled.push(thread);
+                }
+            }
+        }
+    }
+
+    /// The pipeline chain a decision actually covers: walk up from the
+    /// root along single non-breaking edges while each consumer is not
+    /// yet started and all of its *other* producers are satisfied.
+    fn effective_chain(&self, qidx: usize, root: OpId, degree: usize) -> Vec<OpId> {
+        let q = &self.queries[qidx];
+        let mut chain = vec![root];
+        let mut cur = root;
+        'outer: while chain.len() < degree {
+            let ups: Vec<_> = q
+                .plan
+                .parents_of(cur)
+                .into_iter()
+                .filter(|(e, _)| e.non_pipeline_breaking)
+                .collect();
+            if ups.len() != 1 {
+                break;
+            }
+            let (_, parent) = ups[0];
+            let ps = q.ops[parent.0].status;
+            if matches!(ps, OpStatus::Running | OpStatus::Finished) {
+                break;
+            }
+            for (edge, child) in q.plan.children_of(parent) {
+                if child == cur {
+                    continue;
+                }
+                let cs = q.ops[child.0].status;
+                let ok = if edge.non_pipeline_breaking {
+                    matches!(cs, OpStatus::Running | OpStatus::Finished)
+                } else {
+                    cs == OpStatus::Finished
+                };
+                if !ok {
+                    break 'outer;
+                }
+            }
+            chain.push(parent);
+            cur = parent;
+        }
+        chain
+    }
+
+    fn apply_decision(&mut self, d: &SchedDecision) -> bool {
+        // Re-validate against current (possibly updated) state.
+        {
+            let free_ids = self.free_threads.clone();
+            let ctx = SchedContext {
+                time: self.time,
+                total_threads: self.pool_size,
+                free_threads: free_ids.len(),
+                free_thread_ids: &free_ids,
+                queries: &self.queries,
+            };
+            if validate_decision(&ctx, d).is_err() {
+                self.rejected += 1;
+                return false;
+            }
+        }
+        if self.free_threads.is_empty() {
+            self.rejected += 1;
+            return false;
+        }
+        let qidx = self.query_index(d.query).expect("validated");
+        let chain = self.effective_chain(qidx, d.root, d.pipeline_degree);
+        let grant = d.threads.min(self.free_threads.len()).max(1);
+        let threads: Vec<usize> = self.free_threads.drain(..grant).collect();
+
+        for &op in &chain {
+            self.queries[qidx].ops[op.0].status = OpStatus::Running;
+        }
+        self.queries[qidx].assigned_threads += threads.len();
+        self.queries[qidx].refresh_statuses();
+
+        let buffer_mem =
+            self.cfg.cost.pipeline_buffer_bytes * chain.len() as f64 * threads.len() as f64;
+        self.in_flight_mem += buffer_mem;
+
+        let pid = self.pipelines.len();
+        self.pipelines.push(Some(PipelineRun {
+            query: d.query,
+            chain,
+            threads: threads.clone(),
+            stalled: Vec::new(),
+            buffer_mem,
+        }));
+        for t in threads {
+            self.dispatch_thread(pid, t);
+        }
+        self.decisions += 1;
+        true
+    }
+
+    fn invoke_scheduler(&mut self, scheduler: &mut dyn Scheduler, event: SchedEvent) {
+        // Paper guard: no decisions when no free threads or nothing to
+        // do. Pool-resize events are always delivered — the policy must
+        // observe capacity changes even when it cannot act immediately.
+        let force = matches!(event, SchedEvent::ThreadPoolResized(_));
+        if !force {
+            if self.free_threads.is_empty() {
+                return;
+            }
+            let has_work = self.queries.iter().any(|q| !q.schedulable_ops().is_empty());
+            if !has_work {
+                return;
+            }
+        }
+        let free_ids = self.free_threads.clone();
+        let decisions = {
+            let ctx = SchedContext {
+                time: self.time,
+                total_threads: self.pool_size,
+                free_threads: free_ids.len(),
+                free_thread_ids: &free_ids,
+                queries: &self.queries,
+            };
+            let t0 = Instant::now();
+            let ds = scheduler.on_event(&ctx, &event);
+            self.sched_wall += t0.elapsed().as_secs_f64();
+            self.invocations += 1;
+            ds
+        };
+        for d in &decisions {
+            if self.free_threads.is_empty() {
+                break;
+            }
+            self.apply_decision(d);
+        }
+    }
+
+    /// Applies a worker-pool resize: growth adds fresh idle thread ids;
+    /// shrink retires idle threads immediately and defers the rest until
+    /// busy threads free up. Fires the paper's ThreadPoolResized
+    /// scheduling event.
+    fn handle_pool_resize(&mut self, scheduler: &mut dyn Scheduler, new_size: usize) {
+        if new_size > self.pool_size {
+            let grow = new_size - self.pool_size;
+            for _ in 0..grow {
+                self.free_threads.push(self.next_thread_id);
+                self.next_thread_id += 1;
+            }
+            self.free_threads.sort_unstable();
+        } else {
+            let mut shrink = self.pool_size - new_size;
+            // Retire idle threads first (highest ids first).
+            while shrink > 0 {
+                match self.free_threads.pop() {
+                    Some(_) => shrink -= 1,
+                    None => break,
+                }
+            }
+            self.pending_retirements += shrink;
+        }
+        self.pool_size = new_size;
+        self.invoke_scheduler(scheduler, SchedEvent::ThreadPoolResized(new_size));
+    }
+
+    /// Progress guard: schedule the first schedulable operator of the
+    /// oldest query on one thread. Keeps badly behaved (e.g. untrained)
+    /// policies from deadlocking an episode.
+    fn force_fallback(&mut self) {
+        if self.free_threads.is_empty() {
+            return;
+        }
+        let candidate = self
+            .queries
+            .iter()
+            .enumerate()
+            .find_map(|(i, q)| q.schedulable_ops().first().map(|&op| (i, q.qid, op)));
+        if let Some((_, qid, op)) = candidate {
+            let d = SchedDecision { query: qid, root: op, pipeline_degree: 1, threads: 1 };
+            if self.apply_decision(&d) {
+                self.fallbacks += 1;
+                self.decisions -= 1; // not a scheduler decision
+            }
+        }
+    }
+}
+
+/// Convenience: simulate a workload under a scheduler with a config.
+pub fn simulate(
+    cfg: SimConfig,
+    workload: &[WorkloadItem],
+    scheduler: &mut dyn Scheduler,
+) -> SimResult {
+    Simulator::new(cfg).run(workload, scheduler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{OpKind, OpSpec, PlanBuilder};
+
+    /// A scheduler that always schedules everything it can, FIFO order,
+    /// full pipelines, all free threads to the first query.
+    struct GreedyFifo;
+
+    impl Scheduler for GreedyFifo {
+        fn name(&self) -> String {
+            "greedy_fifo_test".into()
+        }
+        fn on_event(&mut self, ctx: &SchedContext<'_>, _ev: &SchedEvent) -> Vec<SchedDecision> {
+            let mut out = Vec::new();
+            let mut free = ctx.free_threads;
+            for q in ctx.queries {
+                for root in q.schedulable_ops() {
+                    if free == 0 {
+                        return out;
+                    }
+                    let deg = q.plan.longest_npb_chain(root);
+                    out.push(SchedDecision {
+                        query: q.qid,
+                        root,
+                        pipeline_degree: deg,
+                        threads: free,
+                    });
+                    free = free.saturating_sub(1);
+                }
+            }
+            out
+        }
+    }
+
+    fn two_stage_plan(name: &str, wos: u32) -> Arc<PhysicalPlan> {
+        let mut b = PlanBuilder::new(name);
+        let scan = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![0], vec![0], 1e4, wos, 0.01, 1e4);
+        let sel = b.add_op(OpKind::Select, OpSpec::Synthetic, vec![0], vec![1], 5e3, wos, 0.008, 1e4);
+        let agg = b.add_op(OpKind::Aggregate, OpSpec::Synthetic, vec![0], vec![1], 5e3, wos, 0.012, 2e4);
+        let fin = b.add_op(OpKind::FinalizeAggregate, OpSpec::Synthetic, vec![0], vec![1], 1.0, 1, 0.005, 1e3);
+        b.connect(scan, sel, true);
+        b.connect(sel, agg, true);
+        b.connect(agg, fin, false);
+        Arc::new(b.finish(fin))
+    }
+
+    fn small_workload(n: usize) -> Vec<WorkloadItem> {
+        (0..n)
+            .map(|i| WorkloadItem {
+                arrival_time: i as f64 * 0.01,
+                plan: two_stage_plan(&format!("q{i}"), 6),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_queries_complete() {
+        let wl = small_workload(5);
+        let res = simulate(
+            SimConfig { num_threads: 4, ..Default::default() },
+            &wl,
+            &mut GreedyFifo,
+        );
+        assert!(!res.timed_out);
+        assert_eq!(res.outcomes.len(), 5);
+        assert!(res.makespan > 0.0);
+        // 5 queries * (6+6+6+1) work orders
+        assert_eq!(res.total_work_orders, 5 * 19);
+        assert!(res.fallback_decisions == 0, "greedy policy should never need the guard");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let wl = small_workload(4);
+        let cfg = SimConfig { num_threads: 4, seed: 42, ..Default::default() };
+        let r1 = simulate(cfg.clone(), &wl, &mut GreedyFifo);
+        let r2 = simulate(cfg, &wl, &mut GreedyFifo);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.avg_duration(), r2.avg_duration());
+        assert_eq!(r1.sched_invocations, r2.sched_invocations);
+    }
+
+    #[test]
+    fn lazy_scheduler_rescued_by_guard() {
+        /// Never schedules anything voluntarily.
+        struct Lazy;
+        impl Scheduler for Lazy {
+            fn name(&self) -> String {
+                "lazy".into()
+            }
+            fn on_event(&mut self, _: &SchedContext<'_>, _: &SchedEvent) -> Vec<SchedDecision> {
+                Vec::new()
+            }
+        }
+        let wl = small_workload(2);
+        let res = simulate(SimConfig { num_threads: 2, ..Default::default() }, &wl, &mut Lazy);
+        assert!(!res.timed_out);
+        assert_eq!(res.outcomes.len(), 2);
+        assert!(res.fallback_decisions > 0);
+    }
+
+    #[test]
+    fn more_threads_not_slower() {
+        let wl = small_workload(8);
+        let r2 = simulate(
+            SimConfig { num_threads: 2, seed: 7, ..Default::default() },
+            &wl,
+            &mut GreedyFifo,
+        );
+        let r16 = simulate(
+            SimConfig { num_threads: 16, seed: 7, ..Default::default() },
+            &wl,
+            &mut GreedyFifo,
+        );
+        assert!(
+            r16.makespan <= r2.makespan * 1.05,
+            "16 threads ({}) should not be slower than 2 ({})",
+            r16.makespan,
+            r2.makespan
+        );
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let wl = small_workload(6);
+        let res = simulate(SimConfig { num_threads: 4, ..Default::default() }, &wl, &mut GreedyFifo);
+        let cdf = res.cdf();
+        assert_eq!(cdf.len(), 6);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        assert!(res.quantile_duration(0.9) >= res.quantile_duration(0.1));
+    }
+
+    #[test]
+    fn pipelined_run_beats_sequential() {
+        /// Schedules each operator alone (degree 1), one at a time.
+        struct Sequential;
+        impl Scheduler for Sequential {
+            fn name(&self) -> String {
+                "sequential".into()
+            }
+            fn on_event(&mut self, ctx: &SchedContext<'_>, _: &SchedEvent) -> Vec<SchedDecision> {
+                let mut out = Vec::new();
+                let mut free = ctx.free_threads;
+                for q in ctx.queries {
+                    for root in q.schedulable_ops() {
+                        if free == 0 {
+                            return out;
+                        }
+                        out.push(SchedDecision {
+                            query: q.qid,
+                            root,
+                            pipeline_degree: 1,
+                            threads: 2,
+                        });
+                        free = free.saturating_sub(2);
+                    }
+                }
+                out
+            }
+        }
+        let wl = vec![WorkloadItem { arrival_time: 0.0, plan: two_stage_plan("solo", 24) }];
+        let cfg = SimConfig { num_threads: 4, seed: 3, ..Default::default() };
+        let pipelined = simulate(cfg.clone(), &wl, &mut GreedyFifo);
+        let sequential = simulate(cfg, &wl, &mut Sequential);
+        assert!(
+            pipelined.makespan < sequential.makespan,
+            "pipelining ({}) should beat sequential ({})",
+            pipelined.makespan,
+            sequential.makespan
+        );
+    }
+
+    #[test]
+    fn memory_pressure_slows_execution() {
+        let wl = small_workload(6);
+        let tight = {
+            let mut cfg = SimConfig { num_threads: 8, seed: 5, ..Default::default() };
+            cfg.cost.memory_budget = 1.0; // everything thrashes
+            simulate(cfg, &wl, &mut GreedyFifo)
+        };
+        let roomy = simulate(
+            SimConfig { num_threads: 8, seed: 5, ..Default::default() },
+            &wl,
+            &mut GreedyFifo,
+        );
+        assert!(
+            tight.makespan > roomy.makespan * 1.5,
+            "thrashing ({}) should clearly exceed roomy ({})",
+            tight.makespan,
+            roomy.makespan
+        );
+    }
+}
+
+#[cfg(test)]
+mod resize_tests {
+    use super::*;
+    use crate::plan::{OpKind, OpSpec, PlanBuilder};
+    use crate::scheduler::Scheduler;
+
+    struct Greedy {
+        resize_events_seen: Vec<usize>,
+    }
+    impl Scheduler for Greedy {
+        fn name(&self) -> String {
+            "greedy_resize_test".into()
+        }
+        fn on_event(&mut self, ctx: &SchedContext<'_>, ev: &SchedEvent) -> Vec<SchedDecision> {
+            if let SchedEvent::ThreadPoolResized(n) = ev {
+                self.resize_events_seen.push(*n);
+            }
+            let mut out = Vec::new();
+            let mut free = ctx.free_threads;
+            for q in ctx.queries {
+                for root in q.schedulable_ops() {
+                    if free == 0 {
+                        return out;
+                    }
+                    out.push(SchedDecision {
+                        query: q.qid,
+                        root,
+                        pipeline_degree: q.plan.longest_npb_chain(root),
+                        threads: 1,
+                    });
+                    free -= 1;
+                }
+            }
+            out
+        }
+    }
+
+    fn chain(name: &str, wos: u32) -> Arc<PhysicalPlan> {
+        let mut b = PlanBuilder::new(name);
+        let scan = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![0], vec![0], 1e5, wos, 0.01, 1e5);
+        let sel = b.add_op(OpKind::Select, OpSpec::Synthetic, vec![0], vec![1], 5e4, wos, 0.008, 1e5);
+        b.connect(scan, sel, true);
+        Arc::new(b.finish(sel))
+    }
+
+    fn workload(n: usize) -> Vec<WorkloadItem> {
+        (0..n)
+            .map(|i| WorkloadItem { arrival_time: 0.0, plan: chain(&format!("q{i}"), 8) })
+            .collect()
+    }
+
+    #[test]
+    fn pool_growth_fires_event_and_speeds_up() {
+        let wl = workload(6);
+        let base = SimConfig { num_threads: 2, seed: 3, ..Default::default() };
+        let slow = simulate(base.clone(), &wl, &mut Greedy { resize_events_seen: vec![] });
+
+        let mut grown_cfg = base;
+        grown_cfg.pool_resizes = vec![(0.01, 8)];
+        let mut sched = Greedy { resize_events_seen: vec![] };
+        let grown = simulate(grown_cfg, &wl, &mut sched);
+        assert_eq!(sched.resize_events_seen, vec![8]);
+        assert_eq!(grown.outcomes.len(), 6);
+        assert!(
+            grown.makespan < slow.makespan,
+            "growing the pool ({}) should beat the static 2-thread run ({})",
+            grown.makespan,
+            slow.makespan
+        );
+    }
+
+    #[test]
+    fn pool_shrink_retires_threads_and_still_completes() {
+        let wl = workload(6);
+        let mut cfg = SimConfig { num_threads: 8, seed: 4, ..Default::default() };
+        cfg.pool_resizes = vec![(0.02, 2)];
+        let mut sched = Greedy { resize_events_seen: vec![] };
+        let res = simulate(cfg, &wl, &mut sched);
+        assert_eq!(res.outcomes.len(), 6, "all queries must survive a shrink");
+        assert!(!res.timed_out);
+        assert_eq!(sched.resize_events_seen, vec![2]);
+    }
+
+    #[test]
+    fn shrink_then_grow_roundtrip() {
+        let wl = workload(8);
+        let mut cfg = SimConfig { num_threads: 4, seed: 5, ..Default::default() };
+        cfg.pool_resizes = vec![(0.01, 1), (0.05, 6)];
+        let mut sched = Greedy { resize_events_seen: vec![] };
+        let res = simulate(cfg, &wl, &mut sched);
+        assert_eq!(res.outcomes.len(), 8);
+        assert_eq!(sched.resize_events_seen, vec![1, 6]);
+    }
+}

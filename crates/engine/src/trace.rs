@@ -1,0 +1,217 @@
+//! Execution tracing: per-thread timelines of work-order executions (the
+//! Gantt view of Figure 1's schedule rectangles).
+//!
+//! The simulator records one [`TraceEntry`] per executed work order when
+//! given a [`TraceSink`]; [`ExecutionTrace`] then answers utilization and
+//! schedule-shape questions and renders a textual Gantt chart.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::plan::OpId;
+use crate::scheduler::QueryId;
+
+/// One executed work order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Executing thread.
+    pub thread: usize,
+    /// Query the work order belongs to.
+    pub query: QueryId,
+    /// Operator the work order belongs to.
+    pub op: OpId,
+    /// Start time.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+    /// Whether the work order ran as a pipelined consumer (cache-hot
+    /// input).
+    pub pipelined: bool,
+}
+
+/// Shared sink the simulator writes entries into.
+pub type TraceSink = Arc<Mutex<Vec<TraceEntry>>>;
+
+/// Creates an empty sink.
+pub fn trace_sink() -> TraceSink {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+/// A completed execution trace.
+#[derive(Debug, Clone)]
+pub struct ExecutionTrace {
+    entries: Vec<TraceEntry>,
+    num_threads: usize,
+}
+
+impl ExecutionTrace {
+    /// Builds a trace from a sink's contents.
+    pub fn from_sink(sink: &TraceSink, num_threads: usize) -> Self {
+        let mut entries = sink.lock().clone();
+        entries.sort_by(|a, b| a.start.total_cmp(&b.start));
+        Self { entries, num_threads }
+    }
+
+    /// All entries, start-ordered.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of executed work orders.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The makespan covered by the trace.
+    pub fn makespan(&self) -> f64 {
+        self.entries.iter().map(|e| e.end).fold(0.0, f64::max)
+    }
+
+    /// Busy time of one thread.
+    pub fn thread_busy(&self, thread: usize) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.thread == thread)
+            .map(|e| e.end - e.start)
+            .sum()
+    }
+
+    /// Mean utilization across threads over the makespan.
+    pub fn utilization(&self) -> f64 {
+        let span = self.makespan();
+        if span <= 0.0 || self.num_threads == 0 {
+            return 0.0;
+        }
+        let busy: f64 = (0..self.num_threads).map(|t| self.thread_busy(t)).sum();
+        busy / (span * self.num_threads as f64)
+    }
+
+    /// Fraction of work orders that ran pipelined.
+    pub fn pipelined_fraction(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries.iter().filter(|e| e.pipelined).count() as f64 / self.entries.len() as f64
+    }
+
+    /// Verifies no thread ever runs two work orders at once.
+    pub fn validate_no_overlap(&self) -> Result<(), String> {
+        for t in 0..self.num_threads {
+            let mut spans: Vec<(f64, f64)> = self
+                .entries
+                .iter()
+                .filter(|e| e.thread == t)
+                .map(|e| (e.start, e.end))
+                .collect();
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                if w[1].0 < w[0].1 - 1e-9 {
+                    return Err(format!(
+                        "thread {t}: overlap between [{:.6},{:.6}] and [{:.6},{:.6}]",
+                        w[0].0, w[0].1, w[1].0, w[1].1
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders a textual Gantt chart with `width` columns, one row per
+    /// thread; each cell shows the query id (mod 10) occupying it, `.`
+    /// for idle.
+    pub fn gantt(&self, width: usize) -> String {
+        let span = self.makespan();
+        if span <= 0.0 {
+            return String::new();
+        }
+        let mut out = String::new();
+        for t in 0..self.num_threads {
+            let mut row = vec!['.'; width];
+            for e in self.entries.iter().filter(|e| e.thread == t) {
+                let a = ((e.start / span) * width as f64).floor() as usize;
+                let b = (((e.end / span) * width as f64).ceil() as usize).min(width);
+                let c = char::from_digit((e.query.0 % 10) as u32, 10).unwrap_or('?');
+                for cell in row.iter_mut().take(b).skip(a.min(width.saturating_sub(1))) {
+                    *cell = c;
+                }
+            }
+            out.push_str(&format!("T{t:02} |"));
+            out.extend(row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(thread: usize, q: u64, start: f64, end: f64) -> TraceEntry {
+        TraceEntry {
+            thread,
+            query: QueryId(q),
+            op: OpId(0),
+            start,
+            end,
+            pipelined: false,
+        }
+    }
+
+    #[test]
+    fn utilization_and_busy_time() {
+        let sink = trace_sink();
+        sink.lock().push(entry(0, 1, 0.0, 1.0));
+        sink.lock().push(entry(1, 1, 0.0, 0.5));
+        let t = ExecutionTrace::from_sink(&sink, 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.makespan(), 1.0);
+        assert_eq!(t.thread_busy(0), 1.0);
+        assert_eq!(t.thread_busy(1), 0.5);
+        assert!((t.utilization() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let sink = trace_sink();
+        sink.lock().push(entry(0, 1, 0.0, 1.0));
+        sink.lock().push(entry(0, 2, 0.5, 1.5));
+        let t = ExecutionTrace::from_sink(&sink, 1);
+        assert!(t.validate_no_overlap().is_err());
+
+        let sink2 = trace_sink();
+        sink2.lock().push(entry(0, 1, 0.0, 1.0));
+        sink2.lock().push(entry(0, 2, 1.0, 1.5));
+        let t2 = ExecutionTrace::from_sink(&sink2, 1);
+        assert!(t2.validate_no_overlap().is_ok());
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let sink = trace_sink();
+        sink.lock().push(entry(0, 1, 0.0, 0.5));
+        sink.lock().push(entry(1, 2, 0.5, 1.0));
+        let t = ExecutionTrace::from_sink(&sink, 2);
+        let g = t.gantt(10);
+        let rows: Vec<&str> = g.lines().collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].contains('1'));
+        assert!(rows[1].contains('2'));
+        assert!(rows[0].starts_with("T00 |"));
+    }
+
+    #[test]
+    fn pipelined_fraction_counts() {
+        let sink = trace_sink();
+        sink.lock().push(entry(0, 1, 0.0, 0.5));
+        sink.lock().push(TraceEntry { pipelined: true, ..entry(0, 1, 0.5, 1.0) });
+        let t = ExecutionTrace::from_sink(&sink, 1);
+        assert!((t.pipelined_fraction() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,137 @@
+//! Scalar values and column types for the block-based engine.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE float.
+    Float64,
+    /// UTF-8 string.
+    Str,
+}
+
+/// A single scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int64(i64),
+    /// 64-bit IEEE float.
+    Float64(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Value::Int64(_) => ColumnType::Int64,
+            Value::Float64(_) => ColumnType::Float64,
+            Value::Str(_) => ColumnType::Str,
+        }
+    }
+
+    /// The integer payload, if this is an `Int64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float payload, coercing integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float64(v) => Some(*v),
+            Value::Int64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Total ordering across comparable values (ints and floats compare
+    /// numerically; strings lexicographically; cross-kind comparisons of
+    /// string vs numeric order strings last).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int64(a), Int64(b)) => a.cmp(b),
+            (Float64(a), Float64(b)) => a.total_cmp(b),
+            (Int64(a), Float64(b)) => (*a as f64).total_cmp(b),
+            (Float64(a), Int64(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Str(_), _) => Ordering::Greater,
+            (_, Str(_)) => Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_types() {
+        assert_eq!(Value::Int64(1).column_type(), ColumnType::Int64);
+        assert_eq!(Value::Float64(1.0).column_type(), ColumnType::Float64);
+        assert_eq!(Value::from("x").column_type(), ColumnType::Str);
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Value::Int64(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float64(2.5).as_i64(), None);
+    }
+
+    #[test]
+    fn cross_type_ordering() {
+        assert_eq!(Value::Int64(1).total_cmp(&Value::Float64(1.5)), Ordering::Less);
+        assert_eq!(Value::from("a").total_cmp(&Value::Int64(9)), Ordering::Greater);
+        assert_eq!(Value::from("a").total_cmp(&Value::from("b")), Ordering::Less);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        assert_eq!(Value::Int64(-7).to_string(), "-7");
+        assert_eq!(Value::from("hi").to_string(), "hi");
+    }
+}

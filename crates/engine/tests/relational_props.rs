@@ -1,0 +1,218 @@
+//! Property tests for the relational work-order operators: algebraic
+//! identities that must hold for arbitrary data and block layouts.
+
+use lsched_engine::block::{blocks_from_columns, Block, Column};
+use lsched_engine::expr::{CmpOp, Predicate, ScalarExpr};
+use lsched_engine::ops::{execute_work_order, OpExecState, WorkOrderInput};
+use lsched_engine::plan::{AggFunc, OpId, OpKind, OpSpec, PhysicalPlan, PlanBuilder};
+use lsched_engine::Catalog;
+use proptest::prelude::*;
+
+fn select_plan(pred: Predicate) -> PhysicalPlan {
+    let mut b = PlanBuilder::new("p");
+    let src = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![], vec![], 1.0, 1, 0.1, 1.0);
+    let sel = b.add_op(OpKind::Select, OpSpec::Select { predicate: pred.clone() }, vec![], vec![], 1.0, 1, 0.1, 1.0);
+    let sel2 = b.add_op(OpKind::Select, OpSpec::Select { predicate: pred }, vec![], vec![], 1.0, 1, 0.1, 1.0);
+    b.connect(src, sel, true);
+    b.connect(sel, sel2, true);
+    b.finish(sel2)
+}
+
+fn run_select(plan: &PhysicalPlan, states: &[OpExecState], op: usize, child: usize, idx: usize) -> u64 {
+    let cat = Catalog::new();
+    execute_work_order(
+        &cat,
+        plan,
+        states,
+        OpId(op),
+        &WorkOrderInput::ChildBlock { child: OpId(child), idx },
+    )
+    .output_rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// σ_p(σ_p(B)) == σ_p(B): selection is idempotent.
+    #[test]
+    fn select_is_idempotent(
+        data in prop::collection::vec(-100i64..100, 1..60),
+        threshold in -100i64..100,
+    ) {
+        let pred = Predicate::col_cmp(0, CmpOp::Gt, threshold);
+        let plan = select_plan(pred.clone());
+        let states: Vec<OpExecState> = (0..3).map(|_| OpExecState::new()).collect();
+        states[0].output.lock().push(Block::new(0, vec![Column::I64(data.clone())]));
+        let first = run_select(&plan, &states, 1, 0, 0);
+        let second = run_select(&plan, &states, 2, 1, 0);
+        prop_assert_eq!(first, second);
+        let expected = data.iter().filter(|&&v| v > threshold).count() as u64;
+        prop_assert_eq!(first, expected);
+    }
+
+    /// Selection commutes with block splitting: filtering the whole
+    /// column equals the union of filtering each block.
+    #[test]
+    fn select_commutes_with_block_split(
+        data in prop::collection::vec(-100i64..100, 1..80),
+        threshold in -100i64..100,
+        rows_per_block in 1usize..40,
+    ) {
+        let pred = Predicate::col_cmp(0, CmpOp::Le, threshold);
+        let plan = select_plan(pred.clone());
+        // Whole-column run.
+        let whole: u64 = {
+            let states: Vec<OpExecState> = (0..3).map(|_| OpExecState::new()).collect();
+            states[0].output.lock().push(Block::new(0, vec![Column::I64(data.clone())]));
+            run_select(&plan, &states, 1, 0, 0)
+        };
+        // Split run.
+        let blocks = blocks_from_columns(vec![Column::I64(data.clone())], rows_per_block);
+        let split: u64 = {
+            let states: Vec<OpExecState> = (0..3).map(|_| OpExecState::new()).collect();
+            {
+                let mut out = states[0].output.lock();
+                for b in blocks {
+                    out.push(b);
+                }
+            }
+            let n = states[0].output_len();
+            (0..n).map(|i| run_select(&plan, &states, 1, 0, i)).sum()
+        };
+        prop_assert_eq!(whole, split);
+    }
+
+    /// Aggregation totals are invariant under block layout: SUM and
+    /// COUNT over any block split equal the whole-column result.
+    #[test]
+    fn aggregate_invariant_under_block_layout(
+        data in prop::collection::vec((-50i64..50, -100i64..100), 1..80),
+        rows_per_block in 1usize..32,
+    ) {
+        let groups: Vec<i64> = data.iter().map(|d| d.0).collect();
+        let vals: Vec<i64> = data.iter().map(|d| d.1).collect();
+
+        let mut b = PlanBuilder::new("agg");
+        let src = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![], vec![], 1.0, 1, 0.1, 1.0);
+        let agg = b.add_op(
+            OpKind::Aggregate,
+            OpSpec::Aggregate {
+                group_by: vec![0],
+                aggs: vec![(AggFunc::Sum, ScalarExpr::col(1)), (AggFunc::Count, ScalarExpr::col(0))],
+            },
+            vec![], vec![], 1.0, 1, 0.1, 1.0,
+        );
+        let fin = b.add_op(OpKind::FinalizeAggregate, OpSpec::FinalizeAggregate, vec![], vec![], 1.0, 1, 0.1, 1.0);
+        b.connect(src, agg, true);
+        b.connect(agg, fin, false);
+        let plan = b.finish(fin);
+        let cat = Catalog::new();
+
+        let run = |rows_per_block: usize| -> Vec<Vec<lsched_engine::Value>> {
+            let states: Vec<OpExecState> = (0..3).map(|_| OpExecState::new()).collect();
+            let blocks = blocks_from_columns(
+                vec![Column::I64(groups.clone()), Column::I64(vals.clone())],
+                rows_per_block,
+            );
+            {
+                let mut out = states[0].output.lock();
+                for blk in blocks {
+                    out.push(blk);
+                }
+            }
+            let n = states[0].output_len();
+            for i in 0..n {
+                execute_work_order(&cat, &plan, &states, OpId(1), &WorkOrderInput::ChildBlock { child: OpId(0), idx: i });
+            }
+            execute_work_order(&cat, &plan, &states, OpId(2), &WorkOrderInput::AllInputs);
+            states[2].collect_rows()
+        };
+
+        let whole = run(data.len());
+        let split = run(rows_per_block);
+        prop_assert_eq!(whole, split);
+    }
+
+    /// Hash-join output size equals the sum over probe rows of matching
+    /// build-row counts (bag semantics), regardless of insertion order.
+    #[test]
+    fn hash_join_counts_match_reference(
+        build_keys in prop::collection::vec(0i64..12, 0..40),
+        probe_keys in prop::collection::vec(0i64..12, 0..40),
+    ) {
+        let mut b = PlanBuilder::new("join");
+        let l = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![], vec![], 1.0, 1, 0.1, 1.0);
+        let r = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![], vec![], 1.0, 1, 0.1, 1.0);
+        let bh = b.add_op(OpKind::BuildHash, OpSpec::BuildHash { keys: vec![0] }, vec![], vec![], 1.0, 1, 0.1, 1.0);
+        let ph = b.add_op(OpKind::ProbeHash, OpSpec::ProbeHash { keys: vec![0] }, vec![], vec![], 1.0, 1, 0.1, 1.0);
+        b.connect(l, bh, true);
+        b.connect(bh, ph, false);
+        b.connect(r, ph, true);
+        let plan = b.finish(ph);
+        let cat = Catalog::new();
+        let states: Vec<OpExecState> = (0..4).map(|_| OpExecState::new()).collect();
+        if !build_keys.is_empty() {
+            states[0].output.lock().push(Block::new(0, vec![Column::I64(build_keys.clone())]));
+            execute_work_order(&cat, &plan, &states, OpId(2), &WorkOrderInput::ChildBlock { child: OpId(0), idx: 0 });
+        } else {
+            // Initialize an empty build table.
+            states[2].hash_table.lock().get_or_insert_with(Default::default);
+        }
+        let got = if probe_keys.is_empty() {
+            0
+        } else {
+            states[1].output.lock().push(Block::new(0, vec![Column::I64(probe_keys.clone())]));
+            execute_work_order(&cat, &plan, &states, OpId(3), &WorkOrderInput::ChildBlock { child: OpId(1), idx: 0 }).output_rows
+        };
+        let want: u64 = probe_keys
+            .iter()
+            .map(|pk| build_keys.iter().filter(|bk| *bk == pk).count() as u64)
+            .sum();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Sorting produces a permutation in non-decreasing key order, for
+    /// any block split.
+    #[test]
+    fn sort_produces_ordered_permutation(
+        data in prop::collection::vec(-1000i64..1000, 1..60),
+        rows_per_block in 1usize..24,
+    ) {
+        let mut b = PlanBuilder::new("sort");
+        let src = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![], vec![], 1.0, 1, 0.1, 1.0);
+        let run_gen = b.add_op(
+            OpKind::SortRunGeneration,
+            OpSpec::SortRunGeneration { cols: vec![0], desc: vec![false] },
+            vec![], vec![], 1.0, 1, 0.1, 1.0,
+        );
+        let merge = b.add_op(
+            OpKind::SortMergeRun,
+            OpSpec::SortMergeRun { cols: vec![0], desc: vec![false] },
+            vec![], vec![], 1.0, 1, 0.1, 1.0,
+        );
+        b.connect(src, run_gen, true);
+        b.connect(run_gen, merge, false);
+        let plan = b.finish(merge);
+        let cat = Catalog::new();
+        let states: Vec<OpExecState> = (0..3).map(|_| OpExecState::new()).collect();
+        {
+            let mut out = states[0].output.lock();
+            for blk in blocks_from_columns(vec![Column::I64(data.clone())], rows_per_block) {
+                out.push(blk);
+            }
+        }
+        let n = states[0].output_len();
+        for i in 0..n {
+            execute_work_order(&cat, &plan, &states, OpId(1), &WorkOrderInput::ChildBlock { child: OpId(0), idx: i });
+        }
+        execute_work_order(&cat, &plan, &states, OpId(2), &WorkOrderInput::AllInputs);
+        let got: Vec<i64> = states[2]
+            .collect_rows()
+            .into_iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
+        let mut want = data.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

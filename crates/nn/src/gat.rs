@@ -1,0 +1,129 @@
+//! Graph-attention scoring (Equations 3–4 of the paper).
+//!
+//! LSched weighs each term of the tree-convolution filter by a learned,
+//! pair-wise attention score between the parent and that term. The
+//! un-normalized score between the parent embedding `x*_p` and a term
+//! embedding `x*_t` is
+//!
+//! ```text
+//! y_t = LeakyReLU( aᵀ (x*_p ‖ x*_t) )          (Eq. 3)
+//! ```
+//!
+//! with a single shared vector `a` per convolution layer, and the final
+//! scores are softmax-normalized across all terms of the filter (Eq. 4).
+
+use rand::rngs::StdRng;
+
+use crate::graph::{Graph, NodeId};
+use crate::init;
+use crate::params::{ParamId, ParamStore};
+
+/// The LeakyReLU slope used for attention scores, following GAT
+/// (Veličković et al., ICLR 2018).
+pub const ATTENTION_LEAKY_SLOPE: f32 = 0.2;
+
+/// A shared single-layer attention network `a ∈ R^{2·dim}` producing a
+/// scalar importance score for a pair of embeddings (Eq. 3).
+#[derive(Debug, Clone)]
+pub struct PairAttention {
+    a: ParamId,
+    dim: usize,
+}
+
+impl PairAttention {
+    /// Creates the attention vector parameter `"{name}.a"` for embeddings
+    /// of dimension `dim`.
+    pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, dim: usize) -> Self {
+        let a = store.register(format!("{name}.a"), init::small_uniform(rng, 2 * dim, 0.1));
+        Self { a, dim }
+    }
+
+    /// Records the un-normalized score `LeakyReLU(aᵀ (anchor ‖ other))`.
+    pub fn score(&self, g: &mut Graph, store: &ParamStore, anchor: NodeId, other: NodeId) -> NodeId {
+        debug_assert_eq!(g.value(anchor).len(), self.dim);
+        debug_assert_eq!(g.value(other).len(), self.dim);
+        let a = g.param(store, self.a);
+        let cat = g.concat(&[anchor, other]);
+        let s = g.dot(a, cat);
+        g.leaky_relu(s, ATTENTION_LEAKY_SLOPE)
+    }
+
+    /// Embedding dimension this attention operates on.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The parameter id of the shared attention vector.
+    pub fn param_id(&self) -> ParamId {
+        self.a
+    }
+}
+
+/// Softmax-normalizes a set of scalar score nodes (Eq. 4), returning one
+/// scalar node per input score.
+pub fn normalize_scores(g: &mut Graph, scores: &[NodeId]) -> Vec<NodeId> {
+    assert!(!scores.is_empty(), "normalize_scores on empty input");
+    let stacked = g.concat(scores);
+    let sm = g.softmax(stacked);
+    (0..scores.len()).map(|i| g.gather(sm, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn score_is_scalar() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let att = PairAttention::new(&mut ps, &mut rng, "att", 3);
+        let mut g = Graph::new();
+        let x = g.input_vec(vec![1.0, 0.0, -1.0]);
+        let y = g.input_vec(vec![0.5, 0.5, 0.5]);
+        let s = att.score(&mut g, &ps, x, y);
+        assert_eq!(g.value(s).len(), 1);
+    }
+
+    #[test]
+    fn known_attention_value() {
+        // a = [1,0,0,1], anchor=[2,0], other=[0,3] → dot = 2 + 3 = 5 → LeakyReLU = 5
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let att = PairAttention::new(&mut ps, &mut rng, "att", 2);
+        *ps.value_mut(att.param_id()) = Tensor::vector(vec![1.0, 0.0, 0.0, 1.0]);
+        let mut g = Graph::new();
+        let x = g.input_vec(vec![2.0, 0.0]);
+        let y = g.input_vec(vec![0.0, 3.0]);
+        let s = att.score(&mut g, &ps, x, y);
+        assert_eq!(g.value(s).item(), 5.0);
+    }
+
+    #[test]
+    fn negative_score_leaky() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let att = PairAttention::new(&mut ps, &mut rng, "att", 1);
+        *ps.value_mut(att.param_id()) = Tensor::vector(vec![1.0, 1.0]);
+        let mut g = Graph::new();
+        let x = g.input_vec(vec![-5.0]);
+        let y = g.input_vec(vec![0.0]);
+        let s = att.score(&mut g, &ps, x, y);
+        assert!((g.value(s).item() - (-5.0 * ATTENTION_LEAKY_SLOPE)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalized_scores_sum_to_one() {
+        let mut g = Graph::new();
+        let s1 = g.input_vec(vec![1.0]);
+        let s2 = g.input_vec(vec![2.0]);
+        let s3 = g.input_vec(vec![-1.0]);
+        let z = normalize_scores(&mut g, &[s1, s2, s3]);
+        let total: f32 = z.iter().map(|&n| g.value(n).item()).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        // Larger raw score → larger normalized score.
+        assert!(g.value(z[1]).item() > g.value(z[0]).item());
+        assert!(g.value(z[0]).item() > g.value(z[2]).item());
+    }
+}

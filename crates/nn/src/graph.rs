@@ -1,0 +1,593 @@
+//! Reverse-mode automatic differentiation on an arena tape.
+//!
+//! A [`Graph`] records every operation as a node in an arena. Because
+//! operands must exist before the operations that consume them, the arena
+//! order is already a topological order, so the backward pass is a single
+//! reverse sweep. Parameters are injected from a [`ParamStore`] and their
+//! gradients flow back into the store's accumulators, which lets a training
+//! step combine gradients from many independent graphs (one per scheduling
+//! decision in REINFORCE).
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant input (no gradient produced).
+    Input,
+    /// Trainable parameter; backward accumulates into the store.
+    Param(ParamId),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    /// Hadamard (element-wise) product.
+    Mul(NodeId, NodeId),
+    /// Multiply by a compile-time constant.
+    Scale(NodeId, f32),
+    /// Matrix–vector product: `w` is rank-2, `x` rank-1.
+    MatVec { w: NodeId, x: NodeId },
+    /// Concatenation of vectors.
+    Concat(Vec<NodeId>),
+    /// Element-wise sum of same-shaped vectors.
+    SumVec(Vec<NodeId>),
+    Relu(NodeId),
+    LeakyRelu(NodeId, f32),
+    Tanh(NodeId),
+    Sigmoid(NodeId),
+    /// Dot product of two vectors, producing a scalar.
+    Dot(NodeId, NodeId),
+    /// Sum of all elements, producing a scalar.
+    SumElems(NodeId),
+    /// Mean of all elements, producing a scalar.
+    Mean(NodeId),
+    Softmax(NodeId),
+    LogSoftmax(NodeId),
+    /// Pick one element, producing a scalar.
+    Gather(NodeId, usize),
+    /// Broadcast-multiply a vector by a scalar node.
+    MulScalar { vec: NodeId, scalar: NodeId },
+}
+
+#[derive(Debug)]
+struct Node {
+    op: Op,
+    value: Tensor,
+}
+
+/// A single-use computation tape with reverse-mode autodiff.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { op, value });
+        id
+    }
+
+    /// Records a constant input tensor.
+    pub fn input(&mut self, value: Tensor) -> NodeId {
+        self.push(Op::Input, value)
+    }
+
+    /// Convenience: records a constant input vector.
+    pub fn input_vec(&mut self, data: Vec<f32>) -> NodeId {
+        self.input(Tensor::vector(data))
+    }
+
+    /// Records a parameter leaf, copying its current value from `store`.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        self.push(Op::Param(id), store.value(id).clone())
+    }
+
+    /// Element-wise addition.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = zip_same(self.value(a), self.value(b), |x, y| x + y);
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// Element-wise subtraction `a - b`.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = zip_same(self.value(a), self.value(b), |x, y| x - y);
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Hadamard (element-wise) product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = zip_same(self.value(a), self.value(b), |x, y| x * y);
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// Multiplication by a constant.
+    pub fn scale(&mut self, a: NodeId, c: f32) -> NodeId {
+        let v = map(self.value(a), |x| x * c);
+        self.push(Op::Scale(a, c), v)
+    }
+
+    /// Matrix–vector product. `w` must be rank-2, `x` rank-1.
+    pub fn matvec(&mut self, w: NodeId, x: NodeId) -> NodeId {
+        let out = self.value(w).matvec(self.value(x).data());
+        self.push(Op::MatVec { w, x }, Tensor::vector(out))
+    }
+
+    /// Concatenates vectors in order.
+    pub fn concat(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat of zero vectors");
+        let mut data = Vec::new();
+        for &p in parts {
+            data.extend_from_slice(self.value(p).data());
+        }
+        self.push(Op::Concat(parts.to_vec()), Tensor::vector(data))
+    }
+
+    /// Element-wise sum of same-shaped vectors.
+    pub fn sum_vec(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "sum_vec of zero vectors");
+        let n = self.value(parts[0]).len();
+        let mut data = vec![0.0f32; n];
+        for &p in parts {
+            let pv = self.value(p);
+            assert_eq!(pv.len(), n, "sum_vec shape mismatch");
+            for (d, v) in data.iter_mut().zip(pv.data()) {
+                *d += v;
+            }
+        }
+        self.push(Op::SumVec(parts.to_vec()), Tensor::vector(data))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = map(self.value(a), |x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, a: NodeId, slope: f32) -> NodeId {
+        let v = map(self.value(a), |x| if x > 0.0 { x } else { slope * x });
+        self.push(Op::LeakyRelu(a, slope), v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = map(self.value(a), f32::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = map(self.value(a), |x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    /// Dot product producing a scalar node.
+    pub fn dot(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let av = self.value(a);
+        let bv = self.value(b);
+        assert_eq!(av.len(), bv.len(), "dot shape mismatch");
+        let s: f32 = av.data().iter().zip(bv.data()).map(|(x, y)| x * y).sum();
+        self.push(Op::Dot(a, b), Tensor::scalar(s))
+    }
+
+    /// Sum of all elements, producing a scalar node.
+    pub fn sum_elems(&mut self, a: NodeId) -> NodeId {
+        let s: f32 = self.value(a).data().iter().sum();
+        self.push(Op::SumElems(a), Tensor::scalar(s))
+    }
+
+    /// Mean of all elements, producing a scalar node.
+    pub fn mean(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a);
+        let s = v.data().iter().sum::<f32>() / v.len() as f32;
+        self.push(Op::Mean(a), Tensor::scalar(s))
+    }
+
+    /// Numerically-stable softmax over a vector.
+    pub fn softmax(&mut self, a: NodeId) -> NodeId {
+        let v = softmax_vals(self.value(a).data());
+        self.push(Op::Softmax(a), Tensor::vector(v))
+    }
+
+    /// Numerically-stable log-softmax over a vector.
+    pub fn log_softmax(&mut self, a: NodeId) -> NodeId {
+        let x = self.value(a).data();
+        let m = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + x.iter().map(|v| (v - m).exp()).sum::<f32>().ln();
+        let v: Vec<f32> = x.iter().map(|v| v - lse).collect();
+        self.push(Op::LogSoftmax(a), Tensor::vector(v))
+    }
+
+    /// Selects element `idx`, producing a scalar node.
+    pub fn gather(&mut self, a: NodeId, idx: usize) -> NodeId {
+        let v = self.value(a).data()[idx];
+        self.push(Op::Gather(a, idx), Tensor::scalar(v))
+    }
+
+    /// Broadcast-multiplies vector `vec` by scalar node `scalar`.
+    pub fn mul_scalar(&mut self, vec: NodeId, scalar: NodeId) -> NodeId {
+        let s = self.value(scalar).item();
+        let v = map(self.value(vec), |x| x * s);
+        self.push(Op::MulScalar { vec, scalar }, v)
+    }
+
+    /// Runs the backward pass from scalar node `loss`, accumulating
+    /// parameter gradients into `store` (frozen parameters are skipped).
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a scalar (single-element) node.
+    pub fn backward(&self, loss: NodeId, store: &mut ParamStore) {
+        assert_eq!(
+            self.nodes[loss.0].value.len(),
+            1,
+            "backward() requires a scalar loss node"
+        );
+        let mut grads: Vec<Option<Vec<f32>>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(vec![1.0]);
+
+        for i in (0..self.nodes.len()).rev() {
+            let g = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            match &self.nodes[i].op {
+                Op::Input => {}
+                Op::Param(pid) => store.accumulate_grad(*pid, &g),
+                Op::Add(a, b) => {
+                    acc(&mut grads, *a, &g, self.nodes[a.0].value.len());
+                    acc(&mut grads, *b, &g, self.nodes[b.0].value.len());
+                }
+                Op::Sub(a, b) => {
+                    acc(&mut grads, *a, &g, self.nodes[a.0].value.len());
+                    let neg: Vec<f32> = g.iter().map(|v| -v).collect();
+                    acc(&mut grads, *b, &neg, self.nodes[b.0].value.len());
+                }
+                Op::Mul(a, b) => {
+                    let av = self.nodes[a.0].value.data();
+                    let bv = self.nodes[b.0].value.data();
+                    let ga: Vec<f32> = g.iter().zip(bv).map(|(gi, bi)| gi * bi).collect();
+                    let gb: Vec<f32> = g.iter().zip(av).map(|(gi, ai)| gi * ai).collect();
+                    acc(&mut grads, *a, &ga, av.len());
+                    acc(&mut grads, *b, &gb, bv.len());
+                }
+                Op::Scale(a, c) => {
+                    let ga: Vec<f32> = g.iter().map(|gi| gi * c).collect();
+                    acc(&mut grads, *a, &ga, self.nodes[a.0].value.len());
+                }
+                Op::MatVec { w, x } => {
+                    let wt = &self.nodes[w.0].value;
+                    let xv = self.nodes[x.0].value.data();
+                    // dW = g ⊗ x (outer product), dx = Wᵀ g
+                    let (m, n) = (wt.rows(), wt.cols());
+                    let mut gw = vec![0.0f32; m * n];
+                    for (r, gi) in g.iter().enumerate() {
+                        if *gi != 0.0 {
+                            let row = &mut gw[r * n..(r + 1) * n];
+                            for (o, xj) in row.iter_mut().zip(xv) {
+                                *o += gi * xj;
+                            }
+                        }
+                    }
+                    let gx = wt.matvec_t(&g);
+                    acc(&mut grads, *w, &gw, m * n);
+                    acc(&mut grads, *x, &gx, n);
+                }
+                Op::Concat(parts) => {
+                    let mut off = 0;
+                    for &p in parts {
+                        let n = self.nodes[p.0].value.len();
+                        acc(&mut grads, p, &g[off..off + n], n);
+                        off += n;
+                    }
+                }
+                Op::SumVec(parts) => {
+                    for &p in parts {
+                        acc(&mut grads, p, &g, self.nodes[p.0].value.len());
+                    }
+                }
+                Op::Relu(a) => {
+                    let av = self.nodes[a.0].value.data();
+                    let ga: Vec<f32> = g
+                        .iter()
+                        .zip(av)
+                        .map(|(gi, ai)| if *ai > 0.0 { *gi } else { 0.0 })
+                        .collect();
+                    acc(&mut grads, *a, &ga, av.len());
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let av = self.nodes[a.0].value.data();
+                    let ga: Vec<f32> = g
+                        .iter()
+                        .zip(av)
+                        .map(|(gi, ai)| if *ai > 0.0 { *gi } else { gi * slope })
+                        .collect();
+                    acc(&mut grads, *a, &ga, av.len());
+                }
+                Op::Tanh(a) => {
+                    let yv = self.nodes[i].value.data();
+                    let ga: Vec<f32> = g.iter().zip(yv).map(|(gi, yi)| gi * (1.0 - yi * yi)).collect();
+                    acc(&mut grads, *a, &ga, yv.len());
+                }
+                Op::Sigmoid(a) => {
+                    let yv = self.nodes[i].value.data();
+                    let ga: Vec<f32> = g.iter().zip(yv).map(|(gi, yi)| gi * yi * (1.0 - yi)).collect();
+                    acc(&mut grads, *a, &ga, yv.len());
+                }
+                Op::Dot(a, b) => {
+                    let g0 = g[0];
+                    let av = self.nodes[a.0].value.data();
+                    let bv = self.nodes[b.0].value.data();
+                    let ga: Vec<f32> = bv.iter().map(|bi| g0 * bi).collect();
+                    let gb: Vec<f32> = av.iter().map(|ai| g0 * ai).collect();
+                    acc(&mut grads, *a, &ga, av.len());
+                    acc(&mut grads, *b, &gb, bv.len());
+                }
+                Op::SumElems(a) => {
+                    let n = self.nodes[a.0].value.len();
+                    let ga = vec![g[0]; n];
+                    acc(&mut grads, *a, &ga, n);
+                }
+                Op::Mean(a) => {
+                    let n = self.nodes[a.0].value.len();
+                    let ga = vec![g[0] / n as f32; n];
+                    acc(&mut grads, *a, &ga, n);
+                }
+                Op::Softmax(a) => {
+                    // dx_i = y_i * (g_i - Σ_j g_j y_j)
+                    let yv = self.nodes[i].value.data();
+                    let s: f32 = g.iter().zip(yv).map(|(gi, yi)| gi * yi).sum();
+                    let ga: Vec<f32> = g.iter().zip(yv).map(|(gi, yi)| yi * (gi - s)).collect();
+                    acc(&mut grads, *a, &ga, yv.len());
+                }
+                Op::LogSoftmax(a) => {
+                    // dx_i = g_i - softmax_i * Σ_j g_j
+                    let yv = self.nodes[i].value.data();
+                    let gsum: f32 = g.iter().sum();
+                    let ga: Vec<f32> = g
+                        .iter()
+                        .zip(yv)
+                        .map(|(gi, yi)| gi - yi.exp() * gsum)
+                        .collect();
+                    acc(&mut grads, *a, &ga, yv.len());
+                }
+                Op::Gather(a, idx) => {
+                    let n = self.nodes[a.0].value.len();
+                    let mut ga = vec![0.0f32; n];
+                    ga[*idx] = g[0];
+                    acc(&mut grads, *a, &ga, n);
+                }
+                Op::MulScalar { vec, scalar } => {
+                    let s = self.nodes[scalar.0].value.item();
+                    let vv = self.nodes[vec.0].value.data();
+                    let gv: Vec<f32> = g.iter().map(|gi| gi * s).collect();
+                    let gs: f32 = g.iter().zip(vv).map(|(gi, vi)| gi * vi).sum();
+                    acc(&mut grads, *vec, &gv, vv.len());
+                    acc(&mut grads, *scalar, &[gs], 1);
+                }
+            }
+        }
+    }
+}
+
+fn acc(grads: &mut [Option<Vec<f32>>], id: NodeId, g: &[f32], len: usize) {
+    debug_assert_eq!(g.len(), len);
+    match &mut grads[id.0] {
+        Some(existing) => {
+            for (e, v) in existing.iter_mut().zip(g) {
+                *e += v;
+            }
+        }
+        slot @ None => *slot = Some(g.to_vec()),
+    }
+}
+
+fn zip_same(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "element-wise op shape mismatch");
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| f(*x, *y)).collect();
+    Tensor::new(a.shape().to_vec(), data)
+}
+
+fn map(a: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    Tensor::new(a.shape().to_vec(), a.data().iter().map(|x| f(*x)).collect())
+}
+
+/// Numerically-stable softmax of a slice (plain helper, no autodiff).
+pub fn softmax_vals(x: &[f32]) -> Vec<f32> {
+    let m = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = x.iter().map(|v| (v - m).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(name: &str, t: Tensor) -> (ParamStore, ParamId) {
+        let mut ps = ParamStore::new();
+        let id = ps.register(name, t);
+        (ps, id)
+    }
+
+    #[test]
+    fn forward_add_mul() {
+        let mut g = Graph::new();
+        let a = g.input_vec(vec![1.0, 2.0]);
+        let b = g.input_vec(vec![3.0, 4.0]);
+        let c = g.add(a, b);
+        let d = g.mul(c, b);
+        assert_eq!(g.value(d).data(), &[12.0, 24.0]);
+    }
+
+    #[test]
+    fn backward_linear_chain() {
+        // loss = sum((w ⊙ x)) with w=[2,3], x=[4,5]; dloss/dw = x
+        let (mut ps, wid) = store_with("w", Tensor::vector(vec![2.0, 3.0]));
+        let mut g = Graph::new();
+        let w = g.param(&ps, wid);
+        let x = g.input_vec(vec![4.0, 5.0]);
+        let y = g.mul(w, x);
+        let loss = g.sum_elems(y);
+        assert_eq!(g.value(loss).item(), 23.0);
+        g.backward(loss, &mut ps);
+        assert_eq!(ps.grad(wid), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn backward_matvec() {
+        // y = W x, loss = sum(y); dW = 1 ⊗ x, dx = Wᵀ·1
+        let (mut ps, wid) = store_with("w", Tensor::matrix(2, 3, vec![1., 2., 3., 4., 5., 6.]));
+        let mut g = Graph::new();
+        let w = g.param(&ps, wid);
+        let x = g.input_vec(vec![1.0, 0.0, -1.0]);
+        let y = g.matvec(w, x);
+        assert_eq!(g.value(y).data(), &[-2.0, -2.0]);
+        let loss = g.sum_elems(y);
+        g.backward(loss, &mut ps);
+        assert_eq!(ps.grad(wid), &[1., 0., -1., 1., 0., -1.]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut g = Graph::new();
+        let x = g.input_vec(vec![1.0, 2.0, 3.0]);
+        let s = g.softmax(x);
+        let total: f32 = g.value(s).data().iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let mut g = Graph::new();
+        let x = g.input_vec(vec![0.5, -1.0, 2.0]);
+        let s = g.softmax(x);
+        let ls = g.log_softmax(x);
+        for (a, b) in g.value(s).data().iter().zip(g.value(ls).data()) {
+            assert!((a.ln() - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gather_picks_element() {
+        let mut g = Graph::new();
+        let x = g.input_vec(vec![10.0, 20.0, 30.0]);
+        let y = g.gather(x, 2);
+        assert_eq!(g.value(y).item(), 30.0);
+    }
+
+    #[test]
+    fn reused_node_accumulates_grad() {
+        // loss = sum(w) + sum(w) => dw = 2
+        let (mut ps, wid) = store_with("w", Tensor::vector(vec![1.0, 1.0]));
+        let mut g = Graph::new();
+        let w = g.param(&ps, wid);
+        let s1 = g.sum_elems(w);
+        let s2 = g.sum_elems(w);
+        let loss = g.add(s1, s2);
+        g.backward(loss, &mut ps);
+        assert_eq!(ps.grad(wid), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn concat_splits_gradient() {
+        let (mut ps, wid) = store_with("w", Tensor::vector(vec![1.0, 2.0]));
+        let mut g = Graph::new();
+        let w = g.param(&ps, wid);
+        let x = g.input_vec(vec![5.0]);
+        let c = g.concat(&[x, w]);
+        let picked = g.gather(c, 2); // w[1]
+        g.backward(picked, &mut ps);
+        assert_eq!(ps.grad(wid), &[0.0, 1.0]);
+    }
+
+    /// Finite-difference check over a composite graph touching most ops.
+    #[test]
+    fn finite_difference_composite() {
+        let build = |ps: &ParamStore, wid: ParamId, bid: ParamId| -> f32 {
+            let mut g = Graph::new();
+            let w = g.param(ps, wid);
+            let b = g.param(ps, bid);
+            let x = g.input_vec(vec![0.3, -0.7, 1.1]);
+            let h = g.matvec(w, x);
+            let h = g.add(h, b);
+            let h = g.leaky_relu(h, 0.1);
+            let t = g.tanh(h);
+            let s = g.sigmoid(h);
+            let m = g.mul(t, s);
+            let sm = g.log_softmax(m);
+            let picked = g.gather(sm, 1);
+            let mn = g.mean(h);
+            let loss = g.add(picked, mn);
+            g.value(loss).item()
+        };
+
+        let mut ps = ParamStore::new();
+        let wid = ps.register(
+            "w",
+            Tensor::matrix(3, 3, vec![0.2, -0.4, 0.6, 0.1, 0.3, -0.2, -0.5, 0.7, 0.05]),
+        );
+        let bid = ps.register("b", Tensor::vector(vec![0.01, -0.02, 0.03]));
+
+        // Analytic gradients.
+        {
+            let mut g = Graph::new();
+            let w = g.param(&ps, wid);
+            let b = g.param(&ps, bid);
+            let x = g.input_vec(vec![0.3, -0.7, 1.1]);
+            let h = g.matvec(w, x);
+            let h = g.add(h, b);
+            let h = g.leaky_relu(h, 0.1);
+            let t = g.tanh(h);
+            let s = g.sigmoid(h);
+            let m = g.mul(t, s);
+            let sm = g.log_softmax(m);
+            let picked = g.gather(sm, 1);
+            let mn = g.mean(h);
+            let loss = g.add(picked, mn);
+            g.backward(loss, &mut ps);
+        }
+
+        let eps = 1e-3f32;
+        for (pid, n) in [(wid, 9usize), (bid, 3usize)] {
+            let analytic = ps.grad(pid).to_vec();
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..n {
+                let orig = ps.value(pid).data()[i];
+                ps.value_mut(pid).data_mut()[i] = orig + eps;
+                let up = build(&ps, wid, bid);
+                ps.value_mut(pid).data_mut()[i] = orig - eps;
+                let down = build(&ps, wid, bid);
+                ps.value_mut(pid).data_mut()[i] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic[i]).abs() < 2e-2,
+                    "param {pid:?}[{i}]: numeric {numeric} vs analytic {}",
+                    analytic[i]
+                );
+            }
+        }
+    }
+}

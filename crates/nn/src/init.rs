@@ -1,0 +1,66 @@
+//! Weight initialization schemes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot-uniform initialization for a `rows x cols` matrix.
+///
+/// Samples uniformly from `[-limit, limit]` with
+/// `limit = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    let limit = (6.0 / (rows + cols) as f32).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+    Tensor::matrix(rows, cols, data)
+}
+
+/// He/Kaiming-uniform initialization for a `rows x cols` matrix
+/// (appropriate before ReLU-family activations).
+pub fn he_uniform(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    let limit = (6.0 / cols as f32).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+    Tensor::matrix(rows, cols, data)
+}
+
+/// Small-uniform initialization for a length-`n` vector (used for biases
+/// and attention vectors).
+pub fn small_uniform(rng: &mut StdRng, n: usize, scale: f32) -> Tensor {
+    let data = (0..n).map(|_| rng.gen_range(-scale..scale)).collect();
+    Tensor::vector(data)
+}
+
+/// All-zero vector of length `n` (bias default).
+pub fn zeros_vec(n: usize) -> Tensor {
+    Tensor::zero_vector(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = xavier_uniform(&mut rng, 8, 16);
+        let limit = (6.0 / 24.0f32).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= limit));
+        assert_eq!(t.shape(), &[8, 16]);
+    }
+
+    #[test]
+    fn he_within_limit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = he_uniform(&mut rng, 4, 6);
+        let limit = 1.0f32;
+        assert!(t.data().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(42), 3, 3);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(42), 3, 3);
+        assert_eq!(a, b);
+    }
+}

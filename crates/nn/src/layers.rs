@@ -1,0 +1,230 @@
+//! Standard dense layers: [`Linear`] and [`Mlp`].
+//!
+//! Layers own [`ParamId`]s into a shared [`ParamStore`]; `forward` records
+//! the computation on a caller-provided [`Graph`] so that many layers (and
+//! many invocations of the same layer) share one tape.
+
+use rand::rngs::StdRng;
+
+use crate::graph::{Graph, NodeId};
+use crate::init;
+use crate::params::{ParamId, ParamStore};
+
+/// Activation functions used between layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity (no activation).
+    None,
+    /// `max(0, x)`.
+    Relu,
+    /// Leaky ReLU with slope 0.01 on the negative side.
+    LeakyRelu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation on the graph.
+    pub fn apply(self, g: &mut Graph, x: NodeId) -> NodeId {
+        match self {
+            Activation::None => x,
+            Activation::Relu => g.relu(x),
+            Activation::LeakyRelu => g.leaky_relu(x, 0.01),
+            Activation::Tanh => g.tanh(x),
+        }
+    }
+}
+
+/// A fully-connected layer `y = W x + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a linear layer, registering its parameters as
+    /// `"{name}.w"` and `"{name}.b"`.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = store.register(format!("{name}.w"), init::xavier_uniform(rng, out_dim, in_dim));
+        let b = store.register(format!("{name}.b"), init::zeros_vec(out_dim));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Records `W x + b` on the graph.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> NodeId {
+        debug_assert_eq!(g.value(x).len(), self.in_dim, "Linear input dim mismatch");
+        let w = g.param(store, self.w);
+        let b = g.param(store, self.b);
+        let h = g.matvec(w, x);
+        g.add(h, b)
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The weight parameter id.
+    pub fn weight_id(&self) -> ParamId {
+        self.w
+    }
+
+    /// The bias parameter id.
+    pub fn bias_id(&self) -> ParamId {
+        self.b
+    }
+}
+
+/// A multi-layer perceptron with a shared hidden activation and an
+/// optional output activation.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_act: Activation,
+    out_act: Activation,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer widths, e.g. `[in, h, out]`.
+    /// Parameters are registered as `"{name}.l{i}.w"` / `"{name}.l{i}.b"`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two dims are given.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        dims: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp needs at least [in, out] dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, rng, &format!("{name}.l{i}"), w[0], w[1]))
+            .collect();
+        Self { layers, hidden_act, out_act }
+    }
+
+    /// Records the MLP forward pass on the graph.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> NodeId {
+        let last = self.layers.len() - 1;
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(g, store, h);
+            h = if i == last {
+                self.out_act.apply(g, h)
+            } else {
+                self.hidden_act.apply(g, h)
+            };
+        }
+        h
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].out_dim()
+    }
+
+    /// Number of linear layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::new(&mut ps, &mut rng, "lin", 4, 3);
+        let mut g = Graph::new();
+        let x = g.input_vec(vec![1.0; 4]);
+        let y = l.forward(&mut g, &ps, x);
+        assert_eq!(g.value(y).len(), 3);
+    }
+
+    #[test]
+    fn linear_identity_weights() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::new(&mut ps, &mut rng, "lin", 2, 2);
+        *ps.value_mut(l.weight_id()) = Tensor::matrix(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        *ps.value_mut(l.bias_id()) = Tensor::vector(vec![0.5, -0.5]);
+        let mut g = Graph::new();
+        let x = g.input_vec(vec![3.0, 4.0]);
+        let y = l.forward(&mut g, &ps, x);
+        assert_eq!(g.value(y).data(), &[3.5, 3.5]);
+    }
+
+    #[test]
+    fn mlp_forward_and_train_step() {
+        // A 2-layer MLP should be able to reduce a simple regression loss.
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&mut ps, &mut rng, "m", &[2, 8, 1], Activation::Relu, Activation::None);
+        assert_eq!(mlp.in_dim(), 2);
+        assert_eq!(mlp.out_dim(), 1);
+        assert_eq!(mlp.num_layers(), 2);
+
+        let eval_loss = |ps: &ParamStore| -> f32 {
+            let mut g = Graph::new();
+            let x = g.input_vec(vec![1.0, -1.0]);
+            let y = mlp.forward(&mut g, ps, x);
+            // loss = (y - 2)^2
+            let t = g.input_vec(vec![2.0]);
+            let d = g.sub(y, t);
+            let l = g.mul(d, d);
+            g.value(l).item()
+        };
+
+        let before = eval_loss(&ps);
+        for _ in 0..200 {
+            ps.zero_grads();
+            let mut g = Graph::new();
+            let x = g.input_vec(vec![1.0, -1.0]);
+            let y = mlp.forward(&mut g, &ps, x);
+            let t = g.input_vec(vec![2.0]);
+            let d = g.sub(y, t);
+            let l = g.mul(d, d);
+            let l = g.sum_elems(l);
+            g.backward(l, &mut ps);
+            // Plain SGD step.
+            let ids: Vec<_> = ps.iter_ids().map(|(id, _)| id).collect();
+            for pid in ids {
+                let grad = ps.grad(pid).to_vec();
+                let v = ps.value_mut(pid);
+                for (w, gr) in v.data_mut().iter_mut().zip(&grad) {
+                    *w -= 0.01 * gr;
+                }
+            }
+        }
+        let after = eval_loss(&ps);
+        assert!(after < before * 0.05, "loss did not decrease: {before} -> {after}");
+    }
+}

@@ -1,0 +1,194 @@
+//! First-order optimizers over a [`ParamStore`].
+
+use crate::params::ParamStore;
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Applies one descent step using the store's accumulated gradients.
+    /// Frozen parameters are left untouched.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.iter_ids().map(|(id, _)| id).collect();
+        if self.velocity.len() != ids.len() {
+            self.velocity = ids.iter().map(|&id| vec![0.0; store.value(id).len()]).collect();
+        }
+        for &id in &ids {
+            if store.is_frozen(id) {
+                continue;
+            }
+            let grad = store.grad(id).to_vec();
+            let vel = &mut self.velocity[id.index()];
+            let lr = self.lr;
+            let mom = self.momentum;
+            let value = store.value_mut(id);
+            for ((w, g), v) in value.data_mut().iter_mut().zip(&grad).zip(vel.iter_mut()) {
+                *v = mom * *v + g;
+                *w -= lr * *v;
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and default betas
+    /// (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam step using the store's accumulated gradients.
+    /// Frozen parameters are left untouched (their moments also stay
+    /// frozen, so unfreezing resumes cleanly).
+    pub fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.iter_ids().map(|(id, _)| id).collect();
+        if self.m.len() != ids.len() {
+            self.m = ids.iter().map(|&id| vec![0.0; store.value(id).len()]).collect();
+            self.v = self.m.clone();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for &id in &ids {
+            if store.is_frozen(id) {
+                continue;
+            }
+            let grad = store.grad(id).to_vec();
+            let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+            let m = &mut self.m[id.index()];
+            let v = &mut self.v[id.index()];
+            let value = store.value_mut(id);
+            for (((w, g), mi), vi) in
+                value.data_mut().iter_mut().zip(&grad).zip(m.iter_mut()).zip(v.iter_mut())
+            {
+                *mi = b1 * *mi + (1.0 - b1) * g;
+                *vi = b2 * *vi + (1.0 - b2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *w -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::tensor::Tensor;
+
+    fn quadratic_loss(store: &mut ParamStore, wid: crate::params::ParamId) -> f32 {
+        // loss = Σ (w - 3)^2
+        let mut g = Graph::new();
+        let w = g.param(store, wid);
+        let t = g.input_vec(vec![3.0; store.value(wid).len()]);
+        let d = g.sub(w, t);
+        let sq = g.mul(d, d);
+        let loss = g.sum_elems(sq);
+        let val = g.value(loss).item();
+        g.backward(loss, store);
+        val
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut ps = ParamStore::new();
+        let wid = ps.register("w", Tensor::vector(vec![0.0, 10.0]));
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..100 {
+            ps.zero_grads();
+            quadratic_loss(&mut ps, wid);
+            opt.step(&mut ps);
+        }
+        for &w in ps.value(wid).data() {
+            assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+        }
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut ps = ParamStore::new();
+        let wid = ps.register("w", Tensor::vector(vec![-5.0, 20.0]));
+        let mut opt = Adam::new(0.3);
+        for _ in 0..300 {
+            ps.zero_grads();
+            quadratic_loss(&mut ps, wid);
+            opt.step(&mut ps);
+        }
+        for &w in ps.value(wid).data() {
+            assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+        }
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn frozen_params_not_updated() {
+        let mut ps = ParamStore::new();
+        let wid = ps.register("w", Tensor::vector(vec![0.0]));
+        let fid = ps.register("f", Tensor::vector(vec![7.0]));
+        ps.set_frozen(fid, true);
+        let mut opt = Adam::new(0.1);
+        ps.zero_grads();
+        quadratic_loss(&mut ps, wid);
+        // Manually poke a gradient into the frozen param's accumulator
+        // path: accumulate_grad skips frozen, so directly confirm step
+        // leaves the value alone.
+        opt.step(&mut ps);
+        assert_eq!(ps.value(fid).data(), &[7.0]);
+        assert_ne!(ps.value(wid).data(), &[0.0]);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let mut plain = ParamStore::new();
+        let wp = plain.register("w", Tensor::vector(vec![0.0]));
+        let mut heavy = ParamStore::new();
+        let wh = heavy.register("w", Tensor::vector(vec![0.0]));
+        let mut o1 = Sgd::new(0.01, 0.0);
+        let mut o2 = Sgd::new(0.01, 0.9);
+        for _ in 0..20 {
+            plain.zero_grads();
+            quadratic_loss(&mut plain, wp);
+            o1.step(&mut plain);
+            heavy.zero_grads();
+            quadratic_loss(&mut heavy, wh);
+            o2.step(&mut heavy);
+        }
+        let d1 = (plain.value(wp).data()[0] - 3.0).abs();
+        let d2 = (heavy.value(wh).data()[0] - 3.0).abs();
+        assert!(d2 < d1, "momentum should be closer: {d2} vs {d1}");
+    }
+}

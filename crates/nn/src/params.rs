@@ -1,0 +1,297 @@
+//! Named, trainable parameter storage with gradient accumulators and
+//! per-parameter freeze flags (the mechanism behind LSched's transfer
+//! learning, Section 6 of the paper).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// Opaque handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The raw index of this parameter inside its store.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Param {
+    name: String,
+    value: Tensor,
+    grad: Vec<f32>,
+    frozen: bool,
+}
+
+/// A flat store of all trainable parameters of a model.
+///
+/// Computation graphs reference parameters by [`ParamId`]; gradients are
+/// accumulated here across (possibly many) graphs before an optimizer step
+/// is applied. Parameters can be *frozen*, in which case gradient
+/// accumulation is skipped — this is how LSched implements transfer
+/// learning: inner tree-convolution and hidden layers are frozen while
+/// input- and output-adjacent layers are retrained on the new workload.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Param>,
+    by_name: HashMap<String, ParamId>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new parameter under `name`.
+    ///
+    /// # Panics
+    /// Panics if a parameter with the same name already exists.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate parameter name {name:?}"
+        );
+        let id = ParamId(self.params.len());
+        let grad = vec![0.0; value.len()];
+        self.params.push(Param { name: name.clone(), value, grad, frozen: false });
+        self.by_name.insert(name, id);
+        id
+    }
+
+    /// Looks up a parameter id by name.
+    pub fn id(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar values across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// The current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access to a parameter value (used by optimizers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    /// The accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &[f32] {
+        &self.params[id.0].grad
+    }
+
+    /// The name a parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Whether a parameter is frozen (excluded from training).
+    pub fn is_frozen(&self, id: ParamId) -> bool {
+        self.params[id.0].frozen
+    }
+
+    /// Accumulates `g` into the gradient buffer of `id`, unless frozen.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &[f32]) {
+        let p = &mut self.params[id.0];
+        if p.frozen {
+            return;
+        }
+        debug_assert_eq!(p.grad.len(), g.len());
+        for (acc, v) in p.grad.iter_mut().zip(g) {
+            *acc += v;
+        }
+    }
+
+    /// Resets all gradient accumulators to zero.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.iter_mut().for_each(|g| *g = 0.0);
+        }
+    }
+
+    /// Global L2 norm over all (unfrozen) gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .filter(|p| !p.frozen)
+            .flat_map(|p| p.grad.iter())
+            .map(|g| g * g)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales every unfrozen gradient so the global norm is at most
+    /// `max_norm` (standard gradient clipping).
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for p in &mut self.params {
+                if !p.frozen {
+                    p.grad.iter_mut().for_each(|g| *g *= scale);
+                }
+            }
+        }
+    }
+
+    /// Freezes or unfreezes every parameter whose name matches `pred`.
+    /// Returns how many parameters changed state.
+    pub fn set_frozen_where(&mut self, frozen: bool, pred: impl Fn(&str) -> bool) -> usize {
+        let mut changed = 0;
+        for p in &mut self.params {
+            if pred(&p.name) && p.frozen != frozen {
+                p.frozen = frozen;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Freezes or unfreezes a single parameter.
+    pub fn set_frozen(&mut self, id: ParamId, frozen: bool) {
+        self.params[id.0].frozen = frozen;
+    }
+
+    /// Iterates over `(id, name)` pairs of all parameters.
+    pub fn iter_ids(&self) -> impl Iterator<Item = (ParamId, &str)> {
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ParamId(i), p.name.as_str()))
+    }
+
+    /// Copies the values of parameters with matching names from `other`.
+    /// Returns the number of parameters copied. Shapes must match for
+    /// matching names.
+    pub fn load_matching(&mut self, other: &ParamStore) -> usize {
+        let mut copied = 0;
+        for p in &mut self.params {
+            if let Some(&oid) = other.by_name.get(&p.name) {
+                let ov = &other.params[oid.0].value;
+                assert_eq!(
+                    p.value.shape(),
+                    ov.shape(),
+                    "shape mismatch while loading parameter {:?}",
+                    p.name
+                );
+                p.value = ov.clone();
+                copied += 1;
+            }
+        }
+        copied
+    }
+
+    /// Serializes the store (names, shapes, values, freeze flags) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ParamStore serialization cannot fail")
+    }
+
+    /// Restores a store previously produced by [`ParamStore::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut ps = ParamStore::new();
+        let a = ps.register("enc.w", Tensor::matrix(2, 2, vec![1.0; 4]));
+        assert_eq!(ps.id("enc.w"), Some(a));
+        assert_eq!(ps.name(a), "enc.w");
+        assert_eq!(ps.num_scalars(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_name_panics() {
+        let mut ps = ParamStore::new();
+        ps.register("w", Tensor::scalar(0.0));
+        ps.register("w", Tensor::scalar(1.0));
+    }
+
+    #[test]
+    fn grad_accumulation_and_zero() {
+        let mut ps = ParamStore::new();
+        let a = ps.register("w", Tensor::vector(vec![0.0, 0.0]));
+        ps.accumulate_grad(a, &[1.0, 2.0]);
+        ps.accumulate_grad(a, &[1.0, 2.0]);
+        assert_eq!(ps.grad(a), &[2.0, 4.0]);
+        ps.zero_grads();
+        assert_eq!(ps.grad(a), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn frozen_params_skip_grads() {
+        let mut ps = ParamStore::new();
+        let a = ps.register("enc.w", Tensor::vector(vec![0.0]));
+        ps.set_frozen(a, true);
+        ps.accumulate_grad(a, &[5.0]);
+        assert_eq!(ps.grad(a), &[0.0]);
+        assert!(ps.is_frozen(a));
+    }
+
+    #[test]
+    fn freeze_by_predicate() {
+        let mut ps = ParamStore::new();
+        ps.register("enc.l0.w", Tensor::scalar(0.0));
+        ps.register("enc.l1.w", Tensor::scalar(0.0));
+        ps.register("head.w", Tensor::scalar(0.0));
+        let n = ps.set_frozen_where(true, |n| n.starts_with("enc."));
+        assert_eq!(n, 2);
+        assert!(!ps.is_frozen(ps.id("head.w").unwrap()));
+    }
+
+    #[test]
+    fn clip_grad_norm_scales() {
+        let mut ps = ParamStore::new();
+        let a = ps.register("w", Tensor::vector(vec![0.0, 0.0]));
+        ps.accumulate_grad(a, &[3.0, 4.0]); // norm 5
+        ps.clip_grad_norm(1.0);
+        let g = ps.grad(a);
+        assert!((g[0] - 0.6).abs() < 1e-6 && (g[1] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut ps = ParamStore::new();
+        ps.register("w", Tensor::vector(vec![1.5, -2.5]));
+        let s = ps.to_json();
+        let ps2 = ParamStore::from_json(&s).unwrap();
+        assert_eq!(ps2.value(ps2.id("w").unwrap()).data(), &[1.5, -2.5]);
+    }
+
+    #[test]
+    fn load_matching_copies_values() {
+        let mut src = ParamStore::new();
+        src.register("a", Tensor::vector(vec![9.0]));
+        src.register("b", Tensor::vector(vec![7.0]));
+        let mut dst = ParamStore::new();
+        dst.register("a", Tensor::vector(vec![0.0]));
+        dst.register("c", Tensor::vector(vec![0.0]));
+        assert_eq!(dst.load_matching(&src), 1);
+        assert_eq!(dst.value(dst.id("a").unwrap()).data(), &[9.0]);
+    }
+}

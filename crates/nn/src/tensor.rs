@@ -1,0 +1,193 @@
+//! Dense row-major `f32` tensors.
+//!
+//! LSched's neural networks operate on small vectors and matrices (hidden
+//! sizes of a few dozen), so a simple contiguous `Vec<f32>` representation
+//! with explicit shapes is both sufficient and fast: every operation is a
+//! tight loop over a slice with no indirection.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// Only rank-1 (vectors) and rank-2 (matrices) tensors appear in LSched's
+/// architecture, but the representation is rank-agnostic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and backing data.
+    ///
+    /// # Panics
+    /// Panics if the product of `shape` does not equal `data.len()`.
+    pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let expect: usize = shape.iter().product();
+        assert_eq!(
+            expect,
+            data.len(),
+            "shape {shape:?} implies {expect} elements but data has {}",
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// Creates a rank-1 tensor (vector).
+    pub fn vector(data: Vec<f32>) -> Self {
+        Self { shape: vec![data.len()], data }
+    }
+
+    /// Creates a rank-2 tensor (matrix) with `rows * cols == data.len()`.
+    pub fn matrix(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        Self::new(vec![rows, cols], data)
+    }
+
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let n = shape.iter().product();
+        Self { shape, data: vec![0.0; n] }
+    }
+
+    /// Creates a vector of zeros of length `n`.
+    pub fn zero_vector(n: usize) -> Self {
+        Self::vector(vec![0.0; n])
+    }
+
+    /// A single-element tensor holding `v`.
+    pub fn scalar(v: f32) -> Self {
+        Self::vector(vec![v])
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its backing data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns the single element of a scalar tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor does not hold exactly one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on tensor of {} elements", self.data.len());
+        self.data[0]
+    }
+
+    /// Number of rows of a rank-2 tensor.
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "rows() on rank-{} tensor", self.shape.len());
+        self.shape[0]
+    }
+
+    /// Number of columns of a rank-2 tensor.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "cols() on rank-{} tensor", self.shape.len());
+        self.shape[1]
+    }
+
+    /// Matrix–vector product `self * x` for a rank-2 tensor.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        let (m, n) = (self.rows(), self.cols());
+        assert_eq!(n, x.len(), "matvec: {m}x{n} matrix with vector of len {}", x.len());
+        let mut out = vec![0.0; m];
+        for (i, row) in self.data.chunks_exact(n).enumerate() {
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * g` for a rank-2 tensor.
+    pub fn matvec_t(&self, g: &[f32]) -> Vec<f32> {
+        let (m, n) = (self.rows(), self.cols());
+        assert_eq!(m, g.len(), "matvec_t: {m}x{n} matrix with vector of len {}", g.len());
+        let mut out = vec![0.0; n];
+        for (i, row) in self.data.chunks_exact(n).enumerate() {
+            let gi = g[i];
+            if gi != 0.0 {
+                for (o, a) in out.iter_mut().zip(row) {
+                    *o += gi * a;
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius (L2) norm of the tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_roundtrip() {
+        let t = Tensor::vector(vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.shape(), &[3]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matrix_matvec() {
+        // [[1,2],[3,4],[5,6]] * [1,1] = [3,7,11]
+        let m = Tensor::matrix(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0, 11.0]);
+    }
+
+    #[test]
+    fn matrix_matvec_t() {
+        // [[1,2],[3,4],[5,6]]ᵀ * [1,1,1] = [9,12]
+        let m = Tensor::matrix(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.matvec_t(&[1.0, 1.0, 1.0]), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(4.25).item(), 4.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn bad_shape_panics() {
+        let _ = Tensor::new(vec![2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn zeros_len() {
+        let z = Tensor::zeros(vec![4, 5]);
+        assert_eq!(z.len(), 20);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+    }
+}

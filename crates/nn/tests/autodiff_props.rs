@@ -1,0 +1,133 @@
+//! Property tests: analytic gradients must match finite differences on
+//! randomized computation graphs, and softmax families must satisfy
+//! their algebraic identities.
+
+use lsched_nn::{Graph, ParamStore, Tensor};
+use proptest::prelude::*;
+
+/// Builds a randomized 2-layer network with mixed activations and a
+/// scalar output, parameterized by a weight vector, bias and matrix.
+fn forward(ps: &ParamStore, x: &[f32], acts: &[u8]) -> (Graph, lsched_nn::NodeId) {
+    let mut g = Graph::new();
+    let w = g.param(ps, ps.id("w").unwrap());
+    let b = g.param(ps, ps.id("b").unwrap());
+    let m = g.param(ps, ps.id("m").unwrap());
+    let xin = g.input_vec(x.to_vec());
+    let h0 = g.matvec(m, xin);
+    let h0 = g.add(h0, b);
+    let h0 = match acts[0] % 4 {
+        0 => g.relu(h0),
+        1 => g.leaky_relu(h0, 0.1),
+        2 => g.tanh(h0),
+        _ => g.sigmoid(h0),
+    };
+    let h1 = g.mul(h0, w);
+    let h1 = match acts[1] % 3 {
+        0 => g.softmax(h1),
+        1 => g.log_softmax(h1),
+        _ => h1,
+    };
+    let picked = g.gather(h1, acts[2] as usize % 4);
+    let mean = g.mean(h0);
+    let dot = g.dot(w, h0);
+    let parts = g.concat(&[picked, mean, dot]);
+    let loss = g.sum_elems(parts);
+    (g, loss)
+}
+
+fn make_store(w: &[f32], b: &[f32], m: &[f32]) -> ParamStore {
+    let mut ps = ParamStore::new();
+    ps.register("w", Tensor::vector(w.to_vec()));
+    ps.register("b", Tensor::vector(b.to_vec()));
+    ps.register("m", Tensor::matrix(4, 3, m.to_vec()));
+    ps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn analytic_gradients_match_finite_differences(
+        w in prop::collection::vec(-1.0f32..1.0, 4),
+        b in prop::collection::vec(-0.5f32..0.5, 4),
+        m in prop::collection::vec(-1.0f32..1.0, 12),
+        x in prop::collection::vec(-1.0f32..1.0, 3),
+        acts in prop::collection::vec(0u8..12, 3),
+    ) {
+        let mut ps = make_store(&w, &b, &m);
+        let (g, loss) = forward(&ps, &x, &acts);
+        g.backward(loss, &mut ps);
+
+        let eps = 2e-3f32;
+        for name in ["w", "b", "m"] {
+            let id = ps.id(name).unwrap();
+            let analytic = ps.grad(id).to_vec();
+            // Spot-check two coordinates per parameter to bound runtime.
+            for i in [0usize, analytic.len() - 1] {
+                let orig = ps.value(id).data()[i];
+                ps.value_mut(id).data_mut()[i] = orig + eps;
+                let (gu, lu) = forward(&ps, &x, &acts);
+                let up = gu.value(lu).item();
+                ps.value_mut(id).data_mut()[i] = orig - eps;
+                let (gd, ld) = forward(&ps, &x, &acts);
+                let down = gd.value(ld).item();
+                ps.value_mut(id).data_mut()[i] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                // ReLU kinks make exact agreement impossible at the
+                // boundary; allow a generous absolute + relative band.
+                let tol = 0.05f32.max(analytic[i].abs() * 0.15);
+                prop_assert!(
+                    (numeric - analytic[i]).abs() <= tol,
+                    "{name}[{i}]: numeric {numeric} vs analytic {}",
+                    analytic[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(xs in prop::collection::vec(-30.0f32..30.0, 1..12)) {
+        let mut g = Graph::new();
+        let x = g.input_vec(xs.clone());
+        let s = g.softmax(x);
+        let v = g.value(s).data();
+        prop_assert!(v.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        let total: f32 = v.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-4);
+        // Monotone: larger logits never get smaller probability.
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if xs[i] > xs[j] {
+                    prop_assert!(v[i] >= v[j] - 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_softmax_consistency(xs in prop::collection::vec(-20.0f32..20.0, 2..10)) {
+        let mut g = Graph::new();
+        let x = g.input_vec(xs.clone());
+        let s = g.softmax(x);
+        let ls = g.log_softmax(x);
+        for (p, lp) in g.value(s).data().iter().zip(g.value(ls).data()) {
+            prop_assert!((p.ln() - lp).abs() < 1e-4, "{p} vs exp({lp})");
+        }
+    }
+
+    #[test]
+    fn softmax_shift_invariance(
+        xs in prop::collection::vec(-10.0f32..10.0, 2..8),
+        shift in -50.0f32..50.0,
+    ) {
+        let mut g = Graph::new();
+        let a = g.input_vec(xs.clone());
+        let shifted: Vec<f32> = xs.iter().map(|v| v + shift).collect();
+        let b = g.input_vec(shifted);
+        let sa = g.softmax(a);
+        let sb = g.softmax(b);
+        for (p, q) in g.value(sa).data().iter().zip(g.value(sb).data()) {
+            prop_assert!((p - q).abs() < 1e-4);
+        }
+    }
+}

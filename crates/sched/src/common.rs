@@ -1,0 +1,79 @@
+//! Shared helpers for heuristic schedulers.
+
+use lsched_engine::plan::OpId;
+use lsched_engine::scheduler::{QueryRuntime, SchedContext, SchedDecision};
+
+/// A schedulable (query, root) candidate with cached metrics.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Index into `ctx.queries`.
+    pub query_idx: usize,
+    /// The schedulable operator.
+    pub root: OpId,
+    /// Longest non-pipeline-breaking chain from the root.
+    pub max_degree: usize,
+    /// Estimated remaining duration of the root operator.
+    pub root_work: f64,
+    /// Estimated total work along the root's full pipeline chain.
+    pub chain_work: f64,
+}
+
+/// Enumerates every schedulable operator across active queries.
+pub fn candidates(ctx: &SchedContext<'_>) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for (qi, q) in ctx.queries.iter().enumerate() {
+        for root in q.schedulable_ops() {
+            let max_degree = q.plan.longest_npb_chain(root);
+            let chain = q.plan.pipeline_chain(root, max_degree);
+            let chain_work: f64 =
+                chain.iter().map(|&o| q.ops[o.0].est_remaining_duration()).sum();
+            out.push(Candidate {
+                query_idx: qi,
+                root,
+                max_degree,
+                root_work: q.ops[root.0].est_remaining_duration(),
+                chain_work,
+            });
+        }
+    }
+    out
+}
+
+/// Builds a decision for a candidate.
+pub fn decide(
+    q: &QueryRuntime,
+    c: &Candidate,
+    pipeline_degree: usize,
+    threads: usize,
+) -> SchedDecision {
+    SchedDecision {
+        query: q.qid,
+        root: c.root,
+        pipeline_degree: pipeline_degree.clamp(1, c.max_degree),
+        threads: threads.max(1),
+    }
+}
+
+/// Splits `total` threads as evenly as possible across `n` recipients,
+/// first slots getting the remainder.
+pub fn even_split(total: usize, n: usize) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = total / n;
+    let rem = total % n;
+    (0..n).map(|i| base + usize::from(i < rem)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_distributes_remainder() {
+        assert_eq!(even_split(10, 3), vec![4, 3, 3]);
+        assert_eq!(even_split(2, 4), vec![1, 1, 0, 0]);
+        assert_eq!(even_split(0, 2), vec![0, 0]);
+        assert!(even_split(5, 0).is_empty());
+    }
+}

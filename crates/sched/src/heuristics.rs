@@ -1,0 +1,293 @@
+//! The classic heuristic schedulers: FIFO, (weighted) fair, shortest
+//! job first, highest priority first, and critical-path pipelining.
+//!
+//! These are the "carefully-tuned heuristics based schedulers" LSched is
+//! compared against (Section 7.1): easy to implement and transparent,
+//! but blind to the workload (Section 1).
+
+use lsched_engine::scheduler::{SchedContext, SchedDecision, SchedEvent, Scheduler};
+
+use crate::common::{candidates, decide, even_split};
+
+/// FIFO: run queries strictly in arrival order, granting each as many
+/// threads as available. The paper's worst baseline — it "stalls the
+/// execution of other queries and significantly increases their average
+/// query duration" (Section 7.2).
+#[derive(Debug, Default, Clone)]
+pub struct FifoScheduler;
+
+impl Scheduler for FifoScheduler {
+    fn name(&self) -> String {
+        "fifo".into()
+    }
+
+    fn on_event(&mut self, ctx: &SchedContext<'_>, _ev: &SchedEvent) -> Vec<SchedDecision> {
+        // Oldest active query (queries are kept in arrival order).
+        let mut out = Vec::new();
+        let mut free = ctx.free_threads;
+        let cands = candidates(ctx);
+        // Only the oldest query that has schedulable work gets served.
+        let Some(first_q) = cands.iter().map(|c| c.query_idx).min() else {
+            return out;
+        };
+        let roots: Vec<_> = cands.iter().filter(|c| c.query_idx == first_q).collect();
+        let per = even_split(free, roots.len());
+        for (c, share) in roots.iter().zip(per) {
+            if free == 0 {
+                break;
+            }
+            let threads = share.max(1).min(free);
+            free -= threads;
+            out.push(decide(&ctx.queries[c.query_idx], c, c.max_degree, threads));
+        }
+        out
+    }
+}
+
+/// Weighted fair scheduling: free threads are split evenly across all
+/// queries that have schedulable work (Quickstep's tuned fair policy,
+/// baseline (4) in Section 7.1).
+#[derive(Debug, Default, Clone)]
+pub struct FairScheduler {
+    /// Optional per-query weight (by arrival index); 1.0 default.
+    pub weights: Vec<f64>,
+}
+
+impl Scheduler for FairScheduler {
+    fn name(&self) -> String {
+        "fair".into()
+    }
+
+    fn on_event(&mut self, ctx: &SchedContext<'_>, _ev: &SchedEvent) -> Vec<SchedDecision> {
+        let cands = candidates(ctx);
+        if cands.is_empty() {
+            return Vec::new();
+        }
+        let mut qidxs: Vec<usize> = cands.iter().map(|c| c.query_idx).collect();
+        qidxs.sort_unstable();
+        qidxs.dedup();
+
+        // Split threads across queries proportionally to weight, but also
+        // account for threads a query already holds: fair share is over
+        // the total pool.
+        let weight = |qi: usize| -> f64 {
+            let q = &ctx.queries[qi];
+            self.weights.get(q.qid.0 as usize).copied().unwrap_or(1.0)
+        };
+        let total_w: f64 = qidxs.iter().map(|&qi| weight(qi)).sum();
+        let mut free = ctx.free_threads;
+        let mut out = Vec::new();
+        for &qi in &qidxs {
+            if free == 0 {
+                break;
+            }
+            let q = &ctx.queries[qi];
+            let fair_share =
+                ((ctx.total_threads as f64) * weight(qi) / total_w).floor() as usize;
+            let deficit = fair_share.saturating_sub(q.assigned_threads).max(
+                // When over-subscribed (more queries than threads) still
+                // grant at least one thread so nobody starves.
+                usize::from(q.assigned_threads == 0),
+            );
+            if deficit == 0 {
+                continue;
+            }
+            let grant_total = deficit.min(free);
+            let roots: Vec<_> = cands.iter().filter(|c| c.query_idx == qi).collect();
+            let per = even_split(grant_total, roots.len());
+            for (c, share) in roots.iter().zip(per) {
+                if share == 0 || free == 0 {
+                    continue;
+                }
+                let threads = share.min(free);
+                free -= threads;
+                out.push(decide(q, c, c.max_degree, threads));
+            }
+        }
+        out
+    }
+}
+
+/// Shortest job first: all free threads to the query with the least
+/// estimated remaining work.
+#[derive(Debug, Default, Clone)]
+pub struct SjfScheduler;
+
+impl Scheduler for SjfScheduler {
+    fn name(&self) -> String {
+        "sjf".into()
+    }
+
+    fn on_event(&mut self, ctx: &SchedContext<'_>, _ev: &SchedEvent) -> Vec<SchedDecision> {
+        let cands = candidates(ctx);
+        let mut qidxs: Vec<usize> = cands.iter().map(|c| c.query_idx).collect();
+        qidxs.sort_unstable();
+        qidxs.dedup();
+        qidxs.sort_by(|&a, &b| {
+            ctx.queries[a]
+                .est_remaining_work()
+                .total_cmp(&ctx.queries[b].est_remaining_work())
+        });
+        let mut out = Vec::new();
+        let mut free = ctx.free_threads;
+        for qi in qidxs {
+            if free == 0 {
+                break;
+            }
+            let roots: Vec<_> = cands.iter().filter(|c| c.query_idx == qi).collect();
+            let per = even_split(free, roots.len());
+            let mut granted = 0;
+            for (c, share) in roots.iter().zip(per) {
+                let threads = share.max(1).min(free - granted);
+                if threads == 0 {
+                    break;
+                }
+                granted += threads;
+                out.push(decide(&ctx.queries[qi], c, c.max_degree, threads));
+            }
+            free -= granted;
+        }
+        out
+    }
+}
+
+/// Highest priority first: like SJF but ordered by a static priority —
+/// here the optimizer's critical-path estimate (heavier queries first),
+/// the classic HPF configuration for makespan-oriented tuning.
+#[derive(Debug, Default, Clone)]
+pub struct HpfScheduler;
+
+impl Scheduler for HpfScheduler {
+    fn name(&self) -> String {
+        "hpf".into()
+    }
+
+    fn on_event(&mut self, ctx: &SchedContext<'_>, _ev: &SchedEvent) -> Vec<SchedDecision> {
+        let cands = candidates(ctx);
+        let mut qidxs: Vec<usize> = cands.iter().map(|c| c.query_idx).collect();
+        qidxs.sort_unstable();
+        qidxs.dedup();
+        qidxs.sort_by(|&a, &b| {
+            ctx.queries[b]
+                .plan
+                .critical_path_estimate()
+                .total_cmp(&ctx.queries[a].plan.critical_path_estimate())
+        });
+        let mut out = Vec::new();
+        let mut free = ctx.free_threads;
+        for qi in qidxs {
+            if free == 0 {
+                break;
+            }
+            let roots: Vec<_> = cands.iter().filter(|c| c.query_idx == qi).collect();
+            let per = even_split(free, roots.len());
+            let mut granted = 0;
+            for (c, share) in roots.iter().zip(per) {
+                let threads = share.max(1).min(free - granted);
+                if threads == 0 {
+                    break;
+                }
+                granted += threads;
+                out.push(decide(&ctx.queries[qi], c, c.max_degree, threads));
+            }
+            free -= granted;
+        }
+        out
+    }
+}
+
+/// Critical-path pipelining (Kelley & Walker, Figure 1's first
+/// scheduler): always start the pipeline containing the most aggregate
+/// work first, pipelining it as aggressively as possible.
+#[derive(Debug, Default, Clone)]
+pub struct CriticalPathScheduler;
+
+impl Scheduler for CriticalPathScheduler {
+    fn name(&self) -> String {
+        "critical_path".into()
+    }
+
+    fn on_event(&mut self, ctx: &SchedContext<'_>, _ev: &SchedEvent) -> Vec<SchedDecision> {
+        let mut cands = candidates(ctx);
+        // Heaviest pipeline first — the "runs the pipeline containing
+        // more aggregate work first" heuristic.
+        cands.sort_by(|a, b| b.chain_work.total_cmp(&a.chain_work));
+        let mut out = Vec::new();
+        let mut free = ctx.free_threads;
+        for c in cands {
+            if free == 0 {
+                break;
+            }
+            // Aggressive pipelining: always the full chain, threads
+            // proportional to its share of outstanding work.
+            let threads = (free / 2).max(1);
+            free -= threads;
+            out.push(decide(&ctx.queries[c.query_idx], &c, c.max_degree, threads));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsched_engine::sim::{simulate, SimConfig};
+    use lsched_workloads::tpch;
+    use lsched_workloads::workload::{gen_workload, ArrivalPattern};
+
+    fn run(s: &mut dyn Scheduler, threads: usize, seed: u64) -> lsched_engine::sim::SimResult {
+        let pool = tpch::plan_pool(&[0.5, 1.0]);
+        let wl = gen_workload(&pool, 12, ArrivalPattern::Batch, seed);
+        simulate(SimConfig { num_threads: threads, seed, ..Default::default() }, &wl, s)
+    }
+
+    #[test]
+    fn all_heuristics_complete_workloads() {
+        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(FifoScheduler),
+            Box::new(FairScheduler::default()),
+            Box::new(SjfScheduler),
+            Box::new(HpfScheduler),
+            Box::new(CriticalPathScheduler),
+        ];
+        for s in schedulers.iter_mut() {
+            let res = run(s.as_mut(), 8, 3);
+            assert_eq!(res.outcomes.len(), 12, "{} lost queries", s.name());
+            assert!(!res.timed_out, "{} timed out", s.name());
+        }
+    }
+
+    #[test]
+    fn fair_beats_fifo_on_avg_duration_in_batch() {
+        // FIFO's head-of-line blocking inflates average latency on a
+        // multi-query batch (Figure 8's headline observation).
+        let mut fifo_total = 0.0;
+        let mut fair_total = 0.0;
+        for seed in 0..3 {
+            fifo_total += run(&mut FifoScheduler, 8, seed).avg_duration();
+            fair_total += run(&mut FairScheduler::default(), 8, seed).avg_duration();
+        }
+        assert!(
+            fair_total < fifo_total,
+            "fair ({fair_total}) should beat fifo ({fifo_total})"
+        );
+    }
+
+    #[test]
+    fn sjf_beats_fifo_on_avg_duration() {
+        let mut fifo_total = 0.0;
+        let mut sjf_total = 0.0;
+        for seed in 0..3 {
+            fifo_total += run(&mut FifoScheduler, 8, seed).avg_duration();
+            sjf_total += run(&mut SjfScheduler, 8, seed).avg_duration();
+        }
+        assert!(sjf_total < fifo_total, "sjf ({sjf_total}) vs fifo ({fifo_total})");
+    }
+
+    #[test]
+    fn schedulers_are_deterministic() {
+        let a = run(&mut FairScheduler::default(), 8, 11).avg_duration();
+        let b = run(&mut FairScheduler::default(), 8, 11).avg_duration();
+        assert_eq!(a, b);
+    }
+}

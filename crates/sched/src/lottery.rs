@@ -1,0 +1,148 @@
+//! Lottery scheduling (Waldspurger & Weihl, OSDI '94 — cited by the
+//! paper's related work on OS schedulers): probabilistic
+//! proportional-share resource management. Each query holds tickets;
+//! every thread grant is raffled among queries with schedulable work,
+//! so long-run thread shares are proportional to ticket counts without
+//! the deterministic bookkeeping of weighted fair queueing.
+
+use lsched_engine::scheduler::{SchedContext, SchedDecision, SchedEvent, Scheduler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::candidates;
+
+/// Probabilistic proportional-share scheduler.
+#[derive(Debug, Clone)]
+pub struct LotteryScheduler {
+    /// Tickets per query (by `QueryId` index); defaults to 1.
+    pub tickets: Vec<f64>,
+    rng: StdRng,
+}
+
+impl LotteryScheduler {
+    /// Creates a lottery scheduler with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self { tickets: Vec::new(), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn tickets_of(&self, qid: u64) -> f64 {
+        self.tickets.get(qid as usize).copied().unwrap_or(1.0).max(1e-9)
+    }
+}
+
+impl Default for LotteryScheduler {
+    fn default() -> Self {
+        Self::new(0x107e)
+    }
+}
+
+impl Scheduler for LotteryScheduler {
+    fn name(&self) -> String {
+        "lottery".into()
+    }
+
+    fn on_event(&mut self, ctx: &SchedContext<'_>, _ev: &SchedEvent) -> Vec<SchedDecision> {
+        let cands = candidates(ctx);
+        if cands.is_empty() {
+            return Vec::new();
+        }
+        // Raffle free threads in small grants; each draw picks a query
+        // proportionally to tickets, then one of its candidate roots.
+        let mut out: Vec<SchedDecision> = Vec::new();
+        let mut free = ctx.free_threads;
+        let grant = (ctx.free_threads / 4).max(1);
+        let mut used_roots: Vec<(usize, usize)> = Vec::new();
+        while free > 0 {
+            let open: Vec<&crate::common::Candidate> = cands
+                .iter()
+                .filter(|c| !used_roots.contains(&(c.query_idx, c.root.0)))
+                .collect();
+            if open.is_empty() {
+                break;
+            }
+            let total: f64 =
+                open.iter().map(|c| self.tickets_of(ctx.queries[c.query_idx].qid.0)).sum();
+            let mut draw = self.rng.gen_range(0.0..total);
+            let mut chosen = open[open.len() - 1];
+            for c in &open {
+                draw -= self.tickets_of(ctx.queries[c.query_idx].qid.0);
+                if draw <= 0.0 {
+                    chosen = c;
+                    break;
+                }
+            }
+            let threads = grant.min(free);
+            free -= threads;
+            used_roots.push((chosen.query_idx, chosen.root.0));
+            out.push(SchedDecision {
+                query: ctx.queries[chosen.query_idx].qid,
+                root: chosen.root,
+                pipeline_degree: chosen.max_degree,
+                threads,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsched_engine::sim::{simulate, SimConfig};
+    use lsched_workloads::tpch;
+    use lsched_workloads::workload::{gen_workload, ArrivalPattern};
+
+    #[test]
+    fn lottery_completes_workloads() {
+        let pool = tpch::plan_pool(&[0.5]);
+        let wl = gen_workload(&pool, 10, ArrivalPattern::Batch, 2);
+        let res = simulate(
+            SimConfig { num_threads: 8, ..Default::default() },
+            &wl,
+            &mut LotteryScheduler::default(),
+        );
+        assert_eq!(res.outcomes.len(), 10);
+        assert!(!res.timed_out);
+    }
+
+    #[test]
+    fn weighted_tickets_skew_completion_order() {
+        // Give query 0 overwhelming tickets; across seeds it should
+        // finish earlier (on average) than with uniform tickets.
+        let pool = tpch::plan_pool(&[0.5]);
+        let wl = gen_workload(&pool, 8, ArrivalPattern::Batch, 3);
+        let finish_pos_of_q0 = |tickets: Vec<f64>| -> f64 {
+            let mut total = 0.0;
+            for seed in 0..4 {
+                let mut s = LotteryScheduler::new(seed);
+                s.tickets = tickets.clone();
+                let res = simulate(
+                    SimConfig { num_threads: 6, seed, ..Default::default() },
+                    &wl,
+                    &mut s,
+                );
+                let pos = res.outcomes.iter().position(|o| o.qid.0 == 0).unwrap();
+                total += pos as f64;
+            }
+            total / 4.0
+        };
+        let uniform = finish_pos_of_q0(vec![1.0; 8]);
+        let mut skewed = vec![1.0; 8];
+        skewed[0] = 1000.0;
+        let favored = finish_pos_of_q0(skewed);
+        assert!(
+            favored <= uniform,
+            "favored query finished later ({favored}) than uniform ({uniform})"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pool = tpch::plan_pool(&[0.5]);
+        let wl = gen_workload(&pool, 6, ArrivalPattern::Batch, 4);
+        let cfg = SimConfig { num_threads: 6, seed: 9, ..Default::default() };
+        let a = simulate(cfg.clone(), &wl, &mut LotteryScheduler::new(1)).avg_duration();
+        let b = simulate(cfg, &wl, &mut LotteryScheduler::new(1)).avg_duration();
+        assert_eq!(a, b);
+    }
+}

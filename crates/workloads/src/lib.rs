@@ -1,0 +1,24 @@
+//! # lsched-workloads
+//!
+//! The three benchmarks of the paper's evaluation — TPC-H (22 queries,
+//! SF 2–100), the Star Schema Benchmark (13 queries, SF 2–50) and the
+//! Join Order Benchmark (113 queries over the 21-table IMDB schema) —
+//! as scale-factor-aware physical-plan pools, plus the Section 7.1
+//! workload-generation protocol (train/test split without replacement,
+//! sampling with replacement, batch or exponential-streaming arrivals).
+//!
+//! Simulator plans are lowered from compact [`spec`] trees; TPC-H also
+//! ships a synthetic data generator and fully executable plans for
+//! representative queries so the real engine can validate operator
+//! correctness and calibrate the cost model.
+
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod spec;
+pub mod ssb;
+pub mod tpch;
+pub mod workload;
+
+pub use spec::{build_plan, BenchContext, JoinKind, Node, QuerySpec};
+pub use workload::{gen_workload, split_train_test, ArrivalPattern, EpisodeSampler};

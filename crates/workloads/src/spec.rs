@@ -1,0 +1,429 @@
+//! A compact query-specification DSL and the generic physical-plan
+//! builder that turns a spec into a simulator-ready [`PhysicalPlan`].
+//!
+//! Each benchmark (TPC-H, SSB, JOB) describes its queries as a tree of
+//! [`Node`]s — scans with selectivities, joins with fan-outs, aggregates,
+//! sorts — and [`build_plan`] lowers that tree into the work-order
+//! operator DAG Quickstep's optimizer would emit: scans feed selects
+//! through non-pipeline-breaking edges, hash joins expand into BuildHash →
+//! ProbeHash pairs with a pipeline-breaking edge between them,
+//! aggregations into partial + finalize, sorts into run generation plus
+//! merge. Cardinalities propagate through the tree from the
+//! scale-factor-scaled base table rows, and the [`CostModel`] supplies
+//! per-work-order duration/memory estimates.
+
+use lsched_engine::cost::CostModel;
+use lsched_engine::plan::{OpId, OpKind, OpSpec, PhysicalPlan, PlanBuilder};
+
+/// Rows processed per work order (the block size of simulator plans).
+pub const ROWS_PER_WORK_ORDER: f64 = 100_000.0;
+
+/// Cap on work orders per operator (very large scans are chunked into
+/// proportionally larger blocks, as Quickstep does with its block size).
+pub const MAX_WORK_ORDERS: u32 = 192;
+
+/// How a join is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// BuildHash + ProbeHash pair (build side = left child).
+    Hash,
+    /// Nested-loops join (both children materialized first).
+    NestedLoops,
+    /// Index nested-loops join (right child must be an index scan).
+    IndexNested,
+}
+
+/// One node of a query spec tree.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// Scan a base table, filtering down to `selectivity` of its rows.
+    Scan {
+        /// Benchmark-local table index (drives O-IN).
+        table: usize,
+        /// Fraction of rows surviving the scan's predicate.
+        selectivity: f64,
+        /// Global column ids used (drives O-COLS).
+        cols: Vec<usize>,
+        /// Use an index scan instead of a full scan.
+        indexed: bool,
+    },
+    /// An additional filter over a child.
+    Select {
+        /// Input subtree.
+        input: Box<Node>,
+        /// Fraction of input rows surviving.
+        selectivity: f64,
+        /// Global column ids used.
+        cols: Vec<usize>,
+    },
+    /// A binary join; output rows = probe rows × `fanout`.
+    Join {
+        /// Build (left) subtree.
+        build: Box<Node>,
+        /// Probe (right) subtree.
+        probe: Box<Node>,
+        /// Execution strategy.
+        kind: JoinKind,
+        /// Output rows per probe row.
+        fanout: f64,
+        /// Global column ids of the join keys.
+        cols: Vec<usize>,
+    },
+    /// Group-by aggregation producing `out_rows` groups.
+    Agg {
+        /// Input subtree.
+        input: Box<Node>,
+        /// Number of output groups.
+        out_rows: f64,
+        /// Global column ids used.
+        cols: Vec<usize>,
+    },
+    /// Full sort of the input.
+    Sort {
+        /// Input subtree.
+        input: Box<Node>,
+        /// Global column ids of the sort keys.
+        cols: Vec<usize>,
+    },
+    /// Keep the best `k` rows.
+    TopK {
+        /// Input subtree.
+        input: Box<Node>,
+        /// Rows kept.
+        k: f64,
+        /// Global column ids used.
+        cols: Vec<usize>,
+    },
+}
+
+impl Node {
+    /// Scan helper.
+    pub fn scan(table: usize, selectivity: f64, cols: Vec<usize>) -> Node {
+        Node::Scan { table, selectivity, cols, indexed: false }
+    }
+
+    /// Index-scan helper.
+    pub fn index_scan(table: usize, selectivity: f64, cols: Vec<usize>) -> Node {
+        Node::Scan { table, selectivity, cols, indexed: true }
+    }
+
+    /// Filter helper.
+    pub fn select(self, selectivity: f64, cols: Vec<usize>) -> Node {
+        Node::Select { input: Box::new(self), selectivity, cols }
+    }
+
+    /// Hash-join helper (`self` is the build side).
+    pub fn hash_join(self, probe: Node, fanout: f64, cols: Vec<usize>) -> Node {
+        Node::Join { build: Box::new(self), probe: Box::new(probe), kind: JoinKind::Hash, fanout, cols }
+    }
+
+    /// Aggregation helper.
+    pub fn agg(self, out_rows: f64, cols: Vec<usize>) -> Node {
+        Node::Agg { input: Box::new(self), out_rows, cols }
+    }
+
+    /// Sort helper.
+    pub fn sort(self, cols: Vec<usize>) -> Node {
+        Node::Sort { input: Box::new(self), cols }
+    }
+
+    /// Top-k helper.
+    pub fn topk(self, k: f64, cols: Vec<usize>) -> Node {
+        Node::TopK { input: Box::new(self), k, cols }
+    }
+
+    /// Number of join nodes in the subtree.
+    pub fn join_count(&self) -> usize {
+        match self {
+            Node::Scan { .. } => 0,
+            Node::Select { input, .. } | Node::Agg { input, .. } | Node::Sort { input, .. }
+            | Node::TopK { input, .. } => input.join_count(),
+            Node::Join { build, probe, .. } => 1 + build.join_count() + probe.join_count(),
+        }
+    }
+}
+
+/// A named query spec plus the benchmark's base-table row counts.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Query name, e.g. `"tpch_q03"`.
+    pub name: String,
+    /// Root of the spec tree.
+    pub root: Node,
+}
+
+/// Per-benchmark context needed to lower specs into plans.
+#[derive(Debug, Clone)]
+pub struct BenchContext {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Rows of each table at scale factor 1, indexed by table index.
+    pub base_rows: Vec<f64>,
+    /// Cost model used for optimizer estimates.
+    pub cost: CostModel,
+}
+
+impl BenchContext {
+    /// Rows of `table` at the given scale factor.
+    pub fn rows(&self, table: usize, sf: f64) -> f64 {
+        self.base_rows[table] * sf
+    }
+}
+
+fn wo_count(rows: f64) -> u32 {
+    ((rows / ROWS_PER_WORK_ORDER).ceil() as u32).clamp(1, MAX_WORK_ORDERS)
+}
+
+struct Lowering<'a> {
+    b: PlanBuilder,
+    ctx: &'a BenchContext,
+    sf: f64,
+    bitmap_salt: u64,
+}
+
+struct Lowered {
+    op: OpId,
+    rows: f64,
+    tables: Vec<usize>,
+}
+
+impl Lowering<'_> {
+    fn add(
+        &mut self,
+        kind: OpKind,
+        tables: Vec<usize>,
+        cols: Vec<usize>,
+        in_rows: f64,
+        out_rows: f64,
+    ) -> OpId {
+        let wos = wo_count(in_rows);
+        let rows_per_wo = in_rows / wos as f64;
+        let dur = self.ctx.cost.wo_duration_estimate(kind, rows_per_wo);
+        let mem = self.ctx.cost.wo_memory_estimate(kind, rows_per_wo);
+        self.b.add_op(kind, OpSpec::Synthetic, tables, cols, out_rows, wos, dur, mem)
+    }
+
+    fn lower(&mut self, node: &Node) -> Lowered {
+        match node {
+            Node::Scan { table, selectivity, cols, indexed } => {
+                let trows = self.ctx.rows(*table, self.sf);
+                let out = trows * selectivity;
+                let kind = if *indexed { OpKind::IndexScan } else { OpKind::TableScan };
+                let in_rows = if *indexed { out.max(1.0) } else { trows };
+                let op = self.add(kind, vec![*table], cols.clone(), in_rows, out);
+                // Block bitmap: the contiguous fraction of the table's
+                // blocks this query touches, offset per query for variety.
+                let nblocks = wo_count(trows) as usize;
+                let touched = ((nblocks as f64 * selectivity).ceil() as usize).clamp(1, nblocks);
+                let start = (self.bitmap_salt as usize).wrapping_mul(2654435761) % (nblocks - touched + 1).max(1);
+                let bitmap: Vec<bool> =
+                    (0..nblocks).map(|i| i >= start && i < start + touched).collect();
+                self.b.set_block_bitmap(op, bitmap);
+                self.bitmap_salt = self.bitmap_salt.wrapping_add(1);
+                Lowered { op, rows: out, tables: vec![*table] }
+            }
+            Node::Select { input, selectivity, cols } => {
+                let child = self.lower(input);
+                let out = child.rows * selectivity;
+                let op = self.add(OpKind::Select, child.tables.clone(), cols.clone(), child.rows, out);
+                self.b.connect(child.op, op, true);
+                Lowered { op, rows: out, tables: child.tables }
+            }
+            Node::Join { build, probe, kind, fanout, cols } => {
+                let l = self.lower(build);
+                let r = self.lower(probe);
+                let mut tables = l.tables.clone();
+                for t in &r.tables {
+                    if !tables.contains(t) {
+                        tables.push(*t);
+                    }
+                }
+                let out = r.rows * fanout;
+                match kind {
+                    JoinKind::Hash => {
+                        let bh = self.add(OpKind::BuildHash, l.tables.clone(), cols.clone(), l.rows, l.rows);
+                        self.b.connect(l.op, bh, true);
+                        let ph = self.add(OpKind::ProbeHash, tables.clone(), cols.clone(), r.rows, out);
+                        self.b.connect(bh, ph, false);
+                        self.b.connect(r.op, ph, true);
+                        Lowered { op: ph, rows: out, tables }
+                    }
+                    JoinKind::NestedLoops => {
+                        let nl = self.add(
+                            OpKind::NestedLoopsJoin,
+                            tables.clone(),
+                            cols.clone(),
+                            l.rows + r.rows,
+                            out,
+                        );
+                        self.b.connect(l.op, nl, false);
+                        self.b.connect(r.op, nl, true);
+                        Lowered { op: nl, rows: out, tables }
+                    }
+                    JoinKind::IndexNested => {
+                        let inl = self.add(
+                            OpKind::IndexNestedLoopsJoin,
+                            tables.clone(),
+                            cols.clone(),
+                            r.rows,
+                            out,
+                        );
+                        self.b.connect(l.op, inl, false);
+                        self.b.connect(r.op, inl, true);
+                        Lowered { op: inl, rows: out, tables }
+                    }
+                }
+            }
+            Node::Agg { input, out_rows, cols } => {
+                let child = self.lower(input);
+                let partial = self.add(
+                    OpKind::Aggregate,
+                    child.tables.clone(),
+                    cols.clone(),
+                    child.rows,
+                    *out_rows,
+                );
+                self.b.connect(child.op, partial, true);
+                let fin = self.add(
+                    OpKind::FinalizeAggregate,
+                    child.tables.clone(),
+                    cols.clone(),
+                    out_rows.max(1.0),
+                    *out_rows,
+                );
+                self.b.connect(partial, fin, false);
+                Lowered { op: fin, rows: *out_rows, tables: child.tables }
+            }
+            Node::Sort { input, cols } => {
+                let child = self.lower(input);
+                let run = self.add(
+                    OpKind::SortRunGeneration,
+                    child.tables.clone(),
+                    cols.clone(),
+                    child.rows,
+                    child.rows,
+                );
+                self.b.connect(child.op, run, true);
+                let merge = self.add(
+                    OpKind::SortMergeRun,
+                    child.tables.clone(),
+                    cols.clone(),
+                    child.rows,
+                    child.rows,
+                );
+                self.b.connect(run, merge, false);
+                Lowered { op: merge, rows: child.rows, tables: child.tables }
+            }
+            Node::TopK { input, k, cols } => {
+                let child = self.lower(input);
+                let op = self.add(OpKind::TopK, child.tables.clone(), cols.clone(), child.rows, *k);
+                self.b.connect(child.op, op, false);
+                Lowered { op, rows: *k, tables: child.tables }
+            }
+        }
+    }
+}
+
+/// Lowers a [`QuerySpec`] into a simulator-ready plan at scale factor
+/// `sf`, naming it `"{spec.name}_sf{sf}"`.
+pub fn build_plan(spec: &QuerySpec, ctx: &BenchContext, sf: f64) -> PhysicalPlan {
+    let name = if (sf - 1.0).abs() < 1e-12 {
+        spec.name.clone()
+    } else {
+        format!("{}_sf{sf}", spec.name)
+    };
+    let mut lowering = Lowering {
+        b: PlanBuilder::new(name),
+        ctx,
+        sf,
+        bitmap_salt: spec.name.bytes().map(u64::from).sum(),
+    };
+    let root = lowering.lower(&spec.root);
+    lowering.b.finish(root.op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> BenchContext {
+        BenchContext {
+            name: "test",
+            base_rows: vec![1_000_000.0, 200_000.0, 10_000.0],
+            cost: CostModel::default_model(),
+        }
+    }
+
+    fn sample_spec() -> QuerySpec {
+        // dim ⨝ (fact σ) then aggregate and top-k.
+        QuerySpec {
+            name: "sample".into(),
+            root: Node::scan(2, 0.5, vec![20])
+                .hash_join(Node::scan(0, 0.2, vec![0, 1]).select(0.5, vec![2]), 0.9, vec![0, 20])
+                .agg(100.0, vec![3])
+                .topk(10.0, vec![3]),
+        }
+    }
+
+    #[test]
+    fn lowering_produces_valid_plan() {
+        let plan = build_plan(&sample_spec(), &ctx(), 1.0);
+        assert!(plan.validate().is_ok());
+        // scan, scan, select, build, probe, agg, fin, topk = 8 ops.
+        assert_eq!(plan.num_ops(), 8);
+        assert_eq!(plan.op(plan.root).kind, OpKind::TopK);
+    }
+
+    #[test]
+    fn edges_have_expected_breaking_pattern() {
+        let plan = build_plan(&sample_spec(), &ctx(), 1.0);
+        let breaking: Vec<(OpKind, OpKind)> = plan
+            .edges
+            .iter()
+            .filter(|e| !e.non_pipeline_breaking)
+            .map(|e| (plan.op(e.child).kind, plan.op(e.parent).kind))
+            .collect();
+        assert!(breaking.contains(&(OpKind::BuildHash, OpKind::ProbeHash)));
+        assert!(breaking.contains(&(OpKind::Aggregate, OpKind::FinalizeAggregate)));
+        assert!(breaking.contains(&(OpKind::FinalizeAggregate, OpKind::TopK)));
+    }
+
+    #[test]
+    fn scale_factor_scales_work_orders() {
+        let p1 = build_plan(&sample_spec(), &ctx(), 1.0);
+        let p10 = build_plan(&sample_spec(), &ctx(), 10.0);
+        let w1: u32 = p1.ops.iter().map(|o| o.num_work_orders).sum();
+        let w10: u32 = p10.ops.iter().map(|o| o.num_work_orders).sum();
+        assert!(w10 > w1, "{w10} should exceed {w1}");
+        assert!(p10.name.contains("sf10"));
+    }
+
+    #[test]
+    fn scan_bitmap_matches_selectivity() {
+        let plan = build_plan(&sample_spec(), &ctx(), 1.0);
+        // Fact scan: table 0 (1M rows → 10 blocks), selectivity 0.2 → 2 blocks.
+        let scan = plan
+            .ops
+            .iter()
+            .find(|o| o.kind == OpKind::TableScan && o.input_tables == vec![0])
+            .unwrap();
+        assert_eq!(scan.block_bitmap.len(), 10);
+        assert_eq!(scan.block_bitmap.iter().filter(|&&b| b).count(), 2);
+    }
+
+    #[test]
+    fn join_count_counts_joins() {
+        assert_eq!(sample_spec().root.join_count(), 1);
+        let deep = Node::scan(0, 1.0, vec![])
+            .hash_join(Node::scan(1, 1.0, vec![]), 1.0, vec![])
+            .hash_join(Node::scan(2, 1.0, vec![]), 1.0, vec![]);
+        assert_eq!(deep.join_count(), 2);
+    }
+
+    #[test]
+    fn work_order_cap_respected() {
+        let spec = QuerySpec { name: "huge".into(), root: Node::scan(0, 1.0, vec![]) };
+        let plan = build_plan(&spec, &ctx(), 10_000.0);
+        assert!(plan.ops.iter().all(|o| o.num_work_orders <= MAX_WORK_ORDERS));
+    }
+}

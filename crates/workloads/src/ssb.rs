@@ -1,0 +1,429 @@
+//! The Star Schema Benchmark: 5 tables, 13 queries in 4 flights.
+//!
+//! SSB is a denormalized star over `lineorder` with four dimensions;
+//! every query joins `lineorder` against one to four dimensions with
+//! increasingly selective filters, then aggregates. The specs below
+//! reproduce the published flight structure and selectivities.
+
+use std::sync::Arc;
+
+use lsched_engine::block::Column;
+use lsched_engine::catalog::{Catalog, Schema, Table};
+use lsched_engine::cost::CostModel;
+use lsched_engine::expr::{ArithOp, CmpOp, Predicate, ScalarExpr};
+use lsched_engine::plan::{AggFunc, OpKind, OpSpec, PhysicalPlan, PlanBuilder};
+use lsched_engine::value::ColumnType;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{BenchContext, Node, QuerySpec};
+
+/// Table indices.
+pub mod tables {
+    /// lineorder (6 M rows at SF 1).
+    pub const LINEORDER: usize = 0;
+    /// customer (30 k rows).
+    pub const CUSTOMER: usize = 1;
+    /// supplier (2 k rows).
+    pub const SUPPLIER: usize = 2;
+    /// part (200 k rows).
+    pub const PART: usize = 3;
+    /// date (2 556 rows, unscaled).
+    pub const DATE: usize = 4;
+}
+
+/// Global column-id bases.
+pub mod cols {
+    /// lineorder columns start (17 columns).
+    pub const LO: usize = 0;
+    /// customer columns start (8 columns).
+    pub const C: usize = 17;
+    /// supplier columns start (7 columns).
+    pub const S: usize = 25;
+    /// part columns start (9 columns).
+    pub const P: usize = 32;
+    /// date columns start (17 columns).
+    pub const D: usize = 41;
+}
+
+use cols::{C, D, LO, P, S};
+use tables::*;
+
+/// The benchmark context.
+pub fn context() -> BenchContext {
+    BenchContext {
+        name: "ssb",
+        base_rows: vec![6_000_000.0, 30_000.0, 2_000.0, 200_000.0, 2_556.0],
+        cost: CostModel::default_model(),
+    }
+}
+
+/// Specs for all 13 SSB queries (flights 1–4).
+pub fn query_specs() -> Vec<QuerySpec> {
+    let q = |name: &str, root: Node| QuerySpec { name: format!("ssb_{name}"), root };
+    vec![
+        // Flight 1: lineorder ⨝ date, revenue sum, varying selectivity.
+        q("q1_1", Node::scan(DATE, 1.0 / 7.0, vec![D + 4])
+            .hash_join(
+                Node::scan(LINEORDER, 0.47, vec![LO + 11, LO + 8]),
+                1.0 / 7.0,
+                vec![LO + 5, D],
+            )
+            .agg(1.0, vec![LO + 12, LO + 11])),
+        q("q1_2", Node::scan(DATE, 1.0 / 84.0, vec![D + 5])
+            .hash_join(
+                Node::scan(LINEORDER, 0.2, vec![LO + 11, LO + 8]),
+                1.0 / 84.0,
+                vec![LO + 5, D],
+            )
+            .agg(1.0, vec![LO + 12, LO + 11])),
+        q("q1_3", Node::scan(DATE, 1.0 / 364.0, vec![D + 6])
+            .hash_join(
+                Node::scan(LINEORDER, 0.1, vec![LO + 11, LO + 8]),
+                1.0 / 364.0,
+                vec![LO + 5, D],
+            )
+            .agg(1.0, vec![LO + 12, LO + 11])),
+        // Flight 2: lineorder ⨝ date ⨝ part ⨝ supplier, group by year/brand.
+        q("q2_1", Node::scan(PART, 1.0 / 25.0, vec![P + 3])
+            .hash_join(
+                Node::scan(SUPPLIER, 0.2, vec![S + 5])
+                    .hash_join(Node::scan(LINEORDER, 1.0, vec![LO + 4]), 0.2, vec![LO + 4, S]),
+                1.0 / 25.0,
+                vec![LO + 3, P],
+            )
+            .hash_join(Node::scan(DATE, 1.0, vec![D + 4]), 1.0, vec![LO + 5, D])
+            .agg(280.0, vec![D + 4, P + 4])
+            .sort(vec![D + 4, P + 4])),
+        q("q2_2", Node::scan(PART, 1.0 / 125.0, vec![P + 4])
+            .hash_join(
+                Node::scan(SUPPLIER, 0.2, vec![S + 5])
+                    .hash_join(Node::scan(LINEORDER, 1.0, vec![LO + 4]), 0.2, vec![LO + 4, S]),
+                1.0 / 125.0,
+                vec![LO + 3, P],
+            )
+            .hash_join(Node::scan(DATE, 1.0, vec![D + 4]), 1.0, vec![LO + 5, D])
+            .agg(56.0, vec![D + 4, P + 4])
+            .sort(vec![D + 4, P + 4])),
+        q("q2_3", Node::scan(PART, 1.0 / 1000.0, vec![P + 4])
+            .hash_join(
+                Node::scan(SUPPLIER, 0.2, vec![S + 5])
+                    .hash_join(Node::scan(LINEORDER, 1.0, vec![LO + 4]), 0.2, vec![LO + 4, S]),
+                1.0 / 1000.0,
+                vec![LO + 3, P],
+            )
+            .hash_join(Node::scan(DATE, 1.0, vec![D + 4]), 1.0, vec![LO + 5, D])
+            .agg(7.0, vec![D + 4, P + 4])
+            .sort(vec![D + 4, P + 4])),
+        // Flight 3: customer/supplier geography over time.
+        q("q3_1", Node::scan(CUSTOMER, 0.2, vec![C + 4])
+            .hash_join(
+                Node::scan(SUPPLIER, 0.2, vec![S + 4])
+                    .hash_join(Node::scan(LINEORDER, 1.0, vec![LO + 2]), 0.2, vec![LO + 4, S]),
+                0.2,
+                vec![LO + 2, C],
+            )
+            .hash_join(Node::scan(DATE, 6.0 / 7.0, vec![D + 4]), 6.0 / 7.0, vec![LO + 5, D])
+            .agg(150.0, vec![C + 5, S + 5, D + 4])
+            .sort(vec![D + 4])),
+        q("q3_2", Node::scan(CUSTOMER, 1.0 / 25.0, vec![C + 5])
+            .hash_join(
+                Node::scan(SUPPLIER, 1.0 / 25.0, vec![S + 5])
+                    .hash_join(Node::scan(LINEORDER, 1.0, vec![LO + 2]), 1.0 / 25.0, vec![LO + 4, S]),
+                1.0 / 25.0,
+                vec![LO + 2, C],
+            )
+            .hash_join(Node::scan(DATE, 6.0 / 7.0, vec![D + 4]), 6.0 / 7.0, vec![LO + 5, D])
+            .agg(600.0, vec![C + 6, S + 6, D + 4])
+            .sort(vec![D + 4])),
+        q("q3_3", Node::scan(CUSTOMER, 1.0 / 125.0, vec![C + 6])
+            .hash_join(
+                Node::scan(SUPPLIER, 1.0 / 125.0, vec![S + 6])
+                    .hash_join(Node::scan(LINEORDER, 1.0, vec![LO + 2]), 1.0 / 125.0, vec![LO + 4, S]),
+                1.0 / 125.0,
+                vec![LO + 2, C],
+            )
+            .hash_join(Node::scan(DATE, 6.0 / 7.0, vec![D + 4]), 6.0 / 7.0, vec![LO + 5, D])
+            .agg(24.0, vec![C + 6, S + 6, D + 4])
+            .sort(vec![D + 4])),
+        q("q3_4", Node::scan(CUSTOMER, 1.0 / 125.0, vec![C + 6])
+            .hash_join(
+                Node::scan(SUPPLIER, 1.0 / 125.0, vec![S + 6])
+                    .hash_join(Node::scan(LINEORDER, 1.0, vec![LO + 2]), 1.0 / 125.0, vec![LO + 4, S]),
+                1.0 / 125.0,
+                vec![LO + 2, C],
+            )
+            .hash_join(Node::scan(DATE, 1.0 / 84.0, vec![D + 5]), 1.0 / 84.0, vec![LO + 5, D])
+            .agg(4.0, vec![C + 6, S + 6, D + 4])
+            .sort(vec![D + 4])),
+        // Flight 4: profit drill-down across all four dimensions.
+        q("q4_1", Node::scan(CUSTOMER, 0.2, vec![C + 4])
+            .hash_join(
+                Node::scan(SUPPLIER, 0.2, vec![S + 4])
+                    .hash_join(
+                        Node::scan(PART, 0.4, vec![P + 2])
+                            .hash_join(Node::scan(LINEORDER, 1.0, vec![LO + 3]), 0.4, vec![LO + 3, P]),
+                        0.2,
+                        vec![LO + 4, S],
+                    ),
+                0.2,
+                vec![LO + 2, C],
+            )
+            .hash_join(Node::scan(DATE, 1.0, vec![D + 4]), 1.0, vec![LO + 5, D])
+            .agg(35.0, vec![D + 4, C + 4])
+            .sort(vec![D + 4, C + 4])),
+        q("q4_2", Node::scan(CUSTOMER, 0.2, vec![C + 4])
+            .hash_join(
+                Node::scan(SUPPLIER, 0.2, vec![S + 4])
+                    .hash_join(
+                        Node::scan(PART, 0.4, vec![P + 2])
+                            .hash_join(Node::scan(LINEORDER, 1.0, vec![LO + 3]), 0.4, vec![LO + 3, P]),
+                        0.2,
+                        vec![LO + 4, S],
+                    ),
+                0.2,
+                vec![LO + 2, C],
+            )
+            .hash_join(Node::scan(DATE, 2.0 / 7.0, vec![D + 4]), 2.0 / 7.0, vec![LO + 5, D])
+            .agg(100.0, vec![D + 4, S + 4, P + 2])
+            .sort(vec![D + 4, S + 4])),
+        q("q4_3", Node::scan(CUSTOMER, 0.2, vec![C + 5])
+            .hash_join(
+                Node::scan(SUPPLIER, 1.0 / 25.0, vec![S + 5])
+                    .hash_join(
+                        Node::scan(PART, 1.0 / 25.0, vec![P + 3])
+                            .hash_join(
+                                Node::scan(LINEORDER, 1.0, vec![LO + 3]),
+                                1.0 / 25.0,
+                                vec![LO + 3, P],
+                            ),
+                        1.0 / 25.0,
+                        vec![LO + 4, S],
+                    ),
+                0.2,
+                vec![LO + 2, C],
+            )
+            .hash_join(Node::scan(DATE, 2.0 / 7.0, vec![D + 4]), 2.0 / 7.0, vec![LO + 5, D])
+            .agg(700.0, vec![D + 4, S + 5, P + 4])
+            .sort(vec![D + 4, S + 5])),
+    ]
+}
+
+/// Plan pool over the given scale factors (the paper uses 2, 5, 10, 50).
+pub fn plan_pool(sfs: &[f64]) -> Vec<Arc<PhysicalPlan>> {
+    let ctx = context();
+    let specs = query_specs();
+    let mut pool = Vec::with_capacity(specs.len() * sfs.len());
+    for &sf in sfs {
+        for spec in &specs {
+            pool.push(Arc::new(crate::spec::build_plan(spec, &ctx, sf)));
+        }
+    }
+    pool
+}
+
+/// The paper's SSB scale factors.
+pub const PAPER_SCALE_FACTORS: [f64; 4] = [2.0, 5.0, 10.0, 50.0];
+
+// ---------------------------------------------------------------------
+// Real data + an executable flight-1 query (for the real engine).
+// ---------------------------------------------------------------------
+
+/// Generates a miniature SSB catalog: `lineorder` and `date`, with `sf`
+/// scaling the standard lineorder row count. Dates are integer day keys
+/// 0..2555 spanning seven "years" of 365 days.
+pub fn gen_catalog(sf: f64, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cat = Catalog::new();
+    let n_lineorder = ((6_000_000.0 * sf) as usize).max(50);
+    let rows_per_block = 4096;
+
+    // date(datekey, year)
+    let datekey: Vec<i64> = (0..2556).collect();
+    let year: Vec<i64> = datekey.iter().map(|d| 1992 + d / 365).collect();
+    cat.add_table(Table::from_columns(
+        "date",
+        Schema::new(vec![("d_datekey", ColumnType::Int64), ("d_year", ColumnType::Int64)]),
+        vec![Column::I64(datekey), Column::I64(year)],
+        rows_per_block,
+    ));
+
+    // lineorder(orderdate, quantity, extendedprice, discount)
+    let orderdate: Vec<i64> = (0..n_lineorder).map(|_| rng.gen_range(0..2556)).collect();
+    let quantity: Vec<f64> = (0..n_lineorder).map(|_| rng.gen_range(1.0..51.0)).collect();
+    let extendedprice: Vec<f64> =
+        (0..n_lineorder).map(|_| rng.gen_range(100.0..60_000.0)).collect();
+    let discount: Vec<f64> = (0..n_lineorder).map(|_| rng.gen_range(0.0..0.11)).collect();
+    cat.add_table(Table::from_columns(
+        "lineorder",
+        Schema::new(vec![
+            ("lo_orderdate", ColumnType::Int64),
+            ("lo_quantity", ColumnType::Float64),
+            ("lo_extendedprice", ColumnType::Float64),
+            ("lo_discount", ColumnType::Float64),
+        ]),
+        vec![
+            Column::I64(orderdate),
+            Column::F64(quantity),
+            Column::F64(extendedprice),
+            Column::F64(discount),
+        ],
+        rows_per_block,
+    ));
+    cat
+}
+
+/// Executable SSB Q1.1: revenue = sum(extendedprice × discount) over
+/// lineorder ⨝ date where d_year = 1993, discount ∈ [0.01, 0.03],
+/// quantity < 25. The date side uses the zone-map index scan (datekey
+/// range for year 1993: 365..730).
+pub fn q1_1_executable(cat: &Catalog, cost: &CostModel) -> Arc<PhysicalPlan> {
+    let date = cat.table_id("date").unwrap();
+    let lo = cat.table_id("lineorder").unwrap();
+    let mut b = PlanBuilder::new("ssb_q1_1_exec");
+    let est = |k: OpKind, rows: f64, wos: u32| {
+        (
+            cost.wo_duration_estimate(k, rows / wos as f64),
+            cost.wo_memory_estimate(k, rows / wos as f64),
+        )
+    };
+
+    let date_wos = cat.table(date).num_blocks() as u32;
+    let (d, m) = est(OpKind::IndexScan, 366.0, date_wos);
+    let scan_d = b.add_op(
+        OpKind::IndexScan,
+        OpSpec::IndexScan { table: date, col: 0, lo: 365, hi: 729, project: Some(vec![0]) },
+        vec![tables::DATE],
+        vec![cols::D + 4],
+        366.0,
+        date_wos,
+        d,
+        m,
+    );
+    let (d, m) = est(OpKind::BuildHash, 366.0, date_wos);
+    let build_d = b.add_op(
+        OpKind::BuildHash,
+        OpSpec::BuildHash { keys: vec![0] },
+        vec![tables::DATE],
+        vec![cols::D],
+        366.0,
+        date_wos,
+        d,
+        m,
+    );
+    b.connect(scan_d, build_d, true);
+
+    let lo_rows = cat.table(lo).num_rows() as f64;
+    let lo_wos = cat.table(lo).num_blocks() as u32;
+    let (d, m) = est(OpKind::TableScan, lo_rows, lo_wos);
+    let pred = Predicate::col_cmp(3, CmpOp::Ge, 0.01)
+        .and(Predicate::col_cmp(3, CmpOp::Le, 0.03))
+        .and(Predicate::col_cmp(1, CmpOp::Lt, 25.0));
+    let scan_lo = b.add_op(
+        OpKind::TableScan,
+        OpSpec::TableScan { table: lo, predicate: pred, project: Some(vec![0, 2, 3]) },
+        vec![tables::LINEORDER],
+        vec![cols::LO + 8, cols::LO + 11],
+        0.09 * lo_rows,
+        lo_wos,
+        d,
+        m,
+    );
+    let (d, m) = est(OpKind::ProbeHash, 0.09 * lo_rows, lo_wos);
+    let probe = b.add_op(
+        OpKind::ProbeHash,
+        OpSpec::ProbeHash { keys: vec![0] },
+        vec![tables::DATE, tables::LINEORDER],
+        vec![cols::LO + 5, cols::D],
+        0.013 * lo_rows,
+        lo_wos,
+        d,
+        m,
+    );
+    b.connect(build_d, probe, false);
+    b.connect(scan_lo, probe, true);
+
+    // Joined schema: (d_datekey, lo_orderdate, extendedprice, discount).
+    let (d, m) = est(OpKind::Aggregate, 0.013 * lo_rows, lo_wos);
+    let agg = b.add_op(
+        OpKind::Aggregate,
+        OpSpec::Aggregate {
+            group_by: vec![],
+            aggs: vec![(
+                AggFunc::Sum,
+                ScalarExpr::arith(ArithOp::Mul, ScalarExpr::col(2), ScalarExpr::col(3)),
+            )],
+        },
+        vec![tables::DATE, tables::LINEORDER],
+        vec![cols::LO + 12],
+        1.0,
+        lo_wos,
+        d,
+        m,
+    );
+    b.connect(probe, agg, true);
+    let fin = b.add_op(
+        OpKind::FinalizeAggregate,
+        OpSpec::FinalizeAggregate,
+        vec![tables::DATE, tables::LINEORDER],
+        vec![cols::LO + 12],
+        1.0,
+        1,
+        cost.wo_duration_estimate(OpKind::FinalizeAggregate, 1.0),
+        cost.wo_memory_estimate(OpKind::FinalizeAggregate, 1.0),
+    );
+    b.connect(agg, fin, false);
+    Arc::new(b.finish(fin))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::build_plan;
+
+    #[test]
+    fn all_13_specs_lower_to_valid_plans() {
+        let ctx = context();
+        let specs = query_specs();
+        assert_eq!(specs.len(), 13);
+        for spec in &specs {
+            let plan = build_plan(spec, &ctx, 1.0);
+            assert!(plan.validate().is_ok(), "{} invalid", spec.name);
+        }
+    }
+
+    #[test]
+    fn flights_have_expected_join_depth() {
+        let specs = query_specs();
+        // Flight 1: 1 join; flight 2/3: 3 joins; flight 4: 4 joins.
+        assert_eq!(specs[0].root.join_count(), 1);
+        assert_eq!(specs[3].root.join_count(), 3);
+        assert_eq!(specs[6].root.join_count(), 3);
+        assert_eq!(specs[10].root.join_count(), 4);
+    }
+
+    #[test]
+    fn catalog_and_executable_q1_1_validate() {
+        let cat = gen_catalog(0.002, 3);
+        assert_eq!(cat.table_by_name("date").unwrap().num_rows(), 2556);
+        assert!(cat.table_by_name("lineorder").unwrap().num_rows() >= 50);
+        let plan = q1_1_executable(&cat, &CostModel::default_model());
+        assert!(plan.validate().is_ok());
+        assert!(plan
+            .ops
+            .iter()
+            .any(|o| matches!(o.spec, lsched_engine::plan::OpSpec::IndexScan { .. })));
+    }
+
+    #[test]
+    fn ssb_queries_lighter_than_tpch() {
+        // The paper observes SSB's worst query ≈ half of TPC-H's worst
+        // (Section 7.2) because its max SF is 50 vs 100.
+        let ssb = plan_pool(&PAPER_SCALE_FACTORS);
+        let tpch = crate::tpch::plan_pool(&crate::tpch::PAPER_SCALE_FACTORS);
+        let worst = |pool: &[Arc<PhysicalPlan>]| {
+            pool.iter().map(|p| p.total_estimated_work()).fold(0.0, f64::max)
+        };
+        assert!(worst(&ssb) < worst(&tpch) * 0.7);
+    }
+}

@@ -1,0 +1,850 @@
+//! TPC-H: schema, scale-factor-aware query specs for all 22 queries, a
+//! synthetic data generator, and executable plans for representative
+//! queries on the real engine.
+//!
+//! The specs reproduce the *plan shapes* of the benchmark queries — join
+//! counts and ordering, filter selectivities, aggregation output sizes,
+//! pipeline chains — which is what the scheduler sees; see DESIGN.md §1
+//! for why this substitution preserves the paper's experiments.
+
+use std::sync::Arc;
+
+use lsched_engine::block::Column;
+use lsched_engine::catalog::{Catalog, Schema, Table};
+use lsched_engine::cost::CostModel;
+use lsched_engine::expr::{CmpOp, Predicate, ScalarExpr};
+use lsched_engine::plan::{AggFunc, OpKind, OpSpec, PhysicalPlan, PlanBuilder};
+use lsched_engine::value::ColumnType;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{BenchContext, Node, QuerySpec};
+
+/// Table indices.
+pub mod tables {
+    /// lineitem (6 M rows at SF 1).
+    pub const LINEITEM: usize = 0;
+    /// orders (1.5 M rows).
+    pub const ORDERS: usize = 1;
+    /// customer (150 k rows).
+    pub const CUSTOMER: usize = 2;
+    /// part (200 k rows).
+    pub const PART: usize = 3;
+    /// supplier (10 k rows).
+    pub const SUPPLIER: usize = 4;
+    /// partsupp (800 k rows).
+    pub const PARTSUPP: usize = 5;
+    /// nation (25 rows, unscaled).
+    pub const NATION: usize = 6;
+    /// region (5 rows, unscaled).
+    pub const REGION: usize = 7;
+}
+
+/// Global column-id bases per table (widths follow the TPC-H schema).
+pub mod cols {
+    /// lineitem columns start (16 columns).
+    pub const L: usize = 0;
+    /// orders columns start (9 columns).
+    pub const O: usize = 16;
+    /// customer columns start (8 columns).
+    pub const C: usize = 25;
+    /// part columns start (9 columns).
+    pub const P: usize = 33;
+    /// supplier columns start (7 columns).
+    pub const S: usize = 42;
+    /// partsupp columns start (5 columns).
+    pub const PS: usize = 49;
+    /// nation columns start (4 columns).
+    pub const N: usize = 54;
+    /// region columns start (3 columns).
+    pub const R: usize = 58;
+}
+
+/// The benchmark context (base rows at SF 1; nation/region stay fixed but
+/// are so small the approximation is harmless).
+pub fn context() -> BenchContext {
+    BenchContext {
+        name: "tpch",
+        base_rows: vec![
+            6_000_000.0, // lineitem
+            1_500_000.0, // orders
+            150_000.0,   // customer
+            200_000.0,   // part
+            10_000.0,    // supplier
+            800_000.0,   // partsupp
+            25.0,        // nation
+            5.0,         // region
+        ],
+        cost: CostModel::default_model(),
+    }
+}
+
+use tables::*;
+use cols::{C, L, N, O, P, PS, R, S};
+
+/// Specs for all 22 TPC-H queries.
+pub fn query_specs() -> Vec<QuerySpec> {
+    let q = |n: usize, root: Node| QuerySpec { name: format!("tpch_q{n:02}"), root };
+    vec![
+        // Q1: pricing summary report.
+        q(1, Node::scan(LINEITEM, 0.98, vec![L + 10]).agg(4.0, vec![L + 8, L + 9]).sort(vec![L + 8])),
+        // Q2: minimum cost supplier.
+        q(2, {
+            let sup_side = Node::scan(REGION, 0.2, vec![R + 1])
+                .hash_join(Node::scan(NATION, 1.0, vec![N + 2]), 0.2, vec![N + 2, R])
+                .hash_join(Node::scan(SUPPLIER, 1.0, vec![S + 3]), 0.2, vec![S + 3, N]);
+            sup_side
+                .hash_join(
+                    Node::scan(PART, 0.004, vec![P + 4, P + 5])
+                        .hash_join(Node::scan(PARTSUPP, 1.0, vec![PS]), 4.0e-3, vec![PS, P]),
+                    0.2,
+                    vec![PS + 1, S],
+                )
+                .topk(100.0, vec![S + 4])
+        }),
+        // Q3: shipping priority.
+        q(3, Node::scan(CUSTOMER, 0.2, vec![C + 6])
+            .hash_join(Node::scan(ORDERS, 0.48, vec![O + 4]), 0.2, vec![O + 1, C])
+            .hash_join(Node::scan(LINEITEM, 0.54, vec![L + 10]), 0.096, vec![L, O])
+            .agg(1_000_000.0, vec![L + 5, L + 6])
+            .topk(10.0, vec![O + 4])),
+        // Q4: order priority checking (semi-join shape).
+        q(4, Node::scan(ORDERS, 0.038, vec![O + 4])
+            .hash_join(Node::scan(LINEITEM, 0.63, vec![L + 11, L + 12]), 0.024, vec![L, O])
+            .agg(5.0, vec![O + 5])
+            .sort(vec![O + 5])),
+        // Q5: local supplier volume (6-way join).
+        q(5, Node::scan(REGION, 0.2, vec![R + 1])
+            .hash_join(Node::scan(NATION, 1.0, vec![N + 2]), 0.2, vec![N + 2, R])
+            .hash_join(Node::scan(CUSTOMER, 1.0, vec![C + 3]), 0.2, vec![C + 3, N])
+            .hash_join(Node::scan(ORDERS, 0.15, vec![O + 4]), 0.03, vec![O + 1, C])
+            .hash_join(Node::scan(LINEITEM, 1.0, vec![L + 2]), 0.12, vec![L, O])
+            .hash_join(Node::scan(SUPPLIER, 1.0, vec![S + 3]), 1.0, vec![L + 2, S])
+            .agg(5.0, vec![N + 1])
+            .sort(vec![N + 1])),
+        // Q6: forecasting revenue change (pure scan + aggregate).
+        q(6, Node::scan(LINEITEM, 0.019, vec![L + 10, L + 6, L + 4]).agg(1.0, vec![L + 5, L + 6])),
+        // Q7: volume shipping.
+        q(7, Node::scan(NATION, 0.08, vec![N + 1])
+            .hash_join(Node::scan(SUPPLIER, 1.0, vec![S + 3]), 0.08, vec![S + 3, N])
+            .hash_join(
+                Node::scan(NATION, 0.08, vec![N + 1])
+                    .hash_join(Node::scan(CUSTOMER, 1.0, vec![C + 3]), 0.08, vec![C + 3, N])
+                    .hash_join(Node::scan(ORDERS, 1.0, vec![O + 1]), 0.08, vec![O + 1, C])
+                    .hash_join(Node::scan(LINEITEM, 0.3, vec![L + 10]), 0.08, vec![L, O]),
+                0.0016,
+                vec![L + 2, S],
+            )
+            .agg(4.0, vec![N + 1, L + 10])
+            .sort(vec![N + 1])),
+        // Q8: national market share (8-way join).
+        q(8, Node::scan(REGION, 0.2, vec![R + 1])
+            .hash_join(Node::scan(NATION, 1.0, vec![N + 2]), 0.2, vec![N + 2, R])
+            .hash_join(Node::scan(CUSTOMER, 1.0, vec![C + 3]), 0.2, vec![C + 3, N])
+            .hash_join(Node::scan(ORDERS, 0.3, vec![O + 4]), 0.06, vec![O + 1, C])
+            .hash_join(
+                Node::scan(PART, 0.0067, vec![P + 4])
+                    .hash_join(Node::scan(LINEITEM, 1.0, vec![L + 1]), 0.0067, vec![L + 1, P]),
+                0.3,
+                vec![L, O],
+            )
+            .hash_join(Node::scan(SUPPLIER, 1.0, vec![S + 3]), 1.0, vec![L + 2, S])
+            .hash_join(Node::scan(NATION, 1.0, vec![N + 2]), 1.0, vec![S + 3, N])
+            .agg(2.0, vec![O + 4])
+            .sort(vec![O + 4])),
+        // Q9: product type profit measure.
+        q(9, Node::scan(PART, 0.05, vec![P + 1])
+            .hash_join(Node::scan(PARTSUPP, 1.0, vec![PS + 3]), 0.05, vec![PS, P])
+            .hash_join(Node::scan(LINEITEM, 1.0, vec![L + 1, L + 2]), 0.05, vec![L + 1, P])
+            .hash_join(Node::scan(SUPPLIER, 1.0, vec![S + 3]), 1.0, vec![L + 2, S])
+            .hash_join(Node::scan(ORDERS, 1.0, vec![O + 4]), 1.0, vec![L, O])
+            .hash_join(Node::scan(NATION, 1.0, vec![N + 1]), 1.0, vec![S + 3, N])
+            .agg(175.0, vec![N + 1, O + 4])
+            .sort(vec![N + 1])),
+        // Q10: returned item reporting.
+        q(10, Node::scan(CUSTOMER, 1.0, vec![C + 3])
+            .hash_join(Node::scan(ORDERS, 0.038, vec![O + 4]), 0.038, vec![O + 1, C])
+            .hash_join(Node::scan(LINEITEM, 0.25, vec![L + 8]), 0.036, vec![L, O])
+            .hash_join(Node::scan(NATION, 1.0, vec![N + 1]), 1.0, vec![C + 3, N])
+            .agg(38_000.0, vec![C, C + 1])
+            .topk(20.0, vec![L + 5])),
+        // Q11: important stock identification.
+        q(11, Node::scan(NATION, 0.04, vec![N + 1])
+            .hash_join(Node::scan(SUPPLIER, 1.0, vec![S + 3]), 0.04, vec![S + 3, N])
+            .hash_join(Node::scan(PARTSUPP, 1.0, vec![PS + 2, PS + 3]), 0.04, vec![PS + 1, S])
+            .agg(29_000.0, vec![PS])
+            .sort(vec![PS + 3])),
+        // Q12: shipping modes and order priority.
+        q(12, Node::scan(ORDERS, 1.0, vec![O + 5])
+            .hash_join(Node::scan(LINEITEM, 0.005, vec![L + 14, L + 11]), 0.005, vec![L, O])
+            .agg(2.0, vec![L + 14])
+            .sort(vec![L + 14])),
+        // Q13: customer distribution (two-level aggregation).
+        q(13, Node::scan(CUSTOMER, 1.0, vec![C])
+            .hash_join(Node::scan(ORDERS, 0.98, vec![O + 8]), 9.8, vec![O + 1, C])
+            .agg(150_000.0, vec![C])
+            .agg(40.0, vec![C])
+            .sort(vec![C])),
+        // Q14: promotion effect.
+        q(14, Node::scan(PART, 1.0, vec![P + 4])
+            .hash_join(Node::scan(LINEITEM, 0.0125, vec![L + 10]), 0.0125, vec![L + 1, P])
+            .agg(1.0, vec![L + 5, L + 6])),
+        // Q15: top supplier (aggregate then join).
+        q(15, Node::scan(LINEITEM, 0.04, vec![L + 10])
+            .agg(10_000.0, vec![L + 2])
+            .hash_join(Node::scan(SUPPLIER, 1.0, vec![S + 1]), 1.0, vec![L + 2, S])
+            .sort(vec![S])),
+        // Q16: parts/supplier relationship.
+        q(16, Node::scan(PART, 0.1, vec![P + 3, P + 4, P + 5])
+            .hash_join(Node::scan(PARTSUPP, 1.0, vec![PS + 1]), 0.1, vec![PS, P])
+            .agg(18_000.0, vec![P + 3, P + 4, P + 5])
+            .sort(vec![P + 3])),
+        // Q17: small-quantity-order revenue (correlated agg subquery).
+        q(17, Node::scan(PART, 0.001, vec![P + 3, P + 6])
+            .hash_join(
+                Node::scan(LINEITEM, 1.0, vec![L + 4]).agg(200_000.0, vec![L + 1, L + 4]),
+                0.001,
+                vec![L + 1, P],
+            )
+            .hash_join(Node::scan(LINEITEM, 1.0, vec![L + 4, L + 5]), 0.001, vec![L + 1, P])
+            .agg(1.0, vec![L + 5])),
+        // Q18: large volume customer.
+        q(18, Node::scan(LINEITEM, 1.0, vec![L + 4])
+            .agg(1_500_000.0, vec![L])
+            .select(0.0004, vec![L + 4])
+            .hash_join(Node::scan(ORDERS, 1.0, vec![O + 3]), 4e-4, vec![O, L])
+            .hash_join(Node::scan(CUSTOMER, 1.0, vec![C + 1]), 1.0, vec![O + 1, C])
+            .hash_join(Node::scan(LINEITEM, 1.0, vec![L + 4]), 4.0, vec![L, O])
+            .topk(100.0, vec![O + 3])),
+        // Q19: discounted revenue (disjunctive predicates).
+        q(19, Node::scan(PART, 0.002, vec![P + 3, P + 5, P + 6])
+            .hash_join(
+                Node::scan(LINEITEM, 0.02, vec![L + 4, L + 13, L + 14]),
+                0.002,
+                vec![L + 1, P],
+            )
+            .agg(1.0, vec![L + 5, L + 6])),
+        // Q20: potential part promotion.
+        q(20, Node::scan(NATION, 0.04, vec![N + 1])
+            .hash_join(Node::scan(SUPPLIER, 1.0, vec![S + 3]), 0.04, vec![S + 3, N])
+            .hash_join(
+                Node::scan(PART, 0.01, vec![P + 1])
+                    .hash_join(Node::scan(PARTSUPP, 1.0, vec![PS + 2]), 0.01, vec![PS, P])
+                    .hash_join(
+                        Node::scan(LINEITEM, 0.3, vec![L + 10]).agg(600_000.0, vec![L + 1, L + 2]),
+                        1.0,
+                        vec![PS, L + 1],
+                    ),
+                0.04,
+                vec![PS + 1, S],
+            )
+            .sort(vec![S + 1])),
+        // Q21: suppliers who kept orders waiting.
+        q(21, Node::scan(NATION, 0.04, vec![N + 1])
+            .hash_join(Node::scan(SUPPLIER, 1.0, vec![S + 3]), 0.04, vec![S + 3, N])
+            .hash_join(Node::scan(LINEITEM, 0.5, vec![L + 11, L + 12]), 0.02, vec![L + 2, S])
+            .hash_join(Node::scan(ORDERS, 0.49, vec![O + 2]), 0.5, vec![L, O])
+            .hash_join(Node::scan(LINEITEM, 1.0, vec![L + 2]), 1.0, vec![L, O])
+            .agg(10_000.0, vec![S + 1])
+            .topk(100.0, vec![S + 1])),
+        // Q22: global sales opportunity (anti-join shape).
+        q(22, Node::scan(ORDERS, 1.0, vec![O + 1])
+            .agg(100_000.0, vec![O + 1])
+            .hash_join(Node::scan(CUSTOMER, 0.025, vec![C + 4, C + 5]), 0.02, vec![O + 1, C])
+            .agg(7.0, vec![C + 4])
+            .sort(vec![C + 4])),
+    ]
+}
+
+/// Builds the plan pool used for workload generation: every query spec
+/// lowered at every scale factor in `sfs` (the paper uses SF 2, 5, 10,
+/// 50 and 100).
+pub fn plan_pool(sfs: &[f64]) -> Vec<Arc<PhysicalPlan>> {
+    let ctx = context();
+    let specs = query_specs();
+    let mut pool = Vec::with_capacity(specs.len() * sfs.len());
+    for &sf in sfs {
+        for spec in &specs {
+            pool.push(Arc::new(crate::spec::build_plan(spec, &ctx, sf)));
+        }
+    }
+    pool
+}
+
+/// The paper's TPC-H scale factors.
+pub const PAPER_SCALE_FACTORS: [f64; 5] = [2.0, 5.0, 10.0, 50.0, 100.0];
+
+// ---------------------------------------------------------------------
+// Real data + executable plans (for the real engine).
+// ---------------------------------------------------------------------
+
+/// Generates a miniature TPC-H catalog with `sf` scaling the standard
+/// row counts (use small values like 0.001–0.01: the real engine exists
+/// to validate operators and calibrate costs, not to run SF 100).
+///
+/// Simplified column sets keep only what the executable queries touch;
+/// keys are generated so that every foreign key matches.
+pub fn gen_catalog(sf: f64, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cat = Catalog::new();
+
+    let n_orders = ((1_500_000.0 * sf) as usize).max(10);
+    let n_lineitem = ((6_000_000.0 * sf) as usize).max(40);
+    let n_customer = ((150_000.0 * sf) as usize).max(5);
+    let rows_per_block = 4096;
+
+    // customer(custkey, mktsegment, nationkey)
+    let custkey: Vec<i64> = (0..n_customer as i64).collect();
+    let mktsegment: Vec<i64> = (0..n_customer).map(|_| rng.gen_range(0..5)).collect();
+    let c_nation: Vec<i64> = (0..n_customer).map(|_| rng.gen_range(0..25)).collect();
+    cat.add_table(Table::from_columns(
+        "customer",
+        Schema::new(vec![
+            ("c_custkey", ColumnType::Int64),
+            ("c_mktsegment", ColumnType::Int64),
+            ("c_nationkey", ColumnType::Int64),
+        ]),
+        vec![Column::I64(custkey), Column::I64(mktsegment), Column::I64(c_nation)],
+        rows_per_block,
+    ));
+
+    // orders(orderkey, custkey, orderdate, shippriority)
+    let orderkey: Vec<i64> = (0..n_orders as i64).collect();
+    let o_custkey: Vec<i64> =
+        (0..n_orders).map(|_| rng.gen_range(0..n_customer as i64)).collect();
+    let orderdate: Vec<i64> = (0..n_orders).map(|_| rng.gen_range(0..2556)).collect();
+    let shippriority: Vec<i64> = (0..n_orders).map(|_| rng.gen_range(0..2)).collect();
+    cat.add_table(Table::from_columns(
+        "orders",
+        Schema::new(vec![
+            ("o_orderkey", ColumnType::Int64),
+            ("o_custkey", ColumnType::Int64),
+            ("o_orderdate", ColumnType::Int64),
+            ("o_shippriority", ColumnType::Int64),
+        ]),
+        vec![
+            Column::I64(orderkey),
+            Column::I64(o_custkey),
+            Column::I64(orderdate),
+            Column::I64(shippriority),
+        ],
+        rows_per_block,
+    ));
+
+    // lineitem(orderkey, quantity, extendedprice, discount, shipdate,
+    //          returnflag, linestatus)
+    let l_orderkey: Vec<i64> =
+        (0..n_lineitem).map(|_| rng.gen_range(0..n_orders as i64)).collect();
+    let quantity: Vec<f64> = (0..n_lineitem).map(|_| rng.gen_range(1.0..51.0)).collect();
+    let extendedprice: Vec<f64> =
+        (0..n_lineitem).map(|_| rng.gen_range(900.0..105_000.0)).collect();
+    let discount: Vec<f64> = (0..n_lineitem).map(|_| rng.gen_range(0.0..0.11)).collect();
+    let shipdate: Vec<i64> = (0..n_lineitem).map(|_| rng.gen_range(0..2556)).collect();
+    let returnflag: Vec<i64> = (0..n_lineitem).map(|_| rng.gen_range(0..3)).collect();
+    let linestatus: Vec<i64> = (0..n_lineitem).map(|_| rng.gen_range(0..2)).collect();
+    cat.add_table(Table::from_columns(
+        "lineitem",
+        Schema::new(vec![
+            ("l_orderkey", ColumnType::Int64),
+            ("l_quantity", ColumnType::Float64),
+            ("l_extendedprice", ColumnType::Float64),
+            ("l_discount", ColumnType::Float64),
+            ("l_shipdate", ColumnType::Int64),
+            ("l_returnflag", ColumnType::Int64),
+            ("l_linestatus", ColumnType::Int64),
+        ]),
+        vec![
+            Column::I64(l_orderkey),
+            Column::F64(quantity),
+            Column::F64(extendedprice),
+            Column::F64(discount),
+            Column::I64(shipdate),
+            Column::I64(returnflag),
+            Column::I64(linestatus),
+        ],
+        rows_per_block,
+    ));
+
+    cat
+}
+
+fn scan_wos(cat: &Catalog, table: &str) -> u32 {
+    cat.table_by_name(table).expect("table exists").num_blocks() as u32
+}
+
+/// Executable TPC-H Q1 (pricing summary): scan lineitem, filter on
+/// shipdate, group by (returnflag, linestatus), aggregate.
+pub fn q1_executable(cat: &Catalog, cost: &CostModel) -> Arc<PhysicalPlan> {
+    let li = cat.table_id("lineitem").unwrap();
+    let wos = scan_wos(cat, "lineitem");
+    let rows_per_wo = cat.table(li).num_rows() as f64 / wos as f64;
+    let mut b = PlanBuilder::new("tpch_q01_exec");
+    let scan = b.add_op(
+        OpKind::TableScan,
+        OpSpec::TableScan {
+            table: li,
+            predicate: Predicate::col_cmp(4, CmpOp::Le, 2400i64),
+            project: None,
+        },
+        vec![LINEITEM],
+        vec![L + 10],
+        0.94 * cat.table(li).num_rows() as f64,
+        wos,
+        cost.wo_duration_estimate(OpKind::TableScan, rows_per_wo),
+        cost.wo_memory_estimate(OpKind::TableScan, rows_per_wo),
+    );
+    let agg = b.add_op(
+        OpKind::Aggregate,
+        OpSpec::Aggregate {
+            group_by: vec![5, 6],
+            aggs: vec![
+                (AggFunc::Sum, ScalarExpr::col(1)),
+                (AggFunc::Sum, ScalarExpr::col(2)),
+                (AggFunc::Avg, ScalarExpr::col(3)),
+                (AggFunc::Count, ScalarExpr::col(0)),
+            ],
+        },
+        vec![LINEITEM],
+        vec![L + 8, L + 9],
+        6.0,
+        wos,
+        cost.wo_duration_estimate(OpKind::Aggregate, rows_per_wo),
+        cost.wo_memory_estimate(OpKind::Aggregate, rows_per_wo),
+    );
+    let fin = b.add_op(
+        OpKind::FinalizeAggregate,
+        OpSpec::FinalizeAggregate,
+        vec![LINEITEM],
+        vec![L + 8, L + 9],
+        6.0,
+        1,
+        cost.wo_duration_estimate(OpKind::FinalizeAggregate, 6.0),
+        cost.wo_memory_estimate(OpKind::FinalizeAggregate, 6.0),
+    );
+    b.connect(scan, agg, true);
+    b.connect(agg, fin, false);
+    Arc::new(b.finish(fin))
+}
+
+/// Executable TPC-H Q6 (revenue change): scan lineitem with a
+/// conjunctive filter, single-group aggregate of extendedprice*discount.
+pub fn q6_executable(cat: &Catalog, cost: &CostModel) -> Arc<PhysicalPlan> {
+    let li = cat.table_id("lineitem").unwrap();
+    let wos = scan_wos(cat, "lineitem");
+    let rows_per_wo = cat.table(li).num_rows() as f64 / wos as f64;
+    let mut b = PlanBuilder::new("tpch_q06_exec");
+    let pred = Predicate::col_cmp(4, CmpOp::Ge, 365i64)
+        .and(Predicate::col_cmp(4, CmpOp::Lt, 730i64))
+        .and(Predicate::col_cmp(3, CmpOp::Ge, 0.05))
+        .and(Predicate::col_cmp(3, CmpOp::Le, 0.07))
+        .and(Predicate::col_cmp(1, CmpOp::Lt, 24.0));
+    let scan = b.add_op(
+        OpKind::TableScan,
+        OpSpec::TableScan { table: li, predicate: pred, project: None },
+        vec![LINEITEM],
+        vec![L + 10, L + 6, L + 4],
+        0.019 * cat.table(li).num_rows() as f64,
+        wos,
+        cost.wo_duration_estimate(OpKind::TableScan, rows_per_wo),
+        cost.wo_memory_estimate(OpKind::TableScan, rows_per_wo),
+    );
+    let agg = b.add_op(
+        OpKind::Aggregate,
+        OpSpec::Aggregate {
+            group_by: vec![],
+            aggs: vec![(
+                AggFunc::Sum,
+                ScalarExpr::arith(
+                    lsched_engine::expr::ArithOp::Mul,
+                    ScalarExpr::col(2),
+                    ScalarExpr::col(3),
+                ),
+            )],
+        },
+        vec![LINEITEM],
+        vec![L + 5, L + 6],
+        1.0,
+        wos,
+        cost.wo_duration_estimate(OpKind::Aggregate, rows_per_wo),
+        cost.wo_memory_estimate(OpKind::Aggregate, rows_per_wo),
+    );
+    let fin = b.add_op(
+        OpKind::FinalizeAggregate,
+        OpSpec::FinalizeAggregate,
+        vec![LINEITEM],
+        vec![L + 5, L + 6],
+        1.0,
+        1,
+        cost.wo_duration_estimate(OpKind::FinalizeAggregate, 1.0),
+        cost.wo_memory_estimate(OpKind::FinalizeAggregate, 1.0),
+    );
+    b.connect(scan, agg, true);
+    b.connect(agg, fin, false);
+    Arc::new(b.finish(fin))
+}
+
+/// Executable TPC-H Q3 (shipping priority): customer ⨝ orders ⨝
+/// lineitem with filters, grouped revenue, top-10.
+pub fn q3_executable(cat: &Catalog, cost: &CostModel) -> Arc<PhysicalPlan> {
+    let cust = cat.table_id("customer").unwrap();
+    let ord = cat.table_id("orders").unwrap();
+    let li = cat.table_id("lineitem").unwrap();
+    let mut b = PlanBuilder::new("tpch_q03_exec");
+    let est = |k: OpKind, rows: f64, wos: u32| {
+        (cost.wo_duration_estimate(k, rows / wos as f64), cost.wo_memory_estimate(k, rows / wos as f64))
+    };
+
+    let cust_wos = scan_wos(cat, "customer");
+    let (d, m) = est(OpKind::TableScan, cat.table(cust).num_rows() as f64, cust_wos);
+    let scan_c = b.add_op(
+        OpKind::TableScan,
+        OpSpec::TableScan {
+            table: cust,
+            predicate: Predicate::col_cmp(1, CmpOp::Eq, 1i64), // mktsegment = BUILDING
+            project: Some(vec![0]),
+        },
+        vec![CUSTOMER],
+        vec![C + 6],
+        0.2 * cat.table(cust).num_rows() as f64,
+        cust_wos,
+        d,
+        m,
+    );
+    let (d, m) = est(OpKind::BuildHash, 0.2 * cat.table(cust).num_rows() as f64, cust_wos);
+    let build_c = b.add_op(
+        OpKind::BuildHash,
+        OpSpec::BuildHash { keys: vec![0] },
+        vec![CUSTOMER],
+        vec![C],
+        0.2 * cat.table(cust).num_rows() as f64,
+        cust_wos,
+        d,
+        m,
+    );
+    b.connect(scan_c, build_c, true);
+
+    let ord_wos = scan_wos(cat, "orders");
+    let (d, m) = est(OpKind::TableScan, cat.table(ord).num_rows() as f64, ord_wos);
+    let scan_o = b.add_op(
+        OpKind::TableScan,
+        OpSpec::TableScan {
+            table: ord,
+            predicate: Predicate::col_cmp(2, CmpOp::Lt, 1228i64), // orderdate < 1995-03-15
+            project: None,
+        },
+        vec![ORDERS],
+        vec![O + 4],
+        0.48 * cat.table(ord).num_rows() as f64,
+        ord_wos,
+        d,
+        m,
+    );
+    // probe on o_custkey (col 1 of orders output).
+    let (d, m) = est(OpKind::ProbeHash, 0.48 * cat.table(ord).num_rows() as f64, ord_wos);
+    let probe_co = b.add_op(
+        OpKind::ProbeHash,
+        OpSpec::ProbeHash { keys: vec![1] },
+        vec![CUSTOMER, ORDERS],
+        vec![O + 1, C],
+        0.096 * cat.table(ord).num_rows() as f64,
+        ord_wos,
+        d,
+        m,
+    );
+    b.connect(build_c, probe_co, false);
+    b.connect(scan_o, probe_co, true);
+
+    // Build hash over joined (c_custkey, o_orderkey, o_custkey,
+    // o_orderdate, o_shippriority) keyed on o_orderkey (col 1).
+    let (d, m) = est(OpKind::BuildHash, 0.096 * cat.table(ord).num_rows() as f64, ord_wos);
+    let build_o = b.add_op(
+        OpKind::BuildHash,
+        OpSpec::BuildHash { keys: vec![1] },
+        vec![CUSTOMER, ORDERS],
+        vec![O],
+        0.096 * cat.table(ord).num_rows() as f64,
+        ord_wos,
+        d,
+        m,
+    );
+    b.connect(probe_co, build_o, true);
+
+    let li_wos = scan_wos(cat, "lineitem");
+    let (d, m) = est(OpKind::TableScan, cat.table(li).num_rows() as f64, li_wos);
+    let scan_l = b.add_op(
+        OpKind::TableScan,
+        OpSpec::TableScan {
+            table: li,
+            predicate: Predicate::col_cmp(4, CmpOp::Gt, 1228i64), // shipdate > 1995-03-15
+            project: Some(vec![0, 2, 3]),
+        },
+        vec![LINEITEM],
+        vec![L + 10],
+        0.54 * cat.table(li).num_rows() as f64,
+        li_wos,
+        d,
+        m,
+    );
+    let (d, m) = est(OpKind::ProbeHash, 0.54 * cat.table(li).num_rows() as f64, li_wos);
+    let probe_l = b.add_op(
+        OpKind::ProbeHash,
+        OpSpec::ProbeHash { keys: vec![0] }, // l_orderkey
+        vec![CUSTOMER, ORDERS, LINEITEM],
+        vec![L, O],
+        0.05 * cat.table(li).num_rows() as f64,
+        li_wos,
+        d,
+        m,
+    );
+    b.connect(build_o, probe_l, false);
+    b.connect(scan_l, probe_l, true);
+
+    // Joined schema: (c_custkey, o_orderkey, o_custkey, o_orderdate,
+    // o_shippriority, l_orderkey, l_extendedprice, l_discount).
+    let (d, m) = est(OpKind::Aggregate, 0.05 * cat.table(li).num_rows() as f64, li_wos);
+    let agg = b.add_op(
+        OpKind::Aggregate,
+        OpSpec::Aggregate {
+            group_by: vec![1, 3, 4],
+            aggs: vec![(
+                AggFunc::Sum,
+                ScalarExpr::arith(
+                    lsched_engine::expr::ArithOp::Mul,
+                    ScalarExpr::col(6),
+                    ScalarExpr::arith(
+                        lsched_engine::expr::ArithOp::Sub,
+                        ScalarExpr::lit(1.0),
+                        ScalarExpr::col(7),
+                    ),
+                ),
+            )],
+        },
+        vec![CUSTOMER, ORDERS, LINEITEM],
+        vec![L + 5, L + 6],
+        1000.0,
+        li_wos,
+        d,
+        m,
+    );
+    b.connect(probe_l, agg, true);
+    let fin = b.add_op(
+        OpKind::FinalizeAggregate,
+        OpSpec::FinalizeAggregate,
+        vec![CUSTOMER, ORDERS, LINEITEM],
+        vec![L + 5],
+        1000.0,
+        1,
+        cost.wo_duration_estimate(OpKind::FinalizeAggregate, 1000.0),
+        cost.wo_memory_estimate(OpKind::FinalizeAggregate, 1000.0),
+    );
+    b.connect(agg, fin, false);
+    let topk = b.add_op(
+        OpKind::TopK,
+        OpSpec::TopK { k: 10, col: 3, desc: true },
+        vec![CUSTOMER, ORDERS, LINEITEM],
+        vec![O + 4],
+        10.0,
+        1,
+        cost.wo_duration_estimate(OpKind::TopK, 1000.0),
+        cost.wo_memory_estimate(OpKind::TopK, 1000.0),
+    );
+    b.connect(fin, topk, false);
+    Arc::new(b.finish(topk))
+}
+
+/// Executable TPC-H Q12 (shipping modes): orders ⨝ lineitem with a
+/// shipdate filter, projected to (shippriority-class, counter), grouped
+/// counts per class. Exercises the Project operator end-to-end.
+pub fn q12_executable(cat: &Catalog, cost: &CostModel) -> Arc<PhysicalPlan> {
+    use lsched_engine::expr::ArithOp;
+    let ord = cat.table_id("orders").unwrap();
+    let li = cat.table_id("lineitem").unwrap();
+    let mut b = PlanBuilder::new("tpch_q12_exec");
+    let est = |k: OpKind, rows: f64, wos: u32| {
+        (
+            cost.wo_duration_estimate(k, rows / wos as f64),
+            cost.wo_memory_estimate(k, rows / wos as f64),
+        )
+    };
+
+    let ord_wos = scan_wos(cat, "orders");
+    let (d, m) = est(OpKind::TableScan, cat.table(ord).num_rows() as f64, ord_wos);
+    let scan_o = b.add_op(
+        OpKind::TableScan,
+        OpSpec::TableScan { table: ord, predicate: Predicate::True, project: Some(vec![0, 3]) },
+        vec![ORDERS],
+        vec![O + 5],
+        cat.table(ord).num_rows() as f64,
+        ord_wos,
+        d,
+        m,
+    );
+    let (d, m) = est(OpKind::BuildHash, cat.table(ord).num_rows() as f64, ord_wos);
+    let build_o = b.add_op(
+        OpKind::BuildHash,
+        OpSpec::BuildHash { keys: vec![0] },
+        vec![ORDERS],
+        vec![O],
+        cat.table(ord).num_rows() as f64,
+        ord_wos,
+        d,
+        m,
+    );
+    b.connect(scan_o, build_o, true);
+
+    let li_wos = scan_wos(cat, "lineitem");
+    let (d, m) = est(OpKind::TableScan, cat.table(li).num_rows() as f64, li_wos);
+    let scan_l = b.add_op(
+        OpKind::TableScan,
+        OpSpec::TableScan {
+            table: li,
+            // Receipt-year window, ~20% of rows.
+            predicate: Predicate::col_cmp(4, CmpOp::Ge, 365i64)
+                .and(Predicate::col_cmp(4, CmpOp::Lt, 876i64)),
+            project: Some(vec![0]),
+        },
+        vec![LINEITEM],
+        vec![L + 14, L + 11],
+        0.2 * cat.table(li).num_rows() as f64,
+        li_wos,
+        d,
+        m,
+    );
+    let (d, m) = est(OpKind::ProbeHash, 0.2 * cat.table(li).num_rows() as f64, li_wos);
+    let probe = b.add_op(
+        OpKind::ProbeHash,
+        OpSpec::ProbeHash { keys: vec![0] }, // l_orderkey against o_orderkey
+        vec![ORDERS, LINEITEM],
+        vec![L, O],
+        0.2 * cat.table(li).num_rows() as f64,
+        li_wos,
+        d,
+        m,
+    );
+    b.connect(build_o, probe, false);
+    b.connect(scan_l, probe, true);
+
+    // Joined schema: (o_orderkey, o_shippriority, l_orderkey). Project
+    // to (priority_class = shippriority * 1, one) for counting.
+    let (d, m) = est(OpKind::Project, 0.2 * cat.table(li).num_rows() as f64, li_wos);
+    let project = b.add_op(
+        OpKind::Project,
+        OpSpec::Project {
+            exprs: vec![
+                ScalarExpr::arith(ArithOp::Mul, ScalarExpr::col(1), ScalarExpr::lit(1i64)),
+                ScalarExpr::lit(1i64),
+            ],
+        },
+        vec![ORDERS, LINEITEM],
+        vec![O + 5],
+        0.2 * cat.table(li).num_rows() as f64,
+        li_wos,
+        d,
+        m,
+    );
+    b.connect(probe, project, true);
+
+    let (d, m) = est(OpKind::Aggregate, 0.2 * cat.table(li).num_rows() as f64, li_wos);
+    let agg = b.add_op(
+        OpKind::Aggregate,
+        OpSpec::Aggregate {
+            group_by: vec![0],
+            aggs: vec![(AggFunc::Count, ScalarExpr::col(1))],
+        },
+        vec![ORDERS, LINEITEM],
+        vec![O + 5],
+        2.0,
+        li_wos,
+        d,
+        m,
+    );
+    b.connect(project, agg, true);
+    let fin = b.add_op(
+        OpKind::FinalizeAggregate,
+        OpSpec::FinalizeAggregate,
+        vec![ORDERS, LINEITEM],
+        vec![O + 5],
+        2.0,
+        1,
+        cost.wo_duration_estimate(OpKind::FinalizeAggregate, 2.0),
+        cost.wo_memory_estimate(OpKind::FinalizeAggregate, 2.0),
+    );
+    b.connect(agg, fin, false);
+    Arc::new(b.finish(fin))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::build_plan;
+
+    #[test]
+    fn all_22_specs_lower_to_valid_plans() {
+        let ctx = context();
+        let specs = query_specs();
+        assert_eq!(specs.len(), 22);
+        for spec in &specs {
+            let plan = build_plan(spec, &ctx, 1.0);
+            assert!(plan.validate().is_ok(), "{} invalid", spec.name);
+            assert!(plan.num_ops() >= 3, "{} too trivial", spec.name);
+        }
+    }
+
+    #[test]
+    fn join_counts_match_benchmark_character() {
+        let specs = query_specs();
+        let by_name = |n: &str| {
+            specs.iter().find(|s| s.name == n).unwrap().root.join_count()
+        };
+        assert_eq!(by_name("tpch_q01"), 0);
+        assert_eq!(by_name("tpch_q06"), 0);
+        assert_eq!(by_name("tpch_q03"), 2);
+        assert!(by_name("tpch_q08") >= 7);
+        assert!(by_name("tpch_q05") >= 5);
+    }
+
+    #[test]
+    fn pool_covers_specs_times_sfs() {
+        let pool = plan_pool(&[1.0, 10.0]);
+        assert_eq!(pool.len(), 44);
+        assert!(pool.iter().any(|p| p.name == "tpch_q01"));
+        assert!(pool.iter().any(|p| p.name == "tpch_q01_sf10"));
+    }
+
+    #[test]
+    fn bigger_sf_means_more_estimated_work() {
+        let ctx = context();
+        let q3 = &query_specs()[2];
+        let small = build_plan(q3, &ctx, 2.0);
+        let big = build_plan(q3, &ctx, 50.0);
+        assert!(big.total_estimated_work() > small.total_estimated_work() * 5.0);
+    }
+
+    #[test]
+    fn catalog_generation_has_consistent_keys() {
+        let cat = gen_catalog(0.001, 7);
+        let orders = cat.table_by_name("orders").unwrap();
+        let customer = cat.table_by_name("customer").unwrap();
+        assert!(orders.num_rows() >= 10);
+        // Every o_custkey must reference an existing customer.
+        let n_cust = customer.num_rows() as i64;
+        for b in &orders.blocks {
+            if let Column::I64(keys) = &b.columns[1] {
+                assert!(keys.iter().all(|&k| k >= 0 && k < n_cust));
+            }
+        }
+    }
+
+    #[test]
+    fn executable_plans_validate() {
+        let cat = gen_catalog(0.001, 7);
+        let cost = CostModel::default_model();
+        for plan in [
+            q1_executable(&cat, &cost),
+            q6_executable(&cat, &cost),
+            q3_executable(&cat, &cost),
+        ] {
+            assert!(plan.validate().is_ok(), "{} invalid", plan.name);
+        }
+    }
+}

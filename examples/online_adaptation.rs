@@ -1,0 +1,90 @@
+//! Online self-correction (Section 3 of the paper): a pre-trained LSched
+//! keeps learning in production from its own executed decisions,
+//! applying a small REINFORCE correction at checkpoints.
+//!
+//! ```text
+//! cargo run --release --example online_adaptation
+//! ```
+
+use lsched::core::{
+    train_with_validation, ExperienceManager, LSchedConfig, LSchedModel, LSchedScheduler,
+    OnlineConfig, OnlineLSched, TrainConfig,
+};
+use lsched::prelude::*;
+use lsched::workloads::{ssb, tpch};
+
+fn small_config() -> LSchedConfig {
+    let mut cfg = LSchedConfig::default();
+    cfg.encoder.hidden = 16;
+    cfg.encoder.pqe_dim = 8;
+    cfg.encoder.aqe_dim = 8;
+    cfg
+}
+
+fn main() {
+    let sim_cfg = SimConfig { num_threads: 16, ..Default::default() };
+
+    // 1. Pre-train offline on TPC-H (the "workload logs" of Figure 2).
+    let tpch_pool = tpch::plan_pool(&[1.0]);
+    let (train_pool, _) = split_train_test(&tpch_pool, 7);
+    let sampler = EpisodeSampler {
+        pool: train_pool,
+        size_range: (6, 12),
+        rate_range: (20.0, 200.0),
+        batch_fraction: 0.3,
+    };
+    let val = gen_workload(&sampler.pool, 10, ArrivalPattern::Streaming { lambda: 60.0 }, 5);
+    let tcfg = TrainConfig { episodes: 30, sim: sim_cfg.clone(), seed: 7, ..Default::default() };
+    let mut exp = ExperienceManager::new(64);
+    println!("offline pre-training on TPC-H (30 episodes) ...");
+    let (model, _, best) = train_with_validation(
+        LSchedModel::new(small_config(), 7),
+        &sampler,
+        &tcfg,
+        10,
+        &val,
+        &sim_cfg,
+        &mut exp,
+    );
+    println!("  validation best: {best:.3}s");
+
+    // 2. Production shifts to SSB — a workload the model never saw.
+    //    Run it frozen vs. with online checkpointed self-correction.
+    let ssb_pool = ssb::plan_pool(&[1.0]);
+    let production: Vec<_> = (0..4)
+        .map(|i| gen_workload(&ssb_pool, 20, ArrivalPattern::Streaming { lambda: 50.0 }, 100 + i))
+        .collect();
+
+    // Frozen inference.
+    let frozen_json = model.params_json();
+    let mut frozen_total = 0.0;
+    for wl in &production {
+        let mut m = LSchedModel::new(small_config(), 7);
+        m.load_params_json(&frozen_json).expect("roundtrip");
+        frozen_total +=
+            simulate(sim_cfg.clone(), wl, &mut LSchedScheduler::stochastic(m, 9)).avg_duration();
+    }
+
+    // Online-adaptive: the same starting point, corrections every 8
+    // completed queries, carried across production workloads.
+    let mut online = OnlineLSched::new(model, OnlineConfig::default(), 9);
+    let mut adaptive_per_wl = Vec::new();
+    for wl in &production {
+        let res = simulate(sim_cfg.clone(), wl, &mut online);
+        adaptive_per_wl.push(res.avg_duration());
+    }
+    println!(
+        "\nproduction SSB stream (4 x 20 queries):\n  frozen model:   avg {:.3}s/workload\n  online-adapted: avg {:.3}s/workload ({} corrections applied)",
+        frozen_total / production.len() as f64,
+        adaptive_per_wl.iter().sum::<f64>() / adaptive_per_wl.len() as f64,
+        online.corrections(),
+    );
+    println!(
+        "  per-workload trajectory under adaptation: {:?}",
+        adaptive_per_wl.iter().map(|d| (d * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+    );
+    println!(
+        "  online experiences recorded: {}",
+        online.experience().len()
+    );
+}

@@ -1,0 +1,80 @@
+//! Quickstart: build a TPC-H workload, train LSched for a handful of
+//! episodes, and compare it against the heuristic baselines on the
+//! simulator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lsched::core::{
+    train_with_validation, ExperienceManager, LSchedConfig, LSchedModel, LSchedScheduler,
+    TrainConfig,
+};
+use lsched::prelude::*;
+use lsched::workloads::tpch;
+
+fn main() {
+    // 1. A plan pool: the 22 TPC-H queries at two scale factors, split
+    //    50/50 into train and test (Section 7.1 of the paper).
+    let pool = tpch::plan_pool(&[1.0, 2.0]);
+    let (train_pool, test_pool) = split_train_test(&pool, 7);
+    println!("plan pool: {} train / {} test plans", train_pool.len(), test_pool.len());
+
+    // 2. The execution environment: a 16-thread worker pool simulated
+    //    with the calibrated cost model.
+    let sim_cfg = SimConfig { num_threads: 16, ..Default::default() };
+
+    // 3. Train LSched with REINFORCE on sampled episodes.
+    let mut cfg = LSchedConfig::default();
+    cfg.encoder.hidden = 16;
+    cfg.encoder.pqe_dim = 8;
+    cfg.encoder.aqe_dim = 8;
+    let model = LSchedModel::new(cfg, 7);
+    println!("model parameters: {}", model.store.num_scalars());
+
+    let sampler = EpisodeSampler {
+        pool: train_pool,
+        size_range: (6, 14),
+        rate_range: (10.0, 200.0),
+        batch_fraction: 0.3,
+    };
+    let tcfg = TrainConfig { episodes: 40, sim: sim_cfg.clone(), seed: 7, ..Default::default() };
+    let mut experience = ExperienceManager::new(64);
+    println!("training for {} episodes (validation-selected checkpoints) ...", tcfg.episodes);
+    // A validation workload from the TRAINING pool selects the best
+    // checkpoint — REINFORCE's last iterate is rarely its best.
+    let val_wl = gen_workload(
+        &sampler.pool,
+        10,
+        ArrivalPattern::Streaming { lambda: 60.0 },
+        123,
+    );
+    let (model, stats, best_val) =
+        train_with_validation(model, &sampler, &tcfg, 10, &val_wl, &sim_cfg, &mut experience);
+    println!("best validation avg duration: {best_val:.3}s");
+    println!(
+        "training done: first-5 avg duration {:.3}s -> last-5 {:.3}s (reward {:.1} -> {:.1})",
+        stats.episodes.iter().take(5).map(|e| e.avg_duration).sum::<f64>() / 5.0,
+        stats.recent_avg_duration(5),
+        stats.episodes.iter().take(5).map(|e| e.total_reward).sum::<f64>() / 5.0,
+        stats.recent_reward(5),
+    );
+
+    // 4. Evaluate on an unseen streaming test workload.
+    let wl = gen_workload(&test_pool, 20, ArrivalPattern::Streaming { lambda: 60.0 }, 99);
+    let mut report: Vec<(String, f64, f64)> = Vec::new();
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(LSchedScheduler::greedy(model)),
+        Box::new(QuickstepScheduler),
+        Box::new(FairScheduler::default()),
+        Box::new(FifoScheduler),
+    ];
+    for s in schedulers.iter_mut() {
+        let res = simulate(sim_cfg.clone(), &wl, s.as_mut());
+        report.push((s.name(), res.avg_duration(), res.quantile_duration(0.9)));
+    }
+    println!("\n{:<12} {:>12} {:>12}", "scheduler", "avg (s)", "p90 (s)");
+    for (name, avg, p90) in report {
+        println!("{name:<12} {avg:>12.3} {p90:>12.3}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Streaming scenario: a TPC-H query stream arriving at increasing
+//! rates, comparing how each scheduler's average and tail latency react
+//! as the system moves from under- to over-load (the dynamic the paper's
+//! Figure 11b studies).
+//!
+//! ```text
+//! cargo run --release --example streaming_tpch
+//! ```
+
+use lsched::prelude::*;
+use lsched::workloads::tpch;
+
+fn main() {
+    let pool = tpch::plan_pool(&[1.0, 5.0]);
+    let (_, test_pool) = split_train_test(&pool, 3);
+    let sim_cfg = SimConfig { num_threads: 16, ..Default::default() };
+
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14}",
+        "lambda", "fair avg(s)", "fair p90(s)", "sjf avg(s)", "sjf p90(s)"
+    );
+    for lambda in [5.0, 20.0, 80.0, 320.0] {
+        let wl = gen_workload(
+            &test_pool,
+            24,
+            ArrivalPattern::Streaming { lambda },
+            42,
+        );
+        let fair = simulate(sim_cfg.clone(), &wl, &mut FairScheduler::default());
+        let sjf = simulate(sim_cfg.clone(), &wl, &mut SjfScheduler);
+        println!(
+            "{lambda:>8.0} {:>14.3} {:>14.3} {:>14.3} {:>14.3}",
+            fair.avg_duration(),
+            fair.quantile_duration(0.9),
+            sjf.avg_duration(),
+            sjf.quantile_duration(0.9)
+        );
+    }
+
+    // The same stream under every heuristic at the heaviest rate.
+    let wl = gen_workload(&test_pool, 24, ArrivalPattern::Streaming { lambda: 320.0 }, 42);
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(QuickstepScheduler),
+        Box::new(SelfTuneScheduler::default()),
+        Box::new(CriticalPathScheduler),
+        Box::new(HpfScheduler),
+        Box::new(FairScheduler::default()),
+        Box::new(FifoScheduler),
+    ];
+    println!("\nheaviest rate (λ=320), all heuristics:");
+    println!("{:<16} {:>12} {:>12} {:>12}", "scheduler", "avg (s)", "p90 (s)", "makespan");
+    for s in schedulers.iter_mut() {
+        let res = simulate(sim_cfg.clone(), &wl, s.as_mut());
+        println!(
+            "{:<16} {:>12.3} {:>12.3} {:>12.3}",
+            s.name(),
+            res.avg_duration(),
+            res.quantile_duration(0.9),
+            res.makespan
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! # lsched
+//!
+//! A from-scratch Rust reproduction of **LSched: A Workload-Aware
+//! Learned Query Scheduler for Analytical Database Systems** (Sabek,
+//! Ukyab, Kraska — SIGMOD 2022), together with every substrate the paper
+//! depends on:
+//!
+//! * [`engine`] — a Quickstep-style block-based in-memory analytical
+//!   engine with work-order operators, a real threaded executor and a
+//!   deterministic discrete-event simulator;
+//! * [`workloads`] — TPC-H, SSB and JOB plan pools, data generation and
+//!   the paper's workload protocol (train/test split, batch/streaming
+//!   arrivals);
+//! * [`nn`] — tensors, reverse-mode autodiff, tree convolution with edge
+//!   support (Eq. 2), graph attention (Eqs. 3–5), Adam;
+//! * [`core`] — LSched itself: features, Query Encoder, Scheduling
+//!   Predictor, REINFORCE training, transfer learning, ablations;
+//! * [`decima`] — the Decima baseline (GCN, black-box features, no
+//!   pipelining);
+//! * [`sched`] — FIFO / fair / SJF / HPF / critical-path / Quickstep /
+//!   SelfTune heuristic baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lsched::prelude::*;
+//!
+//! // A 12-query TPC-H streaming workload on 8 worker threads.
+//! let pool = lsched::workloads::tpch::plan_pool(&[0.5]);
+//! let wl = gen_workload(&pool, 12, ArrivalPattern::Streaming { lambda: 40.0 }, 1);
+//! let cfg = SimConfig { num_threads: 8, ..Default::default() };
+//!
+//! // Compare a heuristic with an (untrained) learned agent.
+//! let fair = simulate(cfg.clone(), &wl, &mut FairScheduler::default());
+//! let model = LSchedModel::new(LSchedConfig::default(), 0);
+//! let learned = simulate(cfg, &wl, &mut LSchedScheduler::greedy(model));
+//! assert_eq!(fair.outcomes.len(), 12);
+//! assert_eq!(learned.outcomes.len(), 12);
+//! ```
+
+pub use lsched_core as core;
+pub use lsched_decima as decima;
+pub use lsched_engine as engine;
+pub use lsched_nn as nn;
+pub use lsched_sched as sched;
+pub use lsched_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use lsched_core::{
+        train, transfer_from, DecisionMode, ExperienceManager, LSchedConfig, LSchedModel,
+        LSchedScheduler, LSchedVariant, RewardConfig, TrainConfig,
+    };
+    pub use lsched_decima::{train_decima, DecimaConfig, DecimaModel, DecimaScheduler};
+    pub use lsched_engine::{
+        simulate, CostModel, Executor, PhysicalPlan, QueryId, SchedContext, SchedDecision,
+        SchedEvent, Scheduler, SimConfig, SimResult, WorkloadItem,
+    };
+    pub use lsched_sched::{
+        CriticalPathScheduler, FairScheduler, FifoScheduler, HpfScheduler, QuickstepScheduler,
+        SelfTuneScheduler, SjfScheduler,
+    };
+    pub use lsched_workloads::{gen_workload, split_train_test, ArrivalPattern, EpisodeSampler};
+}

@@ -1,0 +1,146 @@
+//! Integration: every scheduler completes every benchmark's workloads on
+//! the simulator, and the qualitative orderings the paper relies on hold
+//! for the heuristics.
+
+use lsched::core::{LSchedConfig, LSchedModel, LSchedScheduler};
+use lsched::decima::{DecimaConfig, DecimaModel, DecimaScheduler};
+use lsched::prelude::*;
+use lsched::workloads::{job, ssb, tpch};
+
+fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+    let mut lcfg = LSchedConfig::default();
+    lcfg.encoder.hidden = 12;
+    lcfg.encoder.pqe_dim = 6;
+    lcfg.encoder.aqe_dim = 6;
+    vec![
+        Box::new(FifoScheduler),
+        Box::new(FairScheduler::default()),
+        Box::new(SjfScheduler),
+        Box::new(HpfScheduler),
+        Box::new(CriticalPathScheduler),
+        Box::new(QuickstepScheduler),
+        Box::new(SelfTuneScheduler::default()),
+        Box::new(LSchedScheduler::greedy(LSchedModel::new(lcfg, 1))),
+        Box::new(DecimaScheduler::greedy(DecimaModel::new(
+            DecimaConfig { hidden: 12, layers: 2, max_threads: 32, ..Default::default() },
+            1,
+        ))),
+    ]
+}
+
+#[test]
+fn every_scheduler_completes_every_benchmark() {
+    let pools = [
+        ("tpch", tpch::plan_pool(&[0.5])),
+        ("ssb", ssb::plan_pool(&[0.5])),
+        ("job", job::plan_pool().into_iter().take(30).collect::<Vec<_>>()),
+    ];
+    for (bench, pool) in pools {
+        let wl = gen_workload(&pool, 8, ArrivalPattern::Streaming { lambda: 30.0 }, 3);
+        for s in all_schedulers().iter_mut() {
+            let res = simulate(SimConfig { num_threads: 8, ..Default::default() }, &wl, s.as_mut());
+            assert_eq!(
+                res.outcomes.len(),
+                8,
+                "{} lost queries on {bench}",
+                s.name()
+            );
+            assert!(!res.timed_out, "{} timed out on {bench}", s.name());
+        }
+    }
+}
+
+#[test]
+fn fifo_worst_under_streaming_load() {
+    // Figure 8's headline: FIFO has by far the worst average duration
+    // because head-of-line blocking stalls short queries behind long
+    // ones. The effect shows under streaming load with heterogeneous
+    // query sizes (on equal-size batches, serial completion can even
+    // help the average — which is why the paper's batching FIFO gap is
+    // smaller than the streaming one).
+    let pool = tpch::plan_pool(&[1.0, 10.0]);
+    let mut fifo_avg = 0.0;
+    let mut fair_avg = 0.0;
+    for seed in 0..3 {
+        // λ high enough that queries overlap heavily on 12 threads.
+        let wl = gen_workload(&pool, 30, ArrivalPattern::Streaming { lambda: 40.0 }, seed);
+        let cfg = SimConfig { num_threads: 12, seed, ..Default::default() };
+        fifo_avg += simulate(cfg.clone(), &wl, &mut FifoScheduler).avg_duration();
+        fair_avg += simulate(cfg, &wl, &mut FairScheduler::default()).avg_duration();
+    }
+    assert!(
+        fifo_avg > fair_avg * 1.1,
+        "fifo ({fifo_avg}) should clearly exceed fair ({fair_avg})"
+    );
+}
+
+#[test]
+fn tuned_selftune_at_least_matches_default() {
+    use lsched::sched::{tune, TuneConfig};
+    let pool = tpch::plan_pool(&[0.5, 1.0]);
+    let samples: Vec<Vec<WorkloadItem>> = (0..2)
+        .map(|s| gen_workload(&pool, 10, ArrivalPattern::Streaming { lambda: 50.0 }, s))
+        .collect();
+    let sim = SimConfig { num_threads: 10, ..Default::default() };
+    let (tuned, tuned_score) =
+        tune(&samples, &TuneConfig { iterations: 10, samples: 2, sim: sim.clone(), seed: 4 });
+
+    let mut default_total = 0.0;
+    let mut tuned_total = 0.0;
+    for wl in &samples {
+        default_total +=
+            simulate(sim.clone(), wl, &mut SelfTuneScheduler::default()).avg_duration();
+        tuned_total +=
+            simulate(sim.clone(), wl, &mut SelfTuneScheduler::new(tuned)).avg_duration();
+    }
+    assert!(tuned_total <= default_total + 1e-9);
+    assert!(tuned_score > 0.0);
+}
+
+#[test]
+fn schedulers_report_overhead_metrics() {
+    let pool = tpch::plan_pool(&[0.5]);
+    let wl = gen_workload(&pool, 6, ArrivalPattern::Batch, 1);
+    let cfg = SimConfig { num_threads: 6, ..Default::default() };
+
+    let fair = simulate(cfg.clone(), &wl, &mut FairScheduler::default());
+    let mut lcfg = LSchedConfig::default();
+    lcfg.encoder.hidden = 12;
+    lcfg.encoder.pqe_dim = 6;
+    lcfg.encoder.aqe_dim = 6;
+    let learned =
+        simulate(cfg, &wl, &mut LSchedScheduler::greedy(LSchedModel::new(lcfg, 2)));
+
+    // Figure 13a's shape: learned scheduling latency is orders of
+    // magnitude above heuristic latency.
+    assert!(fair.sched_wall_time >= 0.0);
+    assert!(
+        learned.sched_latency_per_query() > fair.sched_latency_per_query() * 10.0,
+        "learned {} vs heuristic {}",
+        learned.sched_latency_per_query(),
+        fair.sched_latency_per_query()
+    );
+    assert!(learned.sched_invocations > 0);
+    assert!(learned.sched_decisions > 0);
+}
+
+#[test]
+fn streaming_lighter_than_batch_for_same_queries() {
+    // With spread-out arrivals the system is less pressured, so average
+    // duration should not exceed the batched case (Figure 8 vs 12
+    // dynamics).
+    let pool = tpch::plan_pool(&[1.0]);
+    let cfg = SimConfig { num_threads: 8, ..Default::default() };
+    let batch = {
+        let wl = gen_workload(&pool, 16, ArrivalPattern::Batch, 9);
+        simulate(cfg.clone(), &wl, &mut FairScheduler::default()).avg_duration()
+    };
+    let stream = {
+        let wl = gen_workload(&pool, 16, ArrivalPattern::Streaming { lambda: 0.5 }, 9);
+        simulate(cfg, &wl, &mut FairScheduler::default()).avg_duration()
+    };
+    assert!(
+        stream < batch,
+        "slow stream ({stream}) should beat batch ({batch})"
+    );
+}

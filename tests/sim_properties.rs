@@ -1,0 +1,156 @@
+//! Property-based integration tests: simulator invariants must hold for
+//! randomized workloads, pool sizes, thread counts and scheduling
+//! policies.
+
+use lsched::prelude::*;
+use lsched::workloads::tpch;
+use proptest::prelude::*;
+
+fn policy(which: u8) -> Box<dyn Scheduler> {
+    match which % 5 {
+        0 => Box::new(FifoScheduler),
+        1 => Box::new(FairScheduler::default()),
+        2 => Box::new(SjfScheduler),
+        3 => Box::new(CriticalPathScheduler),
+        _ => Box::new(QuickstepScheduler),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every query completes exactly once, with non-negative latency,
+    /// finish after arrival, and makespan == max finish.
+    #[test]
+    fn simulation_conserves_queries(
+        n_queries in 1usize..12,
+        threads in 1usize..16,
+        lambda in 1.0f64..200.0,
+        seed in 0u64..1000,
+        which in 0u8..5,
+    ) {
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, n_queries, ArrivalPattern::Streaming { lambda }, seed);
+        let mut s = policy(which);
+        let res = simulate(
+            SimConfig { num_threads: threads, seed, ..Default::default() },
+            &wl,
+            s.as_mut(),
+        );
+        prop_assert_eq!(res.outcomes.len(), n_queries);
+        prop_assert!(!res.timed_out);
+        let mut qids: Vec<u64> = res.outcomes.iter().map(|o| o.qid.0).collect();
+        qids.sort_unstable();
+        qids.dedup();
+        prop_assert_eq!(qids.len(), n_queries, "duplicate completions");
+        for o in &res.outcomes {
+            prop_assert!(o.duration > 0.0);
+            prop_assert!(o.finish >= o.arrival);
+        }
+        let max_finish = res.outcomes.iter().map(|o| o.finish).fold(0.0, f64::max);
+        prop_assert!((res.makespan - max_finish).abs() < 1e-9);
+    }
+
+    /// Work conservation: the total executed work orders equal the sum
+    /// of planned work orders over all queries, for every policy.
+    #[test]
+    fn simulation_conserves_work_orders(
+        n_queries in 1usize..10,
+        threads in 1usize..12,
+        seed in 0u64..1000,
+        which in 0u8..5,
+    ) {
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, n_queries, ArrivalPattern::Batch, seed);
+        let planned: u64 = wl
+            .iter()
+            .map(|w| w.plan.ops.iter().map(|o| u64::from(o.num_work_orders)).sum::<u64>())
+            .sum();
+        let mut s = policy(which);
+        let res = simulate(
+            SimConfig { num_threads: threads, seed, ..Default::default() },
+            &wl,
+            s.as_mut(),
+        );
+        prop_assert_eq!(res.total_work_orders, planned);
+    }
+
+    /// Determinism: identical (workload, seed, policy) runs give
+    /// identical results.
+    #[test]
+    fn simulation_is_deterministic(
+        n_queries in 1usize..8,
+        seed in 0u64..500,
+        which in 0u8..5,
+    ) {
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, n_queries, ArrivalPattern::Batch, seed);
+        let cfg = SimConfig { num_threads: 6, seed, ..Default::default() };
+        let r1 = simulate(cfg.clone(), &wl, policy(which).as_mut());
+        let r2 = simulate(cfg, &wl, policy(which).as_mut());
+        prop_assert_eq!(r1.makespan, r2.makespan);
+        prop_assert_eq!(r1.avg_duration(), r2.avg_duration());
+        prop_assert_eq!(r1.sched_decisions, r2.sched_decisions);
+    }
+
+    /// The makespan can never beat the theoretical lower bound of total
+    /// serial work divided by thread count (in a noise-free simulator).
+    #[test]
+    fn makespan_respects_work_lower_bound(
+        n_queries in 1usize..8,
+        threads in 1usize..10,
+        seed in 0u64..500,
+        which in 0u8..5,
+    ) {
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, n_queries, ArrivalPattern::Batch, seed);
+        let mut cfg = SimConfig { num_threads: threads, seed, ..Default::default() };
+        cfg.cost.noise_sigma = 0.0;
+        // Minimum possible per-WO time: every discount applied.
+        let min_serial: f64 = wl
+            .iter()
+            .map(|w| {
+                w.plan
+                    .ops
+                    .iter()
+                    .map(|o| {
+                        o.num_work_orders as f64
+                            * o.est_wo_duration
+                            * cfg.cost.pipeline_speedup
+                            * cfg.cost.thread_locality_speedup
+                    })
+                    .sum::<f64>()
+            })
+            .sum();
+        let bound = min_serial / threads as f64;
+        let res = simulate(cfg, &wl, policy(which).as_mut());
+        prop_assert!(
+            res.makespan >= bound * 0.999,
+            "makespan {} below work bound {}",
+            res.makespan,
+            bound
+        );
+    }
+
+    /// CDFs are monotone and end at 1.
+    #[test]
+    fn cdf_is_well_formed(
+        n_queries in 2usize..10,
+        seed in 0u64..500,
+    ) {
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, n_queries, ArrivalPattern::Batch, seed);
+        let res = simulate(
+            SimConfig { num_threads: 6, seed, ..Default::default() },
+            &wl,
+            &mut FairScheduler::default(),
+        );
+        let cdf = res.cdf();
+        prop_assert_eq!(cdf.len(), n_queries);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 < w[1].1);
+        }
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+}

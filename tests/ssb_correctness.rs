@@ -1,0 +1,83 @@
+//! Integration: the real engine executes SSB Q1.1 — including the
+//! zone-map IndexScan on the date dimension — and matches a brute-force
+//! reference.
+
+use std::sync::Arc;
+
+use lsched::engine::block::Column;
+use lsched::engine::cost::CostModel;
+use lsched::engine::executor::Executor;
+use lsched::prelude::*;
+use lsched::workloads::ssb;
+
+fn q1_1_reference(cat: &lsched::engine::Catalog) -> f64 {
+    let lo = cat.table_by_name("lineorder").unwrap();
+    let mut total = 0.0;
+    for b in &lo.blocks {
+        let (od, q, ep, d) = match (&b.columns[0], &b.columns[1], &b.columns[2], &b.columns[3]) {
+            (Column::I64(od), Column::F64(q), Column::F64(ep), Column::F64(d)) => (od, q, ep, d),
+            _ => panic!("unexpected lineorder schema"),
+        };
+        for i in 0..b.num_rows() {
+            // d_year = 1993 <=> datekey in [365, 729].
+            if (365..=729).contains(&od[i])
+                && d[i] >= 0.01
+                && d[i] <= 0.03
+                && q[i] < 25.0
+            {
+                total += ep[i] * d[i];
+            }
+        }
+    }
+    total
+}
+
+#[test]
+fn ssb_q1_1_matches_brute_force() {
+    let cat = Arc::new(ssb::gen_catalog(0.003, 23));
+    let cost = CostModel::default_model();
+    let plan = ssb::q1_1_executable(&cat, &cost);
+    let exec = Executor::new(Arc::clone(&cat), 3);
+    let (res, rows) = exec.run_single(plan);
+    assert!(!res.timed_out);
+    assert_eq!(rows.len(), 1, "scalar aggregate expected");
+    let got = rows[0][0].as_f64().unwrap();
+    let want = q1_1_reference(&cat);
+    assert!(
+        (got - want).abs() < 1e-6 * want.abs().max(1.0),
+        "ssb q1.1: got {got}, want {want}"
+    );
+}
+
+#[test]
+fn ssb_q1_1_invariant_to_threads_and_policy() {
+    let cat = Arc::new(ssb::gen_catalog(0.002, 29));
+    let cost = CostModel::default_model();
+    let reference = {
+        let exec = Executor::new(Arc::clone(&cat), 1);
+        let (_, rows) = exec.run_single(ssb::q1_1_executable(&cat, &cost));
+        rows[0][0].as_f64().unwrap()
+    };
+    for threads in [2usize, 4] {
+        let exec = Executor::new(Arc::clone(&cat), threads);
+        let wl = vec![WorkloadItem {
+            arrival_time: 0.0,
+            plan: ssb::q1_1_executable(&cat, &cost),
+        }];
+        for s in [
+            Box::new(FairScheduler::default()) as Box<dyn Scheduler>,
+            Box::new(CriticalPathScheduler),
+        ]
+        .iter_mut()
+        {
+            let res = exec.run(&wl, s.as_mut());
+            assert_eq!(res.outcomes.len(), 1);
+        }
+        let (_, rows) = exec.run_single(ssb::q1_1_executable(&cat, &cost));
+        let got = rows[0][0].as_f64().unwrap();
+        assert!(
+            (got - reference).abs() < 1e-6 * reference.abs().max(1.0),
+            "threads={threads}: {got} vs {reference}"
+        );
+    }
+}
