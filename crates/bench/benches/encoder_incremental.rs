@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the incremental encoding path: the
+//! static/dynamic feature split plus graph-arena reuse against the
+//! from-scratch per-decision pipeline it replaced. `cached` is the hot
+//! path a scheduler actually runs on every event after a query's first
+//! snapshot (plan statics memoized, tape capacity retained); `cold`
+//! rebuilds everything per decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsched_core::encoder::{EncoderConfig, QueryEncoder};
+use lsched_core::features::{snapshot, snapshot_cached, FeatureConfig, SnapshotCache};
+use lsched_engine::scheduler::{QueryId, QueryRuntime, SchedContext};
+use lsched_nn::{Graph, ParamStore};
+use lsched_workloads::tpch;
+use std::sync::Arc;
+
+fn make_queries(n_queries: usize) -> (Vec<QueryRuntime>, Vec<usize>) {
+    let pool = tpch::plan_pool(&[1.0]);
+    let queries: Vec<QueryRuntime> = (0..n_queries)
+        .map(|i| QueryRuntime::new(QueryId(i as u64), Arc::clone(&pool[i % pool.len()]), 0.0, 24))
+        .collect();
+    (queries, (0..12).collect())
+}
+
+fn bench_encoder_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoder_incremental");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &nq in &[1usize, 4, 16] {
+        let mut store = ParamStore::new();
+        let cfg = EncoderConfig { hidden: 16, edge_hidden: 4, pqe_dim: 8, aqe_dim: 8, ..Default::default() };
+        let enc = QueryEncoder::new(&mut store, 1, "enc", cfg);
+        let fcfg = FeatureConfig::default();
+        let (queries, free) = make_queries(nq);
+        let ctx = SchedContext {
+            time: 0.0,
+            total_threads: 24,
+            free_threads: free.len(),
+            free_thread_ids: &free,
+            queries: &queries,
+        };
+
+        // Feature-extraction stage in isolation: per-event snapshot with
+        // fresh plan statics (the pre-split pipeline) vs the memoized
+        // static block (only the dynamic tail recomputed).
+        group.bench_function(BenchmarkId::new("snapshot_cold", nq), |b| {
+            b.iter(|| std::hint::black_box(snapshot(&fcfg, &ctx).queries.len()))
+        });
+        group.bench_function(BenchmarkId::new("snapshot_cached", nq), |b| {
+            let mut cache = SnapshotCache::new();
+            // Warm the cache (the first event of a query always misses).
+            let _ = snapshot_cached(&fcfg, &ctx, &mut cache);
+            b.iter(|| std::hint::black_box(snapshot_cached(&fcfg, &ctx, &mut cache).queries.len()))
+        });
+
+        // Full per-decision path: snapshot + encoder forward. `cold`
+        // rebuilds statics and a fresh tape per decision; `cached` is
+        // what LSchedScheduler::on_event actually runs (memoized
+        // statics, tape reset in place).
+        group.bench_function(BenchmarkId::new("decision_cold", nq), |b| {
+            b.iter(|| {
+                let snap = snapshot(&fcfg, &ctx);
+                let mut g = Graph::new();
+                let sys = enc.encode_system(&mut g, &store, &snap);
+                std::hint::black_box(g.value(sys.aqe).data()[0])
+            })
+        });
+        group.bench_function(BenchmarkId::new("decision_cached", nq), |b| {
+            let mut cache = SnapshotCache::new();
+            let mut g = Graph::new();
+            let _ = snapshot_cached(&fcfg, &ctx, &mut cache);
+            b.iter(|| {
+                let snap = snapshot_cached(&fcfg, &ctx, &mut cache);
+                g.reset();
+                let sys = enc.encode_system(&mut g, &store, &snap);
+                std::hint::black_box(g.value(sys.aqe).data()[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoder_incremental);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmark of parallel rollout collection: one REINFORCE
+//! training episode (fixed workload distribution, 8 exploration
+//! rollouts) at increasing rollout thread counts. The rollouts are
+//! simulated against a frozen parameter snapshot, so the speedup is the
+//! tentpole number — gradient accumulation stays sequential either way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsched_core::{
+    ExperienceManager, LSchedConfig, LSchedModel, TrainConfig,
+};
+use lsched_engine::sim::SimConfig;
+use lsched_workloads::{tpch, EpisodeSampler};
+
+fn tiny_model(seed: u64) -> LSchedModel {
+    let mut cfg = LSchedConfig::default();
+    cfg.encoder.hidden = 12;
+    cfg.encoder.edge_hidden = 4;
+    cfg.encoder.pqe_dim = 6;
+    cfg.encoder.aqe_dim = 6;
+    cfg.encoder.conv_layers = 2;
+    cfg.predictor.max_degree = 6;
+    cfg.predictor.max_threads = 32;
+    LSchedModel::new(cfg, seed)
+}
+
+fn sampler() -> EpisodeSampler {
+    EpisodeSampler {
+        pool: tpch::plan_pool(&[0.3]),
+        size_range: (8, 12),
+        rate_range: (20.0, 60.0),
+        batch_fraction: 0.5,
+    }
+}
+
+fn bench_train_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_parallel");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let s = sampler();
+    for &threads in &[1usize, 2, 4, 8] {
+        let cfg = TrainConfig {
+            episodes: 1,
+            rollouts_per_episode: 8,
+            rollout_threads: threads,
+            sim: SimConfig { num_threads: 8, ..Default::default() },
+            seed: 5,
+            ..Default::default()
+        };
+        group.bench_function(BenchmarkId::new("episode", threads), |b| {
+            b.iter(|| {
+                let mut exp = ExperienceManager::new(8);
+                let (model, stats) =
+                    lsched_core::train(tiny_model(5), &s, &cfg, &mut exp);
+                std::hint::black_box((model.params_json().len(), stats.episodes.len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_parallel);
+criterion_main!(benches);

@@ -4,6 +4,8 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use rayon::prelude::*;
+
 use lsched_core::{
     train_with_validation, ExperienceManager, LSchedConfig, LSchedModel, LSchedScheduler,
     TrainConfig,
@@ -308,19 +310,23 @@ pub fn roster(cfg: &HarnessConfig, bench: Benchmark, include_fifo: bool) -> Rost
     Roster { entries }
 }
 
-/// Runs a workload under every roster scheduler.
+/// Runs a workload under every roster scheduler. The schedulers are
+/// independent state machines, so the evaluations fan out across a
+/// thread pool; results come back in roster order and each scheduler's
+/// RNG stream is untouched by the parallelism, so the output is
+/// identical to a sequential sweep.
 pub fn run_roster(
     roster: &mut Roster,
     workload: &[WorkloadItem],
     sim: &SimConfig,
 ) -> Vec<(String, SimResult)> {
-    roster
-        .entries
-        .iter_mut()
+    let jobs: Vec<(String, &mut Box<dyn Scheduler>)> =
+        roster.entries.iter_mut().map(|(name, s)| (name.clone(), s)).collect();
+    jobs.into_par_iter()
         .map(|(name, s)| {
             s.reset();
             let res = simulate(sim.clone(), workload, s.as_mut());
-            (name.clone(), res)
+            (name, res)
         })
         .collect()
 }

@@ -2,14 +2,16 @@
 //! Encoder + Scheduling Predictor) and the [`Scheduler`] implementation
 //! that plugs it into the engine (Figure 2).
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use lsched_engine::scheduler::{SchedContext, SchedDecision, SchedEvent, Scheduler};
+use lsched_engine::scheduler::{QueryId, SchedContext, SchedDecision, SchedEvent, Scheduler};
 use lsched_nn::{Graph, ParamStore};
 
 use crate::encoder::{EncoderConfig, QueryEncoder};
-use crate::features::{snapshot, FeatureConfig, SystemSnapshot};
+use crate::features::{snapshot_cached, FeatureConfig, SnapshotCache, SystemSnapshot};
 use crate::predictor::{DecisionMode, PickTrace, PredictorConfig, SchedulingPredictor};
 
 /// Full agent configuration.
@@ -72,14 +74,27 @@ impl LSchedModel {
         forced: Option<&[PickTrace]>,
     ) -> (Graph, Vec<SchedDecision>, Vec<PickTrace>, lsched_nn::NodeId) {
         let mut g = Graph::new();
+        let (decisions, picks, logprob) = self.decide_snapshot_in(&mut g, snap, mode, rng, forced);
+        (g, decisions, picks, logprob)
+    }
+
+    /// Like [`decide_snapshot`](Self::decide_snapshot) but builds the
+    /// forward pass on a caller-provided graph, which hot paths reset
+    /// and reuse between decisions to keep the tape's allocation alive.
+    pub fn decide_snapshot_in(
+        &self,
+        g: &mut Graph,
+        snap: &SystemSnapshot,
+        mode: DecisionMode,
+        rng: Option<&mut StdRng>,
+        forced: Option<&[PickTrace]>,
+    ) -> (Vec<SchedDecision>, Vec<PickTrace>, lsched_nn::NodeId) {
         if snap.queries.is_empty() {
             let zero = g.input(lsched_nn::Tensor::scalar(0.0));
-            return (g, Vec::new(), Vec::new(), zero);
+            return (Vec::new(), Vec::new(), zero);
         }
-        let enc = self.encoder.encode_system(&mut g, &self.store, snap);
-        let (decisions, picks, logprob) =
-            self.predictor.decide(&mut g, &self.store, snap, &enc, mode, rng, forced);
-        (g, decisions, picks, logprob)
+        let enc = self.encoder.encode_system(g, &self.store, snap);
+        self.predictor.decide(g, &self.store, snap, &enc, mode, rng, forced)
     }
 
     /// Serializes the parameters to JSON (checkpointing).
@@ -110,24 +125,39 @@ pub struct EpisodeStep {
 }
 
 /// The LSched scheduler.
+///
+/// The model is held behind an [`Arc`] so parallel rollout workers can
+/// share one immutable parameter snapshot without cloning the weights;
+/// single-owner callers keep the by-value API via [`finish`]
+/// (LSchedScheduler::finish).
 pub struct LSchedScheduler {
-    model: LSchedModel,
+    model: Arc<LSchedModel>,
     mode: DecisionMode,
     rng: StdRng,
     recording: bool,
     steps: Vec<EpisodeStep>,
+    /// Per-plan static encoding memo (tentpole: incremental encoding).
+    cache: SnapshotCache,
+    /// Reusable forward-pass tape; reset (capacity kept) per decision.
+    scratch: Graph,
 }
 
 impl LSchedScheduler {
-    /// Inference-mode scheduler (greedy decisions, no recording).
-    pub fn greedy(model: LSchedModel) -> Self {
+    fn with_mode(model: Arc<LSchedModel>, mode: DecisionMode, seed: u64, recording: bool) -> Self {
         Self {
             model,
-            mode: DecisionMode::Greedy,
-            rng: StdRng::seed_from_u64(0),
-            recording: false,
+            mode,
+            rng: StdRng::seed_from_u64(seed),
+            recording,
             steps: Vec::new(),
+            cache: SnapshotCache::new(),
+            scratch: Graph::new(),
         }
+    }
+
+    /// Inference-mode scheduler (greedy decisions, no recording).
+    pub fn greedy(model: LSchedModel) -> Self {
+        Self::with_mode(Arc::new(model), DecisionMode::Greedy, 0, false)
     }
 
     /// Stochastic inference: decisions are sampled from the learned
@@ -135,35 +165,46 @@ impl LSchedScheduler {
     /// inference avoids the instability of committing to the argmax of
     /// a stochastically trained policy.
     pub fn stochastic(model: LSchedModel, seed: u64) -> Self {
-        Self {
-            model,
-            mode: DecisionMode::Sample,
-            rng: StdRng::seed_from_u64(seed),
-            recording: false,
-            steps: Vec::new(),
-        }
+        Self::with_mode(Arc::new(model), DecisionMode::Sample, seed, false)
     }
 
     /// Training-mode scheduler: samples decisions and records every step
     /// for the episode replay.
     pub fn sampling(model: LSchedModel, seed: u64) -> Self {
-        Self {
-            model,
-            mode: DecisionMode::Sample,
-            rng: StdRng::seed_from_u64(seed),
-            recording: true,
-            steps: Vec::new(),
-        }
+        Self::with_mode(Arc::new(model), DecisionMode::Sample, seed, true)
+    }
+
+    /// Training-mode scheduler over a shared model snapshot — the
+    /// parallel-rollout entry point: every worker gets its own scheduler
+    /// (own RNG, own step recording) against the same frozen parameters.
+    pub fn sampling_shared(model: Arc<LSchedModel>, seed: u64) -> Self {
+        Self::with_mode(model, DecisionMode::Sample, seed, true)
     }
 
     /// Consumes the scheduler, returning the model and recorded steps.
+    ///
+    /// Panics if the model is still shared (use [`into_steps`]
+    /// (LSchedScheduler::into_steps) from parallel rollout workers).
     pub fn finish(self) -> (LSchedModel, Vec<EpisodeStep>) {
-        (self.model, self.steps)
+        let model = Arc::try_unwrap(self.model)
+            .expect("finish() requires exclusive model ownership; shared rollouts use into_steps()");
+        (model, self.steps)
+    }
+
+    /// Consumes the scheduler, returning only the recorded steps (the
+    /// shared model stays with its other owners).
+    pub fn into_steps(self) -> Vec<EpisodeStep> {
+        self.steps
     }
 
     /// Immutable access to the model.
     pub fn model(&self) -> &LSchedModel {
         &self.model
+    }
+
+    /// Static-encoding cache hit/miss counters (for diagnostics/tests).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
     }
 }
 
@@ -173,13 +214,14 @@ impl Scheduler for LSchedScheduler {
     }
 
     fn on_event(&mut self, ctx: &SchedContext<'_>, _ev: &SchedEvent) -> Vec<SchedDecision> {
-        let snap = snapshot(self.model.feature_config(), ctx);
+        let snap = snapshot_cached(self.model.feature_config(), ctx, &mut self.cache);
         let rng = match self.mode {
             DecisionMode::Sample => Some(&mut self.rng),
             DecisionMode::Greedy => None,
         };
-        let (_g, decisions, picks, _lp) =
-            self.model.decide_snapshot(&snap, self.mode, rng, None);
+        self.scratch.reset();
+        let (decisions, picks, _lp) =
+            self.model.decide_snapshot_in(&mut self.scratch, &snap, self.mode, rng, None);
         if self.recording && !picks.is_empty() {
             self.steps.push(EpisodeStep {
                 snapshot: snap,
@@ -191,8 +233,19 @@ impl Scheduler for LSchedScheduler {
         decisions
     }
 
+    fn on_query_finished(&mut self, _time: f64, query: QueryId) {
+        // The plan's static encoding can never be referenced again once
+        // the query leaves the system; drop it so long sessions don't
+        // accumulate dead entries.
+        self.cache.evict(query);
+    }
+
     fn reset(&mut self) {
         self.steps.clear();
+        // Query ids restart per run, so cached statics would alias new
+        // plans; the cache guards by plan pointer but a reset run should
+        // start cold regardless.
+        self.cache.clear();
     }
 }
 

@@ -252,19 +252,19 @@ impl QueryEncoder {
         raw_edges: &[NodeId],
     ) -> Vec<NodeId> {
         match &self.conv {
-            ConvStack::Tcn(stack) => stack.forward(g, store, &qs.tree, nodes, raw_edges),
+            ConvStack::Tcn(stack) => stack.forward(g, store, qs.tree(), nodes, raw_edges),
             ConvStack::Seq(layers) => {
                 // Sequential message passing: within each layer the
                 // embedding of a parent is computed from the *current
                 // layer's* child embeddings (children first).
-                let order = Self::topo_order(&qs.tree);
+                let order = Self::topo_order(qs.tree());
                 let mut h: Vec<NodeId> = nodes.to_vec();
                 for layer in layers {
                     let mut next = h.clone();
                     for &n in &order {
                         let own = layer.w_self.forward(g, store, h[n]);
                         let mut terms = vec![own];
-                        for slot in qs.tree.children[n].iter().flatten() {
+                        for slot in qs.tree().children[n].iter().flatten() {
                             let (c, e) = *slot;
                             let cm = layer.w_child.forward(g, store, next[c]);
                             let em = layer.w_edge.forward(g, store, raw_edges[e]);
@@ -290,9 +290,9 @@ impl QueryEncoder {
         qs: &QuerySnapshot,
     ) -> QueryEncoding {
         let opf_nodes: Vec<NodeId> =
-            qs.opf.iter().map(|f| g.input(Tensor::vector(f.clone()))).collect();
+            (0..qs.num_ops()).map(|op| g.input(Tensor::vector(qs.opf(op)))).collect();
         let raw_edges: Vec<NodeId> =
-            qs.edf.iter().map(|f| g.input(Tensor::vector(f.clone()))).collect();
+            qs.edf().iter().map(|f| g.input(Tensor::vector(f.clone()))).collect();
 
         // Project raw OPF into the hidden space, then convolve.
         let projected: Vec<NodeId> = opf_nodes
@@ -475,8 +475,7 @@ mod tests {
         let mut g1 = Graph::new();
         let pqe1 = enc.encode_query(&mut g1, &store, &s.queries[0]).pqe;
         let before = g1.value(pqe1).clone();
-        let dim = s.queries[0].opf[0].len();
-        s.queries[0].opf[0][dim - 3] = 0.0; // zero out O-WO
+        s.queries[0].opf_dyn[0][0] = 0.0; // zero out O-WO
         let mut g2 = Graph::new();
         let pqe2 = enc.encode_query(&mut g2, &store, &s.queries[0]).pqe;
         let after = g2.value(pqe2).clone();

@@ -8,9 +8,11 @@
 //! the precondition for Section 6's transfer learning ("the dimensions
 //! of these layers remain the same among different workloads").
 
-use lsched_engine::plan::{OpKind, PlanEdge};
+use lsched_engine::plan::{OpKind, PhysicalPlan, PlanEdge};
 use lsched_engine::scheduler::{QueryId, QueryRuntime, SchedContext};
 use lsched_nn::TreeSpec;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Fixed feature dimensions.
 #[derive(Debug, Clone)]
@@ -95,11 +97,16 @@ fn squash(x: f64) -> f32 {
     (x.max(0.0) + 1.0).ln() as f32
 }
 
-/// Extracts the OPF vector of operator `op` in query `q` (Section 4.1).
-pub fn op_features(cfg: &FeatureConfig, q: &QueryRuntime, op: usize) -> Vec<f32> {
-    let plan_op = &q.plan.ops[op];
-    let rt = &q.ops[op];
-    let mut v = Vec::with_capacity(cfg.opf_dim());
+/// Number of *dynamic* (per-event) trailing entries in an OPF vector:
+/// O-WO, O-DUR, O-MEM. Everything before them is a function of the plan
+/// alone and is memoized per query in [`PlanStatics`].
+pub const OPF_DYN_DIM: usize = 3;
+
+/// Extracts the static (plan-only) OPF prefix of operator `op`:
+/// O-TY ‖ O-IN ‖ O-COLS ‖ O-BLCKS.
+pub fn op_static_features(cfg: &FeatureConfig, plan: &PhysicalPlan, op: usize) -> Vec<f32> {
+    let plan_op = &plan.ops[op];
+    let mut v = Vec::with_capacity(cfg.opf_dim() - OPF_DYN_DIM);
     // O-TY: operator type one-hot.
     let mut ty = vec![0.0f32; OpKind::COUNT];
     ty[plan_op.kind.index()] = 1.0;
@@ -110,12 +117,28 @@ pub fn op_features(cfg: &FeatureConfig, q: &QueryRuntime, op: usize) -> Vec<f32>
     v.extend(one_hot_fold(cfg.max_columns, &plan_op.columns_used));
     // O-BLCKS: Eq. 1 downsampled block bitmap.
     v.extend(downsample_blocks(&plan_op.block_bitmap, cfg.blocks_dim));
-    // O-WO: remaining work orders.
-    v.push(squash(rt.remaining_work_orders() as f64));
-    // O-DUR: regression-estimated remaining duration.
-    v.push(squash(rt.est_remaining_duration()));
-    // O-MEM: regression-estimated remaining memory (MB scale).
-    v.push(squash(rt.est_remaining_memory() / 1e6));
+    v
+}
+
+/// Extracts the dynamic OPF tail of operator `op` in query `q`:
+/// O-WO ‖ O-DUR ‖ O-MEM, recomputed at every scheduling event.
+pub fn op_dynamic_features(q: &QueryRuntime, op: usize) -> [f32; OPF_DYN_DIM] {
+    let rt = &q.ops[op];
+    [
+        // O-WO: remaining work orders.
+        squash(rt.remaining_work_orders() as f64),
+        // O-DUR: regression-estimated remaining duration.
+        squash(rt.est_remaining_duration()),
+        // O-MEM: regression-estimated remaining memory (MB scale).
+        squash(rt.est_remaining_memory() / 1e6),
+    ]
+}
+
+/// Extracts the full OPF vector of operator `op` in query `q`
+/// (Section 4.1): the static prefix followed by the dynamic tail.
+pub fn op_features(cfg: &FeatureConfig, q: &QueryRuntime, op: usize) -> Vec<f32> {
+    let mut v = op_static_features(cfg, &q.plan, op);
+    v.extend(op_dynamic_features(q, op));
     v
 }
 
@@ -148,26 +171,86 @@ pub fn query_features(cfg: &FeatureConfig, ctx: &SchedContext<'_>, q: &QueryRunt
     v
 }
 
-/// The per-query slice of a [`SystemSnapshot`].
+/// The plan-derived, event-invariant part of a query's features: nothing
+/// in here changes after the query is admitted, so it is computed once per
+/// query and shared by every subsequent snapshot via [`SnapshotCache`].
 #[derive(Debug, Clone)]
-pub struct QuerySnapshot {
-    /// The query's id.
-    pub qid: QueryId,
-    /// OPF vectors, one per operator.
-    pub opf: Vec<Vec<f32>>,
-    /// EDF vectors, one per plan edge.
+pub struct PlanStatics {
+    /// Static OPF prefixes (O-TY ‖ O-IN ‖ O-COLS ‖ O-BLCKS), one per
+    /// operator.
+    pub opf_static: Vec<Vec<f32>>,
+    /// EDF vectors, one per plan edge (fully static).
     pub edf: Vec<Vec<f32>>,
-    /// QF vector.
-    pub qf: Vec<f32>,
     /// Binary-tree structure for the tree convolution (O-CON).
     pub tree: TreeSpec,
     /// `(child, parent)` endpoints per edge, aligned with `edf`.
     pub edge_endpoints: Vec<(usize, usize)>,
+    /// Longest non-pipeline-breaking chain rooted at each operator — the
+    /// max pipeline degree of a decision rooted there.
+    pub npb_chain: Vec<usize>,
+}
+
+/// Computes the event-invariant feature block of `plan`.
+pub fn plan_statics(cfg: &FeatureConfig, plan: &PhysicalPlan) -> PlanStatics {
+    let (tree, edge_endpoints) = tree_of(plan);
+    PlanStatics {
+        opf_static: (0..plan.num_ops()).map(|op| op_static_features(cfg, plan, op)).collect(),
+        edf: plan.edges.iter().map(edge_features).collect(),
+        tree,
+        edge_endpoints,
+        npb_chain: (0..plan.num_ops())
+            .map(|o| plan.longest_npb_chain(lsched_engine::plan::OpId(o)))
+            .collect(),
+    }
+}
+
+/// The per-query slice of a [`SystemSnapshot`]: a shared handle to the
+/// memoized static block plus the small per-event dynamic state.
+#[derive(Debug, Clone)]
+pub struct QuerySnapshot {
+    /// The query's id.
+    pub qid: QueryId,
+    /// Event-invariant plan features, shared across snapshots.
+    pub statics: Arc<PlanStatics>,
+    /// Dynamic OPF tails (O-WO ‖ O-DUR ‖ O-MEM), one per operator.
+    pub opf_dyn: Vec<[f32; OPF_DYN_DIM]>,
+    /// QF vector.
+    pub qf: Vec<f32>,
     /// Indices of currently schedulable operators (candidate roots).
     pub schedulable: Vec<usize>,
     /// Max pipeline degree per schedulable operator (aligned with
     /// `schedulable`).
     pub max_degree: Vec<usize>,
+}
+
+impl QuerySnapshot {
+    /// Number of operators in the query's plan.
+    pub fn num_ops(&self) -> usize {
+        self.statics.opf_static.len()
+    }
+
+    /// The full OPF vector of operator `op` (static prefix ‖ dynamic tail).
+    pub fn opf(&self, op: usize) -> Vec<f32> {
+        let mut v = Vec::with_capacity(self.statics.opf_static[op].len() + OPF_DYN_DIM);
+        v.extend_from_slice(&self.statics.opf_static[op]);
+        v.extend_from_slice(&self.opf_dyn[op]);
+        v
+    }
+
+    /// EDF vectors, one per plan edge.
+    pub fn edf(&self) -> &[Vec<f32>] {
+        &self.statics.edf
+    }
+
+    /// The plan's tree-convolution structure.
+    pub fn tree(&self) -> &TreeSpec {
+        &self.statics.tree
+    }
+
+    /// `(child, parent)` endpoints per edge, aligned with [`Self::edf`].
+    pub fn edge_endpoints(&self) -> &[(usize, usize)] {
+        &self.statics.edge_endpoints
+    }
 }
 
 /// A self-contained snapshot of the scheduling state at one event —
@@ -211,31 +294,115 @@ pub fn tree_of(plan: &lsched_engine::plan::PhysicalPlan) -> (TreeSpec, Vec<(usiz
     (tree, endpoints)
 }
 
-/// Captures a full [`SystemSnapshot`] from a scheduling context.
+/// Builds one [`QuerySnapshot`] from a query runtime and its (shared or
+/// freshly computed) static feature block.
+fn query_snapshot_with(
+    cfg: &FeatureConfig,
+    ctx: &SchedContext<'_>,
+    q: &QueryRuntime,
+    statics: Arc<PlanStatics>,
+) -> QuerySnapshot {
+    let schedulable: Vec<usize> = q.schedulable_ops().into_iter().map(|o| o.0).collect();
+    let max_degree = schedulable.iter().map(|&o| statics.npb_chain[o]).collect();
+    QuerySnapshot {
+        qid: q.qid,
+        opf_dyn: (0..q.plan.num_ops()).map(|op| op_dynamic_features(q, op)).collect(),
+        qf: query_features(cfg, ctx, q),
+        statics,
+        schedulable,
+        max_degree,
+    }
+}
+
+/// Captures a full [`SystemSnapshot`] from a scheduling context,
+/// recomputing every feature from scratch (no memoization). This is the
+/// reference path; [`snapshot_cached`] must produce identical output.
 pub fn snapshot(cfg: &FeatureConfig, ctx: &SchedContext<'_>) -> SystemSnapshot {
     let queries = ctx
         .queries
         .iter()
-        .map(|q| {
-            let (tree, edge_endpoints) = tree_of(&q.plan);
-            let opf = (0..q.plan.num_ops()).map(|op| op_features(cfg, q, op)).collect();
-            let edf = q.plan.edges.iter().map(edge_features).collect();
-            let schedulable: Vec<usize> =
-                q.schedulable_ops().into_iter().map(|o| o.0).collect();
-            let max_degree = schedulable
-                .iter()
-                .map(|&o| q.plan.longest_npb_chain(lsched_engine::plan::OpId(o)))
-                .collect();
-            QuerySnapshot {
-                qid: q.qid,
-                opf,
-                edf,
-                qf: query_features(cfg, ctx, q),
-                tree,
-                edge_endpoints,
-                schedulable,
-                max_degree,
+        .map(|q| query_snapshot_with(cfg, ctx, q, Arc::new(plan_statics(cfg, &q.plan))))
+        .collect();
+    SystemSnapshot {
+        time: ctx.time,
+        total_threads: ctx.total_threads,
+        free_threads: ctx.free_threads,
+        queries,
+    }
+}
+
+/// Memoizes [`PlanStatics`] per active query so each scheduling event
+/// only recomputes the dynamic feature delta.
+///
+/// Entries are keyed by query id and guarded by the plan's `Arc` pointer:
+/// query ids restart from zero in every simulation, so a stale entry
+/// whose id was reused by a different plan instance is detected and
+/// recomputed rather than served.
+#[derive(Debug, Default)]
+pub struct SnapshotCache {
+    entries: HashMap<u64, (usize, Arc<PlanStatics>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SnapshotCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the memoized static block for `q`, computing it on miss.
+    pub fn statics_for(&mut self, cfg: &FeatureConfig, q: &QueryRuntime) -> Arc<PlanStatics> {
+        let plan_ptr = Arc::as_ptr(&q.plan) as usize;
+        match self.entries.get(&q.qid.0) {
+            Some((ptr, statics)) if *ptr == plan_ptr => {
+                self.hits += 1;
+                Arc::clone(statics)
             }
+            _ => {
+                self.misses += 1;
+                let statics = Arc::new(plan_statics(cfg, &q.plan));
+                self.entries.insert(q.qid.0, (plan_ptr, Arc::clone(&statics)));
+                statics
+            }
+        }
+    }
+
+    /// Drops the entry for a finished query, bounding the cache by the
+    /// number of concurrently active queries.
+    pub fn evict(&mut self, qid: QueryId) {
+        self.entries.remove(&qid.0);
+    }
+
+    /// Clears all entries (e.g. when a scheduler is reset between runs).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of cache hits served.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of cache misses (fresh computations).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Captures a full [`SystemSnapshot`], reusing memoized per-plan statics
+/// from `cache`. Element-wise identical to [`snapshot`] (property-tested).
+pub fn snapshot_cached(
+    cfg: &FeatureConfig,
+    ctx: &SchedContext<'_>,
+    cache: &mut SnapshotCache,
+) -> SystemSnapshot {
+    let queries = ctx
+        .queries
+        .iter()
+        .map(|q| {
+            let statics = cache.statics_for(cfg, q);
+            query_snapshot_with(cfg, ctx, q, statics)
         })
         .collect();
     SystemSnapshot {
@@ -352,13 +519,59 @@ mod tests {
         let snap = snapshot(&cfg, &ctx);
         assert_eq!(snap.queries.len(), 1);
         let qs = &snap.queries[0];
-        assert_eq!(qs.opf.len(), 2);
-        assert_eq!(qs.edf.len(), 1);
+        assert_eq!(qs.num_ops(), 2);
+        assert_eq!(qs.edf().len(), 1);
         assert_eq!(qs.qf.len(), cfg.qf_dim());
         assert_eq!(qs.schedulable, vec![0]); // only the scan is schedulable
         assert_eq!(qs.max_degree, vec![2]);
         assert_eq!(snap.candidates(), vec![(0, 0)]);
         // QF: q-fth = 3/8.
         assert!((qs.qf[1] - 3.0 / 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn split_opf_matches_monolithic_extraction() {
+        let cfg = FeatureConfig::default();
+        let q = demo_query();
+        let statics = plan_statics(&cfg, &q.plan);
+        for op in 0..q.plan.num_ops() {
+            let mut assembled = statics.opf_static[op].clone();
+            assembled.extend(op_dynamic_features(&q, op));
+            assert_eq!(assembled, op_features(&cfg, &q, op));
+        }
+    }
+
+    #[test]
+    fn cached_snapshot_matches_fresh_and_counts_hits() {
+        let cfg = FeatureConfig::default();
+        let queries = vec![demo_query()];
+        let free = [0usize, 1];
+        let ctx = SchedContext {
+            time: 0.5,
+            total_threads: 8,
+            free_threads: 2,
+            free_thread_ids: &free,
+            queries: &queries,
+        };
+        let mut cache = SnapshotCache::new();
+        let fresh = snapshot(&cfg, &ctx);
+        let cached1 = snapshot_cached(&cfg, &ctx, &mut cache);
+        let cached2 = snapshot_cached(&cfg, &ctx, &mut cache);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        for (a, b) in fresh.queries.iter().zip(&cached2.queries) {
+            for op in 0..a.num_ops() {
+                assert_eq!(a.opf(op), b.opf(op));
+            }
+            assert_eq!(a.edf(), b.edf());
+            assert_eq!(a.qf, b.qf);
+            assert_eq!(a.schedulable, b.schedulable);
+            assert_eq!(a.max_degree, b.max_degree);
+        }
+        assert_eq!(cached1.queries[0].statics.npb_chain, fresh.queries[0].statics.npb_chain);
+        // Eviction forces a recompute on the next lookup.
+        cache.evict(QueryId(0));
+        let _ = snapshot_cached(&cfg, &ctx, &mut cache);
+        assert_eq!(cache.misses(), 2);
     }
 }

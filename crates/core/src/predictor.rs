@@ -160,9 +160,9 @@ impl SchedulingPredictor {
     /// pipeline head, Figure 7).
     fn edf_agg(g: &mut Graph, qs: &crate::features::QuerySnapshot, op: usize) -> NodeId {
         let incident: Vec<&Vec<f32>> = qs
-            .edge_endpoints
+            .edge_endpoints()
             .iter()
-            .zip(&qs.edf)
+            .zip(qs.edf())
             .filter(|((c, p), _)| *c == op || *p == op)
             .map(|(_, f)| f)
             .collect();
@@ -237,7 +237,7 @@ impl SchedulingPredictor {
         let mut logprob_terms: Vec<NodeId> = Vec::new();
 
         // Precompute per-candidate head inputs (reused across picks).
-        let edge_dim = if snap.queries.iter().all(|q| q.edf.is_empty()) {
+        let edge_dim = if snap.queries.iter().all(|q| q.edf().is_empty()) {
             // Degenerate single-op plans: derive from encoder width.
             enc.queries
                 .first()
@@ -256,7 +256,7 @@ impl SchedulingPredictor {
                 let qs = &snap.queries[qi];
                 let qe = &enc.queries[qi];
                 let op = qs.schedulable[si];
-                let ee = Self::edge_agg(g, qe, &qs.edge_endpoints, op, edge_dim);
+                let ee = Self::edge_agg(g, qe, qs.edge_endpoints(), op, edge_dim);
                 let root_in = g.concat(&[qe.node_emb[op], ee, qe.pqe]);
                 let edf = Self::edf_agg(g, qs, op);
                 let pipe_in = g.concat(&[qe.node_emb[op], ee, qe.pqe, edf]);

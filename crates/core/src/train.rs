@@ -3,9 +3,12 @@
 //! average+tail objective, and the policy gradient is accumulated by
 //! replaying recorded decisions with their advantages.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use lsched_engine::sim::{simulate, SimConfig};
 use lsched_nn::Adam;
@@ -40,6 +43,12 @@ pub struct TrainConfig {
     /// Exploration rollouts per sampled workload (the input-dependent
     /// baseline averages across them; 2 is Decima's setting).
     pub rollouts_per_episode: usize,
+    /// Worker threads for collecting exploration rollouts (0 = all
+    /// available cores). Rollouts are embarrassingly parallel against a
+    /// frozen parameter snapshot and every rollout's RNG is seeded only
+    /// by `(seed, episode, rollout index)`, so any thread count produces
+    /// bit-identical training to a sequential run.
+    pub rollout_threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -54,8 +63,28 @@ impl Default for TrainConfig {
             baseline_momentum: 0.9,
             seed: 0,
             rollouts_per_episode: 2,
+            rollout_threads: 0,
         }
     }
+}
+
+/// The deterministic per-rollout simulator seed: a pure function of the
+/// training seed, the episode index and the rollout index (the paper's
+/// `seed ⊕ episode ⊕ rollout` requirement). Because no shared RNG state
+/// is consumed per rollout, parallel and sequential collection produce
+/// identical streams.
+pub fn rollout_seed(seed: u64, episode: usize, rollout: usize) -> u64 {
+    seed.wrapping_add(episode as u64 * 7919 + rollout as u64 * 131)
+}
+
+/// Everything one exploration rollout produces, collected in rollout
+/// order so downstream gradient accumulation is order-stable.
+struct RolloutOutcome {
+    steps: Vec<EpisodeStep>,
+    returns: Vec<f64>,
+    avg_duration: f64,
+    p90_duration: f64,
+    fallbacks: u64,
 }
 
 /// Per-episode training statistics.
@@ -213,27 +242,55 @@ pub fn train(
     let mut opt = Adam::new(cfg.lr);
     let mut stats = TrainStats::default();
     let rollouts = cfg.rollouts_per_episode.max(1);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(cfg.rollout_threads)
+        .build()
+        .expect("rollout thread pool");
 
     for ep in 0..cfg.episodes {
         let workload = sampler.sample(&mut rng);
+
+        // Freeze the parameters for the episode and fan the exploration
+        // rollouts out across the pool. Each rollout owns its scheduler
+        // (RNG, step recording, encoding cache); only the parameter
+        // snapshot is shared. Collection preserves rollout order and all
+        // floating-point accumulation below stays sequential, so the
+        // result is bit-identical at any thread count.
+        let shared = Arc::new(model);
+        let outcomes: Vec<RolloutOutcome> = pool.install(|| {
+            (0..rollouts)
+                .into_par_iter()
+                .map(|r| {
+                    let mut sim_cfg = cfg.sim.clone();
+                    sim_cfg.seed = rollout_seed(cfg.seed, ep, r);
+                    let mut sched =
+                        LSchedScheduler::sampling_shared(Arc::clone(&shared), sim_cfg.seed ^ 0x5eed);
+                    let res = simulate(sim_cfg, &workload, &mut sched);
+                    let steps = sched.into_steps();
+                    let returns = rollout_returns(&cfg.reward, &steps, res.makespan);
+                    RolloutOutcome {
+                        steps,
+                        returns,
+                        avg_duration: res.avg_duration(),
+                        p90_duration: res.quantile_duration(0.9),
+                        fallbacks: res.fallback_decisions,
+                    }
+                })
+                .collect()
+        });
+        model = Arc::try_unwrap(shared).expect("rollout workers release the model snapshot");
 
         let mut all_steps: Vec<Vec<EpisodeStep>> = Vec::with_capacity(rollouts);
         let mut all_returns: Vec<Vec<f64>> = Vec::with_capacity(rollouts);
         let mut avg_dur = 0.0;
         let mut p90_dur = 0.0;
         let mut fallbacks = 0;
-        for r in 0..rollouts {
-            let mut sim_cfg = cfg.sim.clone();
-            sim_cfg.seed = cfg.seed.wrapping_add(ep as u64 * 7919 + r as u64 * 131);
-            let mut sched = LSchedScheduler::sampling(model, sim_cfg.seed ^ 0x5eed);
-            let res = simulate(sim_cfg, &workload, &mut sched);
-            let (m, steps) = sched.finish();
-            model = m;
-            all_returns.push(rollout_returns(&cfg.reward, &steps, res.makespan));
-            all_steps.push(steps);
-            avg_dur += res.avg_duration() / rollouts as f64;
-            p90_dur += res.quantile_duration(0.9) / rollouts as f64;
-            fallbacks += res.fallback_decisions;
+        for o in outcomes {
+            all_returns.push(o.returns);
+            all_steps.push(o.steps);
+            avg_dur += o.avg_duration / rollouts as f64;
+            p90_dur += o.p90_duration / rollouts as f64;
+            fallbacks += o.fallbacks;
         }
 
         // Time-aligned return curves per rollout.
@@ -421,6 +478,47 @@ mod tests {
             r1.avg_duration(),
             r0.avg_duration()
         );
+    }
+
+    #[test]
+    fn training_is_bit_identical_across_rollout_thread_counts() {
+        // The tentpole invariant: rollout RNGs are seeded purely by
+        // (seed, episode, rollout index) and gradient accumulation is
+        // sequential in rollout order, so the thread count can only
+        // change wall-clock time — never a single parameter bit.
+        let run = |threads: usize| {
+            let cfg = TrainConfig {
+                episodes: 2,
+                rollouts_per_episode: 4,
+                rollout_threads: threads,
+                sim: SimConfig { num_threads: 6, ..Default::default() },
+                seed: 17,
+                ..Default::default()
+            };
+            let mut exp = ExperienceManager::new(8);
+            let (model, stats) = train(tiny_model(17), &tiny_sampler(), &cfg, &mut exp);
+            (model.params_json(), format!("{stats:?}"))
+        };
+        let (p1, s1) = run(1);
+        let (p2, s2) = run(2);
+        let (p8, s8) = run(8);
+        assert_eq!(p1, p2, "params must not depend on thread count");
+        assert_eq!(p1, p8, "params must not depend on thread count");
+        assert_eq!(s1, s2, "episode stats must not depend on thread count");
+        assert_eq!(s1, s8, "episode stats must not depend on thread count");
+    }
+
+    #[test]
+    fn rollout_seed_is_a_pure_function() {
+        assert_eq!(rollout_seed(17, 3, 1), rollout_seed(17, 3, 1));
+        // Distinct rollouts of an episode (and the same rollout of
+        // adjacent episodes) get distinct simulator streams.
+        let seeds: Vec<u64> =
+            (0..4).flat_map(|ep| (0..4).map(move |r| rollout_seed(9, ep, r))).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "rollout seeds must not collide");
     }
 
     #[test]

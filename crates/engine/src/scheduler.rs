@@ -299,7 +299,12 @@ pub fn validate_decision(ctx: &SchedContext<'_>, d: &SchedDecision) -> Result<()
 /// executor invokes [`Scheduler::on_event`] at every scheduling event and
 /// executes the returned decisions in order (clamping thread grants to
 /// availability and ignoring decisions that fail validation).
-pub trait Scheduler {
+///
+/// `Send` is a supertrait so schedulers can be handed to rollout worker
+/// threads (parallel training) and roster entries can be evaluated
+/// concurrently; policies are self-contained state machines, so this
+/// costs implementors nothing.
+pub trait Scheduler: Send {
     /// Human-readable policy name (used in benchmark output).
     fn name(&self) -> String;
 

@@ -216,7 +216,10 @@ impl PartialOrd for HeapItem {
 #[derive(Debug)]
 struct PipelineRun {
     query: QueryId,
-    chain: Vec<OpId>,
+    /// Shared with `dispatch_thread`, which runs once per work order —
+    /// an `Arc` slice so handing the chain out is a refcount bump, not
+    /// a per-work-order `Vec` allocation.
+    chain: Arc<[OpId]>,
     threads: Vec<usize>,
     stalled: Vec<usize>,
     buffer_mem: f64,
@@ -467,7 +470,7 @@ impl Simulator {
     fn dispatch_thread(&mut self, pid: usize, thread: usize) {
         let (qid, chain) = {
             let p = self.pipelines[pid].as_ref().expect("pipeline alive");
-            (p.query, p.chain.clone())
+            (p.query, Arc::clone(&p.chain))
         };
         let qidx = match self.query_index(qid) {
             Some(i) => i,
@@ -490,8 +493,14 @@ impl Simulator {
 
         match picked {
             Some((op, is_pipelined_consumer)) => {
-                let plan_op = self.queries[qidx].plan.op(op).clone();
-                let mut base = plan_op.est_wo_duration;
+                // Only two scalar estimates are needed; copying them out
+                // avoids cloning the whole operator (specs, column lists)
+                // once per dispatched work order.
+                let (est_wo_duration, est_wo_memory) = {
+                    let plan_op = self.queries[qidx].plan.op(op);
+                    (plan_op.est_wo_duration, plan_op.est_wo_memory)
+                };
+                let mut base = est_wo_duration;
                 if is_pipelined_consumer {
                     base *= self.cfg.cost.pipeline_speedup;
                 }
@@ -500,7 +509,7 @@ impl Simulator {
                 }
                 base *= self.cfg.cost.thrash_multiplier(self.in_flight_mem);
                 let duration = self.cfg.cost.sample_duration(&mut self.rng, base).max(1e-9);
-                let memory = plan_op.est_wo_memory;
+                let memory = est_wo_memory;
                 self.in_flight_mem += memory;
                 self.queries[qidx].ops[op.0].dispatched_work_orders += 1;
                 if let Some(slot) = self.queries[qidx].executed_on.get_mut(thread) {
@@ -608,7 +617,7 @@ impl Simulator {
         let pid = self.pipelines.len();
         self.pipelines.push(Some(PipelineRun {
             query: d.query,
-            chain,
+            chain: chain.into(),
             threads: threads.clone(),
             stalled: Vec::new(),
             buffer_mem,

@@ -74,6 +74,16 @@ impl Graph {
         self.nodes.len()
     }
 
+    /// Clears the tape for reuse while keeping its allocated capacity.
+    ///
+    /// Per-event inference builds a fresh tape at every scheduling
+    /// decision; resetting an arena instead of allocating a new `Graph`
+    /// lets the node buffer's capacity amortize across events. All
+    /// previously issued [`NodeId`]s are invalidated.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+    }
+
     /// Whether the graph is empty.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
@@ -589,5 +599,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn reset_clears_tape_and_reuses_allocation() {
+        let mut g = Graph::new();
+        for _ in 0..64 {
+            let a = g.input_vec(vec![1.0, 2.0]);
+            let b = g.input_vec(vec![3.0, 4.0]);
+            let _ = g.add(a, b);
+        }
+        assert_eq!(g.len(), 192);
+        g.reset();
+        assert!(g.is_empty());
+        // The tape works identically after a reset, and NodeIds restart.
+        let a = g.input_vec(vec![1.0, 2.0]);
+        let b = g.input_vec(vec![3.0, 4.0]);
+        let s = g.add(a, b);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.value(s).data(), &[4.0, 6.0]);
     }
 }

@@ -1,0 +1,32 @@
+//! Offline, API-compatible subset of `crossbeam`.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by the
+//! workspace (the work-order executor), and `std::sync::mpsc` provides the
+//! same semantics for that usage (MPSC, `send`/`recv`/`recv_timeout`), so
+//! the shim simply re-exports it.
+
+/// Multi-producer channels backed by `std::sync::mpsc`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Supports the patterns the workspace's property tests use: the
+//! `proptest! { #![proptest_config(..)] #[test] fn name(x in strategy, ..) {..} }`
+//! macro, range strategies over ints and floats, `prop::collection::vec`,
+//! `any::<T>()`, tuple strategies, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream: inputs are drawn from a deterministic
+//! per-test RNG (seeded from the test name), there is no shrinking — a
+//! failing case reports its case index and the assertion message — and
+//! there is no persistence of failing seeds.
+
+use rand::{Rng as _, RngCore, SeedableRng, StdRng};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Runtime configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// A source of random test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Debug;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_range_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// A strategy always yielding clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy combinators namespace (`prop::collection::vec`, ...).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy};
+        use rand::{Rng as _, StdRng};
+        use std::fmt::Debug;
+
+        /// Strategy for `Vec`s whose length is drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Builds a strategy producing vectors of `element` values with a
+        /// length in `size` (a `usize`, `Range<usize>`, or inclusive range).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let len = if self.size.min >= self.size.max_excl {
+                    self.size.min
+                } else {
+                    rng.gen_range(self.size.min..self.size.max_excl)
+                };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Length specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub(crate) min: usize,
+    pub(crate) max_excl: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max_excl: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange { min: r.start, max_excl: r.end }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max_excl: r.end().saturating_add(1) }
+    }
+}
+
+/// Drives the sampled cases for one `proptest!` test body. Used by the
+/// generated code; not part of the public API surface being mimicked.
+pub fn run_cases<F>(cases: u32, test_name: &str, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), String>,
+{
+    // Deterministic per-test seed so failures are reproducible run-to-run.
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for case in 0..cases {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(u64::from(case)));
+        if let Err(msg) = body(&mut rng) {
+            panic!("proptest case {case}/{cases} for `{test_name}` failed: {msg}");
+        }
+    }
+}
+
+/// Defines property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pname:pat in $pstrat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(cfg.cases, stringify!($name), |prop_rng| {
+                $(let $pname = $crate::Strategy::sample(&($pstrat), prop_rng);)+
+                let body_result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                body_result
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the enclosing property case if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the enclosing property case if the operands are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {:?} != {:?} ({} != {})",
+                    l, r, stringify!($left), stringify!($right)),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(
+                format!("{}: {:?} != {:?}", format!($($fmt)+), l, r),
+            );
+        }
+    }};
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Ranges honor their bounds; vec lengths honor SizeRange.
+        #[test]
+        fn sampled_values_in_bounds(
+            x in -5i64..7,
+            f in 0.25f64..0.75,
+            v in prop::collection::vec(0u8..4, 2..9),
+            fixed in prop::collection::vec(-1.0f32..1.0, 3),
+            pair in (0usize..10, -1.0f32..0.0),
+        ) {
+            prop_assert!((-5..7).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!(v.len() >= 2 && v.len() < 9, "len {} out of range", v.len());
+            prop_assert_eq!(fixed.len(), 3);
+            prop_assert!(v.iter().all(|&b| b < 4));
+            prop_assert!(pair.0 < 10 && pair.1 < 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_case_info() {
+        crate::run_cases(4, "demo", |rng| {
+            let v: u64 = rand::Rng::gen(rng);
+            if v != 0 {
+                Err("value was nonzero".into())
+            } else {
+                Ok(())
+            }
+        });
+    }
+}

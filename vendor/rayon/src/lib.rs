@@ -1,0 +1,242 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! Provides `into_par_iter().map(..).collect()` over ranges, vectors and
+//! slices, plus `ThreadPoolBuilder`/`ThreadPool::install` for bounding the
+//! worker count. Execution is eager fork-join: the input is split into one
+//! contiguous chunk per worker, each chunk is mapped on a scoped OS thread,
+//! and the per-chunk outputs are concatenated **in input order**, so
+//! `collect::<Vec<_>>()` always observes the sequential ordering — the
+//! property the training loop's bit-for-bit determinism rests on (real
+//! rayon's indexed collect guarantees the same).
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Number of worker threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(default_threads)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] with a fixed worker count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (machine-sized) worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` means one worker per available core.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { default_threads() } else { self.num_threads };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A scoped worker-count context. Threads are spawned per operation (the
+/// shim has no persistent workers); the pool only pins how many.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's worker count governing any parallel
+    /// iterators invoked inside it on the current thread.
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Parallel iterator machinery.
+pub mod iter {
+    use super::current_num_threads;
+
+    /// An eagerly evaluated "parallel iterator" over an owned item list.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    /// Conversion into a [`ParIter`], mirroring rayon's entry point.
+    pub trait IntoParallelIterator {
+        /// Element type produced by the iterator.
+        type Item: Send;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter { items: self.collect() }
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<T> ParIter<T> {
+        /// Lazily attaches a map stage; execution happens in `collect`.
+        pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+        where
+            F: Fn(T) -> R + Sync,
+            R: Send,
+        {
+            ParMap { items: self.items, f }
+        }
+    }
+
+    /// A mapped parallel iterator awaiting collection.
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T: Send, F> ParMap<T, F> {
+        /// Executes the map across the installed worker count and collects
+        /// the results **in input order**.
+        pub fn collect<R, C>(self) -> C
+        where
+            F: Fn(T) -> R + Sync,
+            R: Send,
+            C: FromIterator<R>,
+        {
+            run_ordered(self.items, &self.f).into_iter().collect()
+        }
+    }
+
+    /// Maps `items` with `f` on up to `current_num_threads()` scoped
+    /// threads, preserving input order in the output.
+    pub(crate) fn run_ordered<T: Send, R: Send>(
+        items: Vec<T>,
+        f: &(impl Fn(T) -> R + Sync),
+    ) -> Vec<R> {
+        let threads = current_num_threads().max(1);
+        if threads == 1 || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let n = items.len();
+        let workers = threads.min(n);
+        let chunk = n.div_ceil(workers);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut items = items;
+        // Split back-to-front so each split_off is O(chunk).
+        let mut boundaries: Vec<usize> = (1..workers).map(|w| w * chunk).rev().collect();
+        let mut tail = Vec::new();
+        for b in boundaries.drain(..) {
+            if b < items.len() {
+                tail.push(items.split_off(b));
+            }
+        }
+        chunks.push(items);
+        chunks.extend(tail.into_iter().rev());
+
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("rayon shim worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_bounds_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let out: Vec<u64> = vec![1u64, 2, 3, 4, 5].into_par_iter().map(|v| v * v).collect();
+            assert_eq!(out, vec![1, 4, 9, 16, 25]);
+        });
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn nested_install_restores_previous() {
+        let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            inner.install(|| assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_side_effect_free_maps() {
+        let pool1 = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool8 = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let work = |i: usize| -> f64 { (i as f64).sqrt().sin() };
+        let seq: Vec<f64> = pool1.install(|| (0..512usize).into_par_iter().map(work).collect());
+        let par: Vec<f64> = pool8.install(|| (0..512usize).into_par_iter().map(work).collect());
+        assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,317 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The workspace only ever round-trips a few plain-old-data structs through
+//! JSON (`ParamStore` checkpoints, experience buffers, figure reports), so
+//! instead of the full serde data model this shim defines a small
+//! [`Value`] tree plus [`Serialize`]/[`Deserialize`] traits that convert to
+//! and from it. The companion `serde_derive` proc-macro generates those
+//! impls for `#[derive(Serialize, Deserialize)]`, and `serde_json` renders
+//! [`Value`] to/from JSON text.
+//!
+//! Determinism note: `HashMap` fields are serialized with their keys
+//! sorted, so identical data always produces byte-identical JSON.
+
+use std::collections::{HashMap, VecDeque};
+
+// Re-export the derive macros under the same names as the traits, exactly
+// like the real crate does with its `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically typed tree standing in for serde's data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (also used for negative JSON numbers).
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map (object); order is the serialization order.
+    Map(Vec<(String, Value)>),
+}
+
+/// Error produced when a [`Value`] cannot be interpreted as the requested type.
+pub type DeError = String;
+
+/// Conversion into the shim data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the shim data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Value {
+    /// Looks up `key` in a map value, for derived struct deserializers.
+    pub fn get_field(&self, key: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{key}`")),
+            other => Err(format!("expected object with field `{key}`, got {other:?}")),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, DeError> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    fn as_i128(&self) -> Result<i128, DeError> {
+        match self {
+            Value::Int(i) => Ok(*i as i128),
+            Value::UInt(u) => Ok(*u as i128),
+            Value::Float(f) if f.fract() == 0.0 => Ok(*f as i128),
+            other => Err(format!("expected integer, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_i128()?;
+                <$t>::try_from(raw).map_err(|_| {
+                    format!("integer {raw} out of range for {}", stringify!($t))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_i128()?;
+                <$t>::try_from(raw).map_err(|_| {
+                    format!("integer {raw} out of range for {}", stringify!($t))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // f32 -> f64 is exact, so the round-trip back through `as f32`
+        // recovers the original bits (for finite values).
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(format!("expected 2-tuple, got {other:?}")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys: HashMap iteration order is nondeterministic per
+        // process, and checkpoints must be byte-stable.
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashmap_serialization_is_sorted() {
+        let mut m: HashMap<String, u32> = HashMap::new();
+        m.insert("zeta".into(), 1);
+        m.insert("alpha".into(), 2);
+        m.insert("mid".into(), 3);
+        match m.to_value() {
+            Value::Map(entries) => {
+                let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, ["alpha", "mid", "zeta"]);
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_round_trips() {
+        let x = 0.1f32;
+        let v = x.to_value();
+        assert_eq!(f32::from_value(&v).unwrap(), x);
+        let n = -42i64;
+        assert_eq!(i64::from_value(&n.to_value()).unwrap(), n);
+        let u = u64::MAX;
+        assert_eq!(u64::from_value(&u.to_value()).unwrap(), u);
+    }
+}

@@ -1,0 +1,216 @@
+//! Offline derive macros for the workspace `serde` shim.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! three shapes the workspace actually uses, without `syn`/`quote`:
+//!
+//! * structs with named fields  -> JSON object keyed by field name,
+//! * one-field tuple structs    -> transparent newtype (inner value),
+//! * enums with unit variants   -> variant name as a JSON string.
+//!
+//! The input token stream is walked directly with `proc_macro::TokenTree`;
+//! generics and serde attributes are unsupported (and unused here).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct with named fields.
+    Named { name: String, fields: Vec<String> },
+    /// Tuple struct with exactly one field.
+    Newtype { name: String },
+    /// Enum whose variants all carry no data.
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Splits the top-level tokens of a brace group on commas, returning the
+/// first identifier of each non-empty chunk after stripping attributes and
+/// visibility modifiers. Works for both named fields and unit variants.
+fn leading_idents(group: TokenStream) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut expect_new = true;
+    // Angle brackets are plain puncts, not groups, so commas inside
+    // `HashMap<String, ParamId>` would otherwise look like separators.
+    let mut angle_depth = 0i32;
+    let mut tokens = group.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => expect_new = true,
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute (incl. doc comments): skip the bracket group.
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    tokens.next();
+                }
+            }
+            TokenTree::Ident(id) if expect_new => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Possible `pub(crate)`; the paren group is consumed on
+                    // the next iteration if present.
+                    if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        tokens.next();
+                    }
+                    continue;
+                }
+                out.push(s);
+                expect_new = false;
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    tokens.next();
+                }
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match (s.as_str(), &kind, &name) {
+                    ("pub", _, _) => {
+                        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                        {
+                            tokens.next();
+                        }
+                    }
+                    ("struct" | "enum", None, _) => kind = Some(s),
+                    (_, Some(_), None) => {
+                        name = Some(s);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.expect("derive input must be a struct or enum");
+    let name = name.expect("derive input must have a name");
+    match tokens.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("shim serde_derive does not support generic types ({name})")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let idents = leading_idents(g.stream());
+            if kind == "enum" {
+                Shape::UnitEnum { name, variants: idents }
+            } else {
+                Shape::Named { name, fields: idents }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            assert_eq!(kind, "struct", "unexpected paren group on enum {name}");
+            Shape::Newtype { name }
+        }
+        other => panic!("unsupported derive input for {name}: {other:?}"),
+    }
+}
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Named { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(::std::string::String::from(match self {{ {} }}))\n\
+                     }}\n\
+                 }}",
+                arms.join(" ")
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Named { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.get_field(\"{f}\")?)?,")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(" ")
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => ::std::result::Result::Err(format!(\"unknown variant {{other}} for {name}\")),\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(format!(\"expected string for {name}, got {{other:?}}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(" ")
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}
