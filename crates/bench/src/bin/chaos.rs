@@ -1,0 +1,260 @@
+//! Chaos sweep: runs the standard fault matrix over many seeds and
+//! asserts the robustness acceptance criteria — zero panics, zero
+//! simulation errors, query conservation, bounded makespan inflation —
+//! then measures the fault-free overhead of [`GuardedScheduler`].
+//!
+//! ```text
+//! chaos [--seeds N] [--queries N] [--threads N] [--out PATH]
+//! ```
+//!
+//! Writes a JSON report (default `BENCH_pr2.json`) and exits non-zero if
+//! any criterion fails.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::time::Instant;
+
+use serde::Serialize;
+
+use lsched_engine::fault::FaultPlan;
+use lsched_engine::scheduler::Scheduler;
+use lsched_engine::sim::{try_simulate, SimConfig};
+use lsched_sched::{FairScheduler, GuardedScheduler, QuickstepScheduler, SjfScheduler};
+use lsched_workloads::tpch;
+use lsched_workloads::workload::{gen_workload, ArrivalPattern};
+
+/// Maximum tolerated makespan inflation under the standard fault matrix
+/// (up to half the pool lost plus retries and stragglers: generous, but
+/// unbounded growth means reclaim logic is broken).
+const MAX_INFLATION: f64 = 4.0;
+/// Maximum tolerated guard overhead on fault-free runs.
+const MAX_GUARD_OVERHEAD_PCT: f64 = 5.0;
+
+#[derive(Debug, Serialize)]
+struct SeedRun {
+    seed: u64,
+    policy: String,
+    baseline_makespan: f64,
+    faulted_makespan: f64,
+    inflation: f64,
+    completed: usize,
+    aborted: usize,
+    workers_lost: u64,
+    workers_joined: u64,
+    wo_retries: u64,
+    wo_lost_with_worker: u64,
+    queries_cancelled: u64,
+    queries_failed: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct GuardOverhead {
+    policy: String,
+    reps: usize,
+    bare_median_s: f64,
+    guarded_median_s: f64,
+    overhead_pct: f64,
+    bit_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    pr: u32,
+    title: String,
+    seeds: usize,
+    queries: usize,
+    threads: usize,
+    panics: usize,
+    sim_errors: usize,
+    conservation_violations: usize,
+    max_inflation_seen: f64,
+    max_inflation_allowed: f64,
+    runs: Vec<SeedRun>,
+    guard_overhead: Vec<GuardOverhead>,
+    passed: bool,
+}
+
+fn policies() -> Vec<(&'static str, Box<dyn Scheduler>)> {
+    vec![
+        ("quickstep", Box::new(QuickstepScheduler)),
+        ("fair", Box::new(FairScheduler::default())),
+        ("sjf", Box::new(SjfScheduler)),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let grab = |flag: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let seeds = grab("--seeds", 16);
+    let queries = grab("--queries", 30) as usize;
+    let threads = grab("--threads", 12) as usize;
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr2.json".into());
+
+    let pool = tpch::plan_pool(&[0.3]);
+    let mut runs = Vec::new();
+    let mut panics = 0usize;
+    let mut sim_errors = 0usize;
+    let mut conservation_violations = 0usize;
+    let mut max_inflation = 0.0f64;
+
+    println!("chaos sweep: {seeds} seeds x {} policies, {queries} queries, {threads} threads", policies().len());
+    for seed in 0..seeds {
+        let wl = gen_workload(&pool, queries, ArrivalPattern::Streaming { lambda: 60.0 }, seed);
+        for (name, mut policy) in policies() {
+            let base_cfg = SimConfig { num_threads: threads, seed, ..Default::default() };
+            let baseline = try_simulate(base_cfg.clone(), &wl, policy.as_mut())
+                .expect("fault-free baseline cannot error");
+            policy.reset();
+
+            let faults = FaultPlan::standard_matrix(seed, threads, queries, baseline.makespan);
+            let cfg = SimConfig { faults: Some(faults), ..base_cfg };
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                try_simulate(cfg, &wl, policy.as_mut())
+            }));
+            let res = match outcome {
+                Err(_) => {
+                    panics += 1;
+                    eprintln!("PANIC: seed {seed} policy {name}");
+                    continue;
+                }
+                Ok(Err(e)) => {
+                    sim_errors += 1;
+                    eprintln!("SIM ERROR: seed {seed} policy {name}: {e}");
+                    continue;
+                }
+                Ok(Ok(res)) => res,
+            };
+            if res.outcomes.len() + res.aborted.len() != queries {
+                conservation_violations += 1;
+                eprintln!(
+                    "CONSERVATION: seed {seed} policy {name}: {} completed + {} aborted != {queries}",
+                    res.outcomes.len(),
+                    res.aborted.len()
+                );
+            }
+            let inflation = res.makespan / baseline.makespan.max(1e-12);
+            max_inflation = max_inflation.max(inflation);
+            runs.push(SeedRun {
+                seed,
+                policy: name.into(),
+                baseline_makespan: baseline.makespan,
+                faulted_makespan: res.makespan,
+                inflation,
+                completed: res.outcomes.len(),
+                aborted: res.aborted.len(),
+                workers_lost: res.fault_summary.workers_lost,
+                workers_joined: res.fault_summary.workers_joined,
+                wo_retries: res.fault_summary.wo_retries,
+                wo_lost_with_worker: res.fault_summary.wo_lost_with_worker,
+                queries_cancelled: res.fault_summary.queries_cancelled,
+                queries_failed: res.fault_summary.queries_failed,
+            });
+        }
+    }
+
+    // Guard overhead on fault-free runs: identical decisions, so the
+    // entire delta is the breaker's bookkeeping.
+    let reps = 200usize;
+    let wl = gen_workload(&pool, queries, ArrivalPattern::Streaming { lambda: 60.0 }, 42);
+    let cfg = SimConfig { num_threads: threads, seed: 42, ..Default::default() };
+    let mut guard_overhead = Vec::new();
+    for (name, _) in policies() {
+        let fresh = |guarded: bool| -> Box<dyn Scheduler> {
+            let inner: Box<dyn Scheduler> = match name {
+                "quickstep" => Box::new(QuickstepScheduler),
+                "fair" => Box::new(FairScheduler::default()),
+                _ => Box::new(SjfScheduler),
+            };
+            if guarded {
+                match name {
+                    "quickstep" => Box::new(GuardedScheduler::new(QuickstepScheduler)),
+                    "fair" => Box::new(GuardedScheduler::new(FairScheduler::default())),
+                    _ => Box::new(GuardedScheduler::new(SjfScheduler)),
+                }
+            } else {
+                inner
+            }
+        };
+        // Warm up, then interleave bare/guarded reps to cancel slow
+        // drift; compare per-rep medians so OS noise spikes drop out.
+        let _ = try_simulate(cfg.clone(), &wl, fresh(false).as_mut());
+        let _ = try_simulate(cfg.clone(), &wl, fresh(true).as_mut());
+        let mut bare_times = Vec::with_capacity(reps);
+        let mut guarded_times = Vec::with_capacity(reps);
+        let mut bare_makespan = 0u64;
+        let mut guarded_makespan = 0u64;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let r = try_simulate(cfg.clone(), &wl, fresh(false).as_mut()).unwrap();
+            bare_times.push(t.elapsed().as_secs_f64());
+            bare_makespan = r.makespan.to_bits();
+            let t = Instant::now();
+            let r = try_simulate(cfg.clone(), &wl, fresh(true).as_mut()).unwrap();
+            guarded_times.push(t.elapsed().as_secs_f64());
+            guarded_makespan = r.makespan.to_bits();
+        }
+        let median = |xs: &mut Vec<f64>| -> f64 {
+            xs.sort_by(f64::total_cmp);
+            xs[xs.len() / 2]
+        };
+        let bare_median_s = median(&mut bare_times);
+        let guarded_median_s = median(&mut guarded_times);
+        let overhead_pct = (guarded_median_s / bare_median_s - 1.0) * 100.0;
+        println!(
+            "guard overhead [{name}]: bare {bare_median_s:.6}s guarded {guarded_median_s:.6}s -> {overhead_pct:+.2}%"
+        );
+        guard_overhead.push(GuardOverhead {
+            policy: name.into(),
+            reps,
+            bare_median_s,
+            guarded_median_s,
+            overhead_pct,
+            bit_identical: bare_makespan == guarded_makespan,
+        });
+    }
+
+    let overhead_ok = guard_overhead
+        .iter()
+        .all(|g| g.overhead_pct <= MAX_GUARD_OVERHEAD_PCT && g.bit_identical);
+    let passed = panics == 0
+        && sim_errors == 0
+        && conservation_violations == 0
+        && max_inflation <= MAX_INFLATION
+        && overhead_ok;
+
+    let report = Report {
+        pr: 2,
+        title: "Fault injection + guarded scheduling robustness sweep".into(),
+        seeds: seeds as usize,
+        queries,
+        threads,
+        panics,
+        sim_errors,
+        conservation_violations,
+        max_inflation_seen: max_inflation,
+        max_inflation_allowed: MAX_INFLATION,
+        runs,
+        guard_overhead,
+        passed,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialization");
+    std::fs::write(&out, json).expect("write report");
+    println!(
+        "chaos: panics={panics} sim_errors={sim_errors} conservation_violations={conservation_violations} max_inflation={max_inflation:.2} -> {}",
+        if passed { "PASS" } else { "FAIL" }
+    );
+    println!("report written to {out}");
+    if !passed {
+        std::process::exit(1);
+    }
+}

@@ -7,7 +7,9 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use lsched_engine::scheduler::{QueryId, SchedContext, SchedDecision, SchedEvent, Scheduler};
+use lsched_engine::scheduler::{
+    PolicyHealth, QueryId, SchedContext, SchedDecision, SchedEvent, Scheduler,
+};
 use lsched_nn::{Graph, ParamStore};
 
 use crate::encoder::{EncoderConfig, QueryEncoder};
@@ -140,6 +142,10 @@ pub struct LSchedScheduler {
     cache: SnapshotCache,
     /// Reusable forward-pass tape; reset (capacity kept) per decision.
     scratch: Graph,
+    /// Whether the last forward pass produced a non-finite log-prob —
+    /// the signature of NaN logits. Polled by guarding wrappers via
+    /// [`Scheduler::health`].
+    degraded: bool,
 }
 
 impl LSchedScheduler {
@@ -152,6 +158,7 @@ impl LSchedScheduler {
             steps: Vec::new(),
             cache: SnapshotCache::new(),
             scratch: Graph::new(),
+            degraded: false,
         }
     }
 
@@ -220,8 +227,17 @@ impl Scheduler for LSchedScheduler {
             DecisionMode::Greedy => None,
         };
         self.scratch.reset();
-        let (decisions, picks, _lp) =
+        let (decisions, picks, lp) =
             self.model.decide_snapshot_in(&mut self.scratch, &snap, self.mode, rng, None);
+        // The episode log-prob sums every pick's logit: one NaN anywhere
+        // in the forward pass surfaces here. Refuse to emit decisions
+        // built on a poisoned pass and report Degraded so a guarding
+        // wrapper can fall back.
+        let lp_value = self.scratch.value(lp).data().first().copied().unwrap_or(0.0);
+        self.degraded = !lp_value.is_finite();
+        if self.degraded {
+            return Vec::new();
+        }
         if self.recording && !picks.is_empty() {
             self.steps.push(EpisodeStep {
                 snapshot: snap,
@@ -240,8 +256,22 @@ impl Scheduler for LSchedScheduler {
         self.cache.evict(query);
     }
 
+    fn on_query_cancelled(&mut self, _time: f64, query: QueryId) {
+        // Same lifecycle end as completion from the cache's perspective.
+        self.cache.evict(query);
+    }
+
+    fn health(&self) -> PolicyHealth {
+        if self.degraded {
+            PolicyHealth::Degraded
+        } else {
+            PolicyHealth::Healthy
+        }
+    }
+
     fn reset(&mut self) {
         self.steps.clear();
+        self.degraded = false;
         // Query ids restart per run, so cached statics would alias new
         // plans; the cache guards by plan pointer but a reset run should
         // start cold regardless.
@@ -278,7 +308,6 @@ mod tests {
         let mut sched = LSchedScheduler::greedy(small_model());
         let res = simulate(SimConfig { num_threads: 8, ..Default::default() }, &wl, &mut sched);
         assert_eq!(res.outcomes.len(), 6);
-        assert!(!res.timed_out);
         assert!(res.sched_decisions > 0);
     }
 
@@ -299,6 +328,27 @@ mod tests {
         for w in steps.windows(2) {
             assert!(w[0].time <= w[1].time);
         }
+    }
+
+    #[test]
+    fn nan_model_reports_degraded_and_emits_nothing() {
+        let mut model = small_model();
+        let ids: Vec<_> = model.store.iter_ids().map(|(id, _)| id).collect();
+        for id in ids {
+            for v in model.store.value_mut(id).data_mut() {
+                *v = f32::NAN;
+            }
+        }
+        let pool = tpch::plan_pool(&[0.5]);
+        let wl = gen_workload(&pool, 3, ArrivalPattern::Batch, 8);
+        let mut sched = LSchedScheduler::greedy(model);
+        // The sim's progress guard carries the run; the agent must not
+        // emit garbage decisions and must self-report Degraded.
+        let res = simulate(SimConfig { num_threads: 4, ..Default::default() }, &wl, &mut sched);
+        assert_eq!(res.outcomes.len(), 3);
+        assert_eq!(sched.health(), PolicyHealth::Degraded);
+        assert_eq!(res.sched_decisions, 0, "a poisoned model must emit no decisions");
+        assert!(res.fallback_decisions > 0);
     }
 
     #[test]

@@ -13,8 +13,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use lsched_engine::scheduler::{QueryId, SchedContext, SchedDecision, SchedEvent, Scheduler};
-use lsched_nn::Adam;
+use lsched_engine::scheduler::{
+    PolicyHealth, QueryId, SchedContext, SchedDecision, SchedEvent, Scheduler,
+};
+use lsched_nn::{Adam, ParamStore};
 
 use crate::agent::{LSchedModel, LSchedScheduler};
 use crate::experience::{ExperienceManager, ExperienceSource};
@@ -49,6 +51,44 @@ impl Default for OnlineConfig {
     }
 }
 
+/// What became of one guarded online update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// The optimizer step was applied and the parameters stayed finite.
+    Applied,
+    /// The accumulated gradients were non-finite: the step was skipped
+    /// entirely (gradients zeroed, parameters untouched).
+    SkippedNonFiniteGrads,
+    /// The step produced non-finite parameters: the pre-step checkpoint
+    /// was restored and the optimizer state reset.
+    RolledBack,
+}
+
+/// Applies `step` to the model under finite-guards: refuses non-finite
+/// gradients up front, and rolls the parameters back to a pre-step
+/// checkpoint if the step itself poisons them. Returns what happened so
+/// the caller can reset optimizer state on a rollback.
+pub(crate) fn guarded_step(
+    model: &mut LSchedModel,
+    step: impl FnOnce(&mut ParamStore),
+) -> UpdateOutcome {
+    if !model.store.grads_are_finite() {
+        model.store.zero_grads();
+        return UpdateOutcome::SkippedNonFiniteGrads;
+    }
+    let checkpoint = model.params_json();
+    step(&mut model.store);
+    if !model.store.values_are_finite() {
+        // The checkpoint was serialized from this very store moments
+        // ago, so deserialize + load cannot fail or partially match.
+        if let Ok(saved) = ParamStore::from_json(&checkpoint) {
+            model.store.load_matching(&saved);
+        }
+        return UpdateOutcome::RolledBack;
+    }
+    UpdateOutcome::Applied
+}
+
 /// A production scheduler that keeps improving from its own executed
 /// decisions.
 pub struct OnlineLSched {
@@ -58,6 +98,8 @@ pub struct OnlineLSched {
     rng: StdRng,
     completed_since_checkpoint: usize,
     corrections: usize,
+    skipped_updates: usize,
+    rollbacks: usize,
     experience: ExperienceManager,
 }
 
@@ -71,6 +113,8 @@ impl OnlineLSched {
             rng: StdRng::seed_from_u64(seed ^ 0x0411),
             completed_since_checkpoint: 0,
             corrections: 0,
+            skipped_updates: 0,
+            rollbacks: 0,
             experience: ExperienceManager::new(256),
         }
     }
@@ -78,6 +122,17 @@ impl OnlineLSched {
     /// Number of corrections applied so far.
     pub fn corrections(&self) -> usize {
         self.corrections
+    }
+
+    /// Updates skipped because the gradients were non-finite.
+    pub fn skipped_updates(&self) -> usize {
+        self.skipped_updates
+    }
+
+    /// Updates rolled back because the stepped parameters went
+    /// non-finite.
+    pub fn rollbacks(&self) -> usize {
+        self.rollbacks
     }
 
     /// The accumulated online reward experiences.
@@ -116,15 +171,26 @@ impl OnlineLSched {
             model.store.zero_grads();
             accumulate_rollout_gradients(&mut model, &steps, &advantages, &tcfg, &mut self.rng);
             model.store.clip_grad_norm(self.cfg.max_grad_norm);
-            self.opt.step(&mut model.store);
-            self.corrections += 1;
-            self.experience.record(
-                ExperienceSource::Online,
-                returns.first().copied().unwrap_or(0.0),
-                steps.len(),
-                0.0,
-                0.0,
-            );
+            let opt = &mut self.opt;
+            match guarded_step(&mut model, |store| opt.step(store)) {
+                UpdateOutcome::Applied => {
+                    self.corrections += 1;
+                    self.experience.record(
+                        ExperienceSource::Online,
+                        returns.first().copied().unwrap_or(0.0),
+                        steps.len(),
+                        0.0,
+                        0.0,
+                    );
+                }
+                UpdateOutcome::SkippedNonFiniteGrads => self.skipped_updates += 1,
+                UpdateOutcome::RolledBack => {
+                    // Poisoned optimizer moments would re-poison the next
+                    // step; restart the optimizer alongside the params.
+                    self.opt = Adam::new(self.cfg.lr);
+                    self.rollbacks += 1;
+                }
+            }
         }
         let seed: u64 = rand::Rng::gen(&mut self.rng);
         self.inner = LSchedScheduler::sampling(model, seed);
@@ -147,6 +213,17 @@ impl Scheduler for OnlineLSched {
             self.completed_since_checkpoint = 0;
             self.checkpoint(time);
         }
+    }
+
+    fn on_query_cancelled(&mut self, time: f64, query: QueryId) {
+        // A cancelled query produces no completion reward; just let the
+        // inner agent drop its cached state. It does not advance the
+        // checkpoint counter.
+        self.inner.on_query_cancelled(time, query);
+    }
+
+    fn health(&self) -> PolicyHealth {
+        self.inner.health()
     }
 
     fn reset(&mut self) {
@@ -195,6 +272,46 @@ mod tests {
         assert!(!online.experience().is_empty());
         let model = online.into_model();
         assert_ne!(model.params_json(), before, "online corrections must move parameters");
+    }
+
+    #[test]
+    fn guarded_step_skips_nonfinite_grads() {
+        let mut model = small_model();
+        let before = model.params_json();
+        let id = model.store.iter_ids().next().map(|(i, _)| i).unwrap();
+        let n = model.store.grad(id).len();
+        model.store.accumulate_grad(id, &vec![f32::NAN; n]);
+        let out = guarded_step(&mut model, |_| panic!("step must not run on poisoned grads"));
+        assert_eq!(out, UpdateOutcome::SkippedNonFiniteGrads);
+        assert_eq!(model.params_json(), before, "parameters must be untouched");
+        assert!(model.store.grads_are_finite(), "poisoned grads must be flushed");
+    }
+
+    #[test]
+    fn guarded_step_rolls_back_poisoned_params() {
+        let mut model = small_model();
+        let before = model.params_json();
+        let out = guarded_step(&mut model, |store| {
+            let id = store.iter_ids().next().map(|(i, _)| i).unwrap();
+            store.value_mut(id).data_mut()[0] = f32::NAN;
+        });
+        assert_eq!(out, UpdateOutcome::RolledBack);
+        assert!(model.store.values_are_finite());
+        assert_eq!(model.params_json(), before, "rollback must restore the checkpoint");
+    }
+
+    #[test]
+    fn guarded_step_applies_clean_updates() {
+        let mut model = small_model();
+        let before = model.params_json();
+        let id = model.store.iter_ids().next().map(|(i, _)| i).unwrap();
+        let n = model.store.grad(id).len();
+        model.store.accumulate_grad(id, &vec![0.5; n]);
+        let mut opt = Adam::new(1e-3);
+        let out = guarded_step(&mut model, |store| opt.step(store));
+        assert_eq!(out, UpdateOutcome::Applied);
+        assert!(model.store.values_are_finite());
+        assert_ne!(model.params_json(), before, "a clean step must move parameters");
     }
 
     #[test]

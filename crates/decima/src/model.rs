@@ -486,7 +486,6 @@ mod tests {
         let mut s = DecimaScheduler::greedy(small());
         let res = simulate(SimConfig { num_threads: 8, ..Default::default() }, &wl, &mut s);
         assert_eq!(res.outcomes.len(), 5);
-        assert!(!res.timed_out);
     }
 
     #[test]

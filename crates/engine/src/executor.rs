@@ -20,8 +20,9 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use crate::catalog::Catalog;
 use crate::ops::{execute_work_order, OpExecState, WorkOrderInput};
 use crate::plan::{OpId, OpSpec, PhysicalPlan};
+use crate::fault::FaultSummary;
 use crate::scheduler::{
-    validate_decision, OpStatus, QueryId, QueryRuntime, SchedContext, SchedDecision, SchedEvent,
+    clamp_decision, OpStatus, QueryId, QueryRuntime, SchedContext, SchedDecision, SchedEvent,
     Scheduler,
 };
 use crate::sim::{QueryOutcome, SimResult, WorkloadItem};
@@ -169,7 +170,8 @@ impl Executor {
             fallback_decisions: state.fallbacks,
             sched_wall_time: state.sched_wall,
             total_work_orders: state.work_orders,
-            timed_out: false,
+            aborted: Vec::new(),
+            fault_summary: FaultSummary::default(),
         }
     }
 
@@ -383,21 +385,26 @@ impl ControlState {
                 if bitmap.is_empty() {
                     WorkOrderInput::BaseBlock { idx }
                 } else {
+                    // Defensive: an out-of-range unit (counters drifted)
+                    // degrades to the raw index; the operator treats a
+                    // missing block as empty input rather than panicking.
                     let real = bitmap
                         .iter()
                         .enumerate()
                         .filter(|(_, &b)| b)
                         .map(|(i, _)| i)
                         .nth(idx)
-                        .expect("bitmap index in range");
+                        .unwrap_or(idx);
                     WorkOrderInput::BaseBlock { idx: real }
                 }
             }
             _ if Self::is_blocking_single(plan, op) => WorkOrderInput::AllInputs,
-            _ => {
-                let child = Self::streaming_child(plan, op).expect("streaming op has a child");
-                WorkOrderInput::ChildBlock { child, idx }
-            }
+            _ => match Self::streaming_child(plan, op) {
+                Some(child) => WorkOrderInput::ChildBlock { child, idx },
+                // A streaming op with no child never reports available
+                // inputs; degrade to a full-input order if it happens.
+                None => WorkOrderInput::AllInputs,
+            },
         }
     }
 
@@ -426,7 +433,9 @@ impl ControlState {
                     rt.total_work_orders = dispatched_total;
                 }
                 rt.dispatched_work_orders += 1;
-                self.queries[qi].runtime.executed_on[thread] = true;
+                if let Some(slot) = self.queries[qi].runtime.executed_on.get_mut(thread) {
+                    *slot = true;
+                }
                 let task = Task {
                     query: qid,
                     pipeline: pid,
@@ -610,7 +619,9 @@ impl ControlState {
     }
 
     fn apply_decision(&mut self, d: &SchedDecision) -> bool {
-        {
+        // Re-validate against the *current* state, re-clamping the thread
+        // grant in case the pool state changed since the event snapshot.
+        let d = {
             let free_ids = self.free_threads.clone();
             let runtimes: Vec<QueryRuntime> =
                 self.queries.iter().map(|q| q.runtime.clone()).collect();
@@ -621,16 +632,18 @@ impl ControlState {
                 free_thread_ids: &free_ids,
                 queries: &runtimes,
             };
-            if validate_decision(&ctx, d).is_err() {
-                self.rejected += 1;
-                return false;
+            match clamp_decision(&ctx, d) {
+                Ok(c) => c,
+                Err(_) => {
+                    self.rejected += 1;
+                    return false;
+                }
             }
-        }
-        if self.free_threads.is_empty() {
+        };
+        let Some(qi) = self.qidx(d.query) else {
             self.rejected += 1;
             return false;
-        }
-        let qi = self.qidx(d.query).expect("validated");
+        };
         let chain = self.effective_chain(qi, d.root, d.pipeline_degree);
         let grant = d.threads.min(self.free_threads.len()).max(1);
         let threads: Vec<usize> = self.free_threads.drain(..grant).collect();

@@ -1,0 +1,281 @@
+//! Deterministic fault injection for the simulated execution engine.
+//!
+//! Production schedulers must survive conditions the happy path never
+//! exercises: worker threads crash and rejoin, work orders fail
+//! transiently and need retrying, stragglers inflate tail latency, and
+//! users cancel queries mid-flight. A [`FaultPlan`] declares those
+//! conditions; the simulator materializes them as events and consults a
+//! [`FaultInjector`] — driven by its own seeded RNG stream, independent
+//! of the duration-noise stream — at each work-order dispatch.
+//!
+//! Determinism is preserved by construction: the injector's RNG is
+//! consumed only at deterministic points of the event order, so the same
+//! seed and the same plan produce bit-identical runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Declarative fault schedule for one simulation run.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed of the injector's private RNG stream.
+    pub seed: u64,
+    /// Worker losses as `(time, count)` — at `time`, `count` workers
+    /// leave the pool (idle workers retire immediately, busy workers
+    /// lose their in-flight work order, which is re-exposed for
+    /// dispatch). The pool never shrinks below one worker.
+    pub worker_loss: Vec<(f64, usize)>,
+    /// Worker rejoins as `(time, count)` — fresh workers join the pool.
+    pub worker_rejoin: Vec<(f64, usize)>,
+    /// Per-attempt probability that a work order fails transiently and
+    /// is retried after exponential backoff.
+    pub wo_failure_prob: f64,
+    /// Maximum retries before a work order fails permanently (which
+    /// aborts its query).
+    pub max_retries: u32,
+    /// First backoff delay (seconds); doubles per retry.
+    pub backoff_base: f64,
+    /// Cap on a single backoff delay (seconds).
+    pub backoff_cap: f64,
+    /// Fraction of the sampled duration spent before a transient
+    /// failure is detected (work lost to the failed attempt).
+    pub failure_work_fraction: f64,
+    /// Probability that a work order is a straggler.
+    pub straggler_prob: f64,
+    /// Duration multiplier applied to stragglers.
+    pub straggler_factor: f64,
+    /// Mid-flight cancellations as `(time, query arrival index)`; a
+    /// cancellation targeting an already finished (or never arrived)
+    /// query is a no-op.
+    pub cancellations: Vec<(f64, u64)>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            worker_loss: Vec::new(),
+            worker_rejoin: Vec::new(),
+            wo_failure_prob: 0.0,
+            max_retries: 4,
+            backoff_base: 0.002,
+            backoff_cap: 0.05,
+            failure_work_fraction: 0.5,
+            straggler_prob: 0.0,
+            straggler_factor: 4.0,
+            cancellations: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The standard fault matrix of the robustness acceptance criteria:
+    /// staggered loss of up to 50% of the pool (rejoining later), 5%
+    /// transient work-order failure, mild stragglers, and one
+    /// cancellation per 10 queries. Times are expressed as fractions of
+    /// `horizon`, an estimate of the fault-free makespan.
+    pub fn standard_matrix(seed: u64, pool: usize, num_queries: usize, horizon: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA57_F00D);
+        let losses = pool / 2;
+        let mut worker_loss = Vec::new();
+        let mut worker_rejoin = Vec::new();
+        for _ in 0..losses {
+            let t_loss = rng.gen_range(0.05..0.5) * horizon;
+            worker_loss.push((t_loss, 1));
+            // Most lost workers rejoin later in the run.
+            if rng.gen_range(0.0..1.0) < 0.75 {
+                worker_rejoin.push((t_loss + rng.gen_range(0.1..0.4) * horizon, 1));
+            }
+        }
+        let mut cancellations = Vec::new();
+        for i in 0..num_queries / 10 {
+            // Spread targets across the arrival order; cancel times fall
+            // inside the active window so the query is likely mid-flight.
+            let target = rng.gen_range(0..num_queries.max(1)) as u64;
+            let t = rng.gen_range(0.1..0.8) * horizon;
+            let _ = i;
+            cancellations.push((t, target));
+        }
+        Self {
+            seed,
+            worker_loss,
+            worker_rejoin,
+            wo_failure_prob: 0.05,
+            straggler_prob: 0.02,
+            cancellations,
+            ..Self::default()
+        }
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_noop(&self) -> bool {
+        self.worker_loss.is_empty()
+            && self.worker_rejoin.is_empty()
+            && self.cancellations.is_empty()
+            && self.wo_failure_prob <= 0.0
+            && self.straggler_prob <= 0.0
+    }
+}
+
+/// Outcome of perturbing one dispatched work order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WoPerturbation {
+    /// Total wall time the work order occupies its thread, including
+    /// straggler inflation, failed partial attempts and backoff waits.
+    pub elapsed: f64,
+    /// Transient failures absorbed by retries.
+    pub retries: u32,
+    /// True when retries were exhausted: the work order fails
+    /// permanently at `elapsed` instead of completing.
+    pub permanent_failure: bool,
+}
+
+/// Counters the simulator reports about an injected run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Workers removed from the pool.
+    pub workers_lost: u64,
+    /// Workers that (re)joined the pool.
+    pub workers_joined: u64,
+    /// Work orders lost with their worker (re-exposed for dispatch).
+    pub wo_lost_with_worker: u64,
+    /// Transient work-order failures absorbed by retries.
+    pub wo_retries: u64,
+    /// Work orders that exhausted their retries (each aborts a query).
+    pub wo_permanent_failures: u64,
+    /// Straggler work orders.
+    pub stragglers: u64,
+    /// Queries cancelled mid-flight.
+    pub queries_cancelled: u64,
+    /// Queries aborted by a permanently failed work order.
+    pub queries_failed: u64,
+}
+
+/// The runtime half of the fault subsystem: owns the fault RNG stream
+/// and rolls per-work-order perturbations.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed ^ 0x1A7E_C7ED);
+        Self { plan, rng }
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Rolls straggler inflation and the transient-failure/retry
+    /// sequence for one work order whose clean duration is `base`.
+    /// Consumes RNG values in a fixed order so runs stay deterministic.
+    pub fn perturb(&mut self, base: f64, summary: &mut FaultSummary) -> WoPerturbation {
+        let mut duration = base;
+        if self.plan.straggler_prob > 0.0
+            && self.rng.gen_range(0.0..1.0) < self.plan.straggler_prob
+        {
+            duration *= self.plan.straggler_factor.max(1.0);
+            summary.stragglers += 1;
+        }
+        if self.plan.wo_failure_prob <= 0.0 {
+            return WoPerturbation { elapsed: duration, retries: 0, permanent_failure: false };
+        }
+        let mut elapsed = 0.0;
+        let mut attempt: u32 = 0;
+        loop {
+            let failed = self.rng.gen_range(0.0..1.0) < self.plan.wo_failure_prob;
+            if !failed {
+                return WoPerturbation {
+                    elapsed: elapsed + duration,
+                    retries: attempt,
+                    permanent_failure: false,
+                };
+            }
+            // The failed attempt burns part of the duration, then the
+            // retry waits out a capped exponential backoff.
+            elapsed += duration * self.plan.failure_work_fraction.clamp(0.0, 1.0);
+            if attempt >= self.plan.max_retries {
+                summary.wo_permanent_failures += 1;
+                return WoPerturbation { elapsed, retries: attempt, permanent_failure: true };
+            }
+            let backoff = (self.plan.backoff_base * f64::powi(2.0, attempt as i32))
+                .min(self.plan.backoff_cap);
+            elapsed += backoff;
+            attempt += 1;
+            summary.wo_retries += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perturb_is_deterministic() {
+        let plan = FaultPlan {
+            seed: 7,
+            wo_failure_prob: 0.3,
+            straggler_prob: 0.2,
+            ..FaultPlan::default()
+        };
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        let (mut sa, mut sb) = (FaultSummary::default(), FaultSummary::default());
+        for i in 0..500 {
+            let base = 0.01 + (i as f64) * 1e-4;
+            assert_eq!(a.perturb(base, &mut sa), b.perturb(base, &mut sb));
+        }
+        assert_eq!(sa, sb);
+        assert!(sa.wo_retries > 0, "30% failure rate must produce retries");
+        assert!(sa.stragglers > 0);
+    }
+
+    #[test]
+    fn clean_plan_never_perturbs() {
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        let mut s = FaultSummary::default();
+        for _ in 0..100 {
+            let p = inj.perturb(0.02, &mut s);
+            assert_eq!(p, WoPerturbation { elapsed: 0.02, retries: 0, permanent_failure: false });
+        }
+        assert_eq!(s, FaultSummary::default());
+        assert!(FaultPlan::default().is_noop());
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let plan = FaultPlan {
+            seed: 1,
+            wo_failure_prob: 1.0, // every attempt fails -> permanent
+            max_retries: 10,
+            backoff_base: 0.01,
+            backoff_cap: 0.02,
+            failure_work_fraction: 0.0,
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan);
+        let mut s = FaultSummary::default();
+        let p = inj.perturb(1.0, &mut s);
+        assert!(p.permanent_failure);
+        assert_eq!(p.retries, 10);
+        // 10 backoffs, each capped at 0.02: first is 0.01, rest 0.02.
+        assert!((p.elapsed - (0.01 + 9.0 * 0.02)).abs() < 1e-12, "elapsed {}", p.elapsed);
+        assert_eq!(s.wo_permanent_failures, 1);
+    }
+
+    #[test]
+    fn standard_matrix_matches_spec() {
+        let m = FaultPlan::standard_matrix(3, 16, 40, 10.0);
+        assert_eq!(m.worker_loss.iter().map(|&(_, n)| n).sum::<usize>(), 8, "50% of pool");
+        assert_eq!(m.cancellations.len(), 4, "1 per 10 queries");
+        assert!((m.wo_failure_prob - 0.05).abs() < 1e-12);
+        let same = FaultPlan::standard_matrix(3, 16, 40, 10.0);
+        assert_eq!(format!("{m:?}"), format!("{same:?}"), "matrix generation is deterministic");
+    }
+}

@@ -22,6 +22,7 @@ pub mod catalog;
 pub mod cost;
 pub mod executor;
 pub mod expr;
+pub mod fault;
 pub mod ops;
 pub mod plan;
 pub mod scheduler;
@@ -35,12 +36,15 @@ pub use catalog::{Catalog, Schema, Table, TableId};
 pub use cost::CostModel;
 pub use executor::Executor;
 pub use expr::{ArithOp, CmpOp, Predicate, ScalarExpr};
+pub use fault::{FaultInjector, FaultPlan, FaultSummary, WoPerturbation};
 pub use plan::{AggFunc, OpId, OpKind, OpSpec, PhysicalPlan, PlanBuilder, PlanEdge, PlanOp};
 pub use scheduler::{
-    validate_decision, DecisionError, OpRuntime, OpStatus, QueryId, QueryRuntime, SchedContext,
-    SchedDecision, SchedEvent, Scheduler,
+    clamp_decision, validate_decision, DecisionError, OpRuntime, OpStatus, PolicyHealth, QueryId,
+    QueryRuntime, SchedContext, SchedDecision, SchedEvent, Scheduler,
 };
-pub use sim::{simulate, QueryOutcome, SimConfig, SimResult, Simulator, WorkloadItem};
+pub use sim::{
+    simulate, try_simulate, QueryOutcome, SimConfig, SimError, SimResult, Simulator, WorkloadItem,
+};
 pub use trace::{trace_sink, ExecutionTrace, TraceEntry, TraceSink};
 pub use stats::{TrailingRegressor, WorkOrderStats};
 pub use value::{ColumnType, Value};

@@ -88,11 +88,15 @@ pub(super) fn execute_build(
 ) -> WorkOrderOutput {
     let block = match input {
         WorkOrderInput::ChildBlock { child, idx } => states[child.0].output_block(*idx),
-        WorkOrderInput::BaseBlock { idx } => {
-            let child = child_ops(plan, op)[0];
-            states[child.0].output_block(*idx)
-        }
-        WorkOrderInput::AllInputs => panic!("BuildHash streams one block per work order"),
+        WorkOrderInput::BaseBlock { idx } => match child_ops(plan, op).first() {
+            Some(child) => states[child.0].output_block(*idx),
+            // A build op with no child is a malformed plan; treat the
+            // work order as a no-op instead of crashing the worker.
+            None => return WorkOrderOutput { output_rows: 0, memory_bytes: 0 },
+        },
+        // BuildHash streams one block per work order; an AllInputs order
+        // carries nothing to insert.
+        WorkOrderInput::AllInputs => return WorkOrderOutput { output_rows: 0, memory_bytes: 0 },
     };
     let mut guard = states[op.0].hash_table.lock();
     let table = guard.get_or_insert_with(JoinHashTable::new);
@@ -108,13 +112,20 @@ pub(super) fn execute_probe(
     keys: &[usize],
     input: &WorkOrderInput,
 ) -> WorkOrderOutput {
-    // Children: the BuildHash op (breaking edge) and the probe input.
+    // Children: the BuildHash op (breaking edge) and the probe input. A
+    // malformed plan (missing either child) degrades to an empty output
+    // instead of crashing the worker thread.
     let children = child_ops(plan, op);
-    let build_child = *children
+    let Some(build_child) = children
         .iter()
-        .find(|&&c| matches!(plan.op(c).kind, crate::plan::OpKind::BuildHash))
-        .expect("ProbeHash requires a BuildHash child");
-    let probe_child = *children.iter().find(|&&c| c != build_child).expect("probe input child");
+        .copied()
+        .find(|&c| matches!(plan.op(c).kind, crate::plan::OpKind::BuildHash))
+    else {
+        return WorkOrderOutput { output_rows: 0, memory_bytes: 0 };
+    };
+    let Some(probe_child) = children.iter().copied().find(|&c| c != build_child) else {
+        return WorkOrderOutput { output_rows: 0, memory_bytes: 0 };
+    };
 
     let probe_block = match input {
         WorkOrderInput::ChildBlock { child, idx } => {
@@ -122,11 +133,17 @@ pub(super) fn execute_probe(
             states[child.0].output_block(*idx)
         }
         WorkOrderInput::BaseBlock { idx } => states[probe_child.0].output_block(*idx),
-        WorkOrderInput::AllInputs => panic!("ProbeHash streams one block per work order"),
+        // ProbeHash streams one block per work order; an AllInputs order
+        // carries no probe block.
+        WorkOrderInput::AllInputs => return WorkOrderOutput { output_rows: 0, memory_bytes: 0 },
     };
 
     let guard = states[build_child.0].hash_table.lock();
-    let table = guard.as_ref().expect("build side must be complete before probing");
+    let Some(table) = guard.as_ref() else {
+        // The build side never materialized (scheduling bug or an empty
+        // build input): an unbuilt table joins to zero rows.
+        return WorkOrderOutput { output_rows: 0, memory_bytes: probe_block.byte_size() as u64 };
+    };
 
     // Output schema: build columns ++ probe columns.
     let mut out: Option<Block> = None;

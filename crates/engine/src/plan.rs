@@ -292,6 +292,10 @@ pub struct PhysicalPlan {
     pub edges: Vec<PlanEdge>,
     /// The plan root (final consumer).
     pub root: OpId,
+    /// Lazily computed per-op [`Self::longest_npb_chain`] lengths. Plans
+    /// are immutable once built, and the chain length is consulted per
+    /// scheduling decision by both validation and guarding.
+    npb_chain_cache: std::sync::OnceLock<Vec<usize>>,
 }
 
 impl PhysicalPlan {
@@ -349,16 +353,25 @@ impl PhysicalPlan {
     /// non-breaking edge. This bounds the pipeline-degree decision
     /// (Section 5.3.2).
     pub fn longest_npb_chain(&self, from: OpId) -> usize {
+        self.npb_chain_cache
+            .get_or_init(|| (0..self.ops.len()).map(|i| self.compute_npb_chain(OpId(i))).collect())
+            [from.0]
+    }
+
+    fn compute_npb_chain(&self, from: OpId) -> usize {
         let mut len = 1;
         let mut cur = from;
         loop {
-            let ups: Vec<_> = self
-                .parents_of(cur)
-                .into_iter()
-                .filter(|(e, _)| e.non_pipeline_breaking)
-                .collect();
-            match ups.first() {
-                Some(&(_, parent)) if ups.len() == 1 => {
+            let mut only: Option<OpId> = None;
+            let mut count = 0;
+            for e in &self.edges {
+                if e.child == cur && e.non_pipeline_breaking {
+                    count += 1;
+                    only = Some(e.parent);
+                }
+            }
+            match only {
+                Some(parent) if count == 1 => {
                     len += 1;
                     cur = parent;
                 }
@@ -525,7 +538,13 @@ impl PlanBuilder {
     /// Panics if validation fails — plan builders are static code, so a
     /// malformed plan is a programming error.
     pub fn finish(self, root: OpId) -> PhysicalPlan {
-        let plan = PhysicalPlan { name: self.name, ops: self.ops, edges: self.edges, root };
+        let plan = PhysicalPlan {
+            name: self.name,
+            ops: self.ops,
+            edges: self.edges,
+            root,
+            npb_chain_cache: Default::default(),
+        };
         if let Err(e) = plan.validate() {
             panic!("invalid plan {:?}: {e}", plan.name);
         }
@@ -604,7 +623,13 @@ mod tests {
         let c = b.add_op(OpKind::Select, OpSpec::Synthetic, vec![], vec![], 1.0, 1, 0.1, 1.0);
         b.connect(a, c, true);
         b.connect(c, a, true);
-        let plan = PhysicalPlan { name: "cyclic".into(), ops: b.ops, edges: b.edges, root: OpId(0) };
+        let plan = PhysicalPlan {
+            name: "cyclic".into(),
+            ops: b.ops,
+            edges: b.edges,
+            root: OpId(0),
+            npb_chain_cache: Default::default(),
+        };
         assert!(plan.validate().is_err());
     }
 
@@ -618,7 +643,13 @@ mod tests {
         b.connect(c1, a, true);
         b.connect(c2, a, true);
         b.connect(c3, a, true);
-        let plan = PhysicalPlan { name: "ternary".into(), ops: b.ops, edges: b.edges, root: a };
+        let plan = PhysicalPlan {
+            name: "ternary".into(),
+            ops: b.ops,
+            edges: b.edges,
+            root: a,
+            npb_chain_cache: Default::default(),
+        };
         assert!(plan.validate().unwrap_err().contains("children"));
     }
 

@@ -223,7 +223,10 @@ impl<'a> SchedContext<'a> {
     }
 }
 
-/// The events that trigger a scheduler invocation (Section 5.2).
+/// The events that trigger a scheduler invocation (Section 5.2), plus
+/// the fault events of the robustness layer (worker churn and query
+/// cancellation are first-class scheduling triggers, as in Decima's
+/// executor-loss handling).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SchedEvent {
     /// A new query arrived.
@@ -239,6 +242,15 @@ pub enum SchedEvent {
     ThreadsFreed(usize),
     /// The worker pool was resized.
     ThreadPoolResized(usize),
+    /// A worker thread was lost (crash / preemption). Carries the lost
+    /// thread's id; the pool has already shrunk when this is delivered.
+    WorkerLost(usize),
+    /// A previously lost worker rejoined the pool (carries the new
+    /// thread id; the pool has already grown).
+    WorkerJoined(usize),
+    /// A query was cancelled mid-flight; its threads and memory are
+    /// being reclaimed.
+    QueryCancelled(QueryId),
 }
 
 /// One scheduling decision (Section 5.3): start a pipeline of
@@ -273,6 +285,9 @@ pub enum DecisionError {
     },
     /// Zero threads requested.
     ZeroThreads,
+    /// No free threads are available to grant (the pool shrank between
+    /// the snapshot the policy saw and dispatch).
+    NoFreeThreads,
 }
 
 /// Validates a decision against the current context. Executors clamp the
@@ -291,6 +306,39 @@ pub fn validate_decision(ctx: &SchedContext<'_>, d: &SchedDecision) -> Result<()
         return Err(DecisionError::ZeroThreads);
     }
     Ok(())
+}
+
+/// Validates a decision against the *current* context and clamps its
+/// thread grant to the free-thread count. The worker pool can shrink
+/// (resize, worker loss) between the event snapshot a policy saw and
+/// dispatch, so a structurally valid decision may still carry a stale
+/// over-grant; executors must apply the clamped copy, never the raw
+/// decision. Returns [`DecisionError::NoFreeThreads`] when nothing can
+/// be granted at all.
+pub fn clamp_decision(
+    ctx: &SchedContext<'_>,
+    d: &SchedDecision,
+) -> Result<SchedDecision, DecisionError> {
+    validate_decision(ctx, d)?;
+    if ctx.free_threads == 0 {
+        return Err(DecisionError::NoFreeThreads);
+    }
+    Ok(SchedDecision { threads: d.threads.min(ctx.free_threads), ..*d })
+}
+
+/// Self-reported health of a scheduling policy, polled by guarding
+/// wrappers after each `on_event` call. A learned policy reports
+/// [`PolicyHealth::Degraded`] when its last forward pass produced
+/// non-finite values (NaN logits from a poisoned update), signalling
+/// the guard to fall back to a heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyHealth {
+    /// The policy's last output was well-formed.
+    #[default]
+    Healthy,
+    /// The policy detected internal corruption; its decisions must not
+    /// be trusted.
+    Degraded,
 }
 
 /// A query-scheduling policy.
@@ -317,6 +365,16 @@ pub trait Scheduler: Send {
 
     /// Notifies the policy that a query completed.
     fn on_query_finished(&mut self, _time: f64, _query: QueryId) {}
+
+    /// Notifies the policy that a query was cancelled or failed
+    /// mid-flight (its state will never be referenced again).
+    fn on_query_cancelled(&mut self, _time: f64, _query: QueryId) {}
+
+    /// Self-reported health after the last `on_event` call. Guarding
+    /// wrappers poll this to decide whether to trust the decisions.
+    fn health(&self) -> PolicyHealth {
+        PolicyHealth::Healthy
+    }
 
     /// Resets per-episode state (called between workload runs).
     fn reset(&mut self) {}
@@ -427,5 +485,36 @@ mod tests {
         let d = SchedDecision { query: QueryId(1), root: OpId(0), pipeline_degree: 2, threads: 2 };
         assert!(validate_decision(&ctx, &d).is_ok());
         assert!(ctx.has_schedulable_work());
+    }
+
+    #[test]
+    fn clamp_decision_reclamps_stale_thread_grants() {
+        let q = QueryRuntime::new(QueryId(1), join_plan(), 0.0, 8);
+        let queries = vec![q];
+        // The policy saw 8 free threads; the pool shrank to 2 by dispatch.
+        let free = [0usize, 1];
+        let ctx = SchedContext {
+            time: 0.0,
+            total_threads: 2,
+            free_threads: 2,
+            free_thread_ids: &free,
+            queries: &queries,
+        };
+        let stale = SchedDecision { query: QueryId(1), root: OpId(0), pipeline_degree: 2, threads: 8 };
+        let clamped = clamp_decision(&ctx, &stale).unwrap();
+        assert_eq!(clamped.threads, 2);
+        assert_eq!(clamped.pipeline_degree, 2);
+
+        // With no free threads at all the decision is rejected, not
+        // clamped to zero.
+        let none: [usize; 0] = [];
+        let ctx0 = SchedContext {
+            time: 0.0,
+            total_threads: 2,
+            free_threads: 0,
+            free_thread_ids: &none,
+            queries: &queries,
+        };
+        assert!(matches!(clamp_decision(&ctx0, &stale), Err(DecisionError::NoFreeThreads)));
     }
 }

@@ -22,6 +22,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,10 +30,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::cost::CostModel;
+use crate::fault::{FaultInjector, FaultPlan, FaultSummary};
 use crate::trace::{TraceEntry, TraceSink};
 use crate::plan::{OpId, PhysicalPlan};
 use crate::scheduler::{
-    validate_decision, OpStatus, QueryId, QueryRuntime, SchedContext, SchedDecision, SchedEvent,
+    clamp_decision, OpStatus, QueryId, QueryRuntime, SchedContext, SchedDecision, SchedEvent,
     Scheduler,
 };
 use crate::stats::WorkOrderStats;
@@ -64,6 +66,9 @@ pub struct SimConfig {
     /// the pool" (Section 5.2). Growth adds fresh idle threads; shrink
     /// retires idle threads immediately and busy threads as they free.
     pub pool_resizes: Vec<(f64, usize)>,
+    /// Optional fault-injection plan (worker churn, transient
+    /// work-order failures, stragglers, cancellations).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -75,9 +80,53 @@ impl Default for SimConfig {
             max_events: 50_000_000,
             trace: None,
             pool_resizes: Vec::new(),
+            faults: None,
         }
     }
 }
+
+/// Why a simulation run could not complete. Returned from
+/// [`Simulator::run`] instead of panicking or silently truncating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event-cap safety valve fired before the workload drained —
+    /// a runaway policy or a pathological workload.
+    EventCapExceeded {
+        /// Events processed when the cap fired.
+        processed: u64,
+        /// The configured cap.
+        cap: u64,
+        /// Queries still unfinished.
+        unfinished_queries: usize,
+    },
+    /// No pending events, no dispatchable work, but unfinished queries
+    /// remain — a structural dead end even the progress guard could not
+    /// break.
+    Deadlock {
+        /// Queries still unfinished.
+        unfinished_queries: usize,
+    },
+    /// An internal invariant failed. Reported instead of panicking so a
+    /// guarded caller can degrade gracefully; always a simulator bug.
+    Invariant(&'static str),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EventCapExceeded { processed, cap, unfinished_queries } => write!(
+                f,
+                "event cap exceeded ({processed} processed, cap {cap}, {unfinished_queries} queries unfinished)"
+            ),
+            SimError::Deadlock { unfinished_queries } => {
+                write!(f, "simulation deadlocked with {unfinished_queries} unfinished queries")
+            }
+            SimError::Invariant(what) => write!(f, "simulator invariant violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Outcome of one query.
 #[derive(Debug, Clone)]
@@ -115,8 +164,12 @@ pub struct SimResult {
     pub sched_wall_time: f64,
     /// Total executed work orders.
     pub total_work_orders: u64,
-    /// True when the event cap was hit before completion.
-    pub timed_out: bool,
+    /// Queries that did not complete: cancelled mid-flight or aborted
+    /// by a permanently failed work order (`duration` is the time from
+    /// arrival to abort). Disjoint from `outcomes`.
+    pub aborted: Vec<QueryOutcome>,
+    /// Fault-injection counters (all zero on fault-free runs).
+    pub fault_summary: FaultSummary,
 }
 
 impl SimResult {
@@ -187,7 +240,14 @@ impl PartialOrd for EvKey {
 enum Ev {
     Arrival(usize),
     WoDone { pipeline: usize, op: OpId, thread: usize, duration: f64, memory: f64 },
+    /// A work order exhausted its transient-failure retries: it fails
+    /// permanently at this time, aborting its query.
+    WoFail { pipeline: usize, thread: usize, memory: f64 },
     PoolResize(usize),
+    /// Fault events (from the [`FaultPlan`]).
+    WorkerLost,
+    WorkerJoined,
+    CancelQuery(u64),
 }
 
 #[derive(Debug)]
@@ -239,8 +299,16 @@ pub struct Simulator {
     pending_retirements: usize,
     pipelines: Vec<Option<PipelineRun>>,
     in_flight_mem: f64,
+    /// Fault injector (present when `cfg.faults` is set).
+    faults: Option<FaultInjector>,
+    /// Busy/stalled threads marked for loss; each is reaped (retired,
+    /// its in-flight work order re-exposed) at its next scheduling
+    /// point. Kept sorted for determinism.
+    doomed: Vec<usize>,
     // metrics
     outcomes: Vec<QueryOutcome>,
+    aborted: Vec<QueryOutcome>,
+    fault_summary: FaultSummary,
     invocations: u64,
     decisions: u64,
     rejected: u64,
@@ -256,6 +324,7 @@ impl Simulator {
         let free_threads: Vec<usize> = (0..cfg.num_threads).collect();
         let pool_size = cfg.num_threads;
         let next_thread_id = cfg.num_threads;
+        let faults = cfg.faults.clone().map(FaultInjector::new);
         Self {
             cfg,
             rng,
@@ -269,7 +338,11 @@ impl Simulator {
             pending_retirements: 0,
             pipelines: Vec::new(),
             in_flight_mem: 0.0,
+            faults,
+            doomed: Vec::new(),
             outcomes: Vec::new(),
+            aborted: Vec::new(),
+            fault_summary: FaultSummary::default(),
             invocations: 0,
             decisions: 0,
             rejected: 0,
@@ -284,8 +357,14 @@ impl Simulator {
         self.heap.push(HeapItem { key: EvKey { time, seq: self.seq }, ev });
     }
 
-    /// Runs `workload` to completion under `scheduler`.
-    pub fn run(mut self, workload: &[WorkloadItem], scheduler: &mut dyn Scheduler) -> SimResult {
+    /// Runs `workload` to completion under `scheduler`. Returns an error
+    /// instead of panicking or silently truncating when the run cannot
+    /// complete (event cap, structural deadlock, invariant violation).
+    pub fn run(
+        mut self,
+        workload: &[WorkloadItem],
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<SimResult, SimError> {
         for (i, item) in workload.iter().enumerate() {
             self.push_event(item.arrival_time, Ev::Arrival(i));
         }
@@ -293,14 +372,32 @@ impl Simulator {
         for (t, size) in resizes {
             self.push_event(t, Ev::PoolResize(size.max(1)));
         }
+        if let Some(f) = &self.faults {
+            let plan = f.plan().clone();
+            for (t, count) in &plan.worker_loss {
+                for _ in 0..*count {
+                    self.push_event(*t, Ev::WorkerLost);
+                }
+            }
+            for (t, count) in &plan.worker_rejoin {
+                for _ in 0..*count {
+                    self.push_event(*t, Ev::WorkerJoined);
+                }
+            }
+            for (t, q) in &plan.cancellations {
+                self.push_event(*t, Ev::CancelQuery(*q));
+            }
+        }
 
         let mut processed: u64 = 0;
-        let mut timed_out = false;
         while let Some(item) = self.heap.pop() {
             processed += 1;
             if processed > self.cfg.max_events {
-                timed_out = true;
-                break;
+                return Err(SimError::EventCapExceeded {
+                    processed,
+                    cap: self.cfg.max_events,
+                    unfinished_queries: self.queries.len(),
+                });
             }
             self.time = self.time.max(item.key.time);
             match item.ev {
@@ -316,9 +413,15 @@ impl Simulator {
                     self.invoke_scheduler(scheduler, SchedEvent::QueryArrived(qid));
                 }
                 Ev::WoDone { pipeline, op, thread, duration, memory } => {
-                    self.handle_wo_done(scheduler, pipeline, op, thread, duration, memory);
+                    self.handle_wo_done(scheduler, pipeline, op, thread, duration, memory)?;
+                }
+                Ev::WoFail { pipeline, thread, memory } => {
+                    self.handle_wo_fail(scheduler, pipeline, thread, memory);
                 }
                 Ev::PoolResize(size) => self.handle_pool_resize(scheduler, size),
+                Ev::WorkerLost => self.handle_worker_lost(scheduler),
+                Ev::WorkerJoined => self.handle_worker_joined(scheduler),
+                Ev::CancelQuery(q) => self.handle_cancel(scheduler, QueryId(q)),
             }
 
             // Progress guard: no pending events but unfinished queries.
@@ -329,13 +432,12 @@ impl Simulator {
                 }
                 if self.heap.is_empty() {
                     // Nothing dispatchable at all — structural dead end.
-                    timed_out = true;
-                    break;
+                    return Err(SimError::Deadlock { unfinished_queries: self.queries.len() });
                 }
             }
         }
 
-        SimResult {
+        Ok(SimResult {
             makespan: self.outcomes.iter().map(|o| o.finish).fold(0.0, f64::max),
             outcomes: self.outcomes,
             sched_invocations: self.invocations,
@@ -344,8 +446,9 @@ impl Simulator {
             fallback_decisions: self.fallbacks,
             sched_wall_time: self.sched_wall,
             total_work_orders: self.work_orders,
-            timed_out,
-        }
+            aborted: self.aborted,
+            fault_summary: self.fault_summary,
+        })
     }
 
     fn query_index(&self, qid: QueryId) -> Option<usize> {
@@ -360,12 +463,53 @@ impl Simulator {
         thread: usize,
         duration: f64,
         memory: f64,
-    ) {
+    ) -> Result<(), SimError> {
         self.in_flight_mem -= memory;
-        self.work_orders += 1;
-        let qid = self.pipelines[pid].as_ref().expect("pipeline alive").query;
-        let qidx = self.query_index(qid).expect("query alive while pipeline runs");
 
+        // Orphaned completion: the pipeline was torn down (its query was
+        // cancelled or aborted) while this work order was in flight.
+        // Release the memory above and route the thread home.
+        let Some(qid) = self.pipelines[pid].as_ref().map(|p| p.query) else {
+            if self.dispose_thread(thread) {
+                self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(1));
+            }
+            return Ok(());
+        };
+        let qidx = self
+            .query_index(qid)
+            .ok_or(SimError::Invariant("query alive while its pipeline runs"))?;
+
+        // A doomed thread surfaces: its worker was lost mid-flight, so
+        // this work order is lost with it — undo the dispatch (the work
+        // order is re-exposed) and retire the thread.
+        if let Some(pos) = self.doomed.iter().position(|&t| t == thread) {
+            self.doomed.remove(pos);
+            let o = &mut self.queries[qidx].ops[op.0];
+            o.dispatched_work_orders = o.dispatched_work_orders.saturating_sub(1);
+            self.fault_summary.wo_lost_with_worker += 1;
+            self.remove_thread_from_pipeline(pid, qidx, thread);
+            // While its pipeline lives, the re-exposed work order can only
+            // run on threads already inside this query's pipelines — wake
+            // the stalled ones, or they would sleep forever if no other
+            // completion event is in flight.
+            let mut to_dispatch: Vec<(usize, usize)> = Vec::new();
+            for (i, slot) in self.pipelines.iter_mut().enumerate() {
+                if let Some(p) = slot {
+                    if p.query == qid {
+                        to_dispatch.extend(p.stalled.drain(..).map(|t| (i, t)));
+                    }
+                }
+            }
+            for (p, t) in to_dispatch {
+                self.dispatch_thread(p, t);
+            }
+            // Nothing freed (the worker retired), but the re-exposed
+            // work order may warrant a fresh decision.
+            self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(0));
+            return Ok(());
+        }
+
+        self.work_orders += 1;
         let stats = WorkOrderStats {
             duration,
             memory,
@@ -395,28 +539,28 @@ impl Simulator {
 
         // Pipeline completion check: all chain ops finished and no thread
         // still holds an in-flight work order for it.
-        let done = {
-            let p = self.pipelines[pid].as_ref().expect("pipeline alive");
-            let chain_done =
-                p.chain.iter().all(|o| self.queries[qidx].ops[o.0].status == OpStatus::Finished);
-            chain_done && p.threads.iter().all(|t| p.stalled.contains(t))
+        let done = match self.pipelines[pid].as_ref() {
+            Some(p) => {
+                let chain_done = p
+                    .chain
+                    .iter()
+                    .all(|o| self.queries[qidx].ops[o.0].status == OpStatus::Finished);
+                chain_done && p.threads.iter().all(|t| p.stalled.contains(t))
+            }
+            None => false,
         };
         let mut freed = 0;
         if done {
-            let p = self.pipelines[pid].take().expect("pipeline alive");
-            self.in_flight_mem -= p.buffer_mem;
-            self.queries[qidx].assigned_threads -= p.threads.len();
-            for t in p.threads {
-                if self.pending_retirements > 0 {
-                    // A shrink is outstanding: retire the thread instead
-                    // of returning it to the pool.
-                    self.pending_retirements -= 1;
-                } else {
-                    self.free_threads.push(t);
-                    freed += 1;
+            if let Some(p) = self.pipelines[pid].take() {
+                self.in_flight_mem -= p.buffer_mem;
+                self.queries[qidx].assigned_threads =
+                    self.queries[qidx].assigned_threads.saturating_sub(p.threads.len());
+                for t in p.threads {
+                    if self.dispose_thread(t) {
+                        freed += 1;
+                    }
                 }
             }
-            self.free_threads.sort_unstable();
         }
 
         // Query completion.
@@ -444,6 +588,201 @@ impl Simulator {
         if freed > 0 {
             self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(freed));
         }
+        Ok(())
+    }
+
+    /// Routes a thread that is leaving a pipeline: a doomed thread
+    /// retires (its worker was lost), an outstanding pool shrink consumes
+    /// it, otherwise it returns to the free pool. Returns `true` when the
+    /// free pool grew.
+    fn dispose_thread(&mut self, t: usize) -> bool {
+        if let Some(pos) = self.doomed.iter().position(|&d| d == t) {
+            self.doomed.remove(pos);
+            return false;
+        }
+        if self.pending_retirements > 0 {
+            self.pending_retirements -= 1;
+            return false;
+        }
+        match self.free_threads.binary_search(&t) {
+            // Already free — defensive; callers only dispose busy threads.
+            Ok(_) => false,
+            Err(pos) => {
+                self.free_threads.insert(pos, t);
+                true
+            }
+        }
+    }
+
+    /// Detaches `thread` from pipeline `pid` (without touching the free
+    /// pool) and tears the pipeline down if that left it empty.
+    fn remove_thread_from_pipeline(&mut self, pid: usize, qidx: usize, thread: usize) {
+        let mut empty = false;
+        if let Some(p) = self.pipelines[pid].as_mut() {
+            p.threads.retain(|&t| t != thread);
+            p.stalled.retain(|&t| t != thread);
+            empty = p.threads.is_empty();
+        }
+        self.queries[qidx].assigned_threads =
+            self.queries[qidx].assigned_threads.saturating_sub(1);
+        if empty {
+            self.kill_pipeline(pid, Some(qidx));
+        }
+    }
+
+    /// Tears down a pipeline slot: releases its buffer memory and, when
+    /// the owning query is still alive, reverts its unfinished `Running`
+    /// chain operators so `refresh_statuses` re-exposes them as
+    /// schedulable (otherwise they would be stranded with no thread).
+    fn kill_pipeline(&mut self, pid: usize, qidx: Option<usize>) {
+        if let Some(p) = self.pipelines[pid].take() {
+            self.in_flight_mem -= p.buffer_mem;
+            if let Some(qi) = qidx {
+                for &op in p.chain.iter() {
+                    let o = &mut self.queries[qi].ops[op.0];
+                    if o.status == OpStatus::Running {
+                        o.status = OpStatus::Blocked;
+                    }
+                }
+                self.queries[qi].refresh_statuses();
+            }
+        }
+    }
+
+    /// Tears down every pipeline of `self.queries[qidx]` and records the
+    /// query as aborted (`cancelled`: user cancellation vs. permanent
+    /// work-order failure). Stalled threads are reclaimed immediately;
+    /// busy threads drain through the orphan path of [`handle_wo_done`]
+    /// when their in-flight event fires.
+    fn abort_query(&mut self, scheduler: &mut dyn Scheduler, qidx: usize, cancelled: bool) {
+        let qid = self.queries[qidx].qid;
+        let mut freed = 0;
+        for pid in 0..self.pipelines.len() {
+            if self.pipelines[pid].as_ref().is_none_or(|p| p.query != qid) {
+                continue;
+            }
+            if let Some(p) = self.pipelines[pid].take() {
+                self.in_flight_mem -= p.buffer_mem;
+                for &t in &p.stalled {
+                    if self.dispose_thread(t) {
+                        freed += 1;
+                    }
+                }
+            }
+        }
+        let q = self.queries.remove(qidx);
+        self.aborted.push(QueryOutcome {
+            qid,
+            name: q.plan.name.clone(),
+            arrival: q.arrival_time,
+            finish: self.time,
+            duration: self.time - q.arrival_time,
+        });
+        if cancelled {
+            self.fault_summary.queries_cancelled += 1;
+        } else {
+            self.fault_summary.queries_failed += 1;
+        }
+        let t = self.time;
+        scheduler.on_query_cancelled(t, qid);
+        self.invoke_scheduler(scheduler, SchedEvent::QueryCancelled(qid));
+        if freed > 0 {
+            self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(freed));
+        }
+    }
+
+    /// A work order exhausted its transient-failure retries: release its
+    /// memory, return the (healthy) thread, and abort the owning query.
+    fn handle_wo_fail(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        pid: usize,
+        thread: usize,
+        memory: f64,
+    ) {
+        self.in_flight_mem -= memory;
+        // Detach the failing thread first so the teardown below does not
+        // mistake it for a busy thread with an in-flight event.
+        let qid = self.pipelines[pid].as_mut().map(|p| {
+            p.threads.retain(|&t| t != thread);
+            p.query
+        });
+        let freed = self.dispose_thread(thread);
+        if let Some(qidx) = qid.and_then(|q| self.query_index(q)) {
+            self.queries[qidx].assigned_threads =
+                self.queries[qidx].assigned_threads.saturating_sub(1);
+            self.abort_query(scheduler, qidx, false);
+        }
+        if freed {
+            self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(1));
+        }
+    }
+
+    /// A user cancels a query mid-flight; cancelling a finished (or
+    /// never-arrived) query is a no-op.
+    fn handle_cancel(&mut self, scheduler: &mut dyn Scheduler, qid: QueryId) {
+        if let Some(qidx) = self.query_index(qid) {
+            self.abort_query(scheduler, qidx, true);
+        }
+    }
+
+    /// A worker leaves the pool: an idle worker retires immediately, a
+    /// stalled worker is reaped on the spot, and a busy worker is doomed
+    /// — its in-flight work order is lost and re-exposed when its event
+    /// surfaces. The pool never shrinks below one worker.
+    fn handle_worker_lost(&mut self, scheduler: &mut dyn Scheduler) {
+        if self.pool_size <= 1 {
+            return;
+        }
+        // Idle victim: highest free id (free_threads is kept sorted).
+        if let Some(t) = self.free_threads.pop() {
+            self.pool_size -= 1;
+            self.fault_summary.workers_lost += 1;
+            self.invoke_scheduler(scheduler, SchedEvent::WorkerLost(t));
+            return;
+        }
+        // Busy/stalled victim: highest not-yet-doomed id across live
+        // pipelines (deterministic pick).
+        let mut victim: Option<(usize, usize, bool)> = None; // (thread, pid, stalled)
+        for (pid, slot) in self.pipelines.iter().enumerate() {
+            if let Some(p) = slot {
+                for &t in &p.threads {
+                    if self.doomed.contains(&t) {
+                        continue;
+                    }
+                    if victim.is_none_or(|(vt, _, _)| t > vt) {
+                        victim = Some((t, pid, p.stalled.contains(&t)));
+                    }
+                }
+            }
+        }
+        let Some((t, pid, stalled)) = victim else {
+            return; // every worker is already doomed — nothing left to lose
+        };
+        self.pool_size -= 1;
+        self.fault_summary.workers_lost += 1;
+        if stalled {
+            // No in-flight event to wait for: reap immediately.
+            let qid = self.pipelines[pid].as_ref().map(|p| p.query);
+            if let Some(qidx) = qid.and_then(|q| self.query_index(q)) {
+                self.remove_thread_from_pipeline(pid, qidx, t);
+            }
+        } else {
+            if let Err(pos) = self.doomed.binary_search(&t) {
+                self.doomed.insert(pos, t);
+            }
+        }
+        self.invoke_scheduler(scheduler, SchedEvent::WorkerLost(t));
+    }
+
+    /// A fresh worker joins the pool.
+    fn handle_worker_joined(&mut self, scheduler: &mut dyn Scheduler) {
+        let t = self.next_thread_id;
+        self.next_thread_id += 1;
+        self.free_threads.push(t); // new ids are strictly increasing: stays sorted
+        self.pool_size += 1;
+        self.fault_summary.workers_joined += 1;
+        self.invoke_scheduler(scheduler, SchedEvent::WorkerJoined(t));
     }
 
     /// How many work orders of `op` may be dispatched given producer
@@ -468,14 +807,20 @@ impl Simulator {
     /// Tries to hand `thread` its next work order from pipeline `pid`;
     /// stalls the thread in the pipeline when nothing is dispatchable.
     fn dispatch_thread(&mut self, pid: usize, thread: usize) {
-        let (qid, chain) = {
-            let p = self.pipelines[pid].as_ref().expect("pipeline alive");
-            (p.query, Arc::clone(&p.chain))
+        let Some((qid, chain)) = self.pipelines[pid].as_ref().map(|p| (p.query, Arc::clone(&p.chain)))
+        else {
+            return; // pipeline torn down before the wake-up landed
         };
         let qidx = match self.query_index(qid) {
             Some(i) => i,
             None => return,
         };
+        // A doomed thread must not pick up new work: reap it instead.
+        if let Some(pos) = self.doomed.iter().position(|&t| t == thread) {
+            self.doomed.remove(pos);
+            self.remove_thread_from_pipeline(pid, qidx, thread);
+            return;
+        }
 
         // Producers first: upstream ops appear first in the chain.
         let mut picked: Option<(OpId, bool)> = None;
@@ -508,7 +853,13 @@ impl Simulator {
                     base *= self.cfg.cost.thread_locality_speedup;
                 }
                 base *= self.cfg.cost.thrash_multiplier(self.in_flight_mem);
-                let duration = self.cfg.cost.sample_duration(&mut self.rng, base).max(1e-9);
+                let mut duration = self.cfg.cost.sample_duration(&mut self.rng, base).max(1e-9);
+                let mut permanent_failure = false;
+                if let Some(inj) = &mut self.faults {
+                    let p = inj.perturb(duration, &mut self.fault_summary);
+                    duration = p.elapsed.max(1e-9);
+                    permanent_failure = p.permanent_failure;
+                }
                 let memory = est_wo_memory;
                 self.in_flight_mem += memory;
                 self.queries[qidx].ops[op.0].dispatched_work_orders += 1;
@@ -526,12 +877,17 @@ impl Simulator {
                         pipelined: is_pipelined_consumer,
                     });
                 }
-                self.push_event(t, Ev::WoDone { pipeline: pid, op, thread, duration, memory });
+                if permanent_failure {
+                    self.push_event(t, Ev::WoFail { pipeline: pid, thread, memory });
+                } else {
+                    self.push_event(t, Ev::WoDone { pipeline: pid, op, thread, duration, memory });
+                }
             }
             None => {
-                let p = self.pipelines[pid].as_mut().expect("pipeline alive");
-                if !p.stalled.contains(&thread) {
-                    p.stalled.push(thread);
+                if let Some(p) = self.pipelines[pid].as_mut() {
+                    if !p.stalled.contains(&thread) {
+                        p.stalled.push(thread);
+                    }
                 }
             }
         }
@@ -580,8 +936,10 @@ impl Simulator {
     }
 
     fn apply_decision(&mut self, d: &SchedDecision) -> bool {
-        // Re-validate against current (possibly updated) state.
-        {
+        // Re-validate against the *current* state (the decision may carry
+        // a stale snapshot), re-clamping the thread grant in case the
+        // pool shrank between the event and this dispatch.
+        let d = {
             let free_ids = self.free_threads.clone();
             let ctx = SchedContext {
                 time: self.time,
@@ -590,16 +948,18 @@ impl Simulator {
                 free_thread_ids: &free_ids,
                 queries: &self.queries,
             };
-            if validate_decision(&ctx, d).is_err() {
-                self.rejected += 1;
-                return false;
+            match clamp_decision(&ctx, d) {
+                Ok(c) => c,
+                Err(_) => {
+                    self.rejected += 1;
+                    return false;
+                }
             }
-        }
-        if self.free_threads.is_empty() {
+        };
+        let Some(qidx) = self.query_index(d.query) else {
             self.rejected += 1;
             return false;
-        }
-        let qidx = self.query_index(d.query).expect("validated");
+        };
         let chain = self.effective_chain(qidx, d.root, d.pipeline_degree);
         let grant = d.threads.min(self.free_threads.len()).max(1);
         let threads: Vec<usize> = self.free_threads.drain(..grant).collect();
@@ -631,9 +991,16 @@ impl Simulator {
 
     fn invoke_scheduler(&mut self, scheduler: &mut dyn Scheduler, event: SchedEvent) {
         // Paper guard: no decisions when no free threads or nothing to
-        // do. Pool-resize events are always delivered — the policy must
-        // observe capacity changes even when it cannot act immediately.
-        let force = matches!(event, SchedEvent::ThreadPoolResized(_));
+        // do. Pool/worker-churn and cancellation events are always
+        // delivered — the policy must observe capacity changes and
+        // dropped queries even when it cannot act immediately.
+        let force = matches!(
+            event,
+            SchedEvent::ThreadPoolResized(_)
+                | SchedEvent::WorkerLost(_)
+                | SchedEvent::WorkerJoined(_)
+                | SchedEvent::QueryCancelled(_)
+        );
         if !force {
             if self.free_threads.is_empty() {
                 return;
@@ -715,12 +1082,26 @@ impl Simulator {
     }
 }
 
-/// Convenience: simulate a workload under a scheduler with a config.
+/// Convenience: simulate a workload under a scheduler with a config,
+/// panicking on [`SimError`] (event cap, deadlock, invariant). Use
+/// [`try_simulate`] where the caller wants to degrade gracefully.
 pub fn simulate(
     cfg: SimConfig,
     workload: &[WorkloadItem],
     scheduler: &mut dyn Scheduler,
 ) -> SimResult {
+    match Simulator::new(cfg).run(workload, scheduler) {
+        Ok(res) => res,
+        Err(e) => panic!("simulation failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`simulate`].
+pub fn try_simulate(
+    cfg: SimConfig,
+    workload: &[WorkloadItem],
+    scheduler: &mut dyn Scheduler,
+) -> Result<SimResult, SimError> {
     Simulator::new(cfg).run(workload, scheduler)
 }
 
@@ -788,7 +1169,6 @@ mod tests {
             &wl,
             &mut GreedyFifo,
         );
-        assert!(!res.timed_out);
         assert_eq!(res.outcomes.len(), 5);
         assert!(res.makespan > 0.0);
         // 5 queries * (6+6+6+1) work orders
@@ -821,7 +1201,6 @@ mod tests {
         }
         let wl = small_workload(2);
         let res = simulate(SimConfig { num_threads: 2, ..Default::default() }, &wl, &mut Lazy);
-        assert!(!res.timed_out);
         assert_eq!(res.outcomes.len(), 2);
         assert!(res.fallback_decisions > 0);
     }
@@ -1002,7 +1381,6 @@ mod resize_tests {
         let mut sched = Greedy { resize_events_seen: vec![] };
         let res = simulate(cfg, &wl, &mut sched);
         assert_eq!(res.outcomes.len(), 6, "all queries must survive a shrink");
-        assert!(!res.timed_out);
         assert_eq!(sched.resize_events_seen, vec![2]);
     }
 
@@ -1015,5 +1393,226 @@ mod resize_tests {
         let res = simulate(cfg, &wl, &mut sched);
         assert_eq!(res.outcomes.len(), 8);
         assert_eq!(sched.resize_events_seen, vec![1, 6]);
+    }
+
+    #[test]
+    fn event_cap_returns_error_instead_of_truncating() {
+        let wl = workload(4);
+        let cfg = SimConfig { num_threads: 2, max_events: 3, ..Default::default() };
+        let err = try_simulate(cfg, &wl, &mut Greedy { resize_events_seen: vec![] })
+            .expect_err("a 3-event cap cannot drain 4 queries");
+        match err {
+            SimError::EventCapExceeded { cap, unfinished_queries, .. } => {
+                assert_eq!(cap, 3);
+                assert!(unfinished_queries > 0);
+            }
+            other => panic!("expected EventCapExceeded, got {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::plan::{OpKind, OpSpec, PlanBuilder};
+    use crate::scheduler::Scheduler;
+
+    struct Greedy {
+        worker_events: Vec<SchedEvent>,
+    }
+    impl Scheduler for Greedy {
+        fn name(&self) -> String {
+            "greedy_fault_test".into()
+        }
+        fn on_event(&mut self, ctx: &SchedContext<'_>, ev: &SchedEvent) -> Vec<SchedDecision> {
+            if matches!(
+                ev,
+                SchedEvent::WorkerLost(_)
+                    | SchedEvent::WorkerJoined(_)
+                    | SchedEvent::QueryCancelled(_)
+            ) {
+                self.worker_events.push(*ev);
+            }
+            let mut out = Vec::new();
+            let mut free = ctx.free_threads;
+            for q in ctx.queries {
+                for root in q.schedulable_ops() {
+                    if free == 0 {
+                        return out;
+                    }
+                    out.push(SchedDecision {
+                        query: q.qid,
+                        root,
+                        pipeline_degree: q.plan.longest_npb_chain(root),
+                        threads: 1,
+                    });
+                    free -= 1;
+                }
+            }
+            out
+        }
+    }
+
+    fn greedy() -> Greedy {
+        Greedy { worker_events: vec![] }
+    }
+
+    fn chain(name: &str, wos: u32) -> Arc<PhysicalPlan> {
+        let mut b = PlanBuilder::new(name);
+        let scan = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![0], vec![0], 1e5, wos, 0.01, 1e5);
+        let sel = b.add_op(OpKind::Select, OpSpec::Synthetic, vec![0], vec![1], 5e4, wos, 0.008, 1e5);
+        b.connect(scan, sel, true);
+        Arc::new(b.finish(sel))
+    }
+
+    fn workload(n: usize) -> Vec<WorkloadItem> {
+        (0..n)
+            .map(|i| WorkloadItem {
+                arrival_time: i as f64 * 0.005,
+                plan: chain(&format!("q{i}"), 8),
+            })
+            .collect()
+    }
+
+    fn cfg_with(faults: FaultPlan, threads: usize, seed: u64) -> SimConfig {
+        SimConfig { num_threads: threads, seed, faults: Some(faults), ..Default::default() }
+    }
+
+    #[test]
+    fn worker_loss_and_rejoin_still_completes() {
+        let plan = FaultPlan {
+            seed: 1,
+            worker_loss: vec![(0.01, 2), (0.03, 1)],
+            worker_rejoin: vec![(0.08, 2)],
+            ..FaultPlan::default()
+        };
+        let mut s = greedy();
+        let res = simulate(cfg_with(plan, 4, 11), &workload(6), &mut s);
+        assert_eq!(res.outcomes.len(), 6, "all queries must survive worker churn");
+        assert_eq!(res.fault_summary.workers_lost, 3);
+        assert_eq!(res.fault_summary.workers_joined, 2);
+        let lost = s
+            .worker_events
+            .iter()
+            .filter(|e| matches!(e, SchedEvent::WorkerLost(_)))
+            .count();
+        let joined = s
+            .worker_events
+            .iter()
+            .filter(|e| matches!(e, SchedEvent::WorkerJoined(_)))
+            .count();
+        assert_eq!((lost, joined), (3, 2), "scheduler must observe every churn event");
+    }
+
+    #[test]
+    fn worker_loss_never_drains_pool_below_one() {
+        let plan = FaultPlan {
+            seed: 2,
+            worker_loss: vec![(0.005, 10)], // far more than the pool holds
+            ..FaultPlan::default()
+        };
+        let res = simulate(cfg_with(plan, 3, 5), &workload(5), &mut greedy());
+        assert_eq!(res.outcomes.len(), 5, "a one-worker pool still drains the workload");
+        assert!(res.fault_summary.workers_lost <= 2, "pool of 3 can lose at most 2 workers");
+    }
+
+    #[test]
+    fn cancellation_aborts_midflight_query() {
+        let plan = FaultPlan {
+            seed: 3,
+            cancellations: vec![(0.02, 0), (0.02, 4)],
+            ..FaultPlan::default()
+        };
+        let mut s = greedy();
+        let res = simulate(cfg_with(plan, 2, 7), &workload(6), &mut s);
+        assert_eq!(res.fault_summary.queries_cancelled, 2);
+        assert_eq!(res.aborted.len(), 2);
+        assert_eq!(res.outcomes.len(), 4, "the other four queries complete");
+        assert!(s
+            .worker_events
+            .iter()
+            .any(|e| matches!(e, SchedEvent::QueryCancelled(_))));
+        // Conservation: every query is accounted for exactly once.
+        let mut ids: Vec<u64> = res
+            .outcomes
+            .iter()
+            .chain(res.aborted.iter())
+            .map(|o| o.qid.0)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn transient_failures_retry_to_completion() {
+        let plan = FaultPlan {
+            seed: 4,
+            wo_failure_prob: 0.2,
+            max_retries: 20, // effectively never permanent
+            ..FaultPlan::default()
+        };
+        let clean = simulate(
+            SimConfig { num_threads: 4, seed: 9, ..Default::default() },
+            &workload(6),
+            &mut greedy(),
+        );
+        let faulty = simulate(cfg_with(plan, 4, 9), &workload(6), &mut greedy());
+        assert_eq!(faulty.outcomes.len(), 6);
+        assert!(faulty.fault_summary.wo_retries > 0, "20% failure rate must retry");
+        assert_eq!(faulty.fault_summary.wo_permanent_failures, 0);
+        assert!(
+            faulty.makespan >= clean.makespan,
+            "retries cannot make the run faster ({} vs {})",
+            faulty.makespan,
+            clean.makespan
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_abort_the_query() {
+        let plan = FaultPlan {
+            seed: 5,
+            wo_failure_prob: 1.0, // every attempt fails
+            max_retries: 2,
+            ..FaultPlan::default()
+        };
+        let res = simulate(cfg_with(plan, 2, 3), &workload(3), &mut greedy());
+        assert_eq!(res.outcomes.len(), 0);
+        assert_eq!(res.aborted.len(), 3, "every query aborts on permanent failure");
+        assert_eq!(res.fault_summary.queries_failed, 3);
+        assert!(res.fault_summary.wo_permanent_failures >= 3);
+    }
+
+    #[test]
+    fn faults_preserve_bitwise_determinism() {
+        let wl = workload(8);
+        let plan = FaultPlan::standard_matrix(21, 4, 8, 1.0);
+        let r1 = simulate(cfg_with(plan.clone(), 4, 13), &wl, &mut greedy());
+        let r2 = simulate(cfg_with(plan, 4, 13), &wl, &mut greedy());
+        assert_eq!(r1.makespan.to_bits(), r2.makespan.to_bits());
+        assert_eq!(r1.fault_summary, r2.fault_summary);
+        assert_eq!(r1.outcomes.len(), r2.outcomes.len());
+        for (a, b) in r1.outcomes.iter().zip(&r2.outcomes) {
+            assert_eq!(a.qid, b.qid);
+            assert_eq!(a.finish.to_bits(), b.finish.to_bits());
+        }
+        for (a, b) in r1.aborted.iter().zip(&r2.aborted) {
+            assert_eq!(a.qid, b.qid);
+            assert_eq!(a.finish.to_bits(), b.finish.to_bits());
+        }
+    }
+
+    #[test]
+    fn standard_matrix_conserves_queries() {
+        for seed in 0..4u64 {
+            let wl = workload(10);
+            let plan = FaultPlan::standard_matrix(seed, 4, 10, 1.0);
+            let res = simulate(cfg_with(plan, 4, seed), &wl, &mut greedy());
+            assert_eq!(
+                res.outcomes.len() + res.aborted.len(),
+                10,
+                "seed {seed}: completed + aborted must cover the workload"
+            );
+        }
     }
 }

@@ -153,6 +153,22 @@ impl ParamStore {
         }
     }
 
+    /// Whether every accumulated (unfrozen) gradient is finite. A NaN or
+    /// infinite gradient poisons any optimizer step built on it; callers
+    /// guard online updates with this check.
+    pub fn grads_are_finite(&self) -> bool {
+        self.params
+            .iter()
+            .filter(|p| !p.frozen)
+            .all(|p| p.grad.iter().all(|g| g.is_finite()))
+    }
+
+    /// Whether every parameter value is finite. Checked after optimizer
+    /// steps so a poisoned update can be rolled back from a checkpoint.
+    pub fn values_are_finite(&self) -> bool {
+        self.params.iter().all(|p| p.value.data().iter().all(|v| v.is_finite()))
+    }
+
     /// Freezes or unfreezes every parameter whose name matches `pred`.
     /// Returns how many parameters changed state.
     pub fn set_frozen_where(&mut self, frozen: bool, pred: impl Fn(&str) -> bool) -> usize {
@@ -272,6 +288,25 @@ mod tests {
         ps.clip_grad_norm(1.0);
         let g = ps.grad(a);
         assert!((g[0] - 0.6).abs() < 1e-6 && (g[1] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finite_checks_detect_poison() {
+        let mut ps = ParamStore::new();
+        let a = ps.register("w", Tensor::vector(vec![1.0, 2.0]));
+        assert!(ps.grads_are_finite());
+        assert!(ps.values_are_finite());
+        ps.accumulate_grad(a, &[f32::NAN, 0.0]);
+        assert!(!ps.grads_are_finite());
+        ps.zero_grads();
+        assert!(ps.grads_are_finite());
+        // Frozen parameters are excluded from the gradient check (their
+        // gradients are never applied).
+        ps.set_frozen(a, true);
+        ps.accumulate_grad(a, &[f32::INFINITY, 0.0]);
+        assert!(ps.grads_are_finite());
+        ps.value_mut(a).data_mut()[0] = f32::NAN;
+        assert!(!ps.values_are_finite());
     }
 
     #[test]

@@ -1,0 +1,444 @@
+//! Guarded scheduling: a circuit-breaker wrapper around any policy.
+//!
+//! A learned scheduler can misbehave in ways a heuristic never does —
+//! emit NaN logits, panic inside inference, or return structurally
+//! invalid decisions after an online update goes wrong. The
+//! [`GuardedScheduler`] wraps an arbitrary inner policy and validates
+//! every interaction with it:
+//!
+//! * the **context snapshot** is checked for non-finite values before
+//!   the inner policy sees it (a poisoned snapshot is served by the
+//!   fallback without charging the inner policy); the full per-operator
+//!   scan is amortized — it runs on every query arrival and every
+//!   [`GuardConfig::deep_scan_interval`] events, with an `O(1)` clock
+//!   check in between;
+//! * `on_event` runs under [`std::panic::catch_unwind`];
+//! * the policy's self-reported [`PolicyHealth`] is polled after each
+//!   call (learned policies report `Degraded` on non-finite logits);
+//! * every returned decision is validated and clamped via
+//!   [`clamp_decision`] against the live context.
+//!
+//! Any violation **trips the circuit breaker**: scheduling switches to
+//! the fallback policy (Quickstep's default heuristic unless overridden)
+//! for a cooldown of `cooldown_events` scheduling events, after which a
+//! single **probe** event is routed to the inner policy again — a clean
+//! probe restores it, a dirty one re-trips the breaker. The state
+//! machine is `Primary → (violation) → Fallback(cooldown) → Probing →
+//! Primary | Fallback`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use lsched_engine::scheduler::{
+    clamp_decision, PolicyHealth, QueryId, SchedContext, SchedDecision, SchedEvent, Scheduler,
+};
+
+use crate::quickstep::QuickstepScheduler;
+
+/// Circuit-breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardConfig {
+    /// Scheduling events served by the fallback after a trip before the
+    /// inner policy is probed again.
+    pub cooldown_events: u32,
+    /// The full per-operator snapshot scan runs on every `QueryArrived`
+    /// event (new plan data enters the snapshot) and at most every this
+    /// many events in between; other events only get an `O(1)` clock
+    /// check. `1` scans every event. Amortizing the scan keeps the
+    /// fault-free guard overhead negligible while still bounding how
+    /// long a poisoned snapshot can go unnoticed; policy-side NaN is
+    /// caught per-event through the health poll regardless.
+    pub deep_scan_interval: u32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self { cooldown_events: 32, deep_scan_interval: 128 }
+    }
+}
+
+/// Degradation state of the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardState {
+    /// The inner policy is trusted and serving decisions.
+    Primary,
+    /// The breaker is open: the fallback serves decisions for the
+    /// remaining cooldown events.
+    Fallback {
+        /// Fallback events left before a probe.
+        events_left: u32,
+    },
+    /// The next event is a probe of the inner policy.
+    Probing,
+}
+
+/// Counters describing everything the guard observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Scheduling events seen.
+    pub events: u64,
+    /// Breaker trips (violations while Primary or Probing).
+    pub trips: u64,
+    /// Panics caught inside the inner policy.
+    pub panics: u64,
+    /// Decisions rejected by validation/clamping.
+    pub invalid_decisions: u64,
+    /// Events where the inner policy reported `Degraded` health.
+    pub degraded_health: u64,
+    /// Context snapshots with non-finite values (served by fallback
+    /// without charging the inner policy).
+    pub poisoned_snapshots: u64,
+    /// Events served by the fallback while the breaker was open.
+    pub fallback_events: u64,
+    /// Probe events routed to the inner policy after cooldown.
+    pub probes: u64,
+    /// Probes that restored the inner policy.
+    pub recoveries: u64,
+}
+
+/// A circuit-breaker wrapper: `inner` serves decisions while healthy,
+/// `fallback` (Quickstep-default unless overridden) takes over on any
+/// violation. See the module docs for the full state machine.
+pub struct GuardedScheduler<S: Scheduler, F: Scheduler = QuickstepScheduler> {
+    inner: S,
+    fallback: F,
+    cfg: GuardConfig,
+    state: GuardState,
+    stats: GuardStats,
+    events_since_deep_scan: u32,
+}
+
+impl<S: Scheduler> GuardedScheduler<S, QuickstepScheduler> {
+    /// Guards `inner` with the Quickstep-default heuristic as fallback.
+    pub fn new(inner: S) -> Self {
+        Self::with_fallback(inner, QuickstepScheduler, GuardConfig::default())
+    }
+}
+
+impl<S: Scheduler, F: Scheduler> GuardedScheduler<S, F> {
+    /// Guards `inner` with a custom fallback policy and config.
+    pub fn with_fallback(inner: S, fallback: F, cfg: GuardConfig) -> Self {
+        Self {
+            inner,
+            fallback,
+            cfg,
+            state: GuardState::Primary,
+            stats: GuardStats::default(),
+            events_since_deep_scan: 0,
+        }
+    }
+
+    /// Current breaker state.
+    pub fn state(&self) -> GuardState {
+        self.state
+    }
+
+    /// Everything the guard observed so far.
+    pub fn stats(&self) -> GuardStats {
+        self.stats
+    }
+
+    /// The wrapped inner policy.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn trip(&mut self) {
+        self.stats.trips += 1;
+        self.state = GuardState::Fallback { events_left: self.cfg.cooldown_events.max(1) };
+    }
+
+    /// Whether one query's feature sources are all finite. The query's
+    /// aggregate `est_remaining_work` is the sum of the per-operator
+    /// durations checked here, so it needs no separate check.
+    fn query_is_finite(q: &lsched_engine::scheduler::QueryRuntime) -> bool {
+        q.arrival_time.is_finite()
+            && q.ops.iter().all(|o| {
+                o.est_remaining_duration().is_finite() && o.est_remaining_memory().is_finite()
+            })
+    }
+
+    /// Whether the snapshot is safe to hand to a learned policy: all
+    /// feature sources must be finite, or inference outputs are garbage
+    /// regardless of the model's health.
+    fn snapshot_is_finite(ctx: &SchedContext<'_>) -> bool {
+        ctx.time.is_finite() && ctx.queries.iter().all(Self::query_is_finite)
+    }
+
+    /// Runs the inner policy under full guarding; returns its clamped
+    /// decisions or `None` when the breaker tripped.
+    fn guarded_inner(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        event: &SchedEvent,
+    ) -> Option<Vec<SchedDecision>> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.inner.on_event(ctx, event)));
+        let mut decisions = match outcome {
+            Ok(ds) => ds,
+            Err(_) => {
+                self.stats.panics += 1;
+                self.trip();
+                return None;
+            }
+        };
+        if self.inner.health() == PolicyHealth::Degraded {
+            self.stats.degraded_health += 1;
+            self.trip();
+            return None;
+        }
+        let mut bad = 0u64;
+        for d in &mut decisions {
+            match clamp_decision(ctx, d) {
+                Ok(c) => *d = c,
+                Err(_) => bad += 1,
+            }
+        }
+        if bad > 0 {
+            self.stats.invalid_decisions += bad;
+            self.trip();
+            return None;
+        }
+        Some(decisions)
+    }
+}
+
+impl<S: Scheduler, F: Scheduler> Scheduler for GuardedScheduler<S, F> {
+    fn name(&self) -> String {
+        format!("guarded({})", self.inner.name())
+    }
+
+    fn on_event(&mut self, ctx: &SchedContext<'_>, event: &SchedEvent) -> Vec<SchedDecision> {
+        self.stats.events += 1;
+        self.events_since_deep_scan += 1;
+        let finite = if self.events_since_deep_scan >= self.cfg.deep_scan_interval.max(1) {
+            self.events_since_deep_scan = 0;
+            Self::snapshot_is_finite(ctx)
+        } else if let SchedEvent::QueryArrived(qid) = event {
+            // Only the arrived query holds data the last deep scan has
+            // not seen — scanning the rest waits for the next interval.
+            ctx.time.is_finite()
+                && ctx
+                    .queries
+                    .iter()
+                    .find(|q| q.qid == *qid)
+                    .is_none_or(Self::query_is_finite)
+        } else {
+            ctx.time.is_finite()
+        };
+        if !finite {
+            self.stats.poisoned_snapshots += 1;
+            return self.fallback.on_event(ctx, event);
+        }
+        match self.state {
+            GuardState::Fallback { events_left } => {
+                self.state = if events_left > 1 {
+                    GuardState::Fallback { events_left: events_left - 1 }
+                } else {
+                    GuardState::Probing
+                };
+                self.stats.fallback_events += 1;
+                self.fallback.on_event(ctx, event)
+            }
+            GuardState::Primary => match self.guarded_inner(ctx, event) {
+                Some(ds) => ds,
+                None => self.fallback.on_event(ctx, event),
+            },
+            GuardState::Probing => {
+                self.stats.probes += 1;
+                match self.guarded_inner(ctx, event) {
+                    Some(ds) => {
+                        self.stats.recoveries += 1;
+                        self.state = GuardState::Primary;
+                        ds
+                    }
+                    None => self.fallback.on_event(ctx, event),
+                }
+            }
+        }
+    }
+
+    fn on_decision_executed(&mut self, ctx: &SchedContext<'_>, decision: &SchedDecision) {
+        // Feedback can run arbitrary learned-policy code (online reward
+        // updates): guard it the same way as inference.
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| self.inner.on_decision_executed(ctx, decision)));
+        if outcome.is_err() {
+            self.stats.panics += 1;
+            self.trip();
+        }
+        self.fallback.on_decision_executed(ctx, decision);
+    }
+
+    fn on_query_finished(&mut self, time: f64, query: QueryId) {
+        if catch_unwind(AssertUnwindSafe(|| self.inner.on_query_finished(time, query))).is_err() {
+            self.stats.panics += 1;
+            self.trip();
+        }
+        self.fallback.on_query_finished(time, query);
+    }
+
+    fn on_query_cancelled(&mut self, time: f64, query: QueryId) {
+        if catch_unwind(AssertUnwindSafe(|| self.inner.on_query_cancelled(time, query))).is_err() {
+            self.stats.panics += 1;
+            self.trip();
+        }
+        self.fallback.on_query_cancelled(time, query);
+    }
+
+    fn health(&self) -> PolicyHealth {
+        match self.state {
+            GuardState::Primary => PolicyHealth::Healthy,
+            _ => PolicyHealth::Degraded,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.fallback.reset();
+        self.state = GuardState::Primary;
+        self.stats = GuardStats::default();
+        self.events_since_deep_scan = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsched_engine::sim::{simulate, SimConfig};
+    use lsched_workloads::tpch;
+    use lsched_workloads::workload::{gen_workload, ArrivalPattern};
+
+    /// Emits NaN-poisoned behaviour for the first `bad_events` events
+    /// (self-reported as Degraded health, like the learned agent does on
+    /// non-finite logits), then behaves as Quickstep.
+    struct NanThenRecover {
+        bad_events: u32,
+        seen: u32,
+        delegate: QuickstepScheduler,
+    }
+    impl Scheduler for NanThenRecover {
+        fn name(&self) -> String {
+            "nan_then_recover".into()
+        }
+        fn on_event(&mut self, ctx: &SchedContext<'_>, ev: &SchedEvent) -> Vec<SchedDecision> {
+            self.seen += 1;
+            self.delegate.on_event(ctx, ev)
+        }
+        fn health(&self) -> PolicyHealth {
+            if self.seen <= self.bad_events {
+                PolicyHealth::Degraded
+            } else {
+                PolicyHealth::Healthy
+            }
+        }
+    }
+
+    /// Returns a structurally invalid decision on every event.
+    struct ZeroThreads;
+    impl Scheduler for ZeroThreads {
+        fn name(&self) -> String {
+            "zero_threads".into()
+        }
+        fn on_event(&mut self, ctx: &SchedContext<'_>, _: &SchedEvent) -> Vec<SchedDecision> {
+            ctx.queries
+                .first()
+                .and_then(|q| q.schedulable_ops().first().copied().map(|root| SchedDecision {
+                    query: q.qid,
+                    root,
+                    pipeline_degree: 1,
+                    threads: 0,
+                }))
+                .into_iter()
+                .collect()
+        }
+    }
+
+    fn workload(n: usize, seed: u64) -> Vec<lsched_engine::sim::WorkloadItem> {
+        let pool = tpch::plan_pool(&[0.5]);
+        gen_workload(&pool, n, ArrivalPattern::Batch, seed)
+    }
+
+    #[test]
+    fn breaker_trips_within_one_event_and_recovers_after_cooldown() {
+        let inner = NanThenRecover { bad_events: 3, seen: 0, delegate: QuickstepScheduler };
+        let mut guard = GuardedScheduler::with_fallback(
+            inner,
+            QuickstepScheduler,
+            GuardConfig { cooldown_events: 4, ..Default::default() },
+        );
+        let wl = workload(10, 1);
+        let res = simulate(SimConfig { num_threads: 4, seed: 1, ..Default::default() }, &wl, &mut guard);
+        assert_eq!(res.outcomes.len(), 10, "guarded run must still drain the workload");
+        let stats = guard.stats();
+        assert!(stats.trips >= 1, "degraded health must trip the breaker");
+        assert_eq!(stats.degraded_health, stats.trips);
+        assert!(stats.fallback_events >= 4, "cooldown must route events to the fallback");
+        assert!(stats.probes >= 1, "the breaker must probe after cooldown");
+        assert!(stats.recoveries >= 1, "a recovered policy must be restored");
+        assert_eq!(guard.state(), GuardState::Primary, "ends the run healthy");
+    }
+
+    #[test]
+    fn breaker_trips_on_first_degraded_event() {
+        let inner = NanThenRecover { bad_events: u32::MAX, seen: 0, delegate: QuickstepScheduler };
+        let mut guard = GuardedScheduler::new(inner);
+        let wl = workload(6, 2);
+        let res = simulate(SimConfig { num_threads: 4, seed: 2, ..Default::default() }, &wl, &mut guard);
+        assert_eq!(res.outcomes.len(), 6);
+        let stats = guard.stats();
+        // The very first guarded event must already have tripped: every
+        // event after it (minus probes) is served by the fallback.
+        assert!(stats.trips >= 1);
+        assert_eq!(
+            stats.events,
+            stats.trips + stats.fallback_events + stats.poisoned_snapshots,
+            "no event may be served by a policy known to be degraded: {stats:?}"
+        );
+        assert_eq!(stats.recoveries, 0);
+    }
+
+    #[test]
+    fn panicking_policy_cannot_kill_the_run() {
+        struct Panics;
+        impl Scheduler for Panics {
+            fn name(&self) -> String {
+                "panics".into()
+            }
+            fn on_event(&mut self, _: &SchedContext<'_>, _: &SchedEvent) -> Vec<SchedDecision> {
+                panic!("inference exploded");
+            }
+        }
+        // Silence the default panic hook for the intentional panics.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut guard = GuardedScheduler::new(Panics);
+        let wl = workload(6, 3);
+        let res = simulate(SimConfig { num_threads: 4, seed: 3, ..Default::default() }, &wl, &mut guard);
+        std::panic::set_hook(prev);
+        assert_eq!(res.outcomes.len(), 6, "fallback must carry the whole run");
+        assert!(guard.stats().panics >= 1);
+        assert!(guard.stats().trips >= 1);
+    }
+
+    #[test]
+    fn invalid_decisions_trip_the_breaker() {
+        let mut guard = GuardedScheduler::new(ZeroThreads);
+        let wl = workload(6, 4);
+        let res = simulate(SimConfig { num_threads: 4, seed: 4, ..Default::default() }, &wl, &mut guard);
+        assert_eq!(res.outcomes.len(), 6);
+        assert!(guard.stats().invalid_decisions >= 1);
+        assert!(guard.stats().trips >= 1);
+    }
+
+    #[test]
+    fn guard_is_transparent_for_a_healthy_policy() {
+        let wl = workload(8, 5);
+        let cfg = SimConfig { num_threads: 4, seed: 5, ..Default::default() };
+        let bare = simulate(cfg.clone(), &wl, &mut QuickstepScheduler);
+        let mut guard = GuardedScheduler::new(QuickstepScheduler);
+        let guarded = simulate(cfg, &wl, &mut guard);
+        assert_eq!(bare.makespan.to_bits(), guarded.makespan.to_bits(), "guard must not alter a healthy policy's schedule");
+        assert_eq!(guard.stats().trips, 0);
+        assert_eq!(guard.stats().fallback_events, 0);
+        assert_eq!(guard.state(), GuardState::Primary);
+    }
+}

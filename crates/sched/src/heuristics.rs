@@ -253,7 +253,6 @@ mod tests {
         for s in schedulers.iter_mut() {
             let res = run(s.as_mut(), 8, 3);
             assert_eq!(res.outcomes.len(), 12, "{} lost queries", s.name());
-            assert!(!res.timed_out, "{} timed out", s.name());
         }
     }
 

@@ -10,11 +10,13 @@
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod guard;
 pub mod heuristics;
 pub mod lottery;
 pub mod quickstep;
 pub mod selftune;
 
+pub use guard::{GuardConfig, GuardState, GuardStats, GuardedScheduler};
 pub use heuristics::{
     CriticalPathScheduler, FairScheduler, FifoScheduler, HpfScheduler, SjfScheduler,
 };

@@ -174,7 +174,6 @@ mod tests {
         let cfg = SimConfig { num_threads: 8, ..Default::default() };
         let res = simulate(cfg, &wl, &mut SelfTuneScheduler::default());
         assert_eq!(res.outcomes.len(), 10);
-        assert!(!res.timed_out);
     }
 
     #[test]

@@ -53,12 +53,13 @@ pub mod prelude {
     };
     pub use lsched_decima::{train_decima, DecimaConfig, DecimaModel, DecimaScheduler};
     pub use lsched_engine::{
-        simulate, CostModel, Executor, PhysicalPlan, QueryId, SchedContext, SchedDecision,
-        SchedEvent, Scheduler, SimConfig, SimResult, WorkloadItem,
+        simulate, try_simulate, CostModel, Executor, FaultPlan, FaultSummary, PhysicalPlan,
+        PolicyHealth, QueryId, SchedContext, SchedDecision, SchedEvent, Scheduler, SimConfig,
+        SimError, SimResult, WorkloadItem,
     };
     pub use lsched_sched::{
-        CriticalPathScheduler, FairScheduler, FifoScheduler, HpfScheduler, QuickstepScheduler,
-        SelfTuneScheduler, SjfScheduler,
+        CriticalPathScheduler, FairScheduler, FifoScheduler, GuardedScheduler, HpfScheduler,
+        QuickstepScheduler, SelfTuneScheduler, SjfScheduler,
     };
     pub use lsched_workloads::{gen_workload, split_train_test, ArrivalPattern, EpisodeSampler};
 }

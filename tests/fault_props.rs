@@ -1,0 +1,164 @@
+//! Property-based robustness tests: fault injection must conserve
+//! queries, stay bit-identical across same-seed runs, and the guarded
+//! scheduler must absorb a NaN-poisoned learned policy end-to-end.
+
+use lsched::prelude::*;
+use lsched::sched::GuardedScheduler as Guard;
+use lsched::workloads::tpch;
+use proptest::prelude::*;
+
+fn policy(which: u8) -> Box<dyn Scheduler> {
+    match which % 5 {
+        0 => Box::new(FifoScheduler),
+        1 => Box::new(FairScheduler::default()),
+        2 => Box::new(SjfScheduler),
+        3 => Box::new(CriticalPathScheduler),
+        _ => Box::new(QuickstepScheduler),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Conservation under randomized fault plans: every planned query is
+    /// accounted for exactly once, as completed or aborted, and the
+    /// fault counters agree with the abort list.
+    #[test]
+    fn faults_conserve_queries(
+        n_queries in 1usize..12,
+        threads in 2usize..12,
+        seed in 0u64..500,
+        which in 0u8..5,
+        losses in 0usize..4,
+        rejoins in 0usize..4,
+        fail_prob in 0.0f64..0.15,
+        straggler_prob in 0.0f64..0.1,
+        n_cancel in 0usize..3,
+    ) {
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, n_queries, ArrivalPattern::Streaming { lambda: 80.0 }, seed);
+        let faults = FaultPlan {
+            seed,
+            worker_loss: (0..losses).map(|i| (0.01 + 0.02 * i as f64, 1)).collect(),
+            worker_rejoin: (0..rejoins).map(|i| (0.05 + 0.03 * i as f64, 1)).collect(),
+            wo_failure_prob: fail_prob,
+            straggler_prob,
+            cancellations: (0..n_cancel).map(|i| (0.02 + 0.05 * i as f64, i as u64)).collect(),
+            ..FaultPlan::default()
+        };
+        let cfg = SimConfig {
+            num_threads: threads,
+            seed,
+            faults: Some(faults),
+            ..Default::default()
+        };
+        let mut s = policy(which);
+        let res = try_simulate(cfg, &wl, s.as_mut()).expect("fault run must not error");
+        prop_assert_eq!(
+            res.outcomes.len() + res.aborted.len(),
+            n_queries,
+            "completed + aborted must equal planned"
+        );
+        let mut ids: Vec<u64> = res
+            .outcomes
+            .iter()
+            .chain(res.aborted.iter())
+            .map(|o| o.qid.0)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n_queries, "each query accounted exactly once");
+        prop_assert_eq!(
+            res.fault_summary.queries_cancelled + res.fault_summary.queries_failed,
+            res.aborted.len() as u64
+        );
+        for o in res.outcomes.iter().chain(res.aborted.iter()) {
+            prop_assert!(o.finish >= o.arrival);
+        }
+    }
+
+    /// Same seed, same plan: fault-injected runs are bit-identical.
+    #[test]
+    fn faulted_runs_are_bit_identical(
+        n_queries in 1usize..10,
+        threads in 2usize..10,
+        seed in 0u64..500,
+        which in 0u8..5,
+    ) {
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, n_queries, ArrivalPattern::Batch, seed);
+        let faults = FaultPlan {
+            seed,
+            worker_loss: vec![(0.02, 1)],
+            worker_rejoin: vec![(0.1, 1)],
+            wo_failure_prob: 0.08,
+            straggler_prob: 0.05,
+            cancellations: vec![(0.05, 0)],
+            ..FaultPlan::default()
+        };
+        let cfg = SimConfig {
+            num_threads: threads,
+            seed,
+            faults: Some(faults),
+            ..Default::default()
+        };
+        let r1 = try_simulate(cfg.clone(), &wl, policy(which).as_mut()).unwrap();
+        let r2 = try_simulate(cfg, &wl, policy(which).as_mut()).unwrap();
+        prop_assert_eq!(r1.makespan.to_bits(), r2.makespan.to_bits());
+        prop_assert_eq!(r1.avg_duration().to_bits(), r2.avg_duration().to_bits());
+        prop_assert_eq!(r1.sched_decisions, r2.sched_decisions);
+        prop_assert_eq!(r1.fault_summary, r2.fault_summary);
+        prop_assert_eq!(r1.outcomes.len(), r2.outcomes.len());
+        prop_assert_eq!(r1.aborted.len(), r2.aborted.len());
+        for (a, b) in r1.outcomes.iter().zip(r2.outcomes.iter()) {
+            prop_assert_eq!(a.qid, b.qid);
+            prop_assert_eq!(a.finish.to_bits(), b.finish.to_bits());
+        }
+    }
+}
+
+/// A NaN-poisoned learned policy behind the circuit breaker must not
+/// take down the run: the breaker trips, the fallback heuristic finishes
+/// every query.
+#[test]
+fn guarded_scheduler_absorbs_poisoned_model() {
+    let pool = tpch::plan_pool(&[0.3]);
+    let wl = gen_workload(&pool, 10, ArrivalPattern::Streaming { lambda: 60.0 }, 11);
+    let mut model = LSchedModel::new(LSchedConfig::default(), 0);
+    let ids: Vec<_> = model.store.iter_ids().map(|(id, _)| id).collect();
+    for id in ids {
+        model
+            .store
+            .value_mut(id)
+            .data_mut()
+            .iter_mut()
+            .for_each(|v| *v = f32::NAN);
+    }
+    let mut guard = Guard::new(LSchedScheduler::greedy(model));
+    let res = simulate(SimConfig { num_threads: 6, ..Default::default() }, &wl, &mut guard);
+    assert_eq!(res.outcomes.len(), 10, "fallback must finish every query");
+    assert!(guard.stats().trips >= 1, "NaN policy must trip the breaker");
+    assert!(guard.stats().fallback_events > 0);
+    assert_eq!(guard.health(), PolicyHealth::Degraded, "guard off primary reports degraded");
+}
+
+/// The breaker stays transparent when faults hammer a healthy heuristic:
+/// guarded and bare runs of the standard fault matrix are bit-identical.
+#[test]
+fn guard_is_transparent_under_fault_matrix() {
+    let pool = tpch::plan_pool(&[0.3]);
+    let wl = gen_workload(&pool, 20, ArrivalPattern::Streaming { lambda: 60.0 }, 5);
+    let faults = FaultPlan::standard_matrix(5, 8, 20, 0.5);
+    let cfg = SimConfig {
+        num_threads: 8,
+        seed: 5,
+        faults: Some(faults),
+        ..Default::default()
+    };
+    let bare = try_simulate(cfg.clone(), &wl, &mut QuickstepScheduler).unwrap();
+    let mut guard = Guard::new(QuickstepScheduler);
+    let guarded = try_simulate(cfg, &wl, &mut guard).unwrap();
+    assert_eq!(bare.makespan.to_bits(), guarded.makespan.to_bits());
+    assert_eq!(bare.fault_summary, guarded.fault_summary);
+    assert_eq!(guard.stats().trips, 0, "healthy policy never trips");
+}

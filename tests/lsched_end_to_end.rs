@@ -138,7 +138,6 @@ fn all_ablation_variants_run_end_to_end() {
         let mut s = LSchedScheduler::greedy(model);
         let res = simulate(sim.clone(), &wl, &mut s);
         assert_eq!(res.outcomes.len(), 6, "variant {:?}", variant);
-        assert!(!res.timed_out, "variant {:?}", variant);
     }
 }
 

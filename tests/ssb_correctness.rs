@@ -39,7 +39,7 @@ fn ssb_q1_1_matches_brute_force() {
     let plan = ssb::q1_1_executable(&cat, &cost);
     let exec = Executor::new(Arc::clone(&cat), 3);
     let (res, rows) = exec.run_single(plan);
-    assert!(!res.timed_out);
+    assert!(res.aborted.is_empty(), "fault-free run must not abort queries");
     assert_eq!(rows.len(), 1, "scalar aggregate expected");
     let got = rows[0][0].as_f64().unwrap();
     let want = q1_1_reference(&cat);
