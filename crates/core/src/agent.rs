@@ -10,11 +10,13 @@ use rand::SeedableRng;
 use lsched_engine::scheduler::{
     PolicyHealth, QueryId, SchedContext, SchedDecision, SchedEvent, Scheduler,
 };
-use lsched_nn::{Graph, ParamStore};
+use lsched_nn::{Backend, Graph, InferCtx, ParamStore, ValId};
 
-use crate::encoder::{EncoderConfig, QueryEncoder};
+use crate::encoder::{EncodeScratch, EncoderConfig, QueryEncoder};
 use crate::features::{snapshot_cached, FeatureConfig, SnapshotCache, SystemSnapshot};
-use crate::predictor::{DecisionMode, PickTrace, PredictorConfig, SchedulingPredictor};
+use crate::predictor::{
+    DecisionMode, PickTrace, PredictScratch, PredictorConfig, SchedulingPredictor,
+};
 
 /// Full agent configuration.
 #[derive(Debug, Clone, Default)]
@@ -99,6 +101,48 @@ impl LSchedModel {
         self.predictor.decide(g, &self.store, snap, &enc, mode, rng, forced)
     }
 
+    /// Runs encoder + predictor on the tape-free inference path: values
+    /// are evaluated straight into `scratch`'s bump arena (no autodiff
+    /// nodes, no parameter clones) and candidate scoring is batched into
+    /// one GEMM per head layer. Decisions and picks land in the caller's
+    /// vectors (cleared first); the decision-sequence log-probability is
+    /// returned as a plain float. Steady-state calls allocate nothing.
+    ///
+    /// Decisions are bit-identical to the tape path
+    /// ([`decide_snapshot`](Self::decide_snapshot)): both executors share
+    /// the same accumulation kernels and the same sampling arithmetic.
+    pub fn decide_infer(
+        &self,
+        snap: &SystemSnapshot,
+        mode: DecisionMode,
+        rng: Option<&mut StdRng>,
+        scratch: &mut InferScratch,
+        decisions: &mut Vec<SchedDecision>,
+        picks: &mut Vec<PickTrace>,
+    ) -> f32 {
+        decisions.clear();
+        picks.clear();
+        if snap.queries.is_empty() {
+            return 0.0;
+        }
+        let InferScratch { ctx, enc, pred } = scratch;
+        let mut b = ctx.session(&self.store);
+        let aqe = self.encoder.encode_system_on(&mut b, snap, enc);
+        let lp = self.predictor.decide_on(
+            &mut b,
+            snap,
+            enc.queries(),
+            aqe,
+            mode,
+            rng,
+            None,
+            pred,
+            decisions,
+            picks,
+        );
+        b.value(lp)[0]
+    }
+
     /// Serializes the parameters to JSON (checkpointing).
     pub fn params_json(&self) -> String {
         self.store.to_json()
@@ -109,6 +153,29 @@ impl LSchedModel {
     pub fn load_params_json(&mut self, json: &str) -> Result<usize, serde_json::Error> {
         let other = ParamStore::from_json(json)?;
         Ok(self.store.load_matching(&other))
+    }
+}
+
+/// All reusable state of the tape-free decision path: the evaluation
+/// arena plus the encoder/predictor scratch vectors. Kept alive across
+/// decisions so every buffer retains its capacity — after warm-up,
+/// [`LSchedModel::decide_infer`] performs zero heap allocations.
+#[derive(Debug, Default)]
+pub struct InferScratch {
+    ctx: InferCtx,
+    enc: EncodeScratch<ValId>,
+    pred: PredictScratch<ValId>,
+}
+
+impl InferScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current capacity of the value arena in `f32` slots (diagnostics).
+    pub fn arena_capacity(&self) -> usize {
+        self.ctx.arena_capacity()
     }
 }
 
@@ -140,8 +207,9 @@ pub struct LSchedScheduler {
     steps: Vec<EpisodeStep>,
     /// Per-plan static encoding memo (tentpole: incremental encoding).
     cache: SnapshotCache,
-    /// Reusable forward-pass tape; reset (capacity kept) per decision.
-    scratch: Graph,
+    /// Reusable tape-free evaluation state (arena + id pools); decisions
+    /// run through [`LSchedModel::decide_infer`], not the autodiff tape.
+    infer: InferScratch,
     /// Whether the last forward pass produced a non-finite log-prob —
     /// the signature of NaN logits. Polled by guarding wrappers via
     /// [`Scheduler::health`].
@@ -157,7 +225,7 @@ impl LSchedScheduler {
             recording,
             steps: Vec::new(),
             cache: SnapshotCache::new(),
-            scratch: Graph::new(),
+            infer: InferScratch::new(),
             degraded: false,
         }
     }
@@ -226,14 +294,20 @@ impl Scheduler for LSchedScheduler {
             DecisionMode::Sample => Some(&mut self.rng),
             DecisionMode::Greedy => None,
         };
-        self.scratch.reset();
-        let (decisions, picks, lp) =
-            self.model.decide_snapshot_in(&mut self.scratch, &snap, self.mode, rng, None);
+        let mut decisions = Vec::new();
+        let mut picks = Vec::new();
+        let lp_value = self.model.decide_infer(
+            &snap,
+            self.mode,
+            rng,
+            &mut self.infer,
+            &mut decisions,
+            &mut picks,
+        );
         // The episode log-prob sums every pick's logit: one NaN anywhere
         // in the forward pass surfaces here. Refuse to emit decisions
         // built on a poisoned pass and report Degraded so a guarding
         // wrapper can fall back.
-        let lp_value = self.scratch.value(lp).data().first().copied().unwrap_or(0.0);
         self.degraded = !lp_value.is_finite();
         if self.degraded {
             return Vec::new();

@@ -13,7 +13,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use lsched_nn::{
-    Activation, Graph, Linear, Mlp, NodeId, ParamStore, Tensor, TreeConvStack, TreeSpec,
+    Activation, Backend, Graph, Linear, Mlp, NodeId, ParamStore, TapeBackend, TreeConvStack,
+    TreeSpec,
 };
 
 use crate::features::{FeatureConfig, QuerySnapshot, SystemSnapshot};
@@ -88,24 +89,55 @@ impl std::fmt::Debug for ConvStack {
     }
 }
 
-/// The encodings produced for one query.
+/// The encodings produced for one query. Generic over the executor's
+/// value handle (`NodeId` on the tape, `ValId` on the inference arena).
 #[derive(Debug, Clone)]
-pub struct QueryEncoding {
+pub struct QueryEncoding<I = NodeId> {
     /// Node embeddings (NE), one per operator.
-    pub node_emb: Vec<NodeId>,
+    pub node_emb: Vec<I>,
     /// Edge embeddings (EE), one per plan edge.
-    pub edge_emb: Vec<NodeId>,
+    pub edge_emb: Vec<I>,
     /// The Per-Query Embedding (PQE).
-    pub pqe: NodeId,
+    pub pqe: I,
 }
 
 /// Encodings of the whole system at one scheduling event.
 #[derive(Debug)]
-pub struct SystemEncoding {
+pub struct SystemEncoding<I = NodeId> {
     /// Per-query encodings, aligned with the snapshot's query order.
-    pub queries: Vec<QueryEncoding>,
+    pub queries: Vec<QueryEncoding<I>>,
     /// The All-Queries Embedding (AQE).
-    pub aqe: NodeId,
+    pub aqe: I,
+}
+
+/// Reusable per-call storage for [`QueryEncoder::encode_system_on`]. The
+/// inference path keeps one of these alive across scheduling decisions so
+/// the per-query embedding vectors retain their capacity.
+#[derive(Debug)]
+pub struct EncodeScratch<I> {
+    queries: Vec<QueryEncoding<I>>,
+    /// Retired `(node_emb, edge_emb)` vector pairs awaiting reuse. Whole
+    /// `QueryEncoding`s can't be pooled because `pqe` has no default.
+    spare: Vec<(Vec<I>, Vec<I>)>,
+}
+
+impl<I> Default for EncodeScratch<I> {
+    fn default() -> Self {
+        Self { queries: Vec::new(), spare: Vec::new() }
+    }
+}
+
+impl<I> EncodeScratch<I> {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-query encodings produced by the most recent
+    /// [`QueryEncoder::encode_system_on`] call.
+    pub fn queries(&self) -> &[QueryEncoding<I>] {
+        &self.queries
+    }
 }
 
 /// The Query Encoder network (Figure 6).
@@ -243,118 +275,172 @@ impl QueryEncoder {
         order
     }
 
-    fn conv_forward(
+    fn conv_forward_on<B: Backend>(
         &self,
-        g: &mut Graph,
-        store: &ParamStore,
+        b: &mut B,
         qs: &QuerySnapshot,
-        nodes: &[NodeId],
-        raw_edges: &[NodeId],
-    ) -> Vec<NodeId> {
+        nodes: &[B::Id],
+        raw_edges: &[B::Id],
+        out: &mut Vec<B::Id>,
+    ) {
         match &self.conv {
-            ConvStack::Tcn(stack) => stack.forward(g, store, qs.tree(), nodes, raw_edges),
+            ConvStack::Tcn(stack) => stack.forward_on(b, qs.tree(), nodes, raw_edges, out),
             ConvStack::Seq(layers) => {
                 // Sequential message passing: within each layer the
                 // embedding of a parent is computed from the *current
-                // layer's* child embeddings (children first).
+                // layer's* child embeddings (children first). This is the
+                // ablation path; `topo_order` still allocates.
                 let order = Self::topo_order(qs.tree());
-                let mut h: Vec<NodeId> = nodes.to_vec();
+                out.clear();
+                out.extend_from_slice(nodes);
+                let mut next = b.take_ids();
+                let mut terms = b.take_ids();
                 for layer in layers {
-                    let mut next = h.clone();
+                    next.clear();
+                    next.extend_from_slice(out);
                     for &n in &order {
-                        let own = layer.w_self.forward(g, store, h[n]);
-                        let mut terms = vec![own];
+                        let own = b.linear(&layer.w_self, out[n], Activation::None);
+                        terms.clear();
+                        terms.push(own);
                         for slot in qs.tree().children[n].iter().flatten() {
                             let (c, e) = *slot;
-                            let cm = layer.w_child.forward(g, store, next[c]);
-                            let em = layer.w_edge.forward(g, store, raw_edges[e]);
-                            terms.push(cm);
-                            terms.push(em);
+                            terms.push(b.linear(&layer.w_child, next[c], Activation::None));
+                            terms.push(b.linear(&layer.w_edge, raw_edges[e], Activation::None));
                         }
-                        let sum = g.sum_vec(&terms);
-                        next[n] = g.leaky_relu(sum, 0.01);
+                        let sum = b.sum_vec(&terms);
+                        next[n] = b.leaky_relu(sum, 0.01);
                     }
-                    h = next;
+                    out.clear();
+                    out.extend_from_slice(&next);
                 }
-                h
+                b.recycle_ids(next);
+                b.recycle_ids(terms);
             }
         }
     }
 
+    /// Encodes one query on any [`Backend`]: node embeddings (NE) and
+    /// edge embeddings (EE) are written into the caller's vectors and the
+    /// PQE summary is returned (Figure 6, left and middle).
+    pub fn encode_query_on<B: Backend>(
+        &self,
+        b: &mut B,
+        qs: &QuerySnapshot,
+        node_emb: &mut Vec<B::Id>,
+        edge_emb: &mut Vec<B::Id>,
+    ) -> B::Id {
+        let opf_dim = self.cfg.feat.opf_dim();
+        let mut opf_nodes = b.take_ids();
+        for op in 0..qs.num_ops() {
+            opf_nodes.push(b.input_with(opf_dim, |buf| qs.opf_write(op, buf)));
+        }
+        let mut raw_edges = b.take_ids();
+        for f in qs.edf() {
+            raw_edges.push(b.input(f));
+        }
+
+        // Project raw OPF into the hidden space, then convolve.
+        let mut projected = b.take_ids();
+        for &x in opf_nodes.iter() {
+            projected.push(b.linear(&self.node_proj, x, Activation::LeakyRelu));
+        }
+        self.conv_forward_on(b, qs, &projected, &raw_edges, node_emb);
+
+        // Edge embeddings (EE).
+        edge_emb.clear();
+        for &e in raw_edges.iter() {
+            edge_emb.push(b.linear(&self.edge_proj, e, Activation::LeakyRelu));
+        }
+
+        // PQE: false directed edges from all nodes and edges into a dummy
+        // summary node — message passing implemented as per-element MLPs
+        // followed by a sum and an output MLP. Raw OPF/EDF features are
+        // concatenated with the learned embeddings, per Figure 6.
+        let mut messages = b.take_ids();
+        for (ne, opf) in node_emb.iter().zip(opf_nodes.iter()) {
+            let cat = b.concat(&[*ne, *opf]);
+            messages.push(b.mlp(&self.pqe_node_mlp, cat));
+        }
+        for (ee, edf) in edge_emb.iter().zip(raw_edges.iter()) {
+            let cat = b.concat(&[*ee, *edf]);
+            messages.push(b.mlp(&self.pqe_edge_mlp, cat));
+        }
+        let summed = b.sum_vec(&messages);
+        // Scale by 1/|messages| to keep magnitudes stable across plan sizes.
+        let mean = b.scale(summed, 1.0 / messages.len() as f32);
+        let pqe = b.mlp(&self.pqe_out_mlp, mean);
+
+        b.recycle_ids(opf_nodes);
+        b.recycle_ids(raw_edges);
+        b.recycle_ids(projected);
+        b.recycle_ids(messages);
+        pqe
+    }
+
     /// Encodes one query: node embeddings (NE), edge embeddings (EE) and
-    /// the PQE summary (Figure 6, left and middle).
+    /// the PQE summary (the tape instantiation of
+    /// [`QueryEncoder::encode_query_on`]).
     pub fn encode_query(
         &self,
         g: &mut Graph,
         store: &ParamStore,
         qs: &QuerySnapshot,
     ) -> QueryEncoding {
-        let opf_nodes: Vec<NodeId> =
-            (0..qs.num_ops()).map(|op| g.input(Tensor::vector(qs.opf(op)))).collect();
-        let raw_edges: Vec<NodeId> =
-            qs.edf().iter().map(|f| g.input(Tensor::vector(f.clone()))).collect();
-
-        // Project raw OPF into the hidden space, then convolve.
-        let projected: Vec<NodeId> = opf_nodes
-            .iter()
-            .map(|&x| {
-                let p = self.node_proj.forward(g, store, x);
-                g.leaky_relu(p, 0.01)
-            })
-            .collect();
-        let node_emb = self.conv_forward(g, store, qs, &projected, &raw_edges);
-
-        // Edge embeddings (EE).
-        let edge_emb: Vec<NodeId> = raw_edges
-            .iter()
-            .map(|&e| {
-                let p = self.edge_proj.forward(g, store, e);
-                g.leaky_relu(p, 0.01)
-            })
-            .collect();
-
-        // PQE: false directed edges from all nodes and edges into a dummy
-        // summary node — message passing implemented as per-element MLPs
-        // followed by a sum and an output MLP. Raw OPF/EDF features are
-        // concatenated with the learned embeddings, per Figure 6.
-        let mut messages: Vec<NodeId> = Vec::with_capacity(node_emb.len() + edge_emb.len());
-        for (ne, opf) in node_emb.iter().zip(&opf_nodes) {
-            let cat = g.concat(&[*ne, *opf]);
-            messages.push(self.pqe_node_mlp.forward(g, store, cat));
-        }
-        for (ee, edf) in edge_emb.iter().zip(&raw_edges) {
-            let cat = g.concat(&[*ee, *edf]);
-            messages.push(self.pqe_edge_mlp.forward(g, store, cat));
-        }
-        let summed = g.sum_vec(&messages);
-        // Scale by 1/|messages| to keep magnitudes stable across plan sizes.
-        let mean = g.scale(summed, 1.0 / messages.len() as f32);
-        let pqe = self.pqe_out_mlp.forward(g, store, mean);
-
+        let mut node_emb = Vec::new();
+        let mut edge_emb = Vec::new();
+        let pqe = self.encode_query_on(
+            &mut TapeBackend::new(g, store),
+            qs,
+            &mut node_emb,
+            &mut edge_emb,
+        );
         QueryEncoding { node_emb, edge_emb, pqe }
     }
 
-    /// Encodes the whole system: every query plus the AQE summary
-    /// (Figure 6, bottom).
+    /// Encodes the whole system on any [`Backend`]: every query plus the
+    /// AQE summary (Figure 6, bottom). Per-query encodings land in
+    /// `scratch` (readable via [`EncodeScratch::queries`]); the AQE handle
+    /// is returned.
+    pub fn encode_system_on<B: Backend>(
+        &self,
+        b: &mut B,
+        snap: &SystemSnapshot,
+        scratch: &mut EncodeScratch<B::Id>,
+    ) -> B::Id {
+        assert!(!snap.queries.is_empty(), "encode_system needs at least one query");
+        // Retire last call's per-query vectors so their capacity is reused.
+        for qe in scratch.queries.drain(..) {
+            scratch.spare.push((qe.node_emb, qe.edge_emb));
+        }
+        for qs in &snap.queries {
+            let (mut node_emb, mut edge_emb) = scratch.spare.pop().unwrap_or_default();
+            let pqe = self.encode_query_on(b, qs, &mut node_emb, &mut edge_emb);
+            scratch.queries.push(QueryEncoding { node_emb, edge_emb, pqe });
+        }
+        let mut messages = b.take_ids();
+        for (enc, qs) in scratch.queries.iter().zip(&snap.queries) {
+            let qf = b.input(&qs.qf);
+            let cat = b.concat(&[enc.pqe, qf]);
+            messages.push(b.mlp(&self.aqe_in_mlp, cat));
+        }
+        let summed = b.sum_vec(&messages);
+        let mean = b.scale(summed, 1.0 / messages.len() as f32);
+        let aqe = b.mlp(&self.aqe_out_mlp, mean);
+        b.recycle_ids(messages);
+        aqe
+    }
+
+    /// Encodes the whole system (the tape instantiation of
+    /// [`QueryEncoder::encode_system_on`]).
     pub fn encode_system(
         &self,
         g: &mut Graph,
         store: &ParamStore,
         snap: &SystemSnapshot,
     ) -> SystemEncoding {
-        assert!(!snap.queries.is_empty(), "encode_system needs at least one query");
-        let queries: Vec<QueryEncoding> =
-            snap.queries.iter().map(|qs| self.encode_query(g, store, qs)).collect();
-        let mut messages = Vec::with_capacity(queries.len());
-        for (enc, qs) in queries.iter().zip(&snap.queries) {
-            let qf = g.input(Tensor::vector(qs.qf.clone()));
-            let cat = g.concat(&[enc.pqe, qf]);
-            messages.push(self.aqe_in_mlp.forward(g, store, cat));
-        }
-        let summed = g.sum_vec(&messages);
-        let mean = g.scale(summed, 1.0 / messages.len() as f32);
-        let aqe = self.aqe_out_mlp.forward(g, store, mean);
-        SystemEncoding { queries, aqe }
+        let mut scratch = EncodeScratch::new();
+        let aqe = self.encode_system_on(&mut TapeBackend::new(g, store), snap, &mut scratch);
+        SystemEncoding { queries: scratch.queries, aqe }
     }
 }
 

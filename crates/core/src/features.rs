@@ -237,6 +237,16 @@ impl QuerySnapshot {
         v
     }
 
+    /// Writes the full OPF vector of operator `op` into `out` without
+    /// allocating (the inference hot path writes straight into the
+    /// evaluator's arena). `out` must be exactly `opf_dim` long.
+    pub fn opf_write(&self, op: usize, out: &mut [f32]) {
+        let st = &self.statics.opf_static[op];
+        let (head, tail) = out.split_at_mut(st.len());
+        head.copy_from_slice(st);
+        tail.copy_from_slice(&self.opf_dyn[op]);
+    }
+
     /// EDF vectors, one per plan edge.
     pub fn edf(&self) -> &[Vec<f32>] {
         &self.statics.edf
@@ -273,12 +283,19 @@ impl SystemSnapshot {
     /// Flattened (query index, schedulable-list index) candidate pairs.
     pub fn candidates(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
+        self.candidates_into(&mut out);
+        out
+    }
+
+    /// [`SystemSnapshot::candidates`] into a caller-owned vector (cleared
+    /// first), so the inference hot path can reuse its capacity.
+    pub fn candidates_into(&self, out: &mut Vec<(usize, usize)>) {
+        out.clear();
         for (qi, q) in self.queries.iter().enumerate() {
             for si in 0..q.schedulable.len() {
                 out.push((qi, si));
             }
         }
-        out
     }
 }
 

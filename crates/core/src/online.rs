@@ -76,14 +76,13 @@ pub(crate) fn guarded_step(
         model.store.zero_grads();
         return UpdateOutcome::SkippedNonFiniteGrads;
     }
-    let checkpoint = model.params_json();
+    // Copy-on-write checkpoint: one Arc refcount bump per parameter.
+    // Tensor data is only duplicated for parameters the step actually
+    // writes, and the snapshot is dropped for free on the happy path.
+    let checkpoint = model.store.snapshot_values();
     step(&mut model.store);
     if !model.store.values_are_finite() {
-        // The checkpoint was serialized from this very store moments
-        // ago, so deserialize + load cannot fail or partially match.
-        if let Ok(saved) = ParamStore::from_json(&checkpoint) {
-            model.store.load_matching(&saved);
-        }
+        model.store.restore_values(&checkpoint);
         return UpdateOutcome::RolledBack;
     }
     UpdateOutcome::Applied

@@ -16,10 +16,10 @@ use rand::Rng;
 
 use lsched_engine::plan::OpId;
 use lsched_engine::scheduler::SchedDecision;
-use lsched_nn::{softmax_vals, Activation, Graph, Mlp, NodeId, ParamStore, Tensor};
+use lsched_nn::{Activation, Backend, Graph, Mlp, NodeId, ParamStore, TapeBackend};
 
-use crate::encoder::SystemEncoding;
-use crate::features::SystemSnapshot;
+use crate::encoder::{QueryEncoding, SystemEncoding};
+use crate::features::{QuerySnapshot, SystemSnapshot};
 
 /// Predictor hyper-parameters.
 #[derive(Debug, Clone)]
@@ -69,6 +69,92 @@ pub struct PickTrace {
     pub degree: usize,
     /// Chosen thread grant (≥ 1).
     pub threads: usize,
+}
+
+/// Reusable per-call storage for [`SchedulingPredictor::decide_on`]. The
+/// inference path keeps one alive across scheduling decisions so the
+/// candidate bookkeeping vectors retain their capacity.
+#[derive(Debug)]
+pub struct PredictScratch<I> {
+    cands: Vec<(usize, usize)>,
+    available: Vec<bool>,
+    root_inputs: Vec<I>,
+    pipe_inputs: Vec<I>,
+    logprob_terms: Vec<I>,
+}
+
+impl<I> Default for PredictScratch<I> {
+    fn default() -> Self {
+        Self {
+            cands: Vec::new(),
+            available: Vec::new(),
+            root_inputs: Vec::new(),
+            pipe_inputs: Vec::new(),
+            logprob_terms: Vec::new(),
+        }
+    }
+}
+
+impl<I> PredictScratch<I> {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Picks an index among the valid entries of a log-softmax vector.
+/// Greedy takes the argmax; sampling renormalizes the valid log-probs
+/// without allocating, arithmetic-identical to `softmax_vals` over the
+/// gathered valid entries (same shift-max, same sequential exp-sum, same
+/// cumulative draw), so tape- and inference-path decisions match bit for
+/// bit.
+fn choose_on<B: Backend>(
+    b: &B,
+    logits_sm: B::Id,
+    is_valid: impl Fn(usize) -> bool,
+    n: usize,
+    mode: DecisionMode,
+    rng: Option<&mut StdRng>,
+    forced: Option<usize>,
+) -> usize {
+    if let Some(f) = forced {
+        return f;
+    }
+    let log_probs = b.value(logits_sm);
+    match mode {
+        DecisionMode::Greedy => (0..n)
+            .filter(|&i| is_valid(i))
+            .max_by(|&a, &c| log_probs[a].total_cmp(&log_probs[c]))
+            .expect("non-empty valid set"),
+        DecisionMode::Sample => {
+            let rng = rng.expect("sampling requires an RNG");
+            let mut m = f32::NEG_INFINITY;
+            for (i, &lp) in log_probs.iter().enumerate().take(n) {
+                if is_valid(i) {
+                    m = f32::max(m, lp);
+                }
+            }
+            let mut z = 0.0f32;
+            for (i, &lp) in log_probs.iter().enumerate().take(n) {
+                if is_valid(i) {
+                    z += (lp - m).exp();
+                }
+            }
+            let mut u: f32 = rng.gen();
+            let mut last = None;
+            for (i, &lp) in log_probs.iter().enumerate().take(n) {
+                if !is_valid(i) {
+                    continue;
+                }
+                last = Some(i);
+                u -= (lp - m).exp() / z;
+                if u <= 0.0 {
+                    return i;
+                }
+            }
+            last.expect("non-empty valid set")
+        }
+    }
 }
 
 /// The three-headed predictor network.
@@ -135,89 +221,219 @@ impl SchedulingPredictor {
 
     /// Aggregated edge embedding incident to `op` (mean of EE vectors),
     /// or zeros when the operator has no edges.
-    fn edge_agg(
-        g: &mut Graph,
-        enc: &crate::encoder::QueryEncoding,
+    fn edge_agg_on<B: Backend>(
+        b: &mut B,
+        enc: &QueryEncoding<B::Id>,
         endpoints: &[(usize, usize)],
         op: usize,
         edge_dim: usize,
-    ) -> NodeId {
-        let incident: Vec<NodeId> = endpoints
-            .iter()
-            .enumerate()
-            .filter(|(_, (c, p))| *c == op || *p == op)
-            .map(|(ei, _)| enc.edge_emb[ei])
-            .collect();
-        if incident.is_empty() {
-            g.input(Tensor::zero_vector(edge_dim))
-        } else {
-            let s = g.sum_vec(&incident);
-            g.scale(s, 1.0 / incident.len() as f32)
+    ) -> B::Id {
+        let mut incident = b.take_ids();
+        for (ei, (c, p)) in endpoints.iter().enumerate() {
+            if *c == op || *p == op {
+                incident.push(enc.edge_emb[ei]);
+            }
         }
+        let out = if incident.is_empty() {
+            b.input_with(edge_dim, |_| {})
+        } else {
+            let s = b.sum_vec(&incident);
+            b.scale(s, 1.0 / incident.len() as f32)
+        };
+        b.recycle_ids(incident);
+        out
     }
 
     /// Mean raw EDF of edges incident to `op` (the extra input of the
     /// pipeline head, Figure 7).
-    fn edf_agg(g: &mut Graph, qs: &crate::features::QuerySnapshot, op: usize) -> NodeId {
-        let incident: Vec<&Vec<f32>> = qs
-            .edge_endpoints()
-            .iter()
-            .zip(qs.edf())
-            .filter(|((c, p), _)| *c == op || *p == op)
-            .map(|(_, f)| f)
-            .collect();
-        let mut mean = vec![0.0f32; 2];
-        if !incident.is_empty() {
-            for f in &incident {
-                mean[0] += f[0];
-                mean[1] += f[1];
-            }
-            mean[0] /= incident.len() as f32;
-            mean[1] /= incident.len() as f32;
-        }
-        g.input(Tensor::vector(mean))
-    }
-
-    fn choose(
-        g: &Graph,
-        logits_sm: NodeId,
-        valid: &[usize],
-        mode: DecisionMode,
-        rng: Option<&mut StdRng>,
-        forced: Option<usize>,
-    ) -> usize {
-        if let Some(f) = forced {
-            return f;
-        }
-        let log_probs = g.value(logits_sm).data();
-        match mode {
-            DecisionMode::Greedy => *valid
-                .iter()
-                .max_by(|&&a, &&b| log_probs[a].total_cmp(&log_probs[b]))
-                .expect("non-empty valid set"),
-            DecisionMode::Sample => {
-                let rng = rng.expect("sampling requires an RNG");
-                let probs = softmax_vals(
-                    &valid.iter().map(|&i| log_probs[i]).collect::<Vec<_>>(),
-                );
-                let mut u: f32 = rng.gen();
-                for (k, p) in probs.iter().enumerate() {
-                    u -= p;
-                    if u <= 0.0 {
-                        return valid[k];
-                    }
+    fn edf_agg_on<B: Backend>(b: &mut B, qs: &QuerySnapshot, op: usize) -> B::Id {
+        b.input_with(2, |mean| {
+            let mut n = 0usize;
+            for ((c, p), f) in qs.edge_endpoints().iter().zip(qs.edf()) {
+                if *c == op || *p == op {
+                    mean[0] += f[0];
+                    mean[1] += f[1];
+                    n += 1;
                 }
-                *valid.last().expect("non-empty valid set")
             }
-        }
+            if n > 0 {
+                mean[0] /= n as f32;
+                mean[1] /= n as f32;
+            }
+        })
     }
 
-    /// Runs the full decision pass for one scheduling event.
+    /// Runs the full decision pass for one scheduling event on any
+    /// [`Backend`].
     ///
     /// With `forced` picks (training replay) the same choices are
-    /// re-taken and their log-probability is rebuilt on `g`; otherwise
-    /// choices follow `mode`. Returns the decisions, the pick traces,
-    /// and the total log-probability node.
+    /// re-taken and their log-probability is rebuilt; otherwise choices
+    /// follow `mode`. Decisions and pick traces land in the caller's
+    /// vectors (cleared first); the total log-probability handle is
+    /// returned. All candidate root scores are produced by one
+    /// [`Backend::mlp_scores`] call — a single batched GEMM per layer on
+    /// the inference path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_on<B: Backend>(
+        &self,
+        b: &mut B,
+        snap: &SystemSnapshot,
+        enc_queries: &[QueryEncoding<B::Id>],
+        aqe: B::Id,
+        mode: DecisionMode,
+        mut rng: Option<&mut StdRng>,
+        forced: Option<&[PickTrace]>,
+        scratch: &mut PredictScratch<B::Id>,
+        decisions: &mut Vec<SchedDecision>,
+        picks: &mut Vec<PickTrace>,
+    ) -> B::Id {
+        decisions.clear();
+        picks.clear();
+        let PredictScratch { cands, available, root_inputs, pipe_inputs, logprob_terms } =
+            scratch;
+        snap.candidates_into(cands);
+        available.clear();
+        available.resize(cands.len(), true);
+        let mut free = snap.free_threads;
+        logprob_terms.clear();
+
+        // Precompute per-candidate head inputs (reused across picks).
+        let edge_dim = if snap.queries.iter().all(|q| q.edf().is_empty()) {
+            // Degenerate single-op plans: derive from encoder width.
+            enc_queries
+                .first()
+                .and_then(|qe| qe.edge_emb.first())
+                .map(|&e| b.value(e).len())
+                .unwrap_or(8)
+        } else {
+            enc_queries
+                .iter()
+                .find_map(|qe| qe.edge_emb.first().map(|&e| b.value(e).len()))
+                .unwrap_or(8)
+        };
+        root_inputs.clear();
+        pipe_inputs.clear();
+        for &(qi, si) in cands.iter() {
+            let qs = &snap.queries[qi];
+            let qe = &enc_queries[qi];
+            let op = qs.schedulable[si];
+            let ee = Self::edge_agg_on(b, qe, qs.edge_endpoints(), op, edge_dim);
+            root_inputs.push(b.concat(&[qe.node_emb[op], ee, qe.pqe]));
+            let edf = Self::edf_agg_on(b, qs, op);
+            pipe_inputs.push(b.concat(&[qe.node_emb[op], ee, qe.pqe, edf]));
+        }
+
+        let max_iters = if let Some(f) = forced { f.len() } else { self.cfg.max_picks_per_event };
+        if !cands.is_empty() {
+            // All candidate scores in one batched pass; on the tape this
+            // decomposes per candidate, keeping gradients unchanged.
+            let cand_scores = b.mlp_scores(&self.root_head, root_inputs);
+            for it in 0..max_iters {
+                if free == 0 {
+                    break;
+                }
+                if !available.iter().any(|&a| a) {
+                    break;
+                }
+
+                // --- Execution root (softmax over available candidates).
+                let mask_node = b.input_with(cands.len(), |buf| {
+                    for (m, &a) in buf.iter_mut().zip(available.iter()) {
+                        *m = if a { 0.0 } else { -1e9 };
+                    }
+                });
+                let masked = b.add(cand_scores, mask_node);
+                let root_lsm = b.log_softmax(masked);
+                let forced_pick = forced.map(|f| f[it]);
+                let cand_idx = choose_on(
+                    b,
+                    root_lsm,
+                    |i| available[i],
+                    cands.len(),
+                    mode,
+                    rng.as_deref_mut(),
+                    forced_pick.map(|p| p.cand_idx),
+                );
+                logprob_terms.push(b.gather(root_lsm, cand_idx));
+
+                let (qi, si) = cands[cand_idx];
+                let qs = &snap.queries[qi];
+                let op = qs.schedulable[si];
+
+                // --- Pipeline degree.
+                let max_deg = qs.max_degree[si].min(self.cfg.max_degree).max(1);
+                let degree = if self.cfg.ablate_pipelining {
+                    1
+                } else {
+                    let logits = b.mlp(&self.degree_head, pipe_inputs[cand_idx]);
+                    let dmask_node = b.input_with(self.cfg.max_degree, |buf| {
+                        for (d, m) in buf.iter_mut().enumerate() {
+                            *m = if d < max_deg { 0.0 } else { -1e9 };
+                        }
+                    });
+                    let dmasked = b.add(logits, dmask_node);
+                    let dlsm = b.log_softmax(dmasked);
+                    let didx = choose_on(
+                        b,
+                        dlsm,
+                        |i| i < max_deg,
+                        self.cfg.max_degree,
+                        mode,
+                        rng.as_deref_mut(),
+                        forced_pick.map(|p| p.degree - 1),
+                    );
+                    logprob_terms.push(b.gather(dlsm, didx));
+                    didx + 1
+                };
+
+                // --- Parallelism degree (threads for this query).
+                let max_thr = free.min(self.cfg.max_threads).max(1);
+                let qf = b.input(&qs.qf);
+                let tin = b.concat(&[aqe, enc_queries[qi].pqe, qf]);
+                let tlogits = b.mlp(&self.threads_head, tin);
+                let tmask_node = b.input_with(self.cfg.max_threads, |buf| {
+                    for (t, m) in buf.iter_mut().enumerate() {
+                        *m = if t < max_thr { 0.0 } else { -1e9 };
+                    }
+                });
+                let tmasked = b.add(tlogits, tmask_node);
+                let tlsm = b.log_softmax(tmasked);
+                let tidx = choose_on(
+                    b,
+                    tlsm,
+                    |i| i < max_thr,
+                    self.cfg.max_threads,
+                    mode,
+                    rng.as_deref_mut(),
+                    forced_pick.map(|p| p.threads - 1),
+                );
+                logprob_terms.push(b.gather(tlsm, tidx));
+                let threads = tidx + 1;
+
+                decisions.push(SchedDecision {
+                    query: qs.qid,
+                    root: OpId(op),
+                    pipeline_degree: degree,
+                    threads,
+                });
+                picks.push(PickTrace { cand_idx, degree, threads });
+                free -= threads;
+                // The chosen operator can't root another pipeline this event.
+                available[cand_idx] = false;
+            }
+        }
+
+        if logprob_terms.is_empty() {
+            b.scalar(0.0)
+        } else {
+            let s = b.concat(logprob_terms);
+            b.sum_elems(s)
+        }
+    }
+
+    /// Runs the full decision pass for one scheduling event (the tape
+    /// instantiation of [`SchedulingPredictor::decide_on`]). Returns the
+    /// decisions, the pick traces, and the total log-probability node.
     #[allow(clippy::too_many_arguments)]
     pub fn decide(
         &self,
@@ -226,150 +442,25 @@ impl SchedulingPredictor {
         snap: &SystemSnapshot,
         enc: &SystemEncoding,
         mode: DecisionMode,
-        mut rng: Option<&mut StdRng>,
+        rng: Option<&mut StdRng>,
         forced: Option<&[PickTrace]>,
     ) -> (Vec<SchedDecision>, Vec<PickTrace>, NodeId) {
-        let candidates = snap.candidates();
-        let mut available: Vec<bool> = vec![true; candidates.len()];
-        let mut free = snap.free_threads;
+        let mut scratch = PredictScratch::new();
         let mut decisions = Vec::new();
-        let mut picks: Vec<PickTrace> = Vec::new();
-        let mut logprob_terms: Vec<NodeId> = Vec::new();
-
-        // Precompute per-candidate head inputs (reused across picks).
-        let edge_dim = if snap.queries.iter().all(|q| q.edf().is_empty()) {
-            // Degenerate single-op plans: derive from encoder width.
-            enc.queries
-                .first()
-                .and_then(|qe| qe.edge_emb.first())
-                .map(|&e| g.value(e).len())
-                .unwrap_or(8)
-        } else {
-            enc.queries
-                .iter()
-                .find_map(|qe| qe.edge_emb.first().map(|&e| g.value(e).len()))
-                .unwrap_or(8)
-        };
-        let cand_inputs: Vec<(NodeId, NodeId)> = candidates
-            .iter()
-            .map(|&(qi, si)| {
-                let qs = &snap.queries[qi];
-                let qe = &enc.queries[qi];
-                let op = qs.schedulable[si];
-                let ee = Self::edge_agg(g, qe, qs.edge_endpoints(), op, edge_dim);
-                let root_in = g.concat(&[qe.node_emb[op], ee, qe.pqe]);
-                let edf = Self::edf_agg(g, qs, op);
-                let pipe_in = g.concat(&[qe.node_emb[op], ee, qe.pqe, edf]);
-                (root_in, pipe_in)
-            })
-            .collect();
-        let cand_scores: Vec<NodeId> = cand_inputs
-            .iter()
-            .map(|&(root_in, _)| self.root_head.forward(g, store, root_in))
-            .collect();
-
-        let max_iters = if let Some(f) = forced { f.len() } else { self.cfg.max_picks_per_event };
-        for it in 0..max_iters {
-            if free == 0 {
-                break;
-            }
-            let valid: Vec<usize> =
-                (0..candidates.len()).filter(|&i| available[i]).collect();
-            if valid.is_empty() {
-                break;
-            }
-
-            // --- Execution root (softmax over available candidates).
-            let stacked = g.concat(&cand_scores);
-            let mask: Vec<f32> = available
-                .iter()
-                .map(|&a| if a { 0.0 } else { -1e9 })
-                .collect();
-            let mask_node = g.input(Tensor::vector(mask));
-            let masked = g.add(stacked, mask_node);
-            let root_lsm = g.log_softmax(masked);
-            let forced_pick = forced.map(|f| f[it]);
-            let cand_idx = Self::choose(
-                g,
-                root_lsm,
-                &valid,
-                mode,
-                rng.as_deref_mut(),
-                forced_pick.map(|p| p.cand_idx),
-            );
-            logprob_terms.push(g.gather(root_lsm, cand_idx));
-
-            let (qi, si) = candidates[cand_idx];
-            let qs = &snap.queries[qi];
-            let op = qs.schedulable[si];
-
-            // --- Pipeline degree.
-            let max_deg = qs.max_degree[si].min(self.cfg.max_degree).max(1);
-            let degree = if self.cfg.ablate_pipelining {
-                1
-            } else {
-                let logits = self.degree_head.forward(g, store, cand_inputs[cand_idx].1);
-                let dmask: Vec<f32> = (0..self.cfg.max_degree)
-                    .map(|d| if d < max_deg { 0.0 } else { -1e9 })
-                    .collect();
-                let dmask_node = g.input(Tensor::vector(dmask));
-                let dmasked = g.add(logits, dmask_node);
-                let dlsm = g.log_softmax(dmasked);
-                let dvalid: Vec<usize> = (0..max_deg).collect();
-                let didx = Self::choose(
-                    g,
-                    dlsm,
-                    &dvalid,
-                    mode,
-                    rng.as_deref_mut(),
-                    forced_pick.map(|p| p.degree - 1),
-                );
-                logprob_terms.push(g.gather(dlsm, didx));
-                didx + 1
-            };
-
-            // --- Parallelism degree (threads for this query).
-            let max_thr = free.min(self.cfg.max_threads).max(1);
-            let qf = g.input(Tensor::vector(qs.qf.clone()));
-            let tin = g.concat(&[enc.aqe, enc.queries[qi].pqe, qf]);
-            let tlogits = self.threads_head.forward(g, store, tin);
-            let tmask: Vec<f32> = (0..self.cfg.max_threads)
-                .map(|t| if t < max_thr { 0.0 } else { -1e9 })
-                .collect();
-            let tmask_node = g.input(Tensor::vector(tmask));
-            let tmasked = g.add(tlogits, tmask_node);
-            let tlsm = g.log_softmax(tmasked);
-            let tvalid: Vec<usize> = (0..max_thr).collect();
-            let tidx = Self::choose(
-                g,
-                tlsm,
-                &tvalid,
-                mode,
-                rng.as_deref_mut(),
-                forced_pick.map(|p| p.threads - 1),
-            );
-            logprob_terms.push(g.gather(tlsm, tidx));
-            let threads = tidx + 1;
-
-            decisions.push(SchedDecision {
-                query: qs.qid,
-                root: OpId(op),
-                pipeline_degree: degree,
-                threads,
-            });
-            picks.push(PickTrace { cand_idx, degree, threads });
-            free -= threads;
-            // The chosen operator can't root another pipeline this event.
-            available[cand_idx] = false;
-        }
-
-        let logprob = if logprob_terms.is_empty() {
-            g.input(Tensor::scalar(0.0))
-        } else {
-            let s = g.concat(&logprob_terms);
-            g.sum_elems(s)
-        };
-        (decisions, picks, logprob)
+        let mut picks = Vec::new();
+        let lp = self.decide_on(
+            &mut TapeBackend::new(g, store),
+            snap,
+            &enc.queries,
+            enc.aqe,
+            mode,
+            rng,
+            forced,
+            &mut scratch,
+            &mut decisions,
+            &mut picks,
+        );
+        (decisions, picks, lp)
     }
 }
 

@@ -13,7 +13,7 @@ pub mod model;
 pub mod train;
 
 pub use model::{
-    decima_snapshot, DecimaConfig, DecimaModel, DecimaPick, DecimaScheduler, DecimaSnapshot,
-    DecimaStep,
+    decima_snapshot, DecimaConfig, DecimaInfer, DecimaModel, DecimaPick, DecimaScheduler,
+    DecimaSnapshot, DecimaStep,
 };
 pub use train::{train_decima, DecimaEpisodeStats, DecimaTrainConfig};

@@ -25,7 +25,9 @@ use lsched_engine::plan::OpId;
 use lsched_engine::scheduler::{
     OpStatus, QueryId, QueryRuntime, SchedContext, SchedDecision, SchedEvent, Scheduler,
 };
-use lsched_nn::{softmax_vals, Activation, Graph, Linear, Mlp, NodeId, ParamStore, Tensor};
+use lsched_nn::{
+    Activation, Backend, Graph, InferCtx, Linear, Mlp, NodeId, ParamStore, TapeBackend, ValId,
+};
 
 /// Black-box per-node feature width: [remaining tasks, est remaining
 /// duration, n_children, n_parents, is_schedulable].
@@ -96,12 +98,19 @@ impl DecimaSnapshot {
     /// Flattened candidates as (query index, schedulable-list index).
     pub fn candidates(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
+        self.candidates_into(&mut out);
+        out
+    }
+
+    /// [`DecimaSnapshot::candidates`] into a caller-owned vector (cleared
+    /// first), reusing its capacity on the inference hot path.
+    pub fn candidates_into(&self, out: &mut Vec<(usize, usize)>) {
+        out.clear();
         for (qi, q) in self.queries.iter().enumerate() {
             for si in 0..q.schedulable.len() {
                 out.push((qi, si));
             }
         }
-        out
     }
 }
 
@@ -251,47 +260,163 @@ impl DecimaModel {
         order
     }
 
-    fn encode_query(
+    fn encode_query_on<B: Backend>(
         &self,
-        g: &mut Graph,
+        b: &mut B,
         qs: &DecimaQuerySnapshot,
-    ) -> (Vec<NodeId>, NodeId) {
-        let mut h: Vec<NodeId> = qs
-            .node_feats
-            .iter()
-            .map(|f| {
-                let x = g.input(Tensor::vector(f.clone()));
-                let p = self.proj.forward(g, &self.store, x);
-                g.leaky_relu(p, 0.01)
-            })
-            .collect();
+        h: &mut Vec<B::Id>,
+    ) -> B::Id {
+        h.clear();
+        for f in &qs.node_feats {
+            let x = b.input(f);
+            h.push(b.linear(&self.proj, x, Activation::LeakyRelu));
+        }
         let order = Self::topo_order(&qs.children);
+        let mut next = b.take_ids();
+        let mut terms = b.take_ids();
         for layer in &self.gcn {
             // Sequential message passing: parents read the *current
             // iteration's* child embeddings.
-            let mut next = h.clone();
+            next.clear();
+            next.extend_from_slice(h);
             for &n in &order {
-                let own = layer.w_self.forward(g, &self.store, h[n]);
-                let mut terms = vec![own];
+                let own = b.linear(&layer.w_self, h[n], Activation::None);
+                terms.clear();
+                terms.push(own);
                 for &c in &qs.children[n] {
-                    terms.push(layer.w_child.forward(g, &self.store, next[c]));
+                    terms.push(b.linear(&layer.w_child, next[c], Activation::None));
                 }
-                let s = g.sum_vec(&terms);
-                next[n] = g.leaky_relu(s, 0.01);
+                let s = b.sum_vec(&terms);
+                next[n] = b.leaky_relu(s, 0.01);
             }
-            h = next;
+            h.clear();
+            h.extend_from_slice(&next);
         }
+        b.recycle_ids(next);
+        b.recycle_ids(terms);
         // Query summary: mean node embedding ‖ query feats → MLP.
-        let summed = g.sum_vec(&h);
-        let mean = g.scale(summed, 1.0 / h.len() as f32);
-        let qf = g.input(Tensor::vector(qs.query_feats.clone()));
-        let cat = g.concat(&[mean, qf]);
-        let summary = self.summary.forward(g, &self.store, cat);
-        (h, summary)
+        let summed = b.sum_vec(h);
+        let mean = b.scale(summed, 1.0 / h.len() as f32);
+        let qf = b.input(&qs.query_feats);
+        let cat = b.concat(&[mean, qf]);
+        b.mlp(&self.summary, cat)
     }
 
-    /// Runs a decision pass. With `forced`, replays those picks and
-    /// rebuilds their log-probability.
+    /// Runs a decision pass on any [`Backend`]. With `forced`, replays
+    /// those picks and rebuilds their log-probability. Decisions and
+    /// pick traces land in the caller's vectors (cleared first); the
+    /// log-probability handle is returned. All candidate scores come
+    /// from one [`Backend::mlp_scores`] call — a single batched GEMM per
+    /// head layer on the inference path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_on<B: Backend>(
+        &self,
+        b: &mut B,
+        snap: &DecimaSnapshot,
+        sample: bool,
+        mut rng: Option<&mut StdRng>,
+        forced: Option<&[DecimaPick]>,
+        scratch: &mut DecimaScratch<B::Id>,
+        decisions: &mut Vec<SchedDecision>,
+        picks: &mut Vec<DecimaPick>,
+    ) -> B::Id {
+        decisions.clear();
+        picks.clear();
+        let DecimaScratch { node_embs, summaries, spare, cands, available, score_inputs, lp_terms } =
+            scratch;
+        for v in node_embs.drain(..) {
+            spare.push(v);
+        }
+        summaries.clear();
+        for qs in &snap.queries {
+            let mut h = spare.pop().unwrap_or_default();
+            let s = self.encode_query_on(b, qs, &mut h);
+            node_embs.push(h);
+            summaries.push(s);
+        }
+        snap.candidates_into(cands);
+        available.clear();
+        available.resize(cands.len(), true);
+        let mut free = snap.free_threads;
+        lp_terms.clear();
+
+        score_inputs.clear();
+        for &(qi, si) in cands.iter() {
+            let op = snap.queries[qi].schedulable[si];
+            score_inputs.push(b.concat(&[node_embs[qi][op], summaries[qi]]));
+        }
+
+        let max_iters = forced.map_or(self.cfg.max_picks_per_event, <[DecimaPick]>::len);
+        if !cands.is_empty() {
+            let scores = b.mlp_scores(&self.node_head, score_inputs);
+            for it in 0..max_iters {
+                if free == 0 {
+                    break;
+                }
+                if !available.iter().any(|&a| a) {
+                    break;
+                }
+                let mn = b.input_with(cands.len(), |buf| {
+                    for (m, &a) in buf.iter_mut().zip(available.iter()) {
+                        *m = if a { 0.0 } else { -1e9 };
+                    }
+                });
+                let masked = b.add(scores, mn);
+                let lsm = b.log_softmax(masked);
+                let forced_pick = forced.map(|f| f[it]);
+                let cand_idx = match forced_pick {
+                    Some(p) => p.cand_idx,
+                    None => {
+                        choose_on(b, lsm, |i| available[i], cands.len(), sample, rng.as_deref_mut())
+                    }
+                };
+                lp_terms.push(b.gather(lsm, cand_idx));
+
+                let (qi, si) = cands[cand_idx];
+                let op = snap.queries[qi].schedulable[si];
+
+                // Parallelism limit head.
+                let max_thr = free.min(self.cfg.max_threads).max(1);
+                let logits = b.mlp(&self.limit_head, summaries[qi]);
+                let tm = b.input_with(self.cfg.max_threads, |buf| {
+                    for (t, m) in buf.iter_mut().enumerate() {
+                        *m = if t < max_thr { 0.0 } else { -1e9 };
+                    }
+                });
+                let tmasked = b.add(logits, tm);
+                let tlsm = b.log_softmax(tmasked);
+                let tidx = match forced_pick {
+                    Some(p) => p.threads - 1,
+                    None => {
+                        choose_on(b, tlsm, |i| i < max_thr, self.cfg.max_threads, sample, rng.as_deref_mut())
+                    }
+                };
+                lp_terms.push(b.gather(tlsm, tidx));
+                let threads = tidx + 1;
+
+                decisions.push(SchedDecision {
+                    query: snap.queries[qi].qid,
+                    root: OpId(op),
+                    // No pipelining support (the paper's Section 1 critique).
+                    pipeline_degree: 1,
+                    threads,
+                });
+                picks.push(DecimaPick { cand_idx, threads });
+                free -= threads;
+                available[cand_idx] = false;
+            }
+        }
+
+        if lp_terms.is_empty() {
+            b.scalar(0.0)
+        } else {
+            let s = b.concat(lp_terms);
+            b.sum_elems(s)
+        }
+    }
+
+    /// Runs a decision pass on a fresh autodiff tape (the training /
+    /// replay instantiation of [`DecimaModel::decide_on`]).
     pub fn decide(
         &self,
         snap: &DecimaSnapshot,
@@ -300,112 +425,128 @@ impl DecimaModel {
         forced: Option<&[DecimaPick]>,
     ) -> (Graph, Vec<SchedDecision>, Vec<DecimaPick>, NodeId) {
         let mut g = Graph::new();
-        if snap.queries.is_empty() {
-            let zero = g.input(Tensor::scalar(0.0));
-            return (g, Vec::new(), Vec::new(), zero);
-        }
-        let encoded: Vec<(Vec<NodeId>, NodeId)> =
-            snap.queries.iter().map(|qs| self.encode_query(&mut g, qs)).collect();
-        let candidates = snap.candidates();
-        let mut available = vec![true; candidates.len()];
-        let mut free = snap.free_threads;
+        let mut scratch = DecimaScratch::default();
         let mut decisions = Vec::new();
         let mut picks = Vec::new();
-        let mut lp_terms: Vec<NodeId> = Vec::new();
-        let mut rng = rng;
+        let lp = self.decide_on(
+            &mut TapeBackend::new(&mut g, &self.store),
+            snap,
+            sample,
+            rng,
+            forced,
+            &mut scratch,
+            &mut decisions,
+            &mut picks,
+        );
+        (g, decisions, picks, lp)
+    }
 
-        let scores: Vec<NodeId> = candidates
-            .iter()
-            .map(|&(qi, si)| {
-                let (node_emb, summary) = &encoded[qi];
-                let op = snap.queries[qi].schedulable[si];
-                let cat = g.concat(&[node_emb[op], *summary]);
-                self.node_head.forward(&mut g, &self.store, cat)
-            })
-            .collect();
-
-        let max_iters = forced.map_or(self.cfg.max_picks_per_event, <[DecimaPick]>::len);
-        for it in 0..max_iters {
-            if free == 0 {
-                break;
-            }
-            let valid: Vec<usize> = (0..candidates.len()).filter(|&i| available[i]).collect();
-            if valid.is_empty() {
-                break;
-            }
-            let stacked = g.concat(&scores);
-            let mask: Vec<f32> =
-                available.iter().map(|&a| if a { 0.0 } else { -1e9 }).collect();
-            let mn = g.input(Tensor::vector(mask));
-            let masked = g.add(stacked, mn);
-            let lsm = g.log_softmax(masked);
-            let forced_pick = forced.map(|f| f[it]);
-            let cand_idx = match forced_pick {
-                Some(p) => p.cand_idx,
-                None => choose(&g, lsm, &valid, sample, rng.as_deref_mut()),
-            };
-            lp_terms.push(g.gather(lsm, cand_idx));
-
-            let (qi, si) = candidates[cand_idx];
-            let op = snap.queries[qi].schedulable[si];
-
-            // Parallelism limit head.
-            let max_thr = free.min(self.cfg.max_threads).max(1);
-            let logits = self.limit_head.forward(&mut g, &self.store, encoded[qi].1);
-            let tmask: Vec<f32> = (0..self.cfg.max_threads)
-                .map(|t| if t < max_thr { 0.0 } else { -1e9 })
-                .collect();
-            let tm = g.input(Tensor::vector(tmask));
-            let tmasked = g.add(logits, tm);
-            let tlsm = g.log_softmax(tmasked);
-            let tvalid: Vec<usize> = (0..max_thr).collect();
-            let tidx = match forced_pick {
-                Some(p) => p.threads - 1,
-                None => choose(&g, tlsm, &tvalid, sample, rng.as_deref_mut()),
-            };
-            lp_terms.push(g.gather(tlsm, tidx));
-            let threads = tidx + 1;
-
-            decisions.push(SchedDecision {
-                query: snap.queries[qi].qid,
-                root: OpId(op),
-                // No pipelining support (the paper's Section 1 critique).
-                pipeline_degree: 1,
-                threads,
-            });
-            picks.push(DecimaPick { cand_idx, threads });
-            free -= threads;
-            available[cand_idx] = false;
-        }
-
-        let logprob = if lp_terms.is_empty() {
-            g.input(Tensor::scalar(0.0))
-        } else {
-            let s = g.concat(&lp_terms);
-            g.sum_elems(s)
-        };
-        (g, decisions, picks, logprob)
+    /// Runs a decision pass on the tape-free inference path (no autodiff
+    /// nodes, no parameter clones, batched candidate scoring), returning
+    /// the decision-sequence log-probability as a plain float. Decisions
+    /// are bit-identical to [`DecimaModel::decide`].
+    pub fn decide_infer(
+        &self,
+        snap: &DecimaSnapshot,
+        sample: bool,
+        rng: Option<&mut StdRng>,
+        infer: &mut DecimaInfer,
+        decisions: &mut Vec<SchedDecision>,
+        picks: &mut Vec<DecimaPick>,
+    ) -> f32 {
+        let DecimaInfer { ctx, scratch } = infer;
+        let mut b = ctx.session(&self.store);
+        let lp = self.decide_on(&mut b, snap, sample, rng, None, scratch, decisions, picks);
+        b.value(lp)[0]
     }
 }
 
-fn choose(g: &Graph, lsm: NodeId, valid: &[usize], sample: bool, rng: Option<&mut StdRng>) -> usize {
-    let log_probs = g.value(lsm).data();
+/// Reusable per-call storage for [`DecimaModel::decide_on`].
+#[derive(Debug)]
+pub struct DecimaScratch<I> {
+    node_embs: Vec<Vec<I>>,
+    summaries: Vec<I>,
+    spare: Vec<Vec<I>>,
+    cands: Vec<(usize, usize)>,
+    available: Vec<bool>,
+    score_inputs: Vec<I>,
+    lp_terms: Vec<I>,
+}
+
+impl<I> Default for DecimaScratch<I> {
+    fn default() -> Self {
+        Self {
+            node_embs: Vec::new(),
+            summaries: Vec::new(),
+            spare: Vec::new(),
+            cands: Vec::new(),
+            available: Vec::new(),
+            score_inputs: Vec::new(),
+            lp_terms: Vec::new(),
+        }
+    }
+}
+
+/// Reusable tape-free decision state for [`DecimaScheduler`]: the
+/// evaluation arena plus the model's scratch vectors.
+#[derive(Debug, Default)]
+pub struct DecimaInfer {
+    ctx: InferCtx,
+    scratch: DecimaScratch<ValId>,
+}
+
+impl DecimaInfer {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Picks an index among the valid entries of a log-softmax vector:
+/// argmax when not sampling, otherwise an allocation-free renormalized
+/// categorical draw arithmetic-identical to `softmax_vals` over the
+/// gathered valid entries.
+fn choose_on<B: Backend>(
+    b: &B,
+    lsm: B::Id,
+    is_valid: impl Fn(usize) -> bool,
+    n: usize,
+    sample: bool,
+    rng: Option<&mut StdRng>,
+) -> usize {
+    let log_probs = b.value(lsm);
     if !sample {
-        return *valid
-            .iter()
-            .max_by(|&&a, &&b| log_probs[a].total_cmp(&log_probs[b]))
+        return (0..n)
+            .filter(|&i| is_valid(i))
+            .max_by(|&a, &c| log_probs[a].total_cmp(&log_probs[c]))
             .expect("non-empty");
     }
     let rng = rng.expect("sampling needs rng");
-    let probs = softmax_vals(&valid.iter().map(|&i| log_probs[i]).collect::<Vec<_>>());
-    let mut u: f32 = rng.gen();
-    for (k, p) in probs.iter().enumerate() {
-        u -= p;
-        if u <= 0.0 {
-            return valid[k];
+    let mut m = f32::NEG_INFINITY;
+    for (i, &lp) in log_probs.iter().enumerate().take(n) {
+        if is_valid(i) {
+            m = f32::max(m, lp);
         }
     }
-    *valid.last().expect("non-empty")
+    let mut z = 0.0f32;
+    for (i, &lp) in log_probs.iter().enumerate().take(n) {
+        if is_valid(i) {
+            z += (lp - m).exp();
+        }
+    }
+    let mut u: f32 = rng.gen();
+    let mut last = None;
+    for (i, &lp) in log_probs.iter().enumerate().take(n) {
+        if !is_valid(i) {
+            continue;
+        }
+        last = Some(i);
+        u -= (lp - m).exp() / z;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    last.expect("non-empty")
 }
 
 /// One recorded Decima step.
@@ -428,17 +569,34 @@ pub struct DecimaScheduler {
     rng: StdRng,
     recording: bool,
     steps: Vec<DecimaStep>,
+    /// Reusable tape-free decision state (decisions run through
+    /// [`DecimaModel::decide_infer`], not the autodiff tape).
+    infer: DecimaInfer,
 }
 
 impl DecimaScheduler {
     /// Inference-mode scheduler.
     pub fn greedy(model: DecimaModel) -> Self {
-        Self { model, sample: false, rng: StdRng::seed_from_u64(0), recording: false, steps: Vec::new() }
+        Self {
+            model,
+            sample: false,
+            rng: StdRng::seed_from_u64(0),
+            recording: false,
+            steps: Vec::new(),
+            infer: DecimaInfer::new(),
+        }
     }
 
     /// Training-mode scheduler with recording.
     pub fn sampling(model: DecimaModel, seed: u64) -> Self {
-        Self { model, sample: true, rng: StdRng::seed_from_u64(seed), recording: true, steps: Vec::new() }
+        Self {
+            model,
+            sample: true,
+            rng: StdRng::seed_from_u64(seed),
+            recording: true,
+            steps: Vec::new(),
+            infer: DecimaInfer::new(),
+        }
     }
 
     /// Consumes the scheduler, returning the model and recorded steps.
@@ -455,7 +613,16 @@ impl Scheduler for DecimaScheduler {
     fn on_event(&mut self, ctx: &SchedContext<'_>, _ev: &SchedEvent) -> Vec<SchedDecision> {
         let snap = decima_snapshot(ctx);
         let rng = if self.sample { Some(&mut self.rng) } else { None };
-        let (_g, decisions, picks, _lp) = self.model.decide(&snap, self.sample, rng, None);
+        let mut decisions = Vec::new();
+        let mut picks = Vec::new();
+        self.model.decide_infer(
+            &snap,
+            self.sample,
+            rng,
+            &mut self.infer,
+            &mut decisions,
+            &mut picks,
+        );
         if self.recording && !picks.is_empty() {
             self.steps.push(DecimaStep {
                 snapshot: snap,

@@ -1,0 +1,264 @@
+//! One architecture, two executors: the [`Backend`] trait.
+//!
+//! Model code (layers, tree convolution, attention, the policy heads in
+//! the `core` and `decima` crates) is written once against this trait and
+//! then runs on either executor:
+//!
+//! * [`TapeBackend`] records every op on an autodiff [`Graph`] — this is
+//!   the training path, with semantics identical to calling the graph ops
+//!   directly (same op sequence, same gradients);
+//! * [`crate::infer::InferBackend`] evaluates the same ops directly into
+//!   a bump arena with **no tape nodes and no parameter clones** — the
+//!   inference path used on the scheduling hot loop.
+//!
+//! Both executors route per-output-element accumulation through the same
+//! [`crate::tensor::dot4`] kernel, so the two paths produce bit-identical
+//! forward values, not merely values that agree to a tolerance.
+//!
+//! The trait also exposes two *fusion seams* with default (decomposed)
+//! implementations that the inference backend overrides:
+//!
+//! * [`Backend::linear`] — a whole `act(W x + b)` layer, fused into one
+//!   kernel on the inference path;
+//! * [`Backend::mlp_scores`] — scoring a batch of candidate feature
+//!   vectors with a shared MLP head. The tape decomposes this into one
+//!   forward pass per candidate plus a concat (keeping training
+//!   gradients unchanged); the inference backend stacks the candidates
+//!   into one row-major matrix and runs a single blocked GEMM per layer.
+
+use crate::graph::{Graph, NodeId};
+use crate::layers::{Activation, Linear, Mlp};
+use crate::params::{ParamId, ParamStore};
+
+/// An executor for model forward passes; see the module docs.
+pub trait Backend {
+    /// Handle to a value owned by this executor (a tape [`NodeId`] or an
+    /// arena buffer id).
+    type Id: Copy;
+
+    /// References a parameter from the store (never copies its data on
+    /// either executor).
+    fn param(&mut self, id: ParamId) -> Self::Id;
+
+    /// Introduces a constant input vector by copying `data`.
+    fn input(&mut self, data: &[f32]) -> Self::Id;
+
+    /// Introduces a constant input vector of length `len`, writing the
+    /// values in place via `fill` (the buffer starts zeroed). On the
+    /// inference path this writes directly into the arena, so feature
+    /// assembly costs no heap allocation.
+    fn input_with(&mut self, len: usize, fill: impl FnOnce(&mut [f32])) -> Self::Id;
+
+    /// A single-element constant.
+    fn scalar(&mut self, v: f32) -> Self::Id {
+        self.input_with(1, |b| b[0] = v)
+    }
+
+    /// The forward value of `id`.
+    fn value(&self, id: Self::Id) -> &[f32];
+
+    /// Element-wise addition.
+    fn add(&mut self, a: Self::Id, b: Self::Id) -> Self::Id;
+    /// Hadamard (element-wise) product.
+    fn mul(&mut self, a: Self::Id, b: Self::Id) -> Self::Id;
+    /// Multiplication by a constant.
+    fn scale(&mut self, a: Self::Id, c: f32) -> Self::Id;
+    /// Matrix–vector product; `w` must reference a rank-2 parameter.
+    fn matvec(&mut self, w: Self::Id, x: Self::Id) -> Self::Id;
+    /// Concatenates vectors in order.
+    fn concat(&mut self, parts: &[Self::Id]) -> Self::Id;
+    /// Element-wise sum of same-shaped vectors.
+    fn sum_vec(&mut self, parts: &[Self::Id]) -> Self::Id;
+    /// Rectified linear unit.
+    fn relu(&mut self, a: Self::Id) -> Self::Id;
+    /// Leaky ReLU with the given negative slope.
+    fn leaky_relu(&mut self, a: Self::Id, slope: f32) -> Self::Id;
+    /// Hyperbolic tangent.
+    fn tanh(&mut self, a: Self::Id) -> Self::Id;
+    /// Logistic sigmoid.
+    fn sigmoid(&mut self, a: Self::Id) -> Self::Id;
+    /// Dot product producing a scalar.
+    fn dot(&mut self, a: Self::Id, b: Self::Id) -> Self::Id;
+    /// Sum of all elements, producing a scalar.
+    fn sum_elems(&mut self, a: Self::Id) -> Self::Id;
+    /// Mean of all elements, producing a scalar.
+    fn mean(&mut self, a: Self::Id) -> Self::Id;
+    /// Numerically-stable softmax.
+    fn softmax(&mut self, a: Self::Id) -> Self::Id;
+    /// Numerically-stable log-softmax.
+    fn log_softmax(&mut self, a: Self::Id) -> Self::Id;
+    /// Selects element `idx`, producing a scalar.
+    fn gather(&mut self, a: Self::Id, idx: usize) -> Self::Id;
+    /// Broadcast-multiplies vector `vec` by scalar node `scalar`.
+    fn mul_scalar(&mut self, vec: Self::Id, scalar: Self::Id) -> Self::Id;
+
+    /// Borrows a reusable id scratch vector. The inference backend hands
+    /// out pooled vectors whose capacity persists across decisions (so
+    /// steady-state forward passes allocate nothing); the tape default
+    /// just allocates.
+    fn take_ids(&mut self) -> Vec<Self::Id> {
+        Vec::new()
+    }
+
+    /// Returns a vector obtained from [`Backend::take_ids`] to the pool.
+    fn recycle_ids(&mut self, _v: Vec<Self::Id>) {}
+
+    /// One dense layer `act(W x + b)`. The default decomposes into the
+    /// exact op sequence the tape always recorded (param, param, matvec,
+    /// add, activation); the inference backend fuses it into a single
+    /// kernel.
+    fn linear(&mut self, layer: &Linear, x: Self::Id, act: Activation) -> Self::Id {
+        debug_assert_eq!(self.value(x).len(), layer.in_dim(), "Linear input dim mismatch");
+        let w = self.param(layer.weight_id());
+        let b = self.param(layer.bias_id());
+        let h = self.matvec(w, x);
+        let h = self.add(h, b);
+        act.apply_on(self, h)
+    }
+
+    /// A full MLP forward pass (hidden activation between layers, output
+    /// activation after the last).
+    fn mlp(&mut self, mlp: &Mlp, x: Self::Id) -> Self::Id {
+        let last = mlp.num_layers() - 1;
+        let mut h = x;
+        for (i, layer) in mlp.layers().iter().enumerate() {
+            let act = if i == last { mlp.out_act() } else { mlp.hidden_act() };
+            h = self.linear(layer, h, act);
+        }
+        h
+    }
+
+    /// Scores every candidate input with a shared scalar-output MLP head,
+    /// returning one vector holding all scores in candidate order.
+    ///
+    /// The default runs one forward pass per candidate and concatenates
+    /// the scalar outputs — on the tape this keeps training semantics and
+    /// gradients exactly as before. The inference backend overrides it
+    /// with a batched implementation: candidates are stacked into one
+    /// row-major matrix and each MLP layer becomes a single blocked GEMM.
+    ///
+    /// # Panics
+    /// Panics if `mlp.out_dim() != 1` or `inputs` is empty.
+    fn mlp_scores(&mut self, mlp: &Mlp, inputs: &[Self::Id]) -> Self::Id {
+        assert_eq!(mlp.out_dim(), 1, "mlp_scores needs a scalar-output head");
+        assert!(!inputs.is_empty(), "mlp_scores on an empty candidate batch");
+        let mut scores = self.take_ids();
+        for &x in inputs {
+            let s = self.mlp(mlp, x);
+            scores.push(s);
+        }
+        let out = self.concat(&scores);
+        self.recycle_ids(scores);
+        out
+    }
+}
+
+/// The training executor: every op is recorded on an autodiff [`Graph`]
+/// so `backward` can run, and parameters resolve through the store's
+/// shared (refcounted) tensors.
+pub struct TapeBackend<'a> {
+    g: &'a mut Graph,
+    store: &'a ParamStore,
+}
+
+impl<'a> TapeBackend<'a> {
+    /// Wraps a graph and the parameter store it reads from.
+    pub fn new(g: &'a mut Graph, store: &'a ParamStore) -> Self {
+        Self { g, store }
+    }
+
+    /// The underlying graph (e.g. to run `backward` afterwards).
+    pub fn graph(&mut self) -> &mut Graph {
+        self.g
+    }
+}
+
+impl Backend for TapeBackend<'_> {
+    type Id = NodeId;
+
+    fn param(&mut self, id: ParamId) -> NodeId {
+        self.g.param(self.store, id)
+    }
+
+    fn input(&mut self, data: &[f32]) -> NodeId {
+        self.g.input_vec(data.to_vec())
+    }
+
+    fn input_with(&mut self, len: usize, fill: impl FnOnce(&mut [f32])) -> NodeId {
+        let mut v = vec![0.0f32; len];
+        fill(&mut v);
+        self.g.input_vec(v)
+    }
+
+    fn value(&self, id: NodeId) -> &[f32] {
+        self.g.value(id).data()
+    }
+
+    fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.g.add(a, b)
+    }
+
+    fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.g.mul(a, b)
+    }
+
+    fn scale(&mut self, a: NodeId, c: f32) -> NodeId {
+        self.g.scale(a, c)
+    }
+
+    fn matvec(&mut self, w: NodeId, x: NodeId) -> NodeId {
+        self.g.matvec(w, x)
+    }
+
+    fn concat(&mut self, parts: &[NodeId]) -> NodeId {
+        self.g.concat(parts)
+    }
+
+    fn sum_vec(&mut self, parts: &[NodeId]) -> NodeId {
+        self.g.sum_vec(parts)
+    }
+
+    fn relu(&mut self, a: NodeId) -> NodeId {
+        self.g.relu(a)
+    }
+
+    fn leaky_relu(&mut self, a: NodeId, slope: f32) -> NodeId {
+        self.g.leaky_relu(a, slope)
+    }
+
+    fn tanh(&mut self, a: NodeId) -> NodeId {
+        self.g.tanh(a)
+    }
+
+    fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        self.g.sigmoid(a)
+    }
+
+    fn dot(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.g.dot(a, b)
+    }
+
+    fn sum_elems(&mut self, a: NodeId) -> NodeId {
+        self.g.sum_elems(a)
+    }
+
+    fn mean(&mut self, a: NodeId) -> NodeId {
+        self.g.mean(a)
+    }
+
+    fn softmax(&mut self, a: NodeId) -> NodeId {
+        self.g.softmax(a)
+    }
+
+    fn log_softmax(&mut self, a: NodeId) -> NodeId {
+        self.g.log_softmax(a)
+    }
+
+    fn gather(&mut self, a: NodeId, idx: usize) -> NodeId {
+        self.g.gather(a, idx)
+    }
+
+    fn mul_scalar(&mut self, vec: NodeId, scalar: NodeId) -> NodeId {
+        self.g.mul_scalar(vec, scalar)
+    }
+}

@@ -14,6 +14,7 @@
 
 use rand::rngs::StdRng;
 
+use crate::backend::{Backend, TapeBackend};
 use crate::graph::{Graph, NodeId};
 use crate::init;
 use crate::params::{ParamId, ParamStore};
@@ -38,14 +39,20 @@ impl PairAttention {
         Self { a, dim }
     }
 
-    /// Records the un-normalized score `LeakyReLU(aᵀ (anchor ‖ other))`.
+    /// Records the un-normalized score `LeakyReLU(aᵀ (anchor ‖ other))`
+    /// (the tape instantiation of [`PairAttention::score_on`]).
     pub fn score(&self, g: &mut Graph, store: &ParamStore, anchor: NodeId, other: NodeId) -> NodeId {
-        debug_assert_eq!(g.value(anchor).len(), self.dim);
-        debug_assert_eq!(g.value(other).len(), self.dim);
-        let a = g.param(store, self.a);
-        let cat = g.concat(&[anchor, other]);
-        let s = g.dot(a, cat);
-        g.leaky_relu(s, ATTENTION_LEAKY_SLOPE)
+        self.score_on(&mut TapeBackend::new(g, store), anchor, other)
+    }
+
+    /// Records the un-normalized score on any [`Backend`].
+    pub fn score_on<B: Backend>(&self, b: &mut B, anchor: B::Id, other: B::Id) -> B::Id {
+        debug_assert_eq!(b.value(anchor).len(), self.dim);
+        debug_assert_eq!(b.value(other).len(), self.dim);
+        let a = b.param(self.a);
+        let cat = b.concat(&[anchor, other]);
+        let s = b.dot(a, cat);
+        b.leaky_relu(s, ATTENTION_LEAKY_SLOPE)
     }
 
     /// Embedding dimension this attention operates on.
@@ -66,6 +73,18 @@ pub fn normalize_scores(g: &mut Graph, scores: &[NodeId]) -> Vec<NodeId> {
     let stacked = g.concat(scores);
     let sm = g.softmax(stacked);
     (0..scores.len()).map(|i| g.gather(sm, i)).collect()
+}
+
+/// Softmax-normalizes scalar score handles on any [`Backend`], writing
+/// one handle per input into `out` (cleared first). Taking the output
+/// vector from the caller keeps the inference hot loop allocation-free
+/// (pair with [`Backend::take_ids`] / [`Backend::recycle_ids`]).
+pub fn normalize_scores_on<B: Backend>(b: &mut B, scores: &[B::Id], out: &mut Vec<B::Id>) {
+    assert!(!scores.is_empty(), "normalize_scores on empty input");
+    let stacked = b.concat(scores);
+    let sm = b.softmax(stacked);
+    out.clear();
+    out.extend((0..scores.len()).map(|i| b.gather(sm, i)));
 }
 
 #[cfg(test)]

@@ -8,6 +8,8 @@
 //! step combine gradients from many independent graphs (one per scheduling
 //! decision in REINFORCE).
 
+use std::sync::Arc;
+
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
 
@@ -51,10 +53,31 @@ enum Op {
     MulScalar { vec: NodeId, scalar: NodeId },
 }
 
+/// Forward value of a node: operation outputs are owned by the tape,
+/// while parameter leaves share the store's tensor by refcount so
+/// recording a `param` node never copies weight data. The store's
+/// copy-on-write `value_mut` guarantees the shared tensor stays frozen at
+/// its recording-time value even if an optimizer steps mid-lifetime.
+#[derive(Debug)]
+enum NodeValue {
+    Owned(Tensor),
+    Shared(Arc<Tensor>),
+}
+
+impl std::ops::Deref for NodeValue {
+    type Target = Tensor;
+    fn deref(&self) -> &Tensor {
+        match self {
+            NodeValue::Owned(t) => t,
+            NodeValue::Shared(t) => t,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Node {
     op: Op,
-    value: Tensor,
+    value: NodeValue,
 }
 
 /// A single-use computation tape with reverse-mode autodiff.
@@ -96,7 +119,7 @@ impl Graph {
 
     fn push(&mut self, op: Op, value: Tensor) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { op, value });
+        self.nodes.push(Node { op, value: NodeValue::Owned(value) });
         id
     }
 
@@ -110,9 +133,16 @@ impl Graph {
         self.input(Tensor::vector(data))
     }
 
-    /// Records a parameter leaf, copying its current value from `store`.
+    /// Records a parameter leaf, sharing the store's tensor by refcount
+    /// (no weight data is copied; the store's copy-on-write `value_mut`
+    /// keeps this node pinned at the recording-time value).
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
-        self.push(Op::Param(id), store.value(id).clone())
+        let nid = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            op: Op::Param(id),
+            value: NodeValue::Shared(Arc::clone(store.value_arc(id))),
+        });
+        nid
     }
 
     /// Element-wise addition.
@@ -599,6 +629,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn param_nodes_share_storage_until_store_mutation() {
+        let (mut ps, wid) = store_with("w", Tensor::vector(vec![1.0, 2.0]));
+        let mut g = Graph::new();
+        let w = g.param(&ps, wid);
+        // Recording shares the tensor: same allocation, no copy.
+        assert!(std::ptr::eq(g.value(w).data().as_ptr(), ps.value(wid).data().as_ptr()));
+        // A store mutation detaches (copy-on-write); the tape keeps
+        // observing the recording-time value, exactly as when it cloned.
+        ps.value_mut(wid).data_mut()[0] = 42.0;
+        assert_eq!(g.value(w).data(), &[1.0, 2.0]);
+        assert_eq!(ps.value(wid).data(), &[42.0, 2.0]);
+        // Gradients still flow into the store.
+        let loss = g.sum_elems(w);
+        g.backward(loss, &mut ps);
+        assert_eq!(ps.grad(wid), &[1.0, 1.0]);
     }
 
     #[test]

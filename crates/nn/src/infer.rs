@@ -1,0 +1,610 @@
+//! Tape-free inference: a bump-arena evaluator for the scheduling hot
+//! loop.
+//!
+//! Training needs the autodiff tape; a scheduling decision does not. The
+//! tape path pays for node bookkeeping, one heap allocation per op output
+//! and (historically) a clone of every weight matrix per forward pass.
+//! [`InferCtx`] removes all of that:
+//!
+//! * every intermediate lives in one reusable `Vec<f32>` **bump arena**
+//!   that is cleared (capacity kept) at the start of each decision — in
+//!   steady state a forward pass performs zero heap allocations;
+//! * parameters are **borrowed** from the [`ParamStore`] — a value handle
+//!   simply records the [`ParamId`] and ops read the store's tensor
+//!   directly (zero clones, zero tape nodes);
+//! * whole dense layers run as **fused kernels** (`act(W x + b)` in one
+//!   pass over the weight rows via [`crate::tensor::matvec_rows`], which
+//!   dispatches once per matrix to an AVX2+FMA row loop where available);
+//! * candidate scoring batches all candidate feature vectors of a
+//!   scheduling event into one row-major matrix and pushes it through the
+//!   head MLP with a single blocked GEMM per layer instead of N separate
+//!   forward passes ([`Backend::mlp_scores`]).
+//!
+//! Because both executors share `matvec_rows`'s accumulation order, a forward
+//! pass here is bit-identical to the tape's — the equivalence proptests
+//! in `tests/infer_equivalence.rs` and the scheduler-decision tests rely
+//! on this.
+//!
+//! ```
+//! use lsched_nn::{Activation, Backend, InferCtx, Mlp, ParamStore};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut store = ParamStore::new();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mlp = Mlp::new(&mut store, &mut rng, "m", &[4, 8, 1], Activation::Relu, Activation::None);
+//!
+//! let mut ctx = InferCtx::new();
+//! for _ in 0..3 {
+//!     let mut b = ctx.session(&store); // resets the arena, keeps capacity
+//!     let x = b.input(&[1.0, 0.5, -0.5, 2.0]);
+//!     let y = b.mlp(&mlp, x);
+//!     assert_eq!(b.value(y).len(), 1);
+//! }
+//! ```
+
+use crate::backend::Backend;
+use crate::layers::{Activation, Linear, Mlp};
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::matvec_rows;
+
+/// Handle to a value inside an [`InferCtx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ValId(u32);
+
+/// What a [`ValId`] resolves to.
+#[derive(Debug, Clone, Copy)]
+enum Val {
+    /// A buffer in the arena.
+    Buf { off: usize, len: usize },
+    /// A parameter borrowed from the store (no data copied).
+    Param(ParamId),
+}
+
+/// Reusable state of the tape-free evaluator: the `f32` bump arena, the
+/// handle table and a pool of id scratch vectors.
+///
+/// Lifecycle: keep one `InferCtx` per scheduler for its whole lifetime
+/// and open a fresh [`InferCtx::session`] per decision. The session
+/// resets arena *length* but never its capacity, so after warm-up the
+/// whole forward pass runs without touching the allocator.
+#[derive(Debug, Default)]
+pub struct InferCtx {
+    data: Vec<f32>,
+    vals: Vec<Val>,
+    pool: Vec<Vec<ValId>>,
+}
+
+impl InferCtx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new evaluation session borrowing parameters from
+    /// `store`. Clears the arena (keeping capacity); all previously
+    /// issued [`ValId`]s are invalidated.
+    pub fn session<'a>(&'a mut self, store: &'a ParamStore) -> InferBackend<'a> {
+        self.data.clear();
+        self.vals.clear();
+        InferBackend { ctx: self, store }
+    }
+
+    /// Number of `f32` slots currently in use in the arena.
+    pub fn arena_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Current arena capacity in `f32` slots (stable once warmed up).
+    pub fn arena_capacity(&self) -> usize {
+        self.data.capacity()
+    }
+}
+
+/// A per-decision evaluation session over an [`InferCtx`]; implements
+/// [`Backend`] so model code written against the trait runs tape-free.
+pub struct InferBackend<'a> {
+    ctx: &'a mut InferCtx,
+    store: &'a ParamStore,
+}
+
+/// Resolves a handle against the arena prefix `head` (everything before
+/// the output buffer being written) or the parameter store.
+#[inline]
+fn resolve<'b>(vals: &[Val], store: &'b ParamStore, head: &'b [f32], id: ValId) -> &'b [f32] {
+    match vals[id.0 as usize] {
+        Val::Buf { off, len } => &head[off..off + len],
+        Val::Param(p) => store.value(p).data(),
+    }
+}
+
+/// One fused dense layer over a single row: `out[j] = act(W[j]·x + b[j])`.
+/// Accumulation goes through [`matvec_rows`] — the same whole-matrix
+/// kernel the tape's `matvec` uses — so the fused path matches the
+/// tape's `matvec` + `add` + activation bit for bit; bias add and
+/// activation are then applied in place over the output row.
+#[inline]
+fn fused_linear_row(w: &[f32], in_dim: usize, x: &[f32], bias: &[f32], act: Activation, out: &mut [f32]) {
+    debug_assert_eq!(x.len(), in_dim);
+    debug_assert_eq!(bias.len(), out.len());
+    if in_dim == 0 {
+        for (o, &bj) in out.iter_mut().zip(bias) {
+            *o = act.eval(bj);
+        }
+        return;
+    }
+    matvec_rows(w, in_dim, x, out);
+    for (o, &bj) in out.iter_mut().zip(bias) {
+        *o = act.eval(*o + bj);
+    }
+}
+
+impl InferBackend<'_> {
+    fn len_of(&self, id: ValId) -> usize {
+        match self.ctx.vals[id.0 as usize] {
+            Val::Buf { len, .. } => len,
+            Val::Param(p) => self.store.value(p).len(),
+        }
+    }
+
+    /// Reserves `len` zeroed slots at the arena tail without registering
+    /// a handle (used for batch intermediates that need no id).
+    fn alloc_raw(&mut self, len: usize) -> usize {
+        let off = self.ctx.data.len();
+        self.ctx.data.resize(off + len, 0.0);
+        off
+    }
+
+    /// Reserves `len` zeroed slots and registers a handle for them.
+    fn alloc_out(&mut self, len: usize) -> (usize, ValId) {
+        let off = self.alloc_raw(len);
+        let id = ValId(self.ctx.vals.len() as u32);
+        self.ctx.vals.push(Val::Buf { off, len });
+        (off, id)
+    }
+
+    /// Splits the arena at `off`, returning the prefix (inputs live
+    /// there), the output buffer `[off..]`, the handle table and the
+    /// store (copied out so callers keep access under the `&mut` borrow).
+    fn split_out(&mut self, off: usize) -> (&[f32], &mut [f32], &[Val], &ParamStore) {
+        let store = self.store;
+        let ctx = &mut *self.ctx;
+        let (head, out) = ctx.data.split_at_mut(off);
+        (head, out, &ctx.vals, store)
+    }
+
+    fn unary(&mut self, a: ValId, f: impl Fn(f32) -> f32) -> ValId {
+        let n = self.len_of(a);
+        let (off, id) = self.alloc_out(n);
+        let (head, out, vals, store) = self.split_out(off);
+        let av = resolve(vals, store, head, a);
+        for (o, &x) in out.iter_mut().zip(av) {
+            *o = f(x);
+        }
+        id
+    }
+
+    fn binary(&mut self, a: ValId, b: ValId, f: impl Fn(f32, f32) -> f32) -> ValId {
+        let n = self.len_of(a);
+        debug_assert_eq!(n, self.len_of(b), "element-wise op shape mismatch");
+        let (off, id) = self.alloc_out(n);
+        let (head, out, vals, store) = self.split_out(off);
+        let av = resolve(vals, store, head, a);
+        let bv = resolve(vals, store, head, b);
+        for ((o, &x), &y) in out.iter_mut().zip(av).zip(bv) {
+            *o = f(x, y);
+        }
+        id
+    }
+}
+
+impl Backend for InferBackend<'_> {
+    type Id = ValId;
+
+    fn param(&mut self, id: ParamId) -> ValId {
+        let vid = ValId(self.ctx.vals.len() as u32);
+        self.ctx.vals.push(Val::Param(id));
+        vid
+    }
+
+    fn input(&mut self, data: &[f32]) -> ValId {
+        let (off, id) = self.alloc_out(data.len());
+        self.ctx.data[off..].copy_from_slice(data);
+        id
+    }
+
+    fn input_with(&mut self, len: usize, fill: impl FnOnce(&mut [f32])) -> ValId {
+        let (off, id) = self.alloc_out(len);
+        fill(&mut self.ctx.data[off..]);
+        id
+    }
+
+    fn value(&self, id: ValId) -> &[f32] {
+        match self.ctx.vals[id.0 as usize] {
+            Val::Buf { off, len } => &self.ctx.data[off..off + len],
+            Val::Param(p) => self.store.value(p).data(),
+        }
+    }
+
+    fn add(&mut self, a: ValId, b: ValId) -> ValId {
+        self.binary(a, b, |x, y| x + y)
+    }
+
+    fn mul(&mut self, a: ValId, b: ValId) -> ValId {
+        self.binary(a, b, |x, y| x * y)
+    }
+
+    fn scale(&mut self, a: ValId, c: f32) -> ValId {
+        self.unary(a, |x| x * c)
+    }
+
+    fn matvec(&mut self, w: ValId, x: ValId) -> ValId {
+        let wt = match self.ctx.vals[w.0 as usize] {
+            Val::Param(p) => self.store.value(p),
+            Val::Buf { .. } => {
+                panic!("inference matvec requires a parameter matrix (arena buffers are rank-1)")
+            }
+        };
+        let (m, n) = (wt.rows(), wt.cols());
+        let (off, id) = self.alloc_out(m);
+        let (head, out, vals, store) = self.split_out(off);
+        let xv = resolve(vals, store, head, x);
+        debug_assert_eq!(xv.len(), n, "matvec dim mismatch");
+        if n > 0 {
+            matvec_rows(wt.data(), n, xv, out);
+        }
+        id
+    }
+
+    fn concat(&mut self, parts: &[ValId]) -> ValId {
+        assert!(!parts.is_empty(), "concat of zero vectors");
+        let total: usize = parts.iter().map(|&p| self.len_of(p)).sum();
+        let (off, id) = self.alloc_out(total);
+        let (head, out, vals, store) = self.split_out(off);
+        let mut pos = 0;
+        for &p in parts {
+            let pv = resolve(vals, store, head, p);
+            out[pos..pos + pv.len()].copy_from_slice(pv);
+            pos += pv.len();
+        }
+        id
+    }
+
+    fn sum_vec(&mut self, parts: &[ValId]) -> ValId {
+        assert!(!parts.is_empty(), "sum_vec of zero vectors");
+        let n = self.len_of(parts[0]);
+        let (off, id) = self.alloc_out(n);
+        let (head, out, vals, store) = self.split_out(off);
+        for &p in parts {
+            let pv = resolve(vals, store, head, p);
+            debug_assert_eq!(pv.len(), n, "sum_vec shape mismatch");
+            for (o, &v) in out.iter_mut().zip(pv) {
+                *o += v;
+            }
+        }
+        id
+    }
+
+    fn relu(&mut self, a: ValId) -> ValId {
+        self.unary(a, |x| x.max(0.0))
+    }
+
+    fn leaky_relu(&mut self, a: ValId, slope: f32) -> ValId {
+        self.unary(a, move |x| if x > 0.0 { x } else { slope * x })
+    }
+
+    fn tanh(&mut self, a: ValId) -> ValId {
+        self.unary(a, f32::tanh)
+    }
+
+    fn sigmoid(&mut self, a: ValId) -> ValId {
+        self.unary(a, |x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    fn dot(&mut self, a: ValId, b: ValId) -> ValId {
+        debug_assert_eq!(self.len_of(a), self.len_of(b), "dot shape mismatch");
+        let (off, id) = self.alloc_out(1);
+        let (head, out, vals, store) = self.split_out(off);
+        let av = resolve(vals, store, head, a);
+        let bv = resolve(vals, store, head, b);
+        // Same accumulation as the tape's dot (plain sequential sum).
+        out[0] = av.iter().zip(bv).map(|(x, y)| x * y).sum();
+        id
+    }
+
+    fn sum_elems(&mut self, a: ValId) -> ValId {
+        let (off, id) = self.alloc_out(1);
+        let (head, out, vals, store) = self.split_out(off);
+        out[0] = resolve(vals, store, head, a).iter().sum();
+        id
+    }
+
+    fn mean(&mut self, a: ValId) -> ValId {
+        let (off, id) = self.alloc_out(1);
+        let (head, out, vals, store) = self.split_out(off);
+        let av = resolve(vals, store, head, a);
+        out[0] = av.iter().sum::<f32>() / av.len() as f32;
+        id
+    }
+
+    fn softmax(&mut self, a: ValId) -> ValId {
+        let n = self.len_of(a);
+        let (off, id) = self.alloc_out(n);
+        let (head, out, vals, store) = self.split_out(off);
+        let av = resolve(vals, store, head, a);
+        // Mirrors `softmax_vals` exactly: shift by max, exp, normalize.
+        let m = av.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for (o, &v) in out.iter_mut().zip(av) {
+            *o = (v - m).exp();
+        }
+        let sum: f32 = out.iter().sum();
+        for o in out.iter_mut() {
+            *o /= sum;
+        }
+        id
+    }
+
+    fn log_softmax(&mut self, a: ValId) -> ValId {
+        let n = self.len_of(a);
+        let (off, id) = self.alloc_out(n);
+        let (head, out, vals, store) = self.split_out(off);
+        let av = resolve(vals, store, head, a);
+        // Mirrors the tape's log_softmax expression exactly.
+        let m = av.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + av.iter().map(|v| (v - m).exp()).sum::<f32>().ln();
+        for (o, &v) in out.iter_mut().zip(av) {
+            *o = v - lse;
+        }
+        id
+    }
+
+    fn gather(&mut self, a: ValId, idx: usize) -> ValId {
+        let (off, id) = self.alloc_out(1);
+        let (head, out, vals, store) = self.split_out(off);
+        out[0] = resolve(vals, store, head, a)[idx];
+        id
+    }
+
+    fn mul_scalar(&mut self, vec: ValId, scalar: ValId) -> ValId {
+        let n = self.len_of(vec);
+        debug_assert_eq!(self.len_of(scalar), 1);
+        let (off, id) = self.alloc_out(n);
+        let (head, out, vals, store) = self.split_out(off);
+        let s = resolve(vals, store, head, scalar)[0];
+        let av = resolve(vals, store, head, vec);
+        for (o, &x) in out.iter_mut().zip(av) {
+            *o = x * s;
+        }
+        id
+    }
+
+    fn take_ids(&mut self) -> Vec<ValId> {
+        self.ctx.pool.pop().unwrap_or_default()
+    }
+
+    fn recycle_ids(&mut self, mut v: Vec<ValId>) {
+        v.clear();
+        self.ctx.pool.push(v);
+    }
+
+    /// Fused dense layer: one pass over the weight rows computes
+    /// `act(W x + b)` straight into the arena.
+    fn linear(&mut self, layer: &Linear, x: ValId, act: Activation) -> ValId {
+        let (m, n) = (layer.out_dim(), layer.in_dim());
+        let (off, id) = self.alloc_out(m);
+        let w = self.store.value(layer.weight_id());
+        let bias = self.store.value(layer.bias_id());
+        let (head, out, vals) = {
+            let ctx = &mut *self.ctx;
+            let (head, out) = ctx.data.split_at_mut(off);
+            (head, out, &ctx.vals)
+        };
+        let xv = resolve(vals, self.store, head, x);
+        fused_linear_row(w.data(), n, xv, bias.data(), act, out);
+        id
+    }
+
+    /// Batched candidate scoring: stacks the candidate feature vectors
+    /// into one row-major `N×d` matrix in the arena and pushes the whole
+    /// batch through each MLP layer with a single blocked GEMM (fused
+    /// bias + activation), finishing with the scalar head that yields the
+    /// `N` scores as one vector.
+    fn mlp_scores(&mut self, mlp: &Mlp, inputs: &[ValId]) -> ValId {
+        assert_eq!(mlp.out_dim(), 1, "mlp_scores needs a scalar-output head");
+        assert!(!inputs.is_empty(), "mlp_scores on an empty candidate batch");
+        let rows = inputs.len();
+        let d0 = mlp.in_dim();
+
+        // Stage 0: gather the candidate rows into one contiguous matrix.
+        let mut x_off = self.alloc_raw(rows * d0);
+        {
+            let (head, out, vals, store) = self.split_out(x_off);
+            for (i, &p) in inputs.iter().enumerate() {
+                let pv = resolve(vals, store, head, p);
+                debug_assert_eq!(pv.len(), d0, "mlp_scores input dim mismatch");
+                out[i * d0..(i + 1) * d0].copy_from_slice(pv);
+            }
+        }
+
+        // Each layer: Y (rows×out) = act(X (rows×in) · Wᵀ + b), one GEMM.
+        let last = mlp.num_layers() - 1;
+        let mut in_dim = d0;
+        for (l, layer) in mlp.layers().iter().enumerate() {
+            let act = if l == last { mlp.out_act() } else { mlp.hidden_act() };
+            let out_dim = layer.out_dim();
+            let y_off = self.alloc_raw(rows * out_dim);
+            let w = self.store.value(layer.weight_id());
+            let bias = self.store.value(layer.bias_id());
+            let ctx = &mut *self.ctx;
+            let (head, y) = ctx.data.split_at_mut(y_off);
+            let x = &head[x_off..x_off + rows * in_dim];
+            for (yi, xi) in y.chunks_exact_mut(out_dim).zip(x.chunks_exact(in_dim.max(1))) {
+                let xi = if in_dim == 0 { &[][..] } else { xi };
+                fused_linear_row(w.data(), in_dim, xi, bias.data(), act, yi);
+            }
+            x_off = y_off;
+            in_dim = out_dim;
+        }
+
+        // The final rows×1 matrix *is* the score vector.
+        let id = ValId(self.ctx.vals.len() as u32);
+        self.ctx.vals.push(Val::Buf { off: x_off, len: rows });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::TapeBackend;
+    use crate::graph::Graph;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn store_with(name: &str, t: Tensor) -> (ParamStore, ParamId) {
+        let mut ps = ParamStore::new();
+        let id = ps.register(name, t);
+        (ps, id)
+    }
+
+    /// Records the same op chain on a generic backend; used to compare
+    /// tape and tape-free executors on every op the trait exposes.
+    fn op_chain<B: Backend>(b: &mut B, wid: ParamId) -> Vec<f32> {
+        let x = b.input(&[1.0, 2.0, -3.0]);
+        let w = b.param(wid);
+        let a = b.add(x, w);
+        let m = b.mul(a, x);
+        let s = b.scale(m, 0.5);
+        let c = b.concat(&[s, x]);
+        let sv = b.sum_vec(&[m, s, a]);
+        let r = b.relu(sv);
+        let lr = b.leaky_relu(sv, 0.2);
+        let t = b.tanh(sv);
+        let sg = b.sigmoid(sv);
+        let d = b.dot(a, m);
+        let se = b.sum_elems(c);
+        let mn = b.mean(c);
+        let sm = b.softmax(sv);
+        let lsm = b.log_softmax(sv);
+        let gt = b.gather(lsm, 1);
+        let ms = b.mul_scalar(t, d);
+        let mut out = Vec::new();
+        for id in [a, m, s, c, sv, r, lr, t, sg, d, se, mn, sm, lsm, gt, ms] {
+            out.extend_from_slice(b.value(id));
+        }
+        out
+    }
+
+    #[test]
+    fn every_op_matches_tape_bitwise() {
+        let (ps, wid) = store_with("w", Tensor::vector(vec![0.5, -1.5, 2.0]));
+        let mut g = Graph::new();
+        let tape_out = op_chain(&mut TapeBackend::new(&mut g, &ps), wid);
+        let mut ctx = InferCtx::new();
+        let infer_out = op_chain(&mut ctx.session(&ps), wid);
+        assert_eq!(tape_out, infer_out);
+    }
+
+    #[test]
+    fn arena_reuses_capacity_across_sessions() {
+        let (ps, wid) = store_with("w", Tensor::matrix(4, 3, vec![0.25; 12]));
+        let mut ctx = InferCtx::new();
+        let mut cap = 0;
+        for i in 0..5 {
+            let mut b = ctx.session(&ps);
+            let x = b.input(&[1.0, 2.0, 3.0]);
+            let w = b.param(wid);
+            let y = b.matvec(w, x);
+            let s = b.softmax(y);
+            assert!((b.value(s).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+            if i == 0 {
+                cap = ctx.arena_capacity();
+            } else {
+                assert_eq!(ctx.arena_capacity(), cap, "arena must not grow after warm-up");
+            }
+        }
+    }
+
+    #[test]
+    fn params_are_borrowed_not_copied() {
+        let (ps, wid) = store_with("w", Tensor::vector(vec![1.0, 2.0]));
+        let mut ctx = InferCtx::new();
+        let b0 = ctx.arena_len();
+        {
+            let mut b = ctx.session(&ps);
+            let w = b.param(wid);
+            assert!(std::ptr::eq(b.value(w).as_ptr(), ps.value(wid).data().as_ptr()));
+        }
+        assert_eq!(ctx.arena_len(), b0, "param handles must not consume arena space");
+    }
+
+    #[test]
+    fn fused_linear_matches_tape_bitwise() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let layer = Linear::new(&mut ps, &mut rng, "l", 5, 3);
+        let x = [0.3, -0.7, 1.1, 0.0, -2.2];
+
+        let mut g = Graph::new();
+        let mut tape = TapeBackend::new(&mut g, &ps);
+        let tx = tape.input(&x);
+        let ty = tape.linear(&layer, tx, Activation::LeakyRelu);
+        let tape_out = tape.value(ty).to_vec();
+
+        let mut ctx = InferCtx::new();
+        let mut inf = ctx.session(&ps);
+        let ix = inf.input(&x);
+        let iy = inf.linear(&layer, ix, Activation::LeakyRelu);
+        assert_eq!(inf.value(iy), &tape_out[..], "fused linear must be bit-identical");
+    }
+
+    #[test]
+    fn batched_scores_match_per_candidate_bitwise() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let head = Mlp::new(&mut ps, &mut rng, "h", &[4, 6, 1], Activation::LeakyRelu, Activation::None);
+
+        let cands: Vec<Vec<f32>> =
+            (0..7).map(|i| (0..4).map(|j| ((i * 4 + j) as f32).sin()).collect()).collect();
+
+        let mut g = Graph::new();
+        let mut tape = TapeBackend::new(&mut g, &ps);
+        let t_ids: Vec<_> = cands.iter().map(|c| tape.input(c)).collect();
+        let t_scores = tape.mlp_scores(&head, &t_ids);
+        let tape_out = tape.value(t_scores).to_vec();
+
+        let mut ctx = InferCtx::new();
+        let mut inf = ctx.session(&ps);
+        let i_ids: Vec<_> = cands.iter().map(|c| inf.input(c)).collect();
+        let i_scores = inf.mlp_scores(&head, &i_ids);
+        assert_eq!(inf.value(i_scores), &tape_out[..], "one-GEMM scoring must be bit-identical");
+        assert_eq!(inf.value(i_scores).len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty candidate batch")]
+    fn empty_candidate_batch_panics_consistently() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let head = Mlp::new(&mut ps, &mut rng, "h", &[2, 1], Activation::None, Activation::None);
+        let mut ctx = InferCtx::new();
+        let mut inf = ctx.session(&ps);
+        let _ = inf.mlp_scores(&head, &[]);
+    }
+
+    #[test]
+    fn id_pool_recycles_capacity() {
+        let ps = ParamStore::new();
+        let mut ctx = InferCtx::new();
+        {
+            let mut b = ctx.session(&ps);
+            let mut v = b.take_ids();
+            v.reserve(64);
+            let cap = v.capacity();
+            b.recycle_ids(v);
+            let v2 = b.take_ids();
+            assert!(v2.capacity() >= cap, "recycled vector must keep its capacity");
+            b.recycle_ids(v2);
+        }
+    }
+}

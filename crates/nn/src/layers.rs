@@ -6,6 +6,7 @@
 
 use rand::rngs::StdRng;
 
+use crate::backend::{Backend, TapeBackend};
 use crate::graph::{Graph, NodeId};
 use crate::init;
 use crate::params::{ParamId, ParamStore};
@@ -31,6 +32,35 @@ impl Activation {
             Activation::Relu => g.relu(x),
             Activation::LeakyRelu => g.leaky_relu(x, 0.01),
             Activation::Tanh => g.tanh(x),
+        }
+    }
+
+    /// Applies the activation on any [`Backend`].
+    pub fn apply_on<B: Backend + ?Sized>(self, b: &mut B, x: B::Id) -> B::Id {
+        match self {
+            Activation::None => x,
+            Activation::Relu => b.relu(x),
+            Activation::LeakyRelu => b.leaky_relu(x, 0.01),
+            Activation::Tanh => b.tanh(x),
+        }
+    }
+
+    /// Scalar evaluation, with expressions identical to the graph ops
+    /// (used by the fused inference kernels so tape and tape-free paths
+    /// stay bit-identical).
+    #[inline]
+    pub fn eval(self, x: f32) -> f32 {
+        match self {
+            Activation::None => x,
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+            Activation::Tanh => x.tanh(),
         }
     }
 }
@@ -59,13 +89,10 @@ impl Linear {
         Self { w, b, in_dim, out_dim }
     }
 
-    /// Records `W x + b` on the graph.
+    /// Records `W x + b` on the graph (the tape instantiation of
+    /// [`Backend::linear`] with no activation).
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> NodeId {
-        debug_assert_eq!(g.value(x).len(), self.in_dim, "Linear input dim mismatch");
-        let w = g.param(store, self.w);
-        let b = g.param(store, self.b);
-        let h = g.matvec(w, x);
-        g.add(h, b)
+        TapeBackend::new(g, store).linear(self, x, Activation::None)
     }
 
     /// Input dimension.
@@ -121,19 +148,25 @@ impl Mlp {
         Self { layers, hidden_act, out_act }
     }
 
-    /// Records the MLP forward pass on the graph.
+    /// Records the MLP forward pass on the graph (the tape instantiation
+    /// of [`Backend::mlp`]).
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> NodeId {
-        let last = self.layers.len() - 1;
-        let mut h = x;
-        for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(g, store, h);
-            h = if i == last {
-                self.out_act.apply(g, h)
-            } else {
-                self.hidden_act.apply(g, h)
-            };
-        }
-        h
+        TapeBackend::new(g, store).mlp(self, x)
+    }
+
+    /// The linear layers, in forward order.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// The activation applied between hidden layers.
+    pub fn hidden_act(&self) -> Activation {
+        self.hidden_act
+    }
+
+    /// The activation applied after the last layer.
+    pub fn out_act(&self) -> Activation {
+        self.out_act
     }
 
     /// Input dimension.

@@ -34,8 +34,12 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "count-allocs")]
+pub mod alloc_count;
+pub mod backend;
 pub mod gat;
 pub mod graph;
+pub mod infer;
 pub mod init;
 pub mod layers;
 pub mod optim;
@@ -43,10 +47,12 @@ pub mod params;
 pub mod tensor;
 pub mod tree_conv;
 
+pub use backend::{Backend, TapeBackend};
 pub use gat::{normalize_scores, PairAttention};
 pub use graph::{softmax_vals, Graph, NodeId};
+pub use infer::{InferBackend, InferCtx, ValId};
 pub use layers::{Activation, Linear, Mlp};
 pub use optim::{Adam, Sgd};
 pub use params::{ParamId, ParamStore};
-pub use tensor::Tensor;
+pub use tensor::{axpy4, dot4, Tensor};
 pub use tree_conv::{FilterMode, TreeConvConfig, TreeConvLayer, TreeConvStack, TreeSpec};

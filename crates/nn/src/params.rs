@@ -3,6 +3,7 @@
 //! learning, Section 6 of the paper).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -22,7 +23,9 @@ impl ParamId {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Param {
     name: String,
-    value: Tensor,
+    // Copy-on-write: tapes and checkpoints share the tensor by bumping
+    // the refcount; `value_mut` clones only when another holder exists.
+    value: Arc<Tensor>,
     grad: Vec<f32>,
     frozen: bool,
 }
@@ -59,7 +62,7 @@ impl ParamStore {
         );
         let id = ParamId(self.params.len());
         let grad = vec![0.0; value.len()];
-        self.params.push(Param { name: name.clone(), value, grad, frozen: false });
+        self.params.push(Param { name: name.clone(), value: Arc::new(value), grad, frozen: false });
         self.by_name.insert(name, id);
         id
     }
@@ -89,9 +92,52 @@ impl ParamStore {
         &self.params[id.0].value
     }
 
+    /// The shared handle behind a parameter value. Cloning it is a
+    /// refcount bump, not a data copy — this is how tapes and inference
+    /// contexts borrow weights without duplicating them.
+    pub fn value_arc(&self, id: ParamId) -> &Arc<Tensor> {
+        &self.params[id.0].value
+    }
+
     /// Mutable access to a parameter value (used by optimizers).
+    ///
+    /// Copy-on-write: if a tape node or checkpoint still shares the
+    /// tensor, the data is cloned once here so the other holders keep
+    /// observing the pre-update value.
     pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
-        &mut self.params[id.0].value
+        Arc::make_mut(&mut self.params[id.0].value)
+    }
+
+    /// Cheap whole-store value checkpoint: one refcount bump per
+    /// parameter, no tensor data copied. Restore with
+    /// [`ParamStore::restore_values`].
+    pub fn snapshot_values(&self) -> Vec<Arc<Tensor>> {
+        self.params.iter().map(|p| Arc::clone(&p.value)).collect()
+    }
+
+    /// Restores parameter values from a [`ParamStore::snapshot_values`]
+    /// checkpoint taken on this same store (also just refcount traffic).
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not cover exactly this store's
+    /// parameters.
+    pub fn restore_values(&mut self, snapshot: &[Arc<Tensor>]) {
+        assert_eq!(
+            snapshot.len(),
+            self.params.len(),
+            "snapshot holds {} parameters but the store has {}",
+            snapshot.len(),
+            self.params.len()
+        );
+        for (p, saved) in self.params.iter_mut().zip(snapshot) {
+            assert_eq!(
+                p.value.shape(),
+                saved.shape(),
+                "shape mismatch while restoring parameter {:?}",
+                p.name
+            );
+            p.value = Arc::clone(saved);
+        }
     }
 
     /// The accumulated gradient of a parameter.
@@ -307,6 +353,30 @@ mod tests {
         assert!(ps.grads_are_finite());
         ps.value_mut(a).data_mut()[0] = f32::NAN;
         assert!(!ps.values_are_finite());
+    }
+
+    #[test]
+    fn snapshot_restore_is_copy_on_write() {
+        let mut ps = ParamStore::new();
+        let a = ps.register("w", Tensor::vector(vec![1.0, 2.0]));
+        let snap = ps.snapshot_values();
+        // The snapshot shares storage until the first write...
+        assert!(Arc::ptr_eq(&snap[0], ps.value_arc(a)));
+        ps.value_mut(a).data_mut()[0] = 99.0;
+        // ...which detaches the live value and leaves the checkpoint intact.
+        assert!(!Arc::ptr_eq(&snap[0], ps.value_arc(a)));
+        assert_eq!(snap[0].data(), &[1.0, 2.0]);
+        assert_eq!(ps.value(a).data(), &[99.0, 2.0]);
+        ps.restore_values(&snap);
+        assert_eq!(ps.value(a).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot holds")]
+    fn restore_rejects_mismatched_snapshot() {
+        let mut ps = ParamStore::new();
+        ps.register("w", Tensor::scalar(1.0));
+        ps.restore_values(&[]);
     }
 
     #[test]

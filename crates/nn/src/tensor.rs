@@ -7,6 +7,156 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Dot product, the one accumulation kernel of the workspace.
+///
+/// Every matrix–vector and matrix–matrix kernel (the tape's
+/// [`Tensor::matvec`], the tape-free fused linear layers and the batched
+/// candidate-scoring GEMM in [`crate::infer`]) routes per-output-element
+/// accumulation through this one function, which is what makes tape and
+/// tape-free forward passes bit-identical rather than merely close.
+///
+/// Vectors of at least 8 elements take an AVX2+FMA path when the CPU has
+/// it (16 elements per iteration across two 8-lane FMA accumulators);
+/// shorter vectors — and every vector on other CPUs — take a 4-wide
+/// unrolled scalar loop. Dispatch depends only on the CPU and the vector
+/// length, so results are deterministic on a given machine; absolute
+/// values may differ across machines (FMA skips intermediate
+/// roundings), but both executors always agree because they share this
+/// kernel.
+#[inline]
+pub fn dot4(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot4: length mismatch {} vs {}", a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if a.len() >= 8 && std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: the required CPU features were just detected.
+        return unsafe { dot_avx2_fma(a, b) };
+    }
+    dot4_scalar(a, b)
+}
+
+/// The portable 4-wide unrolled dot product: four independent
+/// accumulators hide the FP add latency, combined as
+/// `(s0 + s1) + (s2 + s3)` with the tail folded in sequentially.
+#[inline]
+fn dot4_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let n4 = a.len() & !3;
+    let (a4, at) = a.split_at(n4);
+    let (b4, bt) = b.split_at(n4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for (x, y) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        s0 += x[0] * y[0];
+        s1 += x[1] * y[1];
+        s2 += x[2] * y[2];
+        s3 += x[3] * y[3];
+    }
+    let mut acc = (s0 + s1) + (s2 + s3);
+    for (x, y) in at.iter().zip(bt) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// AVX2+FMA dot product: two 8-lane FMA accumulators (16 elements per
+/// iteration), one more 8-lane block if available, then a fixed-order
+/// horizontal reduction and a sequential scalar tail.
+///
+/// # Safety
+/// The caller must have verified that the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_avx2_fma(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(ap.add(i + 8)),
+            _mm256_loadu_ps(bp.add(i + 8)),
+            acc1,
+        );
+        i += 16;
+    }
+    if i + 8 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+        i += 8;
+    }
+    let acc = _mm256_add_ps(acc0, acc1);
+    let quad = _mm_add_ps(_mm256_castps256_ps128(acc), _mm256_extractf128_ps(acc, 1));
+    let pair = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
+    let single = _mm_add_ss(pair, _mm_shuffle_ps(pair, pair, 0b01));
+    let mut out = _mm_cvtss_f32(single);
+    while i < n {
+        out += *ap.add(i) * *bp.add(i);
+        i += 1;
+    }
+    out
+}
+
+/// Row-major matrix–vector kernel: `out[j] = W[j]·x` for an
+/// `out.len()×n` matrix stored contiguously in `w`.
+///
+/// This is the whole-matrix form of [`dot4`]: per-row accumulation is
+/// identical, but CPU-feature dispatch happens once per matrix instead
+/// of once per output element, so the AVX2+FMA inner loop inlines into
+/// a tight row loop. The tape's [`Tensor::matvec`] and the tape-free
+/// fused layers in [`crate::infer`] both route through this function,
+/// which keeps their outputs bit-identical.
+///
+/// # Panics
+/// Does not tolerate `n == 0` (use a caller-side guard) — the scalar
+/// path iterates rows via `chunks_exact(n)`.
+#[inline]
+pub fn matvec_rows(w: &[f32], n: usize, x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), n, "matvec_rows: input length mismatch");
+    debug_assert_eq!(w.len(), n * out.len(), "matvec_rows: matrix shape mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if n >= 8 && std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: the required CPU features were just detected.
+        unsafe { matvec_rows_avx2_fma(w, n, x, out) };
+        return;
+    }
+    for (o, row) in out.iter_mut().zip(w.chunks_exact(n)) {
+        *o = dot4_scalar(row, x);
+    }
+}
+
+/// AVX2+FMA row loop over a row-major matrix; each row uses the same
+/// accumulation as [`dot_avx2_fma`] (which inlines here — same target
+/// features).
+///
+/// # Safety
+/// The caller must have verified that the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn matvec_rows_avx2_fma(w: &[f32], n: usize, x: &[f32], out: &mut [f32]) {
+    for (o, row) in out.iter_mut().zip(w.chunks_exact(n)) {
+        *o = dot_avx2_fma(row, x);
+    }
+}
+
+/// `out += g * row`, with a 4-wide unrolled inner loop (the backward
+/// counterpart of [`dot4`], used by [`Tensor::matvec_t`]).
+#[inline]
+pub fn axpy4(g: f32, row: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(row.len(), out.len(), "axpy4: length mismatch {} vs {}", row.len(), out.len());
+    let n4 = row.len() & !3;
+    let (r4, rt) = row.split_at(n4);
+    let (o4, ot) = out.split_at_mut(n4);
+    for (o, a) in o4.chunks_exact_mut(4).zip(r4.chunks_exact(4)) {
+        o[0] += g * a[0];
+        o[1] += g * a[1];
+        o[2] += g * a[2];
+        o[3] += g * a[3];
+    }
+    for (o, a) in ot.iter_mut().zip(rt) {
+        *o += g * a;
+    }
+}
+
 /// A dense, row-major tensor of `f32` values.
 ///
 /// Only rank-1 (vectors) and rank-2 (matrices) tensors appear in LSched's
@@ -111,31 +261,39 @@ impl Tensor {
     }
 
     /// Matrix–vector product `self * x` for a rank-2 tensor.
+    ///
+    /// Single pass: each output element is produced directly by [`dot4`]
+    /// into uninitialised capacity — no zero-fill followed by a second
+    /// write pass.
+    #[inline]
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
         let (m, n) = (self.rows(), self.cols());
         assert_eq!(n, x.len(), "matvec: {m}x{n} matrix with vector of len {}", x.len());
-        let mut out = vec![0.0; m];
-        for (i, row) in self.data.chunks_exact(n).enumerate() {
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(x) {
-                acc += a * b;
-            }
-            out[i] = acc;
+        if n == 0 {
+            return vec![0.0; m];
         }
+        let mut out = vec![0.0; m];
+        matvec_rows(&self.data, n, x, &mut out);
         out
     }
 
     /// Transposed matrix–vector product `selfᵀ * g` for a rank-2 tensor.
+    ///
+    /// The output really is an accumulator here (each input row
+    /// contributes to every output element), so it starts zeroed; the
+    /// inner axpy is 4-wide unrolled and rows with a zero coefficient —
+    /// common under sparse gradients — are skipped.
+    #[inline]
     pub fn matvec_t(&self, g: &[f32]) -> Vec<f32> {
         let (m, n) = (self.rows(), self.cols());
         assert_eq!(m, g.len(), "matvec_t: {m}x{n} matrix with vector of len {}", g.len());
         let mut out = vec![0.0; n];
-        for (i, row) in self.data.chunks_exact(n).enumerate() {
-            let gi = g[i];
+        if n == 0 {
+            return out;
+        }
+        for (row, &gi) in self.data.chunks_exact(n).zip(g) {
             if gi != 0.0 {
-                for (o, a) in out.iter_mut().zip(row) {
-                    *o += gi * a;
-                }
+                axpy4(gi, row, &mut out);
             }
         }
         out
@@ -189,5 +347,118 @@ mod tests {
         let z = Tensor::zeros(vec![4, 5]);
         assert_eq!(z.len(), 20);
         assert!(z.data().iter().all(|&v| v == 0.0));
+    }
+
+    /// Reference scalar implementations matching dot4's combine order.
+    fn dot_ref(a: &[f32], b: &[f32]) -> f32 {
+        let n4 = a.len() & !3;
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0, 0.0, 0.0);
+        let mut i = 0;
+        while i < n4 {
+            s0 += a[i] * b[i];
+            s1 += a[i + 1] * b[i + 1];
+            s2 += a[i + 2] * b[i + 2];
+            s3 += a[i + 3] * b[i + 3];
+            i += 4;
+        }
+        let mut acc = (s0 + s1) + (s2 + s3);
+        for j in n4..a.len() {
+            acc += a[j] * b[j];
+        }
+        acc
+    }
+
+    #[test]
+    fn dot4_short_lengths_match_scalar_reference() {
+        // Below 8 elements every CPU takes the portable 4-wide path, so
+        // the result is bit-identical to the reference at any remainder.
+        for n in 0..8usize {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32).sin() + 0.5).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32).cos() - 0.25).collect();
+            assert_eq!(dot4(&a, &b), dot_ref(&a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn dot4_is_exact_on_small_integers() {
+        // With small-integer inputs every product and partial sum is
+        // exactly representable, so the SIMD path (if taken), the scalar
+        // path and a plain integer sum must all agree exactly — this
+        // pins the remainder handling at every length through the 16-wide
+        // main loop, the 8-wide block and the scalar tail.
+        for n in 0..40usize {
+            let a: Vec<f32> = (0..n).map(|i| ((i % 7) as f32) - 3.0).collect();
+            let b: Vec<f32> = (0..n).map(|i| ((i % 5) as f32) - 2.0).collect();
+            let exact: i64 =
+                (0..n).map(|i| ((i % 7) as i64 - 3) * ((i % 5) as i64 - 2)).sum();
+            assert_eq!(dot4(&a, &b), exact as f32, "n={n}");
+            assert_eq!(dot4_scalar(&a, &b), exact as f32, "scalar n={n}");
+        }
+    }
+
+    #[test]
+    fn dot4_long_lengths_match_f64_reference() {
+        // The FMA path may differ from the scalar path in the last few
+        // ulps; both must sit tight against a double-precision reference.
+        for n in [8usize, 15, 16, 31, 32, 64, 210] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32).sin() + 0.5).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32).cos() - 0.25).collect();
+            let exact: f64 =
+                a.iter().zip(&b).map(|(&x, &y)| x as f64 * y as f64).sum();
+            let got = dot4(&a, &b) as f64;
+            assert!(
+                (got - exact).abs() <= 1e-4 * (1.0 + exact.abs()),
+                "n={n}: {got} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn matvec_one_by_n() {
+        // A 1×5 matrix is a single dot product.
+        let m = Tensor::matrix(1, 5, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let x = [1.0, -1.0, 1.0, -1.0, 1.0];
+        assert_eq!(m.matvec(&x), vec![3.0]);
+        assert_eq!(m.matvec_t(&[2.0]), vec![2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn matvec_n_by_one() {
+        // An N×1 matrix scales the single input element.
+        let m = Tensor::matrix(4, 1, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.matvec(&[2.0]), vec![2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(m.matvec_t(&[1.0, 1.0, 1.0, 1.0]), vec![10.0]);
+    }
+
+    #[test]
+    fn matvec_degenerate_shapes() {
+        // 0×N: no rows, empty output.
+        let m = Tensor::matrix(0, 3, vec![]);
+        assert_eq!(m.matvec(&[1.0, 2.0, 3.0]), Vec::<f32>::new());
+        assert_eq!(m.matvec_t(&[]), vec![0.0, 0.0, 0.0]);
+        // N×0: rows of width zero — every dot product is empty.
+        let m = Tensor::matrix(3, 0, vec![]);
+        assert_eq!(m.matvec(&[]), vec![0.0, 0.0, 0.0]);
+        assert_eq!(m.matvec_t(&[1.0, 2.0, 3.0]), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn matvec_skips_zero_grad_rows_identically() {
+        let m = Tensor::matrix(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.matvec_t(&[0.0, 1.0, 0.0]), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn axpy4_matches_scalar_loop() {
+        for n in 0..11usize {
+            let row: Vec<f32> = (0..n).map(|i| i as f32 * 0.75 - 1.0).collect();
+            let mut out = vec![0.5; n];
+            let mut expect = vec![0.5; n];
+            axpy4(1.5, &row, &mut out);
+            for (e, r) in expect.iter_mut().zip(&row) {
+                *e += 1.5 * r;
+            }
+            assert_eq!(out, expect, "n={n}");
+        }
     }
 }

@@ -29,7 +29,8 @@
 
 use rand::rngs::StdRng;
 
-use crate::gat::{normalize_scores, PairAttention};
+use crate::backend::{Backend, TapeBackend};
+use crate::gat::{normalize_scores_on, PairAttention};
 use crate::graph::{Graph, NodeId};
 use crate::init;
 use crate::layers::Activation;
@@ -203,20 +204,21 @@ impl TreeConvLayer {
         *store.value_mut(id) = value;
     }
 
-    fn apply_weight(&self, g: &mut Graph, store: &ParamStore, w: ParamId, x: NodeId) -> NodeId {
+    fn apply_weight_on<B: Backend>(&self, b: &mut B, w: ParamId, x: B::Id) -> B::Id {
         match self.cfg.mode {
             FilterMode::Diagonal => {
-                let wv = g.param(store, w);
-                g.mul(wv, x)
+                let wv = b.param(w);
+                b.mul(wv, x)
             }
             FilterMode::Dense => {
-                let wm = g.param(store, w);
-                g.matvec(wm, x)
+                let wm = b.param(w);
+                b.matvec(wm, x)
             }
         }
     }
 
-    /// Convolves one layer over the whole tree.
+    /// Convolves one layer over the whole tree (the tape instantiation of
+    /// [`TreeConvLayer::forward_on`]).
     ///
     /// `nodes[i]` is the previous-layer embedding of node `i` (dimension
     /// `in_dim`); `edges[j]` is the (static) embedding of edge `j`
@@ -232,11 +234,32 @@ impl TreeConvLayer {
         nodes: &[NodeId],
         edges: &[NodeId],
     ) -> Vec<NodeId> {
-        assert_eq!(tree.len(), nodes.len(), "tree/node count mismatch");
-        let zero_node = g.input(Tensor::zero_vector(self.cfg.in_dim));
-        let zero_edge = g.input(Tensor::zero_vector(self.cfg.edge_dim));
-
         let mut out = Vec::with_capacity(nodes.len());
+        self.forward_on(&mut TapeBackend::new(g, store), tree, nodes, edges, &mut out);
+        out
+    }
+
+    /// Convolves one layer over the whole tree on any [`Backend`],
+    /// writing one `out_dim` embedding handle per node into `out`
+    /// (cleared first). The five filter terms and their attention scores
+    /// live in fixed-size arrays and the score-normalization scratch is
+    /// pooled, so on the inference backend a warmed-up call performs no
+    /// heap allocations.
+    pub fn forward_on<B: Backend>(
+        &self,
+        b: &mut B,
+        tree: &TreeSpec,
+        nodes: &[B::Id],
+        edges: &[B::Id],
+        out: &mut Vec<B::Id>,
+    ) {
+        assert_eq!(tree.len(), nodes.len(), "tree/node count mismatch");
+        let zero_node = b.input_with(self.cfg.in_dim, |_| {});
+        let zero_edge = b.input_with(self.cfg.edge_dim, |_| {});
+
+        out.clear();
+        out.reserve(nodes.len());
+        let mut z = b.take_ids();
         for (p, slots) in tree.children.iter().enumerate() {
             let (xl, el) = match slots[0] {
                 Some((c, e)) => (nodes[c], edges[e]),
@@ -247,39 +270,40 @@ impl TreeConvLayer {
                 None => (zero_node, zero_edge),
             };
 
-            let sp = self.apply_weight(g, store, self.w_self, nodes[p]);
-            let sl = self.apply_weight(g, store, self.w_left, xl);
-            let sel = self.apply_weight(g, store, self.w_edge_left, el);
-            let sr = self.apply_weight(g, store, self.w_right, xr);
-            let ser = self.apply_weight(g, store, self.w_edge_right, er);
+            let sp = self.apply_weight_on(b, self.w_self, nodes[p]);
+            let sl = self.apply_weight_on(b, self.w_left, xl);
+            let sel = self.apply_weight_on(b, self.w_edge_left, el);
+            let sr = self.apply_weight_on(b, self.w_right, xr);
+            let ser = self.apply_weight_on(b, self.w_edge_right, er);
 
             let combined = if let Some(att) = &self.attention {
                 // Eq. 3–5: one score per filter term (incl. the parent
                 // itself), softmax-normalized, then attention-scaled sum.
                 let terms = [sp, sr, ser, sl, sel];
-                let raw: Vec<NodeId> =
-                    terms.iter().map(|&t| att.score(g, store, sp, t)).collect();
-                let z = normalize_scores(g, &raw);
-                let scaled: Vec<NodeId> = terms
-                    .iter()
-                    .zip(&z)
-                    .map(|(&t, &zi)| g.mul_scalar(t, zi))
-                    .collect();
-                g.sum_vec(&scaled)
+                let mut raw = terms;
+                for (r, &t) in raw.iter_mut().zip(&terms) {
+                    *r = att.score_on(b, sp, t);
+                }
+                normalize_scores_on(b, &raw, &mut z);
+                let mut scaled = terms;
+                for (s, (&t, &zi)) in scaled.iter_mut().zip(terms.iter().zip(z.iter())) {
+                    *s = b.mul_scalar(t, zi);
+                }
+                b.sum_vec(&scaled)
             } else {
-                g.sum_vec(&[sp, sr, ser, sl, sel])
+                b.sum_vec(&[sp, sr, ser, sl, sel])
             };
 
             let biased = match self.bias {
-                Some(b) => {
-                    let bv = g.param(store, b);
-                    g.add(combined, bv)
+                Some(bias) => {
+                    let bv = b.param(bias);
+                    b.add(combined, bv)
                 }
                 None => combined,
             };
-            out.push(self.cfg.activation.apply(g, biased));
+            out.push(self.cfg.activation.apply_on(b, biased));
         }
-        out
+        b.recycle_ids(z);
     }
 }
 
@@ -320,7 +344,8 @@ impl TreeConvStack {
         Self { layers }
     }
 
-    /// Runs every layer in order, returning the final per-node embeddings.
+    /// Runs every layer in order, returning the final per-node embeddings
+    /// (the tape instantiation of [`TreeConvStack::forward_on`]).
     pub fn forward(
         &self,
         g: &mut Graph,
@@ -329,11 +354,31 @@ impl TreeConvStack {
         nodes: &[NodeId],
         edges: &[NodeId],
     ) -> Vec<NodeId> {
-        let mut h = nodes.to_vec();
+        let mut out = Vec::with_capacity(nodes.len());
+        self.forward_on(&mut TapeBackend::new(g, store), tree, nodes, edges, &mut out);
+        out
+    }
+
+    /// Runs every layer in order on any [`Backend`], writing the final
+    /// per-node embedding handles into `out` (cleared first). The two
+    /// per-layer handle vectors ping-pong through the backend's id pool,
+    /// so warmed-up inference calls allocate nothing.
+    pub fn forward_on<B: Backend>(
+        &self,
+        b: &mut B,
+        tree: &TreeSpec,
+        nodes: &[B::Id],
+        edges: &[B::Id],
+        out: &mut Vec<B::Id>,
+    ) {
+        out.clear();
+        out.extend_from_slice(nodes);
+        let mut scratch = b.take_ids();
         for layer in &self.layers {
-            h = layer.forward(g, store, tree, &h, edges);
+            layer.forward_on(b, tree, out, edges, &mut scratch);
+            std::mem::swap(out, &mut scratch);
         }
-        h
+        b.recycle_ids(scratch);
     }
 
     /// Number of layers in the stack.

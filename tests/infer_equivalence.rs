@@ -1,0 +1,254 @@
+//! Tape vs tape-free equivalence: the same architecture evaluated on the
+//! autodiff tape ([`TapeBackend`]) and on the inference arena
+//! ([`InferCtx`]) must produce the same forward values. The two
+//! executors share their accumulation kernels, so we hold them to *bit
+//! identity* — strictly stronger than the 1e-5 tolerance the acceptance
+//! criteria ask for — across random shapes, seeds and inputs, and we
+//! check the full scheduler decision pass end to end.
+
+use lsched::nn::{
+    Activation, Backend, Graph, InferCtx, Mlp, PairAttention, ParamStore, TapeBackend,
+    TreeConvStack, TreeSpec,
+};
+use lsched::prelude::*;
+use proptest::prelude::*;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_vec(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// MLP forward passes match bitwise for random widths/depths/inputs.
+    #[test]
+    fn mlp_matches_tape(
+        in_dim in 1usize..10,
+        hidden in 1usize..12,
+        out_dim in 1usize..6,
+        depth in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dims = vec![in_dim];
+        dims.extend(std::iter::repeat_n(hidden, depth));
+        dims.push(out_dim);
+        let mlp = Mlp::new(&mut store, &mut rng, "m", &dims, Activation::LeakyRelu, Activation::Tanh);
+        let x = rand_vec(&mut rng, in_dim);
+
+        let tape_out = {
+            let mut g = Graph::new();
+            let mut b = TapeBackend::new(&mut g, &store);
+            let xin = b.input(&x);
+            let y = b.mlp(&mlp, xin);
+            b.value(y).to_vec()
+        };
+        let infer_out = {
+            let mut ctx = InferCtx::new();
+            let mut b = ctx.session(&store);
+            let xin = b.input(&x);
+            let y = b.mlp(&mlp, xin);
+            b.value(y).to_vec()
+        };
+        prop_assert_eq!(&tape_out, &infer_out, "fused inference layer diverged from tape");
+        for (a, c) in tape_out.iter().zip(infer_out.iter()) {
+            prop_assert!((a - c).abs() <= 1e-5);
+        }
+    }
+
+    /// Batched candidate scoring (one GEMM) matches per-candidate tape
+    /// scoring bitwise.
+    #[test]
+    fn mlp_scores_match_tape(
+        in_dim in 1usize..8,
+        hidden in 1usize..10,
+        n_cands in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let head = Mlp::new(&mut store, &mut rng, "h", &[in_dim, hidden, 1],
+                            Activation::LeakyRelu, Activation::None);
+        let inputs: Vec<Vec<f32>> = (0..n_cands).map(|_| rand_vec(&mut rng, in_dim)).collect();
+
+        let tape_out = {
+            let mut g = Graph::new();
+            let mut b = TapeBackend::new(&mut g, &store);
+            let ids: Vec<_> = inputs.iter().map(|v| b.input(v)).collect();
+            let s = b.mlp_scores(&head, &ids);
+            b.value(s).to_vec()
+        };
+        let infer_out = {
+            let mut ctx = InferCtx::new();
+            let mut b = ctx.session(&store);
+            let ids: Vec<_> = inputs.iter().map(|v| b.input(v)).collect();
+            let s = b.mlp_scores(&head, &ids);
+            b.value(s).to_vec()
+        };
+        prop_assert_eq!(&tape_out, &infer_out, "batched GEMM scoring diverged from tape");
+    }
+
+    /// Pair attention + softmax normalization match bitwise.
+    #[test]
+    fn gat_matches_tape(dim in 1usize..10, n_scores in 2usize..6, seed in 0u64..1000) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let att = PairAttention::new(&mut store, &mut rng, "att", dim);
+        let anchor = rand_vec(&mut rng, dim);
+        let others: Vec<Vec<f32>> = (0..n_scores).map(|_| rand_vec(&mut rng, dim)).collect();
+
+        let tape_out = {
+            let mut g = Graph::new();
+            let mut b = TapeBackend::new(&mut g, &store);
+            let a = b.input(&anchor);
+            let scores: Vec<_> = others.iter().map(|o| {
+                let oid = b.input(o);
+                att.score_on(&mut b, a, oid)
+            }).collect();
+            let mut z = Vec::new();
+            lsched::nn::gat::normalize_scores_on(&mut b, &scores, &mut z);
+            z.iter().map(|&s| b.value(s)[0]).collect::<Vec<_>>()
+        };
+        let infer_out = {
+            let mut ctx = InferCtx::new();
+            let mut b = ctx.session(&store);
+            let a = b.input(&anchor);
+            let scores: Vec<_> = others.iter().map(|o| {
+                let oid = b.input(o);
+                att.score_on(&mut b, a, oid)
+            }).collect();
+            let mut z = Vec::new();
+            lsched::nn::gat::normalize_scores_on(&mut b, &scores, &mut z);
+            z.iter().map(|&s| b.value(s)[0]).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(&tape_out, &infer_out, "attention scores diverged from tape");
+    }
+
+    /// Edge-aware tree convolution (with and without GAT) matches
+    /// bitwise on random binary trees.
+    #[test]
+    fn tree_conv_matches_tape(
+        n_nodes in 1usize..8,
+        in_dim in 1usize..8,
+        hidden in 1usize..8,
+        edge_dim in 1usize..5,
+        depth in 1usize..3,
+        gat in 0u8..2,
+        seed in 0u64..1000,
+    ) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stack = TreeConvStack::new(&mut store, &mut rng, "tc", in_dim, hidden,
+                                       edge_dim, depth, gat == 1);
+        // Random binary tree: attach each node to a random earlier node
+        // with a free slot.
+        let mut tree = TreeSpec::with_nodes(n_nodes);
+        let mut n_edges = 0usize;
+        for child in 1..n_nodes {
+            let with_free: Vec<usize> = (0..child)
+                .filter(|&p| tree.children[p].iter().any(|s| s.is_none()))
+                .collect();
+            if with_free.is_empty() {
+                continue;
+            }
+            let parent = with_free[rng.gen_range(0..with_free.len())];
+            tree.attach(parent, child, n_edges);
+            n_edges += 1;
+        }
+        let node_feats: Vec<Vec<f32>> = (0..n_nodes).map(|_| rand_vec(&mut rng, in_dim)).collect();
+        let edge_feats: Vec<Vec<f32>> = (0..n_edges).map(|_| rand_vec(&mut rng, edge_dim)).collect();
+
+        let tape_out = {
+            let mut g = Graph::new();
+            let mut b = TapeBackend::new(&mut g, &store);
+            let nodes: Vec<_> = node_feats.iter().map(|v| b.input(v)).collect();
+            let edges: Vec<_> = edge_feats.iter().map(|v| b.input(v)).collect();
+            let mut out = Vec::new();
+            stack.forward_on(&mut b, &tree, &nodes, &edges, &mut out);
+            out.iter().map(|&id| b.value(id).to_vec()).collect::<Vec<_>>()
+        };
+        let infer_out = {
+            let mut ctx = InferCtx::new();
+            let mut b = ctx.session(&store);
+            let nodes: Vec<_> = node_feats.iter().map(|v| b.input(v)).collect();
+            let edges: Vec<_> = edge_feats.iter().map(|v| b.input(v)).collect();
+            let mut out = Vec::new();
+            stack.forward_on(&mut b, &tree, &nodes, &edges, &mut out);
+            out.iter().map(|&id| b.value(id).to_vec()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(&tape_out, &infer_out, "tree convolution diverged from tape");
+    }
+
+    /// The full scheduler decision pass — encoder, batched root scoring,
+    /// degree and thread heads, greedy AND sampled picks — is
+    /// bit-identical between the tape and the tape-free path.
+    #[test]
+    fn full_decision_pass_matches_tape(
+        n_queries in 1usize..4,
+        free_threads in 1usize..8,
+        model_seed in 0u64..100,
+        rng_seed in 0u64..1000,
+        sampled in 0u8..2,
+    ) {
+        use lsched::core::agent::InferScratch;
+        use lsched::engine::plan::{OpKind, OpSpec, PlanBuilder};
+        use lsched::engine::scheduler::QueryRuntime;
+        use lsched::core::features::snapshot;
+        use lsched::core::encoder::EncoderConfig;
+        use lsched::core::predictor::PredictorConfig;
+
+        let cfg = LSchedConfig {
+            encoder: EncoderConfig {
+                hidden: 12, edge_hidden: 4, pqe_dim: 8, aqe_dim: 8, conv_layers: 2,
+                ..Default::default()
+            },
+            predictor: PredictorConfig { max_degree: 4, max_threads: 16, ..Default::default() },
+        };
+        let model = LSchedModel::new(cfg, model_seed);
+
+        let queries: Vec<QueryRuntime> = (0..n_queries)
+            .map(|i| {
+                let mut b = PlanBuilder::new(format!("q{i}"));
+                let scan = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![0], vec![0], 100.0, 4, 0.01, 1e5);
+                let sel = b.add_op(OpKind::Select, OpSpec::Synthetic, vec![0], vec![1], 50.0, 4, 0.01, 1e5);
+                let agg = b.add_op(OpKind::Aggregate, OpSpec::Synthetic, vec![0], vec![1], 10.0, 4, 0.01, 1e5);
+                b.connect(scan, sel, true);
+                b.connect(sel, agg, false);
+                QueryRuntime::new(QueryId(i as u64), std::sync::Arc::new(b.finish(agg)), 0.0, 8)
+            })
+            .collect();
+        let free_ids: Vec<usize> = (0..free_threads).collect();
+        let ctx = SchedContext {
+            time: 0.0,
+            total_threads: 8,
+            free_threads,
+            free_thread_ids: &free_ids,
+            queries: &queries,
+        };
+        let snap = snapshot(model.feature_config(), &ctx);
+
+        let mode = if sampled == 1 { DecisionMode::Sample } else { DecisionMode::Greedy };
+        let mut rng_tape = StdRng::seed_from_u64(rng_seed);
+        let mut rng_infer = StdRng::seed_from_u64(rng_seed);
+        let tape_rng = (mode == DecisionMode::Sample).then_some(&mut rng_tape);
+        let infer_rng = (mode == DecisionMode::Sample).then_some(&mut rng_infer);
+
+        let (g, tape_decisions, tape_picks, lp) = model.decide_snapshot(&snap, mode, tape_rng, None);
+        let tape_lp = g.value(lp).data()[0];
+
+        let mut scratch = InferScratch::new();
+        let mut infer_decisions = Vec::new();
+        let mut infer_picks = Vec::new();
+        let infer_lp = model.decide_infer(
+            &snap, mode, infer_rng, &mut scratch, &mut infer_decisions, &mut infer_picks,
+        );
+
+        prop_assert_eq!(&tape_decisions, &infer_decisions, "decisions diverged");
+        prop_assert_eq!(&tape_picks, &infer_picks, "pick traces diverged");
+        prop_assert_eq!(tape_lp.to_bits(), infer_lp.to_bits(), "log-prob diverged");
+    }
+}
