@@ -50,8 +50,8 @@ struct SeedRun {
 struct GuardOverhead {
     policy: String,
     reps: usize,
-    bare_median_s: f64,
-    guarded_median_s: f64,
+    bare_min_s: f64,
+    guarded_min_s: f64,
     overhead_pct: f64,
     bit_identical: bool,
 }
@@ -164,8 +164,13 @@ fn main() {
 
     // Guard overhead on fault-free runs: identical decisions, so the
     // entire delta is the breaker's bookkeeping.
-    let reps = 200usize;
-    let wl = gen_workload(&pool, queries, ArrivalPattern::Streaming { lambda: 60.0 }, 42);
+    // The measurement workload is 4x the chaos sweep so each run lasts
+    // a few milliseconds: timer granularity and scheduler jitter are
+    // fixed-size, so longer runs shrink their relative weight without
+    // changing the guard-to-loop cost ratio (both scale with events).
+    let reps = 600usize;
+    let m_queries = queries * 4;
+    let wl = gen_workload(&pool, m_queries, ArrivalPattern::Streaming { lambda: 60.0 }, 42);
     let cfg = SimConfig { num_threads: threads, seed: 42, ..Default::default() };
     let mut guard_overhead = Vec::new();
     for (name, _) in policies() {
@@ -185,39 +190,55 @@ fn main() {
                 inner
             }
         };
-        // Warm up, then interleave bare/guarded reps to cancel slow
-        // drift; compare per-rep medians so OS noise spikes drop out.
+        // Warm up, then interleave bare/guarded reps and compare *paired
+        // per-rep differences*: the two runs of a pair execute adjacent
+        // in time, so frequency drift and background load cancel inside
+        // each pair, and the median over pairs drops noise spikes. Pair
+        // order alternates every rep — the second run of a pair inherits
+        // warmed caches from the first, and always putting the guarded
+        // run second biased the deltas. Raw minima and medians both
+        // drifted by several percent run-to-run once the overhauled
+        // event loop shrank runs below a millisecond.
         let _ = try_simulate(cfg.clone(), &wl, fresh(false).as_mut());
         let _ = try_simulate(cfg.clone(), &wl, fresh(true).as_mut());
         let mut bare_times = Vec::with_capacity(reps);
         let mut guarded_times = Vec::with_capacity(reps);
         let mut bare_makespan = 0u64;
         let mut guarded_makespan = 0u64;
-        for _ in 0..reps {
+        let timed_run = |guarded: bool, times: &mut Vec<f64>| -> u64 {
             let t = Instant::now();
-            let r = try_simulate(cfg.clone(), &wl, fresh(false).as_mut()).unwrap();
-            bare_times.push(t.elapsed().as_secs_f64());
-            bare_makespan = r.makespan.to_bits();
-            let t = Instant::now();
-            let r = try_simulate(cfg.clone(), &wl, fresh(true).as_mut()).unwrap();
-            guarded_times.push(t.elapsed().as_secs_f64());
-            guarded_makespan = r.makespan.to_bits();
-        }
-        let median = |xs: &mut Vec<f64>| -> f64 {
-            xs.sort_by(f64::total_cmp);
-            xs[xs.len() / 2]
+            let r = try_simulate(cfg.clone(), &wl, fresh(guarded).as_mut()).unwrap();
+            times.push(t.elapsed().as_secs_f64());
+            r.makespan.to_bits()
         };
-        let bare_median_s = median(&mut bare_times);
-        let guarded_median_s = median(&mut guarded_times);
-        let overhead_pct = (guarded_median_s / bare_median_s - 1.0) * 100.0;
+        for rep in 0..reps {
+            if rep % 2 == 0 {
+                bare_makespan = timed_run(false, &mut bare_times);
+                guarded_makespan = timed_run(true, &mut guarded_times);
+            } else {
+                guarded_makespan = timed_run(true, &mut guarded_times);
+                bare_makespan = timed_run(false, &mut bare_times);
+            }
+        }
+        let mut deltas: Vec<f64> =
+            bare_times.iter().zip(&guarded_times).map(|(b, g)| g - b).collect();
+        deltas.sort_by(f64::total_cmp);
+        let delta_median = deltas[deltas.len() / 2];
+        let minimum = |xs: &mut Vec<f64>| -> f64 {
+            xs.sort_by(f64::total_cmp);
+            xs[0]
+        };
+        let bare_min_s = minimum(&mut bare_times);
+        let guarded_min_s = minimum(&mut guarded_times);
+        let overhead_pct = (delta_median / bare_min_s) * 100.0;
         println!(
-            "guard overhead [{name}]: bare {bare_median_s:.6}s guarded {guarded_median_s:.6}s -> {overhead_pct:+.2}%"
+            "guard overhead [{name}]: bare {bare_min_s:.6}s guarded {guarded_min_s:.6}s -> {overhead_pct:+.2}%"
         );
         guard_overhead.push(GuardOverhead {
             policy: name.into(),
             reps,
-            bare_median_s,
-            guarded_median_s,
+            bare_min_s,
+            guarded_min_s,
             overhead_pct,
             bit_identical: bare_makespan == guarded_makespan,
         });

@@ -143,7 +143,7 @@ fn fig1(cfg: &HarnessConfig) {
             let mut out = Vec::new();
             let mut free = ctx.free_threads;
             for q in ctx.queries {
-                for root in q.schedulable_ops() {
+                for &root in q.schedulable_ops() {
                     if free == 0 {
                         return out;
                     }

@@ -1,0 +1,312 @@
+//! Simulator event-loop throughput: the overhauled incremental event
+//! loop against the legacy full-rescan reference loop
+//! (`SimConfig::reference_mode`), measured in the same process on the
+//! same workloads, plus the PR's hard acceptance checks: `SimResult`
+//! must be bit-identical between the two loops for every (seed, policy)
+//! pair — fault-free and under `FaultPlan::standard_matrix` — and the
+//! fast loop must reach >= 2x the reference events/sec at 128 concurrent
+//! queries. When built with `--features count-allocs`, steady-state
+//! event processing must additionally perform zero heap allocations.
+//!
+//! ```text
+//! sim_throughput [--threads N] [--out PATH]
+//! ```
+//!
+//! Writes a JSON report (default `BENCH_pr4.json`) and exits non-zero if
+//! any criterion fails.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use lsched_engine::fault::FaultPlan;
+use lsched_engine::plan::{OpKind, OpSpec, PlanBuilder};
+use lsched_engine::scheduler::{SchedContext, SchedDecision, SchedEvent, Scheduler};
+use lsched_engine::sim::{try_simulate, SimConfig, SimResult, WorkloadItem};
+use lsched_sched::{
+    CriticalPathScheduler, FairScheduler, FifoScheduler, QuickstepScheduler, SjfScheduler,
+};
+use lsched_workloads::tpch;
+use lsched_workloads::workload::{gen_workload, ArrivalPattern};
+
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: lsched_nn::alloc_count::CountingAllocator =
+    lsched_nn::alloc_count::CountingAllocator;
+
+/// Minimum fast/reference events-per-second ratio at the highest
+/// multiprogramming level (acceptance criterion).
+const MIN_SPEEDUP: f64 = 2.0;
+/// Concurrent-query levels (batch arrivals, so the whole set is in
+/// flight together).
+const MPLS: [usize; 3] = [8, 32, 128];
+
+#[derive(Debug, Serialize)]
+struct PolicyRun {
+    mpl: usize,
+    policy: String,
+    seed: u64,
+    events: u64,
+    fast_s: f64,
+    reference_s: f64,
+    /// Wall time minus `sched_wall_time`: the event loop proper. The
+    /// policy runs identical code in both modes, so events/sec is
+    /// computed over loop time to measure what the overhaul changed.
+    fast_loop_s: f64,
+    reference_loop_s: f64,
+    fast_events_per_sec: f64,
+    reference_events_per_sec: f64,
+    speedup: f64,
+    episodes_per_sec: f64,
+    identical: bool,
+    identical_under_faults: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    pr: u32,
+    title: String,
+    threads: usize,
+    runs: Vec<PolicyRun>,
+    speedup_at_max_mpl: f64,
+    min_speedup_required: f64,
+    all_identical: bool,
+    count_allocs_enabled: bool,
+    steady_state_allocs: Option<u64>,
+    passed: bool,
+}
+
+fn make_policy(name: &str) -> Box<dyn Scheduler> {
+    match name {
+        "fifo" => Box::new(FifoScheduler),
+        "fair" => Box::new(FairScheduler::default()),
+        "sjf" => Box::new(SjfScheduler),
+        "critical_path" => Box::new(CriticalPathScheduler),
+        "quickstep" => Box::new(QuickstepScheduler),
+        _ => unreachable!("unknown policy {name}"),
+    }
+}
+
+const POLICIES: [&str; 5] = ["fifo", "fair", "sjf", "critical_path", "quickstep"];
+
+/// Field-by-field identity, excluding wall-clock `sched_wall_time`.
+fn identical(a: &SimResult, b: &SimResult) -> bool {
+    let outcome_eq = |x: &lsched_engine::sim::QueryOutcome,
+                      y: &lsched_engine::sim::QueryOutcome| {
+        x.qid == y.qid
+            && x.name == y.name
+            && x.arrival.to_bits() == y.arrival.to_bits()
+            && x.finish.to_bits() == y.finish.to_bits()
+            && x.duration.to_bits() == y.duration.to_bits()
+    };
+    a.makespan.to_bits() == b.makespan.to_bits()
+        && a.sched_invocations == b.sched_invocations
+        && a.sched_decisions == b.sched_decisions
+        && a.sched_rejected == b.sched_rejected
+        && a.fallback_decisions == b.fallback_decisions
+        && a.total_work_orders == b.total_work_orders
+        && a.events_processed == b.events_processed
+        && a.fault_summary == b.fault_summary
+        && a.outcomes.len() == b.outcomes.len()
+        && a.aborted.len() == b.aborted.len()
+        && a.outcomes.iter().zip(&b.outcomes).all(|(x, y)| outcome_eq(x, y))
+        && a.aborted.iter().zip(&b.aborted).all(|(x, y)| outcome_eq(x, y))
+}
+
+/// One-shot policy for the allocation run pair: a single decision at
+/// arrival, then silence (`Vec::new()` never allocates), so every event
+/// past warm-up exercises only the steady-state dispatch/completion path.
+struct OneShot {
+    fired: bool,
+}
+
+impl Scheduler for OneShot {
+    fn name(&self) -> String {
+        "one_shot".into()
+    }
+    fn on_event(&mut self, ctx: &SchedContext<'_>, ev: &SchedEvent) -> Vec<SchedDecision> {
+        if self.fired || !matches!(ev, SchedEvent::QueryArrived(_)) {
+            return Vec::new();
+        }
+        let q = &ctx.queries[0];
+        let Some(&root) = q.schedulable_ops().first() else {
+            return Vec::new();
+        };
+        self.fired = true;
+        vec![SchedDecision { query: q.qid, root, pipeline_degree: 1, threads: 1 }]
+    }
+}
+
+/// A one-operator workload with `wos` work orders: after the single
+/// arrival-time decision, the run is a pure stream of `WoDone` events.
+fn single_op_workload(wos: u32) -> Vec<WorkloadItem> {
+    let mut b = PlanBuilder::new("alloc_probe");
+    let scan =
+        b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![0], vec![0], 1e4, wos, 0.001, 1e3);
+    vec![WorkloadItem { arrival_time: 0.0, plan: std::sync::Arc::new(b.finish(scan)) }]
+}
+
+/// Allocation count of a full single-op run with `wos` work orders.
+#[cfg(feature = "count-allocs")]
+fn alloc_count_for(wos: u32) -> u64 {
+    let wl = single_op_workload(wos);
+    let cfg = SimConfig { num_threads: 2, seed: 7, ..Default::default() };
+    let (n, res) = lsched_nn::alloc_count::allocations_during(|| {
+        try_simulate(cfg, &wl, &mut OneShot { fired: false }).unwrap()
+    });
+    assert_eq!(res.total_work_orders, u64::from(wos));
+    n
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let grab = |flag: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let threads = grab("--threads", 16) as usize;
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr4.json".into());
+
+    let pool = tpch::plan_pool(&[2.0, 10.0]);
+    let mut runs = Vec::new();
+    let mut all_identical = true;
+
+    println!(
+        "sim_throughput: mpl {MPLS:?} x {} policies, {threads} threads, fast vs reference loop",
+        POLICIES.len()
+    );
+    for &mpl in &MPLS {
+        let seed = mpl as u64;
+        let wl = gen_workload(&pool, mpl, ArrivalPattern::Batch, seed);
+        for name in POLICIES {
+            let cfg = SimConfig { num_threads: threads, seed, ..Default::default() };
+
+            let t0 = Instant::now();
+            let fast = try_simulate(cfg.clone(), &wl, make_policy(name).as_mut())
+                .expect("fault-free run cannot error");
+            let fast_s = t0.elapsed().as_secs_f64();
+
+            let ref_cfg = SimConfig { reference_mode: true, ..cfg.clone() };
+            let t0 = Instant::now();
+            let reference = try_simulate(ref_cfg, &wl, make_policy(name).as_mut())
+                .expect("fault-free run cannot error");
+            let reference_s = t0.elapsed().as_secs_f64();
+
+            let id = identical(&fast, &reference);
+
+            // Same pair under the standard fault matrix: worker loss
+            // re-exposing work orders and cancellations tearing down
+            // pipelines must leave the two loops bit-identical too.
+            let faults = FaultPlan::standard_matrix(seed, threads, mpl, fast.makespan);
+            let fcfg = SimConfig { faults: Some(faults), ..cfg.clone() };
+            let ffast = try_simulate(fcfg.clone(), &wl, make_policy(name).as_mut())
+                .expect("faulted run errored in fast mode");
+            let fref = try_simulate(
+                SimConfig { reference_mode: true, ..fcfg },
+                &wl,
+                make_policy(name).as_mut(),
+            )
+            .expect("faulted run errored in reference mode");
+            let fid = identical(&ffast, &fref);
+
+            all_identical &= id && fid;
+            let fast_loop_s = (fast_s - fast.sched_wall_time).max(1e-9);
+            let reference_loop_s = (reference_s - reference.sched_wall_time).max(1e-9);
+            let fast_eps = fast.events_processed as f64 / fast_loop_s;
+            let ref_eps = reference.events_processed as f64 / reference_loop_s;
+            let speedup = fast_eps / ref_eps;
+            println!(
+                "mpl {mpl:>3} {name:<13} {:>8} events: fast {:>9.0} ev/s, reference {:>9.0} ev/s \
+                 ({speedup:.2}x){}{}",
+                fast.events_processed,
+                fast_eps,
+                ref_eps,
+                if id { "" } else { "  MISMATCH" },
+                if fid { "" } else { "  FAULT-MISMATCH" },
+            );
+            runs.push(PolicyRun {
+                mpl,
+                policy: name.into(),
+                seed,
+                events: fast.events_processed,
+                fast_s,
+                reference_s,
+                fast_loop_s,
+                reference_loop_s,
+                fast_events_per_sec: fast_eps,
+                reference_events_per_sec: ref_eps,
+                speedup,
+                episodes_per_sec: 1.0 / fast_s,
+                identical: id,
+                identical_under_faults: fid,
+            });
+        }
+    }
+
+    // Aggregate speedup at the highest multiprogramming level: total
+    // events over total wall time, fast vs reference, across policies.
+    let max_mpl = *MPLS.iter().max().unwrap();
+    let (ev, fs, rs) = runs
+        .iter()
+        .filter(|r| r.mpl == max_mpl)
+        .fold((0u64, 0.0, 0.0), |(e, f, r), run| {
+            (e + run.events, f + run.fast_loop_s, r + run.reference_loop_s)
+        });
+    let speedup_at_max_mpl = (ev as f64 / fs) / (ev as f64 / rs);
+    println!("aggregate speedup at mpl {max_mpl}: {speedup_at_max_mpl:.2}x (required >= {MIN_SPEEDUP:.1}x)");
+
+    // Zero steady-state allocations: two runs differing only in
+    // work-order count. The first 20k events cover every warm-up
+    // allocation (event heap growth, scratch buffers, estimator
+    // windows); the extra 20k events of the second run are pure steady
+    // state and must allocate nothing.
+    let count_allocs_enabled = cfg!(feature = "count-allocs");
+    #[cfg(feature = "count-allocs")]
+    let steady_state_allocs = {
+        let base = alloc_count_for(20_000);
+        let double = alloc_count_for(40_000);
+        let per_20k = double.saturating_sub(base);
+        println!("steady-state allocations over 20k extra events: {per_20k} (base run: {base})");
+        Some(per_20k)
+    };
+    #[cfg(not(feature = "count-allocs"))]
+    let steady_state_allocs: Option<u64> = {
+        println!("count-allocs feature disabled: skipping allocation check");
+        None
+    };
+
+    let passed = all_identical
+        && speedup_at_max_mpl >= MIN_SPEEDUP
+        && steady_state_allocs.is_none_or(|n| n == 0);
+
+    let report = Report {
+        pr: 4,
+        title: "Incremental frontier and event-loop overhaul: throughput, identity, allocations"
+            .into(),
+        threads,
+        runs,
+        speedup_at_max_mpl,
+        min_speedup_required: MIN_SPEEDUP,
+        all_identical,
+        count_allocs_enabled,
+        steady_state_allocs,
+        passed,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).expect("write report");
+    println!("report written to {out}");
+    if passed {
+        println!("PASS");
+    } else {
+        println!("FAIL");
+        std::process::exit(1);
+    }
+}

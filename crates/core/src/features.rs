@@ -319,7 +319,7 @@ fn query_snapshot_with(
     q: &QueryRuntime,
     statics: Arc<PlanStatics>,
 ) -> QuerySnapshot {
-    let schedulable: Vec<usize> = q.schedulable_ops().into_iter().map(|o| o.0).collect();
+    let schedulable: Vec<usize> = q.schedulable_ops().iter().map(|o| o.0).collect();
     let max_degree = schedulable.iter().map(|&o| statics.npb_chain[o]).collect();
     QuerySnapshot {
         qid: q.qid,

@@ -48,8 +48,13 @@ struct Completion {
     output_rows: u64,
 }
 
-struct ActiveQuery {
-    runtime: QueryRuntime,
+/// Executor-side per-query state, kept parallel to the
+/// `ControlState::queries` runtime vector (same indexing, removed
+/// together). Splitting the runtimes out lets [`SchedContext`] borrow
+/// them as a `&[QueryRuntime]` slice directly — the legacy layout
+/// deep-cloned every runtime (ops, estimators, plans) once per
+/// scheduler invocation *and* once per applied decision.
+struct QueryExec {
     states: Arc<Vec<OpExecState>>,
     /// Input units dispatched per op.
     consumed: Vec<usize>,
@@ -99,6 +104,7 @@ impl Executor {
             senders,
             start: Instant::now(),
             queries: Vec::new(),
+            exec: Vec::new(),
             pipelines: Vec::new(),
             free_threads: (0..self.num_threads).collect(),
             in_flight: 0,
@@ -170,6 +176,7 @@ impl Executor {
             fallback_decisions: state.fallbacks,
             sched_wall_time: state.sched_wall,
             total_work_orders: state.work_orders,
+            events_processed: state.work_orders,
             aborted: Vec::new(),
             fault_summary: FaultSummary::default(),
         }
@@ -190,7 +197,7 @@ impl Executor {
             fn on_event(&mut self, ctx: &SchedContext<'_>, _: &SchedEvent) -> Vec<SchedDecision> {
                 let mut out = Vec::new();
                 for q in ctx.queries {
-                    for root in q.schedulable_ops() {
+                    for &root in q.schedulable_ops() {
                         out.push(SchedDecision {
                             query: q.qid,
                             root,
@@ -263,7 +270,10 @@ struct ControlState {
     num_threads: usize,
     senders: Vec<Sender<Task>>,
     start: Instant,
-    queries: Vec<ActiveQuery>,
+    /// Active query runtimes, borrowable as the `SchedContext` slice.
+    queries: Vec<QueryRuntime>,
+    /// Execution state parallel to `queries`.
+    exec: Vec<QueryExec>,
     pipelines: Vec<Pipeline>,
     free_threads: Vec<usize>,
     in_flight: usize,
@@ -282,7 +292,7 @@ impl ControlState {
     }
 
     fn qidx(&self, qid: QueryId) -> Option<usize> {
-        self.queries.iter().position(|q| q.runtime.qid == qid)
+        self.queries.iter().position(|q| q.qid == qid)
     }
 
     fn admit(&mut self, item: &WorkloadItem, index: usize, scheduler: &mut dyn Scheduler) {
@@ -299,17 +309,15 @@ impl ControlState {
             }
         });
         let n = item.plan.num_ops();
-        self.queries.push(ActiveQuery { runtime, states, consumed: vec![0; n], done: vec![0; n] });
+        self.queries.push(runtime);
+        self.exec.push(QueryExec { states, consumed: vec![0; n], done: vec![0; n] });
         self.invoke_scheduler(scheduler, SchedEvent::QueryArrived(qid));
     }
 
     /// The child an op streams from (its unique non-breaking-edge child),
     /// if any.
     fn streaming_child(plan: &PhysicalPlan, op: OpId) -> Option<OpId> {
-        plan.children_of(op)
-            .into_iter()
-            .find(|(e, _)| e.non_pipeline_breaking)
-            .map(|(_, c)| c)
+        plan.children(op).iter().find(|e| e.non_pipeline_breaking).map(|e| e.op)
     }
 
     /// Whether `op` executes as a single blocking work order over all
@@ -328,7 +336,7 @@ impl ControlState {
     /// Number of input units currently available to dispatch for `op`.
     fn available_inputs(&self, qi: usize, op: OpId) -> usize {
         let q = &self.queries[qi];
-        let plan = &q.runtime.plan;
+        let plan = &q.plan;
         match &plan.op(op).spec {
             OpSpec::TableScan { table, .. } | OpSpec::IndexScan { table, .. } => {
                 let bitmap = &plan.op(op).block_bitmap;
@@ -339,14 +347,12 @@ impl ControlState {
                 }
             }
             _ if Self::is_blocking_single(plan, op) => {
-                let ready = plan
-                    .children_of(op)
-                    .into_iter()
-                    .all(|(_, c)| q.runtime.ops[c.0].status == OpStatus::Finished);
+                let ready =
+                    plan.children(op).iter().all(|e| q.ops[e.op.0].status == OpStatus::Finished);
                 usize::from(ready)
             }
             _ => match Self::streaming_child(plan, op) {
-                Some(c) => q.states[c.0].output_len(),
+                Some(c) => self.exec[qi].states[c.0].output_len(),
                 None => 0,
             },
         }
@@ -356,7 +362,7 @@ impl ControlState {
     /// streams).
     fn total_inputs(&self, qi: usize, op: OpId) -> Option<usize> {
         let q = &self.queries[qi];
-        let plan = &q.runtime.plan;
+        let plan = &q.plan;
         match &plan.op(op).spec {
             OpSpec::TableScan { .. } | OpSpec::IndexScan { .. } => {
                 Some(self.available_inputs(qi, op))
@@ -364,8 +370,8 @@ impl ControlState {
             _ if Self::is_blocking_single(plan, op) => Some(1),
             _ => match Self::streaming_child(plan, op) {
                 Some(c) => {
-                    if q.runtime.ops[c.0].status == OpStatus::Finished {
-                        Some(q.states[c.0].output_len())
+                    if q.ops[c.0].status == OpStatus::Finished {
+                        Some(self.exec[qi].states[c.0].output_len())
                     } else {
                         None
                     }
@@ -378,7 +384,7 @@ impl ControlState {
     /// Maps the op's input unit `idx` to a [`WorkOrderInput`].
     fn input_for(&self, qi: usize, op: OpId, idx: usize) -> WorkOrderInput {
         let q = &self.queries[qi];
-        let plan = &q.runtime.plan;
+        let plan = &q.plan;
         match &plan.op(op).spec {
             OpSpec::TableScan { .. } | OpSpec::IndexScan { .. } => {
                 let bitmap = &plan.op(op).block_bitmap;
@@ -421,19 +427,19 @@ impl ControlState {
             if self.maybe_finish_exhausted(qi, op) {
                 continue;
             }
-            let consumed = self.queries[qi].consumed[op.0];
+            let consumed = self.exec[qi].consumed[op.0];
             let avail = self.available_inputs(qi, op);
             if consumed < avail {
                 let input = self.input_for(qi, op, consumed);
-                self.queries[qi].consumed[op.0] += 1;
+                self.exec[qi].consumed[op.0] += 1;
                 // Keep the feature-facing counters coherent with reality.
-                let rt = &mut self.queries[qi].runtime.ops[op.0];
+                let rt = &mut self.queries[qi].ops[op.0];
                 let dispatched_total = rt.completed_work_orders + rt.dispatched_work_orders + 1;
                 if dispatched_total > rt.total_work_orders {
                     rt.total_work_orders = dispatched_total;
                 }
                 rt.dispatched_work_orders += 1;
-                if let Some(slot) = self.queries[qi].runtime.executed_on.get_mut(thread) {
+                if let Some(slot) = self.queries[qi].executed_on.get_mut(thread) {
                     *slot = true;
                 }
                 let task = Task {
@@ -441,8 +447,8 @@ impl ControlState {
                     pipeline: pid,
                     op,
                     input,
-                    plan: Arc::clone(&self.queries[qi].runtime.plan),
-                    states: Arc::clone(&self.queries[qi].states),
+                    plan: Arc::clone(&self.queries[qi].plan),
+                    states: Arc::clone(&self.exec[qi].states),
                     catalog: Arc::clone(&self.catalog),
                 };
                 self.in_flight += 1;
@@ -461,18 +467,17 @@ impl ControlState {
     /// no work in flight (e.g. a scan over an empty bitmap). Returns
     /// whether the operator is finished.
     fn maybe_finish_exhausted(&mut self, qi: usize, op: OpId) -> bool {
-        if self.queries[qi].runtime.ops[op.0].status == OpStatus::Finished {
+        if self.queries[qi].ops[op.0].status == OpStatus::Finished {
             return true;
         }
-        if self.queries[qi].runtime.ops[op.0].dispatched_work_orders > 0 {
+        if self.queries[qi].ops[op.0].dispatched_work_orders > 0 {
             return false;
         }
         if let Some(total) = self.total_inputs(qi, op) {
-            if self.queries[qi].done[op.0] >= total {
-                let rt = &mut self.queries[qi].runtime.ops[op.0];
+            if self.exec[qi].done[op.0] >= total {
+                let rt = &mut self.queries[qi].ops[op.0];
                 rt.total_work_orders = rt.completed_work_orders;
-                rt.status = OpStatus::Finished;
-                self.queries[qi].runtime.refresh_statuses();
+                self.queries[qi].force_finish(op);
                 return true;
             }
         }
@@ -485,7 +490,7 @@ impl ControlState {
             Some(i) => i,
             None => return,
         };
-        self.queries[qi].done[c.op.0] += 1;
+        self.exec[qi].done[c.op.0] += 1;
 
         let stats = WorkOrderStats {
             duration: c.duration,
@@ -493,24 +498,21 @@ impl ControlState {
             output_rows: c.output_rows,
             completed_at: self.now(),
         };
-        self.queries[qi].runtime.ops[c.op.0].observe_completion(&stats);
+        self.queries[qi].observe_wo_completion(c.op, &stats);
 
         // Exact-finish detection against real input totals.
-        let mut op_finished = self.queries[qi].runtime.ops[c.op.0].status == OpStatus::Finished;
+        let mut op_finished = self.queries[qi].ops[c.op.0].status == OpStatus::Finished;
         if !op_finished {
             if let Some(total) = self.total_inputs(qi, c.op) {
-                if self.queries[qi].done[c.op.0] >= total
-                    && self.queries[qi].runtime.ops[c.op.0].dispatched_work_orders == 0
+                if self.exec[qi].done[c.op.0] >= total
+                    && self.queries[qi].ops[c.op.0].dispatched_work_orders == 0
                 {
-                    let rt = &mut self.queries[qi].runtime.ops[c.op.0];
+                    let rt = &mut self.queries[qi].ops[c.op.0];
                     rt.total_work_orders = rt.completed_work_orders;
-                    rt.status = OpStatus::Finished;
+                    self.queries[qi].force_finish(c.op);
                     op_finished = true;
                 }
             }
-        }
-        if op_finished {
-            self.queries[qi].runtime.refresh_statuses();
         }
 
         // Wake threads: the completing one, plus stalled threads of all of
@@ -534,7 +536,7 @@ impl ControlState {
                 p.alive
                     && p.query == c.query
                     && p.chain.iter().all(|o| {
-                        self.queries[qi].runtime.ops[o.0].status == OpStatus::Finished
+                        self.queries[qi].ops[o.0].status == OpStatus::Finished
                     })
                     && p.threads.iter().all(|t| p.stalled.contains(t))
             };
@@ -545,7 +547,7 @@ impl ControlState {
                 freed += n;
                 let threads = std::mem::take(&mut p.threads);
                 p.stalled.clear();
-                self.queries[qi].runtime.assigned_threads -= n;
+                self.queries[qi].assigned_threads -= n;
                 self.free_threads.extend(threads);
                 self.free_threads.sort_unstable();
             }
@@ -553,20 +555,21 @@ impl ControlState {
 
         // Query completion.
         let mut query_finished = false;
-        if self.queries[qi].runtime.is_finished() {
+        if self.queries[qi].is_finished() {
             query_finished = true;
             let now = self.now();
             let q = &mut self.queries[qi];
-            q.runtime.finish_time = Some(now);
+            q.finish_time = Some(now);
             self.outcomes.push(QueryOutcome {
-                qid: q.runtime.qid,
-                name: q.runtime.plan.name.clone(),
-                arrival: q.runtime.arrival_time,
+                qid: q.qid,
+                name: q.plan.name.clone(),
+                arrival: q.arrival_time,
                 finish: now,
-                duration: now - q.runtime.arrival_time,
+                duration: now - q.arrival_time,
             });
             scheduler.on_query_finished(now, c.query);
             self.queries.remove(qi);
+            self.exec.remove(qi);
         }
 
         if op_finished && !query_finished {
@@ -581,28 +584,23 @@ impl ControlState {
     }
 
     fn effective_chain(&self, qi: usize, root: OpId, degree: usize) -> Vec<OpId> {
-        let q = &self.queries[qi].runtime;
+        let q = &self.queries[qi];
         let mut chain = vec![root];
         let mut cur = root;
         'outer: while chain.len() < degree {
-            let ups: Vec<_> = q
-                .plan
-                .parents_of(cur)
-                .into_iter()
-                .filter(|(e, _)| e.non_pipeline_breaking)
-                .collect();
-            if ups.len() != 1 {
-                break;
-            }
-            let (_, parent) = ups[0];
+            let mut ups = q.plan.parents(cur).iter().filter(|e| e.non_pipeline_breaking);
+            let parent = match (ups.next(), ups.next()) {
+                (Some(up), None) => up.op,
+                _ => break,
+            };
             if matches!(q.ops[parent.0].status, OpStatus::Running | OpStatus::Finished) {
                 break;
             }
-            for (edge, child) in q.plan.children_of(parent) {
-                if child == cur {
+            for edge in q.plan.children(parent) {
+                if edge.op == cur {
                     continue;
                 }
-                let cs = q.ops[child.0].status;
+                let cs = q.ops[edge.op.0].status;
                 let ok = if edge.non_pipeline_breaking {
                     matches!(cs, OpStatus::Running | OpStatus::Finished)
                 } else {
@@ -622,15 +620,12 @@ impl ControlState {
         // Re-validate against the *current* state, re-clamping the thread
         // grant in case the pool state changed since the event snapshot.
         let d = {
-            let free_ids = self.free_threads.clone();
-            let runtimes: Vec<QueryRuntime> =
-                self.queries.iter().map(|q| q.runtime.clone()).collect();
             let ctx = SchedContext {
                 time: self.now(),
                 total_threads: self.num_threads,
-                free_threads: free_ids.len(),
-                free_thread_ids: &free_ids,
-                queries: &runtimes,
+                free_threads: self.free_threads.len(),
+                free_thread_ids: &self.free_threads,
+                queries: &self.queries,
             };
             match clamp_decision(&ctx, d) {
                 Ok(c) => c,
@@ -648,10 +643,9 @@ impl ControlState {
         let grant = d.threads.min(self.free_threads.len()).max(1);
         let threads: Vec<usize> = self.free_threads.drain(..grant).collect();
         for &op in &chain {
-            self.queries[qi].runtime.ops[op.0].status = OpStatus::Running;
+            self.queries[qi].mark_running(op);
         }
-        self.queries[qi].runtime.assigned_threads += threads.len();
-        self.queries[qi].runtime.refresh_statuses();
+        self.queries[qi].assigned_threads += threads.len();
         let pid = self.pipelines.len();
         self.pipelines.push(Pipeline {
             query: d.query,
@@ -671,26 +665,24 @@ impl ControlState {
         if self.free_threads.is_empty() {
             return;
         }
-        let has_work = self.queries.iter().any(|q| !q.runtime.schedulable_ops().is_empty());
+        let has_work = self.queries.iter().any(QueryRuntime::has_schedulable);
         if !has_work {
             return;
         }
-        let free_ids = self.free_threads.clone();
-        let runtimes: Vec<QueryRuntime> = self.queries.iter().map(|q| q.runtime.clone()).collect();
-        let decisions = {
+        let (decisions, elapsed) = {
             let ctx = SchedContext {
                 time: self.now(),
                 total_threads: self.num_threads,
-                free_threads: free_ids.len(),
-                free_thread_ids: &free_ids,
-                queries: &runtimes,
+                free_threads: self.free_threads.len(),
+                free_thread_ids: &self.free_threads,
+                queries: &self.queries,
             };
             let t0 = Instant::now();
             let ds = scheduler.on_event(&ctx, &event);
-            self.sched_wall += t0.elapsed().as_secs_f64();
-            self.invocations += 1;
-            ds
+            (ds, t0.elapsed().as_secs_f64())
         };
+        self.sched_wall += elapsed;
+        self.invocations += 1;
         for d in &decisions {
             if self.free_threads.is_empty() {
                 break;
@@ -708,7 +700,7 @@ impl ControlState {
         let candidate = self
             .queries
             .iter()
-            .find_map(|q| q.runtime.schedulable_ops().first().map(|&op| (q.runtime.qid, op)));
+            .find_map(|q| q.schedulable_ops().first().map(|&op| (q.qid, op)));
         if let Some((qid, op)) = candidate {
             let d = SchedDecision { query: qid, root: op, pipeline_degree: 1, threads: 1 };
             if self.apply_decision(&d) {
@@ -886,7 +878,7 @@ mod tests {
             fn on_event(&mut self, ctx: &SchedContext<'_>, _: &SchedEvent) -> Vec<SchedDecision> {
                 let mut out = Vec::new();
                 for q in ctx.queries {
-                    for root in q.schedulable_ops() {
+                    for &root in q.schedulable_ops() {
                         out.push(SchedDecision {
                             query: q.qid,
                             root,

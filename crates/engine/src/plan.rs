@@ -296,9 +296,81 @@ pub struct PhysicalPlan {
     /// are immutable once built, and the chain length is consulted per
     /// scheduling decision by both validation and guarding.
     npb_chain_cache: std::sync::OnceLock<Vec<usize>>,
+    /// CSR adjacency over `edges`, built once at [`PlanBuilder::finish`]:
+    /// op `i`'s children occupy `child_adj[child_off[i]..child_off[i+1]]`
+    /// (and likewise for parents), in `edges` order, so the per-event
+    /// dependency walks of the simulator and executor touch slices
+    /// instead of filtering the whole edge list into fresh `Vec`s.
+    child_off: Vec<u32>,
+    child_adj: Vec<AdjEntry>,
+    parent_off: Vec<u32>,
+    parent_adj: Vec<AdjEntry>,
+}
+
+/// One CSR adjacency entry: the neighbouring operator and whether the
+/// connecting edge is non-pipeline-breaking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdjEntry {
+    /// The neighbour (child for `children`, parent for `parents`).
+    pub op: OpId,
+    /// The connecting edge's E-NPB flag.
+    pub non_pipeline_breaking: bool,
+}
+
+/// Builds one direction of the CSR adjacency. `key` selects the op the
+/// row is indexed by; `val` the op stored in the entry.
+fn build_csr(
+    n: usize,
+    edges: &[PlanEdge],
+    key: impl Fn(&PlanEdge) -> OpId,
+    val: impl Fn(&PlanEdge) -> OpId,
+) -> (Vec<u32>, Vec<AdjEntry>) {
+    let mut off = vec![0u32; n + 1];
+    for e in edges {
+        off[key(e).0 + 1] += 1;
+    }
+    for i in 0..n {
+        off[i + 1] += off[i];
+    }
+    let mut adj = vec![AdjEntry { op: OpId(0), non_pipeline_breaking: false }; edges.len()];
+    let mut cursor = off.clone();
+    // Filling in edge order keeps each row in `edges` order, matching the
+    // enumeration order of the legacy `children_of`/`parents_of`.
+    for e in edges {
+        let k = key(e).0;
+        adj[cursor[k] as usize] =
+            AdjEntry { op: val(e), non_pipeline_breaking: e.non_pipeline_breaking };
+        cursor[k] += 1;
+    }
+    (off, adj)
 }
 
 impl PhysicalPlan {
+    /// Assembles a plan (building the CSR adjacency) without validating
+    /// structural invariants. [`PlanBuilder::finish`] is the validating
+    /// front door; this exists for tests that need malformed plans.
+    pub fn from_parts_unvalidated(
+        name: String,
+        ops: Vec<PlanOp>,
+        edges: Vec<PlanEdge>,
+        root: OpId,
+    ) -> Self {
+        let n = ops.len();
+        let (child_off, child_adj) = build_csr(n, &edges, |e| e.parent, |e| e.child);
+        let (parent_off, parent_adj) = build_csr(n, &edges, |e| e.child, |e| e.parent);
+        Self {
+            name,
+            ops,
+            edges,
+            root,
+            npb_chain_cache: Default::default(),
+            child_off,
+            child_adj,
+            parent_off,
+            parent_adj,
+        }
+    }
+
     /// Number of operators.
     pub fn num_ops(&self) -> usize {
         self.ops.len()
@@ -317,6 +389,21 @@ impl PhysicalPlan {
     /// Consumer parents of `id`, with the connecting edge.
     pub fn parents_of(&self, id: OpId) -> Vec<(&PlanEdge, OpId)> {
         self.edges.iter().filter(|e| e.child == id).map(|e| (e, e.parent)).collect()
+    }
+
+    /// Producer children of `id` as a borrowed CSR slice (edge order) —
+    /// the allocation-free counterpart of [`Self::children_of`] for
+    /// per-event hot paths.
+    #[inline]
+    pub fn children(&self, id: OpId) -> &[AdjEntry] {
+        &self.child_adj[self.child_off[id.0] as usize..self.child_off[id.0 + 1] as usize]
+    }
+
+    /// Consumer parents of `id` as a borrowed CSR slice (edge order) —
+    /// the allocation-free counterpart of [`Self::parents_of`].
+    #[inline]
+    pub fn parents(&self, id: OpId) -> &[AdjEntry] {
+        &self.parent_adj[self.parent_off[id.0] as usize..self.parent_off[id.0 + 1] as usize]
     }
 
     /// Edge index lookup for a (child, parent) pair.
@@ -538,13 +625,7 @@ impl PlanBuilder {
     /// Panics if validation fails — plan builders are static code, so a
     /// malformed plan is a programming error.
     pub fn finish(self, root: OpId) -> PhysicalPlan {
-        let plan = PhysicalPlan {
-            name: self.name,
-            ops: self.ops,
-            edges: self.edges,
-            root,
-            npb_chain_cache: Default::default(),
-        };
+        let plan = PhysicalPlan::from_parts_unvalidated(self.name, self.ops, self.edges, root);
         if let Err(e) = plan.validate() {
             panic!("invalid plan {:?}: {e}", plan.name);
         }
@@ -623,13 +704,7 @@ mod tests {
         let c = b.add_op(OpKind::Select, OpSpec::Synthetic, vec![], vec![], 1.0, 1, 0.1, 1.0);
         b.connect(a, c, true);
         b.connect(c, a, true);
-        let plan = PhysicalPlan {
-            name: "cyclic".into(),
-            ops: b.ops,
-            edges: b.edges,
-            root: OpId(0),
-            npb_chain_cache: Default::default(),
-        };
+        let plan = PhysicalPlan::from_parts_unvalidated("cyclic".into(), b.ops, b.edges, OpId(0));
         assert!(plan.validate().is_err());
     }
 
@@ -643,13 +718,7 @@ mod tests {
         b.connect(c1, a, true);
         b.connect(c2, a, true);
         b.connect(c3, a, true);
-        let plan = PhysicalPlan {
-            name: "ternary".into(),
-            ops: b.ops,
-            edges: b.edges,
-            root: a,
-            npb_chain_cache: Default::default(),
-        };
+        let plan = PhysicalPlan::from_parts_unvalidated("ternary".into(), b.ops, b.edges, a);
         assert!(plan.validate().unwrap_err().contains("children"));
     }
 

@@ -119,6 +119,27 @@ pub struct QueryRuntime {
     /// Which threads have executed work of this query before — the Q-LOC
     /// feature (1-hot locality status per thread).
     pub executed_on: Vec<bool>,
+    /// Per-op count of unsatisfied producer edges. Maintained for every
+    /// op regardless of its own status, so a Running op reverted by a
+    /// fault can restore the correct Blocked/Schedulable status in O(1).
+    pending: Vec<u32>,
+    /// Sorted cache of the ops whose status is [`OpStatus::Schedulable`]
+    /// — the scheduling frontier. Kept in sync incrementally by the
+    /// transition methods and rebuilt wholesale by
+    /// [`QueryRuntime::refresh_statuses`].
+    frontier: Vec<OpId>,
+}
+
+/// Whether a producer edge is satisfied given the producer's status: a
+/// non-pipeline-breaking producer only has to have *started* (Running or
+/// Finished); a pipeline-breaking producer must have finished.
+#[inline]
+fn edge_satisfied(status: OpStatus, non_pipeline_breaking: bool) -> bool {
+    if non_pipeline_breaking {
+        matches!(status, OpStatus::Running | OpStatus::Finished)
+    } else {
+        status == OpStatus::Finished
+    }
 }
 
 impl QueryRuntime {
@@ -129,6 +150,7 @@ impl QueryRuntime {
             .iter()
             .map(|o| OpRuntime::new(o.num_work_orders, o.est_wo_duration, o.est_wo_memory))
             .collect();
+        let n = plan.ops.len();
         let mut rt = Self {
             qid,
             plan,
@@ -137,16 +159,27 @@ impl QueryRuntime {
             finish_time: None,
             assigned_threads: 0,
             executed_on: vec![false; total_threads],
+            pending: vec![0; n],
+            frontier: Vec::with_capacity(n),
         };
         rt.refresh_statuses();
         rt
     }
 
-    /// Recomputes Blocked/Schedulable statuses. An operator is
-    /// schedulable when every producer behind a *pipeline-breaking* edge
-    /// has finished and every producer behind a non-breaking edge has at
-    /// least started producing (Running or Finished). Leaves are always
-    /// schedulable until started.
+    /// Recomputes Blocked/Schedulable statuses by full rescan, then
+    /// rebuilds the pending counters and frontier cache from scratch.
+    /// An operator is schedulable when every producer behind a
+    /// *pipeline-breaking* edge has finished and every producer behind a
+    /// non-breaking edge has at least started producing (Running or
+    /// Finished). Leaves are always schedulable until started.
+    ///
+    /// This is the O(ops + edges) reference oracle; steady-state code
+    /// paths use the O(degree) incremental transitions
+    /// ([`QueryRuntime::mark_running`],
+    /// [`QueryRuntime::observe_wo_completion`],
+    /// [`QueryRuntime::revert_from_running`],
+    /// [`QueryRuntime::force_finish`]) instead. `tests/frontier_props.rs`
+    /// pins the two paths bit-identical.
     pub fn refresh_statuses(&mut self) {
         let plan = Arc::clone(&self.plan);
         for i in 0..self.ops.len() {
@@ -155,23 +188,150 @@ impl QueryRuntime {
             }
             let mut ok = true;
             for (edge, child) in plan.children_of(OpId(i)) {
-                let cs = self.ops[child.0].status;
-                let satisfied = if edge.non_pipeline_breaking {
-                    matches!(cs, OpStatus::Running | OpStatus::Finished)
-                } else {
-                    cs == OpStatus::Finished
-                };
-                if !satisfied {
+                if !edge_satisfied(self.ops[child.0].status, edge.non_pipeline_breaking) {
                     ok = false;
                     break;
                 }
             }
             self.ops[i].status = if ok { OpStatus::Schedulable } else { OpStatus::Blocked };
         }
+        self.rebuild_frontier();
     }
 
-    /// Operators currently schedulable (candidate execution roots).
-    pub fn schedulable_ops(&self) -> Vec<OpId> {
+    /// Recomputes `pending` and `frontier` wholesale from the current
+    /// statuses. The frontier ends up sorted because ops are visited in
+    /// id order.
+    fn rebuild_frontier(&mut self) {
+        self.frontier.clear();
+        for i in 0..self.ops.len() {
+            let mut pending = 0u32;
+            for e in self.plan.children(OpId(i)) {
+                if !edge_satisfied(self.ops[e.op.0].status, e.non_pipeline_breaking) {
+                    pending += 1;
+                }
+            }
+            self.pending[i] = pending;
+            if self.ops[i].status == OpStatus::Schedulable {
+                self.frontier.push(OpId(i));
+            }
+        }
+    }
+
+    fn frontier_insert(&mut self, op: OpId) {
+        if let Err(i) = self.frontier.binary_search(&op) {
+            self.frontier.insert(i, op);
+        }
+    }
+
+    fn frontier_remove(&mut self, op: OpId) {
+        if let Ok(i) = self.frontier.binary_search(&op) {
+            self.frontier.remove(i);
+        }
+    }
+
+    /// Applies a status transition of `op` to the incremental state:
+    /// fixes `op`'s own frontier membership, then walks only `op`'s
+    /// consumers, adjusting their pending counters for every producer
+    /// edge whose satisfaction flipped. A consumer whose counter drops
+    /// to zero while Blocked is promoted to Schedulable; one whose
+    /// counter leaves zero while Schedulable is demoted to Blocked.
+    /// Counters of Running/Finished consumers are kept current too (no
+    /// status change), which is what makes fault reverts order-free.
+    fn after_transition(&mut self, op: OpId, old: OpStatus, new: OpStatus) {
+        if old == OpStatus::Schedulable {
+            self.frontier_remove(op);
+        }
+        if new == OpStatus::Schedulable {
+            self.frontier_insert(op);
+        }
+        let plan = Arc::clone(&self.plan);
+        for e in plan.parents(op) {
+            let before = edge_satisfied(old, e.non_pipeline_breaking);
+            let after = edge_satisfied(new, e.non_pipeline_breaking);
+            if before == after {
+                continue;
+            }
+            let p = e.op.0;
+            if after {
+                self.pending[p] -= 1;
+                if self.pending[p] == 0 && self.ops[p].status == OpStatus::Blocked {
+                    self.ops[p].status = OpStatus::Schedulable;
+                    self.frontier_insert(e.op);
+                }
+            } else {
+                self.pending[p] += 1;
+                if self.pending[p] == 1 && self.ops[p].status == OpStatus::Schedulable {
+                    self.ops[p].status = OpStatus::Blocked;
+                    self.frontier_remove(e.op);
+                }
+            }
+        }
+    }
+
+    fn transition(&mut self, op: OpId, new: OpStatus) {
+        let old = self.ops[op.0].status;
+        if old == new {
+            return;
+        }
+        self.ops[op.0].status = new;
+        self.after_transition(op, old, new);
+    }
+
+    /// Marks `op` Running, incrementally satisfying the
+    /// non-pipeline-breaking producer edges into its consumers. Safe to
+    /// call on a Blocked op (pipeline chains start deeper members whose
+    /// producer is the chain op below them, started in the same
+    /// decision).
+    pub fn mark_running(&mut self, op: OpId) {
+        self.transition(op, OpStatus::Running);
+    }
+
+    /// Records a completed work order and, when it was the op's last,
+    /// propagates the Finished transition to consumers (satisfying their
+    /// pipeline-breaking producer edges).
+    pub fn observe_wo_completion(&mut self, op: OpId, stats: &WorkOrderStats) {
+        let old = self.ops[op.0].status;
+        self.ops[op.0].observe_completion(stats);
+        let new = self.ops[op.0].status;
+        if old != new {
+            self.after_transition(op, old, new);
+        }
+    }
+
+    /// Forces `op` straight to Finished (exact-finish paths where the
+    /// executor retires an operator without a final work-order
+    /// completion).
+    pub fn force_finish(&mut self, op: OpId) {
+        self.transition(op, OpStatus::Finished);
+    }
+
+    /// Reverts a Running op whose pipeline was torn down by a fault
+    /// (worker loss, cancellation of a sibling pipeline). The op goes
+    /// back to Schedulable when its producers are still satisfied and to
+    /// Blocked otherwise — its pending counter stayed current while it
+    /// ran, so this is O(consumer degree) and independent of the order
+    /// in which a torn-down chain is reverted.
+    pub fn revert_from_running(&mut self, op: OpId) {
+        let new = if self.pending[op.0] == 0 { OpStatus::Schedulable } else { OpStatus::Blocked };
+        self.transition(op, new);
+    }
+
+    /// Operators currently schedulable (candidate execution roots), as a
+    /// borrowed slice of the cached frontier — sorted ascending, no
+    /// allocation.
+    pub fn schedulable_ops(&self) -> &[OpId] {
+        &self.frontier
+    }
+
+    /// Allocation-free emptiness test for the frontier.
+    pub fn has_schedulable(&self) -> bool {
+        !self.frontier.is_empty()
+    }
+
+    /// Legacy full-scan computation of the schedulable set, retained as
+    /// the reference oracle: `SimConfig::reference_mode` baselines and
+    /// `tests/frontier_props.rs` compare the cached frontier against it.
+    pub fn schedulable_ops_scan(&self) -> Vec<OpId> {
         self.ops
             .iter()
             .enumerate()
@@ -218,8 +378,9 @@ impl<'a> SchedContext<'a> {
     }
 
     /// True when at least one active query has a schedulable operator.
+    /// Allocation-free: reads each query's cached frontier.
     pub fn has_schedulable_work(&self) -> bool {
-        self.queries.iter().any(|q| !q.schedulable_ops().is_empty())
+        self.queries.iter().any(QueryRuntime::has_schedulable)
     }
 }
 

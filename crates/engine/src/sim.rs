@@ -69,6 +69,15 @@ pub struct SimConfig {
     /// Optional fault-injection plan (worker churn, transient
     /// work-order failures, stragglers, cancellations).
     pub faults: Option<FaultPlan>,
+    /// Run the event loop against the legacy full-rescan reference
+    /// paths: `refresh_statuses` rescans instead of incremental frontier
+    /// transitions, linear query/pipeline scans instead of the id map
+    /// and per-query pipeline lists, and per-event scratch allocations.
+    /// Semantics are bit-identical to the fast path (pinned by
+    /// `tests/frontier_props.rs`); the `sim_throughput` bench runs both
+    /// modes in one process to measure the speedup against the pre-PR
+    /// baseline.
+    pub reference_mode: bool,
 }
 
 impl Default for SimConfig {
@@ -81,6 +90,7 @@ impl Default for SimConfig {
             trace: None,
             pool_resizes: Vec::new(),
             faults: None,
+            reference_mode: false,
         }
     }
 }
@@ -164,6 +174,9 @@ pub struct SimResult {
     pub sched_wall_time: f64,
     /// Total executed work orders.
     pub total_work_orders: u64,
+    /// Total simulator events processed (the denominator of the
+    /// `sim_throughput` events/sec metric).
+    pub events_processed: u64,
     /// Queries that did not complete: cancelled mid-flight or aborted
     /// by a permanently failed work order (`duration` is the time from
     /// arrival to abort). Disjoint from `outcomes`.
@@ -172,7 +185,55 @@ pub struct SimResult {
     pub fault_summary: FaultSummary,
 }
 
+/// Latency statistics derived from a single sort of the outcome
+/// durations. [`SimResult::avg_duration`], [`SimResult::quantile_duration`]
+/// and [`SimResult::cdf`] each used to re-collect and re-sort the
+/// outcomes; callers needing several of them should build this once via
+/// [`SimResult::latency_stats`] and read every statistic off the shared
+/// sorted vector.
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    /// Query latencies, sorted ascending.
+    sorted: Vec<f64>,
+}
+
+impl LatencyStats {
+    fn new(mut sorted: Vec<f64>) -> Self {
+        sorted.sort_by(f64::total_cmp);
+        Self { sorted }
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// The `p`-quantile (0.9 = tail latency indicator).
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.sorted.len() as f64 - 1.0) * p).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Sorted latencies with cumulative fractions — the CDF the paper's
+    /// Figures 8–10 plot.
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted.iter().enumerate().map(|(i, &v)| (v, (i + 1) as f64 / n)).collect()
+    }
+}
+
 impl SimResult {
+    /// Builds the shared sorted-latency basis for mean/quantile/CDF.
+    pub fn latency_stats(&self) -> LatencyStats {
+        LatencyStats::new(self.outcomes.iter().map(|o| o.duration).collect())
+    }
+
     /// Mean query latency.
     pub fn avg_duration(&self) -> f64 {
         if self.outcomes.is_empty() {
@@ -181,24 +242,16 @@ impl SimResult {
         self.outcomes.iter().map(|o| o.duration).sum::<f64>() / self.outcomes.len() as f64
     }
 
-    /// The `p`-quantile of query latency (0.9 = tail latency indicator).
+    /// The `p`-quantile of query latency. Sorts per call — use
+    /// [`SimResult::latency_stats`] when also reading the mean or CDF.
     pub fn quantile_duration(&self, p: f64) -> f64 {
-        if self.outcomes.is_empty() {
-            return 0.0;
-        }
-        let mut d: Vec<f64> = self.outcomes.iter().map(|o| o.duration).collect();
-        d.sort_by(f64::total_cmp);
-        let idx = ((d.len() as f64 - 1.0) * p).round() as usize;
-        d[idx]
+        self.latency_stats().quantile(p)
     }
 
-    /// Sorted latencies with cumulative fractions — the CDF the paper's
-    /// Figures 8–10 plot.
+    /// The latency CDF. Sorts per call — use
+    /// [`SimResult::latency_stats`] when also reading quantiles.
     pub fn cdf(&self) -> Vec<(f64, f64)> {
-        let mut d: Vec<f64> = self.outcomes.iter().map(|o| o.duration).collect();
-        d.sort_by(f64::total_cmp);
-        let n = d.len() as f64;
-        d.into_iter().enumerate().map(|(i, v)| (v, (i + 1) as f64 / n)).collect()
+        self.latency_stats().cdf()
     }
 
     /// Average scheduling latency charged per query (seconds).
@@ -273,6 +326,51 @@ impl PartialOrd for HeapItem {
     }
 }
 
+/// Set of thread ids doomed by worker loss, as a bitset: `contains`,
+/// `insert` and `take` are O(1) where the legacy sorted-`Vec`
+/// representation paid a linear scan on the hot dispatch/completion
+/// paths. Thread ids only grow (lost workers are never resurrected
+/// under the same id), so the bit vector grows monotonically and is
+/// reused across events.
+#[derive(Debug, Default)]
+struct DoomedSet {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl DoomedSet {
+    fn contains(&self, t: usize) -> bool {
+        self.bits.get(t / 64).is_some_and(|w| w & (1u64 << (t % 64)) != 0)
+    }
+
+    fn insert(&mut self, t: usize) {
+        let (w, b) = (t / 64, 1u64 << (t % 64));
+        if w >= self.bits.len() {
+            self.bits.resize(w + 1, 0);
+        }
+        if self.bits[w] & b == 0 {
+            self.bits[w] |= b;
+            self.len += 1;
+        }
+    }
+
+    /// Removes `t` if present; returns whether it was.
+    fn take(&mut self, t: usize) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let (w, b) = (t / 64, 1u64 << (t % 64));
+        match self.bits.get_mut(w) {
+            Some(word) if *word & b != 0 => {
+                *word &= !b;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct PipelineRun {
     query: QueryId,
@@ -293,6 +391,14 @@ pub struct Simulator {
     heap: BinaryHeap<HeapItem>,
     seq: u64,
     queries: Vec<QueryRuntime>,
+    /// `QueryId -> index into queries`, indexed by the (dense) query id.
+    /// Replaces the per-event linear `position` scan; kept consistent
+    /// across `Vec::remove` by shifting the later indices down.
+    qindex: Vec<Option<usize>>,
+    /// Live pipeline slots of each query, parallel to `queries` and in
+    /// ascending slot order (slot ids are monotonically assigned, so
+    /// pushes preserve the order the legacy all-slot sweeps visited).
+    query_pipes: Vec<Vec<usize>>,
     free_threads: Vec<usize>,
     pool_size: usize,
     next_thread_id: usize,
@@ -303,8 +409,11 @@ pub struct Simulator {
     faults: Option<FaultInjector>,
     /// Busy/stalled threads marked for loss; each is reaped (retired,
     /// its in-flight work order re-exposed) at its next scheduling
-    /// point. Kept sorted for determinism.
-    doomed: Vec<usize>,
+    /// point.
+    doomed: DoomedSet,
+    /// Scratch buffer for the wake-stalled-threads sweeps; reused across
+    /// events so the steady state allocates nothing.
+    wake_buf: Vec<(usize, usize)>,
     // metrics
     outcomes: Vec<QueryOutcome>,
     aborted: Vec<QueryOutcome>,
@@ -332,6 +441,8 @@ impl Simulator {
             heap: BinaryHeap::new(),
             seq: 0,
             queries: Vec::new(),
+            qindex: Vec::new(),
+            query_pipes: Vec::new(),
             free_threads,
             pool_size,
             next_thread_id,
@@ -339,7 +450,8 @@ impl Simulator {
             pipelines: Vec::new(),
             in_flight_mem: 0.0,
             faults,
-            doomed: Vec::new(),
+            doomed: DoomedSet::default(),
+            wake_buf: Vec::new(),
             outcomes: Vec::new(),
             aborted: Vec::new(),
             fault_summary: FaultSummary::default(),
@@ -409,7 +521,12 @@ impl Simulator {
                         self.time,
                         self.pool_size.max(self.cfg.num_threads) + 64,
                     );
+                    if self.qindex.len() <= i {
+                        self.qindex.resize(i + 1, None);
+                    }
+                    self.qindex[i] = Some(self.queries.len());
                     self.queries.push(qr);
+                    self.query_pipes.push(Vec::new());
                     self.invoke_scheduler(scheduler, SchedEvent::QueryArrived(qid));
                 }
                 Ev::WoDone { pipeline, op, thread, duration, memory } => {
@@ -446,13 +563,37 @@ impl Simulator {
             fallback_decisions: self.fallbacks,
             sched_wall_time: self.sched_wall,
             total_work_orders: self.work_orders,
+            events_processed: processed,
             aborted: self.aborted,
             fault_summary: self.fault_summary,
         })
     }
 
     fn query_index(&self, qid: QueryId) -> Option<usize> {
-        self.queries.iter().position(|q| q.qid == qid)
+        if self.cfg.reference_mode {
+            // Legacy linear scan, kept as the baseline the id map is
+            // benchmarked against; both paths agree by construction.
+            return self.queries.iter().position(|q| q.qid == qid);
+        }
+        self.qindex.get(qid.0 as usize).copied().flatten()
+    }
+
+    /// Removes the query at `qidx` and keeps the id map consistent.
+    /// `Vec::remove` (not `swap_remove`) preserves the arrival order
+    /// policies observe through `SchedContext::queries`, so every later
+    /// query shifts down one slot.
+    fn remove_query(&mut self, qidx: usize) -> QueryRuntime {
+        let q = self.queries.remove(qidx);
+        self.query_pipes.remove(qidx);
+        if let Some(slot) = self.qindex.get_mut(q.qid.0 as usize) {
+            *slot = None;
+        }
+        for slot in self.qindex.iter_mut().flatten() {
+            if *slot > qidx {
+                *slot -= 1;
+            }
+        }
+        q
     }
 
     fn handle_wo_done(
@@ -482,8 +623,7 @@ impl Simulator {
         // A doomed thread surfaces: its worker was lost mid-flight, so
         // this work order is lost with it — undo the dispatch (the work
         // order is re-exposed) and retire the thread.
-        if let Some(pos) = self.doomed.iter().position(|&t| t == thread) {
-            self.doomed.remove(pos);
+        if self.doomed.take(thread) {
             let o = &mut self.queries[qidx].ops[op.0];
             o.dispatched_work_orders = o.dispatched_work_orders.saturating_sub(1);
             self.fault_summary.wo_lost_with_worker += 1;
@@ -492,17 +632,7 @@ impl Simulator {
             // run on threads already inside this query's pipelines — wake
             // the stalled ones, or they would sleep forever if no other
             // completion event is in flight.
-            let mut to_dispatch: Vec<(usize, usize)> = Vec::new();
-            for (i, slot) in self.pipelines.iter_mut().enumerate() {
-                if let Some(p) = slot {
-                    if p.query == qid {
-                        to_dispatch.extend(p.stalled.drain(..).map(|t| (i, t)));
-                    }
-                }
-            }
-            for (p, t) in to_dispatch {
-                self.dispatch_thread(p, t);
-            }
+            self.wake_query_threads(qidx, qid, None);
             // Nothing freed (the worker retired), but the re-exposed
             // work order may warrant a fresh decision.
             self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(0));
@@ -516,26 +646,20 @@ impl Simulator {
             output_rows: 0,
             completed_at: self.time,
         };
-        self.queries[qidx].ops[op.0].observe_completion(&stats);
-        let op_finished = self.queries[qidx].ops[op.0].status == OpStatus::Finished;
-        if op_finished {
-            self.queries[qidx].refresh_statuses();
+        if self.cfg.reference_mode {
+            self.queries[qidx].ops[op.0].observe_completion(&stats);
+            if self.queries[qidx].ops[op.0].status == OpStatus::Finished {
+                self.queries[qidx].refresh_statuses();
+            }
+        } else {
+            self.queries[qidx].observe_wo_completion(op, &stats);
         }
+        let op_finished = self.queries[qidx].ops[op.0].status == OpStatus::Finished;
 
         // Wake the completing thread plus any stalled threads of *all* of
         // this query's pipelines: producer progress in one pipeline can
         // make consumer work orders dispatchable in another.
-        let mut to_dispatch: Vec<(usize, usize)> = vec![(pid, thread)];
-        for (i, slot) in self.pipelines.iter_mut().enumerate() {
-            if let Some(p) = slot {
-                if p.query == qid {
-                    to_dispatch.extend(p.stalled.drain(..).map(|t| (i, t)));
-                }
-            }
-        }
-        for (p, t) in to_dispatch {
-            self.dispatch_thread(p, t);
-        }
+        self.wake_query_threads(qidx, qid, Some((pid, thread)));
 
         // Pipeline completion check: all chain ops finished and no thread
         // still holds an in-flight work order for it.
@@ -552,6 +676,7 @@ impl Simulator {
         let mut freed = 0;
         if done {
             if let Some(p) = self.pipelines[pid].take() {
+                self.detach_pipe(qidx, pid);
                 self.in_flight_mem -= p.buffer_mem;
                 self.queries[qidx].assigned_threads =
                     self.queries[qidx].assigned_threads.saturating_sub(p.threads.len());
@@ -578,7 +703,7 @@ impl Simulator {
             });
             let t = self.time;
             scheduler.on_query_finished(t, qid);
-            self.queries.remove(qidx);
+            self.remove_query(qidx);
         }
 
         // Scheduling events, per Section 5.2.
@@ -591,13 +716,60 @@ impl Simulator {
         Ok(())
     }
 
+    /// Wakes the stalled threads of every live pipeline of query `qidx`
+    /// (dispatching `head` first when given): producer progress in one
+    /// pipeline can make consumer work orders dispatchable in another.
+    /// Collection and dispatch are two phases because dispatching can
+    /// re-stall threads. The fast path walks the per-query pipeline list
+    /// (ascending slot order — identical visit order to the legacy sweep
+    /// over every slot ever created) into a reused scratch buffer;
+    /// reference mode keeps the legacy full sweep and fresh allocation.
+    fn wake_query_threads(&mut self, qidx: usize, qid: QueryId, head: Option<(usize, usize)>) {
+        let mut to_dispatch = if self.cfg.reference_mode {
+            Vec::new()
+        } else {
+            std::mem::take(&mut self.wake_buf)
+        };
+        to_dispatch.extend(head);
+        if self.cfg.reference_mode {
+            for (i, slot) in self.pipelines.iter_mut().enumerate() {
+                if let Some(p) = slot {
+                    if p.query == qid {
+                        to_dispatch.extend(p.stalled.drain(..).map(|t| (i, t)));
+                    }
+                }
+            }
+        } else {
+            for pi in 0..self.query_pipes[qidx].len() {
+                let i = self.query_pipes[qidx][pi];
+                if let Some(p) = self.pipelines[i].as_mut() {
+                    to_dispatch.extend(p.stalled.drain(..).map(|t| (i, t)));
+                }
+            }
+        }
+        for (p, t) in to_dispatch.drain(..) {
+            self.dispatch_thread(p, t);
+        }
+        if !self.cfg.reference_mode {
+            self.wake_buf = to_dispatch;
+        }
+    }
+
+    /// Drops `pid` from the owning query's pipeline list (called when
+    /// the slot is taken).
+    fn detach_pipe(&mut self, qidx: usize, pid: usize) {
+        let pipes = &mut self.query_pipes[qidx];
+        if let Some(pos) = pipes.iter().position(|&p| p == pid) {
+            pipes.remove(pos);
+        }
+    }
+
     /// Routes a thread that is leaving a pipeline: a doomed thread
     /// retires (its worker was lost), an outstanding pool shrink consumes
     /// it, otherwise it returns to the free pool. Returns `true` when the
     /// free pool grew.
     fn dispose_thread(&mut self, t: usize) -> bool {
-        if let Some(pos) = self.doomed.iter().position(|&d| d == t) {
-            self.doomed.remove(pos);
+        if self.doomed.take(t) {
             return false;
         }
         if self.pending_retirements > 0 {
@@ -632,19 +804,31 @@ impl Simulator {
 
     /// Tears down a pipeline slot: releases its buffer memory and, when
     /// the owning query is still alive, reverts its unfinished `Running`
-    /// chain operators so `refresh_statuses` re-exposes them as
-    /// schedulable (otherwise they would be stranded with no thread).
+    /// chain operators so they are re-exposed as schedulable (otherwise
+    /// they would be stranded with no thread). The fast path reverts
+    /// each chain op incrementally — the per-op revert is
+    /// order-independent, so walking the chain upstream-first matches
+    /// the reference rescan exactly.
     fn kill_pipeline(&mut self, pid: usize, qidx: Option<usize>) {
         if let Some(p) = self.pipelines[pid].take() {
             self.in_flight_mem -= p.buffer_mem;
             if let Some(qi) = qidx {
-                for &op in p.chain.iter() {
-                    let o = &mut self.queries[qi].ops[op.0];
-                    if o.status == OpStatus::Running {
-                        o.status = OpStatus::Blocked;
+                self.detach_pipe(qi, pid);
+                if self.cfg.reference_mode {
+                    for &op in p.chain.iter() {
+                        let o = &mut self.queries[qi].ops[op.0];
+                        if o.status == OpStatus::Running {
+                            o.status = OpStatus::Blocked;
+                        }
+                    }
+                    self.queries[qi].refresh_statuses();
+                } else {
+                    for &op in p.chain.iter() {
+                        if self.queries[qi].ops[op.0].status == OpStatus::Running {
+                            self.queries[qi].revert_from_running(op);
+                        }
                     }
                 }
-                self.queries[qi].refresh_statuses();
             }
         }
     }
@@ -657,20 +841,37 @@ impl Simulator {
     fn abort_query(&mut self, scheduler: &mut dyn Scheduler, qidx: usize, cancelled: bool) {
         let qid = self.queries[qidx].qid;
         let mut freed = 0;
-        for pid in 0..self.pipelines.len() {
-            if self.pipelines[pid].as_ref().is_none_or(|p| p.query != qid) {
-                continue;
+        if self.cfg.reference_mode {
+            for pid in 0..self.pipelines.len() {
+                if self.pipelines[pid].as_ref().is_none_or(|p| p.query != qid) {
+                    continue;
+                }
+                if let Some(p) = self.pipelines[pid].take() {
+                    self.in_flight_mem -= p.buffer_mem;
+                    for &t in &p.stalled {
+                        if self.dispose_thread(t) {
+                            freed += 1;
+                        }
+                    }
+                }
             }
-            if let Some(p) = self.pipelines[pid].take() {
-                self.in_flight_mem -= p.buffer_mem;
-                for &t in &p.stalled {
-                    if self.dispose_thread(t) {
-                        freed += 1;
+            self.query_pipes[qidx].clear();
+        } else {
+            // Ascending slot order, like the reference sweep — dispose
+            // order decides which threads a pending pool shrink retires.
+            let pipes = std::mem::take(&mut self.query_pipes[qidx]);
+            for pid in pipes {
+                if let Some(p) = self.pipelines[pid].take() {
+                    self.in_flight_mem -= p.buffer_mem;
+                    for &t in &p.stalled {
+                        if self.dispose_thread(t) {
+                            freed += 1;
+                        }
                     }
                 }
             }
         }
-        let q = self.queries.remove(qidx);
+        let q = self.remove_query(qidx);
         self.aborted.push(QueryOutcome {
             qid,
             name: q.plan.name.clone(),
@@ -747,7 +948,7 @@ impl Simulator {
         for (pid, slot) in self.pipelines.iter().enumerate() {
             if let Some(p) = slot {
                 for &t in &p.threads {
-                    if self.doomed.contains(&t) {
+                    if self.doomed.contains(t) {
                         continue;
                     }
                     if victim.is_none_or(|(vt, _, _)| t > vt) {
@@ -768,9 +969,7 @@ impl Simulator {
                 self.remove_thread_from_pipeline(pid, qidx, t);
             }
         } else {
-            if let Err(pos) = self.doomed.binary_search(&t) {
-                self.doomed.insert(pos, t);
-            }
+            self.doomed.insert(t);
         }
         self.invoke_scheduler(scheduler, SchedEvent::WorkerLost(t));
     }
@@ -792,8 +991,10 @@ impl Simulator {
         let q = &self.queries[qidx];
         let total = q.ops[op.0].total_work_orders;
         let mut allowed = total;
-        for (_, child) in q.plan.children_of(op) {
-            let c = &q.ops[child.0];
+        // CSR adjacency: borrowed slice in edge order, no per-call
+        // allocation (this runs once per dispatched work order).
+        for e in q.plan.children(op) {
+            let c = &q.ops[e.op.0];
             let frac = if c.status == OpStatus::Finished {
                 1.0
             } else {
@@ -816,8 +1017,7 @@ impl Simulator {
             None => return,
         };
         // A doomed thread must not pick up new work: reap it instead.
-        if let Some(pos) = self.doomed.iter().position(|&t| t == thread) {
-            self.doomed.remove(pos);
+        if self.doomed.take(thread) {
             self.remove_thread_from_pipeline(pid, qidx, thread);
             return;
         }
@@ -901,26 +1101,23 @@ impl Simulator {
         let mut chain = vec![root];
         let mut cur = root;
         'outer: while chain.len() < degree {
-            let ups: Vec<_> = q
-                .plan
-                .parents_of(cur)
-                .into_iter()
-                .filter(|(e, _)| e.non_pipeline_breaking)
-                .collect();
-            if ups.len() != 1 {
-                break;
-            }
-            let (_, parent) = ups[0];
+            // Exactly one non-breaking consumer, via the CSR slices
+            // (edge order matches the legacy allocating `parents_of`).
+            let mut ups = q.plan.parents(cur).iter().filter(|e| e.non_pipeline_breaking);
+            let parent = match (ups.next(), ups.next()) {
+                (Some(up), None) => up.op,
+                _ => break,
+            };
             let ps = q.ops[parent.0].status;
             if matches!(ps, OpStatus::Running | OpStatus::Finished) {
                 break;
             }
-            for (edge, child) in q.plan.children_of(parent) {
-                if child == cur {
+            for e in q.plan.children(parent) {
+                if e.op == cur {
                     continue;
                 }
-                let cs = q.ops[child.0].status;
-                let ok = if edge.non_pipeline_breaking {
+                let cs = q.ops[e.op.0].status;
+                let ok = if e.non_pipeline_breaking {
                     matches!(cs, OpStatus::Running | OpStatus::Finished)
                 } else {
                     cs == OpStatus::Finished
@@ -940,12 +1137,20 @@ impl Simulator {
         // a stale snapshot), re-clamping the thread grant in case the
         // pool shrank between the event and this dispatch.
         let d = {
-            let free_ids = self.free_threads.clone();
+            // Reference mode keeps the legacy per-decision clone of the
+            // free-thread list; the fast path borrows it in place.
+            let cloned;
+            let free_ids: &[usize] = if self.cfg.reference_mode {
+                cloned = self.free_threads.clone();
+                &cloned
+            } else {
+                &self.free_threads
+            };
             let ctx = SchedContext {
                 time: self.time,
                 total_threads: self.pool_size,
                 free_threads: free_ids.len(),
-                free_thread_ids: &free_ids,
+                free_thread_ids: free_ids,
                 queries: &self.queries,
             };
             match clamp_decision(&ctx, d) {
@@ -964,11 +1169,19 @@ impl Simulator {
         let grant = d.threads.min(self.free_threads.len()).max(1);
         let threads: Vec<usize> = self.free_threads.drain(..grant).collect();
 
-        for &op in &chain {
-            self.queries[qidx].ops[op.0].status = OpStatus::Running;
+        if self.cfg.reference_mode {
+            for &op in &chain {
+                self.queries[qidx].ops[op.0].status = OpStatus::Running;
+            }
+            self.queries[qidx].refresh_statuses();
+        } else {
+            // Root first, then upstream: each mark satisfies the
+            // non-breaking edge into the next chain member.
+            for &op in &chain {
+                self.queries[qidx].mark_running(op);
+            }
         }
         self.queries[qidx].assigned_threads += threads.len();
-        self.queries[qidx].refresh_statuses();
 
         let buffer_mem =
             self.cfg.cost.pipeline_buffer_bytes * chain.len() as f64 * threads.len() as f64;
@@ -982,6 +1195,7 @@ impl Simulator {
             stalled: Vec::new(),
             buffer_mem,
         }));
+        self.query_pipes[qidx].push(pid);
         for t in threads {
             self.dispatch_thread(pid, t);
         }
@@ -1005,26 +1219,41 @@ impl Simulator {
             if self.free_threads.is_empty() {
                 return;
             }
-            let has_work = self.queries.iter().any(|q| !q.schedulable_ops().is_empty());
+            let has_work = if self.cfg.reference_mode {
+                // Legacy: materializes each query's schedulable set just
+                // to test emptiness — one Vec per active query per
+                // invocation.
+                self.queries.iter().any(|q| !q.schedulable_ops_scan().is_empty())
+            } else {
+                self.queries.iter().any(QueryRuntime::has_schedulable)
+            };
             if !has_work {
                 return;
             }
         }
-        let free_ids = self.free_threads.clone();
-        let decisions = {
+        let (decisions, elapsed) = {
+            // Reference mode keeps the legacy per-invocation clone of
+            // the free-thread list; the fast path borrows it in place.
+            let cloned;
+            let free_ids: &[usize] = if self.cfg.reference_mode {
+                cloned = self.free_threads.clone();
+                &cloned
+            } else {
+                &self.free_threads
+            };
             let ctx = SchedContext {
                 time: self.time,
                 total_threads: self.pool_size,
                 free_threads: free_ids.len(),
-                free_thread_ids: &free_ids,
+                free_thread_ids: free_ids,
                 queries: &self.queries,
             };
             let t0 = Instant::now();
             let ds = scheduler.on_event(&ctx, &event);
-            self.sched_wall += t0.elapsed().as_secs_f64();
-            self.invocations += 1;
-            ds
+            (ds, t0.elapsed().as_secs_f64())
         };
+        self.sched_wall += elapsed;
+        self.invocations += 1;
         for d in &decisions {
             if self.free_threads.is_empty() {
                 break;
@@ -1122,7 +1351,7 @@ mod tests {
             let mut out = Vec::new();
             let mut free = ctx.free_threads;
             for q in ctx.queries {
-                for root in q.schedulable_ops() {
+                for &root in q.schedulable_ops() {
                     if free == 0 {
                         return out;
                     }
@@ -1252,7 +1481,7 @@ mod tests {
                 let mut out = Vec::new();
                 let mut free = ctx.free_threads;
                 for q in ctx.queries {
-                    for root in q.schedulable_ops() {
+                    for &root in q.schedulable_ops() {
                         if free == 0 {
                             return out;
                         }
@@ -1322,7 +1551,7 @@ mod resize_tests {
             let mut out = Vec::new();
             let mut free = ctx.free_threads;
             for q in ctx.queries {
-                for root in q.schedulable_ops() {
+                for &root in q.schedulable_ops() {
                     if free == 0 {
                         return out;
                     }
@@ -1436,7 +1665,7 @@ mod fault_tests {
             let mut out = Vec::new();
             let mut free = ctx.free_threads;
             for q in ctx.queries {
-                for root in q.schedulable_ops() {
+                for &root in q.schedulable_ops() {
                     if free == 0 {
                         return out;
                     }

@@ -32,6 +32,11 @@ pub struct TrailingRegressor {
     values: VecDeque<f64>,
     next_index: u64,
     fallback: f64,
+    /// Non-finite observations currently inside the window, maintained
+    /// incrementally so [`TrailingRegressor::is_finite`] is `O(1)` —
+    /// guard wrappers poll it on their snapshot scans, where refitting
+    /// the regression just to test finiteness was the dominant cost.
+    nonfinite_in_window: usize,
 }
 
 impl TrailingRegressor {
@@ -40,16 +45,36 @@ impl TrailingRegressor {
     /// estimate).
     pub fn new(window: usize, fallback: f64) -> Self {
         assert!(window >= 2, "window must hold at least two observations");
-        Self { window, values: VecDeque::with_capacity(window), next_index: 0, fallback }
+        Self {
+            window,
+            values: VecDeque::with_capacity(window),
+            next_index: 0,
+            fallback,
+            nonfinite_in_window: 0,
+        }
     }
 
     /// Records a completed work order's observed value.
     pub fn observe(&mut self, value: f64) {
         if self.values.len() == self.window {
-            self.values.pop_front();
+            if let Some(old) = self.values.pop_front() {
+                if !old.is_finite() {
+                    self.nonfinite_in_window -= 1;
+                }
+            }
+        }
+        if !value.is_finite() {
+            self.nonfinite_in_window += 1;
         }
         self.values.push_back(value);
         self.next_index += 1;
+    }
+
+    /// Whether every input of the next prediction (windowed observations
+    /// and the fallback estimate) is finite — and hence the prediction
+    /// itself, barring overflow of finite inputs. `O(1)`.
+    pub fn is_finite(&self) -> bool {
+        self.nonfinite_in_window == 0 && self.fallback.is_finite()
     }
 
     /// Number of observations recorded so far (lifetime, not window).

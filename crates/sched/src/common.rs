@@ -22,7 +22,7 @@ pub struct Candidate {
 pub fn candidates(ctx: &SchedContext<'_>) -> Vec<Candidate> {
     let mut out = Vec::new();
     for (qi, q) in ctx.queries.iter().enumerate() {
-        for root in q.schedulable_ops() {
+        for &root in q.schedulable_ops() {
             let max_degree = q.plan.longest_npb_chain(root);
             let chain = q.plan.pipeline_chain(root, max_degree);
             let chain_work: f64 =

@@ -151,10 +151,12 @@ impl<S: Scheduler, F: Scheduler> GuardedScheduler<S, F> {
     /// aggregate `est_remaining_work` is the sum of the per-operator
     /// durations checked here, so it needs no separate check.
     fn query_is_finite(q: &lsched_engine::scheduler::QueryRuntime) -> bool {
+        // Check the estimators' *inputs* (windowed observations plus the
+        // optimizer fallback, `O(1)` per estimator) rather than their
+        // predictions: refitting the regression per op just to test
+        // finiteness made the deep scan the guard's dominant cost.
         q.arrival_time.is_finite()
-            && q.ops.iter().all(|o| {
-                o.est_remaining_duration().is_finite() && o.est_remaining_memory().is_finite()
-            })
+            && q.ops.iter().all(|o| o.dur_estimator.is_finite() && o.mem_estimator.is_finite())
     }
 
     /// Whether the snapshot is safe to hand to a learned policy: all
