@@ -125,7 +125,7 @@ fn fig1(cfg: &HarnessConfig) {
         b.connect(o5, o6, true);
         Arc::new(b.finish(o6))
     };
-    let wl = vec![WorkloadItem { arrival_time: 0.0, plan }];
+    let wl = vec![WorkloadItem::new(0.0, plan)];
     // Tight memory: aggressive pipelining over-commits buffers.
     let mut sim = SimConfig { num_threads: 5, seed: cfg.seed, ..Default::default() };
     sim.cost.memory_budget = 650e6;

@@ -1,0 +1,456 @@
+//! Overload sweep: offered load × shed policy, plus the durable-recovery
+//! acceptance gates of the resilience layer.
+//!
+//! ```text
+//! overload [--queries N] [--threads N] [--out PATH]
+//! ```
+//!
+//! Calibrates the pool's service capacity, then sweeps load multipliers
+//! `{0.5, 1.0, 1.5, 2.0}` against three admission configurations
+//! (shedding disabled / reject / defer) with per-query deadlines and a
+//! one-retry budget. Gates:
+//!
+//! * zero panics and zero simulation errors, every query conserved;
+//! * shed fraction monotone non-decreasing in offered load (per policy);
+//! * P99 latency of *admitted* queries inflates ≤ 2× when offered load
+//!   doubles from 1× to 2× with shedding on;
+//! * the shedding-disabled contrast run sheds nothing;
+//! * bursty arrivals complete with conservation;
+//! * chaos determinism: admission + deadlines under the standard fault
+//!   matrix are bit-identical across a double run;
+//! * checkpoint kill/resume is bit-identical and corrupt generations
+//!   fall back.
+//!
+//! Writes `BENCH_pr5.json` (override with `--out`) and exits non-zero
+//! if any gate fails.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use serde::Serialize;
+
+use lsched_bench::report::RunCounters;
+use lsched_core::{
+    train, train_with_checkpoints, CheckpointPolicy, ExperienceManager, LSchedConfig, LSchedModel,
+    TrainConfig,
+};
+use lsched_engine::fault::FaultPlan;
+use lsched_engine::sim::{try_simulate, RetryPolicy, SimConfig, WorkloadItem};
+use lsched_nn::CheckpointManager;
+use lsched_sched::{Admission, AdmissionConfig, GuardedScheduler, QuickstepScheduler, ShedPolicy};
+use lsched_workloads::tpch;
+use lsched_workloads::workload::{gen_workload, ArrivalPattern};
+
+/// Offered-load multipliers swept against the calibrated capacity.
+const LOAD_MULTIPLIERS: [f64; 4] = [0.5, 1.0, 1.5, 2.0];
+/// Max tolerated P99 inflation (admitted queries) from 1× to 2× load
+/// with shedding enabled.
+const MAX_P99_INFLATION: f64 = 2.0;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+enum GateMode {
+    Disabled,
+    Reject,
+    Defer,
+}
+
+#[derive(Debug, Serialize)]
+struct SweepRun {
+    mode: GateMode,
+    load_multiplier: f64,
+    lambda: f64,
+    shed_fraction: f64,
+    avg_duration: f64,
+    p99_duration: f64,
+    makespan: f64,
+    counters: RunCounters,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    pr: u32,
+    title: String,
+    queries: usize,
+    threads: usize,
+    capacity_qps: f64,
+    deadline_budget_s: f64,
+    panics: usize,
+    sim_errors: usize,
+    conservation_violations: usize,
+    shed_monotone: bool,
+    p99_inflation_1x_to_2x: f64,
+    p99_inflation_ok: bool,
+    disabled_sheds_nothing: bool,
+    deadline_enforcement_active: bool,
+    bursty_conserved: bool,
+    chaos_deterministic: bool,
+    checkpoint_resume_identical: bool,
+    checkpoint_corruption_fallback: bool,
+    runs: Vec<SweepRun>,
+    passed: bool,
+}
+
+/// Deadlined, prioritized copy of a generated workload.
+fn with_slos(wl: Vec<WorkloadItem>, budget: f64) -> Vec<WorkloadItem> {
+    wl.into_iter()
+        .enumerate()
+        .map(|(i, w)| w.with_priority((i % 3) as i32).with_deadline(budget))
+        .collect()
+}
+
+fn scheduler(mode: GateMode) -> GuardedScheduler<QuickstepScheduler> {
+    let guard = GuardedScheduler::new(QuickstepScheduler);
+    match mode {
+        GateMode::Disabled => guard,
+        GateMode::Reject => guard.with_admission(Admission::new(AdmissionConfig {
+            max_queued: 6,
+            resume_queued: 3,
+            policy: ShedPolicy::Reject,
+            ..Default::default()
+        })),
+        GateMode::Defer => guard.with_admission(Admission::new(AdmissionConfig {
+            max_queued: 6,
+            resume_queued: 3,
+            policy: ShedPolicy::Defer,
+            ..Default::default()
+        })),
+    }
+}
+
+fn checkpoint_gates() -> (bool, bool) {
+    let tiny_model = |seed: u64| {
+        let mut cfg = LSchedConfig::default();
+        cfg.encoder.hidden = 10;
+        cfg.encoder.edge_hidden = 4;
+        cfg.encoder.pqe_dim = 6;
+        cfg.encoder.aqe_dim = 6;
+        cfg.encoder.conv_layers = 2;
+        cfg.predictor.max_degree = 4;
+        cfg.predictor.max_threads = 16;
+        LSchedModel::new(cfg, seed)
+    };
+    let sampler = lsched_workloads::EpisodeSampler {
+        pool: tpch::plan_pool(&[0.3]),
+        size_range: (4, 6),
+        rate_range: (20.0, 60.0),
+        batch_fraction: 0.5,
+    };
+    let tcfg = |episodes: usize| TrainConfig {
+        episodes,
+        sim: SimConfig { num_threads: 6, ..Default::default() },
+        seed: 5,
+        ..Default::default()
+    };
+    const EPISODES: usize = 3;
+
+    let reference = {
+        let mut exp = ExperienceManager::new(32);
+        let (m, _) = train(tiny_model(5), &sampler, &tcfg(EPISODES), &mut exp);
+        m.params_json()
+    };
+
+    let dir = std::env::temp_dir().join(format!("lsched-overload-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let manager = CheckpointManager::new(&dir, 2);
+    let policy = CheckpointPolicy { manager: manager.clone(), every: 1 };
+
+    // Kill after 1 episode, resume to completion: bit-identical?
+    let mut exp = ExperienceManager::new(32);
+    let killed =
+        train_with_checkpoints(tiny_model(5), &sampler, &tcfg(1), &mut exp, &policy).is_ok();
+    let resume_identical = killed
+        && match train_with_checkpoints(tiny_model(5), &sampler, &tcfg(EPISODES), &mut exp, &policy)
+        {
+            Ok((m, _, resumed)) => resumed == 1 && m.params_json() == reference,
+            Err(_) => false,
+        };
+
+    // Corrupt the newest generation: the resume must fall back to an
+    // older one and still land on the reference parameters.
+    let corruption_fallback = match manager.generations() {
+        Ok(gens) if !gens.is_empty() => {
+            let newest = dir.join(format!("ckpt-{:012}.bin", gens[gens.len() - 1]));
+            let damaged = std::fs::read(&newest)
+                .and_then(|bytes| std::fs::write(&newest, &bytes[..bytes.len() / 2]))
+                .is_ok();
+            let mut exp = ExperienceManager::new(32);
+            damaged
+                && match train_with_checkpoints(
+                    tiny_model(5),
+                    &sampler,
+                    &tcfg(EPISODES),
+                    &mut exp,
+                    &policy,
+                ) {
+                    Ok((m, _, resumed)) => {
+                        resumed < gens[gens.len() - 1] as usize && m.params_json() == reference
+                    }
+                    Err(_) => false,
+                }
+        }
+        _ => false,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    (resume_identical, corruption_fallback)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let grab = |flag: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let queries = grab("--queries", 60) as usize;
+    let threads = grab("--threads", 8) as usize;
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr5.json".into());
+
+    let pool = tpch::plan_pool(&[0.3]);
+
+    // Calibration: service capacity of the pool in queries/second, from
+    // a batch run where arrival never throttles throughput.
+    let cal_wl = gen_workload(&pool, 40, ArrivalPattern::Batch, 1);
+    let cal = try_simulate(
+        SimConfig { num_threads: threads, seed: 1, ..Default::default() },
+        &cal_wl,
+        &mut QuickstepScheduler,
+    )
+    .expect("calibration run cannot error");
+    let capacity_qps = 40.0 / cal.makespan.max(1e-9);
+    // SLO budget: generous against the batch-saturated mean latency, so
+    // only overload-grade queueing trips it.
+    let deadline_budget = cal.avg_duration() * 8.0;
+    println!(
+        "calibrated capacity: {capacity_qps:.1} q/s, deadline budget {deadline_budget:.4}s"
+    );
+
+    let mut runs: Vec<SweepRun> = Vec::new();
+    let mut panics = 0usize;
+    let mut sim_errors = 0usize;
+    let mut conservation_violations = 0usize;
+
+    for mode in [GateMode::Disabled, GateMode::Reject, GateMode::Defer] {
+        for &mult in &LOAD_MULTIPLIERS {
+            let lambda = capacity_qps * mult;
+            let wl = with_slos(
+                gen_workload(&pool, queries, ArrivalPattern::Streaming { lambda }, 7),
+                deadline_budget,
+            );
+            let cfg = SimConfig {
+                num_threads: threads,
+                seed: 7,
+                retry: RetryPolicy { max_retries: 1, ..Default::default() },
+                ..Default::default()
+            };
+            let mut sched = scheduler(mode);
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                try_simulate(cfg, &wl, &mut sched)
+            }));
+            let res = match outcome {
+                Err(_) => {
+                    panics += 1;
+                    eprintln!("PANIC: mode {mode:?} mult {mult}");
+                    continue;
+                }
+                Ok(Err(e)) => {
+                    sim_errors += 1;
+                    eprintln!("SIM ERROR: mode {mode:?} mult {mult}: {e}");
+                    continue;
+                }
+                Ok(Ok(res)) => res,
+            };
+            if res.outcomes.len() + res.aborted.len() != queries {
+                conservation_violations += 1;
+                eprintln!(
+                    "CONSERVATION: mode {mode:?} mult {mult}: {} + {} != {queries}",
+                    res.outcomes.len(),
+                    res.aborted.len()
+                );
+            }
+            let counters = RunCounters::from_result(&res);
+            let shed_fraction = counters.shed as f64 / queries as f64;
+            println!(
+                "{mode:?} @ {mult:.1}x: shed {:.0}% timeouts {} retries {} p99 {:.4}s",
+                shed_fraction * 100.0,
+                counters.deadline_timeouts,
+                counters.deadline_retries,
+                res.quantile_duration(0.99)
+            );
+            runs.push(SweepRun {
+                mode,
+                load_multiplier: mult,
+                lambda,
+                shed_fraction,
+                avg_duration: res.avg_duration(),
+                p99_duration: res.quantile_duration(0.99),
+                makespan: res.makespan,
+                counters,
+            });
+        }
+    }
+
+    // Gate: shed fraction monotone in offered load, per shedding policy.
+    let shed_monotone = [GateMode::Reject, GateMode::Defer].iter().all(|m| {
+        let fr: Vec<f64> = runs
+            .iter()
+            .filter(|r| r.mode == *m)
+            .map(|r| r.shed_fraction)
+            .collect();
+        fr.windows(2).all(|w| w[0] <= w[1] + 1e-12)
+    });
+
+    // Gate: P99 of admitted queries inflates ≤ 2× from 1× to 2× load.
+    let p99_at = |mode: GateMode, mult: f64| {
+        runs.iter()
+            .find(|r| r.mode == mode && r.load_multiplier == mult)
+            .map_or(f64::INFINITY, |r| r.p99_duration)
+    };
+    let p99_inflation =
+        p99_at(GateMode::Reject, 2.0) / p99_at(GateMode::Reject, 1.0).max(1e-12);
+    let p99_inflation_ok = p99_inflation <= MAX_P99_INFLATION;
+
+    // Gate: the contrast run with shedding disabled never sheds.
+    let disabled_sheds_nothing = runs
+        .iter()
+        .filter(|r| r.mode == GateMode::Disabled)
+        .all(|r| r.counters.shed == 0 && r.counters.deferred == 0);
+
+    // Gate: deadline enforcement under pressure — a tight SLO budget at
+    // 2× load must produce timeouts and retries while conserving every
+    // query (the sweep above uses a generous budget on purpose, so this
+    // run is what exercises the timeout accounting).
+    let deadline_enforcement_active = {
+        let lambda = capacity_qps * 2.0;
+        let tight = cal.avg_duration() * 1.2;
+        let wl = with_slos(
+            gen_workload(&pool, queries, ArrivalPattern::Streaming { lambda }, 19),
+            tight,
+        );
+        let cfg = SimConfig {
+            num_threads: threads,
+            seed: 19,
+            retry: RetryPolicy { max_retries: 1, ..Default::default() },
+            ..Default::default()
+        };
+        match try_simulate(cfg, &wl, &mut scheduler(GateMode::Disabled)) {
+            Ok(res) => {
+                let c = RunCounters::from_result(&res);
+                println!(
+                    "deadline pressure: timeouts {} retries {} conserved {}",
+                    c.deadline_timeouts,
+                    c.deadline_retries,
+                    res.outcomes.len() + res.aborted.len() == queries
+                );
+                c.deadline_timeouts > 0
+                    && c.deadline_retries > 0
+                    && res.outcomes.len() + res.aborted.len() == queries
+            }
+            Err(_) => false,
+        }
+    };
+
+    // Gate: bursty arrivals with shedding complete with conservation.
+    let bursty_conserved = {
+        let pat = ArrivalPattern::Bursty {
+            base_lambda: capacity_qps * 0.4,
+            burst_lambda: capacity_qps * 3.0,
+            period: 8.0 / capacity_qps.max(1e-9),
+            burst_fraction: 0.25,
+        };
+        let wl = with_slos(gen_workload(&pool, queries, pat, 11), deadline_budget);
+        let cfg = SimConfig {
+            num_threads: threads,
+            seed: 11,
+            retry: RetryPolicy { max_retries: 1, ..Default::default() },
+            ..Default::default()
+        };
+        match try_simulate(cfg, &wl, &mut scheduler(GateMode::Reject)) {
+            Ok(res) => res.outcomes.len() + res.aborted.len() == queries,
+            Err(_) => false,
+        }
+    };
+
+    // Gate: chaos determinism — admission + deadlines layered on the
+    // standard fault matrix stay bit-identical across a double run.
+    let chaos_deterministic = {
+        let run = || {
+            let wl = with_slos(
+                gen_workload(&pool, queries, ArrivalPattern::Streaming { lambda: capacity_qps }, 3),
+                deadline_budget,
+            );
+            let faults = FaultPlan::standard_matrix(3, threads, queries, cal.makespan);
+            let cfg = SimConfig {
+                num_threads: threads,
+                seed: 3,
+                faults: Some(faults),
+                retry: RetryPolicy { max_retries: 1, ..Default::default() },
+                ..Default::default()
+            };
+            try_simulate(cfg, &wl, &mut scheduler(GateMode::Reject))
+        };
+        match (run(), run()) {
+            (Ok(a), Ok(b)) => {
+                a.makespan.to_bits() == b.makespan.to_bits()
+                    && a.resilience == b.resilience
+                    && a.fault_summary == b.fault_summary
+            }
+            _ => false,
+        }
+    };
+
+    println!("checkpoint gates: training kill/resume + corruption fallback...");
+    let (checkpoint_resume_identical, checkpoint_corruption_fallback) = checkpoint_gates();
+
+    let passed = panics == 0
+        && sim_errors == 0
+        && conservation_violations == 0
+        && shed_monotone
+        && p99_inflation_ok
+        && disabled_sheds_nothing
+        && deadline_enforcement_active
+        && bursty_conserved
+        && chaos_deterministic
+        && checkpoint_resume_identical
+        && checkpoint_corruption_fallback;
+
+    let report = Report {
+        pr: 5,
+        title: "Overload protection + durable recovery sweep".into(),
+        queries,
+        threads,
+        capacity_qps,
+        deadline_budget_s: deadline_budget,
+        panics,
+        sim_errors,
+        conservation_violations,
+        shed_monotone,
+        p99_inflation_1x_to_2x: p99_inflation,
+        p99_inflation_ok,
+        disabled_sheds_nothing,
+        deadline_enforcement_active,
+        bursty_conserved,
+        chaos_deterministic,
+        checkpoint_resume_identical,
+        checkpoint_corruption_fallback,
+        runs,
+        passed,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialization");
+    std::fs::write(&out, json).expect("write report");
+    println!(
+        "overload: panics={panics} sim_errors={sim_errors} shed_monotone={shed_monotone} \
+         p99_inflation={p99_inflation:.2} ckpt_resume={checkpoint_resume_identical} \
+         ckpt_fallback={checkpoint_corruption_fallback} -> {}",
+        if passed { "PASS" } else { "FAIL" }
+    );
+    println!("report written to {out}");
+    if !passed {
+        std::process::exit(1);
+    }
+}

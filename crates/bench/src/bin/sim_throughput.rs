@@ -143,7 +143,7 @@ fn single_op_workload(wos: u32) -> Vec<WorkloadItem> {
     let mut b = PlanBuilder::new("alloc_probe");
     let scan =
         b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![0], vec![0], 1e4, wos, 0.001, 1e3);
-    vec![WorkloadItem { arrival_time: 0.0, plan: std::sync::Arc::new(b.finish(scan)) }]
+    vec![WorkloadItem::new(0.0, std::sync::Arc::new(b.finish(scan)))]
 }
 
 /// Allocation count of a full single-op run with `wos` work orders.

@@ -85,6 +85,43 @@ impl FigureReport {
     }
 }
 
+/// Per-run resilience counters, extracted from a [`SimResult`] so sweep
+/// reports can record how much load shedding, SLO enforcement, and
+/// retrying each configuration incurred alongside its latency numbers.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct RunCounters {
+    /// Queries that completed.
+    pub completed: usize,
+    /// Queries with a final aborted fate (shed, timed out, cancelled,
+    /// or failed).
+    pub aborted: usize,
+    /// Arrivals rejected or evicted by admission control.
+    pub shed: u64,
+    /// Arrivals deferred (delayed re-submission) by admission control.
+    pub deferred: u64,
+    /// Deadline misses observed (including attempts that were retried).
+    pub deadline_timeouts: u64,
+    /// Timed-out attempts re-submitted under the retry budget.
+    pub deadline_retries: u64,
+    /// Transient work-order failures absorbed by retries.
+    pub wo_retries: u64,
+}
+
+impl RunCounters {
+    /// Extracts the counters from a finished run.
+    pub fn from_result(res: &lsched_engine::sim::SimResult) -> Self {
+        Self {
+            completed: res.outcomes.len(),
+            aborted: res.aborted.len(),
+            shed: res.resilience.shed,
+            deferred: res.resilience.deferred,
+            deadline_timeouts: res.resilience.deadline_timeouts,
+            deadline_retries: res.resilience.deadline_retries,
+            wo_retries: res.fault_summary.wo_retries,
+        }
+    }
+}
+
 /// Convenience: the `(avg_duration, label)` summary table many sweep
 /// figures print.
 pub fn print_sweep_header(x_name: &str, labels: &[String]) {

@@ -40,5 +40,8 @@ pub use online::{OnlineConfig, OnlineLSched};
 pub use features::{downsample_blocks, snapshot, FeatureConfig, SystemSnapshot};
 pub use predictor::{DecisionMode, PickTrace, PredictorConfig, SchedulingPredictor};
 pub use rl::RewardConfig;
-pub use train::{train, train_with_validation, TrainConfig, TrainStats};
+pub use train::{
+    train, train_with_checkpoints, train_with_validation, CheckpointPolicy, TrainCheckpoint,
+    TrainConfig, TrainStats,
+};
 pub use transfer::{freeze_interior, transfer_from, unfreeze_all, TransferReport};

@@ -108,6 +108,12 @@ impl<I> PredictScratch<I> {
 /// gathered valid entries (same shift-max, same sequential exp-sum, same
 /// cumulative draw), so tape- and inference-path decisions match bit for
 /// bit.
+///
+/// Invariants (the `expect`s below): every caller masks against a
+/// schedulable-op set the scheduler already checked to be non-empty
+/// before invoking the predictor, and `Sample` mode is only reachable
+/// through the sampling constructors of `LSchedScheduler`, which always
+/// carry an RNG.
 fn choose_on<B: Backend>(
     b: &B,
     logits_sm: B::Id,

@@ -9,9 +9,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 use lsched_engine::sim::{simulate, SimConfig};
-use lsched_nn::Adam;
+use lsched_nn::{Adam, AdamState, CheckpointError, CheckpointManager};
 use lsched_workloads::EpisodeSampler;
 
 use crate::agent::{EpisodeStep, LSchedModel, LSchedScheduler};
@@ -233,21 +234,145 @@ pub fn accumulate_rollout_gradients(
 /// so the gradient reflects how a rollout's *decisions* compared against
 /// the other rollouts of the *same* workload.
 pub fn train(
-    mut model: LSchedModel,
+    model: LSchedModel,
     sampler: &EpisodeSampler,
     cfg: &TrainConfig,
     experience: &mut ExperienceManager,
 ) -> (LSchedModel, TrainStats) {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut opt = Adam::new(cfg.lr);
+    let rng = StdRng::seed_from_u64(cfg.seed);
+    let opt = Adam::new(cfg.lr);
+    match train_loop(model, sampler, cfg, experience, 0, opt, rng, &mut |_, _, _, _| Ok(())) {
+        Ok(out) => out,
+        // Invariant: the no-op episode callback above never fails, and
+        // `train_loop` has no other error source.
+        Err(e) => unreachable!("train without checkpointing cannot fail: {e}"),
+    }
+}
+
+/// Serializable snapshot of the training loop at an episode boundary —
+/// everything needed to resume bit-identically: parameters, optimizer
+/// moments, and the training RNG stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// Episodes fully completed when the snapshot was taken.
+    pub episode: u64,
+    /// Model parameters, as [`crate::agent::LSchedModel::params_json`].
+    pub params_json: String,
+    /// Full Adam state (step counter + both moments).
+    pub adam: AdamState,
+    /// xoshiro256++ state of the training RNG; 4 words, stored as a
+    /// `Vec` because the vendored serde shim has no fixed-size arrays.
+    pub rng_state: Vec<u64>,
+}
+
+/// Where and how often [`train_with_checkpoints`] persists its state.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Directory + retention window (keep-last-K) for the snapshots.
+    pub manager: CheckpointManager,
+    /// Save every this many completed episodes (minimum 1); the final
+    /// episode is always saved regardless.
+    pub every: usize,
+}
+
+/// Like [`train`], but crash-safe: resumes from the newest readable
+/// checkpoint in `policy.manager` (falling back past corrupt
+/// generations) and snapshots parameters, optimizer, and RNG at episode
+/// boundaries. A run killed at any point and restarted produces
+/// bit-identical final parameters to an uninterrupted run, because a
+/// checkpoint captures the complete training state and episodes are the
+/// only unit of progress. Returns the episode index training resumed
+/// from (0 for a fresh run); `stats` covers only episodes run by this
+/// call.
+pub fn train_with_checkpoints(
+    mut model: LSchedModel,
+    sampler: &EpisodeSampler,
+    cfg: &TrainConfig,
+    experience: &mut ExperienceManager,
+    policy: &CheckpointPolicy,
+) -> Result<(LSchedModel, TrainStats, usize), CheckpointError> {
+    let every = policy.every.max(1);
+    let (start_ep, opt, rng) = match policy.manager.load_latest() {
+        Ok((_, payload)) => {
+            let text = String::from_utf8(payload)
+                .map_err(|e| CheckpointError::Corrupt(format!("payload is not UTF-8: {e}")))?;
+            let ckpt: TrainCheckpoint = serde_json::from_str(&text)
+                .map_err(|e| CheckpointError::Corrupt(format!("payload does not parse: {e}")))?;
+            let words: [u64; 4] = ckpt.rng_state.as_slice().try_into().map_err(|_| {
+                CheckpointError::Corrupt(format!(
+                    "RNG state has {} words, expected 4",
+                    ckpt.rng_state.len()
+                ))
+            })?;
+            model.load_params_json(&ckpt.params_json).map_err(|e| {
+                CheckpointError::Corrupt(format!("parameters do not load: {e}"))
+            })?;
+            (ckpt.episode as usize, Adam::from_state(ckpt.adam), StdRng::from_state(words))
+        }
+        Err(CheckpointError::NoCheckpoint) => {
+            (0, Adam::new(cfg.lr), StdRng::seed_from_u64(cfg.seed))
+        }
+        Err(e) => return Err(e),
+    };
+    let manager = &policy.manager;
+    let total = cfg.episodes;
+    let (model, stats) = train_loop(
+        model,
+        sampler,
+        cfg,
+        experience,
+        start_ep,
+        opt,
+        rng,
+        &mut |done, model, opt, rng| {
+            if done % every == 0 || done == total {
+                let ckpt = TrainCheckpoint {
+                    episode: done as u64,
+                    params_json: model.params_json(),
+                    adam: opt.to_state(),
+                    rng_state: rng.state().to_vec(),
+                };
+                let json = serde_json::to_string(&ckpt).map_err(|e| {
+                    CheckpointError::Corrupt(format!("snapshot serialization failed: {e}"))
+                })?;
+                manager.save(done as u64, json.as_bytes())?;
+            }
+            Ok(())
+        },
+    )?;
+    Ok((model, stats, start_ep))
+}
+
+/// Episode-boundary callback of [`train_loop`]: receives the number of
+/// completed episodes and the live training state.
+type EpisodeHook<'a> =
+    &'a mut dyn FnMut(usize, &LSchedModel, &Adam, &StdRng) -> Result<(), CheckpointError>;
+
+/// The episode loop shared by [`train`] and [`train_with_checkpoints`]:
+/// runs episodes `start_ep..cfg.episodes`, invoking `after_episode` with
+/// the number of *completed* episodes and the live training state after
+/// each one.
+#[allow(clippy::too_many_arguments)]
+fn train_loop(
+    mut model: LSchedModel,
+    sampler: &EpisodeSampler,
+    cfg: &TrainConfig,
+    experience: &mut ExperienceManager,
+    start_ep: usize,
+    mut opt: Adam,
+    mut rng: StdRng,
+    after_episode: EpisodeHook<'_>,
+) -> Result<(LSchedModel, TrainStats), CheckpointError> {
     let mut stats = TrainStats::default();
     let rollouts = cfg.rollouts_per_episode.max(1);
+    // Invariant: building a rayon pool only fails when the OS refuses to
+    // spawn threads, which is unrecoverable for a training run anyway.
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(cfg.rollout_threads)
         .build()
-        .expect("rollout thread pool");
+        .expect("OS must allow spawning the rollout thread pool");
 
-    for ep in 0..cfg.episodes {
+    for ep in start_ep..cfg.episodes {
         let workload = sampler.sample(&mut rng);
 
         // Freeze the parameters for the episode and fan the exploration
@@ -331,8 +456,9 @@ pub fn train(
             decisions,
             fallbacks,
         });
+        after_episode(ep + 1, &model, &opt, &rng)?;
     }
-    (model, stats)
+    Ok((model, stats))
 }
 
 /// Trains with periodic validation-based checkpoint selection: every

@@ -22,10 +22,10 @@ use crate::ops::{execute_work_order, OpExecState, WorkOrderInput};
 use crate::plan::{OpId, OpSpec, PhysicalPlan};
 use crate::fault::FaultSummary;
 use crate::scheduler::{
-    clamp_decision, OpStatus, QueryId, QueryRuntime, SchedContext, SchedDecision, SchedEvent,
-    Scheduler,
+    clamp_decision, AdmitAction, OpStatus, QueryId, QueryRuntime, SchedContext, SchedDecision,
+    SchedEvent, Scheduler,
 };
-use crate::sim::{QueryOutcome, SimResult, WorkloadItem};
+use crate::sim::{QueryOutcome, ResilienceSummary, SimResult, WorkloadItem};
 use crate::stats::WorkOrderStats;
 
 struct Task {
@@ -109,6 +109,8 @@ impl Executor {
             free_threads: (0..self.num_threads).collect(),
             in_flight: 0,
             outcomes: Vec::new(),
+            aborted: Vec::new(),
+            resilience: ResilienceSummary::default(),
             invocations: 0,
             decisions: 0,
             rejected: 0,
@@ -130,6 +132,9 @@ impl Executor {
                 next_arrival += 1;
                 state.admit(&workload[wi], wi, scheduler);
             }
+
+            // SLO enforcement: cancel overdue queries cooperatively.
+            state.enforce_deadlines(scheduler);
 
             let finished_all = state.queries.is_empty() && next_arrival >= arrivals.len();
             if finished_all {
@@ -177,8 +182,10 @@ impl Executor {
             sched_wall_time: state.sched_wall,
             total_work_orders: state.work_orders,
             events_processed: state.work_orders,
-            aborted: Vec::new(),
+            aborted: state.aborted,
             fault_summary: FaultSummary::default(),
+            resilience: state.resilience,
+            final_pool_size: self.num_threads,
         }
     }
 
@@ -211,7 +218,7 @@ impl Executor {
         }
         let holder: Arc<parking_lot::Mutex<Option<Arc<Vec<OpExecState>>>>> =
             Arc::new(parking_lot::Mutex::new(None));
-        let wl = vec![WorkloadItem { arrival_time: 0.0, plan: Arc::clone(&plan) }];
+        let wl = vec![WorkloadItem::new(0.0, Arc::clone(&plan))];
         // Run, then read the root's output: we need the states, which the
         // control loop owns. Re-run with a capture hook is overkill —
         // instead execute via a custom admit that stores states.
@@ -278,6 +285,9 @@ struct ControlState {
     free_threads: Vec<usize>,
     in_flight: usize,
     outcomes: Vec<QueryOutcome>,
+    /// Queries torn down before completing (deadline miss or shed).
+    aborted: Vec<QueryOutcome>,
+    resilience: ResilienceSummary,
     invocations: u64,
     decisions: u64,
     rejected: u64,
@@ -297,7 +307,10 @@ impl ControlState {
 
     fn admit(&mut self, item: &WorkloadItem, index: usize, scheduler: &mut dyn Scheduler) {
         let qid = QueryId(index as u64);
-        let runtime = QueryRuntime::new(qid, Arc::clone(&item.plan), self.now(), self.num_threads);
+        let now = self.now();
+        let mut runtime = QueryRuntime::new(qid, Arc::clone(&item.plan), now, self.num_threads);
+        runtime.priority = item.priority;
+        runtime.deadline = item.deadline.map(|d| now + d);
         let states: Arc<Vec<OpExecState>> =
             Arc::new((0..item.plan.num_ops()).map(|_| OpExecState::new()).collect());
         CAPTURE.with(|c| {
@@ -311,7 +324,100 @@ impl ControlState {
         let n = item.plan.num_ops();
         self.queries.push(runtime);
         self.exec.push(QueryExec { states, consumed: vec![0; n], done: vec![0; n] });
-        self.invoke_scheduler(scheduler, SchedEvent::QueryArrived(qid));
+
+        // Admission gate. The real engine has no re-submission machinery
+        // (that is the client's job), so a `Defer` verdict sheds like
+        // `Reject`; the delay is surfaced through the sim only.
+        let response = {
+            let ctx = SchedContext {
+                time: now,
+                total_threads: self.num_threads,
+                free_threads: self.free_threads.len(),
+                free_thread_ids: &self.free_threads,
+                queries: &self.queries,
+            };
+            scheduler.admit(&ctx, qid, 0)
+        };
+        for victim in response.shed {
+            if victim == qid {
+                continue;
+            }
+            if let Some(vi) = self.qidx(victim) {
+                self.resilience.shed += 1;
+                self.abort_query(vi, scheduler);
+            }
+        }
+        match response.action {
+            AdmitAction::Admit => {
+                self.invoke_scheduler(scheduler, SchedEvent::QueryArrived(qid));
+            }
+            AdmitAction::Reject | AdmitAction::Defer { .. } => {
+                if let Some(qi) = self.qidx(qid) {
+                    self.resilience.shed += 1;
+                    self.abort_query(qi, scheduler);
+                }
+            }
+        }
+    }
+
+    /// Cancels every query whose absolute deadline has passed: the
+    /// policy is notified (`DeadlineExceeded`) before the cooperative
+    /// teardown, matching the simulator's ordering. The real engine does
+    /// not re-submit — a timed-out query is surfaced in `aborted`.
+    fn enforce_deadlines(&mut self, scheduler: &mut dyn Scheduler) {
+        loop {
+            let now = self.now();
+            let overdue = self
+                .queries
+                .iter()
+                .position(|q| q.deadline.is_some_and(|d| d < now) && q.finish_time.is_none());
+            let Some(qi) = overdue else { return };
+            let qid = self.queries[qi].qid;
+            self.resilience.deadline_timeouts += 1;
+            self.invoke_scheduler(scheduler, SchedEvent::DeadlineExceeded(qid));
+            if let Some(qi) = self.qidx(qid) {
+                self.abort_query(qi, scheduler);
+            }
+        }
+    }
+
+    /// Tears down `self.queries[qi]` before completion: marks its
+    /// pipelines dead (stalled threads are reclaimed now; busy threads
+    /// come home through [`ControlState::handle_completion`]'s orphan
+    /// path when their in-flight work order drains), records the aborted
+    /// outcome, and fires the cancellation events.
+    fn abort_query(&mut self, qi: usize, scheduler: &mut dyn Scheduler) {
+        let qid = self.queries[qi].qid;
+        let mut freed = 0usize;
+        for p in &mut self.pipelines {
+            if !p.alive || p.query != qid {
+                continue;
+            }
+            p.alive = false;
+            for t in p.stalled.drain(..) {
+                p.threads.retain(|&x| x != t);
+                if let Err(pos) = self.free_threads.binary_search(&t) {
+                    self.free_threads.insert(pos, t);
+                    freed += 1;
+                }
+            }
+            p.threads.clear();
+        }
+        let now = self.now();
+        let q = self.queries.remove(qi);
+        self.exec.remove(qi);
+        self.aborted.push(QueryOutcome {
+            qid,
+            name: q.plan.name.clone(),
+            arrival: q.arrival_time,
+            finish: now,
+            duration: now - q.arrival_time,
+        });
+        scheduler.on_query_cancelled(now, qid);
+        self.invoke_scheduler(scheduler, SchedEvent::QueryCancelled(qid));
+        if freed > 0 {
+            self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(freed));
+        }
     }
 
     /// The child an op streams from (its unique non-breaking-edge child),
@@ -488,7 +594,16 @@ impl ControlState {
         self.in_flight -= 1;
         let qi = match self.qidx(c.query) {
             Some(i) => i,
-            None => return,
+            None => {
+                // Orphaned completion: the query was aborted (deadline
+                // or shed) while this work order was in flight. Route
+                // the worker home so the pool does not leak capacity.
+                if let Err(pos) = self.free_threads.binary_search(&c.thread) {
+                    self.free_threads.insert(pos, c.thread);
+                    self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(1));
+                }
+                return;
+            }
         };
         self.exec[qi].done[c.op.0] += 1;
 
@@ -868,7 +983,7 @@ mod tests {
         let plans: Vec<_> = (0..4).map(|_| agg_plan(&cat)).collect();
         let wl: Vec<WorkloadItem> = plans
             .into_iter()
-            .map(|plan| WorkloadItem { arrival_time: 0.0, plan })
+            .map(|plan| WorkloadItem::new(0.0, plan))
             .collect();
         struct Greedy;
         impl Scheduler for Greedy {

@@ -39,11 +39,13 @@ pub use expr::{ArithOp, CmpOp, Predicate, ScalarExpr};
 pub use fault::{FaultInjector, FaultPlan, FaultSummary, WoPerturbation};
 pub use plan::{AggFunc, OpId, OpKind, OpSpec, PhysicalPlan, PlanBuilder, PlanEdge, PlanOp};
 pub use scheduler::{
-    clamp_decision, validate_decision, DecisionError, OpRuntime, OpStatus, PolicyHealth, QueryId,
-    QueryRuntime, SchedContext, SchedDecision, SchedEvent, Scheduler,
+    clamp_decision, validate_decision, AdmissionResponse, AdmitAction, DecisionError, OpRuntime,
+    OpStatus, PolicyHealth, QueryId, QueryRuntime, SchedContext, SchedDecision, SchedEvent,
+    Scheduler,
 };
 pub use sim::{
-    simulate, try_simulate, QueryOutcome, SimConfig, SimError, SimResult, Simulator, WorkloadItem,
+    simulate, try_simulate, QueryOutcome, ResilienceSummary, RetryPolicy, SimConfig, SimError,
+    SimResult, Simulator, WorkloadItem,
 };
 pub use trace::{trace_sink, ExecutionTrace, TraceEntry, TraceSink};
 pub use stats::{TrailingRegressor, WorkOrderStats};

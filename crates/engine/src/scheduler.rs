@@ -114,6 +114,14 @@ pub struct QueryRuntime {
     pub arrival_time: f64,
     /// Completion time, once finished.
     pub finish_time: Option<f64>,
+    /// Scheduling priority (higher = more important). Admission gates
+    /// shed or defer the lowest-priority queued queries first; the
+    /// default of 0 makes every query equal.
+    pub priority: i32,
+    /// Absolute deadline (engine clock), when the query carries an SLO.
+    /// The executor cancels the query cooperatively when the clock
+    /// passes this point; deadline-aware policies can also read it.
+    pub deadline: Option<f64>,
     /// Threads currently granted to this query's pipelines.
     pub assigned_threads: usize,
     /// Which threads have executed work of this query before — the Q-LOC
@@ -157,6 +165,8 @@ impl QueryRuntime {
             ops,
             arrival_time,
             finish_time: None,
+            priority: 0,
+            deadline: None,
             assigned_threads: 0,
             executed_on: vec![false; total_threads],
             pending: vec![0; n],
@@ -412,6 +422,11 @@ pub enum SchedEvent {
     /// A query was cancelled mid-flight; its threads and memory are
     /// being reclaimed.
     QueryCancelled(QueryId),
+    /// A query blew its deadline. Delivered as a notification *before*
+    /// the cooperative cancellation ([`SchedEvent::QueryCancelled`] plus
+    /// [`Scheduler::on_query_cancelled`]) tears the query down, so
+    /// deadline-aware policies can account for the miss.
+    DeadlineExceeded(QueryId),
 }
 
 /// One scheduling decision (Section 5.3): start a pipeline of
@@ -487,6 +502,43 @@ pub fn clamp_decision(
     Ok(SchedDecision { threads: d.threads.min(ctx.free_threads), ..*d })
 }
 
+/// What an admission gate decided to do with an arriving query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmitAction {
+    /// Admit the arriving query.
+    Admit,
+    /// Reject (shed) the arriving query outright.
+    Reject,
+    /// Defer the arriving query: the executor re-submits it after
+    /// `delay` seconds and consults the gate again with an incremented
+    /// attempt counter.
+    Defer {
+        /// Seconds to wait before re-submitting.
+        delay: f64,
+    },
+}
+
+/// An admission gate's verdict for one arriving query: what happens to
+/// the arrival itself, plus any already-queued victims to shed in its
+/// place (priority-aware load shedding evicts the lowest-priority
+/// waiting query, which is not necessarily the one that just arrived).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionResponse {
+    /// Fate of the arriving query.
+    pub action: AdmitAction,
+    /// Already-queued queries to shed (cancelled through the same
+    /// cooperative path as [`SchedEvent::QueryCancelled`]). Must not
+    /// contain the arriving query — its fate is `action`.
+    pub shed: Vec<QueryId>,
+}
+
+impl AdmissionResponse {
+    /// The default verdict: admit, shed nobody.
+    pub fn admit() -> Self {
+        Self { action: AdmitAction::Admit, shed: Vec::new() }
+    }
+}
+
 /// Self-reported health of a scheduling policy, polled by guarding
 /// wrappers after each `on_event` call. A learned policy reports
 /// [`PolicyHealth::Degraded`] when its last forward pass produced
@@ -519,6 +571,18 @@ pub trait Scheduler: Send {
 
     /// Produces scheduling decisions for the given event.
     fn on_event(&mut self, ctx: &SchedContext<'_>, event: &SchedEvent) -> Vec<SchedDecision>;
+
+    /// Admission gate, consulted once per query arrival *before*
+    /// [`SchedEvent::QueryArrived`] is delivered. The arriving query is
+    /// already present in `ctx.queries` so the gate can weigh it against
+    /// the queued load; `attempt` counts prior deferrals of this query
+    /// (0 on first submission). The default admits everything —
+    /// overload-protecting wrappers (the sched crate's `Admission` gate
+    /// via `GuardedScheduler`) override this. Implementations must be
+    /// deterministic (no RNG) so fault-injection runs stay bit-identical.
+    fn admit(&mut self, _ctx: &SchedContext<'_>, _arriving: QueryId, _attempt: u32) -> AdmissionResponse {
+        AdmissionResponse::admit()
+    }
 
     /// Notifies the policy that a previously returned decision finished
     /// executing (LSched uses this for online reward feedback).

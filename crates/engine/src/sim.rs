@@ -34,18 +34,75 @@ use crate::fault::{FaultInjector, FaultPlan, FaultSummary};
 use crate::trace::{TraceEntry, TraceSink};
 use crate::plan::{OpId, PhysicalPlan};
 use crate::scheduler::{
-    clamp_decision, OpStatus, QueryId, QueryRuntime, SchedContext, SchedDecision, SchedEvent,
-    Scheduler,
+    clamp_decision, AdmitAction, OpStatus, QueryId, QueryRuntime, SchedContext, SchedDecision,
+    SchedEvent, Scheduler,
 };
 use crate::stats::WorkOrderStats;
 
-/// One query of a workload: a plan plus its arrival time.
+/// One query of a workload: a plan plus its arrival time and optional
+/// SLO metadata (deadline and shedding priority).
 #[derive(Debug, Clone)]
 pub struct WorkloadItem {
     /// Arrival time (seconds since session start; 0 for batch workloads).
     pub arrival_time: f64,
     /// The physical plan to execute.
     pub plan: Arc<PhysicalPlan>,
+    /// Relative latency budget (seconds). When set, the query is
+    /// cooperatively cancelled once an attempt runs longer than this;
+    /// each retry attempt gets a fresh budget measured from its own
+    /// re-submission. `None` disables deadline enforcement.
+    pub deadline: Option<f64>,
+    /// Admission/shedding priority: higher values are more important,
+    /// the default 0 makes all queries equal. Load-shedding gates evict
+    /// the lowest-priority queued queries first.
+    pub priority: i32,
+}
+
+impl WorkloadItem {
+    /// A plain workload item: no deadline, default priority.
+    pub fn new(arrival_time: f64, plan: Arc<PhysicalPlan>) -> Self {
+        Self { arrival_time, plan, deadline: None, priority: 0 }
+    }
+
+    /// Attaches a relative latency budget (seconds).
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the shedding priority (higher = more important).
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Bounded retry budget for deadline-exceeded queries, with the same
+/// capped-exponential-backoff shape as the fault layer's work-order
+/// retries: re-submission `k` (0-based attempt counter) waits
+/// `min(backoff_base * 2^k, backoff_cap)` seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Re-submissions allowed after a deadline miss (0 disables retry).
+    pub max_retries: u32,
+    /// Base backoff delay (seconds).
+    pub backoff_base: f64,
+    /// Backoff ceiling (seconds).
+    pub backoff_cap: f64,
+}
+
+impl RetryPolicy {
+    /// The backoff delay before re-submission attempt `attempt + 1`.
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        (self.backoff_base * 2f64.powi(attempt.min(30) as i32)).min(self.backoff_cap)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Mirrors the fault layer's work-order backoff defaults.
+        Self { max_retries: 0, backoff_base: 0.002, backoff_cap: 0.05 }
+    }
 }
 
 /// Simulator configuration.
@@ -78,6 +135,10 @@ pub struct SimConfig {
     /// modes in one process to measure the speedup against the pre-PR
     /// baseline.
     pub reference_mode: bool,
+    /// Retry budget for queries aborted by a deadline miss. The default
+    /// budget is zero (a missed deadline is final), matching pre-SLO
+    /// behaviour.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SimConfig {
@@ -91,6 +152,7 @@ impl Default for SimConfig {
             pool_resizes: Vec::new(),
             faults: None,
             reference_mode: false,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -177,12 +239,37 @@ pub struct SimResult {
     /// Total simulator events processed (the denominator of the
     /// `sim_throughput` events/sec metric).
     pub events_processed: u64,
-    /// Queries that did not complete: cancelled mid-flight or aborted
-    /// by a permanently failed work order (`duration` is the time from
-    /// arrival to abort). Disjoint from `outcomes`.
+    /// Queries that did not complete: cancelled mid-flight, aborted by
+    /// a permanently failed work order, shed by the admission gate, or
+    /// timed out past their deadline with no retry budget left
+    /// (`duration` is the time from first submission to abort).
+    /// Disjoint from `outcomes`.
     pub aborted: Vec<QueryOutcome>,
     /// Fault-injection counters (all zero on fault-free runs).
     pub fault_summary: FaultSummary,
+    /// Overload/SLO counters (all zero when no deadlines are set and no
+    /// admission gate is installed).
+    pub resilience: ResilienceSummary,
+    /// Worker-pool size when the run drained — `initial - lost + joined`
+    /// by construction, which the rejoin-ordering property tests pin.
+    pub final_pool_size: usize,
+}
+
+/// Counters for the overload-protection layer: admission shedding,
+/// deferrals, deadline misses and granted retries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceSummary {
+    /// Queries shed by the admission gate: rejected on arrival, evicted
+    /// from the queue as a shedding victim, or dropped after exhausting
+    /// the deferral cap.
+    pub shed: u64,
+    /// Deferral events (one query may be deferred several times before
+    /// it is finally admitted or shed).
+    pub deferred: u64,
+    /// Deadline-exceeded firings (one per aborted attempt).
+    pub deadline_timeouts: u64,
+    /// Re-submissions granted by the retry budget after a deadline miss.
+    pub deadline_retries: u64,
 }
 
 /// Latency statistics derived from a single sort of the outcome
@@ -301,7 +388,43 @@ enum Ev {
     WorkerLost,
     WorkerJoined,
     CancelQuery(u64),
+    /// A query's absolute deadline fires; a no-op if the query already
+    /// finished or was torn down.
+    Deadline(u64),
+    /// Re-submission of workload item `item` (deferred by the admission
+    /// gate or granted a deadline retry) as attempt number `attempt`.
+    Retry { item: usize, attempt: u32 },
 }
+
+/// Per-active-query bookkeeping the [`QueryRuntime`] snapshot does not
+/// carry: which workload item the query came from, which submission
+/// attempt it is, and the original submission time (outcome latency is
+/// measured from first submission, so deferral and backoff delays count
+/// against the SLO).
+#[derive(Debug, Clone, Copy)]
+struct QueryMeta {
+    item: usize,
+    attempt: u32,
+    submitted: f64,
+}
+
+/// Why a query is being torn down before completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbortKind {
+    /// User cancellation (the PR 2 fault path).
+    Cancelled,
+    /// Permanent work-order failure.
+    Failed,
+    /// Deadline exceeded.
+    Timeout,
+    /// Shed by the admission gate.
+    Shed,
+}
+
+/// Hard cap on per-query deferrals: a gate that keeps answering
+/// `Defer` cannot loop a query through the event heap forever — past
+/// this many attempts the verdict is treated as `Reject`.
+const MAX_DEFERS: u32 = 32;
 
 #[derive(Debug)]
 struct HeapItem {
@@ -399,6 +522,13 @@ pub struct Simulator {
     /// ascending slot order (slot ids are monotonically assigned, so
     /// pushes preserve the order the legacy all-slot sweeps visited).
     query_pipes: Vec<Vec<usize>>,
+    /// Submission metadata, parallel to `queries`.
+    query_meta: Vec<QueryMeta>,
+    /// Next query id for retry submissions. First-attempt ids stay equal
+    /// to the workload index (preserving `FaultPlan` cancellation
+    /// targeting and bit-identity with pre-SLO runs); retries draw fresh
+    /// ids from here.
+    next_qid: u64,
     free_threads: Vec<usize>,
     pool_size: usize,
     next_thread_id: usize,
@@ -418,6 +548,7 @@ pub struct Simulator {
     outcomes: Vec<QueryOutcome>,
     aborted: Vec<QueryOutcome>,
     fault_summary: FaultSummary,
+    resilience: ResilienceSummary,
     invocations: u64,
     decisions: u64,
     rejected: u64,
@@ -443,6 +574,8 @@ impl Simulator {
             queries: Vec::new(),
             qindex: Vec::new(),
             query_pipes: Vec::new(),
+            query_meta: Vec::new(),
+            next_qid: 0,
             free_threads,
             pool_size,
             next_thread_id,
@@ -455,6 +588,7 @@ impl Simulator {
             outcomes: Vec::new(),
             aborted: Vec::new(),
             fault_summary: FaultSummary::default(),
+            resilience: ResilienceSummary::default(),
             invocations: 0,
             decisions: 0,
             rejected: 0,
@@ -477,6 +611,7 @@ impl Simulator {
         workload: &[WorkloadItem],
         scheduler: &mut dyn Scheduler,
     ) -> Result<SimResult, SimError> {
+        self.next_qid = workload.len() as u64;
         for (i, item) in workload.iter().enumerate() {
             self.push_event(item.arrival_time, Ev::Arrival(i));
         }
@@ -515,20 +650,14 @@ impl Simulator {
             match item.ev {
                 Ev::Arrival(i) => {
                     let qid = QueryId(i as u64);
-                    let qr = QueryRuntime::new(
-                        qid,
-                        Arc::clone(&workload[i].plan),
-                        self.time,
-                        self.pool_size.max(self.cfg.num_threads) + 64,
-                    );
-                    if self.qindex.len() <= i {
-                        self.qindex.resize(i + 1, None);
-                    }
-                    self.qindex[i] = Some(self.queries.len());
-                    self.queries.push(qr);
-                    self.query_pipes.push(Vec::new());
-                    self.invoke_scheduler(scheduler, SchedEvent::QueryArrived(qid));
+                    self.handle_arrival(scheduler, workload, i, 0, qid);
                 }
+                Ev::Retry { item, attempt } => {
+                    let qid = QueryId(self.next_qid);
+                    self.next_qid += 1;
+                    self.handle_arrival(scheduler, workload, item, attempt, qid);
+                }
+                Ev::Deadline(q) => self.handle_deadline(scheduler, QueryId(q)),
                 Ev::WoDone { pipeline, op, thread, duration, memory } => {
                     self.handle_wo_done(scheduler, pipeline, op, thread, duration, memory)?;
                 }
@@ -566,7 +695,139 @@ impl Simulator {
             events_processed: processed,
             aborted: self.aborted,
             fault_summary: self.fault_summary,
+            resilience: self.resilience,
+            final_pool_size: self.pool_size,
         })
+    }
+
+    /// Announces a (re-)submission of workload item `item` as attempt
+    /// `attempt` under id `qid`: constructs the runtime, consults the
+    /// scheduler's admission gate, sheds or defers as directed, and for
+    /// admitted queries arms the deadline and delivers `QueryArrived`.
+    fn handle_arrival(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        workload: &[WorkloadItem],
+        item: usize,
+        attempt: u32,
+        qid: QueryId,
+    ) {
+        let w = &workload[item];
+        let mut qr = QueryRuntime::new(
+            qid,
+            Arc::clone(&w.plan),
+            self.time,
+            self.pool_size.max(self.cfg.num_threads) + 64,
+        );
+        qr.priority = w.priority;
+        // Each attempt gets a fresh budget measured from its own
+        // (re-)submission time.
+        qr.deadline = w.deadline.map(|d| self.time + d);
+        let qi = qid.0 as usize;
+        if self.qindex.len() <= qi {
+            self.qindex.resize(qi + 1, None);
+        }
+        self.qindex[qi] = Some(self.queries.len());
+        self.queries.push(qr);
+        self.query_pipes.push(Vec::new());
+        // Retries keep charging latency from the ORIGINAL arrival, so a
+        // query that misses its deadline twice and then finishes reports
+        // its true end-to-end latency, not just the last attempt's.
+        self.query_meta.push(QueryMeta { item, attempt, submitted: w.arrival_time });
+
+        // Admission gate (the default `Scheduler::admit` admits all, so
+        // non-gated runs take this path with zero behavioural change and
+        // zero RNG draws).
+        let response = {
+            let cloned;
+            let free_ids: &[usize] = if self.cfg.reference_mode {
+                cloned = self.free_threads.clone();
+                &cloned
+            } else {
+                &self.free_threads
+            };
+            let ctx = SchedContext {
+                time: self.time,
+                total_threads: self.pool_size,
+                free_threads: free_ids.len(),
+                free_thread_ids: free_ids,
+                queries: &self.queries,
+            };
+            scheduler.admit(&ctx, qid, attempt)
+        };
+
+        // Shed the gate's victims first (lowest-priority queued queries).
+        // Indices shift with each abort, so victims are re-resolved by id;
+        // the arriving query's own fate is decided by `response.action`.
+        for victim in response.shed {
+            if victim == qid {
+                continue;
+            }
+            if let Some(vidx) = self.query_index(victim) {
+                self.resilience.shed += 1;
+                self.abort_query(scheduler, vidx, AbortKind::Shed);
+            }
+        }
+
+        match response.action {
+            AdmitAction::Admit => {
+                if let Some(qidx) = self.query_index(qid) {
+                    if let Some(dl) = self.queries[qidx].deadline {
+                        self.push_event(dl, Ev::Deadline(qid.0));
+                    }
+                    self.invoke_scheduler(scheduler, SchedEvent::QueryArrived(qid));
+                }
+            }
+            AdmitAction::Reject => {
+                if let Some(qidx) = self.query_index(qid) {
+                    self.resilience.shed += 1;
+                    self.abort_query(scheduler, qidx, AbortKind::Shed);
+                }
+            }
+            AdmitAction::Defer { delay } => {
+                if let Some(qidx) = self.query_index(qid) {
+                    if attempt >= MAX_DEFERS {
+                        self.resilience.shed += 1;
+                        self.abort_query(scheduler, qidx, AbortKind::Shed);
+                    } else {
+                        // The query was never announced to the policy, so
+                        // it leaves silently — no cancellation events.
+                        self.resilience.deferred += 1;
+                        self.remove_query(qidx);
+                        self.push_event(
+                            self.time + delay.max(0.0),
+                            Ev::Retry { item, attempt: attempt + 1 },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A query's deadline fires while it is still live: count the miss,
+    /// notify the policy (`DeadlineExceeded` precedes the teardown so it
+    /// can observe the query's final state), cancel cooperatively via
+    /// the shared abort path, and re-submit when the retry budget
+    /// allows.
+    fn handle_deadline(&mut self, scheduler: &mut dyn Scheduler, qid: QueryId) {
+        let Some(_) = self.query_index(qid) else {
+            return; // already finished or torn down — stale timer
+        };
+        self.resilience.deadline_timeouts += 1;
+        self.invoke_scheduler(scheduler, SchedEvent::DeadlineExceeded(qid));
+        // Policies cannot remove queries, but the notification may have
+        // dispatched work — re-resolve the index before tearing down.
+        let Some(qidx) = self.query_index(qid) else {
+            return;
+        };
+        let QueryMeta { item, attempt, .. } = self.query_meta[qidx];
+        let will_retry = attempt < self.cfg.retry.max_retries;
+        self.abort_query_inner(scheduler, qidx, AbortKind::Timeout, !will_retry);
+        if will_retry {
+            self.resilience.deadline_retries += 1;
+            let delay = self.cfg.retry.backoff(attempt);
+            self.push_event(self.time + delay, Ev::Retry { item, attempt: attempt + 1 });
+        }
     }
 
     fn query_index(&self, qid: QueryId) -> Option<usize> {
@@ -585,6 +846,7 @@ impl Simulator {
     fn remove_query(&mut self, qidx: usize) -> QueryRuntime {
         let q = self.queries.remove(qidx);
         self.query_pipes.remove(qidx);
+        self.query_meta.remove(qidx);
         if let Some(slot) = self.qindex.get_mut(q.qid.0 as usize) {
             *slot = None;
         }
@@ -692,14 +954,15 @@ impl Simulator {
         let mut query_finished = false;
         if self.queries[qidx].is_finished() {
             query_finished = true;
+            let submitted = self.query_meta[qidx].submitted;
             let q = &mut self.queries[qidx];
             q.finish_time = Some(self.time);
             self.outcomes.push(QueryOutcome {
                 qid: q.qid,
                 name: q.plan.name.clone(),
-                arrival: q.arrival_time,
+                arrival: submitted,
                 finish: self.time,
-                duration: self.time - q.arrival_time,
+                duration: self.time - submitted,
             });
             let t = self.time;
             scheduler.on_query_finished(t, qid);
@@ -834,11 +1097,20 @@ impl Simulator {
     }
 
     /// Tears down every pipeline of `self.queries[qidx]` and records the
-    /// query as aborted (`cancelled`: user cancellation vs. permanent
-    /// work-order failure). Stalled threads are reclaimed immediately;
-    /// busy threads drain through the orphan path of [`handle_wo_done`]
-    /// when their in-flight event fires.
-    fn abort_query(&mut self, scheduler: &mut dyn Scheduler, qidx: usize, cancelled: bool) {
+    /// query as aborted with the given [`AbortKind`]. Stalled threads
+    /// are reclaimed immediately; busy threads drain through the orphan
+    /// path of [`handle_wo_done`] when their in-flight event fires.
+    fn abort_query(&mut self, scheduler: &mut dyn Scheduler, qidx: usize, kind: AbortKind) {
+        self.abort_query_inner(scheduler, qidx, kind, true);
+    }
+
+    fn abort_query_inner(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        qidx: usize,
+        kind: AbortKind,
+        record_outcome: bool,
+    ) {
         let qid = self.queries[qidx].qid;
         let mut freed = 0;
         if self.cfg.reference_mode {
@@ -871,18 +1143,27 @@ impl Simulator {
                 }
             }
         }
+        let submitted = self.query_meta[qidx].submitted;
         let q = self.remove_query(qidx);
-        self.aborted.push(QueryOutcome {
-            qid,
-            name: q.plan.name.clone(),
-            arrival: q.arrival_time,
-            finish: self.time,
-            duration: self.time - q.arrival_time,
-        });
-        if cancelled {
-            self.fault_summary.queries_cancelled += 1;
-        } else {
-            self.fault_summary.queries_failed += 1;
+        // A timed-out attempt that will be retried is not a final fate:
+        // only the last attempt lands in `aborted`, so completed +
+        // aborted still partitions the workload exactly once per item.
+        if record_outcome {
+            self.aborted.push(QueryOutcome {
+                qid,
+                name: q.plan.name.clone(),
+                arrival: submitted,
+                finish: self.time,
+                duration: self.time - submitted,
+            });
+        }
+        match kind {
+            AbortKind::Cancelled => self.fault_summary.queries_cancelled += 1,
+            AbortKind::Failed => self.fault_summary.queries_failed += 1,
+            // Timeouts and sheds are counted in `self.resilience` at
+            // the trigger site (a timeout needs the miss counted even
+            // when the retry budget re-submits the query).
+            AbortKind::Timeout | AbortKind::Shed => {}
         }
         let t = self.time;
         scheduler.on_query_cancelled(t, qid);
@@ -912,7 +1193,7 @@ impl Simulator {
         if let Some(qidx) = qid.and_then(|q| self.query_index(q)) {
             self.queries[qidx].assigned_threads =
                 self.queries[qidx].assigned_threads.saturating_sub(1);
-            self.abort_query(scheduler, qidx, false);
+            self.abort_query(scheduler, qidx, AbortKind::Failed);
         }
         if freed {
             self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(1));
@@ -923,7 +1204,7 @@ impl Simulator {
     /// never-arrived) query is a no-op.
     fn handle_cancel(&mut self, scheduler: &mut dyn Scheduler, qid: QueryId) {
         if let Some(qidx) = self.query_index(qid) {
-            self.abort_query(scheduler, qidx, true);
+            self.abort_query(scheduler, qidx, AbortKind::Cancelled);
         }
     }
 
@@ -1214,6 +1495,7 @@ impl Simulator {
                 | SchedEvent::WorkerLost(_)
                 | SchedEvent::WorkerJoined(_)
                 | SchedEvent::QueryCancelled(_)
+                | SchedEvent::DeadlineExceeded(_)
         );
         if !force {
             if self.free_threads.is_empty() {
@@ -1383,10 +1665,7 @@ mod tests {
 
     fn small_workload(n: usize) -> Vec<WorkloadItem> {
         (0..n)
-            .map(|i| WorkloadItem {
-                arrival_time: i as f64 * 0.01,
-                plan: two_stage_plan(&format!("q{i}"), 6),
-            })
+            .map(|i| WorkloadItem::new(i as f64 * 0.01, two_stage_plan(&format!("q{i}"), 6)))
             .collect()
     }
 
@@ -1497,7 +1776,7 @@ mod tests {
                 out
             }
         }
-        let wl = vec![WorkloadItem { arrival_time: 0.0, plan: two_stage_plan("solo", 24) }];
+        let wl = vec![WorkloadItem::new(0.0, two_stage_plan("solo", 24))];
         let cfg = SimConfig { num_threads: 4, seed: 3, ..Default::default() };
         let pipelined = simulate(cfg.clone(), &wl, &mut GreedyFifo);
         let sequential = simulate(cfg, &wl, &mut Sequential);
@@ -1578,7 +1857,7 @@ mod resize_tests {
 
     fn workload(n: usize) -> Vec<WorkloadItem> {
         (0..n)
-            .map(|i| WorkloadItem { arrival_time: 0.0, plan: chain(&format!("q{i}"), 8) })
+            .map(|i| WorkloadItem::new(0.0, chain(&format!("q{i}"), 8)))
             .collect()
     }
 
@@ -1696,10 +1975,7 @@ mod fault_tests {
 
     fn workload(n: usize) -> Vec<WorkloadItem> {
         (0..n)
-            .map(|i| WorkloadItem {
-                arrival_time: i as f64 * 0.005,
-                plan: chain(&format!("q{i}"), 8),
-            })
+            .map(|i| WorkloadItem::new(i as f64 * 0.005, chain(&format!("q{i}"), 8)))
             .collect()
     }
 
@@ -1720,6 +1996,7 @@ mod fault_tests {
         assert_eq!(res.outcomes.len(), 6, "all queries must survive worker churn");
         assert_eq!(res.fault_summary.workers_lost, 3);
         assert_eq!(res.fault_summary.workers_joined, 2);
+        assert_eq!(res.final_pool_size, 4 - 3 + 2, "pool = initial - lost + joined");
         let lost = s
             .worker_events
             .iter()
@@ -1843,5 +2120,203 @@ mod fault_tests {
                 "seed {seed}: completed + aborted must cover the workload"
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod resilience_tests {
+    use super::*;
+    use crate::plan::{OpKind, OpSpec, PlanBuilder};
+    use crate::scheduler::{AdmissionResponse, AdmitAction, Scheduler};
+
+    /// Greedy FIFO, one thread per decision (same shape as the fault
+    /// tests' policy).
+    struct Greedy;
+    impl Scheduler for Greedy {
+        fn name(&self) -> String {
+            "greedy_resilience_test".into()
+        }
+        fn on_event(&mut self, ctx: &SchedContext<'_>, _ev: &SchedEvent) -> Vec<SchedDecision> {
+            let mut out = Vec::new();
+            let mut free = ctx.free_threads;
+            for q in ctx.queries {
+                for &root in q.schedulable_ops() {
+                    if free == 0 {
+                        return out;
+                    }
+                    out.push(SchedDecision {
+                        query: q.qid,
+                        root,
+                        pipeline_degree: q.plan.longest_npb_chain(root),
+                        threads: 1,
+                    });
+                    free -= 1;
+                }
+            }
+            out
+        }
+    }
+
+    fn chain(name: &str, wos: u32) -> Arc<PhysicalPlan> {
+        let mut b = PlanBuilder::new(name);
+        let scan = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![0], vec![0], 1e5, wos, 0.01, 1e5);
+        let sel = b.add_op(OpKind::Select, OpSpec::Synthetic, vec![0], vec![1], 5e4, wos, 0.008, 1e5);
+        b.connect(scan, sel, true);
+        Arc::new(b.finish(sel))
+    }
+
+    fn quiet_cfg(threads: usize) -> SimConfig {
+        let mut cfg = SimConfig { num_threads: threads, seed: 5, ..Default::default() };
+        cfg.cost.noise_sigma = 0.0;
+        cfg
+    }
+
+    #[test]
+    fn deadline_miss_aborts_without_retry_budget() {
+        // q0 hogs the single thread; q1's budget expires while queued.
+        let wl = vec![
+            WorkloadItem::new(0.0, chain("long", 8)),
+            WorkloadItem::new(0.001, chain("tight", 1)).with_deadline(0.01),
+        ];
+        let res = simulate(quiet_cfg(1), &wl, &mut Greedy);
+        assert_eq!(res.outcomes.len(), 1, "the unconstrained query completes");
+        assert_eq!(res.aborted.len(), 1, "the overdue query is torn down");
+        assert_eq!(res.resilience.deadline_timeouts, 1);
+        assert_eq!(res.resilience.deadline_retries, 0);
+        // Timeouts are SLO accounting, not fault accounting.
+        assert_eq!(res.fault_summary.queries_cancelled, 0);
+        assert_eq!(res.fault_summary.queries_failed, 0);
+    }
+
+    #[test]
+    fn deadline_retry_completes_once_contention_clears() {
+        // q1 cannot meet its budget while q0 holds the only thread, but
+        // the retry budget re-submits it with capped backoff until an
+        // attempt lands on an idle pool and finishes well within budget.
+        let wl = vec![
+            WorkloadItem::new(0.0, chain("long", 8)),
+            WorkloadItem::new(0.001, chain("slo", 1)).with_deadline(0.06),
+        ];
+        let mut cfg = quiet_cfg(1);
+        cfg.retry = RetryPolicy { max_retries: 20, ..RetryPolicy::default() };
+        let res = simulate(cfg, &wl, &mut Greedy);
+        assert_eq!(res.outcomes.len(), 2, "the SLO query eventually completes");
+        assert!(res.aborted.is_empty(), "retried attempts must not land in aborted");
+        assert!(res.resilience.deadline_retries >= 1, "at least one retry was needed");
+        assert_eq!(
+            res.resilience.deadline_timeouts,
+            res.resilience.deadline_retries,
+            "every miss was retried (the budget was never exhausted)"
+        );
+        let slo = res.outcomes.iter().find(|o| o.name == "slo").expect("slo outcome");
+        assert!(
+            (slo.arrival - 0.001).abs() < 1e-12,
+            "latency is charged from the original arrival, not the retry"
+        );
+    }
+
+    #[test]
+    fn exhausted_retry_budget_records_one_final_abort() {
+        // An impossible deadline: every attempt times out; with a budget
+        // of 2 retries there are 3 attempts and exactly one aborted
+        // record (the final fate).
+        let wl = vec![WorkloadItem::new(0.0, chain("doomed", 8)).with_deadline(0.005)];
+        let mut cfg = quiet_cfg(2);
+        cfg.retry = RetryPolicy { max_retries: 2, ..RetryPolicy::default() };
+        let res = simulate(cfg, &wl, &mut Greedy);
+        assert_eq!(res.outcomes.len(), 0);
+        assert_eq!(res.aborted.len(), 1, "only the final attempt is recorded");
+        assert_eq!(res.resilience.deadline_timeouts, 3);
+        assert_eq!(res.resilience.deadline_retries, 2);
+    }
+
+    /// Wraps [`Greedy`] with a queue-depth admission limit.
+    struct GatedGreedy {
+        max_queued: usize,
+    }
+    impl Scheduler for GatedGreedy {
+        fn name(&self) -> String {
+            "gated_greedy_test".into()
+        }
+        fn on_event(&mut self, ctx: &SchedContext<'_>, ev: &SchedEvent) -> Vec<SchedDecision> {
+            Greedy.on_event(ctx, ev)
+        }
+        fn admit(
+            &mut self,
+            ctx: &SchedContext<'_>,
+            _arriving: QueryId,
+            _attempt: u32,
+        ) -> AdmissionResponse {
+            if ctx.queries.len() > self.max_queued {
+                AdmissionResponse { action: AdmitAction::Reject, shed: Vec::new() }
+            } else {
+                AdmissionResponse::admit()
+            }
+        }
+    }
+
+    #[test]
+    fn rejecting_gate_sheds_excess_arrivals_deterministically() {
+        let wl: Vec<WorkloadItem> =
+            (0..8).map(|i| WorkloadItem::new(i as f64 * 1e-4, chain(&format!("q{i}"), 8))).collect();
+        let run = || simulate(quiet_cfg(1), &wl, &mut GatedGreedy { max_queued: 2 });
+        let r1 = run();
+        let r2 = run();
+        assert!(r1.resilience.shed > 0, "a burst at queue depth 2 must shed");
+        assert_eq!(
+            r1.outcomes.len() + r1.aborted.len(),
+            8,
+            "completed + shed partitions the workload"
+        );
+        assert_eq!(r1.resilience.shed as usize, r1.aborted.len());
+        assert_eq!(r1.makespan.to_bits(), r2.makespan.to_bits(), "gating stays deterministic");
+        assert_eq!(r1.resilience, r2.resilience);
+    }
+
+    /// Defers every arrival forever — exercises the runaway-deferral cap.
+    struct AlwaysDefer;
+    impl Scheduler for AlwaysDefer {
+        fn name(&self) -> String {
+            "always_defer_test".into()
+        }
+        fn on_event(&mut self, ctx: &SchedContext<'_>, ev: &SchedEvent) -> Vec<SchedDecision> {
+            Greedy.on_event(ctx, ev)
+        }
+        fn admit(
+            &mut self,
+            _ctx: &SchedContext<'_>,
+            _arriving: QueryId,
+            _attempt: u32,
+        ) -> AdmissionResponse {
+            AdmissionResponse { action: AdmitAction::Defer { delay: 0.001 }, shed: Vec::new() }
+        }
+    }
+
+    #[test]
+    fn runaway_deferral_is_capped_not_infinite() {
+        let wl = vec![WorkloadItem::new(0.0, chain("deferred", 2))];
+        let res = simulate(quiet_cfg(1), &wl, &mut AlwaysDefer);
+        assert_eq!(res.outcomes.len(), 0);
+        assert_eq!(res.aborted.len(), 1, "the deferral cap converts to a shed");
+        assert_eq!(res.resilience.deferred, u64::from(MAX_DEFERS));
+        assert_eq!(res.resilience.shed, 1);
+    }
+
+    #[test]
+    fn deadlines_off_are_bit_identical_to_pre_slo_runs() {
+        // A workload with no deadlines, no priorities and the default
+        // admit-everything gate must produce byte-identical results to
+        // the same run — and consume zero extra RNG draws (checked
+        // implicitly: any draw would shift every sampled duration).
+        let wl: Vec<WorkloadItem> =
+            (0..6).map(|i| WorkloadItem::new(i as f64 * 0.004, chain(&format!("q{i}"), 6))).collect();
+        let cfg = SimConfig { num_threads: 3, seed: 77, ..Default::default() };
+        let r1 = simulate(cfg.clone(), &wl, &mut Greedy);
+        let r2 = simulate(cfg, &wl, &mut Greedy);
+        assert_eq!(r1.makespan.to_bits(), r2.makespan.to_bits());
+        for (a, b) in r1.outcomes.iter().zip(&r2.outcomes) {
+            assert_eq!(a.finish.to_bits(), b.finish.to_bits());
+        }
+        assert_eq!(r1.resilience, ResilienceSummary::default());
     }
 }

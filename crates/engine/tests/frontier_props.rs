@@ -192,10 +192,7 @@ fn random_workload(
     wos: &[u32],
 ) -> Vec<WorkloadItem> {
     (0..queries)
-        .map(|i| WorkloadItem {
-            arrival_time: i as f64 * 0.02,
-            plan: random_plan(2 + i % 7, &links[i % 8..], npb, wos),
-        })
+        .map(|i| WorkloadItem::new(i as f64 * 0.02, random_plan(2 + i % 7, &links[i % 8..], npb, wos)))
         .collect()
 }
 

@@ -1,0 +1,315 @@
+//! Crash-safe checkpoint files with integrity checking.
+//!
+//! A checkpoint is an opaque payload (the caller serializes whatever it
+//! wants — the trainer stores parameters, optimizer moments, and RNG
+//! streams) wrapped in a small self-describing envelope:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 4    | magic `"LSCK"` |
+//! | 4      | 4    | format version, `u32` little-endian |
+//! | 8      | 8    | payload length, `u64` little-endian |
+//! | 16     | n    | payload bytes |
+//! | 16 + n | 4    | CRC-32 (IEEE) of everything before it, `u32` LE |
+//!
+//! [`CheckpointManager`] layers durability on top: each generation is
+//! written to a temporary file, `fsync`ed, and atomically renamed into
+//! place (the directory is fsynced too, so the rename itself survives a
+//! crash). The last `keep` generations are retained; [`
+//! CheckpointManager::load_latest`] walks generations newest-first and
+//! silently falls back past corrupt or truncated files, so a crash in
+//! the middle of a write can never lose more than the in-flight
+//! generation.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// File magic: "LSCK" (LSched ChecKpoint).
+const MAGIC: [u8; 4] = *b"LSCK";
+/// Current envelope format version.
+const VERSION: u32 = 1;
+/// Bytes before the payload: magic + version + payload length.
+const HEADER_LEN: usize = 16;
+/// Trailing CRC-32 footer.
+const FOOTER_LEN: usize = 4;
+
+/// Why a checkpoint could not be loaded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error reading or writing the checkpoint.
+    Io(io::Error),
+    /// The file exists but fails validation (bad magic, unsupported
+    /// version, truncation, or CRC mismatch). The string says which.
+    Corrupt(String),
+    /// No checkpoint file exists in the directory.
+    NoCheckpoint,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+            CheckpointError::NoCheckpoint => write!(f, "no checkpoint found"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over `data`.
+/// Table-driven, one table build per call — checkpoint payloads are
+/// written at episode granularity, so this is nowhere near hot.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut table = [0u32; 256];
+    for (i, entry) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+        }
+        *entry = c;
+    }
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Wraps `payload` in the LSCK envelope (header + CRC-32 footer).
+pub fn encode(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + FOOTER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validates the LSCK envelope and returns the payload.
+pub fn decode(bytes: &[u8]) -> Result<Vec<u8>, CheckpointError> {
+    if bytes.len() < HEADER_LEN + FOOTER_LEN {
+        return Err(CheckpointError::Corrupt(format!("{} bytes is too short", bytes.len())));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(CheckpointError::Corrupt("bad magic".into()));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+    if version != VERSION {
+        return Err(CheckpointError::Corrupt(format!("unsupported version {version}")));
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice")) as usize;
+    if bytes.len() != HEADER_LEN + len + FOOTER_LEN {
+        return Err(CheckpointError::Corrupt(format!(
+            "length mismatch: header says {len} payload bytes, file has {}",
+            bytes.len().saturating_sub(HEADER_LEN + FOOTER_LEN)
+        )));
+    }
+    let body = &bytes[..HEADER_LEN + len];
+    let stored = u32::from_le_bytes(bytes[HEADER_LEN + len..].try_into().expect("4-byte slice"));
+    let actual = crc32(body);
+    if stored != actual {
+        return Err(CheckpointError::Corrupt(format!(
+            "CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    Ok(body[HEADER_LEN..].to_vec())
+}
+
+/// Writes and loads checkpoint generations in a directory, keeping the
+/// last `keep` on disk. See the module docs for the durability story.
+#[derive(Debug, Clone)]
+pub struct CheckpointManager {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointManager {
+    /// Manages checkpoints under `dir` (created on first save),
+    /// retaining the newest `keep` generations (minimum 1).
+    pub fn new(dir: impl Into<PathBuf>, keep: usize) -> Self {
+        Self { dir: dir.into(), keep: keep.max(1) }
+    }
+
+    /// The managed directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{generation:012}.bin"))
+    }
+
+    fn parse_generation(path: &Path) -> Option<u64> {
+        let name = path.file_name()?.to_str()?;
+        name.strip_prefix("ckpt-")?.strip_suffix(".bin")?.parse().ok()
+    }
+
+    /// Generations currently on disk, ascending. Missing directory
+    /// counts as empty.
+    pub fn generations(&self) -> io::Result<Vec<u64>> {
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut gens: Vec<u64> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| Self::parse_generation(&e.path()))
+            .collect();
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    /// Atomically writes `payload` as generation `generation` and prunes
+    /// generations beyond the retention window. Returns the final path.
+    pub fn save(&self, generation: u64, payload: &[u8]) -> Result<PathBuf, CheckpointError> {
+        fs::create_dir_all(&self.dir)?;
+        let bytes = encode(payload);
+        let final_path = self.path_for(generation);
+        let tmp_path = self.dir.join(format!("ckpt-{generation:012}.tmp"));
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp_path)?;
+            f.write_all(&bytes)?;
+            // Data must be durable before the rename publishes it.
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        // Make the rename itself durable: fsync the directory entry.
+        // Not every filesystem supports syncing a directory handle, so a
+        // failure here degrades durability but not correctness.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        // Prune old generations, newest `keep` survive.
+        let gens = self.generations()?;
+        if gens.len() > self.keep {
+            for &g in &gens[..gens.len() - self.keep] {
+                let _ = fs::remove_file(self.path_for(g));
+            }
+        }
+        Ok(final_path)
+    }
+
+    /// Loads the newest readable generation, skipping corrupt or
+    /// truncated files (crash-interrupted writes). Returns the
+    /// generation number and payload, or [`CheckpointError::NoCheckpoint`]
+    /// if nothing on disk validates.
+    pub fn load_latest(&self) -> Result<(u64, Vec<u8>), CheckpointError> {
+        let mut gens = self.generations()?;
+        gens.reverse();
+        let mut last_corrupt = None;
+        for g in gens {
+            let mut bytes = Vec::new();
+            match File::open(self.path_for(g)).and_then(|mut f| f.read_to_end(&mut bytes)) {
+                Ok(_) => {}
+                Err(_) => continue,
+            }
+            match decode(&bytes) {
+                Ok(payload) => return Ok((g, payload)),
+                Err(e) => last_corrupt = Some(e),
+            }
+        }
+        match last_corrupt {
+            // Every file on disk was damaged — report the newest error
+            // rather than pretending no checkpoint ever existed.
+            Some(e) => Err(e),
+            None => Err(CheckpointError::NoCheckpoint),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("lsched-ckpt-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let payload = b"hello checkpoint".to_vec();
+        let bytes = encode(&payload);
+        assert_eq!(decode(&bytes).unwrap(), payload);
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn decode_rejects_damage() {
+        let bytes = encode(b"payload");
+        // Flip one payload byte: CRC must catch it.
+        let mut flipped = bytes.clone();
+        flipped[HEADER_LEN] ^= 0x01;
+        assert!(matches!(decode(&flipped), Err(CheckpointError::Corrupt(_))));
+        // Truncation.
+        assert!(matches!(decode(&bytes[..bytes.len() - 1]), Err(CheckpointError::Corrupt(_))));
+        // Bad magic.
+        let mut magic = bytes.clone();
+        magic[0] = b'X';
+        assert!(matches!(decode(&magic), Err(CheckpointError::Corrupt(_))));
+        // Future version.
+        let mut ver = bytes;
+        ver[4] = 0xFF;
+        assert!(matches!(decode(&ver), Err(CheckpointError::Corrupt(_))));
+    }
+
+    #[test]
+    fn manager_saves_loads_and_prunes() {
+        let dir = scratch_dir("prune");
+        let mgr = CheckpointManager::new(&dir, 2);
+        assert!(matches!(mgr.load_latest(), Err(CheckpointError::NoCheckpoint)));
+        for g in 1..=4u64 {
+            mgr.save(g, format!("gen {g}").as_bytes()).unwrap();
+        }
+        assert_eq!(mgr.generations().unwrap(), vec![3, 4], "keep=2 retains the newest two");
+        let (g, payload) = mgr.load_latest().unwrap();
+        assert_eq!(g, 4);
+        assert_eq!(payload, b"gen 4");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_previous_generation() {
+        let dir = scratch_dir("fallback");
+        let mgr = CheckpointManager::new(&dir, 3);
+        mgr.save(1, b"gen 1").unwrap();
+        let latest = mgr.save(2, b"gen 2").unwrap();
+        // Simulate a torn write: truncate the newest file mid-payload.
+        let bytes = fs::read(&latest).unwrap();
+        fs::write(&latest, &bytes[..bytes.len() / 2]).unwrap();
+        let (g, payload) = mgr.load_latest().unwrap();
+        assert_eq!(g, 1, "corrupt generation 2 must be skipped");
+        assert_eq!(payload, b"gen 1");
+        // All generations corrupt: surface Corrupt, not NoCheckpoint.
+        let p1 = mgr.path_for(1);
+        let b1 = fs::read(&p1).unwrap();
+        fs::write(&p1, &b1[..b1.len() - 2]).unwrap();
+        assert!(matches!(mgr.load_latest(), Err(CheckpointError::Corrupt(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

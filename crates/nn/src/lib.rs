@@ -37,6 +37,7 @@
 #[cfg(feature = "count-allocs")]
 pub mod alloc_count;
 pub mod backend;
+pub mod checkpoint;
 pub mod gat;
 pub mod graph;
 pub mod infer;
@@ -48,11 +49,12 @@ pub mod tensor;
 pub mod tree_conv;
 
 pub use backend::{Backend, TapeBackend};
+pub use checkpoint::{CheckpointError, CheckpointManager};
 pub use gat::{normalize_scores, PairAttention};
 pub use graph::{softmax_vals, Graph, NodeId};
 pub use infer::{InferBackend, InferCtx, ValId};
 pub use layers::{Activation, Linear, Mlp};
-pub use optim::{Adam, Sgd};
+pub use optim::{Adam, AdamState, Sgd};
 pub use params::{ParamId, ParamStore};
 pub use tensor::{axpy4, dot4, Tensor};
 pub use tree_conv::{FilterMode, TreeConvConfig, TreeConvLayer, TreeConvStack, TreeSpec};

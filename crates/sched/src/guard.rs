@@ -29,10 +29,16 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use lsched_engine::scheduler::{
-    clamp_decision, PolicyHealth, QueryId, SchedContext, SchedDecision, SchedEvent, Scheduler,
+    clamp_decision, AdmissionResponse, PolicyHealth, QueryId, SchedContext, SchedDecision,
+    SchedEvent, Scheduler,
 };
 
+use crate::admission::{Admission, AdmissionStats};
 use crate::quickstep::QuickstepScheduler;
+
+/// How many recently cancelled query ids the guard remembers for the
+/// stale-decision filter (see [`GuardStats::stale_decisions`]).
+const CANCELLED_RING: usize = 64;
 
 /// Circuit-breaker tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +99,12 @@ pub struct GuardStats {
     pub probes: u64,
     /// Probes that restored the inner policy.
     pub recoveries: u64,
+    /// Decisions naming a query that was cancelled (deadline, shed or
+    /// user cancellation) shortly before — e.g. while the breaker was in
+    /// `Fallback(cooldown)` and a stateful inner policy missed the
+    /// teardown. Dropped silently instead of tripping the breaker: the
+    /// policy is stale, not broken.
+    pub stale_decisions: u64,
 }
 
 /// A circuit-breaker wrapper: `inner` serves decisions while healthy,
@@ -105,6 +117,12 @@ pub struct GuardedScheduler<S: Scheduler, F: Scheduler = QuickstepScheduler> {
     state: GuardState,
     stats: GuardStats,
     events_since_deep_scan: u32,
+    /// Optional admission gate consulted on every arrival (see
+    /// [`crate::admission`]); `None` admits everything.
+    admission: Option<Admission>,
+    /// Bounded ring of recently cancelled query ids, backing the
+    /// stale-decision filter in [`GuardStats::stale_decisions`].
+    recently_cancelled: Vec<QueryId>,
 }
 
 impl<S: Scheduler> GuardedScheduler<S, QuickstepScheduler> {
@@ -124,7 +142,18 @@ impl<S: Scheduler, F: Scheduler> GuardedScheduler<S, F> {
             state: GuardState::Primary,
             stats: GuardStats::default(),
             events_since_deep_scan: 0,
+            admission: None,
+            recently_cancelled: Vec::new(),
         }
+    }
+
+    /// Installs an admission gate in front of the guarded policy. The
+    /// gate is orthogonal to the breaker: it keeps shedding load even
+    /// while the breaker is open, because overload protection must not
+    /// depend on which policy happens to be serving decisions.
+    pub fn with_admission(mut self, gate: Admission) -> Self {
+        self.admission = Some(gate);
+        self
     }
 
     /// Current breaker state.
@@ -135,6 +164,11 @@ impl<S: Scheduler, F: Scheduler> GuardedScheduler<S, F> {
     /// Everything the guard observed so far.
     pub fn stats(&self) -> GuardStats {
         self.stats
+    }
+
+    /// Admission-gate counters, if a gate is installed.
+    pub fn admission_stats(&self) -> Option<AdmissionStats> {
+        self.admission.as_ref().map(|g| g.stats())
     }
 
     /// The wrapped inner policy.
@@ -188,18 +222,33 @@ impl<S: Scheduler, F: Scheduler> GuardedScheduler<S, F> {
             return None;
         }
         let mut bad = 0u64;
+        let mut stale = 0u64;
+        let mut clamped = Vec::with_capacity(decisions.len());
         for d in &mut decisions {
             match clamp_decision(ctx, d) {
-                Ok(c) => *d = c,
+                Ok(c) => clamped.push(c),
+                // A decision naming a query that is gone from the live
+                // context but was cancelled moments ago (deadline, shed
+                // or user cancellation — possibly while the breaker was
+                // in `Fallback(cooldown)` and a stateful inner policy
+                // missed the teardown) is stale, not invalid: drop it
+                // without tripping the breaker.
+                Err(_)
+                    if ctx.queries.iter().all(|q| q.qid != d.query)
+                        && self.recently_cancelled.contains(&d.query) =>
+                {
+                    stale += 1;
+                }
                 Err(_) => bad += 1,
             }
         }
+        self.stats.stale_decisions += stale;
         if bad > 0 {
             self.stats.invalid_decisions += bad;
             self.trip();
             return None;
         }
-        Some(decisions)
+        Some(clamped)
     }
 }
 
@@ -279,11 +328,31 @@ impl<S: Scheduler, F: Scheduler> Scheduler for GuardedScheduler<S, F> {
     }
 
     fn on_query_cancelled(&mut self, time: f64, query: QueryId) {
+        // Remember the teardown so a stale decision naming this query
+        // later is dropped instead of tripping the breaker.
+        if self.recently_cancelled.len() >= CANCELLED_RING {
+            self.recently_cancelled.remove(0);
+        }
+        self.recently_cancelled.push(query);
         if catch_unwind(AssertUnwindSafe(|| self.inner.on_query_cancelled(time, query))).is_err() {
             self.stats.panics += 1;
             self.trip();
         }
         self.fallback.on_query_cancelled(time, query);
+    }
+
+    fn admit(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        arriving: QueryId,
+        attempt: u32,
+    ) -> AdmissionResponse {
+        // The gate is consulted regardless of breaker state: overload
+        // protection is policy-independent.
+        match self.admission.as_mut() {
+            Some(gate) => gate.admit(ctx, arriving, attempt),
+            None => AdmissionResponse::admit(),
+        }
     }
 
     fn health(&self) -> PolicyHealth {
@@ -299,6 +368,10 @@ impl<S: Scheduler, F: Scheduler> Scheduler for GuardedScheduler<S, F> {
         self.state = GuardState::Primary;
         self.stats = GuardStats::default();
         self.events_since_deep_scan = 0;
+        self.recently_cancelled.clear();
+        if let Some(gate) = self.admission.as_mut() {
+            gate.reset();
+        }
     }
 }
 
@@ -429,6 +502,97 @@ mod tests {
         assert_eq!(res.outcomes.len(), 6);
         assert!(guard.stats().invalid_decisions >= 1);
         assert!(guard.stats().trips >= 1);
+    }
+
+    /// Delegates to Quickstep but keeps re-issuing a decision for the
+    /// most recently cancelled query after it left the live context —
+    /// modelling a stateful learned policy that missed a teardown
+    /// (e.g. while the breaker was in `Fallback(cooldown)`).
+    struct StaleAfterCancel {
+        cancelled: Vec<QueryId>,
+        delegate: QuickstepScheduler,
+    }
+    impl Scheduler for StaleAfterCancel {
+        fn name(&self) -> String {
+            "stale_after_cancel".into()
+        }
+        fn on_event(&mut self, ctx: &SchedContext<'_>, ev: &SchedEvent) -> Vec<SchedDecision> {
+            let mut ds = self.delegate.on_event(ctx, ev);
+            if let Some(&qid) = self.cancelled.last() {
+                if ctx.queries.iter().all(|q| q.qid != qid) {
+                    ds.push(SchedDecision {
+                        query: qid,
+                        root: lsched_engine::plan::OpId(0),
+                        pipeline_degree: 1,
+                        threads: 1,
+                    });
+                }
+            }
+            ds
+        }
+        fn on_query_cancelled(&mut self, _time: f64, query: QueryId) {
+            // Deliberately remembers instead of forgetting: the stale
+            // entry is the bug under test.
+            self.cancelled.push(query);
+        }
+    }
+
+    #[test]
+    fn stale_decision_for_cancelled_query_does_not_trip_the_breaker() {
+        let mut wl = workload(6, 7);
+        // Query 0 times out immediately: its deadline event fires at its
+        // own arrival instant, before any work order can complete.
+        wl[0] = wl[0].clone().with_deadline(0.0);
+        let inner = StaleAfterCancel { cancelled: Vec::new(), delegate: QuickstepScheduler };
+        let mut guard = GuardedScheduler::new(inner);
+        let res =
+            simulate(SimConfig { num_threads: 4, seed: 7, ..Default::default() }, &wl, &mut guard);
+        assert_eq!(res.outcomes.len() + res.aborted.len(), 6, "every query gets a final fate");
+        assert_eq!(res.resilience.deadline_timeouts, 1);
+        let stats = guard.stats();
+        assert!(
+            stats.stale_decisions >= 1,
+            "the policy re-issued decisions for the cancelled query: {stats:?}"
+        );
+        assert_eq!(stats.trips, 0, "stale decisions must not trip the breaker: {stats:?}");
+        assert_eq!(stats.invalid_decisions, 0);
+        assert_eq!(guard.state(), GuardState::Primary);
+    }
+
+    #[test]
+    fn admission_gate_sheds_through_the_guard_deterministically() {
+        use crate::admission::{Admission, AdmissionConfig};
+        let run = || {
+            let gate = Admission::new(AdmissionConfig {
+                max_queued: 1,
+                resume_queued: 0,
+                ..Default::default()
+            });
+            let mut guard = GuardedScheduler::new(QuickstepScheduler).with_admission(gate);
+            let wl = workload(20, 8);
+            let res = simulate(
+                SimConfig { num_threads: 2, seed: 8, ..Default::default() },
+                &wl,
+                &mut guard,
+            );
+            let stats = guard.admission_stats().expect("gate installed via with_admission");
+            (res, stats)
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert!(a.resilience.shed >= 1, "a batch arrival must overflow max_queued=1: {sa:?}");
+        assert_eq!(
+            a.outcomes.len() + a.aborted.len(),
+            20,
+            "shed queries still get a final fate"
+        );
+        assert_eq!(sa, sb, "gate counters must be deterministic");
+        assert_eq!(a.resilience.shed, b.resilience.shed);
+        assert_eq!(
+            a.makespan.to_bits(),
+            b.makespan.to_bits(),
+            "admission + guard must stay bit-identical across runs"
+        );
     }
 
     #[test]

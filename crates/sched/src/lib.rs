@@ -6,9 +6,13 @@
 //! (Figure 1), Quickstep's built-in fair work-order scheduler with
 //! LR-based duration prediction, and SelfTune's priority policy with
 //! workload-tuned hyper-parameters.
+//!
+//! Also hosts the resilience wrappers shared by every policy: the
+//! [`guard`] circuit breaker and the [`admission`] overload gate.
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod common;
 pub mod guard;
 pub mod heuristics;
@@ -16,6 +20,7 @@ pub mod lottery;
 pub mod quickstep;
 pub mod selftune;
 
+pub use admission::{Admission, AdmissionConfig, AdmissionStats, ShedPolicy};
 pub use guard::{GuardConfig, GuardState, GuardStats, GuardedScheduler};
 pub use heuristics::{
     CriticalPathScheduler, FairScheduler, FifoScheduler, HpfScheduler, SjfScheduler,

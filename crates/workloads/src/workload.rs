@@ -23,6 +23,21 @@ pub enum ArrivalPattern {
         /// Expected arrival rate λ (queries/second).
         lambda: f64,
     },
+    /// Open-loop Poisson arrivals whose rate alternates between a base
+    /// and a burst level — the overload generator. Each period of
+    /// `period` seconds spends its first `burst_fraction` at
+    /// `burst_lambda` and the remainder at `base_lambda`, so queue
+    /// buildup (the regime Decima trains under) is actually reachable.
+    Bursty {
+        /// Arrival rate outside bursts (queries/second).
+        base_lambda: f64,
+        /// Arrival rate inside bursts (queries/second).
+        burst_lambda: f64,
+        /// Length of one base+burst cycle (seconds).
+        period: f64,
+        /// Fraction of each period spent bursting, in `[0, 1]`.
+        burst_fraction: f64,
+    },
 }
 
 /// Splits a plan pool 50/50 into train and test sets, without
@@ -62,8 +77,20 @@ pub fn gen_workload(
                     t += -u.ln() / lambda;
                     t
                 }
+                ArrivalPattern::Bursty { base_lambda, burst_lambda, period, burst_fraction } => {
+                    // The rate is decided by where the *current* clock
+                    // sits within its period; the exponential gap is then
+                    // drawn at that rate. A draw can overshoot the phase
+                    // boundary — fine for a load generator, and it keeps
+                    // the RNG consumption at exactly one draw per query.
+                    let phase = if period > 0.0 { (t % period) / period } else { 0.0 };
+                    let lambda = if phase < burst_fraction { burst_lambda } else { base_lambda };
+                    let u: f64 = rng.gen_range(1e-12..1.0);
+                    t += -u.ln() / lambda.max(1e-9);
+                    t
+                }
             };
-            WorkloadItem { arrival_time, plan }
+            WorkloadItem::new(arrival_time, plan)
         })
         .collect()
 }
@@ -132,6 +159,36 @@ mod tests {
         let wl = gen_workload(&pool(), 30, ArrivalPattern::Batch, 3);
         assert_eq!(wl.len(), 30);
         assert!(wl.iter().all(|w| w.arrival_time == 0.0));
+    }
+
+    #[test]
+    fn bursty_arrivals_are_monotone_deterministic_and_denser_in_bursts() {
+        let pat = ArrivalPattern::Bursty {
+            base_lambda: 10.0,
+            burst_lambda: 200.0,
+            period: 1.0,
+            burst_fraction: 0.3,
+        };
+        let wl = gen_workload(&pool(), 1500, pat, 6);
+        assert_eq!(wl.len(), 1500);
+        for w in wl.windows(2) {
+            assert!(w[0].arrival_time <= w[1].arrival_time, "arrivals must be monotone");
+        }
+        let wl2 = gen_workload(&pool(), 1500, pat, 6);
+        for (a, b) in wl.iter().zip(&wl2) {
+            assert_eq!(a.arrival_time.to_bits(), b.arrival_time.to_bits());
+        }
+        // The burst phase (first 30% of each period) must hold far more
+        // than 30% of the arrivals — that's the whole point of the knob.
+        let in_burst = wl
+            .iter()
+            .filter(|w| (w.arrival_time % 1.0) < 0.3)
+            .count();
+        assert!(
+            in_burst as f64 > 0.6 * wl.len() as f64,
+            "only {in_burst}/{} arrivals landed in the burst window",
+            wl.len()
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ fn main() {
     // latencies differ, answers must not.
     let wl: Vec<WorkloadItem> = plans
         .iter()
-        .map(|p| WorkloadItem { arrival_time: 0.0, plan: Arc::clone(p) })
+        .map(|p| WorkloadItem::new(0.0, Arc::clone(p)))
         .collect();
     let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
         Box::new(FairScheduler::default()),

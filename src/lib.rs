@@ -48,18 +48,21 @@ pub use lsched_workloads as workloads;
 /// The most common imports in one place.
 pub mod prelude {
     pub use lsched_core::{
-        train, transfer_from, DecisionMode, ExperienceManager, LSchedConfig, LSchedModel,
-        LSchedScheduler, LSchedVariant, RewardConfig, TrainConfig,
+        train, train_with_checkpoints, transfer_from, CheckpointPolicy, DecisionMode,
+        ExperienceManager, LSchedConfig, LSchedModel, LSchedScheduler, LSchedVariant,
+        RewardConfig, TrainCheckpoint, TrainConfig,
     };
     pub use lsched_decima::{train_decima, DecimaConfig, DecimaModel, DecimaScheduler};
     pub use lsched_engine::{
         simulate, try_simulate, CostModel, Executor, FaultPlan, FaultSummary, PhysicalPlan,
-        PolicyHealth, QueryId, SchedContext, SchedDecision, SchedEvent, Scheduler, SimConfig,
-        SimError, SimResult, WorkloadItem,
+        PolicyHealth, QueryId, ResilienceSummary, RetryPolicy, SchedContext, SchedDecision,
+        SchedEvent, Scheduler, SimConfig, SimError, SimResult, WorkloadItem,
     };
+    pub use lsched_nn::{CheckpointError, CheckpointManager};
     pub use lsched_sched::{
-        CriticalPathScheduler, FairScheduler, FifoScheduler, GuardedScheduler, HpfScheduler,
-        QuickstepScheduler, SelfTuneScheduler, SjfScheduler,
+        Admission, AdmissionConfig, AdmissionStats, CriticalPathScheduler, FairScheduler,
+        FifoScheduler, GuardedScheduler, HpfScheduler, QuickstepScheduler, SelfTuneScheduler,
+        ShedPolicy, SjfScheduler,
     };
     pub use lsched_workloads::{gen_workload, split_train_test, ArrivalPattern, EpisodeSampler};
 }

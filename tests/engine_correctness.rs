@@ -132,7 +132,7 @@ fn real_engine_batch_under_multiple_policies() {
     ];
     let wl: Vec<WorkloadItem> = plans
         .iter()
-        .map(|p| WorkloadItem { arrival_time: 0.0, plan: Arc::clone(p) })
+        .map(|p| WorkloadItem::new(0.0, Arc::clone(p)))
         .collect();
     let exec = Executor::new(Arc::clone(&cat), 4);
     let mut schedulers: Vec<Box<dyn Scheduler>> = vec![

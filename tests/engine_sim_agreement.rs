@@ -41,7 +41,7 @@ fn single_query_cost_ordering_matches() {
     let sim: Vec<f64> = plans
         .iter()
         .map(|p| {
-            let wl = vec![WorkloadItem { arrival_time: 0.0, plan: Arc::clone(p) }];
+            let wl = vec![WorkloadItem::new(0.0, Arc::clone(p))];
             simulate(sim_cfg.clone(), &wl, &mut FifoScheduler).makespan
         })
         .collect();
@@ -88,7 +88,7 @@ fn policy_ordering_matches_across_substrates() {
     ];
     let wl: Vec<WorkloadItem> = plans
         .iter()
-        .map(|p| WorkloadItem { arrival_time: 0.0, plan: Arc::clone(p) })
+        .map(|p| WorkloadItem::new(0.0, Arc::clone(p)))
         .collect();
 
     // Real engine, 2 threads: both policies must complete the batch and

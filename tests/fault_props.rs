@@ -77,6 +77,45 @@ proptest! {
         }
     }
 
+    /// A worker rejoin scheduled at the same tick as a worker loss must
+    /// never double-count pool capacity: the drained pool size is exactly
+    /// `initial - lost + joined`, whatever order the two events pop in.
+    #[test]
+    fn same_tick_loss_and_rejoin_conserves_pool_capacity(
+        n_queries in 1usize..10,
+        threads in 3usize..10,
+        seed in 0u64..300,
+        which in 0u8..5,
+        k in 1usize..3,
+        tick in 0.01f64..0.2,
+    ) {
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, n_queries, ArrivalPattern::Batch, seed);
+        let faults = FaultPlan {
+            seed,
+            worker_loss: vec![(tick, k)],
+            worker_rejoin: vec![(tick, k)],
+            ..FaultPlan::default()
+        };
+        let cfg = SimConfig {
+            num_threads: threads,
+            seed,
+            faults: Some(faults),
+            ..Default::default()
+        };
+        let mut s = policy(which);
+        let res = try_simulate(cfg, &wl, s.as_mut()).expect("fault run must not error");
+        prop_assert_eq!(res.outcomes.len(), n_queries, "loss+rejoin must not abort queries");
+        let expected = threads as u64 - res.fault_summary.workers_lost
+            + res.fault_summary.workers_joined;
+        prop_assert_eq!(
+            res.final_pool_size as u64,
+            expected,
+            "pool capacity must balance: {:?}",
+            res.fault_summary
+        );
+    }
+
     /// Same seed, same plan: fault-injected runs are bit-identical.
     #[test]
     fn faulted_runs_are_bit_identical(
@@ -140,6 +179,123 @@ fn guarded_scheduler_absorbs_poisoned_model() {
     assert!(guard.stats().trips >= 1, "NaN policy must trip the breaker");
     assert!(guard.stats().fallback_events > 0);
     assert_eq!(guard.health(), PolicyHealth::Degraded, "guard off primary reports degraded");
+}
+
+/// Regression for the stale-clamp bug: a query cancelled while the
+/// breaker is in `Fallback(cooldown)` used to leave a live-context clamp
+/// failure behind — the first post-recovery decision naming it tripped
+/// the breaker again. The guard must instead drop such decisions
+/// silently and count them as `stale_decisions`.
+#[test]
+fn cancellation_during_cooldown_does_not_retrip_on_stale_decisions() {
+    use lsched::engine::OpId;
+
+    /// Panics once to open the breaker, then keeps re-issuing a decision
+    /// for every query it saw cancelled — modelling a stateful policy
+    /// whose cache missed a teardown during cooldown.
+    struct CachesCancelled {
+        seen: u32,
+        dead: Vec<QueryId>,
+        delegate: QuickstepScheduler,
+    }
+    impl Scheduler for CachesCancelled {
+        fn name(&self) -> String {
+            "caches_cancelled".into()
+        }
+        fn on_event(&mut self, ctx: &SchedContext<'_>, ev: &SchedEvent) -> Vec<SchedDecision> {
+            self.seen += 1;
+            if self.seen == 3 {
+                panic!("one-shot inference failure");
+            }
+            let mut ds = self.delegate.on_event(ctx, ev);
+            if let Some(&qid) = self.dead.last() {
+                if ctx.queries.iter().all(|q| q.qid != qid) {
+                    ds.push(SchedDecision {
+                        query: qid,
+                        root: OpId(0),
+                        pipeline_degree: 1,
+                        threads: 1,
+                    });
+                }
+            }
+            ds
+        }
+        fn on_query_cancelled(&mut self, _time: f64, query: QueryId) {
+            self.dead.push(query);
+        }
+    }
+
+    let pool = tpch::plan_pool(&[0.3]);
+    let mut wl = gen_workload(&pool, 10, ArrivalPattern::Batch, 13);
+    // The last query misses its SLO instantly: its deadline event fires
+    // at arrival, during the breaker's cooldown (opened by the panic at
+    // event 3, which is also an arrival in a batch workload).
+    wl[9] = wl[9].clone().with_deadline(0.0);
+    let inner = CachesCancelled { seen: 0, dead: Vec::new(), delegate: QuickstepScheduler };
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut guard = lsched::sched::GuardedScheduler::with_fallback(
+        inner,
+        QuickstepScheduler,
+        lsched::sched::GuardConfig { cooldown_events: 2, ..Default::default() },
+    );
+    let res = simulate(SimConfig { num_threads: 2, seed: 13, ..Default::default() }, &wl, &mut guard);
+    std::panic::set_hook(prev);
+    assert_eq!(res.outcomes.len() + res.aborted.len(), 10);
+    assert_eq!(res.resilience.deadline_timeouts, 1);
+    let stats = guard.stats();
+    assert_eq!(stats.panics, 1);
+    assert_eq!(stats.trips, 1, "only the panic may trip; stale decisions must not: {stats:?}");
+    assert!(stats.stale_decisions >= 1, "stale decisions must be counted: {stats:?}");
+    assert_eq!(stats.invalid_decisions, 0, "stale is not invalid: {stats:?}");
+    assert!(stats.recoveries >= 1, "the probe must succeed despite stale decisions");
+}
+
+/// Admission control and deadline enforcement layered on top of the
+/// standard fault matrix keep chaos runs bit-identical: neither path
+/// consumes fault-injection RNG.
+#[test]
+fn admission_and_deadlines_bit_identical_under_fault_matrix() {
+    use lsched::engine::RetryPolicy;
+    use lsched::sched::{Admission, AdmissionConfig};
+
+    let run = || {
+        let pool = tpch::plan_pool(&[0.3]);
+        let mut wl = gen_workload(&pool, 20, ArrivalPattern::Streaming { lambda: 60.0 }, 7);
+        for (i, w) in wl.iter_mut().enumerate() {
+            *w = w.clone().with_priority((i % 3) as i32).with_deadline(0.05 + 0.01 * i as f64);
+        }
+        let faults = FaultPlan::standard_matrix(7, 8, 20, 0.5);
+        let cfg = SimConfig {
+            num_threads: 8,
+            seed: 7,
+            faults: Some(faults),
+            retry: RetryPolicy { max_retries: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let gate = Admission::new(AdmissionConfig { max_queued: 4, resume_queued: 2, ..Default::default() });
+        let mut guard = lsched::sched::GuardedScheduler::new(QuickstepScheduler).with_admission(gate);
+        let res = try_simulate(cfg, &wl, &mut guard).unwrap();
+        let stats = guard.admission_stats().unwrap();
+        (res, stats)
+    };
+    let (r1, s1) = run();
+    let (r2, s2) = run();
+    assert_eq!(r1.makespan.to_bits(), r2.makespan.to_bits());
+    assert_eq!(r1.fault_summary, r2.fault_summary);
+    assert_eq!(r1.resilience, r2.resilience);
+    assert_eq!(s1, s2, "gate counters must be deterministic");
+    assert_eq!(r1.outcomes.len(), r2.outcomes.len());
+    assert_eq!(r1.aborted.len(), r2.aborted.len());
+    assert_eq!(
+        r1.outcomes.len() + r1.aborted.len(),
+        20,
+        "every planned query has exactly one final fate"
+    );
+    for (a, b) in r1.outcomes.iter().zip(r2.outcomes.iter()) {
+        assert_eq!(a.qid, b.qid);
+        assert_eq!(a.finish.to_bits(), b.finish.to_bits());
+    }
 }
 
 /// The breaker stays transparent when faults hammer a healthy heuristic:

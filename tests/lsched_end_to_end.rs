@@ -172,7 +172,7 @@ fn lsched_exploits_pipelining_decima_cannot() {
     b.connect(prev, agg, true);
     let fin = b.add_op(OpKind::FinalizeAggregate, OpSpec::Synthetic, vec![0], vec![5], 10.0, 1, 0.005, 1e5);
     b.connect(agg, fin, false);
-    let wl = vec![WorkloadItem { arrival_time: 0.0, plan: Arc::new(b.finish(fin)) }];
+    let wl = vec![WorkloadItem::new(0.0, Arc::new(b.finish(fin)))];
 
     /// Wrapper that records the max pipeline degree a scheduler emits.
     struct DegreeProbe<S> {

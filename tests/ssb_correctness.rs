@@ -60,10 +60,7 @@ fn ssb_q1_1_invariant_to_threads_and_policy() {
     };
     for threads in [2usize, 4] {
         let exec = Executor::new(Arc::clone(&cat), threads);
-        let wl = vec![WorkloadItem {
-            arrival_time: 0.0,
-            plan: ssb::q1_1_executable(&cat, &cost),
-        }];
+        let wl = vec![WorkloadItem::new(0.0, ssb::q1_1_executable(&cat, &cost))];
         for s in [
             Box::new(FairScheduler::default()) as Box<dyn Scheduler>,
             Box::new(CriticalPathScheduler),
