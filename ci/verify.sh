@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI verify job: the hard gates every change must pass before merge.
+#
+#   ./ci/verify.sh          # lint + PR6 perf/identity/allocation gates
+#   ./ci/verify.sh --full   # additionally: full test suite + chaos/overload
+#
+# Each gated binary prints PASS/FAIL, writes its JSON report, and exits
+# non-zero on any failed criterion; this script stops at the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gate 1/4: clippy -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== gate 2/4: build (release, count-allocs) =="
+cargo build --release -p lsched-bench --features count-allocs \
+    --bin sim_throughput --bin infer_latency
+
+echo "== gate 3/4: sim_throughput --mpl 1024 =="
+# Tick-batched event loop vs full-rescan reference at mpl 1024:
+# >=2x aggregate events/sec, bit-identical results (fault-free and
+# faulted), bursty-arrival decision-latency histogram within bounds,
+# zero steady-state allocations per event.
+target/release/sim_throughput --mpl 1024 --out BENCH_pr6.json
+
+echo "== gate 4/4: infer_latency (incl. batched section) =="
+# Tape vs tape-free identity + >=3x per-decision speedup, plus the
+# cross-event batched path: bit-identity (greedy + sampled) against the
+# sequential loop and zero steady-state allocations per batched pass.
+target/release/infer_latency --reps 100
+
+if [[ "${1:-}" == "--full" ]]; then
+    echo "== full: test suite =="
+    cargo test -q --workspace
+    echo "== full: chaos + overload gates =="
+    cargo build --release -p lsched-bench --bin chaos --bin overload
+    target/release/chaos
+    target/release/overload
+fi
+
+echo "verify: all gates passed"

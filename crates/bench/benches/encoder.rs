@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lsched_core::encoder::{EncoderConfig, EncoderKind, QueryEncoder};
 use lsched_core::features::{snapshot, FeatureConfig};
-use lsched_engine::scheduler::{QueryId, QueryRuntime, SchedContext};
+use lsched_engine::scheduler::{QueryHot, QueryId, QueryRuntime, SchedContext};
 use lsched_nn::{Graph, ParamStore};
 use lsched_workloads::tpch;
 use std::sync::Arc;
@@ -29,12 +29,14 @@ fn bench_encoder(c: &mut Criterion) {
             let cfg = EncoderConfig { hidden: 16, edge_hidden: 4, pqe_dim: 8, aqe_dim: 8, kind, ..Default::default() };
             let enc = QueryEncoder::new(&mut store, 1, "enc", cfg);
             let (queries, free) = make_ctx(nq);
+            let hot = QueryHot::from_queries(&queries);
             let ctx = SchedContext {
                 time: 0.0,
                 total_threads: 24,
                 free_threads: free.len(),
                 free_thread_ids: &free,
                 queries: &queries,
+                hot: &hot,
             };
             let snap = snapshot(&FeatureConfig::default(), &ctx);
             group.bench_with_input(

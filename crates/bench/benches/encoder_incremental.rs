@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lsched_core::encoder::{EncoderConfig, QueryEncoder};
 use lsched_core::features::{snapshot, snapshot_cached, FeatureConfig, SnapshotCache};
-use lsched_engine::scheduler::{QueryId, QueryRuntime, SchedContext};
+use lsched_engine::scheduler::{QueryHot, QueryId, QueryRuntime, SchedContext};
 use lsched_nn::{Graph, ParamStore};
 use lsched_workloads::tpch;
 use std::sync::Arc;
@@ -32,12 +32,14 @@ fn bench_encoder_incremental(c: &mut Criterion) {
         let enc = QueryEncoder::new(&mut store, 1, "enc", cfg);
         let fcfg = FeatureConfig::default();
         let (queries, free) = make_queries(nq);
+        let hot = QueryHot::from_queries(&queries);
         let ctx = SchedContext {
             time: 0.0,
             total_threads: 24,
             free_threads: free.len(),
             free_thread_ids: &free,
             queries: &queries,
+            hot: &hot,
         };
 
         // Feature-extraction stage in isolation: per-event snapshot with

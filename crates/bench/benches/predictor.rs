@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lsched_core::{snapshot, DecisionMode, FeatureConfig, LSchedConfig, LSchedModel};
-use lsched_engine::scheduler::{QueryId, QueryRuntime, SchedContext};
+use lsched_engine::scheduler::{QueryHot, QueryId, QueryRuntime, SchedContext};
 use lsched_workloads::tpch;
 use std::sync::Arc;
 
@@ -24,12 +24,14 @@ fn bench_decide(c: &mut Criterion) {
             .map(|i| QueryRuntime::new(QueryId(i as u64), Arc::clone(&pool[i % pool.len()]), 0.0, 24))
             .collect();
         let free: Vec<usize> = (0..12).collect();
+        let hot = QueryHot::from_queries(&queries);
         let ctx = SchedContext {
             time: 0.0,
             total_threads: 24,
             free_threads: free.len(),
             free_thread_ids: &free,
             queries: &queries,
+            hot: &hot,
         };
         let snap = snapshot(&FeatureConfig::default(), &ctx);
         group.bench_with_input(BenchmarkId::new("queries", nq), &snap, |b, snap| {

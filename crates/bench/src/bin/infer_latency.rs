@@ -1,9 +1,13 @@
 //! Per-decision latency of the tape-free inference path vs the autodiff
-//! tape, measured on identical scheduler snapshots, plus the PR's two
-//! hard acceptance checks: decisions must be bit-identical between the
-//! two paths, and (when built with `--features count-allocs`) the
+//! tape, measured on identical scheduler snapshots, plus the hard
+//! acceptance checks: decisions must be bit-identical between the two
+//! paths, and (when built with `--features count-allocs`) the
 //! steady-state inference path must perform **zero** heap allocations
-//! per decision.
+//! per decision. The `batched` section measures the cross-event path
+//! ([`LSchedModel::decide_infer_batch`]): one fused invocation over E
+//! snapshots must be bit-identical to E sequential `decide_infer` calls
+//! on the same rng stream (greedy and sampled), allocate nothing at
+//! steady state, and its latency vs the sequential loop is reported.
 //!
 //! ```text
 //! infer_latency [--reps N] [--snapshots N] [--out PATH]
@@ -19,10 +23,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use lsched_core::agent::{InferScratch, LSchedConfig, LSchedModel};
+use lsched_core::agent::{BatchInferScratch, InferScratch, LSchedConfig, LSchedModel};
 use lsched_core::features::{snapshot, SystemSnapshot};
 use lsched_core::predictor::DecisionMode;
-use lsched_engine::scheduler::{QueryId, QueryRuntime, SchedContext};
+use lsched_engine::scheduler::{QueryHot, QueryId, QueryRuntime, SchedContext};
 use lsched_workloads::tpch;
 
 #[cfg(feature = "count-allocs")]
@@ -48,7 +52,26 @@ struct Report {
     count_allocs_enabled: bool,
     steady_state_allocs: Option<u64>,
     arena_capacity_f32: usize,
+    batched: BatchedSection,
     passed: bool,
+}
+
+/// Cross-event batched inference ([`LSchedModel::decide_infer_batch`])
+/// measured against the sequential per-snapshot loop it replaces.
+#[derive(Debug, Serialize)]
+struct BatchedSection {
+    /// Events per batch (= number of snapshots fused per invocation).
+    events: usize,
+    identical: bool,
+    sampled_identical: bool,
+    /// Median wall time of one batched invocation over all events.
+    batch_median_us: f64,
+    /// Median wall time of the equivalent sequential `decide_infer` loop.
+    sequential_median_us: f64,
+    /// sequential / batched — the cross-event fusion win.
+    speedup: f64,
+    steady_state_allocs: Option<u64>,
+    arena_capacity_f32: usize,
 }
 
 /// Builds scheduler snapshots of growing multiprogramming level from the
@@ -66,12 +89,14 @@ fn build_snapshots(model: &LSchedModel, n: usize) -> Vec<SystemSnapshot> {
                 })
                 .collect();
             let free: Vec<usize> = (0..(2 + i % 7)).collect();
+            let hot = QueryHot::from_queries(&queries);
             let ctx = SchedContext {
                 time: 1.0 + i as f64,
                 total_threads: 8,
                 free_threads: free.len(),
                 free_thread_ids: &free,
                 queries: &queries,
+                hot: &hot,
             };
             snapshot(model.feature_config(), &ctx)
         })
@@ -219,14 +244,183 @@ fn main() {
         "per-decision latency: tape {tape_median_us:.1}us infer {infer_median_us:.1}us -> {speedup:.2}x (sink {sink:.3})"
     );
 
+    // -- Cross-event batch -------------------------------------------------
+    // One decide_infer_batch over every snapshot vs the sequential loop
+    // it replaces. Identity is checked against sequential decide_infer
+    // on the same rng stream and pick budget, greedy and sampled.
+    let budget = model.cfg.predictor.max_picks_per_event;
+    let snap_refs: Vec<&SystemSnapshot> = snapshots.iter().collect();
+    let mut bscratch = BatchInferScratch::new();
+    let mut bdecisions = Vec::new();
+    let mut bpicks = Vec::new();
+    let mut per_event: Vec<(usize, f32)> = Vec::new();
+
+    let mut batched_identical = true;
+    {
+        let mut seq_dec = Vec::new();
+        let mut seq_picks = Vec::new();
+        let mut seq_lps = Vec::new();
+        for snap in &snapshots {
+            let lp = model.decide_infer(
+                snap,
+                DecisionMode::Greedy,
+                None,
+                &mut scratch,
+                &mut decisions,
+                &mut picks,
+            );
+            seq_dec.extend(decisions.iter().cloned());
+            seq_picks.extend(picks.iter().cloned());
+            seq_lps.push((decisions.len(), lp));
+        }
+        model.decide_infer_batch(
+            &snap_refs,
+            DecisionMode::Greedy,
+            None,
+            budget,
+            &mut bscratch,
+            &mut bdecisions,
+            &mut bpicks,
+            &mut per_event,
+        );
+        batched_identical &= bdecisions == seq_dec && bpicks == seq_picks;
+        batched_identical &= per_event.len() == seq_lps.len()
+            && per_event.iter().zip(&seq_lps).all(|(&(n, lp), &(sn, slp))| {
+                n == sn && lp.to_bits() == slp.to_bits()
+            });
+    }
+    let mut batched_sampled_identical = true;
+    {
+        let mut rng_seq = StdRng::seed_from_u64(4242);
+        let mut rng_batch = StdRng::seed_from_u64(4242);
+        let mut seq_dec = Vec::new();
+        let mut seq_picks = Vec::new();
+        let mut seq_lps = Vec::new();
+        for snap in &snapshots {
+            let lp = model.decide_infer(
+                snap,
+                DecisionMode::Sample,
+                Some(&mut rng_seq),
+                &mut scratch,
+                &mut decisions,
+                &mut picks,
+            );
+            seq_dec.extend(decisions.iter().cloned());
+            seq_picks.extend(picks.iter().cloned());
+            seq_lps.push((decisions.len(), lp));
+        }
+        model.decide_infer_batch(
+            &snap_refs,
+            DecisionMode::Sample,
+            Some(&mut rng_batch),
+            budget,
+            &mut bscratch,
+            &mut bdecisions,
+            &mut bpicks,
+            &mut per_event,
+        );
+        batched_sampled_identical &= bdecisions == seq_dec && bpicks == seq_picks;
+        batched_sampled_identical &= per_event.len() == seq_lps.len()
+            && per_event.iter().zip(&seq_lps).all(|(&(n, lp), &(sn, slp))| {
+                n == sn && lp.to_bits() == slp.to_bits()
+            });
+    }
+
+    // Batched steady-state allocations: identity checks above warmed the
+    // batch arena across every event shape, same as the single-event path.
+    let batch_pass = |bscratch: &mut BatchInferScratch,
+                      bdecisions: &mut Vec<_>,
+                      bpicks: &mut Vec<_>,
+                      per_event: &mut Vec<(usize, f32)>| {
+        model.decide_infer_batch(
+            &snap_refs,
+            DecisionMode::Greedy,
+            None,
+            budget,
+            bscratch,
+            bdecisions,
+            bpicks,
+            per_event,
+        );
+        per_event.iter().map(|&(_, lp)| lp as f64).sum::<f64>()
+    };
+    for _ in 0..16 {
+        let _ = batch_pass(&mut bscratch, &mut bdecisions, &mut bpicks, &mut per_event);
+    }
+    #[cfg(feature = "count-allocs")]
+    let batched_steady_state_allocs = {
+        for _ in 0..48 {
+            let (n, _) = lsched_nn::alloc_count::allocations_during(|| {
+                batch_pass(&mut bscratch, &mut bdecisions, &mut bpicks, &mut per_event)
+            });
+            if n == 0 {
+                break;
+            }
+        }
+        let (n, _) = lsched_nn::alloc_count::allocations_during(|| {
+            batch_pass(&mut bscratch, &mut bdecisions, &mut bpicks, &mut per_event)
+        });
+        println!(
+            "batched steady-state allocations over one {}-event batch: {n}",
+            snapshots.len()
+        );
+        Some(n)
+    };
+    #[cfg(not(feature = "count-allocs"))]
+    let batched_steady_state_allocs: Option<u64> = None;
+
+    // Batched latency vs the sequential loop, interleaved like above.
+    let mut batch_times = Vec::with_capacity(reps);
+    let mut seq_times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        for snap in &snapshots {
+            sink += model.decide_infer(
+                snap,
+                DecisionMode::Greedy,
+                None,
+                &mut scratch,
+                &mut decisions,
+                &mut picks,
+            ) as f64;
+        }
+        seq_times.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        sink += batch_pass(&mut bscratch, &mut bdecisions, &mut bpicks, &mut per_event);
+        batch_times.push(t.elapsed().as_secs_f64());
+    }
+    let batch_median_us = median(&mut batch_times) * 1e6;
+    let sequential_median_us = median(&mut seq_times) * 1e6;
+    let batched_speedup = sequential_median_us / batch_median_us;
+    println!(
+        "batched pass over {} events: batch {batch_median_us:.1}us vs sequential \
+         {sequential_median_us:.1}us -> {batched_speedup:.2}x, identity={batched_identical} \
+         sampled_identity={batched_sampled_identical} (sink {sink:.3})",
+        snapshots.len()
+    );
+    let batched = BatchedSection {
+        events: snapshots.len(),
+        identical: batched_identical,
+        sampled_identical: batched_sampled_identical,
+        batch_median_us,
+        sequential_median_us,
+        speedup: batched_speedup,
+        steady_state_allocs: batched_steady_state_allocs,
+        arena_capacity_f32: bscratch.arena_capacity(),
+    };
+
     let passed = decisions_identical
         && sampled_decisions_identical
         && speedup >= MIN_SPEEDUP
-        && steady_state_allocs.is_none_or(|n| n == 0);
+        && steady_state_allocs.is_none_or(|n| n == 0)
+        && batched.identical
+        && batched.sampled_identical
+        && batched.steady_state_allocs.is_none_or(|n| n == 0);
 
     let report = Report {
         pr: 3,
-        title: "Tape-free batched inference path: latency, identity, allocations".into(),
+        title: "Tape-free and cross-event batched inference: latency, identity, allocations"
+            .into(),
         snapshots: snapshots.len(),
         reps,
         tape_median_us,
@@ -238,6 +432,7 @@ fn main() {
         count_allocs_enabled,
         steady_state_allocs,
         arena_capacity_f32: scratch.arena_capacity(),
+        batched,
         passed,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialization");

@@ -1,33 +1,49 @@
-//! Simulator event-loop throughput: the overhauled incremental event
+//! Simulator event-loop throughput: the tick-batched incremental event
 //! loop against the legacy full-rescan reference loop
 //! (`SimConfig::reference_mode`), measured in the same process on the
 //! same workloads, plus the PR's hard acceptance checks: `SimResult`
 //! must be bit-identical between the two loops for every (seed, policy)
 //! pair — fault-free and under `FaultPlan::standard_matrix` — and the
-//! fast loop must reach >= 2x the reference events/sec at 128 concurrent
-//! queries. When built with `--features count-allocs`, steady-state
-//! event processing must additionally perform zero heap allocations.
+//! fast loop must reach >= 2x the reference events/sec at 1024
+//! concurrent queries. Events/sec is reported both over loop time
+//! (wall minus `sched_wall_time`, isolating the event loop itself) and
+//! over total wall time, for every multiprogramming level. A
+//! decision-latency histogram (p50/p95/p99 ns per scheduler
+//! invocation, tick batches included) is collected for the guarded
+//! LSched policy under the overload bench's bursty arrival pattern.
+//! When built with `--features count-allocs`, steady-state event
+//! processing must additionally perform zero heap allocations.
 //!
 //! ```text
-//! sim_throughput [--threads N] [--out PATH]
+//! sim_throughput [--threads N] [--mpl N] [--out PATH]
 //! ```
 //!
-//! Writes a JSON report (default `BENCH_pr4.json`) and exits non-zero if
-//! any criterion fails.
+//! `--mpl N` restricts the sweep to a single multiprogramming level
+//! (the CI verify job runs `--mpl 1024`); the speedup gate then applies
+//! at that level. Writes a JSON report (default `BENCH_pr6.json`) and
+//! exits non-zero if any criterion fails.
 
 use std::time::Instant;
 
 use serde::Serialize;
 
+use lsched_core::{LSchedConfig, LSchedModel, LSchedScheduler};
 use lsched_engine::fault::FaultPlan;
-use lsched_engine::plan::{OpKind, OpSpec, PlanBuilder};
-use lsched_engine::scheduler::{SchedContext, SchedDecision, SchedEvent, Scheduler};
-use lsched_engine::sim::{try_simulate, SimConfig, SimResult, WorkloadItem};
+use lsched_engine::scheduler::{
+    AdmissionResponse, PolicyHealth, QueryId, SchedContext, SchedDecision, SchedEvent, Scheduler,
+};
+use lsched_engine::sim::{try_simulate, SimConfig, SimResult};
 use lsched_sched::{
-    CriticalPathScheduler, FairScheduler, FifoScheduler, QuickstepScheduler, SjfScheduler,
+    CriticalPathScheduler, FairScheduler, FifoScheduler, GuardedScheduler, QuickstepScheduler,
+    SjfScheduler,
 };
 use lsched_workloads::tpch;
 use lsched_workloads::workload::{gen_workload, ArrivalPattern};
+
+#[cfg(feature = "count-allocs")]
+use lsched_engine::plan::{OpKind, OpSpec, PlanBuilder};
+#[cfg(feature = "count-allocs")]
+use lsched_engine::sim::WorkloadItem;
 
 #[cfg(feature = "count-allocs")]
 #[global_allocator]
@@ -39,7 +55,12 @@ static ALLOC: lsched_nn::alloc_count::CountingAllocator =
 const MIN_SPEEDUP: f64 = 2.0;
 /// Concurrent-query levels (batch arrivals, so the whole set is in
 /// flight together).
-const MPLS: [usize; 3] = [8, 32, 128];
+const MPLS: [usize; 4] = [8, 32, 128, 1024];
+/// Decision-latency p99 ceiling for the bursty-arrival histogram. The
+/// tiny-model guarded LSched stack decides in tens of microseconds;
+/// the generous bound catches order-of-magnitude regressions without
+/// being sensitive to machine noise.
+const MAX_P99_NS: u64 = 250_000_000;
 
 #[derive(Debug, Serialize)]
 struct PolicyRun {
@@ -50,16 +71,41 @@ struct PolicyRun {
     fast_s: f64,
     reference_s: f64,
     /// Wall time minus `sched_wall_time`: the event loop proper. The
-    /// policy runs identical code in both modes, so events/sec is
-    /// computed over loop time to measure what the overhaul changed.
+    /// policy runs identical code in both modes, so the headline
+    /// events/sec is computed over loop time to measure what the
+    /// overhaul changed; the `_total` fields below report the same
+    /// ratios over full wall time (policy included) so neither view
+    /// under- nor over-states the win at low mpl.
     fast_loop_s: f64,
     reference_loop_s: f64,
     fast_events_per_sec: f64,
     reference_events_per_sec: f64,
     speedup: f64,
+    fast_events_per_sec_total: f64,
+    reference_events_per_sec_total: f64,
+    speedup_total: f64,
     episodes_per_sec: f64,
     identical: bool,
     identical_under_faults: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct LatencyHistogram {
+    policy: String,
+    queries: usize,
+    arrival: String,
+    /// Total timed scheduler invocations (per-event + accepted ticks).
+    invocations: usize,
+    /// Tick batches accepted by the policy (each is one invocation
+    /// covering every deferred event of its timestamp).
+    tick_batches: u64,
+    per_event_invocations: u64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+    mean_ns: u64,
+    max_p99_ns: u64,
 }
 
 #[derive(Debug, Serialize)]
@@ -69,8 +115,10 @@ struct Report {
     threads: usize,
     runs: Vec<PolicyRun>,
     speedup_at_max_mpl: f64,
+    max_mpl: usize,
     min_speedup_required: f64,
     all_identical: bool,
+    decision_latency_histogram: LatencyHistogram,
     count_allocs_enabled: bool,
     steady_state_allocs: Option<u64>,
     passed: bool,
@@ -113,13 +161,150 @@ fn identical(a: &SimResult, b: &SimResult) -> bool {
         && a.aborted.iter().zip(&b.aborted).all(|(x, y)| outcome_eq(x, y))
 }
 
+/// Decorator timing every scheduler invocation — per-event calls and
+/// accepted tick batches both count as one invocation each, since
+/// that is the unit of decision latency a query arrival experiences.
+struct Timed<S: Scheduler> {
+    inner: S,
+    samples_ns: Vec<u64>,
+    tick_batches: u64,
+    per_event: u64,
+}
+
+impl<S: Scheduler> Timed<S> {
+    fn new(inner: S) -> Self {
+        Self { inner, samples_ns: Vec::new(), tick_batches: 0, per_event: 0 }
+    }
+}
+
+impl<S: Scheduler> Scheduler for Timed<S> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn on_event(&mut self, ctx: &SchedContext<'_>, event: &SchedEvent) -> Vec<SchedDecision> {
+        let t0 = Instant::now();
+        let ds = self.inner.on_event(ctx, event);
+        self.samples_ns.push(t0.elapsed().as_nanos() as u64);
+        self.per_event += 1;
+        ds
+    }
+    fn on_tick(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        events: &[SchedEvent],
+    ) -> Option<Vec<SchedDecision>> {
+        let t0 = Instant::now();
+        let ds = self.inner.on_tick(ctx, events);
+        // Declined batches are redelivered per event and timed there.
+        if ds.is_some() {
+            self.samples_ns.push(t0.elapsed().as_nanos() as u64);
+            self.tick_batches += 1;
+        }
+        ds
+    }
+    fn admit(&mut self, ctx: &SchedContext<'_>, arriving: QueryId, attempt: u32) -> AdmissionResponse {
+        self.inner.admit(ctx, arriving, attempt)
+    }
+    fn on_decision_executed(&mut self, ctx: &SchedContext<'_>, decision: &SchedDecision) {
+        self.inner.on_decision_executed(ctx, decision);
+    }
+    fn on_query_finished(&mut self, time: f64, query: QueryId) {
+        self.inner.on_query_finished(time, query);
+    }
+    fn on_query_cancelled(&mut self, time: f64, query: QueryId) {
+        self.inner.on_query_cancelled(time, query);
+    }
+    fn health(&self) -> PolicyHealth {
+        self.inner.health()
+    }
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Small inference model matching the scale used by the overload and
+/// training benches: big enough to exercise every head, cheap enough
+/// that the histogram run measures scheduling, not GEMM time.
+fn tiny_model(seed: u64) -> LSchedModel {
+    let mut cfg = LSchedConfig::default();
+    cfg.encoder.hidden = 10;
+    cfg.encoder.edge_hidden = 4;
+    cfg.encoder.pqe_dim = 6;
+    cfg.encoder.aqe_dim = 6;
+    cfg.encoder.conv_layers = 2;
+    cfg.predictor.max_degree = 4;
+    cfg.predictor.max_threads = 16;
+    LSchedModel::new(cfg, seed)
+}
+
+/// Decision latency of the full production stack (guard + LSched
+/// batched inference) under the overload bench's bursty arrivals.
+fn latency_histogram(threads: usize, queries: usize) -> LatencyHistogram {
+    let pool = tpch::plan_pool(&[0.3]);
+    let seed = 17;
+
+    // Capacity estimate from a cheap batch run, exactly as the overload
+    // bench derives its burst intensities.
+    let probe = gen_workload(&pool, queries.min(64), ArrivalPattern::Batch, seed);
+    let cfg = SimConfig { num_threads: threads, seed, ..Default::default() };
+    let base = try_simulate(cfg.clone(), &probe, &mut QuickstepScheduler)
+        .expect("capacity probe cannot error");
+    let capacity_qps = probe.len() as f64 / base.makespan.max(1e-9);
+
+    let arrival = ArrivalPattern::Bursty {
+        base_lambda: capacity_qps * 0.4,
+        burst_lambda: capacity_qps * 3.0,
+        period: 8.0 / capacity_qps.max(1e-9),
+        burst_fraction: 0.25,
+    };
+    let wl = gen_workload(&pool, queries, arrival, seed);
+
+    let mut timed = Timed::new(GuardedScheduler::new(LSchedScheduler::greedy(tiny_model(seed))));
+    let res = try_simulate(cfg, &wl, &mut timed).expect("bursty run cannot error");
+    assert_eq!(res.outcomes.len() + res.aborted.len(), queries);
+
+    let mut samples = std::mem::take(&mut timed.samples_ns);
+    samples.sort_unstable();
+    let mean = if samples.is_empty() {
+        0
+    } else {
+        samples.iter().sum::<u64>() / samples.len() as u64
+    };
+    LatencyHistogram {
+        policy: "guarded_lsched_greedy".into(),
+        queries,
+        arrival: format!(
+            "bursty(base 0.4x, burst 3.0x of {capacity_qps:.1} qps capacity, 25% duty)"
+        ),
+        invocations: samples.len(),
+        tick_batches: timed.tick_batches,
+        per_event_invocations: timed.per_event,
+        p50_ns: percentile(&samples, 50.0),
+        p95_ns: percentile(&samples, 95.0),
+        p99_ns: percentile(&samples, 99.0),
+        max_ns: samples.last().copied().unwrap_or(0),
+        mean_ns: mean,
+        max_p99_ns: MAX_P99_NS,
+    }
+}
+
 /// One-shot policy for the allocation run pair: a single decision at
 /// arrival, then silence (`Vec::new()` never allocates), so every event
 /// past warm-up exercises only the steady-state dispatch/completion path.
+#[cfg(feature = "count-allocs")]
 struct OneShot {
     fired: bool,
 }
 
+#[cfg(feature = "count-allocs")]
 impl Scheduler for OneShot {
     fn name(&self) -> String {
         "one_shot".into()
@@ -139,6 +324,7 @@ impl Scheduler for OneShot {
 
 /// A one-operator workload with `wos` work orders: after the single
 /// arrival-time decision, the run is a pure stream of `WoDone` events.
+#[cfg(feature = "count-allocs")]
 fn single_op_workload(wos: u32) -> Vec<WorkloadItem> {
     let mut b = PlanBuilder::new("alloc_probe");
     let scan =
@@ -168,22 +354,26 @@ fn main() {
             .unwrap_or(default)
     };
     let threads = grab("--threads", 16) as usize;
+    let only_mpl = grab("--mpl", 0) as usize;
     let out = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_pr4.json".into());
+        .unwrap_or_else(|| "BENCH_pr6.json".into());
+
+    let mpls: Vec<usize> =
+        if only_mpl > 0 { vec![only_mpl] } else { MPLS.to_vec() };
 
     let pool = tpch::plan_pool(&[2.0, 10.0]);
     let mut runs = Vec::new();
     let mut all_identical = true;
 
     println!(
-        "sim_throughput: mpl {MPLS:?} x {} policies, {threads} threads, fast vs reference loop",
+        "sim_throughput: mpl {mpls:?} x {} policies, {threads} threads, fast vs reference loop",
         POLICIES.len()
     );
-    for &mpl in &MPLS {
+    for &mpl in &mpls {
         let seed = mpl as u64;
         let wl = gen_workload(&pool, mpl, ArrivalPattern::Batch, seed);
         for name in POLICIES {
@@ -223,12 +413,17 @@ fn main() {
             let fast_eps = fast.events_processed as f64 / fast_loop_s;
             let ref_eps = reference.events_processed as f64 / reference_loop_s;
             let speedup = fast_eps / ref_eps;
+            let fast_eps_total = fast.events_processed as f64 / fast_s.max(1e-9);
+            let ref_eps_total = reference.events_processed as f64 / reference_s.max(1e-9);
+            let speedup_total = fast_eps_total / ref_eps_total;
             println!(
-                "mpl {mpl:>3} {name:<13} {:>8} events: fast {:>9.0} ev/s, reference {:>9.0} ev/s \
-                 ({speedup:.2}x){}{}",
+                "mpl {mpl:>4} {name:<13} {:>8} events: loop {:>10.0} vs {:>10.0} ev/s \
+                 ({speedup:.2}x), total {:>10.0} vs {:>10.0} ev/s ({speedup_total:.2}x){}{}",
                 fast.events_processed,
                 fast_eps,
                 ref_eps,
+                fast_eps_total,
+                ref_eps_total,
                 if id { "" } else { "  MISMATCH" },
                 if fid { "" } else { "  FAULT-MISMATCH" },
             );
@@ -244,6 +439,9 @@ fn main() {
                 fast_events_per_sec: fast_eps,
                 reference_events_per_sec: ref_eps,
                 speedup,
+                fast_events_per_sec_total: fast_eps_total,
+                reference_events_per_sec_total: ref_eps_total,
+                speedup_total,
                 episodes_per_sec: 1.0 / fast_s,
                 identical: id,
                 identical_under_faults: fid,
@@ -252,8 +450,8 @@ fn main() {
     }
 
     // Aggregate speedup at the highest multiprogramming level: total
-    // events over total wall time, fast vs reference, across policies.
-    let max_mpl = *MPLS.iter().max().unwrap();
+    // events over total loop time, fast vs reference, across policies.
+    let max_mpl = *mpls.iter().max().unwrap();
     let (ev, fs, rs) = runs
         .iter()
         .filter(|r| r.mpl == max_mpl)
@@ -261,7 +459,18 @@ fn main() {
             (e + run.events, f + run.fast_loop_s, r + run.reference_loop_s)
         });
     let speedup_at_max_mpl = (ev as f64 / fs) / (ev as f64 / rs);
-    println!("aggregate speedup at mpl {max_mpl}: {speedup_at_max_mpl:.2}x (required >= {MIN_SPEEDUP:.1}x)");
+    println!(
+        "aggregate speedup at mpl {max_mpl}: {speedup_at_max_mpl:.2}x \
+         (required >= {MIN_SPEEDUP:.1}x)"
+    );
+
+    let hist = latency_histogram(threads, 256);
+    println!(
+        "decision latency under bursty arrivals ({} invocations, {} tick batches): \
+         p50 {}ns p95 {}ns p99 {}ns max {}ns",
+        hist.invocations, hist.tick_batches, hist.p50_ns, hist.p95_ns, hist.p99_ns, hist.max_ns
+    );
+    let hist_ok = hist.invocations > 0 && hist.p99_ns <= MAX_P99_NS;
 
     // Zero steady-state allocations: two runs differing only in
     // work-order count. The first 20k events cover every warm-up
@@ -285,17 +494,20 @@ fn main() {
 
     let passed = all_identical
         && speedup_at_max_mpl >= MIN_SPEEDUP
+        && hist_ok
         && steady_state_allocs.is_none_or(|n| n == 0);
 
     let report = Report {
-        pr: 4,
-        title: "Incremental frontier and event-loop overhaul: throughput, identity, allocations"
+        pr: 6,
+        title: "Tick-batched event loop and SoA core: throughput, decision latency, identity"
             .into(),
         threads,
         runs,
         speedup_at_max_mpl,
+        max_mpl,
         min_speedup_required: MIN_SPEEDUP,
         all_identical,
+        decision_latency_histogram: hist,
         count_allocs_enabled,
         steady_state_allocs,
         passed,

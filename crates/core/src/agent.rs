@@ -15,7 +15,8 @@ use lsched_nn::{Backend, Graph, InferCtx, ParamStore, ValId};
 use crate::encoder::{EncodeScratch, EncoderConfig, QueryEncoder};
 use crate::features::{snapshot_cached, FeatureConfig, SnapshotCache, SystemSnapshot};
 use crate::predictor::{
-    DecisionMode, PickTrace, PredictScratch, PredictorConfig, SchedulingPredictor,
+    BatchPredictScratch, DecisionMode, EventOutcome, PickTrace, PredictScratch, PredictorConfig,
+    SchedulingPredictor,
 };
 
 /// Full agent configuration.
@@ -143,6 +144,71 @@ impl LSchedModel {
         b.value(lp)[0]
     }
 
+    /// Runs encoder + predictor for several independent same-tick
+    /// snapshots in one fused inference call (the cross-event batch
+    /// path). Every event's candidate root scores come out of a single
+    /// [`lsched_nn::Backend::mlp_scores_batched`] call — one GEMM per
+    /// layer across all events — and the per-event pick loops consume
+    /// `rng` in event order, so results are bit-identical to calling
+    /// [`decide_infer`](Self::decide_infer) per snapshot in the same
+    /// order with the same rng stream and pick budget.
+    ///
+    /// Decisions and picks accumulate flat in event order (cleared
+    /// first); `per_event[e]` receives `(decision count, log-prob)` for
+    /// event `e`. Steady-state calls allocate nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_infer_batch(
+        &self,
+        snaps: &[&SystemSnapshot],
+        mode: DecisionMode,
+        rng: Option<&mut StdRng>,
+        max_picks_per_event: usize,
+        scratch: &mut BatchInferScratch,
+        decisions: &mut Vec<SchedDecision>,
+        picks: &mut Vec<PickTrace>,
+        per_event: &mut Vec<(usize, f32)>,
+    ) {
+        decisions.clear();
+        picks.clear();
+        per_event.clear();
+        if snaps.is_empty() {
+            return;
+        }
+        let BatchInferScratch { ctx, encs, pred, aqes, outcomes } = scratch;
+        while encs.len() < snaps.len() {
+            encs.push(EncodeScratch::new());
+        }
+        let mut b = ctx.session(&self.store);
+        aqes.clear();
+        for (e, &snap) in snaps.iter().enumerate() {
+            let aqe = if snap.queries.is_empty() {
+                // Nothing to encode; the pick loop never runs for this
+                // event, so any valid handle stands in for the AQE.
+                encs[e].clear();
+                b.scalar(0.0)
+            } else {
+                self.encoder.encode_system_on(&mut b, snap, &mut encs[e])
+            };
+            aqes.push(aqe);
+        }
+        self.predictor.decide_batch_on(
+            &mut b,
+            snaps,
+            &encs[..snaps.len()],
+            aqes,
+            mode,
+            rng,
+            max_picks_per_event,
+            pred,
+            decisions,
+            picks,
+            outcomes,
+        );
+        for o in outcomes.iter() {
+            per_event.push((o.n_decisions, b.value(o.logprob)[0]));
+        }
+    }
+
     /// Serializes the parameters to JSON (checkpointing).
     pub fn params_json(&self) -> String {
         self.store.to_json()
@@ -168,6 +234,32 @@ pub struct InferScratch {
 }
 
 impl InferScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current capacity of the value arena in `f32` slots (diagnostics).
+    pub fn arena_capacity(&self) -> usize {
+        self.ctx.arena_capacity()
+    }
+}
+
+/// Reusable state of the cross-event batched decision path
+/// ([`LSchedModel::decide_infer_batch`]): one evaluation arena shared by
+/// all events of a tick, one [`EncodeScratch`] per event slot, and the
+/// flat batch predictor scratch. After warm-up at a given event count,
+/// batched decisions perform zero heap allocations.
+#[derive(Debug, Default)]
+pub struct BatchInferScratch {
+    ctx: InferCtx,
+    encs: Vec<EncodeScratch<ValId>>,
+    pred: BatchPredictScratch<ValId>,
+    aqes: Vec<ValId>,
+    outcomes: Vec<EventOutcome<ValId>>,
+}
+
+impl BatchInferScratch {
     /// An empty scratch (buffers grow on first use).
     pub fn new() -> Self {
         Self::default()
@@ -210,6 +302,10 @@ pub struct LSchedScheduler {
     /// Reusable tape-free evaluation state (arena + id pools); decisions
     /// run through [`LSchedModel::decide_infer`], not the autodiff tape.
     infer: InferScratch,
+    /// Reusable state of the tick-batch path ([`Scheduler::on_tick`]).
+    batch: BatchInferScratch,
+    /// Per-event `(decision count, log-prob)` scratch for the tick path.
+    tick_outcomes: Vec<(usize, f32)>,
     /// Whether the last forward pass produced a non-finite log-prob —
     /// the signature of NaN logits. Polled by guarding wrappers via
     /// [`Scheduler::health`].
@@ -226,6 +322,8 @@ impl LSchedScheduler {
             steps: Vec::new(),
             cache: SnapshotCache::new(),
             infer: InferScratch::new(),
+            batch: BatchInferScratch::new(),
+            tick_outcomes: Vec::new(),
             degraded: false,
         }
     }
@@ -321,6 +419,56 @@ impl Scheduler for LSchedScheduler {
             });
         }
         decisions
+    }
+
+    fn on_tick(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        events: &[SchedEvent],
+    ) -> Option<Vec<SchedDecision>> {
+        if events.is_empty() {
+            return Some(Vec::new());
+        }
+        // Every event of a tick fires at the same instant against the
+        // same post-tick state, so one snapshot + one encode serve the
+        // whole batch; the pick budget scales with the event count so
+        // the batch can admit as many pipelines as the events could
+        // have sequentially, capped to keep worst-case tick latency
+        // bounded under bursty arrivals.
+        const MAX_TICK_PICKS: usize = 32;
+        let per_event = self.model.cfg.predictor.max_picks_per_event;
+        let budget = (events.len() * per_event).min(MAX_TICK_PICKS.max(per_event));
+        let snap = snapshot_cached(self.model.feature_config(), ctx, &mut self.cache);
+        let rng = match self.mode {
+            DecisionMode::Sample => Some(&mut self.rng),
+            DecisionMode::Greedy => None,
+        };
+        let mut decisions = Vec::new();
+        let mut picks = Vec::new();
+        self.model.decide_infer_batch(
+            &[&snap],
+            self.mode,
+            rng,
+            budget,
+            &mut self.batch,
+            &mut decisions,
+            &mut picks,
+            &mut self.tick_outcomes,
+        );
+        let lp_value = self.tick_outcomes.first().map_or(0.0, |&(_, lp)| lp);
+        self.degraded = !lp_value.is_finite();
+        if self.degraded {
+            return Some(Vec::new());
+        }
+        if self.recording && !picks.is_empty() {
+            self.steps.push(EpisodeStep {
+                snapshot: snap,
+                picks,
+                time: ctx.time,
+                num_queries: ctx.queries.len(),
+            });
+        }
+        Some(decisions)
     }
 
     fn on_query_finished(&mut self, _time: f64, query: QueryId) {

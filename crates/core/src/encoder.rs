@@ -118,12 +118,12 @@ pub struct EncodeScratch<I> {
     queries: Vec<QueryEncoding<I>>,
     /// Retired `(node_emb, edge_emb)` vector pairs awaiting reuse. Whole
     /// `QueryEncoding`s can't be pooled because `pqe` has no default.
-    spare: Vec<(Vec<I>, Vec<I>)>,
+    spare: lsched_util::Pool<(Vec<I>, Vec<I>)>,
 }
 
 impl<I> Default for EncodeScratch<I> {
     fn default() -> Self {
-        Self { queries: Vec::new(), spare: Vec::new() }
+        Self { queries: Vec::new(), spare: lsched_util::Pool::new() }
     }
 }
 
@@ -137,6 +137,16 @@ impl<I> EncodeScratch<I> {
     /// [`QueryEncoder::encode_system_on`] call.
     pub fn queries(&self) -> &[QueryEncoding<I>] {
         &self.queries
+    }
+
+    /// Retires every per-query encoding into the spare pool, leaving the
+    /// scratch as if it had encoded an empty system (its capacity is
+    /// kept). The cross-event batch path uses this for events whose
+    /// snapshot holds no queries, which never reach the encoder.
+    pub fn clear(&mut self) {
+        for qe in self.queries.drain(..) {
+            self.spare.put((qe.node_emb, qe.edge_emb));
+        }
     }
 }
 
@@ -409,11 +419,9 @@ impl QueryEncoder {
     ) -> B::Id {
         assert!(!snap.queries.is_empty(), "encode_system needs at least one query");
         // Retire last call's per-query vectors so their capacity is reused.
-        for qe in scratch.queries.drain(..) {
-            scratch.spare.push((qe.node_emb, qe.edge_emb));
-        }
+        scratch.clear();
         for qs in &snap.queries {
-            let (mut node_emb, mut edge_emb) = scratch.spare.pop().unwrap_or_default();
+            let (mut node_emb, mut edge_emb) = scratch.spare.take();
             let pqe = self.encode_query_on(b, qs, &mut node_emb, &mut edge_emb);
             scratch.queries.push(QueryEncoding { node_emb, edge_emb, pqe });
         }
@@ -467,12 +475,14 @@ mod tests {
             })
             .collect();
         let free = [0usize, 1, 2, 3];
+        let hot = lsched_engine::scheduler::QueryHot::from_queries(&queries);
         let ctx = SchedContext {
             time: 0.0,
             total_threads: 8,
             free_threads: 4,
             free_thread_ids: &free,
             queries: &queries,
+            hot: &hot,
         };
         snapshot(&FeatureConfig::default(), &ctx)
     }

@@ -291,6 +291,13 @@ impl SystemSnapshot {
     /// first), so the inference hot path can reuse its capacity.
     pub fn candidates_into(&self, out: &mut Vec<(usize, usize)>) {
         out.clear();
+        self.candidates_into_append(out);
+    }
+
+    /// [`SystemSnapshot::candidates_into`] without the clear: appends
+    /// this snapshot's pairs, so the cross-event batch path can pack
+    /// several events' candidate tables into one flat vector.
+    pub fn candidates_into_append(&self, out: &mut Vec<(usize, usize)>) {
         for (qi, q) in self.queries.iter().enumerate() {
             for si in 0..q.schedulable.len() {
                 out.push((qi, si));
@@ -526,12 +533,14 @@ mod tests {
         let q = demo_query();
         let queries = vec![q];
         let free = [0usize, 1, 2];
+        let hot = lsched_engine::scheduler::QueryHot::from_queries(&queries);
         let ctx = SchedContext {
             time: 1.5,
             total_threads: 8,
             free_threads: 3,
             free_thread_ids: &free,
             queries: &queries,
+            hot: &hot,
         };
         let snap = snapshot(&cfg, &ctx);
         assert_eq!(snap.queries.len(), 1);
@@ -563,12 +572,14 @@ mod tests {
         let cfg = FeatureConfig::default();
         let queries = vec![demo_query()];
         let free = [0usize, 1];
+        let hot = lsched_engine::scheduler::QueryHot::from_queries(&queries);
         let ctx = SchedContext {
             time: 0.5,
             total_threads: 8,
             free_threads: 2,
             free_thread_ids: &free,
             queries: &queries,
+            hot: &hot,
         };
         let mut cache = SnapshotCache::new();
         let fresh = snapshot(&cfg, &ctx);

@@ -33,7 +33,9 @@ pub mod train;
 pub mod transfer;
 
 pub use ablation::{config_for_variant, model_for_variant, LSchedVariant};
-pub use agent::{EpisodeStep, InferScratch, LSchedConfig, LSchedModel, LSchedScheduler};
+pub use agent::{
+    BatchInferScratch, EpisodeStep, InferScratch, LSchedConfig, LSchedModel, LSchedScheduler,
+};
 pub use encoder::{EncoderConfig, EncoderKind, QueryEncoder};
 pub use experience::{ExperienceManager, ExperienceSource, RewardExperience};
 pub use online::{OnlineConfig, OnlineLSched};

@@ -18,7 +18,7 @@ use lsched_engine::plan::OpId;
 use lsched_engine::scheduler::SchedDecision;
 use lsched_nn::{Activation, Backend, Graph, Mlp, NodeId, ParamStore, TapeBackend};
 
-use crate::encoder::{QueryEncoding, SystemEncoding};
+use crate::encoder::{EncodeScratch, QueryEncoding, SystemEncoding};
 use crate::features::{QuerySnapshot, SystemSnapshot};
 
 /// Predictor hyper-parameters.
@@ -100,6 +100,59 @@ impl<I> PredictScratch<I> {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// Reusable storage for [`SchedulingPredictor::decide_batch_on`]: the
+/// flat cross-event candidate tables (offset table into the shared
+/// candidate list, per-segment lengths for the fused GEMM, per-segment
+/// score handles) plus the per-event bookkeeping vectors.
+#[derive(Debug)]
+pub struct BatchPredictScratch<I> {
+    cands: Vec<(usize, usize)>,
+    /// `cands[cand_offsets[e]..cand_offsets[e + 1]]` is event `e`'s slice.
+    cand_offsets: Vec<usize>,
+    /// Candidate counts of the *non-empty* events, in event order — the
+    /// segment-length table handed to [`Backend::mlp_scores_batched`].
+    seg_lens: Vec<usize>,
+    seg_scores: Vec<I>,
+    available: Vec<bool>,
+    root_inputs: Vec<I>,
+    pipe_inputs: Vec<I>,
+    logprob_terms: Vec<I>,
+}
+
+impl<I> Default for BatchPredictScratch<I> {
+    fn default() -> Self {
+        Self {
+            cands: Vec::new(),
+            cand_offsets: Vec::new(),
+            seg_lens: Vec::new(),
+            seg_scores: Vec::new(),
+            available: Vec::new(),
+            root_inputs: Vec::new(),
+            pipe_inputs: Vec::new(),
+            logprob_terms: Vec::new(),
+        }
+    }
+}
+
+impl<I> BatchPredictScratch<I> {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Per-event span of [`SchedulingPredictor::decide_batch_on`]'s flat
+/// output: how many decisions/picks belong to this event (they always
+/// count the same, one pick trace per decision) and the backend handle
+/// of the event's total log-probability.
+#[derive(Debug, Clone, Copy)]
+pub struct EventOutcome<I> {
+    /// Number of decisions (= pick traces) this event contributed.
+    pub n_decisions: usize,
+    /// Handle of the event's summed log-probability.
+    pub logprob: I,
 }
 
 /// Picks an index among the valid entries of a log-softmax vector.
@@ -287,7 +340,7 @@ impl SchedulingPredictor {
         enc_queries: &[QueryEncoding<B::Id>],
         aqe: B::Id,
         mode: DecisionMode,
-        mut rng: Option<&mut StdRng>,
+        rng: Option<&mut StdRng>,
         forced: Option<&[PickTrace]>,
         scratch: &mut PredictScratch<B::Id>,
         decisions: &mut Vec<SchedDecision>,
@@ -298,12 +351,55 @@ impl SchedulingPredictor {
         let PredictScratch { cands, available, root_inputs, pipe_inputs, logprob_terms } =
             scratch;
         snap.candidates_into(cands);
-        available.clear();
-        available.resize(cands.len(), true);
-        let mut free = snap.free_threads;
         logprob_terms.clear();
+        root_inputs.clear();
+        pipe_inputs.clear();
+        Self::build_head_inputs_on(b, snap, enc_queries, cands, root_inputs, pipe_inputs);
 
-        // Precompute per-candidate head inputs (reused across picks).
+        let max_iters = if let Some(f) = forced { f.len() } else { self.cfg.max_picks_per_event };
+        if !cands.is_empty() {
+            // All candidate scores in one batched pass; on the tape this
+            // decomposes per candidate, keeping gradients unchanged.
+            let cand_scores = b.mlp_scores(&self.root_head, root_inputs);
+            self.run_picks_on(
+                b,
+                snap,
+                enc_queries,
+                aqe,
+                cand_scores,
+                cands,
+                pipe_inputs,
+                available,
+                mode,
+                rng,
+                forced,
+                max_iters,
+                logprob_terms,
+                decisions,
+                picks,
+            );
+        }
+
+        if logprob_terms.is_empty() {
+            b.scalar(0.0)
+        } else {
+            let s = b.concat(logprob_terms);
+            b.sum_elems(s)
+        }
+    }
+
+    /// Builds the per-candidate root-head and pipeline-head inputs for
+    /// one event's candidate list, appending to `root_inputs` /
+    /// `pipe_inputs` (not cleared — the cross-event batch path
+    /// accumulates several events' rows into one flat table).
+    fn build_head_inputs_on<B: Backend>(
+        b: &mut B,
+        snap: &SystemSnapshot,
+        enc_queries: &[QueryEncoding<B::Id>],
+        cands: &[(usize, usize)],
+        root_inputs: &mut Vec<B::Id>,
+        pipe_inputs: &mut Vec<B::Id>,
+    ) {
         let edge_dim = if snap.queries.iter().all(|q| q.edf().is_empty()) {
             // Degenerate single-op plans: derive from encoder width.
             enc_queries
@@ -317,8 +413,6 @@ impl SchedulingPredictor {
                 .find_map(|qe| qe.edge_emb.first().map(|&e| b.value(e).len()))
                 .unwrap_or(8)
         };
-        root_inputs.clear();
-        pipe_inputs.clear();
         for &(qi, si) in cands.iter() {
             let qs = &snap.queries[qi];
             let qe = &enc_queries[qi];
@@ -328,112 +422,248 @@ impl SchedulingPredictor {
             let edf = Self::edf_agg_on(b, qs, op);
             pipe_inputs.push(b.concat(&[qe.node_emb[op], ee, qe.pqe, edf]));
         }
+    }
 
-        let max_iters = if let Some(f) = forced { f.len() } else { self.cfg.max_picks_per_event };
-        if !cands.is_empty() {
-            // All candidate scores in one batched pass; on the tape this
-            // decomposes per candidate, keeping gradients unchanged.
-            let cand_scores = b.mlp_scores(&self.root_head, root_inputs);
-            for it in 0..max_iters {
-                if free == 0 {
-                    break;
-                }
-                if !available.iter().any(|&a| a) {
-                    break;
-                }
-
-                // --- Execution root (softmax over available candidates).
-                let mask_node = b.input_with(cands.len(), |buf| {
-                    for (m, &a) in buf.iter_mut().zip(available.iter()) {
-                        *m = if a { 0.0 } else { -1e9 };
-                    }
-                });
-                let masked = b.add(cand_scores, mask_node);
-                let root_lsm = b.log_softmax(masked);
-                let forced_pick = forced.map(|f| f[it]);
-                let cand_idx = choose_on(
-                    b,
-                    root_lsm,
-                    |i| available[i],
-                    cands.len(),
-                    mode,
-                    rng.as_deref_mut(),
-                    forced_pick.map(|p| p.cand_idx),
-                );
-                logprob_terms.push(b.gather(root_lsm, cand_idx));
-
-                let (qi, si) = cands[cand_idx];
-                let qs = &snap.queries[qi];
-                let op = qs.schedulable[si];
-
-                // --- Pipeline degree.
-                let max_deg = qs.max_degree[si].min(self.cfg.max_degree).max(1);
-                let degree = if self.cfg.ablate_pipelining {
-                    1
-                } else {
-                    let logits = b.mlp(&self.degree_head, pipe_inputs[cand_idx]);
-                    let dmask_node = b.input_with(self.cfg.max_degree, |buf| {
-                        for (d, m) in buf.iter_mut().enumerate() {
-                            *m = if d < max_deg { 0.0 } else { -1e9 };
-                        }
-                    });
-                    let dmasked = b.add(logits, dmask_node);
-                    let dlsm = b.log_softmax(dmasked);
-                    let didx = choose_on(
-                        b,
-                        dlsm,
-                        |i| i < max_deg,
-                        self.cfg.max_degree,
-                        mode,
-                        rng.as_deref_mut(),
-                        forced_pick.map(|p| p.degree - 1),
-                    );
-                    logprob_terms.push(b.gather(dlsm, didx));
-                    didx + 1
-                };
-
-                // --- Parallelism degree (threads for this query).
-                let max_thr = free.min(self.cfg.max_threads).max(1);
-                let qf = b.input(&qs.qf);
-                let tin = b.concat(&[aqe, enc_queries[qi].pqe, qf]);
-                let tlogits = b.mlp(&self.threads_head, tin);
-                let tmask_node = b.input_with(self.cfg.max_threads, |buf| {
-                    for (t, m) in buf.iter_mut().enumerate() {
-                        *m = if t < max_thr { 0.0 } else { -1e9 };
-                    }
-                });
-                let tmasked = b.add(tlogits, tmask_node);
-                let tlsm = b.log_softmax(tmasked);
-                let tidx = choose_on(
-                    b,
-                    tlsm,
-                    |i| i < max_thr,
-                    self.cfg.max_threads,
-                    mode,
-                    rng.as_deref_mut(),
-                    forced_pick.map(|p| p.threads - 1),
-                );
-                logprob_terms.push(b.gather(tlsm, tidx));
-                let threads = tidx + 1;
-
-                decisions.push(SchedDecision {
-                    query: qs.qid,
-                    root: OpId(op),
-                    pipeline_degree: degree,
-                    threads,
-                });
-                picks.push(PickTrace { cand_idx, degree, threads });
-                free -= threads;
-                // The chosen operator can't root another pipeline this event.
-                available[cand_idx] = false;
+    /// The masked sequential-pick loop shared by [`decide_on`] and
+    /// [`decide_batch_on`]: given the precomputed candidate score vector
+    /// for one event, repeatedly picks an execution root, a pipeline
+    /// degree and a thread grant until the pick budget, the free pool or
+    /// the candidate set is exhausted. `cands`/`pipe_inputs` are the
+    /// event-local candidate slice; pushed [`PickTrace::cand_idx`]
+    /// values index into that slice.
+    ///
+    /// [`decide_on`]: SchedulingPredictor::decide_on
+    /// [`decide_batch_on`]: SchedulingPredictor::decide_batch_on
+    #[allow(clippy::too_many_arguments)]
+    fn run_picks_on<B: Backend>(
+        &self,
+        b: &mut B,
+        snap: &SystemSnapshot,
+        enc_queries: &[QueryEncoding<B::Id>],
+        aqe: B::Id,
+        cand_scores: B::Id,
+        cands: &[(usize, usize)],
+        pipe_inputs: &[B::Id],
+        available: &mut Vec<bool>,
+        mode: DecisionMode,
+        mut rng: Option<&mut StdRng>,
+        forced: Option<&[PickTrace]>,
+        max_iters: usize,
+        logprob_terms: &mut Vec<B::Id>,
+        decisions: &mut Vec<SchedDecision>,
+        picks: &mut Vec<PickTrace>,
+    ) {
+        available.clear();
+        available.resize(cands.len(), true);
+        let mut free = snap.free_threads;
+        for it in 0..max_iters {
+            if free == 0 {
+                break;
             }
+            if !available.iter().any(|&a| a) {
+                break;
+            }
+
+            // --- Execution root (softmax over available candidates).
+            let mask_node = b.input_with(cands.len(), |buf| {
+                for (m, &a) in buf.iter_mut().zip(available.iter()) {
+                    *m = if a { 0.0 } else { -1e9 };
+                }
+            });
+            let masked = b.add(cand_scores, mask_node);
+            let root_lsm = b.log_softmax(masked);
+            let forced_pick = forced.map(|f| f[it]);
+            let cand_idx = choose_on(
+                b,
+                root_lsm,
+                |i| available[i],
+                cands.len(),
+                mode,
+                rng.as_deref_mut(),
+                forced_pick.map(|p| p.cand_idx),
+            );
+            logprob_terms.push(b.gather(root_lsm, cand_idx));
+
+            let (qi, si) = cands[cand_idx];
+            let qs = &snap.queries[qi];
+            let op = qs.schedulable[si];
+
+            // --- Pipeline degree.
+            let max_deg = qs.max_degree[si].min(self.cfg.max_degree).max(1);
+            let degree = if self.cfg.ablate_pipelining {
+                1
+            } else {
+                let logits = b.mlp(&self.degree_head, pipe_inputs[cand_idx]);
+                let dmask_node = b.input_with(self.cfg.max_degree, |buf| {
+                    for (d, m) in buf.iter_mut().enumerate() {
+                        *m = if d < max_deg { 0.0 } else { -1e9 };
+                    }
+                });
+                let dmasked = b.add(logits, dmask_node);
+                let dlsm = b.log_softmax(dmasked);
+                let didx = choose_on(
+                    b,
+                    dlsm,
+                    |i| i < max_deg,
+                    self.cfg.max_degree,
+                    mode,
+                    rng.as_deref_mut(),
+                    forced_pick.map(|p| p.degree - 1),
+                );
+                logprob_terms.push(b.gather(dlsm, didx));
+                didx + 1
+            };
+
+            // --- Parallelism degree (threads for this query).
+            let max_thr = free.min(self.cfg.max_threads).max(1);
+            let qf = b.input(&qs.qf);
+            let tin = b.concat(&[aqe, enc_queries[qi].pqe, qf]);
+            let tlogits = b.mlp(&self.threads_head, tin);
+            let tmask_node = b.input_with(self.cfg.max_threads, |buf| {
+                for (t, m) in buf.iter_mut().enumerate() {
+                    *m = if t < max_thr { 0.0 } else { -1e9 };
+                }
+            });
+            let tmasked = b.add(tlogits, tmask_node);
+            let tlsm = b.log_softmax(tmasked);
+            let tidx = choose_on(
+                b,
+                tlsm,
+                |i| i < max_thr,
+                self.cfg.max_threads,
+                mode,
+                rng.as_deref_mut(),
+                forced_pick.map(|p| p.threads - 1),
+            );
+            logprob_terms.push(b.gather(tlsm, tidx));
+            let threads = tidx + 1;
+
+            decisions.push(SchedDecision {
+                query: qs.qid,
+                root: OpId(op),
+                pipeline_degree: degree,
+                threads,
+            });
+            picks.push(PickTrace { cand_idx, degree, threads });
+            free -= threads;
+            // The chosen operator can't root another pipeline this event.
+            available[cand_idx] = false;
+        }
+    }
+
+    /// Runs independent decision passes for several same-tick scheduling
+    /// events in one fused inference call.
+    ///
+    /// Each event sees its own snapshot/encoding/AQE. All events'
+    /// candidate root scores are produced by a single
+    /// [`Backend::mlp_scores_batched`] call — one fused GEMM per layer
+    /// over every event's candidate matrix — after which the per-event
+    /// masked pick loops run exactly as in
+    /// [`SchedulingPredictor::decide_on`], consuming `rng` in event
+    /// order. Per-event results are bit-identical to calling `decide_on`
+    /// sequentially on each event with a fresh rng stream in the same
+    /// order.
+    ///
+    /// Decisions and pick traces accumulate *flat* in event order
+    /// (cleared first); `per_event[e]` records how many of them belong
+    /// to event `e` plus the handle of that event's total
+    /// log-probability.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_batch_on<B: Backend>(
+        &self,
+        b: &mut B,
+        snaps: &[&SystemSnapshot],
+        encs: &[EncodeScratch<B::Id>],
+        aqes: &[B::Id],
+        mode: DecisionMode,
+        mut rng: Option<&mut StdRng>,
+        max_picks_per_event: usize,
+        scratch: &mut BatchPredictScratch<B::Id>,
+        decisions: &mut Vec<SchedDecision>,
+        picks: &mut Vec<PickTrace>,
+        per_event: &mut Vec<EventOutcome<B::Id>>,
+    ) {
+        assert_eq!(snaps.len(), encs.len(), "one encoding scratch per event");
+        assert_eq!(snaps.len(), aqes.len(), "one AQE handle per event");
+        decisions.clear();
+        picks.clear();
+        per_event.clear();
+        let BatchPredictScratch {
+            cands,
+            cand_offsets,
+            seg_lens,
+            seg_scores,
+            available,
+            root_inputs,
+            pipe_inputs,
+            logprob_terms,
+        } = scratch;
+        cands.clear();
+        cand_offsets.clear();
+        seg_lens.clear();
+        root_inputs.clear();
+        pipe_inputs.clear();
+
+        // Pack every event's candidate table and head inputs into one
+        // flat row list; `cand_offsets` delimits the per-event slices.
+        cand_offsets.push(0);
+        for (e, &snap) in snaps.iter().enumerate() {
+            let start = cands.len();
+            snap.candidates_into_append(cands);
+            Self::build_head_inputs_on(
+                b,
+                snap,
+                encs[e].queries(),
+                &cands[start..],
+                root_inputs,
+                pipe_inputs,
+            );
+            if cands.len() > start {
+                seg_lens.push(cands.len() - start);
+            }
+            cand_offsets.push(cands.len());
         }
 
-        if logprob_terms.is_empty() {
-            b.scalar(0.0)
-        } else {
-            let s = b.concat(logprob_terms);
-            b.sum_elems(s)
+        // One fused GEMM per layer across every non-empty event.
+        seg_scores.clear();
+        if !seg_lens.is_empty() {
+            b.mlp_scores_batched(&self.root_head, root_inputs, seg_lens, seg_scores);
+        }
+
+        // Per-event masked pick loops, rng consumed in event order.
+        let mut seg = 0usize;
+        for (e, &snap) in snaps.iter().enumerate() {
+            let (lo, hi) = (cand_offsets[e], cand_offsets[e + 1]);
+            logprob_terms.clear();
+            let before = decisions.len();
+            if hi > lo {
+                let cand_scores = seg_scores[seg];
+                seg += 1;
+                self.run_picks_on(
+                    b,
+                    snap,
+                    encs[e].queries(),
+                    aqes[e],
+                    cand_scores,
+                    &cands[lo..hi],
+                    &pipe_inputs[lo..hi],
+                    available,
+                    mode,
+                    rng.as_deref_mut(),
+                    None,
+                    max_picks_per_event,
+                    logprob_terms,
+                    decisions,
+                    picks,
+                );
+            }
+            let logprob = if logprob_terms.is_empty() {
+                b.scalar(0.0)
+            } else {
+                let s = b.concat(logprob_terms);
+                b.sum_elems(s)
+            };
+            per_event.push(EventOutcome { n_decisions: decisions.len() - before, logprob });
         }
     }
 
@@ -509,12 +739,14 @@ mod tests {
             })
             .collect();
         let free = [0usize, 1, 2, 3, 4, 5];
+        let hot = lsched_engine::scheduler::QueryHot::from_queries(&queries);
         let ctx = SchedContext {
             time: 0.0,
             total_threads: 8,
             free_threads: 6,
             free_thread_ids: &free,
             queries: &queries,
+            hot: &hot,
         };
         let snap = snapshot(&FeatureConfig::default(), &ctx);
         (store, enc, pred, snap)

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use lsched_core::features::{snapshot, snapshot_cached, FeatureConfig, SnapshotCache};
-use lsched_engine::scheduler::{QueryId, QueryRuntime, SchedContext};
+use lsched_engine::scheduler::{QueryHot, QueryId, QueryRuntime, SchedContext};
 use lsched_engine::stats::WorkOrderStats;
 use lsched_workloads::tpch;
 use proptest::prelude::*;
@@ -155,12 +155,14 @@ proptest! {
             );
             let busy: usize = queries.iter().map(|q| q.assigned_threads).sum();
             let free: Vec<usize> = (busy.min(total_threads)..total_threads).collect();
+            let hot = QueryHot::from_queries(&queries);
             let ctx = SchedContext {
                 time: step as f64 * 0.25,
                 total_threads,
                 free_threads: free.len(),
                 free_thread_ids: &free,
                 queries: &queries,
+                hot: &hot,
             };
             let cached = snapshot_cached(&fcfg, &ctx, &mut cache);
             let fresh = snapshot(&fcfg, &ctx);

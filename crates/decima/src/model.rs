@@ -633,6 +633,20 @@ impl Scheduler for DecimaScheduler {
         }
         decisions
     }
+
+    fn on_tick(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        events: &[SchedEvent],
+    ) -> Option<Vec<SchedDecision>> {
+        // Every event of a tick fires against the same post-tick state,
+        // and Decima's pick loop already runs until the free pool or the
+        // candidate set is exhausted — so one decision pass serves the
+        // whole batch; per-event redelivery would just re-run the same
+        // pass against a drained pool.
+        let (first, _rest) = events.split_first()?;
+        Some(self.on_event(ctx, first))
+    }
 }
 
 #[cfg(test)]
@@ -697,12 +711,14 @@ mod tests {
         assert_eq!(q.ops[1].status, OpStatus::Schedulable); // LSched view
         let queries = vec![q];
         let free = [0usize, 1];
+        let hot = lsched_engine::scheduler::QueryHot::from_queries(&queries);
         let ctx = SchedContext {
             time: 0.0,
             total_threads: 4,
             free_threads: 2,
             free_thread_ids: &free,
             queries: &queries,
+            hot: &hot,
         };
         let snap = decima_snapshot(&ctx);
         assert!(snap.queries[0].schedulable.is_empty()); // Decima view

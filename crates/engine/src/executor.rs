@@ -22,8 +22,8 @@ use crate::ops::{execute_work_order, OpExecState, WorkOrderInput};
 use crate::plan::{OpId, OpSpec, PhysicalPlan};
 use crate::fault::FaultSummary;
 use crate::scheduler::{
-    clamp_decision, AdmitAction, OpStatus, QueryId, QueryRuntime, SchedContext, SchedDecision,
-    SchedEvent, Scheduler,
+    clamp_decision, AdmitAction, OpStatus, QueryHot, QueryId, QueryRuntime, SchedContext,
+    SchedDecision, SchedEvent, Scheduler,
 };
 use crate::sim::{QueryOutcome, ResilienceSummary, SimResult, WorkloadItem};
 use crate::stats::WorkOrderStats;
@@ -104,6 +104,7 @@ impl Executor {
             senders,
             start: Instant::now(),
             queries: Vec::new(),
+            hot: QueryHot::new(),
             exec: Vec::new(),
             pipelines: Vec::new(),
             free_threads: (0..self.num_threads).collect(),
@@ -279,6 +280,11 @@ struct ControlState {
     start: Instant,
     /// Active query runtimes, borrowable as the `SchedContext` slice.
     queries: Vec<QueryRuntime>,
+    /// SoA mirror of the per-query hot columns, rebuilt from `queries`
+    /// right before each scheduler invocation. The executor's policy
+    /// invocations are wall-clock-rare, so a wholesale rebuild is
+    /// cheaper to maintain than the simulator's incremental lockstep.
+    hot: QueryHot,
     /// Execution state parallel to `queries`.
     exec: Vec<QueryExec>,
     pipelines: Vec<Pipeline>,
@@ -329,12 +335,14 @@ impl ControlState {
         // (that is the client's job), so a `Defer` verdict sheds like
         // `Reject`; the delay is surfaced through the sim only.
         let response = {
+            self.hot.rebuild(&self.queries);
             let ctx = SchedContext {
                 time: now,
                 total_threads: self.num_threads,
                 free_threads: self.free_threads.len(),
                 free_thread_ids: &self.free_threads,
                 queries: &self.queries,
+                hot: &self.hot,
             };
             scheduler.admit(&ctx, qid, 0)
         };
@@ -735,12 +743,14 @@ impl ControlState {
         // Re-validate against the *current* state, re-clamping the thread
         // grant in case the pool state changed since the event snapshot.
         let d = {
+            self.hot.rebuild(&self.queries);
             let ctx = SchedContext {
                 time: self.now(),
                 total_threads: self.num_threads,
                 free_threads: self.free_threads.len(),
                 free_thread_ids: &self.free_threads,
                 queries: &self.queries,
+                hot: &self.hot,
             };
             match clamp_decision(&ctx, d) {
                 Ok(c) => c,
@@ -785,12 +795,14 @@ impl ControlState {
             return;
         }
         let (decisions, elapsed) = {
+            self.hot.rebuild(&self.queries);
             let ctx = SchedContext {
                 time: self.now(),
                 total_threads: self.num_threads,
                 free_threads: self.free_threads.len(),
                 free_thread_ids: &self.free_threads,
                 queries: &self.queries,
+                hot: &self.hot,
             };
             let t0 = Instant::now();
             let ds = scheduler.on_event(&ctx, &event);

@@ -366,7 +366,168 @@ impl QueryRuntime {
     }
 }
 
+/// Compact per-query lifecycle phase stored in [`QueryHot`]'s `status`
+/// column.
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryPhase {
+    /// Arrived; no worker threads granted right now.
+    Queued = 0,
+    /// At least one pipeline holds granted threads.
+    Running = 1,
+    /// Every operator finished.
+    Finished = 2,
+}
+
+/// Structure-of-arrays mirror of the per-query *hot* state: the handful
+/// of scalars the event loop, the policies, and the encoder's
+/// dynamic-tail snapshot read on every scheduling event. At mpl 1024+
+/// the array-of-structs layout made those reads walk one cache line per
+/// query (each [`QueryRuntime`] is hundreds of bytes); here each column
+/// is contiguous, and the derived `n_schedulable` counter turns the
+/// event loop's "is there any schedulable work?" guard from an O(n)
+/// scan into O(1).
+///
+/// Columns are indexed in lockstep with the owning `Vec<QueryRuntime>`.
+/// Executors maintain the mirror incrementally by calling
+/// [`QueryHot::sync`] after mutating a query (O(ops), dominated by the
+/// remaining-work sum) and [`QueryHot::push`]/[`QueryHot::remove`]
+/// alongside the owning list's insertions/removals.
+/// [`QueryHot::from_queries`] is the wholesale recompute used by
+/// reference baselines and the SoA-vs-struct oracle proptest.
+#[derive(Debug, Clone, Default)]
+pub struct QueryHot {
+    /// Lifecycle phase per query.
+    pub status: Vec<QueryPhase>,
+    /// Remaining (not completed) work orders summed over the query's ops.
+    pub remaining_wos: Vec<u32>,
+    /// Length of the schedulable frontier (0 = nothing can root a
+    /// pipeline).
+    pub frontier_len: Vec<u32>,
+    /// Absolute deadline; `f64::INFINITY` when the query carries no SLO.
+    pub deadline: Vec<f64>,
+    /// Scheduling priority (same value as [`QueryRuntime::priority`]).
+    pub priority: Vec<i32>,
+    /// How many queries currently have a non-empty frontier.
+    n_schedulable: usize,
+}
+
+impl QueryHot {
+    /// An empty mirror.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of mirrored queries.
+    pub fn len(&self) -> usize {
+        self.status.len()
+    }
+
+    /// True when no queries are mirrored.
+    pub fn is_empty(&self) -> bool {
+        self.status.is_empty()
+    }
+
+    /// Drops all rows (capacity kept).
+    pub fn clear(&mut self) {
+        self.status.clear();
+        self.remaining_wos.clear();
+        self.frontier_len.clear();
+        self.deadline.clear();
+        self.priority.clear();
+        self.n_schedulable = 0;
+    }
+
+    fn row_of(q: &QueryRuntime) -> (QueryPhase, u32, u32, f64, i32) {
+        let status = if q.finish_time.is_some() {
+            QueryPhase::Finished
+        } else if q.assigned_threads > 0 {
+            QueryPhase::Running
+        } else {
+            QueryPhase::Queued
+        };
+        let remaining = q.ops.iter().map(OpRuntime::remaining_work_orders).sum();
+        let frontier = q.schedulable_ops().len() as u32;
+        (status, remaining, frontier, q.deadline.unwrap_or(f64::INFINITY), q.priority)
+    }
+
+    /// Appends a row mirroring `q` (call right after pushing `q` onto
+    /// the owning query list).
+    pub fn push(&mut self, q: &QueryRuntime) {
+        let (status, remaining, frontier, deadline, priority) = Self::row_of(q);
+        self.status.push(status);
+        self.remaining_wos.push(remaining);
+        self.frontier_len.push(frontier);
+        self.deadline.push(deadline);
+        self.priority.push(priority);
+        self.n_schedulable += usize::from(frontier > 0);
+    }
+
+    /// Removes row `idx`, shifting later rows down (mirrors
+    /// `Vec::remove` on the owning query list).
+    pub fn remove(&mut self, idx: usize) {
+        self.n_schedulable -= usize::from(self.frontier_len[idx] > 0);
+        self.status.remove(idx);
+        self.remaining_wos.remove(idx);
+        self.frontier_len.remove(idx);
+        self.deadline.remove(idx);
+        self.priority.remove(idx);
+    }
+
+    /// Recomputes row `idx` from `q` after a mutation. O(ops) for the
+    /// remaining-work sum; everything else is O(1).
+    pub fn sync(&mut self, idx: usize, q: &QueryRuntime) {
+        let (status, remaining, frontier, deadline, priority) = Self::row_of(q);
+        let was = self.frontier_len[idx] > 0;
+        let now = frontier > 0;
+        if was != now {
+            if now {
+                self.n_schedulable += 1;
+            } else {
+                self.n_schedulable -= 1;
+            }
+        }
+        self.status[idx] = status;
+        self.remaining_wos[idx] = remaining;
+        self.frontier_len[idx] = frontier;
+        self.deadline[idx] = deadline;
+        self.priority[idx] = priority;
+    }
+
+    /// Rebuilds every row wholesale (capacity kept). The reference
+    /// oracle for the incremental maintenance above.
+    pub fn rebuild(&mut self, queries: &[QueryRuntime]) {
+        self.clear();
+        for q in queries {
+            self.push(q);
+        }
+    }
+
+    /// Builds a fresh mirror of `queries` (test and baseline helper).
+    pub fn from_queries(queries: &[QueryRuntime]) -> Self {
+        let mut hot = Self::new();
+        hot.rebuild(queries);
+        hot
+    }
+
+    /// How many queries have a non-empty frontier — O(1).
+    pub fn n_schedulable(&self) -> usize {
+        self.n_schedulable
+    }
+
+    /// True when at least one query has schedulable work — O(1).
+    pub fn any_schedulable(&self) -> bool {
+        self.n_schedulable > 0
+    }
+}
+
 /// The state snapshot handed to a scheduler at each scheduling event.
+///
+/// `queries` and `hot` describe the same query list in two layouts: the
+/// full array-of-structs runtime state, and the structure-of-arrays hot
+/// columns (indexed in lockstep). The split borrow exists so policies
+/// and the encoder's dynamic tail can stream the columns they need
+/// without pulling whole [`QueryRuntime`]s through the cache.
 #[derive(Debug)]
 pub struct SchedContext<'a> {
     /// Engine clock (seconds since session start).
@@ -379,6 +540,9 @@ pub struct SchedContext<'a> {
     pub free_thread_ids: &'a [usize],
     /// Active (arrived, unfinished) queries.
     pub queries: &'a [QueryRuntime],
+    /// Structure-of-arrays view of the per-query hot columns, in
+    /// lockstep with `queries`.
+    pub hot: &'a QueryHot,
 }
 
 impl<'a> SchedContext<'a> {
@@ -388,9 +552,10 @@ impl<'a> SchedContext<'a> {
     }
 
     /// True when at least one active query has a schedulable operator.
-    /// Allocation-free: reads each query's cached frontier.
+    /// O(1): reads the SoA mirror's schedulable counter.
     pub fn has_schedulable_work(&self) -> bool {
-        self.queries.iter().any(QueryRuntime::has_schedulable)
+        debug_assert_eq!(self.hot.len(), self.queries.len(), "hot mirror out of lockstep");
+        self.hot.any_schedulable()
     }
 }
 
@@ -572,6 +737,26 @@ pub trait Scheduler: Send {
     /// Produces scheduling decisions for the given event.
     fn on_event(&mut self, ctx: &SchedContext<'_>, event: &SchedEvent) -> Vec<SchedDecision>;
 
+    /// Offers one simulator tick's worth of deferred scheduling events
+    /// as a single batch. `ctx` is the post-tick state (every mutation
+    /// of the tick has been applied); `events` lists the deferred
+    /// triggers in their firing order and is never empty.
+    ///
+    /// Returning `Some(decisions)` *consumes* the batch: the executor
+    /// applies the decisions in order and does not call
+    /// [`Scheduler::on_event`] for these events. Returning `None` (the
+    /// default) declines it: the executor falls back to delivering the
+    /// events one at a time through `on_event`. Batch-aware policies
+    /// (LSched's cross-event fused inference) accept; everything else
+    /// keeps its exact per-event semantics for free.
+    fn on_tick(
+        &mut self,
+        _ctx: &SchedContext<'_>,
+        _events: &[SchedEvent],
+    ) -> Option<Vec<SchedDecision>> {
+        None
+    }
+
     /// Admission gate, consulted once per query arrival *before*
     /// [`SchedEvent::QueryArrived`] is delivered. The arriving query is
     /// already present in `ctx.queries` so the gate can weigh it against
@@ -686,6 +871,7 @@ mod tests {
     fn validate_decision_errors() {
         let q = QueryRuntime::new(QueryId(1), join_plan(), 0.0, 4);
         let queries = vec![q];
+        let hot = QueryHot::from_queries(&queries);
         let free = [0usize, 1, 2, 3];
         let ctx = SchedContext {
             time: 0.0,
@@ -693,6 +879,7 @@ mod tests {
             free_threads: 4,
             free_thread_ids: &free,
             queries: &queries,
+            hot: &hot,
         };
         // Unknown query.
         let d = SchedDecision { query: QueryId(9), root: OpId(0), pipeline_degree: 1, threads: 1 };
@@ -716,6 +903,7 @@ mod tests {
     fn clamp_decision_reclamps_stale_thread_grants() {
         let q = QueryRuntime::new(QueryId(1), join_plan(), 0.0, 8);
         let queries = vec![q];
+        let hot = QueryHot::from_queries(&queries);
         // The policy saw 8 free threads; the pool shrank to 2 by dispatch.
         let free = [0usize, 1];
         let ctx = SchedContext {
@@ -724,6 +912,7 @@ mod tests {
             free_threads: 2,
             free_thread_ids: &free,
             queries: &queries,
+            hot: &hot,
         };
         let stale = SchedDecision { query: QueryId(1), root: OpId(0), pipeline_degree: 2, threads: 8 };
         let clamped = clamp_decision(&ctx, &stale).unwrap();
@@ -739,6 +928,7 @@ mod tests {
             free_threads: 0,
             free_thread_ids: &none,
             queries: &queries,
+            hot: &hot,
         };
         assert!(matches!(clamp_decision(&ctx0, &stale), Err(DecisionError::NoFreeThreads)));
     }

@@ -34,8 +34,8 @@ use crate::fault::{FaultInjector, FaultPlan, FaultSummary};
 use crate::trace::{TraceEntry, TraceSink};
 use crate::plan::{OpId, PhysicalPlan};
 use crate::scheduler::{
-    clamp_decision, AdmitAction, OpStatus, QueryId, QueryRuntime, SchedContext, SchedDecision,
-    SchedEvent, Scheduler,
+    clamp_decision, AdmitAction, OpStatus, QueryHot, QueryId, QueryRuntime, SchedContext,
+    SchedDecision, SchedEvent, Scheduler,
 };
 use crate::stats::WorkOrderStats;
 
@@ -541,9 +541,19 @@ pub struct Simulator {
     /// its in-flight work order re-exposed) at its next scheduling
     /// point.
     doomed: DoomedSet,
-    /// Scratch buffer for the wake-stalled-threads sweeps; reused across
-    /// events so the steady state allocates nothing.
-    wake_buf: Vec<(usize, usize)>,
+    /// Scratch pool for the wake-stalled-threads sweeps; buffers are
+    /// recycled across events so the steady state allocates nothing.
+    wake_pool: lsched_util::Pool<Vec<(usize, usize)>>,
+    /// Structure-of-arrays mirror of the per-query hot columns, in
+    /// lockstep with `queries`. The fast path maintains it incrementally
+    /// at every mutation site; reference mode rebuilds it wholesale per
+    /// context build (the legacy full-rescan cost).
+    hot: QueryHot,
+    /// Non-forced scheduling triggers deferred to the end of the current
+    /// tick, in firing order. Flushed as one batched invocation.
+    pending_events: Vec<SchedEvent>,
+    /// Reusable drain buffer for the events of one tick.
+    tick_buf: Vec<Ev>,
     // metrics
     outcomes: Vec<QueryOutcome>,
     aborted: Vec<QueryOutcome>,
@@ -584,7 +594,10 @@ impl Simulator {
             in_flight_mem: 0.0,
             faults,
             doomed: DoomedSet::default(),
-            wake_buf: Vec::new(),
+            wake_pool: lsched_util::Pool::new(),
+            hot: QueryHot::new(),
+            pending_events: Vec::new(),
+            tick_buf: Vec::new(),
             outcomes: Vec::new(),
             aborted: Vec::new(),
             fault_summary: FaultSummary::default(),
@@ -637,42 +650,67 @@ impl Simulator {
         }
 
         let mut processed: u64 = 0;
-        while let Some(item) = self.heap.pop() {
-            processed += 1;
-            if processed > self.cfg.max_events {
-                return Err(SimError::EventCapExceeded {
-                    processed,
-                    cap: self.cfg.max_events,
-                    unfinished_queries: self.queries.len(),
-                });
+        while let Some(first) = self.heap.pop() {
+            let tick_time = first.key.time;
+            self.time = self.time.max(tick_time);
+            // Tick-local batch: drain every event firing at this exact
+            // timestamp, run their handlers (which *defer* non-forced
+            // scheduler triggers instead of invoking one at a time),
+            // then flush the deferred triggers as one batched
+            // invocation against the post-tick state. Handlers and
+            // decisions can land new events back on this timestamp
+            // (zero-delay admission deferrals), so the
+            // drain → handle → flush cycle repeats until the tick is
+            // exhausted.
+            let mut tick = std::mem::take(&mut self.tick_buf);
+            tick.push(first.ev);
+            loop {
+                while self.heap.peek().is_some_and(|n| n.key.time == tick_time) {
+                    let n = self.heap.pop().expect("peeked event must pop");
+                    tick.push(n.ev);
+                }
+                for ev in tick.drain(..) {
+                    processed += 1;
+                    if processed > self.cfg.max_events {
+                        return Err(SimError::EventCapExceeded {
+                            processed,
+                            cap: self.cfg.max_events,
+                            unfinished_queries: self.queries.len(),
+                        });
+                    }
+                    match ev {
+                        Ev::Arrival(i) => {
+                            let qid = QueryId(i as u64);
+                            self.handle_arrival(scheduler, workload, i, 0, qid);
+                        }
+                        Ev::Retry { item, attempt } => {
+                            let qid = QueryId(self.next_qid);
+                            self.next_qid += 1;
+                            self.handle_arrival(scheduler, workload, item, attempt, qid);
+                        }
+                        Ev::Deadline(q) => self.handle_deadline(scheduler, QueryId(q)),
+                        Ev::WoDone { pipeline, op, thread, duration, memory } => {
+                            self.handle_wo_done(scheduler, pipeline, op, thread, duration, memory)?;
+                        }
+                        Ev::WoFail { pipeline, thread, memory } => {
+                            self.handle_wo_fail(scheduler, pipeline, thread, memory);
+                        }
+                        Ev::PoolResize(size) => self.handle_pool_resize(scheduler, size),
+                        Ev::WorkerLost => self.handle_worker_lost(scheduler),
+                        Ev::WorkerJoined => self.handle_worker_joined(scheduler),
+                        Ev::CancelQuery(q) => self.handle_cancel(scheduler, QueryId(q)),
+                    }
+                }
+                self.flush_pending(scheduler);
+                if !self.heap.peek().is_some_and(|n| n.key.time == tick_time) {
+                    break;
+                }
             }
-            self.time = self.time.max(item.key.time);
-            match item.ev {
-                Ev::Arrival(i) => {
-                    let qid = QueryId(i as u64);
-                    self.handle_arrival(scheduler, workload, i, 0, qid);
-                }
-                Ev::Retry { item, attempt } => {
-                    let qid = QueryId(self.next_qid);
-                    self.next_qid += 1;
-                    self.handle_arrival(scheduler, workload, item, attempt, qid);
-                }
-                Ev::Deadline(q) => self.handle_deadline(scheduler, QueryId(q)),
-                Ev::WoDone { pipeline, op, thread, duration, memory } => {
-                    self.handle_wo_done(scheduler, pipeline, op, thread, duration, memory)?;
-                }
-                Ev::WoFail { pipeline, thread, memory } => {
-                    self.handle_wo_fail(scheduler, pipeline, thread, memory);
-                }
-                Ev::PoolResize(size) => self.handle_pool_resize(scheduler, size),
-                Ev::WorkerLost => self.handle_worker_lost(scheduler),
-                Ev::WorkerJoined => self.handle_worker_joined(scheduler),
-                Ev::CancelQuery(q) => self.handle_cancel(scheduler, QueryId(q)),
-            }
+            self.tick_buf = tick;
 
             // Progress guard: no pending events but unfinished queries.
             if self.heap.is_empty() && !self.queries.is_empty() {
-                self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(0));
+                self.invoke_now(scheduler, SchedEvent::ThreadsFreed(0));
                 if self.heap.is_empty() {
                     self.force_fallback();
                 }
@@ -729,6 +767,7 @@ impl Simulator {
         }
         self.qindex[qi] = Some(self.queries.len());
         self.queries.push(qr);
+        self.hot.push(self.queries.last().expect("query just pushed"));
         self.query_pipes.push(Vec::new());
         // Retries keep charging latency from the ORIGINAL arrival, so a
         // query that misses its deadline twice and then finishes reports
@@ -738,6 +777,7 @@ impl Simulator {
         // Admission gate (the default `Scheduler::admit` admits all, so
         // non-gated runs take this path with zero behavioural change and
         // zero RNG draws).
+        self.refresh_hot();
         let response = {
             let cloned;
             let free_ids: &[usize] = if self.cfg.reference_mode {
@@ -752,6 +792,7 @@ impl Simulator {
                 free_threads: free_ids.len(),
                 free_thread_ids: free_ids,
                 queries: &self.queries,
+                hot: &self.hot,
             };
             scheduler.admit(&ctx, qid, attempt)
         };
@@ -775,7 +816,7 @@ impl Simulator {
                     if let Some(dl) = self.queries[qidx].deadline {
                         self.push_event(dl, Ev::Deadline(qid.0));
                     }
-                    self.invoke_scheduler(scheduler, SchedEvent::QueryArrived(qid));
+                    self.defer_event(SchedEvent::QueryArrived(qid));
                 }
             }
             AdmitAction::Reject => {
@@ -814,7 +855,7 @@ impl Simulator {
             return; // already finished or torn down — stale timer
         };
         self.resilience.deadline_timeouts += 1;
-        self.invoke_scheduler(scheduler, SchedEvent::DeadlineExceeded(qid));
+        self.invoke_forced(scheduler, SchedEvent::DeadlineExceeded(qid));
         // Policies cannot remove queries, but the notification may have
         // dispatched work — re-resolve the index before tearing down.
         let Some(qidx) = self.query_index(qid) else {
@@ -845,6 +886,7 @@ impl Simulator {
     /// query shifts down one slot.
     fn remove_query(&mut self, qidx: usize) -> QueryRuntime {
         let q = self.queries.remove(qidx);
+        self.hot.remove(qidx);
         self.query_pipes.remove(qidx);
         self.query_meta.remove(qidx);
         if let Some(slot) = self.qindex.get_mut(q.qid.0 as usize) {
@@ -874,7 +916,7 @@ impl Simulator {
         // Release the memory above and route the thread home.
         let Some(qid) = self.pipelines[pid].as_ref().map(|p| p.query) else {
             if self.dispose_thread(thread) {
-                self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(1));
+                self.defer_event(SchedEvent::ThreadsFreed(1));
             }
             return Ok(());
         };
@@ -897,7 +939,7 @@ impl Simulator {
             self.wake_query_threads(qidx, qid, None);
             // Nothing freed (the worker retired), but the re-exposed
             // work order may warrant a fresh decision.
-            self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(0));
+            self.defer_event(SchedEvent::ThreadsFreed(0));
             return Ok(());
         }
 
@@ -949,6 +991,7 @@ impl Simulator {
                 }
             }
         }
+        self.sync_hot(qidx);
 
         // Query completion.
         let mut query_finished = false;
@@ -971,10 +1014,10 @@ impl Simulator {
 
         // Scheduling events, per Section 5.2.
         if op_finished && !query_finished {
-            self.invoke_scheduler(scheduler, SchedEvent::OperatorCompleted { query: qid, op });
+            self.defer_event(SchedEvent::OperatorCompleted { query: qid, op });
         }
         if freed > 0 {
-            self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(freed));
+            self.defer_event(SchedEvent::ThreadsFreed(freed));
         }
         Ok(())
     }
@@ -991,7 +1034,7 @@ impl Simulator {
         let mut to_dispatch = if self.cfg.reference_mode {
             Vec::new()
         } else {
-            std::mem::take(&mut self.wake_buf)
+            self.wake_pool.take()
         };
         to_dispatch.extend(head);
         if self.cfg.reference_mode {
@@ -1014,7 +1057,7 @@ impl Simulator {
             self.dispatch_thread(p, t);
         }
         if !self.cfg.reference_mode {
-            self.wake_buf = to_dispatch;
+            self.wake_pool.put(to_dispatch);
         }
     }
 
@@ -1063,6 +1106,7 @@ impl Simulator {
         if empty {
             self.kill_pipeline(pid, Some(qidx));
         }
+        self.sync_hot(qidx);
     }
 
     /// Tears down a pipeline slot: releases its buffer memory and, when
@@ -1092,6 +1136,7 @@ impl Simulator {
                         }
                     }
                 }
+                self.sync_hot(qi);
             }
         }
     }
@@ -1167,9 +1212,9 @@ impl Simulator {
         }
         let t = self.time;
         scheduler.on_query_cancelled(t, qid);
-        self.invoke_scheduler(scheduler, SchedEvent::QueryCancelled(qid));
+        self.invoke_forced(scheduler, SchedEvent::QueryCancelled(qid));
         if freed > 0 {
-            self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(freed));
+            self.defer_event(SchedEvent::ThreadsFreed(freed));
         }
     }
 
@@ -1196,7 +1241,7 @@ impl Simulator {
             self.abort_query(scheduler, qidx, AbortKind::Failed);
         }
         if freed {
-            self.invoke_scheduler(scheduler, SchedEvent::ThreadsFreed(1));
+            self.defer_event(SchedEvent::ThreadsFreed(1));
         }
     }
 
@@ -1220,7 +1265,7 @@ impl Simulator {
         if let Some(t) = self.free_threads.pop() {
             self.pool_size -= 1;
             self.fault_summary.workers_lost += 1;
-            self.invoke_scheduler(scheduler, SchedEvent::WorkerLost(t));
+            self.invoke_forced(scheduler, SchedEvent::WorkerLost(t));
             return;
         }
         // Busy/stalled victim: highest not-yet-doomed id across live
@@ -1252,7 +1297,7 @@ impl Simulator {
         } else {
             self.doomed.insert(t);
         }
-        self.invoke_scheduler(scheduler, SchedEvent::WorkerLost(t));
+        self.invoke_forced(scheduler, SchedEvent::WorkerLost(t));
     }
 
     /// A fresh worker joins the pool.
@@ -1262,7 +1307,7 @@ impl Simulator {
         self.free_threads.push(t); // new ids are strictly increasing: stays sorted
         self.pool_size += 1;
         self.fault_summary.workers_joined += 1;
-        self.invoke_scheduler(scheduler, SchedEvent::WorkerJoined(t));
+        self.invoke_forced(scheduler, SchedEvent::WorkerJoined(t));
     }
 
     /// How many work orders of `op` may be dispatched given producer
@@ -1433,6 +1478,10 @@ impl Simulator {
                 free_threads: free_ids.len(),
                 free_thread_ids: free_ids,
                 queries: &self.queries,
+                // Clamping never reads the hot columns, so the possibly
+                // stale mirror is fine here (reference mode rebuilds it
+                // only before policy invocations).
+                hot: &self.hot,
             };
             match clamp_decision(&ctx, d) {
                 Ok(c) => c,
@@ -1480,11 +1529,113 @@ impl Simulator {
         for t in threads {
             self.dispatch_thread(pid, t);
         }
+        self.sync_hot(qidx);
         self.decisions += 1;
         true
     }
 
-    fn invoke_scheduler(&mut self, scheduler: &mut dyn Scheduler, event: SchedEvent) {
+    /// Queues a non-forced scheduling trigger for the end-of-tick flush,
+    /// where all triggers that fired at the same timestamp are offered to
+    /// the policy as one batch.
+    fn defer_event(&mut self, event: SchedEvent) {
+        self.pending_events.push(event);
+    }
+
+    /// Delivers a forced trigger (churn, cancellation, deadline)
+    /// immediately, flushing any deferred triggers first so the policy
+    /// still observes every trigger in firing order.
+    fn invoke_forced(&mut self, scheduler: &mut dyn Scheduler, event: SchedEvent) {
+        self.flush_pending(scheduler);
+        self.invoke_now(scheduler, event);
+    }
+
+    /// "Is there anything a policy could schedule right now?" — O(1) via
+    /// the SoA mirror on the fast path; reference mode keeps the legacy
+    /// materialize-and-test scan (one Vec per active query per call).
+    fn any_schedulable_work(&self) -> bool {
+        if self.cfg.reference_mode {
+            self.queries.iter().any(|q| !q.schedulable_ops_scan().is_empty())
+        } else {
+            self.hot.any_schedulable()
+        }
+    }
+
+    /// Re-mirrors query `qidx`'s hot row after a mutation (fast path
+    /// only; reference mode rebuilds wholesale in [`Self::refresh_hot`]).
+    fn sync_hot(&mut self, qidx: usize) {
+        if !self.cfg.reference_mode {
+            self.hot.sync(qidx, &self.queries[qidx]);
+        }
+    }
+
+    /// Reference mode re-derives the whole mirror from the struct-of-ops
+    /// truth right before a policy sees it; the fast path keeps the
+    /// mirror incrementally in lockstep so this is a no-op.
+    fn refresh_hot(&mut self) {
+        if self.cfg.reference_mode {
+            self.hot.rebuild(&self.queries);
+        }
+    }
+
+    /// End-of-tick flush: offer every deferred trigger from this
+    /// timestamp to the policy as one batch via [`Scheduler::on_tick`];
+    /// a policy that declines gets the legacy per-event delivery.
+    fn flush_pending(&mut self, scheduler: &mut dyn Scheduler) {
+        if self.pending_events.is_empty() {
+            return;
+        }
+        // Paper guard, batch form: deferred triggers are exactly the
+        // non-forced ones, and a dropped trigger mutates nothing — so
+        // dropping the whole batch when the guard holds is equivalent to
+        // the per-event drops the sequential path performed.
+        if self.free_threads.is_empty() || !self.any_schedulable_work() {
+            self.pending_events.clear();
+            return;
+        }
+        let mut events = std::mem::take(&mut self.pending_events);
+        self.refresh_hot();
+        let (batched, elapsed) = {
+            let cloned;
+            let free_ids: &[usize] = if self.cfg.reference_mode {
+                cloned = self.free_threads.clone();
+                &cloned
+            } else {
+                &self.free_threads
+            };
+            let ctx = SchedContext {
+                time: self.time,
+                total_threads: self.pool_size,
+                free_threads: free_ids.len(),
+                free_thread_ids: free_ids,
+                queries: &self.queries,
+                hot: &self.hot,
+            };
+            let t0 = Instant::now();
+            let ds = scheduler.on_tick(&ctx, &events);
+            (ds, t0.elapsed().as_secs_f64())
+        };
+        match batched {
+            Some(decisions) => {
+                self.sched_wall += elapsed;
+                self.invocations += 1;
+                for d in &decisions {
+                    if self.free_threads.is_empty() {
+                        break;
+                    }
+                    self.apply_decision(d);
+                }
+            }
+            None => {
+                for ev in events.drain(..) {
+                    self.invoke_now(scheduler, ev);
+                }
+            }
+        }
+        events.clear();
+        self.pending_events = events;
+    }
+
+    fn invoke_now(&mut self, scheduler: &mut dyn Scheduler, event: SchedEvent) {
         // Paper guard: no decisions when no free threads or nothing to
         // do. Pool/worker-churn and cancellation events are always
         // delivered — the policy must observe capacity changes and
@@ -1497,22 +1648,10 @@ impl Simulator {
                 | SchedEvent::QueryCancelled(_)
                 | SchedEvent::DeadlineExceeded(_)
         );
-        if !force {
-            if self.free_threads.is_empty() {
-                return;
-            }
-            let has_work = if self.cfg.reference_mode {
-                // Legacy: materializes each query's schedulable set just
-                // to test emptiness — one Vec per active query per
-                // invocation.
-                self.queries.iter().any(|q| !q.schedulable_ops_scan().is_empty())
-            } else {
-                self.queries.iter().any(QueryRuntime::has_schedulable)
-            };
-            if !has_work {
-                return;
-            }
+        if !force && (self.free_threads.is_empty() || !self.any_schedulable_work()) {
+            return;
         }
+        self.refresh_hot();
         let (decisions, elapsed) = {
             // Reference mode keeps the legacy per-invocation clone of
             // the free-thread list; the fast path borrows it in place.
@@ -1529,6 +1668,7 @@ impl Simulator {
                 free_threads: free_ids.len(),
                 free_thread_ids: free_ids,
                 queries: &self.queries,
+                hot: &self.hot,
             };
             let t0 = Instant::now();
             let ds = scheduler.on_event(&ctx, &event);
@@ -1568,7 +1708,7 @@ impl Simulator {
             self.pending_retirements += shrink;
         }
         self.pool_size = new_size;
-        self.invoke_scheduler(scheduler, SchedEvent::ThreadPoolResized(new_size));
+        self.invoke_forced(scheduler, SchedEvent::ThreadPoolResized(new_size));
     }
 
     /// Progress guard: schedule the first schedulable operator of the

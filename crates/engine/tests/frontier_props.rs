@@ -132,6 +132,117 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The structure-of-arrays hot mirror, maintained incrementally via
+    /// `QueryHot::push`/`remove`/`sync`, matches the from-scratch
+    /// struct-walking oracle (`QueryHot::from_queries`) column for
+    /// column after every step of a random admission / transition /
+    /// retirement sequence.
+    #[test]
+    fn soa_hot_mirror_matches_struct_oracle(
+        links in prop::collection::vec(0usize..64, 16),
+        npb in prop::collection::vec(any::<bool>(), 8),
+        wos in prop::collection::vec(1u32..4, 4),
+        actions in prop::collection::vec((0usize..64, 0u8..8), 0..80),
+    ) {
+        use lsched_engine::scheduler::QueryHot;
+
+        let mut queries: Vec<QueryRuntime> = Vec::new();
+        let mut hot = QueryHot::new();
+        let mut next_qid = 0u64;
+
+        for (step, (pick, kind)) in actions.into_iter().enumerate() {
+            match kind {
+                // Admission: a fresh random plan joins the tail.
+                0 | 1 => {
+                    let n = 2 + (pick % 6);
+                    let plan = random_plan(n, &links[pick % 8..], &npb, &wos);
+                    queries.push(QueryRuntime::new(QueryId(next_qid), plan, step as f64, 4));
+                    hot.push(queries.last().unwrap());
+                    next_qid += 1;
+                }
+                // Retirement: one query leaves mid-flight.
+                2 if !queries.is_empty() => {
+                    let qi = pick % queries.len();
+                    queries.remove(qi);
+                    hot.remove(qi);
+                }
+                // Deadline / priority / thread-grant churn: hot-column
+                // sources that change without any frontier transition.
+                3 if !queries.is_empty() => {
+                    let qi = pick % queries.len();
+                    let q = &mut queries[qi];
+                    q.deadline = if pick % 3 == 0 { None } else { Some(step as f64 + 1.0) };
+                    q.priority = (pick % 5) as i32 - 2;
+                    q.assigned_threads = pick % 3;
+                    hot.sync(qi, &queries[qi]);
+                }
+                // Frontier transitions (start / complete / finish /
+                // revert), mirroring the rescan-oracle test above.
+                _ if !queries.is_empty() => {
+                    let qi = pick % queries.len();
+                    let q = &mut queries[qi];
+                    let op = OpId(pick % q.ops.len());
+                    let status = q.ops[op.0].status;
+                    match kind {
+                        4 if matches!(status, OpStatus::Schedulable | OpStatus::Blocked) => {
+                            q.mark_running(op);
+                            q.ops[op.0].dispatched_work_orders += 1;
+                            q.assigned_threads += 1;
+                        }
+                        5 if status == OpStatus::Running => {
+                            if q.ops[op.0].dispatched_work_orders == 0 {
+                                q.ops[op.0].dispatched_work_orders += 1;
+                            }
+                            q.observe_wo_completion(op, &dummy_stats());
+                        }
+                        6 if status == OpStatus::Running => {
+                            let rt = &mut q.ops[op.0];
+                            rt.total_work_orders = rt.completed_work_orders;
+                            rt.dispatched_work_orders = 0;
+                            q.force_finish(op);
+                        }
+                        7 if status == OpStatus::Running => {
+                            q.ops[op.0].dispatched_work_orders = 0;
+                            q.revert_from_running(op);
+                            q.assigned_threads = q.assigned_threads.saturating_sub(1);
+                        }
+                        _ => continue,
+                    }
+                    if q.ops.iter().all(|o| o.status == OpStatus::Finished) {
+                        q.finish_time = Some(step as f64);
+                    }
+                    hot.sync(qi, &queries[qi]);
+                }
+                _ => continue,
+            }
+
+            let oracle = QueryHot::from_queries(&queries);
+            prop_assert_eq!(hot.len(), oracle.len(), "row count diverged");
+            prop_assert_eq!(&hot.status, &oracle.status, "status column diverged");
+            prop_assert_eq!(
+                &hot.remaining_wos, &oracle.remaining_wos,
+                "remaining-work column diverged"
+            );
+            prop_assert_eq!(
+                &hot.frontier_len, &oracle.frontier_len,
+                "frontier-cursor column diverged"
+            );
+            let live: Vec<u64> = hot.deadline.iter().map(|d| d.to_bits()).collect();
+            let want: Vec<u64> = oracle.deadline.iter().map(|d| d.to_bits()).collect();
+            prop_assert_eq!(live, want, "deadline column diverged");
+            prop_assert_eq!(&hot.priority, &oracle.priority, "priority column diverged");
+            prop_assert_eq!(
+                hot.n_schedulable(), oracle.n_schedulable(),
+                "schedulable counter diverged"
+            );
+            prop_assert_eq!(hot.any_schedulable(), oracle.any_schedulable());
+        }
+    }
+}
+
 /// Greedy test policy: schedules every schedulable root it sees, FIFO
 /// across queries, splitting free threads.
 struct GreedyFifo;

@@ -151,6 +151,45 @@ pub trait Backend {
         self.recycle_ids(scores);
         out
     }
+
+    /// Scores several independent candidate batches ("segments" — one per
+    /// concurrent scheduling event in a simulator tick) with the same
+    /// scalar-output MLP head. `inputs` is the flat concatenation of all
+    /// segments' candidate feature vectors and `seg_lens[e]` is segment
+    /// `e`'s candidate count. Clears `out` and pushes one score vector
+    /// per segment, in segment order; each entry is bit-identical to
+    /// what [`Backend::mlp_scores`] would return for that segment alone.
+    ///
+    /// The default loops [`Backend::mlp_scores`] per segment — on the
+    /// tape this keeps training semantics and gradients untouched. The
+    /// inference backend overrides it to pack *all* rows across segments
+    /// into one fused GEMM per layer and split the final score column
+    /// per segment.
+    ///
+    /// # Panics
+    /// Panics if any segment is empty or the segment lengths don't sum
+    /// to `inputs.len()`.
+    fn mlp_scores_batched(
+        &mut self,
+        mlp: &Mlp,
+        inputs: &[Self::Id],
+        seg_lens: &[usize],
+        out: &mut Vec<Self::Id>,
+    ) {
+        assert_eq!(
+            seg_lens.iter().sum::<usize>(),
+            inputs.len(),
+            "segment lengths must cover the flat input list"
+        );
+        out.clear();
+        let mut start = 0;
+        for &len in seg_lens {
+            assert!(len > 0, "mlp_scores_batched on an empty segment");
+            let s = self.mlp_scores(mlp, &inputs[start..start + len]);
+            out.push(s);
+            start += len;
+        }
+    }
 }
 
 /// The training executor: every op is recorded on an autodiff [`Graph`]

@@ -46,6 +46,7 @@ use crate::backend::Backend;
 use crate::layers::{Activation, Linear, Mlp};
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::matvec_rows;
+use lsched_util::Pool;
 
 /// Handle to a value inside an [`InferCtx`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,7 +72,7 @@ enum Val {
 pub struct InferCtx {
     data: Vec<f32>,
     vals: Vec<Val>,
-    pool: Vec<Vec<ValId>>,
+    pool: Pool<Vec<ValId>>,
 }
 
 impl InferCtx {
@@ -194,6 +195,50 @@ impl InferBackend<'_> {
             *o = f(x, y);
         }
         id
+    }
+
+    /// Gathers `inputs` into one contiguous row-major matrix and pushes
+    /// the whole batch through every MLP layer with a single fused GEMM
+    /// per layer; returns the arena offset of the final
+    /// `rows × out_dim` matrix. Shared by [`Backend::mlp_scores`] and
+    /// [`Backend::mlp_scores_batched`]; per-row arithmetic is exactly
+    /// [`fused_linear_row`], so a row's output never depends on which
+    /// other rows share the batch.
+    fn mlp_batch_rows(&mut self, mlp: &Mlp, inputs: &[ValId]) -> usize {
+        let rows = inputs.len();
+        let d0 = mlp.in_dim();
+
+        // Stage 0: gather the candidate rows into one contiguous matrix.
+        let mut x_off = self.alloc_raw(rows * d0);
+        {
+            let (head, out, vals, store) = self.split_out(x_off);
+            for (i, &p) in inputs.iter().enumerate() {
+                let pv = resolve(vals, store, head, p);
+                debug_assert_eq!(pv.len(), d0, "mlp_scores input dim mismatch");
+                out[i * d0..(i + 1) * d0].copy_from_slice(pv);
+            }
+        }
+
+        // Each layer: Y (rows×out) = act(X (rows×in) · Wᵀ + b), one GEMM.
+        let last = mlp.num_layers() - 1;
+        let mut in_dim = d0;
+        for (l, layer) in mlp.layers().iter().enumerate() {
+            let act = if l == last { mlp.out_act() } else { mlp.hidden_act() };
+            let out_dim = layer.out_dim();
+            let y_off = self.alloc_raw(rows * out_dim);
+            let w = self.store.value(layer.weight_id());
+            let bias = self.store.value(layer.bias_id());
+            let ctx = &mut *self.ctx;
+            let (head, y) = ctx.data.split_at_mut(y_off);
+            let x = &head[x_off..x_off + rows * in_dim];
+            for (yi, xi) in y.chunks_exact_mut(out_dim).zip(x.chunks_exact(in_dim.max(1))) {
+                let xi = if in_dim == 0 { &[][..] } else { xi };
+                fused_linear_row(w.data(), in_dim, xi, bias.data(), act, yi);
+            }
+            x_off = y_off;
+            in_dim = out_dim;
+        }
+        x_off
     }
 }
 
@@ -378,12 +423,11 @@ impl Backend for InferBackend<'_> {
     }
 
     fn take_ids(&mut self) -> Vec<ValId> {
-        self.ctx.pool.pop().unwrap_or_default()
+        self.ctx.pool.take()
     }
 
-    fn recycle_ids(&mut self, mut v: Vec<ValId>) {
-        v.clear();
-        self.ctx.pool.push(v);
+    fn recycle_ids(&mut self, v: Vec<ValId>) {
+        self.ctx.pool.put(v);
     }
 
     /// Fused dense layer: one pass over the weight rows computes
@@ -411,44 +455,46 @@ impl Backend for InferBackend<'_> {
     fn mlp_scores(&mut self, mlp: &Mlp, inputs: &[ValId]) -> ValId {
         assert_eq!(mlp.out_dim(), 1, "mlp_scores needs a scalar-output head");
         assert!(!inputs.is_empty(), "mlp_scores on an empty candidate batch");
-        let rows = inputs.len();
-        let d0 = mlp.in_dim();
-
-        // Stage 0: gather the candidate rows into one contiguous matrix.
-        let mut x_off = self.alloc_raw(rows * d0);
-        {
-            let (head, out, vals, store) = self.split_out(x_off);
-            for (i, &p) in inputs.iter().enumerate() {
-                let pv = resolve(vals, store, head, p);
-                debug_assert_eq!(pv.len(), d0, "mlp_scores input dim mismatch");
-                out[i * d0..(i + 1) * d0].copy_from_slice(pv);
-            }
-        }
-
-        // Each layer: Y (rows×out) = act(X (rows×in) · Wᵀ + b), one GEMM.
-        let last = mlp.num_layers() - 1;
-        let mut in_dim = d0;
-        for (l, layer) in mlp.layers().iter().enumerate() {
-            let act = if l == last { mlp.out_act() } else { mlp.hidden_act() };
-            let out_dim = layer.out_dim();
-            let y_off = self.alloc_raw(rows * out_dim);
-            let w = self.store.value(layer.weight_id());
-            let bias = self.store.value(layer.bias_id());
-            let ctx = &mut *self.ctx;
-            let (head, y) = ctx.data.split_at_mut(y_off);
-            let x = &head[x_off..x_off + rows * in_dim];
-            for (yi, xi) in y.chunks_exact_mut(out_dim).zip(x.chunks_exact(in_dim.max(1))) {
-                let xi = if in_dim == 0 { &[][..] } else { xi };
-                fused_linear_row(w.data(), in_dim, xi, bias.data(), act, yi);
-            }
-            x_off = y_off;
-            in_dim = out_dim;
-        }
-
+        let off = self.mlp_batch_rows(mlp, inputs);
         // The final rows×1 matrix *is* the score vector.
         let id = ValId(self.ctx.vals.len() as u32);
-        self.ctx.vals.push(Val::Buf { off: x_off, len: rows });
+        self.ctx.vals.push(Val::Buf { off, len: inputs.len() });
         id
+    }
+
+    /// Cross-event batched scoring: every segment's candidate rows are
+    /// packed into *one* row-major matrix, each MLP layer runs as a
+    /// single fused GEMM over all rows of all segments, and the final
+    /// column is split into one score-vector handle per segment. Because
+    /// per-row arithmetic is [`fused_linear_row`] in both entry points, a
+    /// segment's scores are bit-identical to a per-segment
+    /// [`Backend::mlp_scores`] call.
+    fn mlp_scores_batched(
+        &mut self,
+        mlp: &Mlp,
+        inputs: &[ValId],
+        seg_lens: &[usize],
+        out: &mut Vec<ValId>,
+    ) {
+        assert_eq!(mlp.out_dim(), 1, "mlp_scores needs a scalar-output head");
+        assert_eq!(
+            seg_lens.iter().sum::<usize>(),
+            inputs.len(),
+            "segment lengths must cover the flat input list"
+        );
+        assert!(seg_lens.iter().all(|&l| l > 0), "mlp_scores_batched on an empty segment");
+        out.clear();
+        if inputs.is_empty() {
+            return;
+        }
+        let mut off = self.mlp_batch_rows(mlp, inputs);
+        // Split the final rows×1 column into per-segment score vectors.
+        for &len in seg_lens {
+            let id = ValId(self.ctx.vals.len() as u32);
+            self.ctx.vals.push(Val::Buf { off, len });
+            out.push(id);
+            off += len;
+        }
     }
 }
 
@@ -579,6 +625,53 @@ mod tests {
         let i_scores = inf.mlp_scores(&head, &i_ids);
         assert_eq!(inf.value(i_scores), &tape_out[..], "one-GEMM scoring must be bit-identical");
         assert_eq!(inf.value(i_scores).len(), 7);
+    }
+
+    #[test]
+    fn cross_event_batched_scores_match_per_segment_bitwise() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let head =
+            Mlp::new(&mut ps, &mut rng, "h", &[3, 5, 1], Activation::LeakyRelu, Activation::None);
+        let seg_lens = [3usize, 1, 4, 2];
+        let total: usize = seg_lens.iter().sum();
+        let cands: Vec<Vec<f32>> =
+            (0..total).map(|i| (0..3).map(|j| ((i * 3 + j) as f32).cos()).collect()).collect();
+
+        // Sequential per-segment reference on the inference backend.
+        let mut ctx = InferCtx::new();
+        let mut seq = Vec::new();
+        {
+            let mut inf = ctx.session(&ps);
+            let ids: Vec<_> = cands.iter().map(|c| inf.input(c)).collect();
+            let mut start = 0;
+            for &len in &seg_lens {
+                let s = inf.mlp_scores(&head, &ids[start..start + len]);
+                seq.push(inf.value(s).to_vec());
+                start += len;
+            }
+        }
+
+        // One fused GEMM batch over all segments at once.
+        let mut ctx2 = InferCtx::new();
+        let mut inf = ctx2.session(&ps);
+        let ids: Vec<_> = cands.iter().map(|c| inf.input(c)).collect();
+        let mut out = Vec::new();
+        inf.mlp_scores_batched(&head, &ids, &seg_lens, &mut out);
+        assert_eq!(out.len(), seg_lens.len());
+        for (id, expect) in out.iter().zip(&seq) {
+            assert_eq!(inf.value(*id), &expect[..], "batched segment must be bit-identical");
+        }
+
+        // The tape's per-segment default agrees too.
+        let mut g = Graph::new();
+        let mut tape = TapeBackend::new(&mut g, &ps);
+        let t_ids: Vec<_> = cands.iter().map(|c| tape.input(c)).collect();
+        let mut t_out = Vec::new();
+        tape.mlp_scores_batched(&head, &t_ids, &seg_lens, &mut t_out);
+        for (id, expect) in t_out.iter().zip(&seq) {
+            assert_eq!(tape.value(*id), &expect[..]);
+        }
     }
 
     #[test]

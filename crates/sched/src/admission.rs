@@ -246,12 +246,18 @@ mod tests {
     }
 
     fn ctx<'a>(queries: &'a [QueryRuntime], free: &'a [usize]) -> SchedContext<'a> {
+        // Test-only: leak the hot mirror so the context can borrow it
+        // for the caller's lifetime.
+        let hot = &*Box::leak(Box::new(
+            lsched_engine::scheduler::QueryHot::from_queries(queries),
+        ));
         SchedContext {
             time: 1.0,
             total_threads: 4,
             free_threads: free.len(),
             free_thread_ids: free,
             queries,
+            hot,
         }
     }
 

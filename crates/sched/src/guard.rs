@@ -208,7 +208,7 @@ impl<S: Scheduler, F: Scheduler> GuardedScheduler<S, F> {
         event: &SchedEvent,
     ) -> Option<Vec<SchedDecision>> {
         let outcome = catch_unwind(AssertUnwindSafe(|| self.inner.on_event(ctx, event)));
-        let mut decisions = match outcome {
+        let decisions = match outcome {
             Ok(ds) => ds,
             Err(_) => {
                 self.stats.panics += 1;
@@ -216,6 +216,41 @@ impl<S: Scheduler, F: Scheduler> GuardedScheduler<S, F> {
                 return None;
             }
         };
+        self.vet_decisions(ctx, decisions)
+    }
+
+    /// Runs the inner policy's batch path under the same guarding as
+    /// [`guarded_inner`](Self::guarded_inner); returns its clamped
+    /// decisions, or `None` when the inner policy declined the batch or
+    /// the breaker tripped (either way the engine redelivers the events
+    /// one at a time through [`Scheduler::on_event`]).
+    fn guarded_inner_tick(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        events: &[SchedEvent],
+    ) -> Option<Vec<SchedDecision>> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.inner.on_tick(ctx, events)));
+        let decisions = match outcome {
+            Ok(Some(ds)) => ds,
+            // Declining a batch is a supported answer, not a violation.
+            Ok(None) => return None,
+            Err(_) => {
+                self.stats.panics += 1;
+                self.trip();
+                return None;
+            }
+        };
+        self.vet_decisions(ctx, decisions)
+    }
+
+    /// Post-inference guarding shared by the per-event and tick-batch
+    /// paths: health poll, per-decision clamping with the stale-decision
+    /// tolerance, breaker trip on any violation.
+    fn vet_decisions(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        mut decisions: Vec<SchedDecision>,
+    ) -> Option<Vec<SchedDecision>> {
         if self.inner.health() == PolicyHealth::Degraded {
             self.stats.degraded_health += 1;
             self.trip();
@@ -305,6 +340,61 @@ impl<S: Scheduler, F: Scheduler> Scheduler for GuardedScheduler<S, F> {
                 }
             }
         }
+    }
+
+    fn on_tick(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        events: &[SchedEvent],
+    ) -> Option<Vec<SchedDecision>> {
+        if events.is_empty() {
+            return Some(Vec::new());
+        }
+        // Forward the batch only while the inner policy is serving.
+        // Declining (`None`) makes the engine redeliver the events one
+        // at a time through `on_event`, so the Fallback cooldown
+        // countdown, fallback accounting and poisoned-snapshot counting
+        // all run exactly as in the per-event state machine — counters
+        // are only touched here once the batch is actually accepted.
+        if !matches!(self.state, GuardState::Primary | GuardState::Probing) {
+            return None;
+        }
+        let deep =
+            self.events_since_deep_scan + events.len() as u32 >= self.cfg.deep_scan_interval.max(1);
+        let finite = if deep {
+            Self::snapshot_is_finite(ctx)
+        } else {
+            // A batch is gated like its strictest member: arrivals in it
+            // get the newcomer check of the per-event fast path.
+            ctx.time.is_finite()
+                && events.iter().all(|e| match e {
+                    SchedEvent::QueryArrived(qid) => ctx
+                        .queries
+                        .iter()
+                        .find(|q| q.qid == *qid)
+                        .is_none_or(Self::query_is_finite),
+                    _ => true,
+                })
+        };
+        if !finite {
+            return None;
+        }
+        let probing = matches!(self.state, GuardState::Probing);
+        if probing {
+            self.stats.probes += 1;
+        }
+        let ds = self.guarded_inner_tick(ctx, events)?;
+        self.stats.events += events.len() as u64;
+        if deep {
+            self.events_since_deep_scan = 0;
+        } else {
+            self.events_since_deep_scan += events.len() as u32;
+        }
+        if probing {
+            self.stats.recoveries += 1;
+            self.state = GuardState::Primary;
+        }
+        Some(ds)
     }
 
     fn on_decision_executed(&mut self, ctx: &SchedContext<'_>, decision: &SchedDecision) {

@@ -81,12 +81,19 @@ mod tests {
         let pool = tpch::plan_pool(&[0.5, 1.0]);
         let mut fifo_total = 0.0;
         let mut qs_total = 0.0;
+        // A same-instant batch is now delivered as one simulator tick, so
+        // the policy sees the whole batch on its first invocation and
+        // quickstep's inverse-work share division fans out immediately
+        // instead of ramping up arrival by arrival. Its shortest-first
+        // weighting pays off over the steady-state completion stream, so
+        // run a batch long enough for that regime to dominate the first
+        // tick's fan-out.
         for seed in 0..3 {
-            let wl = gen_workload(&pool, 12, ArrivalPattern::Batch, seed);
+            let wl = gen_workload(&pool, 60, ArrivalPattern::Batch, seed);
             let cfg = SimConfig { num_threads: 8, seed, ..Default::default() };
             let qs = simulate(cfg.clone(), &wl, &mut QuickstepScheduler);
             let fifo = simulate(cfg, &wl, &mut crate::heuristics::FifoScheduler);
-            assert_eq!(qs.outcomes.len(), 12);
+            assert_eq!(qs.outcomes.len(), 60);
             qs_total += qs.avg_duration();
             fifo_total += fifo.avg_duration();
         }

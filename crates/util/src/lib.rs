@@ -1,0 +1,129 @@
+//! Small utilities shared across the workspace.
+//!
+//! Today this is a single abstraction: the LIFO scratch [`Pool`]. Three
+//! hot paths used to hand-roll the same "retire a buffer, reuse its
+//! capacity later" dance — the inference arena's id-vector pool in
+//! `lsched-nn`, the encoder's retired embedding pairs in `lsched-core`,
+//! and the simulator's wake buffer in `lsched-engine`. They now share
+//! this one implementation, so the invariant (recycled values are
+//! *empty* but keep their heap capacity) lives in exactly one place.
+
+/// A value that can be emptied in place while keeping its allocation,
+/// making it safe to hand back out of a [`Pool`].
+pub trait Recycle {
+    /// Clears the logical contents; must not shrink capacity.
+    fn recycle(&mut self);
+}
+
+impl<T> Recycle for Vec<T> {
+    fn recycle(&mut self) {
+        self.clear();
+    }
+}
+
+impl<A: Recycle, B: Recycle> Recycle for (A, B) {
+    fn recycle(&mut self) {
+        self.0.recycle();
+        self.1.recycle();
+    }
+}
+
+/// A generic last-in-first-out scratch pool.
+///
+/// [`take`](Pool::take) pops the most recently retired value (or builds a
+/// fresh default), and [`put`](Pool::put) recycles a value back in. LIFO
+/// order means the warmest — largest-capacity, cache-resident — buffer is
+/// always reused first, so steady-state loops stop touching the
+/// allocator once every concurrent user has been through the pool once.
+#[derive(Debug)]
+pub struct Pool<T> {
+    spares: Vec<T>,
+}
+
+impl<T> Default for Pool<T> {
+    fn default() -> Self {
+        Self { spares: Vec::new() }
+    }
+}
+
+impl<T> Pool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of retired values currently available.
+    pub fn spares(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// Drops every retired value (used by explicit cold resets).
+    pub fn clear(&mut self) {
+        self.spares.clear();
+    }
+}
+
+impl<T: Default + Recycle> Pool<T> {
+    /// Pops the most recently retired value, or a fresh default when the
+    /// pool is dry. The returned value is always logically empty.
+    pub fn take(&mut self) -> T {
+        self.spares.pop().unwrap_or_default()
+    }
+
+    /// Recycles `value` (emptied in place, capacity kept) for a later
+    /// [`take`](Pool::take).
+    pub fn put(&mut self, mut value: T) {
+        value.recycle();
+        self.spares.push(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_from_empty_pool_builds_defaults() {
+        let mut p: Pool<Vec<u32>> = Pool::new();
+        assert_eq!(p.spares(), 0);
+        let v = p.take();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn put_clears_but_keeps_capacity() {
+        let mut p: Pool<Vec<u32>> = Pool::new();
+        let mut v = p.take();
+        v.extend(0..100);
+        let cap = v.capacity();
+        p.put(v);
+        let v2 = p.take();
+        assert!(v2.is_empty(), "recycled values must come back empty");
+        assert!(v2.capacity() >= cap, "recycled values must keep their capacity");
+    }
+
+    #[test]
+    fn pool_is_lifo() {
+        let mut p: Pool<Vec<u32>> = Pool::new();
+        let mut a = Vec::with_capacity(8);
+        a.push(1);
+        let big = Vec::with_capacity(1024);
+        p.put(a);
+        p.put(big);
+        // The most recently retired (largest) buffer comes back first.
+        assert!(p.take().capacity() >= 1024);
+        assert!(p.take().capacity() >= 8);
+        assert_eq!(p.spares(), 0);
+    }
+
+    #[test]
+    fn tuple_recycle_clears_both_sides() {
+        let mut p: Pool<(Vec<u8>, Vec<u16>)> = Pool::new();
+        let mut pair = p.take();
+        pair.0.extend([1, 2, 3]);
+        pair.1.extend([4, 5]);
+        p.put(pair);
+        let pair = p.take();
+        assert!(pair.0.is_empty() && pair.1.is_empty());
+    }
+}

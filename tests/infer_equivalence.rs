@@ -222,12 +222,14 @@ proptest! {
             })
             .collect();
         let free_ids: Vec<usize> = (0..free_threads).collect();
+        let hot = lsched::engine::scheduler::QueryHot::from_queries(&queries);
         let ctx = SchedContext {
             time: 0.0,
             total_threads: 8,
             free_threads,
             free_thread_ids: &free_ids,
             queries: &queries,
+            hot: &hot,
         };
         let snap = snapshot(model.feature_config(), &ctx);
 
@@ -250,5 +252,174 @@ proptest! {
         prop_assert_eq!(&tape_decisions, &infer_decisions, "decisions diverged");
         prop_assert_eq!(&tape_picks, &infer_picks, "pick traces diverged");
         prop_assert_eq!(tape_lp.to_bits(), infer_lp.to_bits(), "log-prob diverged");
+    }
+
+    /// Cross-event fused scoring: packing random segment layouts into
+    /// one `mlp_scores_batched` call yields per-event score vectors
+    /// bit-identical to scoring each segment alone with `mlp_scores`,
+    /// on both the tape and the inference backend.
+    #[test]
+    fn batched_segment_scores_match_sequential(
+        in_dim in 1usize..8,
+        hidden in 1usize..10,
+        seg_lens in prop::collection::vec(1usize..7, 1..6),
+        seed in 0u64..1000,
+    ) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let head = Mlp::new(&mut store, &mut rng, "h", &[in_dim, hidden, 1],
+                            Activation::LeakyRelu, Activation::None);
+        let total: usize = seg_lens.iter().sum();
+        let inputs: Vec<Vec<f32>> = (0..total).map(|_| rand_vec(&mut rng, in_dim)).collect();
+
+        let mut ctx = InferCtx::new();
+        let (batched, sequential) = {
+            let mut b = ctx.session(&store);
+            let ids: Vec<_> = inputs.iter().map(|v| b.input(v)).collect();
+            let mut seg_scores = Vec::new();
+            b.mlp_scores_batched(&head, &ids, &seg_lens, &mut seg_scores);
+            let batched: Vec<Vec<f32>> =
+                seg_scores.iter().map(|&s| b.value(s).to_vec()).collect();
+            let mut sequential = Vec::new();
+            let mut start = 0;
+            for &len in &seg_lens {
+                let s = b.mlp_scores(&head, &ids[start..start + len]);
+                sequential.push(b.value(s).to_vec());
+                start += len;
+            }
+            (batched, sequential)
+        };
+        prop_assert_eq!(&batched, &sequential, "fused per-event scores diverged");
+
+        let tape: Vec<Vec<f32>> = {
+            let mut g = Graph::new();
+            let mut b = TapeBackend::new(&mut g, &store);
+            let ids: Vec<_> = inputs.iter().map(|v| b.input(v)).collect();
+            let mut seg_scores = Vec::new();
+            b.mlp_scores_batched(&head, &ids, &seg_lens, &mut seg_scores);
+            seg_scores.iter().map(|&s| b.value(s).to_vec()).collect()
+        };
+        prop_assert_eq!(&batched, &tape, "batched scores diverged from tape");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The cross-event batched decision pass (`decide_infer_batch`) over
+    /// random event counts × per-event candidate counts is bit-identical
+    /// to running the sequential per-event path (`decide_infer`) on each
+    /// snapshot in event order with the same rng stream: same decisions,
+    /// same greedy/sampled picks, same per-event log-prob bits.
+    #[test]
+    fn cross_event_batch_matches_sequential(
+        event_sizes in prop::collection::vec(0usize..4, 1..5),
+        free_threads in 1usize..8,
+        model_seed in 0u64..100,
+        rng_seed in 0u64..1000,
+        sampled in 0u8..2,
+    ) {
+        use lsched::core::agent::{BatchInferScratch, InferScratch};
+        use lsched::engine::plan::{OpKind, OpSpec, PlanBuilder};
+        use lsched::engine::scheduler::QueryRuntime;
+        use lsched::core::features::{snapshot, SystemSnapshot};
+        use lsched::core::encoder::EncoderConfig;
+        use lsched::core::predictor::PredictorConfig;
+
+        let cfg = LSchedConfig {
+            encoder: EncoderConfig {
+                hidden: 12, edge_hidden: 4, pqe_dim: 8, aqe_dim: 8, conv_layers: 2,
+                ..Default::default()
+            },
+            predictor: PredictorConfig { max_degree: 4, max_threads: 16, ..Default::default() },
+        };
+        let model = LSchedModel::new(cfg, model_seed);
+        let budget = model.cfg.predictor.max_picks_per_event;
+
+        // One independent system state per event; event `e`'s query count
+        // is `event_sizes[e]` (zero-query events exercise the
+        // empty-segment path).
+        let snaps: Vec<SystemSnapshot> = event_sizes
+            .iter()
+            .enumerate()
+            .map(|(e, &nq)| {
+                let queries: Vec<QueryRuntime> = (0..nq)
+                    .map(|i| {
+                        let mut b = PlanBuilder::new(format!("e{e}q{i}"));
+                        let scan = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![0], vec![0], 100.0 + e as f64, 4, 0.01, 1e5);
+                        let sel = b.add_op(OpKind::Select, OpSpec::Synthetic, vec![0], vec![1], 50.0, 4, 0.01, 1e5);
+                        let agg = b.add_op(OpKind::Aggregate, OpSpec::Synthetic, vec![0], vec![1], 10.0, 4, 0.01, 1e5);
+                        b.connect(scan, sel, true);
+                        b.connect(sel, agg, false);
+                        QueryRuntime::new(QueryId((e * 10 + i) as u64), std::sync::Arc::new(b.finish(agg)), 0.0, 8)
+                    })
+                    .collect();
+                let free_ids: Vec<usize> = (0..free_threads).collect();
+                let hot = lsched::engine::scheduler::QueryHot::from_queries(&queries);
+                let ctx = SchedContext {
+                    time: e as f64 * 0.1,
+                    total_threads: 8,
+                    free_threads,
+                    free_thread_ids: &free_ids,
+                    queries: &queries,
+                    hot: &hot,
+                };
+                snapshot(model.feature_config(), &ctx)
+            })
+            .collect();
+        let snap_refs: Vec<&SystemSnapshot> = snaps.iter().collect();
+
+        let mode = if sampled == 1 { DecisionMode::Sample } else { DecisionMode::Greedy };
+
+        // Sequential reference: per-event decide_infer, one rng stream
+        // consumed in event order.
+        let mut rng_seq = StdRng::seed_from_u64(rng_seed);
+        let mut seq_scratch = InferScratch::new();
+        let mut seq_decisions = Vec::new();
+        let mut seq_picks = Vec::new();
+        let mut seq_per_event = Vec::new();
+        for snap in &snaps {
+            let rng = (mode == DecisionMode::Sample).then_some(&mut rng_seq);
+            let mut d = Vec::new();
+            let mut p = Vec::new();
+            let lp = model.decide_infer(snap, mode, rng, &mut seq_scratch, &mut d, &mut p);
+            seq_per_event.push((d.len(), lp));
+            seq_decisions.extend(d);
+            seq_picks.extend(p);
+        }
+
+        // Batched path: one fused call over all events.
+        let mut rng_batch = StdRng::seed_from_u64(rng_seed);
+        let rng = (mode == DecisionMode::Sample).then_some(&mut rng_batch);
+        let mut batch_scratch = BatchInferScratch::new();
+        let mut batch_decisions = Vec::new();
+        let mut batch_picks = Vec::new();
+        let mut batch_per_event = Vec::new();
+        model.decide_infer_batch(
+            &snap_refs, mode, rng, budget, &mut batch_scratch,
+            &mut batch_decisions, &mut batch_picks, &mut batch_per_event,
+        );
+
+        prop_assert_eq!(&seq_decisions, &batch_decisions, "decisions diverged");
+        prop_assert_eq!(&seq_picks, &batch_picks, "pick traces diverged");
+        prop_assert_eq!(seq_per_event.len(), batch_per_event.len());
+        for (e, (s, b)) in seq_per_event.iter().zip(&batch_per_event).enumerate() {
+            prop_assert_eq!(s.0, b.0, "decision count diverged at event {}", e);
+            prop_assert_eq!(
+                s.1.to_bits(), b.1.to_bits(),
+                "log-prob bits diverged at event {}", e
+            );
+        }
+
+        // Steady state: a second identical batch must not grow the arena
+        // (zero allocations once warm).
+        let cap_before = batch_scratch.arena_capacity();
+        let mut rng_batch2 = StdRng::seed_from_u64(rng_seed);
+        let rng2 = (mode == DecisionMode::Sample).then_some(&mut rng_batch2);
+        model.decide_infer_batch(
+            &snap_refs, mode, rng2, budget, &mut batch_scratch,
+            &mut batch_decisions, &mut batch_picks, &mut batch_per_event,
+        );
+        prop_assert_eq!(cap_before, batch_scratch.arena_capacity(), "arena grew on warm call");
     }
 }
