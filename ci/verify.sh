@@ -32,10 +32,16 @@ target/release/infer_latency --reps 100
 if [[ "${1:-}" == "--full" ]]; then
     echo "== full: test suite =="
     cargo test -q --workspace
-    echo "== full: chaos + overload gates =="
+    echo "== full: chaos + overload regression gates =="
+    # Overload (PR7 gates included): predictive admission must match or
+    # beat the hysteresis gate on P99 at the calibrated 2x overload
+    # point, hold its starvation bound across the chaos seed matrix,
+    # stay bit-identical under the standard fault matrix, and degrade
+    # to hysteresis (never unguarded) when the predictor head is
+    # poisoned. Writes BENCH_pr7.json.
     cargo build --release -p lsched-bench --bin chaos --bin overload
     target/release/chaos
-    target/release/overload
+    target/release/overload --out BENCH_pr7.json
 fi
 
 echo "verify: all gates passed"

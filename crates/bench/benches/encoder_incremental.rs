@@ -40,6 +40,8 @@ fn bench_encoder_incremental(c: &mut Criterion) {
             free_thread_ids: &free,
             queries: &queries,
             hot: &hot,
+            in_flight_mem: 0.0,
+            mem_budget: f64::INFINITY,
         };
 
         // Feature-extraction stage in isolation: per-event snapshot with

@@ -32,6 +32,8 @@ fn bench_decide(c: &mut Criterion) {
             free_thread_ids: &free,
             queries: &queries,
             hot: &hot,
+            in_flight_mem: 0.0,
+            mem_budget: f64::INFINITY,
         };
         let snap = snapshot(&FeatureConfig::default(), &ctx);
         group.bench_with_input(BenchmarkId::new("queries", nq), &snap, |b, snap| {

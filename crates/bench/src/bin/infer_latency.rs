@@ -97,6 +97,8 @@ fn build_snapshots(model: &LSchedModel, n: usize) -> Vec<SystemSnapshot> {
                 free_thread_ids: &free,
                 queries: &queries,
                 hot: &hot,
+                in_flight_mem: 0.0,
+                mem_budget: f64::INFINITY,
             };
             snapshot(model.feature_config(), &ctx)
         })

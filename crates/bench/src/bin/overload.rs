@@ -6,22 +6,31 @@
 //! ```
 //!
 //! Calibrates the pool's service capacity, then sweeps load multipliers
-//! `{0.5, 1.0, 1.5, 2.0}` against three admission configurations
-//! (shedding disabled / reject / defer) with per-query deadlines and a
-//! one-retry budget. Gates:
+//! `{0.5, 1.0, 1.5, 2.0}` against four admission configurations
+//! (shedding disabled / reject / defer / predictive) with per-query
+//! deadlines and a one-retry budget. Gates:
 //!
 //! * zero panics and zero simulation errors, every query conserved;
 //! * shed fraction monotone non-decreasing in offered load (per policy);
 //! * P99 latency of *admitted* queries inflates ≤ 2× when offered load
 //!   doubles from 1× to 2× with shedding on;
 //! * the shedding-disabled contrast run sheds nothing;
+//! * the predictive gate's P99 at calibrated overload (2×) does not
+//!   exceed the hysteresis defer gate's, and its breaker never trips
+//!   during the sweep;
+//! * the predictive starvation bound (`ceil((1 - threshold) /
+//!   starve_penalty)` deferrals per admission episode) holds across the
+//!   chaos seed matrix;
+//! * a poisoned predictor head trips the gate breaker and the run
+//!   degrades to the hysteresis gate — never to unguarded admission;
 //! * bursty arrivals complete with conservation;
-//! * chaos determinism: admission + deadlines under the standard fault
-//!   matrix are bit-identical across a double run;
+//! * chaos determinism: admission (hysteresis *and* predictive) +
+//!   deadlines under the standard fault matrix are bit-identical across
+//!   a double run;
 //! * checkpoint kill/resume is bit-identical and corrupt generations
 //!   fall back.
 //!
-//! Writes `BENCH_pr5.json` (override with `--out`) and exits non-zero
+//! Writes `BENCH_pr7.json` (override with `--out`) and exits non-zero
 //! if any gate fails.
 
 use std::panic::{self, AssertUnwindSafe};
@@ -31,12 +40,14 @@ use serde::Serialize;
 use lsched_bench::report::RunCounters;
 use lsched_core::{
     train, train_with_checkpoints, CheckpointPolicy, ExperienceManager, LSchedConfig, LSchedModel,
-    TrainConfig,
+    PredictiveAdmission, PredictiveAdmissionConfig, TrainConfig,
 };
 use lsched_engine::fault::FaultPlan;
 use lsched_engine::sim::{try_simulate, RetryPolicy, SimConfig, WorkloadItem};
 use lsched_nn::CheckpointManager;
-use lsched_sched::{Admission, AdmissionConfig, GuardedScheduler, QuickstepScheduler, ShedPolicy};
+use lsched_sched::{
+    Admission, AdmissionConfig, AdmissionStack, GuardedScheduler, QuickstepScheduler, ShedPolicy,
+};
 use lsched_workloads::tpch;
 use lsched_workloads::workload::{gen_workload, ArrivalPattern};
 
@@ -51,6 +62,7 @@ enum GateMode {
     Disabled,
     Reject,
     Defer,
+    Predictive,
 }
 
 #[derive(Debug, Serialize)]
@@ -80,6 +92,14 @@ struct Report {
     p99_inflation_1x_to_2x: f64,
     p99_inflation_ok: bool,
     disabled_sheds_nothing: bool,
+    predictive_p99_at_overload: f64,
+    hysteresis_p99_at_overload: f64,
+    predictive_beats_hysteresis_p99: bool,
+    predictive_sweep_trips: u64,
+    predictive_max_defer_bound: u32,
+    predictive_starvation_bound_ok: bool,
+    predictive_chaos_deterministic: bool,
+    breaker_degrades_to_hysteresis: bool,
     deadline_enforcement_active: bool,
     bursty_conserved: bool,
     chaos_deterministic: bool,
@@ -97,22 +117,35 @@ fn with_slos(wl: Vec<WorkloadItem>, budget: f64) -> Vec<WorkloadItem> {
         .collect()
 }
 
+fn hysteresis(policy: ShedPolicy) -> Admission {
+    Admission::new(AdmissionConfig {
+        max_queued: 6,
+        resume_queued: 3,
+        policy,
+        ..Default::default()
+    })
+}
+
+/// The predictive gate under test: warm-started linear head, defer
+/// policy, default starvation bound `ceil((1 - 0.5) / 0.1) = 5`.
+fn predictive_gate() -> PredictiveAdmission {
+    PredictiveAdmission::new(PredictiveAdmissionConfig {
+        policy: ShedPolicy::Defer,
+        ..Default::default()
+    })
+}
+
 fn scheduler(mode: GateMode) -> GuardedScheduler<QuickstepScheduler> {
     let guard = GuardedScheduler::new(QuickstepScheduler);
     match mode {
         GateMode::Disabled => guard,
-        GateMode::Reject => guard.with_admission(Admission::new(AdmissionConfig {
-            max_queued: 6,
-            resume_queued: 3,
-            policy: ShedPolicy::Reject,
-            ..Default::default()
-        })),
-        GateMode::Defer => guard.with_admission(Admission::new(AdmissionConfig {
-            max_queued: 6,
-            resume_queued: 3,
-            policy: ShedPolicy::Defer,
-            ..Default::default()
-        })),
+        GateMode::Reject => guard.with_admission(hysteresis(ShedPolicy::Reject)),
+        GateMode::Defer => guard.with_admission(hysteresis(ShedPolicy::Defer)),
+        GateMode::Predictive => guard.with_admission_stack(AdmissionStack::with_primary(
+            Box::new(predictive_gate()),
+            hysteresis(ShedPolicy::Defer),
+            8,
+        )),
     }
 }
 
@@ -209,7 +242,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_pr5.json".into());
+        .unwrap_or_else(|| "BENCH_pr7.json".into());
 
     let pool = tpch::plan_pool(&[0.3]);
 
@@ -234,8 +267,9 @@ fn main() {
     let mut panics = 0usize;
     let mut sim_errors = 0usize;
     let mut conservation_violations = 0usize;
+    let mut predictive_sweep_trips = 0u64;
 
-    for mode in [GateMode::Disabled, GateMode::Reject, GateMode::Defer] {
+    for mode in [GateMode::Disabled, GateMode::Reject, GateMode::Defer, GateMode::Predictive] {
         for &mult in &LOAD_MULTIPLIERS {
             let lambda = capacity_qps * mult;
             let wl = with_slos(
@@ -265,6 +299,9 @@ fn main() {
                 }
                 Ok(Ok(res)) => res,
             };
+            if mode == GateMode::Predictive {
+                predictive_sweep_trips += sched.gate_stats().map_or(0, |s| s.trips);
+            }
             if res.outcomes.len() + res.aborted.len() != queries {
                 conservation_violations += 1;
                 eprintln!(
@@ -320,6 +357,132 @@ fn main() {
         .iter()
         .filter(|r| r.mode == GateMode::Disabled)
         .all(|r| r.counters.shed == 0 && r.counters.deferred == 0);
+
+    // Gate: at the calibrated overload point (2× capacity) the
+    // predictive gate's P99 must not exceed the hysteresis defer
+    // gate's — the learned mix features should shape admitted load at
+    // least as well as the static queue-depth thresholds. The breaker
+    // must also never have tripped during the sweep (the primary gate
+    // served every verdict).
+    let predictive_p99 = p99_at(GateMode::Predictive, 2.0);
+    let hysteresis_p99 = p99_at(GateMode::Defer, 2.0);
+    let predictive_beats_hysteresis_p99 =
+        predictive_p99 <= hysteresis_p99 && predictive_sweep_trips == 0;
+    println!(
+        "overload P99 @2.0x: predictive {predictive_p99:.4}s vs hysteresis {hysteresis_p99:.4}s \
+         (sweep trips: {predictive_sweep_trips})"
+    );
+
+    // Gate: the predictive starvation bound holds across the chaos seed
+    // matrix. No retry budget, so each workload item has exactly one
+    // admission episode and the per-episode bound applies verbatim.
+    let predictive_max_defer_bound = predictive_gate().max_defer_bound();
+    let predictive_starvation_bound_ok = [3u64, 7, 11, 19, 23].iter().all(|&seed| {
+        let lambda = capacity_qps * 2.0;
+        let wl = with_slos(
+            gen_workload(&pool, queries, ArrivalPattern::Streaming { lambda }, seed),
+            deadline_budget,
+        );
+        let faults = FaultPlan::standard_matrix(seed, threads, queries, cal.makespan);
+        let cfg = SimConfig {
+            num_threads: threads,
+            seed,
+            faults: Some(faults),
+            ..Default::default()
+        };
+        let mut sched = scheduler(GateMode::Predictive);
+        match try_simulate(cfg, &wl, &mut sched) {
+            Ok(res) => {
+                let trips = sched.gate_stats().map_or(u64::MAX, |s| s.trips);
+                let ok = res.resilience.max_defer_attempts <= predictive_max_defer_bound
+                    && trips == 0
+                    && res.outcomes.len() + res.aborted.len() == queries;
+                if !ok {
+                    eprintln!(
+                        "STARVATION GATE seed {seed}: max_defer_attempts {} (bound {}), trips {trips}",
+                        res.resilience.max_defer_attempts, predictive_max_defer_bound
+                    );
+                }
+                ok
+            }
+            Err(e) => {
+                eprintln!("STARVATION GATE seed {seed}: sim error {e}");
+                false
+            }
+        }
+    });
+
+    // Gate: predictive admission layered on the standard fault matrix
+    // stays bit-identical across a double run (the whole verdict path is
+    // RNG-neutral).
+    let predictive_chaos_deterministic = {
+        let run = || {
+            let wl = with_slos(
+                gen_workload(&pool, queries, ArrivalPattern::Streaming { lambda: capacity_qps }, 3),
+                deadline_budget,
+            );
+            let faults = FaultPlan::standard_matrix(3, threads, queries, cal.makespan);
+            let cfg = SimConfig {
+                num_threads: threads,
+                seed: 3,
+                faults: Some(faults),
+                retry: RetryPolicy { max_retries: 1, ..Default::default() },
+                ..Default::default()
+            };
+            try_simulate(cfg, &wl, &mut scheduler(GateMode::Predictive))
+        };
+        match (run(), run()) {
+            (Ok(a), Ok(b)) => {
+                a.makespan.to_bits() == b.makespan.to_bits()
+                    && a.resilience == b.resilience
+                    && a.fault_summary == b.fault_summary
+            }
+            _ => false,
+        }
+    };
+
+    // Gate: a poisoned predictor head (NaN smuggled into the served
+    // weights) trips the per-component breaker and the run degrades to
+    // the hysteresis gate — verdicts keep flowing from a guarded gate,
+    // never from unguarded admit-everything.
+    let breaker_degrades_to_hysteresis = {
+        let mut gate = predictive_gate();
+        let wid = gate.head_mut().mlp().layers()[1].weight_id();
+        gate.head_mut().store_mut().value_mut(wid).data_mut()[0] = f32::NAN;
+        let stack =
+            AdmissionStack::with_primary(Box::new(gate), hysteresis(ShedPolicy::Defer), 8);
+        let mut sched =
+            GuardedScheduler::new(QuickstepScheduler).with_admission_stack(stack);
+        let lambda = capacity_qps * 2.0;
+        let wl = with_slos(
+            gen_workload(&pool, queries, ArrivalPattern::Streaming { lambda }, 13),
+            deadline_budget,
+        );
+        let cfg = SimConfig {
+            num_threads: threads,
+            seed: 13,
+            retry: RetryPolicy { max_retries: 1, ..Default::default() },
+            ..Default::default()
+        };
+        match try_simulate(cfg, &wl, &mut sched) {
+            Ok(res) => {
+                let gs = sched.gate_stats().unwrap_or_default();
+                let served = sched.admission_stats().is_some_and(|s| s.arrivals > 0);
+                println!(
+                    "poisoned head: trips {} fallback arrivals {} hysteresis served {served}",
+                    gs.trips, gs.fallback_arrivals
+                );
+                gs.trips >= 1
+                    && gs.fallback_arrivals >= 1
+                    && served
+                    && res.outcomes.len() + res.aborted.len() == queries
+            }
+            Err(e) => {
+                eprintln!("BREAKER GATE: sim error {e}");
+                false
+            }
+        }
+    };
 
     // Gate: deadline enforcement under pressure — a tight SLO budget at
     // 2× load must produce timeouts and retries while conserving every
@@ -413,6 +576,10 @@ fn main() {
         && shed_monotone
         && p99_inflation_ok
         && disabled_sheds_nothing
+        && predictive_beats_hysteresis_p99
+        && predictive_starvation_bound_ok
+        && predictive_chaos_deterministic
+        && breaker_degrades_to_hysteresis
         && deadline_enforcement_active
         && bursty_conserved
         && chaos_deterministic
@@ -420,8 +587,8 @@ fn main() {
         && checkpoint_corruption_fallback;
 
     let report = Report {
-        pr: 5,
-        title: "Overload protection + durable recovery sweep".into(),
+        pr: 7,
+        title: "Predictive admission + overload protection sweep".into(),
         queries,
         threads,
         capacity_qps,
@@ -433,6 +600,14 @@ fn main() {
         p99_inflation_1x_to_2x: p99_inflation,
         p99_inflation_ok,
         disabled_sheds_nothing,
+        predictive_p99_at_overload: predictive_p99,
+        hysteresis_p99_at_overload: hysteresis_p99,
+        predictive_beats_hysteresis_p99,
+        predictive_sweep_trips,
+        predictive_max_defer_bound,
+        predictive_starvation_bound_ok,
+        predictive_chaos_deterministic,
+        breaker_degrades_to_hysteresis,
         deadline_enforcement_active,
         bursty_conserved,
         chaos_deterministic,
@@ -445,7 +620,11 @@ fn main() {
     std::fs::write(&out, json).expect("write report");
     println!(
         "overload: panics={panics} sim_errors={sim_errors} shed_monotone={shed_monotone} \
-         p99_inflation={p99_inflation:.2} ckpt_resume={checkpoint_resume_identical} \
+         p99_inflation={p99_inflation:.2} predictive_p99_ok={predictive_beats_hysteresis_p99} \
+         starvation_bound_ok={predictive_starvation_bound_ok} \
+         breaker_degrade={breaker_degrades_to_hysteresis} \
+         predictive_chaos={predictive_chaos_deterministic} \
+         ckpt_resume={checkpoint_resume_identical} \
          ckpt_fallback={checkpoint_corruption_fallback} -> {}",
         if passed { "PASS" } else { "FAIL" }
     );

@@ -105,6 +105,16 @@ pub struct RunCounters {
     pub deadline_retries: u64,
     /// Transient work-order failures absorbed by retries.
     pub wo_retries: u64,
+    /// Starvation metric: the most admission deferrals any single
+    /// workload item accumulated (a gate with a proven starvation bound
+    /// keeps this at or below its bound).
+    pub max_defer_attempts: u32,
+    /// Starvation metric: the longest arrival-to-first-grant wait (s)
+    /// of any workload item, deferral delays included.
+    pub max_queue_wait: f64,
+    /// Threads reclaimed from permanent pipeline stalls by the
+    /// simulator's progress guard.
+    pub stall_rescues: u64,
 }
 
 impl RunCounters {
@@ -118,6 +128,9 @@ impl RunCounters {
             deadline_timeouts: res.resilience.deadline_timeouts,
             deadline_retries: res.resilience.deadline_retries,
             wo_retries: res.fault_summary.wo_retries,
+            max_defer_attempts: res.resilience.max_defer_attempts,
+            max_queue_wait: res.resilience.max_queue_wait,
+            stall_rescues: res.resilience.stall_rescues,
         }
     }
 }

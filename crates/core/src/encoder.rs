@@ -483,6 +483,8 @@ mod tests {
             free_thread_ids: &free,
             queries: &queries,
             hot: &hot,
+            in_flight_mem: 0.0,
+            mem_budget: f64::INFINITY,
         };
         snapshot(&FeatureConfig::default(), &ctx)
     }

@@ -93,7 +93,7 @@ fn one_hot_fold(slots: usize, indices: &[usize]) -> Vec<f32> {
 }
 
 /// Log-compresses a non-negative magnitude into a small feature value.
-fn squash(x: f64) -> f32 {
+pub fn squash(x: f64) -> f32 {
     (x.max(0.0) + 1.0).ln() as f32
 }
 
@@ -169,6 +169,89 @@ pub fn query_features(cfg: &FeatureConfig, ctx: &SchedContext<'_>, q: &QueryRunt
     }
     v.extend(loc);
     v
+}
+
+/// Dimension of the concurrent-mix feature block shared by every
+/// candidate scored for one admission decision.
+pub const MIX_DIM: usize = 6;
+
+/// Dimension of one admission candidate's full feature row: the
+/// concurrent-mix block followed by the per-query block.
+pub const ADMIT_DIM: usize = MIX_DIM + 6;
+
+/// Extracts the concurrent-mix feature block from a context snapshot:
+/// what the system as a whole looks like at this arrival. Every entry is
+/// non-negative (so a ReLU identity layer passes it through unchanged)
+/// and log-compressed where unbounded:
+///
+/// 0. queued — thread-less (waiting) query count
+/// 1. running — query count holding at least one thread
+/// 2. free fraction of the worker pool
+/// 3. total undispatched work-order backlog
+/// 4. aggregate estimated remaining work (TrailingRegressor-driven)
+/// 5. memory pressure ([`SchedContext::mem_pressure`])
+pub fn mix_features(ctx: &SchedContext<'_>) -> [f32; MIX_DIM] {
+    let mut queued = 0u64;
+    let mut running = 0u64;
+    let mut backlog = 0u64;
+    let mut agg_work = 0.0f64;
+    for q in ctx.queries {
+        if q.assigned_threads == 0 {
+            queued += 1;
+        } else {
+            running += 1;
+        }
+        backlog += q.ops.iter().map(|o| u64::from(o.undispatched_work_orders())).sum::<u64>();
+        agg_work += q.est_remaining_work();
+    }
+    [
+        squash(queued as f64),
+        squash(running as f64),
+        ctx.free_threads as f32 / ctx.total_threads.max(1) as f32,
+        squash(backlog as f64),
+        squash(agg_work),
+        ctx.mem_pressure() as f32,
+    ]
+}
+
+/// Extracts one admission candidate's feature row: the shared `mix`
+/// block followed by the per-query block (all non-negative):
+///
+/// 6. estimated remaining work of `q` ([`PlanStatics`]-era regression
+///    estimates via `TrailingRegressor`)
+/// 7. remaining work orders of `q`
+/// 8. operator count of `q`'s plan
+/// 9. priority deficit — `max(0, -priority)`, so low-priority queries
+///    stand out as shed candidates while the default priority 0 is
+///    neutral
+/// 10. time spent waiting since arrival
+/// 11. deadline urgency — `1/(1 + slack)`, 0 when no deadline is set
+pub fn admission_features(
+    ctx: &SchedContext<'_>,
+    mix: &[f32; MIX_DIM],
+    q: &QueryRuntime,
+) -> [f32; ADMIT_DIM] {
+    let urgency = match q.deadline {
+        Some(d) => {
+            let slack = (d - ctx.time).max(0.0);
+            (1.0 / (1.0 + slack)) as f32
+        }
+        None => 0.0,
+    };
+    [
+        mix[0],
+        mix[1],
+        mix[2],
+        mix[3],
+        mix[4],
+        mix[5],
+        squash(q.est_remaining_work()),
+        squash(f64::from(q.ops.iter().map(|o| o.remaining_work_orders()).sum::<u32>())),
+        squash(q.plan.num_ops() as f64),
+        squash(f64::from((-q.priority).max(0))),
+        squash((ctx.time - q.arrival_time).max(0.0)),
+        urgency,
+    ]
 }
 
 /// The plan-derived, event-invariant part of a query's features: nothing
@@ -541,6 +624,8 @@ mod tests {
             free_thread_ids: &free,
             queries: &queries,
             hot: &hot,
+            in_flight_mem: 0.0,
+            mem_budget: f64::INFINITY,
         };
         let snap = snapshot(&cfg, &ctx);
         assert_eq!(snap.queries.len(), 1);
@@ -580,6 +665,8 @@ mod tests {
             free_thread_ids: &free,
             queries: &queries,
             hot: &hot,
+            in_flight_mem: 0.0,
+            mem_budget: f64::INFINITY,
         };
         let mut cache = SnapshotCache::new();
         let fresh = snapshot(&cfg, &ctx);

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod admission;
 pub mod agent;
 pub mod encoder;
 pub mod experience;
@@ -33,6 +34,7 @@ pub mod train;
 pub mod transfer;
 
 pub use ablation::{config_for_variant, model_for_variant, LSchedVariant};
+pub use admission::{PredictiveAdmission, PredictiveAdmissionConfig, PredictiveStats};
 pub use agent::{
     BatchInferScratch, EpisodeStep, InferScratch, LSchedConfig, LSchedModel, LSchedScheduler,
 };

@@ -163,6 +163,8 @@ proptest! {
                 free_thread_ids: &free,
                 queries: &queries,
                 hot: &hot,
+                in_flight_mem: 0.0,
+                mem_budget: f64::INFINITY,
             };
             let cached = snapshot_cached(&fcfg, &ctx, &mut cache);
             let fresh = snapshot(&fcfg, &ctx);

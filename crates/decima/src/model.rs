@@ -719,6 +719,8 @@ mod tests {
             free_thread_ids: &free,
             queries: &queries,
             hot: &hot,
+            in_flight_mem: 0.0,
+            mem_budget: f64::INFINITY,
         };
         let snap = decima_snapshot(&ctx);
         assert!(snap.queries[0].schedulable.is_empty()); // Decima view

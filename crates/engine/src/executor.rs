@@ -343,6 +343,10 @@ impl ControlState {
                 free_thread_ids: &self.free_threads,
                 queries: &self.queries,
                 hot: &self.hot,
+                // The threaded executor does not model a memory budget; the
+                // neutral values make `mem_pressure()` read 0.
+                in_flight_mem: 0.0,
+                mem_budget: f64::INFINITY,
             };
             scheduler.admit(&ctx, qid, 0)
         };
@@ -751,6 +755,10 @@ impl ControlState {
                 free_thread_ids: &self.free_threads,
                 queries: &self.queries,
                 hot: &self.hot,
+                // The threaded executor does not model a memory budget; the
+                // neutral values make `mem_pressure()` read 0.
+                in_flight_mem: 0.0,
+                mem_budget: f64::INFINITY,
             };
             match clamp_decision(&ctx, d) {
                 Ok(c) => c,
@@ -803,6 +811,10 @@ impl ControlState {
                 free_thread_ids: &self.free_threads,
                 queries: &self.queries,
                 hot: &self.hot,
+                // The threaded executor does not model a memory budget; the
+                // neutral values make `mem_pressure()` read 0.
+                in_flight_mem: 0.0,
+                mem_budget: f64::INFINITY,
             };
             let t0 = Instant::now();
             let ds = scheduler.on_event(&ctx, &event);

@@ -543,12 +543,32 @@ pub struct SchedContext<'a> {
     /// Structure-of-arrays view of the per-query hot columns, in
     /// lockstep with `queries`.
     pub hot: &'a QueryHot,
+    /// Memory (bytes) currently held by in-flight pipelines and work
+    /// orders — the concurrent-mix signal admission gates weigh an
+    /// arrival against.
+    pub in_flight_mem: f64,
+    /// Memory budget (bytes) before the execution cost model starts
+    /// thrashing; `f64::INFINITY` when the host executor does not track
+    /// a budget.
+    pub mem_budget: f64,
 }
 
 impl<'a> SchedContext<'a> {
     /// Finds an active query by id.
     pub fn query(&self, qid: QueryId) -> Option<&QueryRuntime> {
         self.queries.iter().find(|q| q.qid == qid)
+    }
+
+    /// Memory pressure as a fraction of the budget (`0.0` = idle,
+    /// `>= 1.0` = thrashing), clamped to `[0, 8]` so a corrupt budget
+    /// cannot leak non-finite values into feature vectors. Returns `0.0`
+    /// when no meaningful budget is known.
+    pub fn mem_pressure(&self) -> f64 {
+        if !self.mem_budget.is_finite() || self.mem_budget <= 0.0 || !self.in_flight_mem.is_finite()
+        {
+            return 0.0;
+        }
+        (self.in_flight_mem / self.mem_budget).clamp(0.0, 8.0)
     }
 
     /// True when at least one active query has a schedulable operator.
@@ -790,6 +810,43 @@ pub trait Scheduler: Send {
     fn reset(&mut self) {}
 }
 
+/// Boxed policies forward transparently, so `Box<dyn Scheduler>` drops
+/// into any generic wrapper (e.g. a guard) without monomorphising on the
+/// concrete policy type.
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn on_event(&mut self, ctx: &SchedContext<'_>, event: &SchedEvent) -> Vec<SchedDecision> {
+        (**self).on_event(ctx, event)
+    }
+    fn on_tick(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        events: &[SchedEvent],
+    ) -> Option<Vec<SchedDecision>> {
+        (**self).on_tick(ctx, events)
+    }
+    fn admit(&mut self, ctx: &SchedContext<'_>, arriving: QueryId, attempt: u32) -> AdmissionResponse {
+        (**self).admit(ctx, arriving, attempt)
+    }
+    fn on_decision_executed(&mut self, ctx: &SchedContext<'_>, decision: &SchedDecision) {
+        (**self).on_decision_executed(ctx, decision)
+    }
+    fn on_query_finished(&mut self, time: f64, query: QueryId) {
+        (**self).on_query_finished(time, query)
+    }
+    fn on_query_cancelled(&mut self, time: f64, query: QueryId) {
+        (**self).on_query_cancelled(time, query)
+    }
+    fn health(&self) -> PolicyHealth {
+        (**self).health()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -880,6 +937,8 @@ mod tests {
             free_thread_ids: &free,
             queries: &queries,
             hot: &hot,
+            in_flight_mem: 0.0,
+            mem_budget: f64::INFINITY,
         };
         // Unknown query.
         let d = SchedDecision { query: QueryId(9), root: OpId(0), pipeline_degree: 1, threads: 1 };
@@ -913,6 +972,8 @@ mod tests {
             free_thread_ids: &free,
             queries: &queries,
             hot: &hot,
+            in_flight_mem: 0.0,
+            mem_budget: f64::INFINITY,
         };
         let stale = SchedDecision { query: QueryId(1), root: OpId(0), pipeline_degree: 2, threads: 8 };
         let clamped = clamp_decision(&ctx, &stale).unwrap();
@@ -929,6 +990,8 @@ mod tests {
             free_thread_ids: &none,
             queries: &queries,
             hot: &hot,
+            in_flight_mem: 0.0,
+            mem_budget: f64::INFINITY,
         };
         assert!(matches!(clamp_decision(&ctx0, &stale), Err(DecisionError::NoFreeThreads)));
     }

@@ -257,7 +257,11 @@ pub struct SimResult {
 
 /// Counters for the overload-protection layer: admission shedding,
 /// deferrals, deadline misses and granted retries.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Not `Eq` because `max_queue_wait` is a clock reading; determinism
+/// checks compare via `PartialEq` (no NaN can enter: waits are
+/// differences of finite simulator clocks).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ResilienceSummary {
     /// Queries shed by the admission gate: rejected on arrival, evicted
     /// from the queue as a shedding victim, or dropped after exhausting
@@ -270,6 +274,20 @@ pub struct ResilienceSummary {
     pub deadline_timeouts: u64,
     /// Re-submissions granted by the retry budget after a deadline miss.
     pub deadline_retries: u64,
+    /// Starvation metric: the largest number of admission deferrals any
+    /// single workload item accumulated. An admission gate with a proven
+    /// starvation bound keeps this at or below its bound.
+    pub max_defer_attempts: u32,
+    /// Starvation metric: the longest time (seconds) any workload item
+    /// spent between its original arrival and its first thread grant —
+    /// deferral delays included, so bounded starvation is observable.
+    pub max_queue_wait: f64,
+    /// Threads reclaimed from permanent pipeline stalls by the
+    /// progress guard. A stalled thread is woken only by completion
+    /// events of its own query, so when the event heap drains while it
+    /// is parked (e.g. its producer pipeline died with a lost worker)
+    /// the simulator routes it back to the pool instead of deadlocking.
+    pub stall_rescues: u64,
 }
 
 /// Latency statistics derived from a single sort of the outcome
@@ -393,7 +411,22 @@ enum Ev {
     Deadline(u64),
     /// Re-submission of workload item `item` (deferred by the admission
     /// gate or granted a deadline retry) as attempt number `attempt`.
-    Retry { item: usize, attempt: u32 },
+    Retry { item: usize, attempt: u32, kind: RetryKind },
+}
+
+/// Why a workload item is being re-submitted. The distinction decides
+/// the deadline anchor: a deferred query was *never admitted*, so its
+/// SLO clock keeps running from the original arrival (deferral cannot
+/// silently extend a deadline); a deadline retry is a deliberately
+/// granted fresh attempt and gets a fresh budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RetryKind {
+    /// Admission-gate deferral: deadline stays anchored at the item's
+    /// original arrival time.
+    Defer,
+    /// Post-timeout retry under [`RetryPolicy`]: fresh deadline budget
+    /// from the re-submission time.
+    Timeout,
 }
 
 /// Per-active-query bookkeeping the [`QueryRuntime`] snapshot does not
@@ -554,6 +587,12 @@ pub struct Simulator {
     pending_events: Vec<SchedEvent>,
     /// Reusable drain buffer for the events of one tick.
     tick_buf: Vec<Ev>,
+    /// Per-workload-item admission-deferral counts, backing
+    /// [`ResilienceSummary::max_defer_attempts`]. Sized in `run`.
+    item_defers: Vec<u32>,
+    /// Per-workload-item "has received its first thread grant" flags,
+    /// backing [`ResilienceSummary::max_queue_wait`]. Sized in `run`.
+    item_granted: Vec<bool>,
     // metrics
     outcomes: Vec<QueryOutcome>,
     aborted: Vec<QueryOutcome>,
@@ -598,6 +637,8 @@ impl Simulator {
             hot: QueryHot::new(),
             pending_events: Vec::new(),
             tick_buf: Vec::new(),
+            item_defers: Vec::new(),
+            item_granted: Vec::new(),
             outcomes: Vec::new(),
             aborted: Vec::new(),
             fault_summary: FaultSummary::default(),
@@ -625,6 +666,8 @@ impl Simulator {
         scheduler: &mut dyn Scheduler,
     ) -> Result<SimResult, SimError> {
         self.next_qid = workload.len() as u64;
+        self.item_defers = vec![0; workload.len()];
+        self.item_granted = vec![false; workload.len()];
         for (i, item) in workload.iter().enumerate() {
             self.push_event(item.arrival_time, Ev::Arrival(i));
         }
@@ -681,12 +724,12 @@ impl Simulator {
                     match ev {
                         Ev::Arrival(i) => {
                             let qid = QueryId(i as u64);
-                            self.handle_arrival(scheduler, workload, i, 0, qid);
+                            self.handle_arrival(scheduler, workload, i, 0, qid, RetryKind::Defer);
                         }
-                        Ev::Retry { item, attempt } => {
+                        Ev::Retry { item, attempt, kind } => {
                             let qid = QueryId(self.next_qid);
                             self.next_qid += 1;
-                            self.handle_arrival(scheduler, workload, item, attempt, qid);
+                            self.handle_arrival(scheduler, workload, item, attempt, qid, kind);
                         }
                         Ev::Deadline(q) => self.handle_deadline(scheduler, QueryId(q)),
                         Ev::WoDone { pipeline, op, thread, duration, memory } => {
@@ -713,6 +756,24 @@ impl Simulator {
                 self.invoke_now(scheduler, SchedEvent::ThreadsFreed(0));
                 if self.heap.is_empty() {
                     self.force_fallback();
+                }
+                if self.heap.is_empty() {
+                    // Stall rescue: a thread parked in a pipeline stall
+                    // is woken only by completion events of its own
+                    // query, and the heap has none — it would sleep
+                    // forever while the pool believes the worker is
+                    // busy. (A lost worker taking down a producer
+                    // pipeline strands its consumers' threads exactly
+                    // this way.) Reclaim every stalled thread and give
+                    // the policy one final shot.
+                    let rescued = self.rescue_stalled_threads();
+                    if rescued > 0 {
+                        self.resilience.stall_rescues += rescued as u64;
+                        self.invoke_now(scheduler, SchedEvent::ThreadsFreed(rescued));
+                        if self.heap.is_empty() {
+                            self.force_fallback();
+                        }
+                    }
                 }
                 if self.heap.is_empty() {
                     // Nothing dispatchable at all — structural dead end.
@@ -749,6 +810,7 @@ impl Simulator {
         item: usize,
         attempt: u32,
         qid: QueryId,
+        kind: RetryKind,
     ) {
         let w = &workload[item];
         let mut qr = QueryRuntime::new(
@@ -758,9 +820,16 @@ impl Simulator {
             self.pool_size.max(self.cfg.num_threads) + 64,
         );
         qr.priority = w.priority;
-        // Each attempt gets a fresh budget measured from its own
-        // (re-)submission time.
-        qr.deadline = w.deadline.map(|d| self.time + d);
+        // A deadline-retry attempt gets a fresh budget measured from its
+        // own re-submission time — that is the deliberate grant of the
+        // retry policy. Deferred (and first) submissions stay anchored at
+        // the item's original arrival: an admission deferral must not
+        // silently extend the SLO, so a query admitted after its deadline
+        // already passed fires `DeadlineExceeded` immediately.
+        qr.deadline = w.deadline.map(|d| match kind {
+            RetryKind::Timeout => self.time + d,
+            RetryKind::Defer => w.arrival_time + d,
+        });
         let qi = qid.0 as usize;
         if self.qindex.len() <= qi {
             self.qindex.resize(qi + 1, None);
@@ -793,6 +862,8 @@ impl Simulator {
                 free_thread_ids: free_ids,
                 queries: &self.queries,
                 hot: &self.hot,
+                in_flight_mem: self.in_flight_mem,
+                mem_budget: self.cfg.cost.memory_budget,
             };
             scheduler.admit(&ctx, qid, attempt)
         };
@@ -834,10 +905,13 @@ impl Simulator {
                         // The query was never announced to the policy, so
                         // it leaves silently — no cancellation events.
                         self.resilience.deferred += 1;
+                        self.item_defers[item] += 1;
+                        self.resilience.max_defer_attempts =
+                            self.resilience.max_defer_attempts.max(self.item_defers[item]);
                         self.remove_query(qidx);
                         self.push_event(
                             self.time + delay.max(0.0),
-                            Ev::Retry { item, attempt: attempt + 1 },
+                            Ev::Retry { item, attempt: attempt + 1, kind: RetryKind::Defer },
                         );
                     }
                 }
@@ -867,7 +941,10 @@ impl Simulator {
         if will_retry {
             self.resilience.deadline_retries += 1;
             let delay = self.cfg.retry.backoff(attempt);
-            self.push_event(self.time + delay, Ev::Retry { item, attempt: attempt + 1 });
+            self.push_event(
+                self.time + delay,
+                Ev::Retry { item, attempt: attempt + 1, kind: RetryKind::Timeout },
+            );
         }
     }
 
@@ -1059,6 +1136,37 @@ impl Simulator {
         if !self.cfg.reference_mode {
             self.wake_pool.put(to_dispatch);
         }
+    }
+
+    /// Reclaims every thread parked in a pipeline stall, routing each
+    /// back through [`Self::dispose_thread`] (so doomed threads retire
+    /// and pending pool shrinks are honoured) and returning how many
+    /// actually reached the free pool. Emptied pipelines are torn down,
+    /// re-exposing their unfinished chain operators as schedulable.
+    ///
+    /// Only sound when no events are in flight: stalled threads are
+    /// otherwise the wake targets of their query's next completion.
+    /// The run loop's progress guard is the sole caller, so runs that
+    /// never dead-end are bit-for-bit unaffected.
+    fn rescue_stalled_threads(&mut self) -> usize {
+        let mut rescued = 0;
+        for pid in 0..self.pipelines.len() {
+            // `remove_thread_from_pipeline` may tear the slot down when
+            // it empties, so re-borrow the slot each iteration.
+            while let Some((qid, t)) = self.pipelines[pid]
+                .as_ref()
+                .and_then(|p| p.stalled.last().map(|&t| (p.query, t)))
+            {
+                let Some(qidx) = self.query_index(qid) else {
+                    break; // defensive: live pipeline of a dead query
+                };
+                self.remove_thread_from_pipeline(pid, qidx, t);
+                if self.dispose_thread(t) {
+                    rescued += 1;
+                }
+            }
+        }
+        rescued
     }
 
     /// Drops `pid` from the owning query's pipeline list (called when
@@ -1482,6 +1590,8 @@ impl Simulator {
                 // stale mirror is fine here (reference mode rebuilds it
                 // only before policy invocations).
                 hot: &self.hot,
+                in_flight_mem: self.in_flight_mem,
+                mem_budget: self.cfg.cost.memory_budget,
             };
             match clamp_decision(&ctx, d) {
                 Ok(c) => c,
@@ -1495,6 +1605,17 @@ impl Simulator {
             self.rejected += 1;
             return false;
         };
+        // First thread grant of this workload item: record the queue
+        // wait from the *original* arrival (deferral and retry delays
+        // included), the observable side of the starvation bound.
+        let meta = self.query_meta[qidx];
+        if !self.item_granted[meta.item] {
+            self.item_granted[meta.item] = true;
+            let wait = self.time - meta.submitted;
+            if wait > self.resilience.max_queue_wait {
+                self.resilience.max_queue_wait = wait;
+            }
+        }
         let chain = self.effective_chain(qidx, d.root, d.pipeline_degree);
         let grant = d.threads.min(self.free_threads.len()).max(1);
         let threads: Vec<usize> = self.free_threads.drain(..grant).collect();
@@ -1609,6 +1730,8 @@ impl Simulator {
                 free_thread_ids: free_ids,
                 queries: &self.queries,
                 hot: &self.hot,
+                in_flight_mem: self.in_flight_mem,
+                mem_budget: self.cfg.cost.memory_budget,
             };
             let t0 = Instant::now();
             let ds = scheduler.on_tick(&ctx, &events);
@@ -1669,6 +1792,8 @@ impl Simulator {
                 free_thread_ids: free_ids,
                 queries: &self.queries,
                 hot: &self.hot,
+                in_flight_mem: self.in_flight_mem,
+                mem_budget: self.cfg.cost.memory_budget,
             };
             let t0 = Instant::now();
             let ds = scheduler.on_event(&ctx, &event);
@@ -2123,6 +2248,69 @@ mod fault_tests {
         SimConfig { num_threads: threads, seed, faults: Some(faults), ..Default::default() }
     }
 
+    /// Schedules every frontier op in its own degree-1 pipeline with one
+    /// thread, visiting queries newest-first — the shape that lets a
+    /// consumer pipeline outlive its producer pipeline.
+    struct SplitChain;
+    impl Scheduler for SplitChain {
+        fn name(&self) -> String {
+            "split_chain_test".into()
+        }
+        fn on_event(&mut self, ctx: &SchedContext<'_>, _ev: &SchedEvent) -> Vec<SchedDecision> {
+            let mut out = Vec::new();
+            let mut free = ctx.free_threads;
+            for q in ctx.queries.iter().rev() {
+                for &root in q.schedulable_ops() {
+                    if free == 0 {
+                        return out;
+                    }
+                    out.push(SchedDecision { query: q.qid, root, pipeline_degree: 1, threads: 1 });
+                    free -= 1;
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn lost_producer_pipeline_does_not_strand_stalled_consumer_threads() {
+        // A's consumer (op1, pipelined off op0) is scheduled in its own
+        // pipeline while op0 has zero completed work orders, so its
+        // thread stalls. Worker loss then dooms op0's thread; when the
+        // doomed completion surfaces, op0's pipeline dies — and the
+        // stalled consumer thread has no completion event left that
+        // could ever wake it. The progress guard must reclaim it
+        // instead of reporting a structural deadlock.
+        let a = {
+            let mut b = PlanBuilder::new("strand");
+            let scan =
+                b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![0], vec![0], 1e5, 4, 0.05, 1e5);
+            let sel =
+                b.add_op(OpKind::Select, OpSpec::Synthetic, vec![0], vec![1], 5e4, 4, 0.01, 1e5);
+            b.connect(scan, sel, true);
+            Arc::new(b.finish(sel))
+        };
+        let tiny = {
+            let mut b = PlanBuilder::new("tiny");
+            let scan =
+                b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![0], vec![0], 1e4, 1, 0.01, 1e4);
+            Arc::new(b.finish(scan))
+        };
+        // `tiny` (higher qid) grabs thread 0 first, so A's producer runs
+        // on thread 1 — the highest id, i.e. the worker-loss victim.
+        let wl = vec![WorkloadItem::new(0.0, a), WorkloadItem::new(0.0, tiny)];
+        let plan = FaultPlan { seed: 9, worker_loss: vec![(0.02, 1)], ..FaultPlan::default() };
+        let mut cfg = cfg_with(plan, 2, 7);
+        cfg.cost.noise_sigma = 0.0;
+        let res = try_simulate(cfg, &wl, &mut SplitChain)
+            .expect("stall rescue must recover the stranded consumer thread");
+        assert_eq!(res.outcomes.len(), 2, "both queries complete after the rescue");
+        assert!(res.aborted.is_empty());
+        assert_eq!(res.resilience.stall_rescues, 1, "exactly one thread is reclaimed");
+        assert_eq!(res.fault_summary.workers_lost, 1);
+        assert_eq!(res.fault_summary.wo_lost_with_worker, 1);
+    }
+
     #[test]
     fn worker_loss_and_rejoin_still_completes() {
         let plan = FaultPlan {
@@ -2440,6 +2628,86 @@ mod resilience_tests {
         assert_eq!(res.aborted.len(), 1, "the deferral cap converts to a shed");
         assert_eq!(res.resilience.deferred, u64::from(MAX_DEFERS));
         assert_eq!(res.resilience.shed, 1);
+        assert_eq!(res.resilience.max_defer_attempts, MAX_DEFERS);
+        assert_eq!(
+            res.resilience.max_queue_wait, 0.0,
+            "a never-granted query contributes no queue wait"
+        );
+    }
+
+    /// Defers the first `times` arrival attempts, then admits.
+    struct DeferTimes {
+        times: u32,
+        delay: f64,
+    }
+    impl Scheduler for DeferTimes {
+        fn name(&self) -> String {
+            "defer_times_test".into()
+        }
+        fn on_event(&mut self, ctx: &SchedContext<'_>, ev: &SchedEvent) -> Vec<SchedDecision> {
+            Greedy.on_event(ctx, ev)
+        }
+        fn admit(
+            &mut self,
+            _ctx: &SchedContext<'_>,
+            _arriving: QueryId,
+            attempt: u32,
+        ) -> AdmissionResponse {
+            if attempt < self.times {
+                AdmissionResponse { action: AdmitAction::Defer { delay: self.delay }, shed: Vec::new() }
+            } else {
+                AdmissionResponse::admit()
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_query_keeps_original_arrival_deadline() {
+        // Regression: a Defer'd query's SLO clock is anchored at its
+        // *original* arrival. Three 10ms deferrals push admission to
+        // t=0.03, past the 15ms budget — the query must record a
+        // DeadlineExceeded, not silently restart its SLO timer.
+        let wl = vec![WorkloadItem::new(0.0, chain("slo", 2)).with_deadline(0.015)];
+        let res = simulate(quiet_cfg(2), &wl, &mut DeferTimes { times: 3, delay: 0.01 });
+        assert_eq!(res.outcomes.len(), 0, "the budget expired while deferred");
+        assert_eq!(res.aborted.len(), 1);
+        assert_eq!(res.resilience.deadline_timeouts, 1, "deferral must not mask the SLO miss");
+        assert_eq!(res.resilience.deferred, 3);
+        assert_eq!(res.resilience.max_defer_attempts, 3);
+    }
+
+    #[test]
+    fn deadline_retry_gets_a_fresh_budget_after_timeout() {
+        // The companion invariant: a *timeout retry* (unlike a deferral)
+        // re-arms the SLO clock from the retry's submission, so a query
+        // that times out under contention can still complete once the
+        // pool clears.
+        let wl = vec![
+            WorkloadItem::new(0.0, chain("long", 8)),
+            WorkloadItem::new(0.001, chain("slo", 1)).with_deadline(0.02),
+        ];
+        let mut cfg = quiet_cfg(1);
+        cfg.retry = RetryPolicy { max_retries: 20, ..RetryPolicy::default() };
+        let res = simulate(cfg, &wl, &mut Greedy);
+        assert_eq!(res.outcomes.len(), 2, "the retried attempt's fresh budget suffices");
+        assert!(res.resilience.deadline_retries >= 1);
+    }
+
+    #[test]
+    fn starvation_metrics_record_wait_and_defer_counts() {
+        // One short query deferred twice (2ms each): max_defer_attempts
+        // tracks the per-query defer count and max_queue_wait spans from
+        // the original arrival to the first thread grant.
+        let wl = vec![WorkloadItem::new(0.0, chain("waiter", 2))];
+        let res = simulate(quiet_cfg(1), &wl, &mut DeferTimes { times: 2, delay: 0.002 });
+        assert_eq!(res.outcomes.len(), 1);
+        assert_eq!(res.resilience.deferred, 2);
+        assert_eq!(res.resilience.max_defer_attempts, 2);
+        assert!(
+            res.resilience.max_queue_wait >= 0.004,
+            "queue wait {} must cover both deferral delays",
+            res.resilience.max_queue_wait
+        );
     }
 
     #[test]
@@ -2457,6 +2725,11 @@ mod resilience_tests {
         for (a, b) in r1.outcomes.iter().zip(&r2.outcomes) {
             assert_eq!(a.finish.to_bits(), b.finish.to_bits());
         }
-        assert_eq!(r1.resilience, ResilienceSummary::default());
+        // max_queue_wait is pure observation (recorded even without
+        // SLOs); every *event* counter must stay zero.
+        let expect =
+            ResilienceSummary { max_queue_wait: r1.resilience.max_queue_wait, ..Default::default() };
+        assert_eq!(r1.resilience, expect);
+        assert_eq!(r1.resilience.max_queue_wait.to_bits(), r2.resilience.max_queue_wait.to_bits());
     }
 }

@@ -40,6 +40,7 @@ pub mod backend;
 pub mod checkpoint;
 pub mod gat;
 pub mod graph;
+pub mod head;
 pub mod infer;
 pub mod init;
 pub mod layers;
@@ -52,6 +53,7 @@ pub use backend::{Backend, TapeBackend};
 pub use checkpoint::{CheckpointError, CheckpointManager};
 pub use gat::{normalize_scores, PairAttention};
 pub use graph::{softmax_vals, Graph, NodeId};
+pub use head::ScoringHead;
 pub use infer::{InferBackend, InferCtx, ValId};
 pub use layers::{Activation, Linear, Mlp};
 pub use optim::{Adam, AdamState, Sgd};

@@ -25,9 +25,41 @@
 //! stay bit-identical because the gate never draws randomness.
 
 use lsched_engine::scheduler::{
-    AdmissionResponse, AdmitAction, QueryId, QueryRuntime, SchedContext,
+    AdmissionResponse, AdmitAction, PolicyHealth, QueryId, QueryRuntime, SchedContext,
 };
 use serde::{Deserialize, Serialize};
+
+/// A pluggable admission policy: anything that can turn an arrival plus
+/// a [`SchedContext`] snapshot into an [`AdmissionResponse`].
+///
+/// Implementations must be **deterministic and RNG-free** — the engine
+/// replays chaos runs bit-for-bit and an admission verdict that depends
+/// on a random draw (or wall-clock time) breaks that guarantee. They
+/// should also self-report [`PolicyHealth::Degraded`] when their own
+/// outputs stop being trustworthy (e.g. a learned gate observing
+/// non-finite scores); the guard layer polls [`health`](Self::health)
+/// after every verdict and degrades to a heuristic gate on bad news.
+pub trait AdmissionGate: Send {
+    /// Human-readable gate name (for reports).
+    fn name(&self) -> String;
+
+    /// Decides the fate of `arriving` (already present in
+    /// `ctx.queries`); `attempt` counts prior deferrals of this query.
+    fn admit(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        arriving: QueryId,
+        attempt: u32,
+    ) -> AdmissionResponse;
+
+    /// Self-reported trustworthiness of recent verdicts.
+    fn health(&self) -> PolicyHealth {
+        PolicyHealth::Healthy
+    }
+
+    /// Forgets all state (for `Scheduler::reset`).
+    fn reset(&mut self) {}
+}
 
 /// What to do with the shedding victim once the gate is open.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -228,6 +260,25 @@ impl Admission {
     }
 }
 
+impl AdmissionGate for Admission {
+    fn name(&self) -> String {
+        "hysteresis".into()
+    }
+
+    fn admit(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        arriving: QueryId,
+        attempt: u32,
+    ) -> AdmissionResponse {
+        Admission::admit(self, ctx, arriving, attempt)
+    }
+
+    fn reset(&mut self) {
+        Admission::reset(self);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +309,8 @@ mod tests {
             free_thread_ids: free,
             queries,
             hot,
+            in_flight_mem: 0.0,
+            mem_budget: f64::INFINITY,
         }
     }
 

@@ -29,16 +29,255 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use lsched_engine::scheduler::{
-    clamp_decision, AdmissionResponse, PolicyHealth, QueryId, SchedContext, SchedDecision,
-    SchedEvent, Scheduler,
+    clamp_decision, AdmissionResponse, AdmitAction, PolicyHealth, QueryId, SchedContext,
+    SchedDecision, SchedEvent, Scheduler,
 };
 
-use crate::admission::{Admission, AdmissionStats};
+use crate::admission::{Admission, AdmissionGate, AdmissionStats};
 use crate::quickstep::QuickstepScheduler;
 
 /// How many recently cancelled query ids the guard remembers for the
 /// stale-decision filter (see [`GuardStats::stale_decisions`]).
 const CANCELLED_RING: usize = 64;
+
+/// Largest deferral delay (seconds) a primary admission gate may return
+/// before the response is vetted as out-of-band.
+const MAX_GATE_DEFER_DELAY: f64 = 60.0;
+
+/// Largest shed list a primary admission gate may return per arrival.
+/// The convention (matching [`Admission`]) is at most one eviction per
+/// arrival; a small slack tolerates batch-evicting gates without letting
+/// a runaway predictor clear the whole queue in one verdict.
+const MAX_GATE_SHED: usize = 4;
+
+/// Degradation state of the admission-gate breaker — the same shape as
+/// [`GuardState`], but counted in *arrivals* rather than scheduling
+/// events, because that is the only call a gate ever serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateState {
+    /// The primary gate is trusted and serving verdicts.
+    Primary,
+    /// The breaker is open: the hysteresis gate serves verdicts for the
+    /// remaining cooldown arrivals.
+    Fallback {
+        /// Fallback arrivals left before a probe.
+        arrivals_left: u32,
+    },
+    /// The next arrival is a probe of the primary gate.
+    Probing,
+}
+
+/// Counters describing everything the admission-gate breaker observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateGuardStats {
+    /// Arrivals routed through the stack.
+    pub arrivals: u64,
+    /// Breaker trips (violations while Primary or Probing).
+    pub trips: u64,
+    /// Panics caught inside the primary gate.
+    pub panics: u64,
+    /// Responses rejected by vetting (non-finite or out-of-band defer
+    /// delay, bogus shed list).
+    pub invalid_responses: u64,
+    /// Arrivals where the primary gate reported `Degraded` health.
+    pub degraded_health: u64,
+    /// Arrivals served by the hysteresis gate while the breaker was
+    /// open.
+    pub fallback_arrivals: u64,
+    /// Probe arrivals routed to the primary gate after cooldown.
+    pub probes: u64,
+    /// Probes that restored the primary gate.
+    pub recoveries: u64,
+}
+
+/// A two-layer admission gate with a per-component circuit breaker.
+///
+/// The **primary** gate (typically a learned, predictive one) serves
+/// verdicts while trusted; the **hysteresis** gate ([`Admission`]) is
+/// the always-available deterministic floor. The primary is treated as
+/// untrusted: every verdict runs under [`catch_unwind`], the response is
+/// vetted for structural sanity (finite bounded defer delay, shed ids
+/// that name real waiting queries and never the arrival itself), and the
+/// gate's self-reported health is polled afterwards. Any violation trips
+/// the breaker: the hysteresis gate serves the next `cooldown` arrivals,
+/// then a single probe is routed to the primary again.
+///
+/// Degradation is **never to "admit everything"** — a broken predictor
+/// must not disable overload protection, so the open-breaker path is the
+/// same hysteresis gate that guarded the system before predictive
+/// admission existed.
+pub struct AdmissionStack {
+    primary: Option<Box<dyn AdmissionGate>>,
+    hysteresis: Admission,
+    state: GateState,
+    stats: GateGuardStats,
+    /// Arrivals served by the hysteresis gate after a trip before the
+    /// primary is probed again.
+    cooldown: u32,
+}
+
+impl AdmissionStack {
+    /// A stack with no primary gate: plain hysteresis admission.
+    pub fn hysteresis_only(gate: Admission) -> Self {
+        Self {
+            primary: None,
+            hysteresis: gate,
+            state: GateState::Primary,
+            stats: GateGuardStats::default(),
+            cooldown: GuardConfig::default().cooldown_events,
+        }
+    }
+
+    /// A stack with a primary (predictive) gate guarded in front of the
+    /// hysteresis fallback.
+    pub fn with_primary(
+        primary: Box<dyn AdmissionGate>,
+        hysteresis: Admission,
+        cooldown: u32,
+    ) -> Self {
+        Self {
+            primary: Some(primary),
+            hysteresis,
+            state: GateState::Primary,
+            stats: GateGuardStats::default(),
+            cooldown: cooldown.max(1),
+        }
+    }
+
+    /// Current breaker state.
+    pub fn state(&self) -> GateState {
+        self.state
+    }
+
+    /// Breaker counters.
+    pub fn stats(&self) -> GateGuardStats {
+        self.stats
+    }
+
+    /// Counters of the hysteresis layer (fallback verdicts, or all
+    /// verdicts when no primary gate is installed).
+    pub fn hysteresis_stats(&self) -> AdmissionStats {
+        self.hysteresis.stats()
+    }
+
+    /// Name of the gate currently serving verdicts.
+    pub fn serving_name(&self) -> String {
+        match (&self.primary, self.state) {
+            (Some(p), GateState::Primary | GateState::Probing) => p.name(),
+            _ => AdmissionGate::name(&self.hysteresis),
+        }
+    }
+
+    /// Forgets all state (for `Scheduler::reset`).
+    pub fn reset(&mut self) {
+        if let Some(p) = self.primary.as_mut() {
+            p.reset();
+        }
+        self.hysteresis.reset();
+        self.state = GateState::Primary;
+        self.stats = GateGuardStats::default();
+    }
+
+    fn trip(&mut self) {
+        self.stats.trips += 1;
+        self.state = GateState::Fallback { arrivals_left: self.cooldown };
+    }
+
+    /// Structural sanity of a primary-gate response against the live
+    /// context. Pure — shared by the breaker and its tests.
+    fn response_is_sane(
+        ctx: &SchedContext<'_>,
+        arriving: QueryId,
+        resp: &AdmissionResponse,
+    ) -> bool {
+        if let AdmitAction::Defer { delay } = resp.action {
+            if !delay.is_finite() || !(0.0..=MAX_GATE_DEFER_DELAY).contains(&delay) {
+                return false;
+            }
+        }
+        if resp.shed.len() > MAX_GATE_SHED {
+            return false;
+        }
+        resp.shed.iter().all(|&victim| {
+            victim != arriving
+                && ctx
+                    .queries
+                    .iter()
+                    .any(|q| q.qid == victim && q.assigned_threads == 0)
+        })
+    }
+
+    /// Runs the primary gate under full guarding; `None` means the
+    /// breaker tripped and the caller must consult the hysteresis gate.
+    fn guarded_primary(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        arriving: QueryId,
+        attempt: u32,
+    ) -> Option<AdmissionResponse> {
+        let primary = self.primary.as_mut()?;
+        let resp =
+            match catch_unwind(AssertUnwindSafe(|| primary.admit(ctx, arriving, attempt))) {
+                Ok(r) => r,
+                Err(_) => {
+                    self.stats.panics += 1;
+                    self.trip();
+                    return None;
+                }
+            };
+        if self.primary.as_ref().is_some_and(|p| p.health() == PolicyHealth::Degraded) {
+            self.stats.degraded_health += 1;
+            self.trip();
+            return None;
+        }
+        if !Self::response_is_sane(ctx, arriving, &resp) {
+            self.stats.invalid_responses += 1;
+            self.trip();
+            return None;
+        }
+        Some(resp)
+    }
+
+    /// Decides the fate of `arriving` through the breaker state machine.
+    /// Deterministic as long as both layers are (no RNG, no clock).
+    pub fn admit(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        arriving: QueryId,
+        attempt: u32,
+    ) -> AdmissionResponse {
+        self.stats.arrivals += 1;
+        if self.primary.is_none() {
+            return self.hysteresis.admit(ctx, arriving, attempt);
+        }
+        match self.state {
+            GateState::Fallback { arrivals_left } => {
+                self.state = if arrivals_left > 1 {
+                    GateState::Fallback { arrivals_left: arrivals_left - 1 }
+                } else {
+                    GateState::Probing
+                };
+                self.stats.fallback_arrivals += 1;
+                self.hysteresis.admit(ctx, arriving, attempt)
+            }
+            GateState::Primary => match self.guarded_primary(ctx, arriving, attempt) {
+                Some(resp) => resp,
+                None => self.hysteresis.admit(ctx, arriving, attempt),
+            },
+            GateState::Probing => {
+                self.stats.probes += 1;
+                match self.guarded_primary(ctx, arriving, attempt) {
+                    Some(resp) => {
+                        self.stats.recoveries += 1;
+                        self.state = GateState::Primary;
+                        resp
+                    }
+                    None => self.hysteresis.admit(ctx, arriving, attempt),
+                }
+            }
+        }
+    }
+}
 
 /// Circuit-breaker tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,9 +356,10 @@ pub struct GuardedScheduler<S: Scheduler, F: Scheduler = QuickstepScheduler> {
     state: GuardState,
     stats: GuardStats,
     events_since_deep_scan: u32,
-    /// Optional admission gate consulted on every arrival (see
-    /// [`crate::admission`]); `None` admits everything.
-    admission: Option<Admission>,
+    /// Optional admission stack consulted on every arrival (see
+    /// [`crate::admission`] and [`AdmissionStack`]); `None` admits
+    /// everything.
+    admission: Option<AdmissionStack>,
     /// Bounded ring of recently cancelled query ids, backing the
     /// stale-decision filter in [`GuardStats::stale_decisions`].
     recently_cancelled: Vec<QueryId>,
@@ -147,12 +387,20 @@ impl<S: Scheduler, F: Scheduler> GuardedScheduler<S, F> {
         }
     }
 
-    /// Installs an admission gate in front of the guarded policy. The
-    /// gate is orthogonal to the breaker: it keeps shedding load even
-    /// while the breaker is open, because overload protection must not
-    /// depend on which policy happens to be serving decisions.
+    /// Installs a plain hysteresis admission gate in front of the
+    /// guarded policy. The gate is orthogonal to the scheduling breaker:
+    /// it keeps shedding load even while the breaker is open, because
+    /// overload protection must not depend on which policy happens to be
+    /// serving decisions.
     pub fn with_admission(mut self, gate: Admission) -> Self {
-        self.admission = Some(gate);
+        self.admission = Some(AdmissionStack::hysteresis_only(gate));
+        self
+    }
+
+    /// Installs a full [`AdmissionStack`] (e.g. a predictive primary
+    /// gate over a hysteresis fallback, with its own breaker).
+    pub fn with_admission_stack(mut self, stack: AdmissionStack) -> Self {
+        self.admission = Some(stack);
         self
     }
 
@@ -166,9 +414,21 @@ impl<S: Scheduler, F: Scheduler> GuardedScheduler<S, F> {
         self.stats
     }
 
-    /// Admission-gate counters, if a gate is installed.
+    /// Hysteresis-layer admission counters, if a gate is installed
+    /// (all verdicts when no primary gate exists, fallback verdicts
+    /// otherwise).
     pub fn admission_stats(&self) -> Option<AdmissionStats> {
-        self.admission.as_ref().map(|g| g.stats())
+        self.admission.as_ref().map(AdmissionStack::hysteresis_stats)
+    }
+
+    /// Admission-breaker state, if a gate is installed.
+    pub fn gate_state(&self) -> Option<GateState> {
+        self.admission.as_ref().map(AdmissionStack::state)
+    }
+
+    /// Admission-breaker counters, if a gate is installed.
+    pub fn gate_stats(&self) -> Option<GateGuardStats> {
+        self.admission.as_ref().map(AdmissionStack::stats)
     }
 
     /// The wrapped inner policy.
@@ -683,6 +943,179 @@ mod tests {
             b.makespan.to_bits(),
             "admission + guard must stay bit-identical across runs"
         );
+    }
+
+    /// A primary admission gate with a scripted failure mode.
+    enum GateFault {
+        Panic,
+        NonFiniteDelay,
+        ShedArrival,
+        DegradedHealth,
+        None,
+    }
+    struct FaultyGate {
+        fault: GateFault,
+        /// Arrivals before the fault starts firing.
+        after: u64,
+        seen: u64,
+    }
+    impl crate::admission::AdmissionGate for FaultyGate {
+        fn name(&self) -> String {
+            "faulty_test_gate".into()
+        }
+        fn admit(
+            &mut self,
+            _ctx: &SchedContext<'_>,
+            arriving: QueryId,
+            _attempt: u32,
+        ) -> AdmissionResponse {
+            self.seen += 1;
+            if self.seen <= self.after {
+                return AdmissionResponse::admit();
+            }
+            match self.fault {
+                GateFault::Panic => panic!("predictor exploded"),
+                GateFault::NonFiniteDelay => AdmissionResponse {
+                    action: lsched_engine::scheduler::AdmitAction::Defer { delay: f64::NAN },
+                    shed: Vec::new(),
+                },
+                GateFault::ShedArrival => {
+                    AdmissionResponse { action: lsched_engine::scheduler::AdmitAction::Admit, shed: vec![arriving] }
+                }
+                GateFault::DegradedHealth | GateFault::None => AdmissionResponse::admit(),
+            }
+        }
+        fn health(&self) -> PolicyHealth {
+            if matches!(self.fault, GateFault::DegradedHealth) && self.seen > self.after {
+                PolicyHealth::Degraded
+            } else {
+                PolicyHealth::Healthy
+            }
+        }
+        fn reset(&mut self) {
+            self.seen = 0;
+        }
+    }
+
+    fn stack_with(fault: GateFault, after: u64) -> AdmissionStack {
+        use crate::admission::{Admission, AdmissionConfig};
+        AdmissionStack::with_primary(
+            Box::new(FaultyGate { fault, after, seen: 0 }),
+            Admission::new(AdmissionConfig { max_queued: 1, resume_queued: 0, ..Default::default() }),
+            4,
+        )
+    }
+
+    /// Each fault mode must trip the gate breaker and degrade to the
+    /// hysteresis gate — which keeps shedding (never admit-everything).
+    fn assert_trips_and_hysteresis_sheds(fault: GateFault) {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut guard = GuardedScheduler::new(QuickstepScheduler)
+            .with_admission_stack(stack_with(fault, 0));
+        let wl = workload(20, 8);
+        let res =
+            simulate(SimConfig { num_threads: 2, seed: 8, ..Default::default() }, &wl, &mut guard);
+        std::panic::set_hook(prev);
+        let stats = guard.gate_stats().expect("stack installed");
+        assert!(stats.trips >= 1, "the fault must trip the gate breaker: {stats:?}");
+        assert!(stats.fallback_arrivals >= 1, "cooldown must route arrivals to hysteresis");
+        assert!(
+            res.resilience.shed >= 1,
+            "degraded admission must still shed under a 20-query burst at max_queued=1, \
+             never fall open: {stats:?}"
+        );
+        assert_eq!(res.outcomes.len() + res.aborted.len(), 20);
+    }
+
+    #[test]
+    fn panicking_gate_degrades_to_hysteresis() {
+        assert_trips_and_hysteresis_sheds(GateFault::Panic);
+    }
+
+    #[test]
+    fn non_finite_defer_delay_trips_the_gate_breaker() {
+        assert_trips_and_hysteresis_sheds(GateFault::NonFiniteDelay);
+    }
+
+    #[test]
+    fn shedding_the_arrival_itself_is_vetted_as_invalid() {
+        assert_trips_and_hysteresis_sheds(GateFault::ShedArrival);
+    }
+
+    #[test]
+    fn degraded_gate_health_trips_the_gate_breaker() {
+        assert_trips_and_hysteresis_sheds(GateFault::DegradedHealth);
+    }
+
+    #[test]
+    fn gate_breaker_probes_and_recovers_a_healthy_primary() {
+        // Degraded on the first arrival only: the trip serves a 2-
+        // arrival cooldown through hysteresis, then a probe must restore
+        // the (now healthy) primary gate.
+        let mut guard = GuardedScheduler::new(QuickstepScheduler).with_admission_stack({
+            use crate::admission::{Admission, AdmissionConfig};
+            AdmissionStack::with_primary(
+                Box::new(HealAfter { bad_arrivals: 1, seen: 0 }),
+                Admission::new(AdmissionConfig::default()),
+                2,
+            )
+        });
+        let wl = workload(20, 9);
+        let cfg = SimConfig { num_threads: 2, seed: 9, ..Default::default() };
+        simulate(cfg, &wl, &mut guard);
+        let s = guard.gate_stats().expect("stack installed");
+        assert!(s.trips >= 1);
+        assert!(s.probes >= 1, "cooldown must end in a probe: {s:?}");
+        assert!(s.recoveries >= 1, "a healed gate must be restored: {s:?}");
+        assert_eq!(guard.gate_state(), Some(GateState::Primary));
+    }
+
+    /// Degraded for the first `bad_arrivals` arrivals, healthy after.
+    struct HealAfter {
+        bad_arrivals: u64,
+        seen: u64,
+    }
+    impl crate::admission::AdmissionGate for HealAfter {
+        fn name(&self) -> String {
+            "heal_after_test_gate".into()
+        }
+        fn admit(
+            &mut self,
+            _ctx: &SchedContext<'_>,
+            _arriving: QueryId,
+            _attempt: u32,
+        ) -> AdmissionResponse {
+            self.seen += 1;
+            AdmissionResponse::admit()
+        }
+        fn health(&self) -> PolicyHealth {
+            if self.seen <= self.bad_arrivals {
+                PolicyHealth::Degraded
+            } else {
+                PolicyHealth::Healthy
+            }
+        }
+    }
+
+    #[test]
+    fn admission_stack_is_deterministic_across_runs() {
+        let run = || {
+            let mut guard = GuardedScheduler::new(QuickstepScheduler)
+                .with_admission_stack(stack_with(GateFault::None, 0));
+            let wl = workload(20, 10);
+            let res = simulate(
+                SimConfig { num_threads: 2, seed: 10, ..Default::default() },
+                &wl,
+                &mut guard,
+            );
+            (res.makespan.to_bits(), guard.gate_stats().unwrap())
+        };
+        let (m1, s1) = run();
+        let (m2, s2) = run();
+        assert_eq!(m1, m2);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.trips, 0, "a sane gate must never trip: {s1:?}");
     }
 
     #[test]

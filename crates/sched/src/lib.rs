@@ -20,8 +20,11 @@ pub mod lottery;
 pub mod quickstep;
 pub mod selftune;
 
-pub use admission::{Admission, AdmissionConfig, AdmissionStats, ShedPolicy};
-pub use guard::{GuardConfig, GuardState, GuardStats, GuardedScheduler};
+pub use admission::{Admission, AdmissionConfig, AdmissionGate, AdmissionStats, ShedPolicy};
+pub use guard::{
+    AdmissionStack, GateGuardStats, GateState, GuardConfig, GuardState, GuardStats,
+    GuardedScheduler,
+};
 pub use heuristics::{
     CriticalPathScheduler, FairScheduler, FifoScheduler, HpfScheduler, SjfScheduler,
 };

@@ -50,7 +50,8 @@ pub mod prelude {
     pub use lsched_core::{
         train, train_with_checkpoints, transfer_from, CheckpointPolicy, DecisionMode,
         ExperienceManager, LSchedConfig, LSchedModel, LSchedScheduler, LSchedVariant,
-        RewardConfig, TrainCheckpoint, TrainConfig,
+        PredictiveAdmission, PredictiveAdmissionConfig, PredictiveStats, RewardConfig,
+        TrainCheckpoint, TrainConfig,
     };
     pub use lsched_decima::{train_decima, DecimaConfig, DecimaModel, DecimaScheduler};
     pub use lsched_engine::{
@@ -60,9 +61,10 @@ pub mod prelude {
     };
     pub use lsched_nn::{CheckpointError, CheckpointManager};
     pub use lsched_sched::{
-        Admission, AdmissionConfig, AdmissionStats, CriticalPathScheduler, FairScheduler,
-        FifoScheduler, GuardedScheduler, HpfScheduler, QuickstepScheduler, SelfTuneScheduler,
-        ShedPolicy, SjfScheduler,
+        Admission, AdmissionConfig, AdmissionGate, AdmissionStack, AdmissionStats,
+        CriticalPathScheduler, FairScheduler, FifoScheduler, GateGuardStats, GateState,
+        GuardedScheduler, HpfScheduler, QuickstepScheduler, SelfTuneScheduler, ShedPolicy,
+        SjfScheduler,
     };
     pub use lsched_workloads::{gen_workload, split_train_test, ArrivalPattern, EpisodeSampler};
 }

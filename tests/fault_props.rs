@@ -298,6 +298,164 @@ fn admission_and_deadlines_bit_identical_under_fault_matrix() {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Enabling the predictive admission gate must not perturb RNG
+    /// consumption: a *permissive* predictive gate (zero weights, so
+    /// every arrival scores below threshold and is admitted, exactly
+    /// like having no gate) leaves standard-fault-matrix runs
+    /// bit-identical to gateless runs. Decisions may differ when the
+    /// gate actually sheds; the random streams may never.
+    #[test]
+    fn predictive_gate_is_rng_neutral_under_fault_matrix(
+        n_queries in 4usize..16,
+        threads in 2usize..8,
+        seed in 0u64..200,
+        which in 0u8..5,
+    ) {
+        use lsched::core::features::ADMIT_DIM;
+        use lsched::core::{PredictiveAdmission, PredictiveAdmissionConfig};
+        use lsched::sched::AdmissionStack;
+
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, n_queries, ArrivalPattern::Streaming { lambda: 60.0 }, seed);
+        let faults = FaultPlan::standard_matrix(seed, threads, n_queries, 0.5);
+        let cfg = SimConfig {
+            num_threads: threads,
+            seed,
+            faults: Some(faults),
+            ..Default::default()
+        };
+
+        let mut bare = Guard::with_fallback(
+            policy(which),
+            QuickstepScheduler,
+            lsched::sched::GuardConfig::default(),
+        );
+        let r_bare = try_simulate(cfg.clone(), &wl, &mut bare).unwrap();
+
+        let mut gate = PredictiveAdmission::new(PredictiveAdmissionConfig::default());
+        // Permissive warm start: score = tanh(-1.0) for every arrival,
+        // always under the admit threshold.
+        gate.head_mut().warm_start_linear(&[0.0; ADMIT_DIM], -1.0);
+        let stack = AdmissionStack::with_primary(
+            Box::new(gate),
+            Admission::new(AdmissionConfig::default()),
+            32,
+        );
+        let mut gated = Guard::with_fallback(
+            policy(which),
+            QuickstepScheduler,
+            lsched::sched::GuardConfig::default(),
+        )
+        .with_admission_stack(stack);
+        let r_gated = try_simulate(cfg, &wl, &mut gated).unwrap();
+
+        prop_assert_eq!(r_bare.makespan.to_bits(), r_gated.makespan.to_bits());
+        prop_assert_eq!(r_bare.fault_summary, r_gated.fault_summary);
+        prop_assert_eq!(r_bare.sched_decisions, r_gated.sched_decisions);
+        prop_assert_eq!(r_bare.outcomes.len(), r_gated.outcomes.len());
+        for (a, b) in r_bare.outcomes.iter().zip(r_gated.outcomes.iter()) {
+            prop_assert_eq!(a.qid, b.qid);
+            prop_assert_eq!(a.finish.to_bits(), b.finish.to_bits());
+        }
+        let gs = gated.gate_stats().unwrap();
+        prop_assert_eq!(gs.trips, 0, "a permissive sane gate must never trip: {:?}", gs);
+    }
+
+    /// An *actively shedding* predictive gate stays bit-identical across
+    /// same-seed faulted runs: its decisions change the schedule but
+    /// consume no randomness.
+    #[test]
+    fn active_predictive_shedding_is_deterministic_under_fault_matrix(
+        n_queries in 8usize..20,
+        threads in 2usize..6,
+        seed in 0u64..200,
+    ) {
+        use lsched::core::{PredictiveAdmission, PredictiveAdmissionConfig};
+        use lsched::sched::AdmissionStack;
+
+        let run = || {
+            let pool = tpch::plan_pool(&[0.3]);
+            let wl = gen_workload(&pool, n_queries, ArrivalPattern::Batch, seed);
+            let faults = FaultPlan::standard_matrix(seed, threads, n_queries, 0.5);
+            let cfg = SimConfig {
+                num_threads: threads,
+                seed,
+                faults: Some(faults),
+                ..Default::default()
+            };
+            // A low threshold on a batch burst: the gate sheds for real.
+            let gate = PredictiveAdmission::new(PredictiveAdmissionConfig {
+                admit_threshold: -0.5,
+                ..Default::default()
+            });
+            let stack = AdmissionStack::with_primary(
+                Box::new(gate),
+                Admission::new(AdmissionConfig::default()),
+                32,
+            );
+            let mut guard = Guard::new(QuickstepScheduler).with_admission_stack(stack);
+            let res = try_simulate(cfg, &wl, &mut guard).unwrap();
+            let gs = guard.gate_stats().unwrap();
+            (res, gs)
+        };
+        let (r1, g1) = run();
+        let (r2, g2) = run();
+        prop_assert_eq!(r1.makespan.to_bits(), r2.makespan.to_bits());
+        prop_assert_eq!(r1.fault_summary, r2.fault_summary);
+        prop_assert_eq!(&r1.resilience, &r2.resilience);
+        prop_assert_eq!(g1, g2, "gate breaker counters must be deterministic");
+        prop_assert_eq!(r1.outcomes.len() + r1.aborted.len(), n_queries);
+        for (a, b) in r1.outcomes.iter().zip(r2.outcomes.iter()) {
+            prop_assert_eq!(a.qid, b.qid);
+            prop_assert_eq!(a.finish.to_bits(), b.finish.to_bits());
+        }
+    }
+}
+
+/// End-to-end starvation bound: under a deferring predictive gate no
+/// query is deferred more than `max_defer_bound()` times, and the sim's
+/// observed `max_defer_attempts` metric proves it.
+#[test]
+fn predictive_starvation_bound_holds_under_overload() {
+    use lsched::core::{PredictiveAdmission, PredictiveAdmissionConfig};
+    use lsched::sched::AdmissionStack;
+
+    let cfg_gate = PredictiveAdmissionConfig {
+        admit_threshold: -0.2, // aggressive: defers readily
+        starve_penalty: 0.08,
+        ..Default::default()
+    };
+    let bound = PredictiveAdmission::new(cfg_gate.clone()).max_defer_bound();
+    assert!((1..=31).contains(&bound), "bound {bound} must be within the engine cap");
+
+    let pool = tpch::plan_pool(&[0.3]);
+    let wl = gen_workload(&pool, 30, ArrivalPattern::Batch, 21);
+    let gate = PredictiveAdmission::new(cfg_gate);
+    let stack = AdmissionStack::with_primary(
+        Box::new(gate),
+        Admission::new(AdmissionConfig::default()),
+        32,
+    );
+    let mut guard = lsched::sched::GuardedScheduler::new(QuickstepScheduler)
+        .with_admission_stack(stack);
+    let res = simulate(SimConfig { num_threads: 2, seed: 21, ..Default::default() }, &wl, &mut guard);
+    assert_eq!(res.outcomes.len() + res.aborted.len(), 30);
+    assert!(
+        res.resilience.deferred >= 1,
+        "a 30-query burst on 2 threads must trigger deferrals: {:?}",
+        res.resilience
+    );
+    assert!(
+        res.resilience.max_defer_attempts <= bound,
+        "observed defers {} exceed the proven bound {bound}",
+        res.resilience.max_defer_attempts
+    );
+    assert_eq!(guard.gate_stats().unwrap().trips, 0, "the warm-start head is sane");
+}
+
 /// The breaker stays transparent when faults hammer a healthy heuristic:
 /// guarded and bare runs of the standard fault matrix are bit-identical.
 #[test]

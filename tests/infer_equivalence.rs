@@ -230,6 +230,8 @@ proptest! {
             free_thread_ids: &free_ids,
             queries: &queries,
             hot: &hot,
+            in_flight_mem: 0.0,
+            mem_budget: f64::INFINITY,
         };
         let snap = snapshot(model.feature_config(), &ctx);
 
@@ -363,6 +365,8 @@ proptest! {
                     free_thread_ids: &free_ids,
                     queries: &queries,
                     hot: &hot,
+                    in_flight_mem: 0.0,
+                    mem_budget: f64::INFINITY,
                 };
                 snapshot(model.feature_config(), &ctx)
             })
