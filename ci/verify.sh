@@ -9,21 +9,29 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== gate 1/4: clippy -D warnings =="
+echo "== gate 1/5: clippy -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
-echo "== gate 2/4: build (release, count-allocs) =="
+echo "== gate 2/5: build (release, count-allocs) =="
 cargo build --release -p lsched-bench --features count-allocs \
-    --bin sim_throughput --bin infer_latency
+    --bin sim_throughput --bin infer_latency --bin shard_scale
 
-echo "== gate 3/4: sim_throughput --mpl 1024 =="
+echo "== gate 3/5: sim_throughput --mpl 1024 =="
 # Tick-batched event loop vs full-rescan reference at mpl 1024:
 # >=2x aggregate events/sec, bit-identical results (fault-free and
 # faulted), bursty-arrival decision-latency histogram within bounds,
 # zero steady-state allocations per event.
 target/release/sim_throughput --mpl 1024 --out BENCH_pr6.json
 
-echo "== gate 4/4: infer_latency (incl. batched section) =="
+echo "== gate 4/5: shard_scale smoke (1,2 shards) =="
+# Serving-layer smoke: 1-shard routed run bit-identical to the unsharded
+# simulator, repeat bit-identity under the standard fault matrix, and
+# the scaling-shape gate for the host class (monotone + >=0.7x/shard at
+# 8 shards on multicore; flat-no-overhead on 1-CPU hosts). The full
+# 1->16 sweep runs under --full.
+target/release/shard_scale --shards 1,2 --mpl 128 --out BENCH_pr8.json
+
+echo "== gate 5/5: infer_latency (incl. batched section) =="
 # Tape vs tape-free identity + >=3x per-decision speedup, plus the
 # cross-event batched path: bit-identity (greedy + sampled) against the
 # sequential loop and zero steady-state allocations per batched pass.
@@ -42,6 +50,11 @@ if [[ "${1:-}" == "--full" ]]; then
     cargo build --release -p lsched-bench --bin chaos --bin overload
     target/release/chaos
     target/release/overload --out BENCH_pr7.json
+    echo "== full: shard_scale 1->16 sweep =="
+    # Weak-scaling sweep at mpl 1024/shard across 1,2,4,8,16 shards with
+    # both bit-identity gates; overwrites the smoke BENCH_pr8.json with
+    # the full sweep.
+    target/release/shard_scale --out BENCH_pr8.json
 fi
 
 echo "verify: all gates passed"

@@ -41,7 +41,10 @@ pub use agent::{
 pub use encoder::{EncoderConfig, EncoderKind, QueryEncoder};
 pub use experience::{ExperienceManager, ExperienceSource, RewardExperience};
 pub use online::{OnlineConfig, OnlineLSched};
-pub use features::{downsample_blocks, snapshot, FeatureConfig, SystemSnapshot};
+pub use features::{
+    downsample_blocks, plan_est_cost, route_features, snapshot, FeatureConfig, SystemSnapshot,
+    ROUTE_DIM,
+};
 pub use predictor::{DecisionMode, PickTrace, PredictorConfig, SchedulingPredictor};
 pub use rl::RewardConfig;
 pub use train::{

@@ -151,6 +151,22 @@ pub struct FaultSummary {
     pub queries_failed: u64,
 }
 
+impl FaultSummary {
+    /// Folds another summary into this one. Every field is an event
+    /// count, so a multi-shard aggregate is the plain sum; commutative
+    /// and associative, independent of shard visit order.
+    pub fn merge(&mut self, other: &FaultSummary) {
+        self.workers_lost += other.workers_lost;
+        self.workers_joined += other.workers_joined;
+        self.wo_lost_with_worker += other.wo_lost_with_worker;
+        self.wo_retries += other.wo_retries;
+        self.wo_permanent_failures += other.wo_permanent_failures;
+        self.stragglers += other.stragglers;
+        self.queries_cancelled += other.queries_cancelled;
+        self.queries_failed += other.queries_failed;
+    }
+}
+
 /// The runtime half of the fault subsystem: owns the fault RNG stream
 /// and rolls per-work-order perturbations.
 #[derive(Debug, Clone)]

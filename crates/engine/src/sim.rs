@@ -290,6 +290,23 @@ pub struct ResilienceSummary {
     pub stall_rescues: u64,
 }
 
+impl ResilienceSummary {
+    /// Folds another summary into this one, the way a multi-shard
+    /// serving layer aggregates per-shard results: event counters add,
+    /// starvation metrics (per-item maxima) take the cross-shard max.
+    /// Commutative and associative, so the merged aggregate is
+    /// independent of shard visit order.
+    pub fn merge(&mut self, other: &ResilienceSummary) {
+        self.shed += other.shed;
+        self.deferred += other.deferred;
+        self.deadline_timeouts += other.deadline_timeouts;
+        self.deadline_retries += other.deadline_retries;
+        self.max_defer_attempts = self.max_defer_attempts.max(other.max_defer_attempts);
+        self.max_queue_wait = self.max_queue_wait.max(other.max_queue_wait);
+        self.stall_rescues += other.stall_rescues;
+    }
+}
+
 /// Latency statistics derived from a single sort of the outcome
 /// durations. [`SimResult::avg_duration`], [`SimResult::quantile_duration`]
 /// and [`SimResult::cdf`] each used to re-collect and re-sort the
@@ -306,6 +323,53 @@ impl LatencyStats {
     fn new(mut sorted: Vec<f64>) -> Self {
         sorted.sort_by(f64::total_cmp);
         Self { sorted }
+    }
+
+    /// Builds the statistics basis from raw latency samples (any order).
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        Self::new(samples)
+    }
+
+    /// Number of samples behind these statistics.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The raw samples, sorted ascending.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Folds another sample set into this one by merging the two sorted
+    /// vectors in O(n + m). Cross-shard aggregates must be computed this
+    /// way — from the pooled raw samples — because percentiles do not
+    /// average: the p99 of per-shard p99s is not the p99 of the pooled
+    /// population. `tests` pin `merge` equal to the pooled-samples
+    /// oracle ([`LatencyStats::from_samples`] over the concatenation).
+    pub fn merge(&mut self, other: &LatencyStats) {
+        if other.sorted.is_empty() {
+            return;
+        }
+        let a = std::mem::take(&mut self.sorted);
+        let mut merged = Vec::with_capacity(a.len() + other.sorted.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < other.sorted.len() {
+            if a[i].total_cmp(&other.sorted[j]).is_le() {
+                merged.push(a[i]);
+                i += 1;
+            } else {
+                merged.push(other.sorted[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&other.sorted[j..]);
+        self.sorted = merged;
     }
 
     /// Mean latency.
@@ -337,6 +401,35 @@ impl SimResult {
     /// Builds the shared sorted-latency basis for mean/quantile/CDF.
     pub fn latency_stats(&self) -> LatencyStats {
         LatencyStats::new(self.outcomes.iter().map(|o| o.duration).collect())
+    }
+
+    /// Bitwise identity to another run, excluding only `sched_wall_time`
+    /// (a host clock reading). This is the determinism predicate the
+    /// serving-layer proptests gate on: every counter, every outcome
+    /// field, every fault/resilience summary must match exactly.
+    pub fn bit_eq(&self, other: &SimResult) -> bool {
+        fn outcomes_eq(a: &[QueryOutcome], b: &[QueryOutcome]) -> bool {
+            a.len() == b.len()
+                && a.iter().zip(b).all(|(x, y)| {
+                    x.qid == y.qid
+                        && x.name == y.name
+                        && x.arrival.to_bits() == y.arrival.to_bits()
+                        && x.finish.to_bits() == y.finish.to_bits()
+                        && x.duration.to_bits() == y.duration.to_bits()
+                })
+        }
+        outcomes_eq(&self.outcomes, &other.outcomes)
+            && outcomes_eq(&self.aborted, &other.aborted)
+            && self.makespan.to_bits() == other.makespan.to_bits()
+            && self.sched_invocations == other.sched_invocations
+            && self.sched_decisions == other.sched_decisions
+            && self.sched_rejected == other.sched_rejected
+            && self.fallback_decisions == other.fallback_decisions
+            && self.total_work_orders == other.total_work_orders
+            && self.events_processed == other.events_processed
+            && self.fault_summary == other.fault_summary
+            && self.resilience == other.resilience
+            && self.final_pool_size == other.final_pool_size
     }
 
     /// Mean query latency.
@@ -2731,5 +2824,106 @@ mod resilience_tests {
             ResilienceSummary { max_queue_wait: r1.resilience.max_queue_wait, ..Default::default() };
         assert_eq!(r1.resilience, expect);
         assert_eq!(r1.resilience.max_queue_wait.to_bits(), r2.resilience.max_queue_wait.to_bits());
+    }
+
+    #[test]
+    fn latency_merge_matches_pooled_samples_oracle() {
+        // merge() must equal the oracle: pool the raw samples, sort
+        // once. Percentiles are read off both and compared bit-exactly,
+        // across empty/uneven/duplicated sample sets.
+        let cases: &[(&[f64], &[f64])] = &[
+            (&[], &[]),
+            (&[1.0], &[]),
+            (&[], &[2.0, 0.5]),
+            (&[3.0, 1.0, 2.0], &[2.5, 0.1]),
+            (&[1.0, 1.0, 1.0], &[1.0, 1.0]),
+            (&[0.9, 5.5, 2.2, 7.1, 0.3], &[4.4, 0.2, 9.9, 1.1, 3.3, 6.6, 0.05]),
+        ];
+        for (a, b) in cases {
+            let mut merged = LatencyStats::from_samples(a.to_vec());
+            merged.merge(&LatencyStats::from_samples(b.to_vec()));
+            let pooled: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+            let oracle = LatencyStats::from_samples(pooled);
+            assert_eq!(merged.len(), oracle.len());
+            assert_eq!(merged.samples(), oracle.samples());
+            for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(merged.quantile(p).to_bits(), oracle.quantile(p).to_bits());
+            }
+            assert_eq!(merged.mean().to_bits(), oracle.mean().to_bits());
+        }
+    }
+
+    #[test]
+    fn latency_merge_is_order_independent() {
+        let a = LatencyStats::from_samples(vec![5.0, 1.0, 3.0]);
+        let b = LatencyStats::from_samples(vec![2.0, 4.0]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.samples(), ba.samples());
+    }
+
+    #[test]
+    fn summary_merges_add_counters_and_max_starvation() {
+        let mut r = ResilienceSummary {
+            shed: 1,
+            deferred: 4,
+            deadline_timeouts: 2,
+            deadline_retries: 1,
+            max_defer_attempts: 3,
+            max_queue_wait: 0.5,
+            stall_rescues: 0,
+        };
+        let other = ResilienceSummary {
+            shed: 2,
+            deferred: 1,
+            deadline_timeouts: 0,
+            deadline_retries: 2,
+            max_defer_attempts: 7,
+            max_queue_wait: 0.25,
+            stall_rescues: 1,
+        };
+        r.merge(&other);
+        assert_eq!(r.shed, 3);
+        assert_eq!(r.deferred, 5);
+        assert_eq!(r.deadline_timeouts, 2);
+        assert_eq!(r.deadline_retries, 3);
+        assert_eq!(r.max_defer_attempts, 7);
+        assert_eq!(r.max_queue_wait, 0.5);
+        assert_eq!(r.stall_rescues, 1);
+
+        let mut f = crate::fault::FaultSummary { workers_lost: 1, wo_retries: 2, ..Default::default() };
+        let g = crate::fault::FaultSummary {
+            workers_lost: 2,
+            workers_joined: 1,
+            wo_retries: 1,
+            queries_failed: 3,
+            ..Default::default()
+        };
+        f.merge(&g);
+        assert_eq!(f.workers_lost, 3);
+        assert_eq!(f.workers_joined, 1);
+        assert_eq!(f.wo_retries, 3);
+        assert_eq!(f.queries_failed, 3);
+    }
+
+    #[test]
+    fn bit_eq_detects_identity_and_divergence() {
+        let wl: Vec<WorkloadItem> =
+            (0..5).map(|i| WorkloadItem::new(i as f64 * 0.003, chain(&format!("q{i}"), 5))).collect();
+        let cfg = SimConfig { num_threads: 3, seed: 11, ..Default::default() };
+        let r1 = simulate(cfg.clone(), &wl, &mut Greedy);
+        let r2 = simulate(cfg.clone(), &wl, &mut Greedy);
+        assert!(r1.bit_eq(&r2));
+        let r3 = simulate(SimConfig { seed: 12, ..cfg }, &wl, &mut Greedy);
+        assert!(!r1.bit_eq(&r3));
+        let mut tweaked = r2.clone();
+        tweaked.events_processed += 1;
+        assert!(!r1.bit_eq(&tweaked));
+        // Wall-clock time is explicitly excluded from the predicate.
+        let mut walled = r2.clone();
+        walled.sched_wall_time += 123.0;
+        assert!(r1.bit_eq(&walled));
     }
 }

@@ -125,6 +125,20 @@ pub struct AdmissionStats {
     pub closes: u64,
 }
 
+impl AdmissionStats {
+    /// Folds another gate's counters into this one. Every field is an
+    /// event count, so the multi-shard aggregate is the plain sum
+    /// (commutative and associative — independent of shard visit order).
+    pub fn merge(&mut self, other: &AdmissionStats) {
+        self.arrivals += other.arrivals;
+        self.admitted += other.admitted;
+        self.rejected += other.rejected;
+        self.deferred += other.deferred;
+        self.opens += other.opens;
+        self.closes += other.closes;
+    }
+}
+
 /// The admission gate. See the module docs for semantics.
 #[derive(Debug, Clone)]
 pub struct Admission {

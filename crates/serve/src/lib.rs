@@ -1,0 +1,31 @@
+//! # lsched-serve
+//!
+//! The sharded multi-tenant serving layer: N independent simulator
+//! shards (each its own worker pool, frontier cache and guarded
+//! admission stack) behind a deterministic router.
+//!
+//! * [`router`] — tenant → shard hashing, weighted SLO classes layered
+//!   on the engine's priority/deadline machinery, and hysteresis-gated
+//!   query migration at admission time. Zero RNG: routing is a pure
+//!   function of the arrival sequence.
+//! * [`serve`] — the data plane: per-shard simulation on a
+//!   worker-per-shard pool and statistically honest cross-shard merging
+//!   (pooled latency samples, counter sums, starvation maxima).
+//!
+//! The determinism contract, pinned by `tests/serve_props.rs` at the
+//! workspace root: a 1-shard served run is bit-identical to the
+//! unsharded simulator, and an N-shard run is bit-identical across
+//! repeats — with fault injection on.
+
+#![warn(missing_docs)]
+
+pub mod router;
+pub mod serve;
+
+pub use router::{
+    route_workload, tenantize, Router, RouterConfig, RouterStats, SloClass, TenantId, TenantQuery,
+};
+pub use serve::{
+    merge_shards, serve_workload, shard_sim_config, AdmissionReport, ServeConfig, ServeError,
+    ServeResult, ShardRun, SHARD_SEED_STRIDE,
+};

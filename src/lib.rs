@@ -18,7 +18,10 @@
 //! * [`decima`] — the Decima baseline (GCN, black-box features, no
 //!   pipelining);
 //! * [`sched`] — FIFO / fair / SJF / HPF / critical-path / Quickstep /
-//!   SelfTune heuristic baselines.
+//!   SelfTune heuristic baselines;
+//! * [`serve`] — the sharded multi-tenant serving layer: deterministic
+//!   tenant routing, weighted SLO classes, hysteresis-gated query
+//!   migration and cross-shard result merging.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,7 @@ pub use lsched_decima as decima;
 pub use lsched_engine as engine;
 pub use lsched_nn as nn;
 pub use lsched_sched as sched;
+pub use lsched_serve as serve;
 pub use lsched_workloads as workloads;
 
 /// The most common imports in one place.
@@ -65,6 +69,9 @@ pub mod prelude {
         CriticalPathScheduler, FairScheduler, FifoScheduler, GateGuardStats, GateState,
         GuardedScheduler, HpfScheduler, QuickstepScheduler, SelfTuneScheduler, ShedPolicy,
         SjfScheduler,
+    };
+    pub use lsched_serve::{
+        serve_workload, tenantize, RouterConfig, ServeConfig, ServeResult, SloClass, TenantQuery,
     };
     pub use lsched_workloads::{gen_workload, split_train_test, ArrivalPattern, EpisodeSampler};
 }

@@ -1,0 +1,176 @@
+//! Property-based tests for the sharded serving layer: a 1-shard routed
+//! run is bit-identical to the unsharded simulator, N-shard runs are
+//! bit-identical across repeats under the standard fault matrix (the
+//! router and migration consume zero RNG), routing preserves per-tenant
+//! FIFO and partitions the workload exactly, and cross-shard latency
+//! merging equals the pooled-samples oracle.
+
+use lsched::prelude::*;
+use lsched::serve::{route_workload, RouterConfig, ServeConfig};
+use lsched::workloads::tpch;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn policy(which: u8) -> Box<dyn Scheduler> {
+    match which % 5 {
+        0 => Box::new(FifoScheduler),
+        1 => Box::new(FairScheduler::default()),
+        2 => Box::new(SjfScheduler),
+        3 => Box::new(CriticalPathScheduler),
+        _ => Box::new(QuickstepScheduler),
+    }
+}
+
+fn classes() -> Vec<SloClass> {
+    vec![SloClass::best_effort(), SloClass::silver(), SloClass::gold()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// A 1-shard served run must be bit-identical to feeding the same
+    /// (class-decorated) workload straight into the unsharded simulator:
+    /// the router, tenant bookkeeping and merge layer add zero noise.
+    #[test]
+    fn one_shard_serve_is_bit_identical_to_unsharded(
+        n_queries in 2usize..24,
+        threads in 2usize..8,
+        seed in 0u64..300,
+        which in 0u8..5,
+        tenants in 1u64..8,
+    ) {
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, n_queries, ArrivalPattern::Streaming { lambda: 60.0 }, seed);
+        let queries = tenantize(&wl, tenants, &classes());
+        let sim = SimConfig { num_threads: threads, seed, ..Default::default() };
+
+        let served = serve_workload(&ServeConfig::new(1, sim.clone()), &queries, |_| policy(which))
+            .expect("1-shard serve cannot error");
+        let direct_wl: Vec<WorkloadItem> =
+            queries.iter().map(|q| q.class.apply(q.item.clone())).collect();
+        let direct = try_simulate(sim, &direct_wl, policy(which).as_mut())
+            .expect("unsharded run cannot error");
+
+        prop_assert!(served.shards[0].result.bit_eq(&direct),
+            "1-shard routed result diverged from the unsharded simulator");
+        prop_assert_eq!(served.events_processed, direct.events_processed);
+        prop_assert_eq!(served.makespan.to_bits(), direct.makespan.to_bits());
+        prop_assert_eq!(served.router.migrations, 0, "one shard has nowhere to migrate");
+    }
+
+    /// N-shard served runs are bit-identical across repeats with the
+    /// standard fault matrix enabled: routing, migration and the
+    /// worker-per-shard execution collect zero RNG and impose a total
+    /// deterministic order.
+    #[test]
+    fn n_shard_serve_is_bit_identical_across_repeats_under_faults(
+        n_queries in 4usize..32,
+        threads in 2usize..6,
+        seed in 0u64..300,
+        which in 0u8..5,
+        shards in 2usize..5,
+        tenants in 2u64..12,
+    ) {
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, n_queries, ArrivalPattern::Streaming { lambda: 80.0 }, seed);
+        let queries = tenantize(&wl, tenants, &classes());
+        let faults = FaultPlan::standard_matrix(seed, threads, n_queries, 0.5);
+        let sim = SimConfig {
+            num_threads: threads,
+            seed,
+            faults: Some(faults),
+            ..Default::default()
+        };
+        let cfg = ServeConfig::new(shards, sim);
+
+        let a = serve_workload(&cfg, &queries, |_| policy(which)).expect("repeat A cannot error");
+        let b = serve_workload(&cfg, &queries, |_| policy(which)).expect("repeat B cannot error");
+
+        prop_assert_eq!(&a.router, &b.router, "router counters must repeat exactly");
+        prop_assert_eq!(a.shards.len(), b.shards.len());
+        for (x, y) in a.shards.iter().zip(&b.shards) {
+            prop_assert_eq!(&x.assigned, &y.assigned, "shard {} routing diverged", x.shard);
+            prop_assert!(x.result.bit_eq(&y.result), "shard {} result diverged", x.shard);
+        }
+        prop_assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        prop_assert_eq!(a.events_processed, b.events_processed);
+        prop_assert_eq!(&a.resilience, &b.resilience);
+        prop_assert_eq!(&a.faults, &b.faults);
+        // Every query is simulated on exactly one shard.
+        let mut seen: Vec<usize> = a.shards.iter().flat_map(|s| s.assigned.clone()).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n_queries).collect::<Vec<_>>());
+        prop_assert_eq!(a.completed + a.aborted, n_queries as u64);
+    }
+
+    /// Routing preserves per-tenant FIFO: within every shard each
+    /// tenant's queries appear in global arrival order, and the merged
+    /// latency statistics equal the pooled-samples oracle.
+    #[test]
+    fn routing_preserves_tenant_fifo_and_merge_oracle(
+        n_queries in 4usize..40,
+        threads in 2usize..6,
+        seed in 0u64..300,
+        shards in 1usize..5,
+        tenants in 1u64..10,
+    ) {
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, n_queries, ArrivalPattern::Streaming { lambda: 100.0 }, seed);
+        let queries = tenantize(&wl, tenants, &classes());
+
+        let (_, assigned, _) = route_workload(&RouterConfig::new(shards, threads), &queries);
+        for shard in &assigned {
+            let mut last: HashMap<u64, usize> = HashMap::new();
+            for &gi in shard {
+                let t = queries[gi].tenant;
+                if let Some(&prev) = last.get(&t) {
+                    prop_assert!(gi > prev, "tenant {} reordered: {} then {}", t, prev, gi);
+                }
+                last.insert(t, gi);
+            }
+        }
+
+        let sim = SimConfig { num_threads: threads, seed, ..Default::default() };
+        let served = serve_workload(&ServeConfig::new(shards, sim), &queries, |_| FifoScheduler)
+            .expect("serve cannot error");
+        let mut pooled: Vec<f64> = Vec::new();
+        for s in &served.shards {
+            pooled.extend(s.result.outcomes.iter().map(|o| o.duration));
+        }
+        let oracle = lsched::engine::sim::LatencyStats::from_samples(pooled);
+        prop_assert_eq!(served.latency.samples(), oracle.samples());
+        for p in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(
+                served.latency.quantile(p).to_bits(),
+                oracle.quantile(p).to_bits(),
+                "merged p{} diverged from pooled oracle", p
+            );
+        }
+    }
+}
+
+/// Guarded shards with admission gates surface per-shard and merged
+/// admission counters, and the merged counters are the exact sums.
+#[test]
+fn sharded_admission_counters_sum_exactly() {
+    use lsched::sched::{Admission, AdmissionConfig};
+
+    let pool = tpch::plan_pool(&[0.3]);
+    let wl = gen_workload(&pool, 30, ArrivalPattern::Batch, 9);
+    let queries = tenantize(&wl, 6, &classes());
+    let cfg = ServeConfig::new(3, SimConfig { num_threads: 2, seed: 9, ..Default::default() });
+    let served = serve_workload(&cfg, &queries, |_| {
+        GuardedScheduler::new(QuickstepScheduler).with_admission(Admission::new(
+            AdmissionConfig { max_queued: 4, resume_queued: 2, ..Default::default() },
+        ))
+    })
+    .expect("guarded serve cannot error");
+    let mut sum = AdmissionStats::default();
+    for s in &served.shards {
+        let a = s.admission.expect("guarded shard must report admission stats");
+        sum.merge(&a);
+    }
+    assert_eq!(sum, served.admission);
+    assert_eq!(served.admission.arrivals, 30);
+    assert_eq!(served.completed + served.aborted, 30);
+}
