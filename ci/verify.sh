@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI verify job: the hard gates every change must pass before merge.
 #
-#   ./ci/verify.sh          # lint + PR6 perf/identity/allocation gates
+#   ./ci/verify.sh          # lint + perf/identity/allocation gates
 #   ./ci/verify.sh --full   # additionally: full test suite + chaos/overload
 #
 # Each gated binary prints PASS/FAIL, writes its JSON report, and exits
@@ -9,21 +9,22 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== gate 1/5: clippy -D warnings =="
+echo "== gate 1/6: clippy -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
-echo "== gate 2/5: build (release, count-allocs) =="
+echo "== gate 2/6: build (release, count-allocs) =="
 cargo build --release -p lsched-bench --features count-allocs \
-    --bin sim_throughput --bin infer_latency --bin shard_scale
+    --bin sim_throughput --bin infer_latency --bin shard_scale \
+    --bin train_throughput
 
-echo "== gate 3/5: sim_throughput --mpl 1024 =="
+echo "== gate 3/6: sim_throughput --mpl 1024 =="
 # Tick-batched event loop vs full-rescan reference at mpl 1024:
 # >=2x aggregate events/sec, bit-identical results (fault-free and
 # faulted), bursty-arrival decision-latency histogram within bounds,
 # zero steady-state allocations per event.
 target/release/sim_throughput --mpl 1024 --out BENCH_pr6.json
 
-echo "== gate 4/5: shard_scale smoke (1,2 shards) =="
+echo "== gate 4/6: shard_scale smoke (1,2 shards) =="
 # Serving-layer smoke: 1-shard routed run bit-identical to the unsharded
 # simulator, repeat bit-identity under the standard fault matrix, and
 # the scaling-shape gate for the host class (monotone + >=0.7x/shard at
@@ -31,11 +32,20 @@ echo "== gate 4/5: shard_scale smoke (1,2 shards) =="
 # 1->16 sweep runs under --full.
 target/release/shard_scale --shards 1,2 --mpl 128 --out BENCH_pr8.json
 
-echo "== gate 5/5: infer_latency (incl. batched section) =="
-# Tape vs tape-free identity + >=3x per-decision speedup, plus the
-# cross-event batched path: bit-identity (greedy + sampled) against the
-# sequential loop and zero steady-state allocations per batched pass.
+echo "== gate 5/6: infer_latency (incl. batched section) =="
+# Reference-tape vs tape-free identity + >=3x per-decision speedup,
+# plus the cross-event batched path: bit-identity (greedy + sampled)
+# against the sequential loop and zero steady-state allocations per
+# batched pass. The arena-tape ratio is reported informationally.
 target/release/infer_latency --reps 100
+
+echo "== gate 6/6: train_throughput smoke =="
+# Fused arena-tape gradient phase vs the per-decision tape baseline:
+# >=3x episodes/sec at the default TrainConfig, gradients / params /
+# Adam state bit-identical to the reference-tape oracle, and zero
+# steady-state allocations per gradient step. The longer sweep runs
+# under --full.
+target/release/train_throughput --reps 12 --out BENCH_pr9.json
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "== full: test suite =="
@@ -55,6 +65,10 @@ if [[ "${1:-}" == "--full" ]]; then
     # both bit-identity gates; overwrites the smoke BENCH_pr8.json with
     # the full sweep.
     target/release/shard_scale --out BENCH_pr8.json
+    echo "== full: train_throughput sweep =="
+    # Larger episode/rep sweep of the gated gradient-phase benchmark;
+    # overwrites the smoke BENCH_pr9.json.
+    target/release/train_throughput --full --out BENCH_pr9.json
 fi
 
 echo "verify: all gates passed"

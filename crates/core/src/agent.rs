@@ -199,6 +199,7 @@ impl LSchedModel {
             mode,
             rng,
             max_picks_per_event,
+            None,
             pred,
             decisions,
             picks,
@@ -370,9 +371,34 @@ impl LSchedScheduler {
         self.steps
     }
 
+    /// Takes the recorded steps out of a live scheduler, leaving it
+    /// recording into an empty buffer. The online-correction loop uses
+    /// this to harvest a window without tearing the scheduler down.
+    pub fn take_steps(&mut self) -> Vec<EpisodeStep> {
+        std::mem::take(&mut self.steps)
+    }
+
     /// Immutable access to the model.
     pub fn model(&self) -> &LSchedModel {
         &self.model
+    }
+
+    /// Mutable access to the model, available only while no parallel
+    /// rollout worker shares the snapshot (`None` otherwise). In-place
+    /// updates through this handle keep the parameter tensors' `Arc`s
+    /// uniquely owned, so the optimizer never COW-clones them.
+    pub fn model_mut(&mut self) -> Option<&mut LSchedModel> {
+        Arc::get_mut(&mut self.model)
+    }
+
+    /// Restarts the decision RNG and the per-run caches for a fresh
+    /// episode window while keeping every scratch arena's capacity
+    /// alive. Equivalent to rebuilding the scheduler with this seed,
+    /// minus the reallocation.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        self.cache.clear();
+        self.degraded = false;
     }
 
     /// Static-encoding cache hit/miss counters (for diagnostics/tests).

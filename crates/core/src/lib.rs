@@ -40,15 +40,18 @@ pub use agent::{
 };
 pub use encoder::{EncoderConfig, EncoderKind, QueryEncoder};
 pub use experience::{ExperienceManager, ExperienceSource, RewardExperience};
-pub use online::{OnlineConfig, OnlineLSched};
+pub use online::{guarded_step, OnlineConfig, OnlineLSched, UpdateOutcome};
 pub use features::{
     downsample_blocks, plan_est_cost, route_features, snapshot, FeatureConfig, SystemSnapshot,
     ROUTE_DIM,
 };
-pub use predictor::{DecisionMode, PickTrace, PredictorConfig, SchedulingPredictor};
+pub use predictor::{
+    DecisionMode, PickTrace, PredictorConfig, SchedulingPredictor, SnapshotList,
+};
 pub use rl::RewardConfig;
 pub use train::{
-    train, train_with_checkpoints, train_with_validation, CheckpointPolicy, TrainCheckpoint,
-    TrainConfig, TrainStats,
+    accumulate_rollout_gradients, accumulate_rollout_gradients_with, rollout_returns, train,
+    train_with_checkpoints, train_with_validation, CheckpointPolicy, GradScratch,
+    TrainCheckpoint, TrainConfig, TrainStats,
 };
 pub use transfer::{freeze_interior, transfer_from, unfreeze_all, TransferReport};

@@ -21,7 +21,9 @@ use lsched_nn::{Adam, ParamStore};
 use crate::agent::{LSchedModel, LSchedScheduler};
 use crate::experience::{ExperienceManager, ExperienceSource};
 use crate::rl::RewardConfig;
-use crate::train::{accumulate_rollout_gradients, rollout_returns, TrainConfig};
+use crate::train::{
+    accumulate_rollout_gradients_with, rollout_returns, GradScratch, TrainConfig,
+};
 
 /// Online-correction settings.
 #[derive(Debug, Clone)]
@@ -68,7 +70,7 @@ pub enum UpdateOutcome {
 /// gradients up front, and rolls the parameters back to a pre-step
 /// checkpoint if the step itself poisons them. Returns what happened so
 /// the caller can reset optimizer state on a rollback.
-pub(crate) fn guarded_step(
+pub fn guarded_step(
     model: &mut LSchedModel,
     step: impl FnOnce(&mut ParamStore),
 ) -> UpdateOutcome {
@@ -100,6 +102,9 @@ pub struct OnlineLSched {
     skipped_updates: usize,
     rollbacks: usize,
     experience: ExperienceManager,
+    /// Replay scratch reused across checkpoints, so steady-state online
+    /// corrections run in recycled arena capacity.
+    scratch: GradScratch,
 }
 
 impl OnlineLSched {
@@ -115,6 +120,7 @@ impl OnlineLSched {
             skipped_updates: 0,
             rollbacks: 0,
             experience: ExperienceManager::new(256),
+            scratch: GradScratch::new(),
         }
     }
 
@@ -145,19 +151,11 @@ impl OnlineLSched {
     }
 
     fn checkpoint(&mut self, now: f64) {
-        // Take the recorded steps out of the inner scheduler.
-        let model_steps = {
-            let inner = std::mem::replace(
-                &mut self.inner,
-                // Placeholder; replaced right below.
-                LSchedScheduler::sampling(
-                    LSchedModel::new(crate::agent::LSchedConfig::default(), 0),
-                    0,
-                ),
-            );
-            inner.finish()
-        };
-        let (mut model, steps) = model_steps;
+        // Harvest the window's recorded steps in place; the scheduler
+        // (and the model behind it) stays alive, so no placeholder
+        // scheduler or model rebuild is needed and every scratch arena
+        // keeps its capacity across checkpoints.
+        let steps = self.inner.take_steps();
         if steps.len() >= 2 {
             let returns = rollout_returns(&self.cfg.reward, &steps, now);
             let mean = returns.iter().sum::<f64>() / returns.len() as f64;
@@ -167,11 +165,22 @@ impl OnlineLSched {
                 reward: self.cfg.reward,
                 ..Default::default()
             };
+            let model = self
+                .inner
+                .model_mut()
+                .expect("the online scheduler owns its model exclusively");
             model.store.zero_grads();
-            accumulate_rollout_gradients(&mut model, &steps, &advantages, &tcfg, &mut self.rng);
+            accumulate_rollout_gradients_with(
+                model,
+                &steps,
+                &advantages,
+                &tcfg,
+                &mut self.rng,
+                &mut self.scratch,
+            );
             model.store.clip_grad_norm(self.cfg.max_grad_norm);
             let opt = &mut self.opt;
-            match guarded_step(&mut model, |store| opt.step(store)) {
+            match guarded_step(model, |store| opt.step(store)) {
                 UpdateOutcome::Applied => {
                     self.corrections += 1;
                     self.experience.record(
@@ -192,7 +201,7 @@ impl OnlineLSched {
             }
         }
         let seed: u64 = rand::Rng::gen(&mut self.rng);
-        self.inner = LSchedScheduler::sampling(model, seed);
+        self.inner.reseed(seed);
     }
 }
 

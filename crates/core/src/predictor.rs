@@ -143,6 +143,35 @@ impl<I> BatchPredictScratch<I> {
     }
 }
 
+/// A borrowed list of system snapshots for
+/// [`SchedulingPredictor::decide_batch_on`].
+///
+/// The serving path naturally holds a `&[&SystemSnapshot]`; the training
+/// replay holds recorded episode steps plus a subsample index list.
+/// Abstracting the event list lets the replay hand the predictor an
+/// *indirect* view over `(steps, selected)` instead of materializing a
+/// fresh `Vec<&SystemSnapshot>` every gradient step — the last
+/// steady-state heap allocation on the fused training path.
+pub trait SnapshotList {
+    /// Number of events.
+    fn len(&self) -> usize;
+    /// The snapshot of event `i`.
+    fn get(&self, i: usize) -> &SystemSnapshot;
+    /// Whether there are no events.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SnapshotList for [&SystemSnapshot] {
+    fn len(&self) -> usize {
+        <[&SystemSnapshot]>::len(self)
+    }
+    fn get(&self, i: usize) -> &SystemSnapshot {
+        self[i]
+    }
+}
+
 /// Per-event span of [`SchedulingPredictor::decide_batch_on`]'s flat
 /// output: how many decisions/picks belong to this event (they always
 /// count the same, one pick trace per decision) and the backend handle
@@ -564,20 +593,28 @@ impl SchedulingPredictor {
     /// sequentially on each event with a fresh rng stream in the same
     /// order.
     ///
+    /// With `forced` (training replay), event `e` re-takes exactly the
+    /// pick sequence `forced(e)` — `max_picks_per_event` and the rng are
+    /// not consulted — and its log-probability is rebuilt on the tape.
+    /// This is how the REINFORCE trainer replays a whole rollout's
+    /// sampled decisions as *one* recorded graph, so the backward pass
+    /// runs the per-layer gradient GEMMs batched across all events.
+    ///
     /// Decisions and pick traces accumulate *flat* in event order
     /// (cleared first); `per_event[e]` records how many of them belong
     /// to event `e` plus the handle of that event's total
     /// log-probability.
     #[allow(clippy::too_many_arguments)]
-    pub fn decide_batch_on<B: Backend>(
+    pub fn decide_batch_on<'p, B: Backend, S: SnapshotList + ?Sized>(
         &self,
         b: &mut B,
-        snaps: &[&SystemSnapshot],
+        snaps: &S,
         encs: &[EncodeScratch<B::Id>],
         aqes: &[B::Id],
         mode: DecisionMode,
         mut rng: Option<&mut StdRng>,
         max_picks_per_event: usize,
+        forced: Option<&dyn Fn(usize) -> &'p [PickTrace]>,
         scratch: &mut BatchPredictScratch<B::Id>,
         decisions: &mut Vec<SchedDecision>,
         picks: &mut Vec<PickTrace>,
@@ -607,13 +644,14 @@ impl SchedulingPredictor {
         // Pack every event's candidate table and head inputs into one
         // flat row list; `cand_offsets` delimits the per-event slices.
         cand_offsets.push(0);
-        for (e, &snap) in snaps.iter().enumerate() {
+        for (e, enc) in encs.iter().enumerate().take(snaps.len()) {
+            let snap = snaps.get(e);
             let start = cands.len();
             snap.candidates_into_append(cands);
             Self::build_head_inputs_on(
                 b,
                 snap,
-                encs[e].queries(),
+                enc.queries(),
                 &cands[start..],
                 root_inputs,
                 pipe_inputs,
@@ -632,10 +670,14 @@ impl SchedulingPredictor {
 
         // Per-event masked pick loops, rng consumed in event order.
         let mut seg = 0usize;
-        for (e, &snap) in snaps.iter().enumerate() {
+        for e in 0..snaps.len() {
+            let snap = snaps.get(e);
             let (lo, hi) = (cand_offsets[e], cand_offsets[e + 1]);
             logprob_terms.clear();
             let before = decisions.len();
+            let forced_event = forced.map(|f| f(e));
+            let max_iters =
+                forced_event.map_or(max_picks_per_event, <[PickTrace]>::len);
             if hi > lo {
                 let cand_scores = seg_scores[seg];
                 seg += 1;
@@ -650,8 +692,8 @@ impl SchedulingPredictor {
                     available,
                     mode,
                     rng.as_deref_mut(),
-                    None,
-                    max_picks_per_event,
+                    forced_event,
+                    max_iters,
                     logprob_terms,
                     decisions,
                     picks,

@@ -82,13 +82,22 @@ pub fn episode_rewards(cfg: &RewardConfig, h: &[f64]) -> Vec<f64> {
 /// Suffix returns `G_d = Σ_{k ≥ d} r_k` (undiscounted, as the episode
 /// horizon is finite).
 pub fn suffix_returns(rewards: &[f64]) -> Vec<f64> {
-    let mut g = vec![0.0; rewards.len()];
-    let mut acc = 0.0;
-    for i in (0..rewards.len()).rev() {
-        acc += rewards[i];
-        g[i] = acc;
-    }
+    let mut g = rewards.to_vec();
+    suffix_returns_in_place(&mut g);
     g
+}
+
+/// In-place variant of [`suffix_returns`]: overwrites each reward with
+/// the suffix return starting at it. The rollout hot path uses this to
+/// turn an episode's reward vector into returns without a second
+/// allocation; the accumulation order (and hence every bit) matches
+/// [`suffix_returns`].
+pub fn suffix_returns_in_place(rewards: &mut [f64]) {
+    let mut acc = 0.0;
+    for r in rewards.iter_mut().rev() {
+        acc += *r;
+        *r = acc;
+    }
 }
 
 /// A time-indexed (per-decision-index) exponential-moving-average
@@ -176,6 +185,17 @@ mod tests {
     fn suffix_returns_accumulate_backwards() {
         assert_eq!(suffix_returns(&[1.0, 2.0, 3.0]), vec![6.0, 5.0, 3.0]);
         assert!(suffix_returns(&[]).is_empty());
+    }
+
+    #[test]
+    fn suffix_returns_in_place_matches_allocating_form() {
+        let rewards = [0.25, -1.5, 3.0, 0.0, 7.125];
+        let expect = suffix_returns(&rewards);
+        let mut inplace = rewards;
+        suffix_returns_in_place(&mut inplace);
+        for (a, b) in expect.iter().zip(&inplace) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -11,14 +11,22 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use lsched_engine::scheduler::SchedDecision;
 use lsched_engine::sim::{simulate, SimConfig};
-use lsched_nn::{Adam, AdamState, CheckpointError, CheckpointManager};
+use lsched_nn::{
+    Adam, AdamState, Backend, CheckpointError, CheckpointManager, Graph, NodeId, RefTape,
+    RefTapeBackend, TapeBackend,
+};
 use lsched_workloads::EpisodeSampler;
 
 use crate::agent::{EpisodeStep, LSchedModel, LSchedScheduler};
+use crate::encoder::EncodeScratch;
 use crate::experience::{ExperienceManager, ExperienceSource};
-use crate::predictor::DecisionMode;
-use crate::rl::{episode_rewards, latency_approximations, suffix_returns, RewardConfig};
+use crate::features::SystemSnapshot;
+use crate::predictor::{BatchPredictScratch, DecisionMode, EventOutcome, PickTrace, SnapshotList};
+use crate::rl::{
+    episode_rewards, latency_approximations, suffix_returns_in_place, RewardConfig,
+};
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone)]
@@ -50,6 +58,13 @@ pub struct TrainConfig {
     /// by `(seed, episode, rollout index)`, so any thread count produces
     /// bit-identical training to a sequential run.
     pub rollout_threads: usize,
+    /// Replay gradients on the retained per-node reference tape instead
+    /// of the arena tape. The reference tape records the same replay
+    /// structure decomposed op by op and is roughly an order of
+    /// magnitude slower — it exists as the in-process oracle the fused
+    /// arena backward is gated against bit for bit (see
+    /// `tests/grad_equivalence.rs`), not as a production path.
+    pub reference_tape: bool,
 }
 
 impl Default for TrainConfig {
@@ -65,6 +80,7 @@ impl Default for TrainConfig {
             seed: 0,
             rollouts_per_episode: 2,
             rollout_threads: 0,
+            reference_tape: false,
         }
     }
 }
@@ -140,9 +156,10 @@ pub fn rollout_returns(cfg: &RewardConfig, steps: &[EpisodeStep], makespan: f64)
     let times: Vec<f64> = steps.iter().map(|s| s.time).collect();
     let counts: Vec<usize> = steps.iter().map(|s| s.num_queries).collect();
     let h = latency_approximations(&times, &counts, makespan);
-    let rewards = episode_rewards(cfg, &h);
-    let returns = suffix_returns(&rewards);
-    returns[..steps.len()].to_vec()
+    let mut returns = episode_rewards(cfg, &h);
+    suffix_returns_in_place(&mut returns);
+    returns.truncate(steps.len());
+    returns
 }
 
 /// Input-dependent baseline over a set of same-workload rollouts: the
@@ -187,15 +204,165 @@ pub fn time_aligned_baseline(rollouts: &[Vec<(f64, f64)>], t: f64) -> f64 {
     rollouts.iter().map(|r| return_at(r, t)).sum::<f64>() / rollouts.len() as f64
 }
 
+/// Every reusable buffer of the batched gradient replay: the arena tape
+/// plus the encoder/predictor scratch vectors
+/// [`accumulate_rollout_gradients_with`] records into. One `GradScratch`
+/// lives across all rollouts and episodes of a training run, so after
+/// warm-up each replay runs entirely in recycled capacity — the training
+/// counterpart of the inference path's `InferScratch`.
+#[derive(Default)]
+pub struct GradScratch {
+    g: Graph,
+    encs: Vec<EncodeScratch<NodeId>>,
+    pred: BatchPredictScratch<NodeId>,
+    aqes: Vec<NodeId>,
+    outcomes: Vec<EventOutcome<NodeId>>,
+    decisions: Vec<SchedDecision>,
+    picks: Vec<PickTrace>,
+    loss_terms: Vec<NodeId>,
+    order: Vec<usize>,
+}
+
+impl GradScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current capacity of the tape's value arena in `f32` slots —
+    /// stable once warmed up (diagnostics/benchmarks).
+    pub fn arena_capacity(&self) -> usize {
+        self.g.arena_capacity()
+    }
+}
+
+/// Records the REINFORCE replay of the selected decisions as *one*
+/// graph on `b` and returns the total loss node
+/// `Σ_e −Â_e · log π(a_e | s_e)`.
+///
+/// All selected events' candidate root scores flow through a single
+/// [`Backend::mlp_scores_batched`] segment table, so on the arena tape
+/// the backward pass runs each head layer's gradient GEMM once across
+/// the whole rollout instead of once per decision. Generic over the
+/// backend: the production path instantiates it with the arena
+/// [`TapeBackend`], the oracle with the decomposed [`RefTapeBackend`] —
+/// identical replay structure, bit-identical gradients.
+/// Indirect [`SnapshotList`] view over the replay's selected decisions:
+/// event `e` is `steps[selected[e]].snapshot`. Handing this view to
+/// [`SchedulingPredictor::decide_batch_on`] (instead of collecting a
+/// `Vec<&SystemSnapshot>` per call) keeps the steady-state gradient step
+/// free of heap allocations.
+struct SelectedSnaps<'a> {
+    steps: &'a [EpisodeStep],
+    selected: &'a [usize],
+}
+
+impl SnapshotList for SelectedSnaps<'_> {
+    fn len(&self) -> usize {
+        self.selected.len()
+    }
+    fn get(&self, i: usize) -> &SystemSnapshot {
+        &self.steps[self.selected[i]].snapshot
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_replay_loss<B: Backend>(
+    b: &mut B,
+    model: &LSchedModel,
+    steps: &[EpisodeStep],
+    selected: &[usize],
+    advantages: &[f64],
+    std: f64,
+    scale: f64,
+    encs: &mut Vec<EncodeScratch<B::Id>>,
+    pred: &mut BatchPredictScratch<B::Id>,
+    aqes: &mut Vec<B::Id>,
+    outcomes: &mut Vec<EventOutcome<B::Id>>,
+    decisions: &mut Vec<SchedDecision>,
+    picks: &mut Vec<PickTrace>,
+    loss_terms: &mut Vec<B::Id>,
+) -> B::Id {
+    let snaps = SelectedSnaps { steps, selected };
+    while encs.len() < snaps.len() {
+        encs.push(EncodeScratch::new());
+    }
+    aqes.clear();
+    for (e, enc) in encs.iter_mut().enumerate().take(snaps.len()) {
+        let snap = snaps.get(e);
+        let aqe = if snap.queries.is_empty() {
+            // Nothing to encode; the forced pick list is necessarily
+            // empty too, so any valid handle stands in for the AQE.
+            enc.clear();
+            b.scalar(0.0)
+        } else {
+            model.encoder.encode_system_on(b, snap, enc)
+        };
+        aqes.push(aqe);
+    }
+    let forced = |e: usize| steps[selected[e]].picks.as_slice();
+    model.predictor.decide_batch_on(
+        b,
+        &snaps,
+        &encs[..snaps.len()],
+        aqes,
+        DecisionMode::Greedy,
+        None,
+        0, // pick budget unused: the forced traces bound every event
+        Some(&forced),
+        pred,
+        decisions,
+        picks,
+        outcomes,
+    );
+    // REINFORCE loss per event: -A_e * log π(a_e | s_e), summed.
+    loss_terms.clear();
+    for (e, o) in outcomes.iter().enumerate() {
+        let adv = (advantages[selected[e]] / std) * scale;
+        loss_terms.push(b.scale(o.logprob, -(adv as f32)));
+    }
+    let cat = b.concat(loss_terms);
+    b.sum_elems(cat)
+}
+
 /// Accumulates one rollout's REINFORCE gradients into the model's
 /// parameter store (no optimizer step). Exposed for reuse by the Decima
 /// baseline's trainer structure.
+///
+/// Convenience wrapper over [`accumulate_rollout_gradients_with`] that
+/// pays for a fresh [`GradScratch`]; hot loops hold one scratch across
+/// rollouts instead.
 pub fn accumulate_rollout_gradients(
     model: &mut LSchedModel,
     steps: &[EpisodeStep],
     advantages: &[f64],
     cfg: &TrainConfig,
     rng: &mut StdRng,
+) {
+    let mut scratch = GradScratch::new();
+    accumulate_rollout_gradients_with(model, steps, advantages, cfg, rng, &mut scratch);
+}
+
+/// Accumulates one rollout's REINFORCE gradients into the model's
+/// parameter store using caller-provided scratch (no optimizer step).
+///
+/// The sampled decisions replay as a single batched graph — one fused
+/// gradient GEMM per head layer across the whole rollout, one backward
+/// sweep — and the graph's parameter pins are released afterwards so
+/// the optimizer step that follows updates tensors in place. With
+/// [`TrainConfig::reference_tape`] the identical replay structure runs
+/// on the retained reference tape instead (the bit-exactness oracle).
+///
+/// The only RNG consumption is the decision subsample shuffle, which is
+/// shared by both tapes, so toggling `reference_tape` cannot shift the
+/// training RNG stream.
+pub fn accumulate_rollout_gradients_with(
+    model: &mut LSchedModel,
+    steps: &[EpisodeStep],
+    advantages: &[f64],
+    cfg: &TrainConfig,
+    rng: &mut StdRng,
+    scratch: &mut GradScratch,
 ) {
     if steps.is_empty() {
         return;
@@ -204,24 +371,55 @@ pub fn accumulate_rollout_gradients(
     let var = advantages.iter().map(|a| a * a).sum::<f64>() / advantages.len() as f64;
     let std = var.sqrt().max(1e-6);
 
-    let mut order: Vec<usize> = (0..steps.len()).collect();
+    let GradScratch { g, encs, pred, aqes, outcomes, decisions, picks, loss_terms, order } =
+        scratch;
+    order.clear();
+    order.extend(0..steps.len());
     order.shuffle(rng);
     let take = order.len().min(cfg.decision_sample_cap);
     let scale = order.len() as f64 / take as f64;
+    let selected = &order[..take];
 
-    for &d in order.iter().take(take) {
-        let step = &steps[d];
-        let adv = (advantages[d] / std) * scale;
-        let (g, _, _, logprob) = model.decide_snapshot(
-            &step.snapshot,
-            DecisionMode::Greedy,
-            None,
-            Some(&step.picks),
-        );
-        // REINFORCE loss: -A_d * log π(a_d | s_d).
-        let mut graph = g;
-        let loss = graph.scale(logprob, -(adv as f32));
-        graph.backward(loss, &mut model.store);
+    if cfg.reference_tape {
+        // Oracle path: same replay, decomposed recording on the
+        // per-node-owned reference tape. Fresh buffers every call — the
+        // oracle is a correctness gate, not a hot path.
+        let mut tape = RefTape::new();
+        let loss = {
+            let m: &LSchedModel = model;
+            let mut b = RefTapeBackend::new(&mut tape, &m.store);
+            record_replay_loss(
+                &mut b,
+                m,
+                steps,
+                selected,
+                advantages,
+                std,
+                scale,
+                &mut Vec::new(),
+                &mut BatchPredictScratch::new(),
+                &mut Vec::new(),
+                &mut Vec::new(),
+                decisions,
+                picks,
+                &mut Vec::new(),
+            )
+        };
+        tape.backward(loss, &mut model.store);
+    } else {
+        g.reset();
+        let loss = {
+            let m: &LSchedModel = model;
+            let mut b = TapeBackend::new(g, &m.store);
+            record_replay_loss(
+                &mut b, m, steps, selected, advantages, std, scale, encs, pred, aqes, outcomes,
+                decisions, picks, loss_terms,
+            )
+        };
+        g.backward(loss, &mut model.store);
+        // Unpin the parameter Arcs so the optimizer step that follows
+        // updates every tensor in place instead of COW-cloning it.
+        g.release_params();
     }
 }
 
@@ -365,6 +563,10 @@ fn train_loop(
 ) -> Result<(LSchedModel, TrainStats), CheckpointError> {
     let mut stats = TrainStats::default();
     let rollouts = cfg.rollouts_per_episode.max(1);
+    // One replay scratch for the whole run: after the first episode the
+    // arena tape and every bookkeeping vector replay rollouts in
+    // recycled capacity.
+    let mut grad_scratch = GradScratch::new();
     // Invariant: building a rayon pool only fails when the OS refuses to
     // spawn threads, which is unrecoverable for a training run anyway.
     let pool = rayon::ThreadPoolBuilder::new()
@@ -433,7 +635,14 @@ fn train_loop(
                 .zip(returns)
                 .map(|(s, g)| g - time_aligned_baseline(&curves, s.time))
                 .collect();
-            accumulate_rollout_gradients(&mut model, steps, &advantages, cfg, &mut rng);
+            accumulate_rollout_gradients_with(
+                &mut model,
+                steps,
+                &advantages,
+                cfg,
+                &mut rng,
+                &mut grad_scratch,
+            );
         }
         model.store.clip_grad_norm(cfg.max_grad_norm);
         opt.step(&mut model.store);
@@ -655,6 +864,75 @@ mod tests {
         assert!(rollout_returns(&cfg.reward, &[], 1.0).is_empty());
         accumulate_rollout_gradients(&mut model, &[], &[], &cfg, &mut rng);
         assert_eq!(model.store.grad_norm(), 0.0);
+    }
+
+    /// Records one sampled episode on a tiny workload and returns the
+    /// model, its steps, and the (uncentered) per-decision returns.
+    fn recorded_episode(seed: u64) -> (LSchedModel, Vec<EpisodeStep>, Vec<f64>) {
+        use lsched_workloads::gen_workload;
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, 5, ArrivalPattern::Batch, 3);
+        let sim = SimConfig { num_threads: 6, ..Default::default() };
+        let mut sched = LSchedScheduler::sampling(tiny_model(seed), 7);
+        let res = simulate(sim, &wl, &mut sched);
+        let (model, steps) = sched.finish();
+        assert!(!steps.is_empty());
+        let returns = rollout_returns(&RewardConfig::default(), &steps, res.makespan);
+        (model, steps, returns)
+    }
+
+    #[test]
+    fn batched_replay_keeps_params_unpinned_for_in_place_updates() {
+        // Satellite audit: after a rollout fan-out + gradient replay, no
+        // stray Arc may still pin a parameter tensor, or the optimizer
+        // step deep-clones every parameter (Arc::make_mut COW). Pointer
+        // equality of the tensor buffers across the step proves the
+        // update ran in place.
+        let (mut model, steps, returns) = recorded_episode(5);
+        let cfg = TrainConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut scratch = GradScratch::new();
+        model.store.zero_grads();
+        accumulate_rollout_gradients_with(
+            &mut model, &steps, &returns, &cfg, &mut rng, &mut scratch,
+        );
+        assert!(model.store.grad_norm() > 0.0, "replay must produce gradients");
+        let before: Vec<*const f32> = model
+            .store
+            .iter_ids()
+            .map(|(id, _)| model.store.value(id).data().as_ptr())
+            .collect();
+        let mut opt = Adam::new(1e-3);
+        opt.step(&mut model.store);
+        let after: Vec<*const f32> = model
+            .store
+            .iter_ids()
+            .map(|(id, _)| model.store.value(id).data().as_ptr())
+            .collect();
+        assert_eq!(before, after, "the step must update tensors in place, not COW-clone them");
+    }
+
+    #[test]
+    fn replay_scratch_reaches_steady_state_capacity() {
+        let (mut model, steps, returns) = recorded_episode(6);
+        let cfg = TrainConfig::default();
+        let mut scratch = GradScratch::new();
+        let mut run = |scratch: &mut GradScratch, model: &mut LSchedModel| {
+            let mut rng = StdRng::seed_from_u64(2);
+            model.store.zero_grads();
+            accumulate_rollout_gradients_with(model, &steps, &returns, &cfg, &mut rng, scratch);
+        };
+        run(&mut scratch, &mut model);
+        let warm = scratch.arena_capacity();
+        assert!(warm > 0);
+        for _ in 0..3 {
+            run(&mut scratch, &mut model);
+        }
+        assert_eq!(
+            scratch.arena_capacity(),
+            warm,
+            "steady-state replays must reuse the warmed arena"
+        );
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! The oracle gate of the arena training tape (PR9): the fused backward
+//! path (arena tape + fused layer backward + batched gradient GEMMs)
+//! must produce *bit-identical* gradients, Adam states, and training
+//! trajectories to the retained per-node reference tape, which records
+//! the same replay decomposed op by op.
+//!
+//! The full-model replay exercises every component the satellite lists:
+//! the tree-convolution encoder, the GAT term weighting, the MLP heads,
+//! and the softmax/log-softmax decision layers all sit on the replayed
+//! graph, so a single parameter-store comparison covers them all.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lsched_core::{
+    accumulate_rollout_gradients_with, guarded_step, rollout_returns, EncoderConfig,
+    EncoderKind, EpisodeStep, GradScratch, LSchedConfig, LSchedModel, LSchedScheduler,
+    PredictorConfig, RewardConfig, TrainConfig, UpdateOutcome,
+};
+use lsched_engine::sim::{simulate, SimConfig};
+use lsched_nn::Adam;
+use lsched_workloads::workload::{gen_workload, ArrivalPattern};
+use lsched_workloads::tpch;
+
+fn model(seed: u64, hidden: usize, conv_layers: usize) -> LSchedModel {
+    LSchedModel::new(
+        LSchedConfig {
+            encoder: EncoderConfig {
+                hidden,
+                edge_hidden: 4,
+                pqe_dim: 6,
+                aqe_dim: 6,
+                conv_layers,
+                // TCN+GAT explicitly: the equivalence claim must cover
+                // the tree-conv and attention backward paths.
+                kind: EncoderKind::TcnGat,
+                ..Default::default()
+            },
+            predictor: PredictorConfig { max_degree: 4, max_threads: 16, ..Default::default() },
+        },
+        seed,
+    )
+}
+
+/// Runs one sampled episode and returns its recorded steps plus the
+/// (mean-centered) per-decision advantages.
+fn record_episode(
+    m: LSchedModel,
+    wl_seed: u64,
+    n_queries: usize,
+) -> (LSchedModel, Vec<EpisodeStep>, Vec<f64>) {
+    let pool = tpch::plan_pool(&[0.3]);
+    let wl = gen_workload(&pool, n_queries, ArrivalPattern::Batch, wl_seed);
+    let mut sched = LSchedScheduler::sampling(m, wl_seed ^ 0x5eed);
+    let res = simulate(SimConfig { num_threads: 6, ..Default::default() }, &wl, &mut sched);
+    let (m, steps) = sched.finish();
+    let returns = rollout_returns(&RewardConfig::default(), &steps, res.makespan);
+    let mean = returns.iter().sum::<f64>() / returns.len().max(1) as f64;
+    let advantages: Vec<f64> = returns.iter().map(|g| g - mean).collect();
+    (m, steps, advantages)
+}
+
+/// Accumulates one replay's gradients and returns them as raw bits per
+/// parameter (name-keyed so mismatches point at the offending tensor).
+fn replay_grad_bits(
+    m: &mut LSchedModel,
+    steps: &[EpisodeStep],
+    advantages: &[f64],
+    reference_tape: bool,
+    rng_seed: u64,
+) -> Vec<(String, Vec<u32>)> {
+    let cfg = TrainConfig { reference_tape, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut scratch = GradScratch::new();
+    m.store.zero_grads();
+    accumulate_rollout_gradients_with(m, steps, advantages, &cfg, &mut rng, &mut scratch);
+    let names: Vec<(lsched_nn::ParamId, String)> =
+        m.store.iter_ids().map(|(id, n)| (id, n.to_string())).collect();
+    names
+        .into_iter()
+        .map(|(id, n)| (n, m.store.grad(id).iter().map(|g| g.to_bits()).collect()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+    /// Fused arena backward vs decomposed reference tape, end to end
+    /// through the full model: every gradient bit must match.
+    #[test]
+    fn fused_and_reference_gradients_are_bit_identical(
+        model_seed in 0u64..500,
+        wl_seed in 0u64..500,
+        hidden in 8usize..12,
+        conv_layers in 1usize..3,
+        n_queries in 4usize..7,
+    ) {
+        let (mut fused, steps, advantages) =
+            record_episode(model(model_seed, hidden, conv_layers), wl_seed, n_queries);
+        prop_assert!(!steps.is_empty(), "a batch workload must record decisions");
+        let mut oracle = model(model_seed, hidden, conv_layers);
+
+        let a = replay_grad_bits(&mut fused, &steps, &advantages, false, 11);
+        let b = replay_grad_bits(&mut oracle, &steps, &advantages, true, 11);
+        prop_assert_eq!(a.len(), b.len());
+        for ((na, ga), (nb, gb)) in a.iter().zip(&b) {
+            prop_assert_eq!(na, nb);
+            prop_assert_eq!(ga, gb, "gradient mismatch in {}", na);
+        }
+    }
+}
+
+/// Several optimizer steps through both tapes: parameters *and* the full
+/// Adam state (step counter + both moments) must stay bit-identical.
+#[test]
+fn adam_states_stay_bit_identical_across_steps() {
+    let run = |reference_tape: bool| {
+        let (mut m, steps, advantages) = record_episode(model(7, 10, 2), 3, 5);
+        assert!(!steps.is_empty());
+        let cfg = TrainConfig { reference_tape, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut scratch = GradScratch::new();
+        let mut opt = Adam::new(1e-3);
+        for _ in 0..3 {
+            m.store.zero_grads();
+            accumulate_rollout_gradients_with(
+                &mut m, &steps, &advantages, &cfg, &mut rng, &mut scratch,
+            );
+            m.store.clip_grad_norm(cfg.max_grad_norm);
+            opt.step(&mut m.store);
+        }
+        (m.params_json(), opt.to_state())
+    };
+    let (params_fused, adam_fused) = run(false);
+    let (params_ref, adam_ref) = run(true);
+    assert_eq!(params_fused, params_ref, "parameters must match bit for bit");
+    assert_eq!(adam_fused, adam_ref, "Adam state must match bit for bit");
+}
+
+/// The whole training loop, fused vs oracle: identical parameters and
+/// identical episode statistics. Rollout simulation runs on the
+/// (tape-free) inference path either way, and the replay consumes no
+/// RNG beyond the shared subsample shuffle, so toggling the tape cannot
+/// shift a single bit of the trajectory.
+#[test]
+fn training_trajectories_are_bit_identical_across_tapes() {
+    let run = |reference_tape: bool| {
+        let cfg = TrainConfig {
+            episodes: 2,
+            rollouts_per_episode: 2,
+            sim: SimConfig { num_threads: 6, ..Default::default() },
+            seed: 17,
+            reference_tape,
+            ..Default::default()
+        };
+        let sampler = lsched_workloads::EpisodeSampler {
+            pool: tpch::plan_pool(&[0.3]),
+            size_range: (4, 6),
+            rate_range: (20.0, 60.0),
+            batch_fraction: 0.5,
+        };
+        let mut exp = lsched_core::ExperienceManager::new(8);
+        let (m, stats) = lsched_core::train(model(17, 10, 2), &sampler, &cfg, &mut exp);
+        (m.params_json(), format!("{stats:?}"))
+    };
+    let (params_fused, stats_fused) = run(false);
+    let (params_ref, stats_ref) = run(true);
+    assert_eq!(params_fused, params_ref, "trained parameters must not depend on the tape");
+    assert_eq!(stats_fused, stats_ref, "episode stats must not depend on the tape");
+}
+
+/// `guarded_step` over gradients produced by the fused replay: a clean
+/// step applies, and a step that poisons the parameters rolls back to a
+/// bit-identical pre-step checkpoint (PR2's guard semantics).
+#[test]
+fn guarded_step_applies_and_rolls_back_over_fused_gradients() {
+    let (mut m, steps, advantages) = record_episode(model(9, 10, 2), 5, 5);
+    assert!(!steps.is_empty());
+    let cfg = TrainConfig::default();
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut scratch = GradScratch::new();
+
+    // Clean step: applies and moves parameters.
+    m.store.zero_grads();
+    accumulate_rollout_gradients_with(&mut m, &steps, &advantages, &cfg, &mut rng, &mut scratch);
+    m.store.clip_grad_norm(cfg.max_grad_norm);
+    let before = m.params_json();
+    let mut opt = Adam::new(1e-3);
+    let out = guarded_step(&mut m, |store| opt.step(store));
+    assert_eq!(out, UpdateOutcome::Applied);
+    assert_ne!(m.params_json(), before, "a clean step must move parameters");
+
+    // NaN-poisoning step: rolls back to the exact pre-step bits.
+    m.store.zero_grads();
+    accumulate_rollout_gradients_with(&mut m, &steps, &advantages, &cfg, &mut rng, &mut scratch);
+    let checkpoint = m.params_json();
+    let out = guarded_step(&mut m, |store| {
+        let id = store.iter_ids().next().map(|(i, _)| i).unwrap();
+        store.value_mut(id).data_mut()[0] = f32::NAN;
+    });
+    assert_eq!(out, UpdateOutcome::RolledBack);
+    assert_eq!(m.params_json(), checkpoint, "rollback must restore the checkpoint bitwise");
+    assert!(m.store.values_are_finite());
+
+    // NaN-poisoned gradients: skipped entirely, parameters untouched
+    // (the snapshot predates the poisoning — the guard flushes grads).
+    m.store.zero_grads();
+    let before = m.params_json();
+    let id = m.store.iter_ids().next().map(|(i, _)| i).unwrap();
+    let n = m.store.grad(id).len();
+    m.store.accumulate_grad(id, &vec![f32::NAN; n]);
+    let out = guarded_step(&mut m, |_| panic!("step must not run on poisoned grads"));
+    assert_eq!(out, UpdateOutcome::SkippedNonFiniteGrads);
+    assert!(m.store.grads_are_finite(), "poisoned grads must be flushed");
+    assert_eq!(m.params_json(), before);
+}

@@ -26,7 +26,7 @@
 //!   gradients unchanged); the inference backend stacks the candidates
 //!   into one row-major matrix and runs a single blocked GEMM per layer.
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::{Graph, NodeId, MAX_GAT_TERMS};
 use crate::layers::{Activation, Linear, Mlp};
 use crate::params::{ParamId, ParamStore};
 
@@ -190,6 +190,59 @@ pub trait Backend {
             start += len;
         }
     }
+
+    /// A parameter matvec `W x`. The default decomposes into the exact
+    /// op pair the tape always recorded (`param`, then `matvec`); the
+    /// training tape overrides it with one fused node whose backward
+    /// accumulates the weight outer product directly into the store —
+    /// bit-identical gradients without a `W`-sized gradient span per
+    /// application.
+    fn matvec_param(&mut self, w: ParamId, x: Self::Id) -> Self::Id {
+        let wv = self.param(w);
+        self.matvec(wv, x)
+    }
+
+    /// The GAT attention combine (Eq. 3–5 of the paper): scores every
+    /// term against the anchor `terms[0]` with the shared attention
+    /// vector `a` (`LeakyReLU(aᵀ(anchor ‖ term))`), softmax-normalizes
+    /// the scores across terms, and returns the weighted term sum
+    /// `Σ_i z_i · term_i`.
+    ///
+    /// The default decomposes into the exact op sequence the tree
+    /// convolution always recorded (per-term `param`/`concat`/`dot`/
+    /// `leaky_relu`, a score `concat` + `softmax`, per-term `gather` and
+    /// `mul_scalar`, then `sum_vec`), using only stack scratch. The
+    /// training tape overrides it with a single fused node whose
+    /// backward replays the same accumulation order — roughly 40 tape
+    /// nodes per tree-conv filter application collapse into one.
+    ///
+    /// # Panics
+    /// Panics if `terms` is empty or longer than the supported maximum
+    /// (currently 8).
+    fn gat_combine(&mut self, a: ParamId, slope: f32, terms: &[Self::Id]) -> Self::Id {
+        let n = terms.len();
+        assert!(n >= 1, "gat_combine on an empty term list");
+        assert!(n <= MAX_GAT_TERMS, "gat_combine supports at most {MAX_GAT_TERMS} terms");
+        let anchor = terms[0];
+        let mut raw = [anchor; MAX_GAT_TERMS];
+        for (r, &t) in raw[..n].iter_mut().zip(terms) {
+            let av = self.param(a);
+            let cat = self.concat(&[anchor, t]);
+            let s = self.dot(av, cat);
+            *r = self.leaky_relu(s, slope);
+        }
+        let stacked = self.concat(&raw[..n]);
+        let sm = self.softmax(stacked);
+        let mut z = [anchor; MAX_GAT_TERMS];
+        for (i, zi) in z[..n].iter_mut().enumerate() {
+            *zi = self.gather(sm, i);
+        }
+        let mut scaled = [anchor; MAX_GAT_TERMS];
+        for (s, (&t, &zi)) in scaled[..n].iter_mut().zip(terms.iter().zip(z.iter())) {
+            *s = self.mul_scalar(t, zi);
+        }
+        self.sum_vec(&scaled[..n])
+    }
 }
 
 /// The training executor: every op is recorded on an autodiff [`Graph`]
@@ -220,13 +273,11 @@ impl Backend for TapeBackend<'_> {
     }
 
     fn input(&mut self, data: &[f32]) -> NodeId {
-        self.g.input_vec(data.to_vec())
+        self.g.input_slice(data)
     }
 
     fn input_with(&mut self, len: usize, fill: impl FnOnce(&mut [f32])) -> NodeId {
-        let mut v = vec![0.0f32; len];
-        fill(&mut v);
-        self.g.input_vec(v)
+        self.g.input_with(len, fill)
     }
 
     fn value(&self, id: NodeId) -> &[f32] {
@@ -299,5 +350,52 @@ impl Backend for TapeBackend<'_> {
 
     fn mul_scalar(&mut self, vec: NodeId, scalar: NodeId) -> NodeId {
         self.g.mul_scalar(vec, scalar)
+    }
+
+    fn take_ids(&mut self) -> Vec<NodeId> {
+        self.g.take_ids()
+    }
+
+    fn recycle_ids(&mut self, v: Vec<NodeId>) {
+        self.g.recycle_ids(v);
+    }
+
+    /// Records the fused single-node layer; values and store gradients
+    /// stay bit-identical to the decomposed default.
+    fn linear(&mut self, layer: &Linear, x: NodeId, act: Activation) -> NodeId {
+        self.g.fused_linear(self.store, layer, x, act)
+    }
+
+    /// Records one fused batched-scoring node instead of per-candidate
+    /// MLP subgraphs; the backward pass runs per-layer gradient GEMMs
+    /// over the whole candidate batch.
+    fn mlp_scores(&mut self, mlp: &Mlp, inputs: &[NodeId]) -> NodeId {
+        self.g.fused_mlp_scores(self.store, mlp, inputs)
+    }
+
+    /// Records one fused scoring node across *all* segments (the
+    /// backward mirror of the inference path's cross-event batching),
+    /// returning per-segment slice views.
+    fn mlp_scores_batched(
+        &mut self,
+        mlp: &Mlp,
+        inputs: &[NodeId],
+        seg_lens: &[usize],
+        out: &mut Vec<NodeId>,
+    ) {
+        self.g.fused_mlp_scores_batched(self.store, mlp, inputs, seg_lens, out);
+    }
+
+    /// Records one fused attention-combine node instead of ~8 tape nodes
+    /// per term; gradients replay the decomposed accumulation order bit
+    /// for bit.
+    fn gat_combine(&mut self, a: ParamId, slope: f32, terms: &[NodeId]) -> NodeId {
+        self.g.fused_gat_combine(self.store, a, slope, terms)
+    }
+
+    /// Records one fused parameter-matvec node; the weight gradient
+    /// accumulates straight into the store on the backward sweep.
+    fn matvec_param(&mut self, w: ParamId, x: NodeId) -> NodeId {
+        self.g.fused_matvec_param(self.store, w, x)
     }
 }

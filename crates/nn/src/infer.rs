@@ -43,6 +43,7 @@
 //! ```
 
 use crate::backend::Backend;
+use crate::kernels::fused_linear_row;
 use crate::layers::{Activation, Linear, Mlp};
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::matvec_rows;
@@ -115,27 +116,6 @@ fn resolve<'b>(vals: &[Val], store: &'b ParamStore, head: &'b [f32], id: ValId) 
     match vals[id.0 as usize] {
         Val::Buf { off, len } => &head[off..off + len],
         Val::Param(p) => store.value(p).data(),
-    }
-}
-
-/// One fused dense layer over a single row: `out[j] = act(W[j]·x + b[j])`.
-/// Accumulation goes through [`matvec_rows`] — the same whole-matrix
-/// kernel the tape's `matvec` uses — so the fused path matches the
-/// tape's `matvec` + `add` + activation bit for bit; bias add and
-/// activation are then applied in place over the output row.
-#[inline]
-fn fused_linear_row(w: &[f32], in_dim: usize, x: &[f32], bias: &[f32], act: Activation, out: &mut [f32]) {
-    debug_assert_eq!(x.len(), in_dim);
-    debug_assert_eq!(bias.len(), out.len());
-    if in_dim == 0 {
-        for (o, &bj) in out.iter_mut().zip(bias) {
-            *o = act.eval(bj);
-        }
-        return;
-    }
-    matvec_rows(w, in_dim, x, out);
-    for (o, &bj) in out.iter_mut().zip(bias) {
-        *o = act.eval(*o + bj);
     }
 }
 
@@ -376,15 +356,7 @@ impl Backend for InferBackend<'_> {
         let (off, id) = self.alloc_out(n);
         let (head, out, vals, store) = self.split_out(off);
         let av = resolve(vals, store, head, a);
-        // Mirrors `softmax_vals` exactly: shift by max, exp, normalize.
-        let m = av.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        for (o, &v) in out.iter_mut().zip(av) {
-            *o = (v - m).exp();
-        }
-        let sum: f32 = out.iter().sum();
-        for o in out.iter_mut() {
-            *o /= sum;
-        }
+        crate::kernels::softmax_into(av, out);
         id
     }
 
@@ -393,12 +365,7 @@ impl Backend for InferBackend<'_> {
         let (off, id) = self.alloc_out(n);
         let (head, out, vals, store) = self.split_out(off);
         let av = resolve(vals, store, head, a);
-        // Mirrors the tape's log_softmax expression exactly.
-        let m = av.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let lse = m + av.iter().map(|v| (v - m).exp()).sum::<f32>().ln();
-        for (o, &v) in out.iter_mut().zip(av) {
-            *o = v - lse;
-        }
+        crate::kernels::log_softmax_into(av, out);
         id
     }
 

@@ -1,0 +1,186 @@
+//! Shared forward/backward math kernels.
+//!
+//! Every executor — the arena tape ([`crate::graph::Graph`]), the frozen
+//! reference tape ([`crate::tape_ref::RefTape`]) and the tape-free
+//! inference arena ([`crate::infer::InferCtx`]) — must produce
+//! bit-identical values, so the softmax/log-softmax math lives here
+//! exactly once instead of being re-derived per call site. The forward
+//! kernels share one max/shifted-exp-sum pass; the backward kernels use
+//! only the forward *outputs*, so no max or LSE is ever recomputed on
+//! the backward sweep.
+
+use crate::layers::Activation;
+use crate::tensor::matvec_rows;
+
+/// Maximum element of a slice (`-inf` for an empty slice), with the same
+/// fold the softmax forward always used.
+#[inline]
+pub fn max_val(x: &[f32]) -> f32 {
+    x.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// The shared core of softmax and log-softmax: writes `exp(x_i - m)`
+/// into `out` and returns `(m, sum)` where `m = max(x)`. One max pass
+/// and one exp pass serve both forward kernels.
+#[inline]
+fn shifted_exp_sum(x: &[f32], out: &mut [f32]) -> (f32, f32) {
+    debug_assert_eq!(x.len(), out.len());
+    let m = max_val(x);
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = (v - m).exp();
+    }
+    (m, out.iter().sum())
+}
+
+/// Numerically-stable softmax into a caller buffer (no allocation).
+#[inline]
+pub fn softmax_into(x: &[f32], out: &mut [f32]) {
+    let (_m, sum) = shifted_exp_sum(x, out);
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+/// Numerically-stable log-softmax into a caller buffer (no allocation).
+/// `out` doubles as the exp scratch, so the kernel needs no temporary.
+#[inline]
+pub fn log_softmax_into(x: &[f32], out: &mut [f32]) {
+    let (m, sum) = shifted_exp_sum(x, out);
+    let lse = m + sum.ln();
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = v - lse;
+    }
+}
+
+/// Numerically-stable softmax of a slice (plain helper, no autodiff).
+pub fn softmax_vals(x: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0; x.len()];
+    softmax_into(x, &mut out);
+    out
+}
+
+/// Softmax backward from the forward *output* `y`:
+/// `acc_i += y_i * (g_i - Σ_j g_j y_j)`.
+#[inline]
+pub fn softmax_grad_acc(y: &[f32], g: &[f32], acc: &mut [f32]) {
+    let s: f32 = g.iter().zip(y).map(|(gi, yi)| gi * yi).sum();
+    for ((a, &gi), &yi) in acc.iter_mut().zip(g).zip(y) {
+        *a += yi * (gi - s);
+    }
+}
+
+/// Log-softmax backward from the forward output `y`:
+/// `acc_i += g_i - exp(y_i) * Σ_j g_j` (note `exp(y) = softmax(x)`).
+#[inline]
+pub fn log_softmax_grad_acc(y: &[f32], g: &[f32], acc: &mut [f32]) {
+    let gsum: f32 = g.iter().sum();
+    for ((a, &gi), &yi) in acc.iter_mut().zip(g).zip(y) {
+        *a += gi - yi.exp() * gsum;
+    }
+}
+
+/// One fused dense layer over a single row: `out[j] = act(W[j]·x + b[j])`.
+/// Accumulation goes through [`matvec_rows`] — the same whole-matrix
+/// kernel the tape's `matvec` uses — so the fused path matches the
+/// tape's `matvec` + `add` + activation bit for bit; bias add and
+/// activation are then applied in place over the output row.
+#[inline]
+pub(crate) fn fused_linear_row(
+    w: &[f32],
+    in_dim: usize,
+    x: &[f32],
+    bias: &[f32],
+    act: Activation,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), in_dim);
+    debug_assert_eq!(bias.len(), out.len());
+    if in_dim == 0 {
+        for (o, &bj) in out.iter_mut().zip(bias) {
+            *o = act.eval(bj);
+        }
+        return;
+    }
+    matvec_rows(w, in_dim, x, out);
+    for (o, &bj) in out.iter_mut().zip(bias) {
+        *o = act.eval(*o + bj);
+    }
+}
+
+/// Fused activation backward from the layer *output* `y`: writes
+/// `act'(pre-act) ⊙ g` into `gh`. For every supported activation the
+/// derivative branch is decidable from `y` alone with exactly the same
+/// outcome as branching on the pre-activation input (`Relu`/`LeakyRelu`
+/// are sign-preserving, `Tanh` uses `1 - y²`), including NaN inputs
+/// (`y > 0.0` is false for NaN, matching `a > 0.0` on the decomposed
+/// tape where `y = max(a, 0)` maps NaN to `0`).
+#[inline]
+pub(crate) fn act_backward_row(act: Activation, y: &[f32], g: &[f32], gh: &mut [f32]) {
+    debug_assert_eq!(y.len(), g.len());
+    debug_assert_eq!(y.len(), gh.len());
+    match act {
+        Activation::None => gh.copy_from_slice(g),
+        Activation::Relu => {
+            for ((o, &gi), &yi) in gh.iter_mut().zip(g).zip(y) {
+                *o = if yi > 0.0 { gi } else { 0.0 };
+            }
+        }
+        Activation::LeakyRelu => {
+            for ((o, &gi), &yi) in gh.iter_mut().zip(g).zip(y) {
+                *o = if yi > 0.0 { gi } else { gi * 0.01 };
+            }
+        }
+        Activation::Tanh => {
+            for ((o, &gi), &yi) in gh.iter_mut().zip(g).zip(y) {
+                *o = gi * (1.0 - yi * yi);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_into_matches_reference() {
+        let x = [0.5f32, -1.0, 2.0, 0.0];
+        let mut out = [0.0f32; 4];
+        softmax_into(&x, &mut out);
+        // Reference: the historical inline expression.
+        let m = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = x.iter().map(|v| (v - m).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let expect: Vec<f32> = exps.iter().map(|e| e / sum).collect();
+        assert_eq!(&out[..], &expect[..]);
+        assert!((out.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_into_matches_reference() {
+        let x = [0.5f32, -1.0, 2.0, 0.0];
+        let mut out = [0.0f32; 4];
+        log_softmax_into(&x, &mut out);
+        let m = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + x.iter().map(|v| (v - m).exp()).sum::<f32>().ln();
+        let expect: Vec<f32> = x.iter().map(|v| v - lse).collect();
+        assert_eq!(&out[..], &expect[..]);
+    }
+
+    #[test]
+    fn act_backward_handles_nan_like_the_decomposed_tape() {
+        // Pre-act NaN: decomposed Relu forward gives y = 0 and backward
+        // takes the `a > 0` false branch (0.0); the fused kernel must
+        // agree when branching on y.
+        let y = [0.0f32, 1.5];
+        let g = [3.0f32, 2.0];
+        let mut gh = [9.0f32; 2];
+        act_backward_row(Activation::Relu, &y, &g, &mut gh);
+        assert_eq!(gh, [0.0, 2.0]);
+        // LeakyRelu on y = NaN takes the negative branch in both forms.
+        let y = [f32::NAN];
+        let mut gh = [0.0f32];
+        act_backward_row(Activation::LeakyRelu, &y, &[4.0], &mut gh);
+        assert_eq!(gh[0], 4.0 * 0.01);
+    }
+}

@@ -43,20 +43,23 @@ pub mod graph;
 pub mod head;
 pub mod infer;
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod optim;
 pub mod params;
+pub mod tape_ref;
 pub mod tensor;
 pub mod tree_conv;
 
 pub use backend::{Backend, TapeBackend};
 pub use checkpoint::{CheckpointError, CheckpointManager};
 pub use gat::{normalize_scores, PairAttention};
-pub use graph::{softmax_vals, Graph, NodeId};
+pub use graph::{softmax_vals, Graph, NodeId, ValueRef};
 pub use head::ScoringHead;
 pub use infer::{InferBackend, InferCtx, ValId};
 pub use layers::{Activation, Linear, Mlp};
 pub use optim::{Adam, AdamState, Sgd};
 pub use params::{ParamId, ParamStore};
+pub use tape_ref::{RefTape, RefNodeId, RefTapeBackend};
 pub use tensor::{axpy4, dot4, Tensor};
 pub use tree_conv::{FilterMode, TreeConvConfig, TreeConvLayer, TreeConvStack, TreeSpec};

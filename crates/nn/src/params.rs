@@ -167,6 +167,34 @@ impl ParamStore {
         }
     }
 
+    /// Direct mutable access to a parameter's gradient accumulator, or
+    /// `None` if the parameter is frozen. Lets fused backward kernels
+    /// accumulate in place (e.g. an outer-product GEMM straight into the
+    /// buffer) with the same skip-frozen semantics as
+    /// [`ParamStore::accumulate_grad`].
+    pub fn grad_acc_mut(&mut self, id: ParamId) -> Option<&mut [f32]> {
+        let p = &mut self.params[id.0];
+        if p.frozen {
+            None
+        } else {
+            Some(&mut p.grad)
+        }
+    }
+
+    /// Visits every *unfrozen* parameter in registration order with its
+    /// gradient buffer and mutable value tensor (copy-on-write detach
+    /// happens here; once the store solely owns its tensors this is
+    /// in-place and allocation-free). Optimizers use this to run chunked
+    /// update loops without collecting ids or cloning gradients.
+    pub fn for_each_unfrozen_grad_value(&mut self, mut f: impl FnMut(usize, &[f32], &mut Tensor)) {
+        for (i, p) in self.params.iter_mut().enumerate() {
+            if p.frozen {
+                continue;
+            }
+            f(i, &p.grad, Arc::make_mut(&mut p.value));
+        }
+    }
+
     /// Resets all gradient accumulators to zero.
     pub fn zero_grads(&mut self) {
         for p in &mut self.params {

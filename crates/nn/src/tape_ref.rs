@@ -1,0 +1,782 @@
+//! The retained reference tape: the original per-node-owned autodiff
+//! implementation, kept in-process as the **gradient oracle**.
+//!
+//! [`RefTape`] is the pre-arena `Graph` verbatim — one heap-owned
+//! [`Tensor`] per node, `Vec<RefNodeId>` payloads, a fresh backward
+//! buffer per node. It is deliberately *not* optimized: its only job is
+//! to define ground truth. The arena tape in [`crate::graph`] and its
+//! fused backward kernels are gated on producing bit-identical store
+//! gradients to this tape (see `tests/grad_equivalence.rs` and the
+//! `train_throughput` bench gate), mirroring how the simulator rewrite
+//! retained a `reference_mode` oracle.
+//!
+//! [`RefTapeBackend`] implements [`Backend`] over a `RefTape` with **no
+//! fused overrides** — every `linear`/`mlp_scores`/`mlp_scores_batched`
+//! call decomposes into the primitive op sequence, which is exactly the
+//! recording the fused arena path must match gradient-for-gradient.
+
+use std::sync::Arc;
+
+use crate::backend::Backend;
+use crate::kernels::softmax_vals;
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node in a [`RefTape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RefNodeId(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant input (no gradient produced).
+    Input,
+    /// Trainable parameter; backward accumulates into the store.
+    Param(ParamId),
+    Add(RefNodeId, RefNodeId),
+    Sub(RefNodeId, RefNodeId),
+    /// Hadamard (element-wise) product.
+    Mul(RefNodeId, RefNodeId),
+    /// Multiply by a compile-time constant.
+    Scale(RefNodeId, f32),
+    /// Matrix–vector product: `w` is rank-2, `x` rank-1.
+    MatVec { w: RefNodeId, x: RefNodeId },
+    /// Concatenation of vectors.
+    Concat(Vec<RefNodeId>),
+    /// Element-wise sum of same-shaped vectors.
+    SumVec(Vec<RefNodeId>),
+    Relu(RefNodeId),
+    LeakyRelu(RefNodeId, f32),
+    Tanh(RefNodeId),
+    Sigmoid(RefNodeId),
+    /// Dot product of two vectors, producing a scalar.
+    Dot(RefNodeId, RefNodeId),
+    /// Sum of all elements, producing a scalar.
+    SumElems(RefNodeId),
+    /// Mean of all elements, producing a scalar.
+    Mean(RefNodeId),
+    Softmax(RefNodeId),
+    LogSoftmax(RefNodeId),
+    /// Pick one element, producing a scalar.
+    Gather(RefNodeId, usize),
+    /// Broadcast-multiply a vector by a scalar node.
+    MulScalar { vec: RefNodeId, scalar: RefNodeId },
+}
+
+/// Forward value of a node: operation outputs are owned by the tape,
+/// while parameter leaves share the store's tensor by refcount so
+/// recording a `param` node never copies weight data. The store's
+/// copy-on-write `value_mut` guarantees the shared tensor stays frozen at
+/// its recording-time value even if an optimizer steps mid-lifetime.
+#[derive(Debug)]
+enum NodeValue {
+    Owned(Tensor),
+    Shared(Arc<Tensor>),
+}
+
+impl std::ops::Deref for NodeValue {
+    type Target = Tensor;
+    fn deref(&self) -> &Tensor {
+        match self {
+            NodeValue::Owned(t) => t,
+            NodeValue::Shared(t) => t,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    op: Op,
+    value: NodeValue,
+}
+
+/// A single-use computation tape with reverse-mode autodiff.
+#[derive(Debug, Default)]
+pub struct RefTape {
+    nodes: Vec<Node>,
+}
+
+impl RefTape {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Clears the tape for reuse while keeping its allocated capacity.
+    ///
+    /// Per-event inference builds a fresh tape at every scheduling
+    /// decision; resetting an arena instead of allocating a new `RefTape`
+    /// lets the node buffer's capacity amortize across events. All
+    /// previously issued [`RefNodeId`]s are invalidated.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: RefNodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> RefNodeId {
+        let id = RefNodeId(self.nodes.len());
+        self.nodes.push(Node { op, value: NodeValue::Owned(value) });
+        id
+    }
+
+    /// Records a constant input tensor.
+    pub fn input(&mut self, value: Tensor) -> RefNodeId {
+        self.push(Op::Input, value)
+    }
+
+    /// Convenience: records a constant input vector.
+    pub fn input_vec(&mut self, data: Vec<f32>) -> RefNodeId {
+        self.input(Tensor::vector(data))
+    }
+
+    /// Records a parameter leaf, sharing the store's tensor by refcount
+    /// (no weight data is copied; the store's copy-on-write `value_mut`
+    /// keeps this node pinned at the recording-time value).
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> RefNodeId {
+        let nid = RefNodeId(self.nodes.len());
+        self.nodes.push(Node {
+            op: Op::Param(id),
+            value: NodeValue::Shared(Arc::clone(store.value_arc(id))),
+        });
+        nid
+    }
+
+    /// Element-wise addition.
+    pub fn add(&mut self, a: RefNodeId, b: RefNodeId) -> RefNodeId {
+        let v = zip_same(self.value(a), self.value(b), |x, y| x + y);
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// Element-wise subtraction `a - b`.
+    pub fn sub(&mut self, a: RefNodeId, b: RefNodeId) -> RefNodeId {
+        let v = zip_same(self.value(a), self.value(b), |x, y| x - y);
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Hadamard (element-wise) product.
+    pub fn mul(&mut self, a: RefNodeId, b: RefNodeId) -> RefNodeId {
+        let v = zip_same(self.value(a), self.value(b), |x, y| x * y);
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// Multiplication by a constant.
+    pub fn scale(&mut self, a: RefNodeId, c: f32) -> RefNodeId {
+        let v = map(self.value(a), |x| x * c);
+        self.push(Op::Scale(a, c), v)
+    }
+
+    /// Matrix–vector product. `w` must be rank-2, `x` rank-1.
+    pub fn matvec(&mut self, w: RefNodeId, x: RefNodeId) -> RefNodeId {
+        let out = self.value(w).matvec(self.value(x).data());
+        self.push(Op::MatVec { w, x }, Tensor::vector(out))
+    }
+
+    /// Concatenates vectors in order.
+    pub fn concat(&mut self, parts: &[RefNodeId]) -> RefNodeId {
+        assert!(!parts.is_empty(), "concat of zero vectors");
+        let mut data = Vec::new();
+        for &p in parts {
+            data.extend_from_slice(self.value(p).data());
+        }
+        self.push(Op::Concat(parts.to_vec()), Tensor::vector(data))
+    }
+
+    /// Element-wise sum of same-shaped vectors.
+    pub fn sum_vec(&mut self, parts: &[RefNodeId]) -> RefNodeId {
+        assert!(!parts.is_empty(), "sum_vec of zero vectors");
+        let n = self.value(parts[0]).len();
+        let mut data = vec![0.0f32; n];
+        for &p in parts {
+            let pv = self.value(p);
+            assert_eq!(pv.len(), n, "sum_vec shape mismatch");
+            for (d, v) in data.iter_mut().zip(pv.data()) {
+                *d += v;
+            }
+        }
+        self.push(Op::SumVec(parts.to_vec()), Tensor::vector(data))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: RefNodeId) -> RefNodeId {
+        let v = map(self.value(a), |x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, a: RefNodeId, slope: f32) -> RefNodeId {
+        let v = map(self.value(a), |x| if x > 0.0 { x } else { slope * x });
+        self.push(Op::LeakyRelu(a, slope), v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: RefNodeId) -> RefNodeId {
+        let v = map(self.value(a), f32::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: RefNodeId) -> RefNodeId {
+        let v = map(self.value(a), |x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    /// Dot product producing a scalar node.
+    pub fn dot(&mut self, a: RefNodeId, b: RefNodeId) -> RefNodeId {
+        let av = self.value(a);
+        let bv = self.value(b);
+        assert_eq!(av.len(), bv.len(), "dot shape mismatch");
+        let s: f32 = av.data().iter().zip(bv.data()).map(|(x, y)| x * y).sum();
+        self.push(Op::Dot(a, b), Tensor::scalar(s))
+    }
+
+    /// Sum of all elements, producing a scalar node.
+    pub fn sum_elems(&mut self, a: RefNodeId) -> RefNodeId {
+        let s: f32 = self.value(a).data().iter().sum();
+        self.push(Op::SumElems(a), Tensor::scalar(s))
+    }
+
+    /// Mean of all elements, producing a scalar node.
+    pub fn mean(&mut self, a: RefNodeId) -> RefNodeId {
+        let v = self.value(a);
+        let s = v.data().iter().sum::<f32>() / v.len() as f32;
+        self.push(Op::Mean(a), Tensor::scalar(s))
+    }
+
+    /// Numerically-stable softmax over a vector.
+    pub fn softmax(&mut self, a: RefNodeId) -> RefNodeId {
+        let v = softmax_vals(self.value(a).data());
+        self.push(Op::Softmax(a), Tensor::vector(v))
+    }
+
+    /// Numerically-stable log-softmax over a vector.
+    pub fn log_softmax(&mut self, a: RefNodeId) -> RefNodeId {
+        let x = self.value(a).data();
+        let m = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + x.iter().map(|v| (v - m).exp()).sum::<f32>().ln();
+        let v: Vec<f32> = x.iter().map(|v| v - lse).collect();
+        self.push(Op::LogSoftmax(a), Tensor::vector(v))
+    }
+
+    /// Selects element `idx`, producing a scalar node.
+    pub fn gather(&mut self, a: RefNodeId, idx: usize) -> RefNodeId {
+        let v = self.value(a).data()[idx];
+        self.push(Op::Gather(a, idx), Tensor::scalar(v))
+    }
+
+    /// Broadcast-multiplies vector `vec` by scalar node `scalar`.
+    pub fn mul_scalar(&mut self, vec: RefNodeId, scalar: RefNodeId) -> RefNodeId {
+        let s = self.value(scalar).item();
+        let v = map(self.value(vec), |x| x * s);
+        self.push(Op::MulScalar { vec, scalar }, v)
+    }
+
+    /// Runs the backward pass from scalar node `loss`, accumulating
+    /// parameter gradients into `store` (frozen parameters are skipped).
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a scalar (single-element) node.
+    pub fn backward(&self, loss: RefNodeId, store: &mut ParamStore) {
+        assert_eq!(
+            self.nodes[loss.0].value.len(),
+            1,
+            "backward() requires a scalar loss node"
+        );
+        let mut grads: Vec<Option<Vec<f32>>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(vec![1.0]);
+
+        for i in (0..self.nodes.len()).rev() {
+            let g = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            match &self.nodes[i].op {
+                Op::Input => {}
+                Op::Param(pid) => store.accumulate_grad(*pid, &g),
+                Op::Add(a, b) => {
+                    acc(&mut grads, *a, &g, self.nodes[a.0].value.len());
+                    acc(&mut grads, *b, &g, self.nodes[b.0].value.len());
+                }
+                Op::Sub(a, b) => {
+                    acc(&mut grads, *a, &g, self.nodes[a.0].value.len());
+                    let neg: Vec<f32> = g.iter().map(|v| -v).collect();
+                    acc(&mut grads, *b, &neg, self.nodes[b.0].value.len());
+                }
+                Op::Mul(a, b) => {
+                    let av = self.nodes[a.0].value.data();
+                    let bv = self.nodes[b.0].value.data();
+                    let ga: Vec<f32> = g.iter().zip(bv).map(|(gi, bi)| gi * bi).collect();
+                    let gb: Vec<f32> = g.iter().zip(av).map(|(gi, ai)| gi * ai).collect();
+                    acc(&mut grads, *a, &ga, av.len());
+                    acc(&mut grads, *b, &gb, bv.len());
+                }
+                Op::Scale(a, c) => {
+                    let ga: Vec<f32> = g.iter().map(|gi| gi * c).collect();
+                    acc(&mut grads, *a, &ga, self.nodes[a.0].value.len());
+                }
+                Op::MatVec { w, x } => {
+                    let wt = &self.nodes[w.0].value;
+                    let xv = self.nodes[x.0].value.data();
+                    // dW = g ⊗ x (outer product), dx = Wᵀ g
+                    let (m, n) = (wt.rows(), wt.cols());
+                    let mut gw = vec![0.0f32; m * n];
+                    for (r, gi) in g.iter().enumerate() {
+                        if *gi != 0.0 {
+                            let row = &mut gw[r * n..(r + 1) * n];
+                            for (o, xj) in row.iter_mut().zip(xv) {
+                                *o += gi * xj;
+                            }
+                        }
+                    }
+                    let gx = wt.matvec_t(&g);
+                    acc(&mut grads, *w, &gw, m * n);
+                    acc(&mut grads, *x, &gx, n);
+                }
+                Op::Concat(parts) => {
+                    let mut off = 0;
+                    for &p in parts {
+                        let n = self.nodes[p.0].value.len();
+                        acc(&mut grads, p, &g[off..off + n], n);
+                        off += n;
+                    }
+                }
+                Op::SumVec(parts) => {
+                    for &p in parts {
+                        acc(&mut grads, p, &g, self.nodes[p.0].value.len());
+                    }
+                }
+                Op::Relu(a) => {
+                    let av = self.nodes[a.0].value.data();
+                    let ga: Vec<f32> = g
+                        .iter()
+                        .zip(av)
+                        .map(|(gi, ai)| if *ai > 0.0 { *gi } else { 0.0 })
+                        .collect();
+                    acc(&mut grads, *a, &ga, av.len());
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let av = self.nodes[a.0].value.data();
+                    let ga: Vec<f32> = g
+                        .iter()
+                        .zip(av)
+                        .map(|(gi, ai)| if *ai > 0.0 { *gi } else { gi * slope })
+                        .collect();
+                    acc(&mut grads, *a, &ga, av.len());
+                }
+                Op::Tanh(a) => {
+                    let yv = self.nodes[i].value.data();
+                    let ga: Vec<f32> = g.iter().zip(yv).map(|(gi, yi)| gi * (1.0 - yi * yi)).collect();
+                    acc(&mut grads, *a, &ga, yv.len());
+                }
+                Op::Sigmoid(a) => {
+                    let yv = self.nodes[i].value.data();
+                    let ga: Vec<f32> = g.iter().zip(yv).map(|(gi, yi)| gi * yi * (1.0 - yi)).collect();
+                    acc(&mut grads, *a, &ga, yv.len());
+                }
+                Op::Dot(a, b) => {
+                    let g0 = g[0];
+                    let av = self.nodes[a.0].value.data();
+                    let bv = self.nodes[b.0].value.data();
+                    let ga: Vec<f32> = bv.iter().map(|bi| g0 * bi).collect();
+                    let gb: Vec<f32> = av.iter().map(|ai| g0 * ai).collect();
+                    acc(&mut grads, *a, &ga, av.len());
+                    acc(&mut grads, *b, &gb, bv.len());
+                }
+                Op::SumElems(a) => {
+                    let n = self.nodes[a.0].value.len();
+                    let ga = vec![g[0]; n];
+                    acc(&mut grads, *a, &ga, n);
+                }
+                Op::Mean(a) => {
+                    let n = self.nodes[a.0].value.len();
+                    let ga = vec![g[0] / n as f32; n];
+                    acc(&mut grads, *a, &ga, n);
+                }
+                Op::Softmax(a) => {
+                    // dx_i = y_i * (g_i - Σ_j g_j y_j)
+                    let yv = self.nodes[i].value.data();
+                    let s: f32 = g.iter().zip(yv).map(|(gi, yi)| gi * yi).sum();
+                    let ga: Vec<f32> = g.iter().zip(yv).map(|(gi, yi)| yi * (gi - s)).collect();
+                    acc(&mut grads, *a, &ga, yv.len());
+                }
+                Op::LogSoftmax(a) => {
+                    // dx_i = g_i - softmax_i * Σ_j g_j
+                    let yv = self.nodes[i].value.data();
+                    let gsum: f32 = g.iter().sum();
+                    let ga: Vec<f32> = g
+                        .iter()
+                        .zip(yv)
+                        .map(|(gi, yi)| gi - yi.exp() * gsum)
+                        .collect();
+                    acc(&mut grads, *a, &ga, yv.len());
+                }
+                Op::Gather(a, idx) => {
+                    let n = self.nodes[a.0].value.len();
+                    let mut ga = vec![0.0f32; n];
+                    ga[*idx] = g[0];
+                    acc(&mut grads, *a, &ga, n);
+                }
+                Op::MulScalar { vec, scalar } => {
+                    let s = self.nodes[scalar.0].value.item();
+                    let vv = self.nodes[vec.0].value.data();
+                    let gv: Vec<f32> = g.iter().map(|gi| gi * s).collect();
+                    let gs: f32 = g.iter().zip(vv).map(|(gi, vi)| gi * vi).sum();
+                    acc(&mut grads, *vec, &gv, vv.len());
+                    acc(&mut grads, *scalar, &[gs], 1);
+                }
+            }
+        }
+    }
+}
+
+fn acc(grads: &mut [Option<Vec<f32>>], id: RefNodeId, g: &[f32], len: usize) {
+    debug_assert_eq!(g.len(), len);
+    match &mut grads[id.0] {
+        Some(existing) => {
+            for (e, v) in existing.iter_mut().zip(g) {
+                *e += v;
+            }
+        }
+        slot @ None => *slot = Some(g.to_vec()),
+    }
+}
+
+fn zip_same(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "element-wise op shape mismatch");
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| f(*x, *y)).collect();
+    Tensor::new(a.shape().to_vec(), data)
+}
+
+fn map(a: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    Tensor::new(a.shape().to_vec(), a.data().iter().map(|x| f(*x)).collect())
+}
+
+/// The oracle executor: implements [`Backend`] over a [`RefTape`] using
+/// only the trait's decomposed defaults, so model code recorded through
+/// it produces the original op-by-op tape that fused kernels are
+/// verified against.
+pub struct RefTapeBackend<'a> {
+    g: &'a mut RefTape,
+    store: &'a ParamStore,
+}
+
+impl<'a> RefTapeBackend<'a> {
+    /// Wraps a reference tape and the parameter store it reads from.
+    pub fn new(g: &'a mut RefTape, store: &'a ParamStore) -> Self {
+        Self { g, store }
+    }
+
+    /// The underlying tape (e.g. to run `backward` afterwards).
+    pub fn graph(&mut self) -> &mut RefTape {
+        self.g
+    }
+}
+
+impl Backend for RefTapeBackend<'_> {
+    type Id = RefNodeId;
+
+    fn param(&mut self, id: ParamId) -> RefNodeId {
+        self.g.param(self.store, id)
+    }
+
+    fn input(&mut self, data: &[f32]) -> RefNodeId {
+        self.g.input_vec(data.to_vec())
+    }
+
+    fn input_with(&mut self, len: usize, fill: impl FnOnce(&mut [f32])) -> RefNodeId {
+        let mut v = vec![0.0f32; len];
+        fill(&mut v);
+        self.g.input_vec(v)
+    }
+
+    fn value(&self, id: RefNodeId) -> &[f32] {
+        self.g.value(id).data()
+    }
+
+    fn add(&mut self, a: RefNodeId, b: RefNodeId) -> RefNodeId {
+        self.g.add(a, b)
+    }
+
+    fn mul(&mut self, a: RefNodeId, b: RefNodeId) -> RefNodeId {
+        self.g.mul(a, b)
+    }
+
+    fn scale(&mut self, a: RefNodeId, c: f32) -> RefNodeId {
+        self.g.scale(a, c)
+    }
+
+    fn matvec(&mut self, w: RefNodeId, x: RefNodeId) -> RefNodeId {
+        self.g.matvec(w, x)
+    }
+
+    fn concat(&mut self, parts: &[RefNodeId]) -> RefNodeId {
+        self.g.concat(parts)
+    }
+
+    fn sum_vec(&mut self, parts: &[RefNodeId]) -> RefNodeId {
+        self.g.sum_vec(parts)
+    }
+
+    fn relu(&mut self, a: RefNodeId) -> RefNodeId {
+        self.g.relu(a)
+    }
+
+    fn leaky_relu(&mut self, a: RefNodeId, slope: f32) -> RefNodeId {
+        self.g.leaky_relu(a, slope)
+    }
+
+    fn tanh(&mut self, a: RefNodeId) -> RefNodeId {
+        self.g.tanh(a)
+    }
+
+    fn sigmoid(&mut self, a: RefNodeId) -> RefNodeId {
+        self.g.sigmoid(a)
+    }
+
+    fn dot(&mut self, a: RefNodeId, b: RefNodeId) -> RefNodeId {
+        self.g.dot(a, b)
+    }
+
+    fn sum_elems(&mut self, a: RefNodeId) -> RefNodeId {
+        self.g.sum_elems(a)
+    }
+
+    fn mean(&mut self, a: RefNodeId) -> RefNodeId {
+        self.g.mean(a)
+    }
+
+    fn softmax(&mut self, a: RefNodeId) -> RefNodeId {
+        self.g.softmax(a)
+    }
+
+    fn log_softmax(&mut self, a: RefNodeId) -> RefNodeId {
+        self.g.log_softmax(a)
+    }
+
+    fn gather(&mut self, a: RefNodeId, idx: usize) -> RefNodeId {
+        self.g.gather(a, idx)
+    }
+
+    fn mul_scalar(&mut self, vec: RefNodeId, scalar: RefNodeId) -> RefNodeId {
+        self.g.mul_scalar(vec, scalar)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(name: &str, t: Tensor) -> (ParamStore, ParamId) {
+        let mut ps = ParamStore::new();
+        let id = ps.register(name, t);
+        (ps, id)
+    }
+
+    #[test]
+    fn forward_add_mul() {
+        let mut g = RefTape::new();
+        let a = g.input_vec(vec![1.0, 2.0]);
+        let b = g.input_vec(vec![3.0, 4.0]);
+        let c = g.add(a, b);
+        let d = g.mul(c, b);
+        assert_eq!(g.value(d).data(), &[12.0, 24.0]);
+    }
+
+    #[test]
+    fn backward_linear_chain() {
+        // loss = sum((w ⊙ x)) with w=[2,3], x=[4,5]; dloss/dw = x
+        let (mut ps, wid) = store_with("w", Tensor::vector(vec![2.0, 3.0]));
+        let mut g = RefTape::new();
+        let w = g.param(&ps, wid);
+        let x = g.input_vec(vec![4.0, 5.0]);
+        let y = g.mul(w, x);
+        let loss = g.sum_elems(y);
+        assert_eq!(g.value(loss).item(), 23.0);
+        g.backward(loss, &mut ps);
+        assert_eq!(ps.grad(wid), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn backward_matvec() {
+        // y = W x, loss = sum(y); dW = 1 ⊗ x, dx = Wᵀ·1
+        let (mut ps, wid) = store_with("w", Tensor::matrix(2, 3, vec![1., 2., 3., 4., 5., 6.]));
+        let mut g = RefTape::new();
+        let w = g.param(&ps, wid);
+        let x = g.input_vec(vec![1.0, 0.0, -1.0]);
+        let y = g.matvec(w, x);
+        assert_eq!(g.value(y).data(), &[-2.0, -2.0]);
+        let loss = g.sum_elems(y);
+        g.backward(loss, &mut ps);
+        assert_eq!(ps.grad(wid), &[1., 0., -1., 1., 0., -1.]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut g = RefTape::new();
+        let x = g.input_vec(vec![1.0, 2.0, 3.0]);
+        let s = g.softmax(x);
+        let total: f32 = g.value(s).data().iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let mut g = RefTape::new();
+        let x = g.input_vec(vec![0.5, -1.0, 2.0]);
+        let s = g.softmax(x);
+        let ls = g.log_softmax(x);
+        for (a, b) in g.value(s).data().iter().zip(g.value(ls).data()) {
+            assert!((a.ln() - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gather_picks_element() {
+        let mut g = RefTape::new();
+        let x = g.input_vec(vec![10.0, 20.0, 30.0]);
+        let y = g.gather(x, 2);
+        assert_eq!(g.value(y).item(), 30.0);
+    }
+
+    #[test]
+    fn reused_node_accumulates_grad() {
+        // loss = sum(w) + sum(w) => dw = 2
+        let (mut ps, wid) = store_with("w", Tensor::vector(vec![1.0, 1.0]));
+        let mut g = RefTape::new();
+        let w = g.param(&ps, wid);
+        let s1 = g.sum_elems(w);
+        let s2 = g.sum_elems(w);
+        let loss = g.add(s1, s2);
+        g.backward(loss, &mut ps);
+        assert_eq!(ps.grad(wid), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn concat_splits_gradient() {
+        let (mut ps, wid) = store_with("w", Tensor::vector(vec![1.0, 2.0]));
+        let mut g = RefTape::new();
+        let w = g.param(&ps, wid);
+        let x = g.input_vec(vec![5.0]);
+        let c = g.concat(&[x, w]);
+        let picked = g.gather(c, 2); // w[1]
+        g.backward(picked, &mut ps);
+        assert_eq!(ps.grad(wid), &[0.0, 1.0]);
+    }
+
+    /// Finite-difference check over a composite graph touching most ops.
+    #[test]
+    fn finite_difference_composite() {
+        let build = |ps: &ParamStore, wid: ParamId, bid: ParamId| -> f32 {
+            let mut g = RefTape::new();
+            let w = g.param(ps, wid);
+            let b = g.param(ps, bid);
+            let x = g.input_vec(vec![0.3, -0.7, 1.1]);
+            let h = g.matvec(w, x);
+            let h = g.add(h, b);
+            let h = g.leaky_relu(h, 0.1);
+            let t = g.tanh(h);
+            let s = g.sigmoid(h);
+            let m = g.mul(t, s);
+            let sm = g.log_softmax(m);
+            let picked = g.gather(sm, 1);
+            let mn = g.mean(h);
+            let loss = g.add(picked, mn);
+            g.value(loss).item()
+        };
+
+        let mut ps = ParamStore::new();
+        let wid = ps.register(
+            "w",
+            Tensor::matrix(3, 3, vec![0.2, -0.4, 0.6, 0.1, 0.3, -0.2, -0.5, 0.7, 0.05]),
+        );
+        let bid = ps.register("b", Tensor::vector(vec![0.01, -0.02, 0.03]));
+
+        // Analytic gradients.
+        {
+            let mut g = RefTape::new();
+            let w = g.param(&ps, wid);
+            let b = g.param(&ps, bid);
+            let x = g.input_vec(vec![0.3, -0.7, 1.1]);
+            let h = g.matvec(w, x);
+            let h = g.add(h, b);
+            let h = g.leaky_relu(h, 0.1);
+            let t = g.tanh(h);
+            let s = g.sigmoid(h);
+            let m = g.mul(t, s);
+            let sm = g.log_softmax(m);
+            let picked = g.gather(sm, 1);
+            let mn = g.mean(h);
+            let loss = g.add(picked, mn);
+            g.backward(loss, &mut ps);
+        }
+
+        let eps = 1e-3f32;
+        for (pid, n) in [(wid, 9usize), (bid, 3usize)] {
+            let analytic = ps.grad(pid).to_vec();
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..n {
+                let orig = ps.value(pid).data()[i];
+                ps.value_mut(pid).data_mut()[i] = orig + eps;
+                let up = build(&ps, wid, bid);
+                ps.value_mut(pid).data_mut()[i] = orig - eps;
+                let down = build(&ps, wid, bid);
+                ps.value_mut(pid).data_mut()[i] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic[i]).abs() < 2e-2,
+                    "param {pid:?}[{i}]: numeric {numeric} vs analytic {}",
+                    analytic[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn param_nodes_share_storage_until_store_mutation() {
+        let (mut ps, wid) = store_with("w", Tensor::vector(vec![1.0, 2.0]));
+        let mut g = RefTape::new();
+        let w = g.param(&ps, wid);
+        // Recording shares the tensor: same allocation, no copy.
+        assert!(std::ptr::eq(g.value(w).data().as_ptr(), ps.value(wid).data().as_ptr()));
+        // A store mutation detaches (copy-on-write); the tape keeps
+        // observing the recording-time value, exactly as when it cloned.
+        ps.value_mut(wid).data_mut()[0] = 42.0;
+        assert_eq!(g.value(w).data(), &[1.0, 2.0]);
+        assert_eq!(ps.value(wid).data(), &[42.0, 2.0]);
+        // Gradients still flow into the store.
+        let loss = g.sum_elems(w);
+        g.backward(loss, &mut ps);
+        assert_eq!(ps.grad(wid), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn reset_clears_tape_and_reuses_allocation() {
+        let mut g = RefTape::new();
+        for _ in 0..64 {
+            let a = g.input_vec(vec![1.0, 2.0]);
+            let b = g.input_vec(vec![3.0, 4.0]);
+            let _ = g.add(a, b);
+        }
+        assert_eq!(g.len(), 192);
+        g.reset();
+        assert!(g.is_empty());
+        // The tape works identically after a reset, and NodeIds restart.
+        let a = g.input_vec(vec![1.0, 2.0]);
+        let b = g.input_vec(vec![3.0, 4.0]);
+        let s = g.add(a, b);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.value(s).data(), &[4.0, 6.0]);
+    }
+}

@@ -157,6 +157,123 @@ pub fn axpy4(g: f32, row: &[f32], out: &mut [f32]) {
     }
 }
 
+/// Whole-matrix transposed matvec accumulation: `out += Wᵀ g` for a
+/// `g.len()×n` row-major matrix (the backward counterpart of
+/// [`matvec_rows`]).
+///
+/// CPU-feature dispatch happens once per matrix; the AVX2 inner loop
+/// uses separate multiply and add (two roundings per element, exactly
+/// like the scalar [`axpy4`]), and every output element is independent,
+/// so the vectorized and scalar paths are bitwise identical. Rows with
+/// a zero coefficient — common under sparse gradients — are skipped on
+/// both paths, matching [`Tensor::matvec_t`].
+#[inline]
+pub fn matvec_t_rows(w: &[f32], n: usize, g: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(w.len(), n * g.len(), "matvec_t_rows: matrix shape mismatch");
+    debug_assert_eq!(out.len(), n, "matvec_t_rows: output length mismatch");
+    if n == 0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if n >= 8 && std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the required CPU feature was just detected.
+        unsafe { matvec_t_rows_avx2(w, n, g, out) };
+        return;
+    }
+    for (row, &gi) in w.chunks_exact(n).zip(g) {
+        if gi != 0.0 {
+            axpy4(gi, row, out);
+        }
+    }
+}
+
+/// AVX2 transposed-matvec accumulation; multiply-then-add (never FMA) so
+/// each element matches the scalar [`axpy4`] bit for bit.
+///
+/// # Safety
+/// The caller must have verified that the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matvec_t_rows_avx2(w: &[f32], n: usize, g: &[f32], out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    for (row, &gi) in w.chunks_exact(n).zip(g) {
+        if gi == 0.0 {
+            continue;
+        }
+        let gv = _mm256_set1_ps(gi);
+        let rp = row.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let acc = _mm256_add_ps(_mm256_loadu_ps(op.add(j)), _mm256_mul_ps(gv, _mm256_loadu_ps(rp.add(j))));
+            _mm256_storeu_ps(op.add(j), acc);
+            j += 8;
+        }
+        while j < n {
+            *op.add(j) += gi * *rp.add(j);
+            j += 1;
+        }
+    }
+}
+
+/// Outer-product accumulation: `acc[i*n + j] += g[i] * x[j]` for the
+/// `g.len()×x.len()` weight-gradient matrix `acc` (the `dW = g ⊗ x`
+/// kernel of every matvec/linear backward).
+///
+/// Same dispatch and rounding discipline as [`matvec_t_rows`]: one
+/// feature check per matrix, multiply-then-add in the AVX2 loop, rows
+/// with `g[i] == 0` skipped on both paths (a skipped row adds exact
+/// zeros, which is a bitwise no-op on gradient accumulators).
+#[inline]
+pub fn outer_acc(g: &[f32], x: &[f32], acc: &mut [f32]) {
+    let n = x.len();
+    debug_assert_eq!(acc.len(), g.len() * n, "outer_acc: accumulator shape mismatch");
+    if n == 0 || g.is_empty() {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if n >= 8 && std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the required CPU feature was just detected.
+        unsafe { outer_acc_avx2(g, x, acc) };
+        return;
+    }
+    for (row, &gi) in acc.chunks_exact_mut(n).zip(g) {
+        if gi != 0.0 {
+            axpy4(gi, x, row);
+        }
+    }
+}
+
+/// AVX2 outer-product accumulation; multiply-then-add to stay bitwise
+/// identical to the scalar path.
+///
+/// # Safety
+/// The caller must have verified that the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn outer_acc_avx2(g: &[f32], x: &[f32], acc: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = x.len();
+    let xp = x.as_ptr();
+    for (row, &gi) in acc.chunks_exact_mut(n).zip(g) {
+        if gi == 0.0 {
+            continue;
+        }
+        let gv = _mm256_set1_ps(gi);
+        let rp = row.as_mut_ptr();
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let out = _mm256_add_ps(_mm256_loadu_ps(rp.add(j)), _mm256_mul_ps(gv, _mm256_loadu_ps(xp.add(j))));
+            _mm256_storeu_ps(rp.add(j), out);
+            j += 8;
+        }
+        while j < n {
+            *rp.add(j) += gi * *xp.add(j);
+            j += 1;
+        }
+    }
+}
+
 /// A dense, row-major tensor of `f32` values.
 ///
 /// Only rank-1 (vectors) and rank-2 (matrices) tensors appear in LSched's
@@ -446,6 +563,54 @@ mod tests {
     fn matvec_skips_zero_grad_rows_identically() {
         let m = Tensor::matrix(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         assert_eq!(m.matvec_t(&[0.0, 1.0, 0.0]), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn matvec_t_rows_matches_tensor_matvec_t_bitwise() {
+        // Covers both dispatch paths (n < 8 scalar, n >= 8 AVX2 where
+        // available); the whole-matrix kernel must agree with the
+        // per-call Tensor::matvec_t bit for bit, including skipped
+        // zero-gradient rows.
+        for n in [1usize, 3, 7, 8, 11, 16, 33] {
+            let m = 5usize;
+            let w: Vec<f32> = (0..m * n).map(|i| (i as f32 * 0.37).sin()).collect();
+            let mut g: Vec<f32> = (0..m).map(|i| (i as f32 * 1.3).cos()).collect();
+            g[2] = 0.0;
+            let t = Tensor::matrix(m, n, w.clone());
+            let expect = t.matvec_t(&g);
+            let mut out = vec![0.0f32; n];
+            matvec_t_rows(&w, n, &g, &mut out);
+            assert_eq!(out, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn outer_acc_matches_scalar_accumulation_bitwise() {
+        for n in [1usize, 4, 8, 13, 24] {
+            let m = 4usize;
+            let mut g: Vec<f32> = (0..m).map(|i| (i as f32 + 0.5) * 0.7).collect();
+            g[1] = 0.0;
+            let x: Vec<f32> = (0..n).map(|j| (j as f32 * 0.11).cos() - 0.4).collect();
+            let mut acc: Vec<f32> = (0..m * n).map(|i| (i as f32) * 0.01).collect();
+            let mut expect = acc.clone();
+            for i in 0..m {
+                if g[i] != 0.0 {
+                    for j in 0..n {
+                        expect[i * n + j] += g[i] * x[j];
+                    }
+                }
+            }
+            outer_acc(&g, &x, &mut acc);
+            assert_eq!(acc, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn backward_kernels_tolerate_degenerate_shapes() {
+        let mut out: Vec<f32> = vec![];
+        matvec_t_rows(&[], 0, &[1.0, 2.0], &mut out);
+        outer_acc(&[1.0, 2.0], &[], &mut []);
+        outer_acc(&[], &[1.0], &mut []);
     }
 
     #[test]

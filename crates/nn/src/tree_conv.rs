@@ -30,7 +30,7 @@
 use rand::rngs::StdRng;
 
 use crate::backend::{Backend, TapeBackend};
-use crate::gat::{normalize_scores_on, PairAttention};
+use crate::gat::{PairAttention, ATTENTION_LEAKY_SLOPE};
 use crate::graph::{Graph, NodeId};
 use crate::init;
 use crate::layers::Activation;
@@ -210,10 +210,7 @@ impl TreeConvLayer {
                 let wv = b.param(w);
                 b.mul(wv, x)
             }
-            FilterMode::Dense => {
-                let wm = b.param(w);
-                b.matvec(wm, x)
-            }
+            FilterMode::Dense => b.matvec_param(w, x),
         }
     }
 
@@ -241,10 +238,10 @@ impl TreeConvLayer {
 
     /// Convolves one layer over the whole tree on any [`Backend`],
     /// writing one `out_dim` embedding handle per node into `out`
-    /// (cleared first). The five filter terms and their attention scores
-    /// live in fixed-size arrays and the score-normalization scratch is
-    /// pooled, so on the inference backend a warmed-up call performs no
-    /// heap allocations.
+    /// (cleared first). The attention path runs through the backend's
+    /// [`Backend::gat_combine`] seam (one fused node on the training
+    /// tape) and all per-node scratch lives in fixed-size arrays, so a
+    /// warmed-up call performs no heap allocations on any backend.
     pub fn forward_on<B: Backend>(
         &self,
         b: &mut B,
@@ -259,7 +256,6 @@ impl TreeConvLayer {
 
         out.clear();
         out.reserve(nodes.len());
-        let mut z = b.take_ids();
         for (p, slots) in tree.children.iter().enumerate() {
             let (xl, el) = match slots[0] {
                 Some((c, e)) => (nodes[c], edges[e]),
@@ -277,19 +273,11 @@ impl TreeConvLayer {
             let ser = self.apply_weight_on(b, self.w_edge_right, er);
 
             let combined = if let Some(att) = &self.attention {
-                // Eq. 3–5: one score per filter term (incl. the parent
-                // itself), softmax-normalized, then attention-scaled sum.
-                let terms = [sp, sr, ser, sl, sel];
-                let mut raw = terms;
-                for (r, &t) in raw.iter_mut().zip(&terms) {
-                    *r = att.score_on(b, sp, t);
-                }
-                normalize_scores_on(b, &raw, &mut z);
-                let mut scaled = terms;
-                for (s, (&t, &zi)) in scaled.iter_mut().zip(terms.iter().zip(z.iter())) {
-                    *s = b.mul_scalar(t, zi);
-                }
-                b.sum_vec(&scaled)
+                // Eq. 3–5 through the backend's attention-combine seam:
+                // one score per filter term (incl. the parent itself,
+                // the anchor), softmax-normalized, then the
+                // attention-scaled sum.
+                b.gat_combine(att.param_id(), ATTENTION_LEAKY_SLOPE, &[sp, sr, ser, sl, sel])
             } else {
                 b.sum_vec(&[sp, sr, ser, sl, sel])
             };
@@ -303,7 +291,6 @@ impl TreeConvLayer {
             };
             out.push(self.cfg.activation.apply_on(b, biased));
         }
-        b.recycle_ids(z);
     }
 }
 
@@ -630,7 +617,7 @@ mod tests {
             (g, loss)
         };
 
-        let (g, loss) = run(&ps);
+        let (mut g, loss) = run(&ps);
         g.backward(loss, &mut ps);
         let wid = ps.id("l.w_self").unwrap();
         let analytic = ps.grad(wid).to_vec();

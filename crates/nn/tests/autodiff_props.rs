@@ -55,7 +55,7 @@ proptest! {
         acts in prop::collection::vec(0u8..12, 3),
     ) {
         let mut ps = make_store(&w, &b, &m);
-        let (g, loss) = forward(&ps, &x, &acts);
+        let (mut g, loss) = forward(&ps, &x, &acts);
         g.backward(loss, &mut ps);
 
         let eps = 2e-3f32;
