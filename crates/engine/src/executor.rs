@@ -187,6 +187,8 @@ impl Executor {
             fault_summary: FaultSummary::default(),
             resilience: state.resilience,
             final_pool_size: self.num_threads,
+            crashed_at: None,
+            unfinished: Vec::new(),
         }
     }
 

@@ -48,6 +48,14 @@ pub struct FaultPlan {
     /// cancellation targeting an already finished (or never arrived)
     /// query is a no-op.
     pub cancellations: Vec<(f64, u64)>,
+    /// Whole-process crash at a virtual time: the run finalizes the
+    /// instant the event loop would process anything at or after this
+    /// time. Completed queries up to that point form the durable log
+    /// ([`crate::sim::SimResult::outcomes`] / `aborted`); everything
+    /// else is reported in [`crate::sim::SimResult::unfinished`]. The
+    /// crash consumes no RNG, so the pre-crash prefix is bit-identical
+    /// to the same plan without `crash_at`.
+    pub crash_at: Option<f64>,
 }
 
 impl Default for FaultPlan {
@@ -64,6 +72,7 @@ impl Default for FaultPlan {
             straggler_prob: 0.0,
             straggler_factor: 4.0,
             cancellations: Vec::new(),
+            crash_at: None,
         }
     }
 }
@@ -114,6 +123,7 @@ impl FaultPlan {
             && self.cancellations.is_empty()
             && self.wo_failure_prob <= 0.0
             && self.straggler_prob <= 0.0
+            && self.crash_at.is_none()
     }
 }
 

@@ -56,12 +56,19 @@ pub struct WorkloadItem {
     /// the default 0 makes all queries equal. Load-shedding gates evict
     /// the lowest-priority queued queries first.
     pub priority: i32,
+    /// Original submission time when it predates `arrival_time` — set by
+    /// the serving layer when a query orphaned by a shard crash is
+    /// replayed on a survivor. Latency is charged and deferred deadlines
+    /// ([`RetryKind::Defer`]) are anchored from this instant, so a
+    /// failed-over query cannot hide its pre-crash wait. `None` (the
+    /// default) means the query was submitted at `arrival_time`.
+    pub submitted_at: Option<f64>,
 }
 
 impl WorkloadItem {
     /// A plain workload item: no deadline, default priority.
     pub fn new(arrival_time: f64, plan: Arc<PhysicalPlan>) -> Self {
-        Self { arrival_time, plan, deadline: None, priority: 0 }
+        Self { arrival_time, plan, deadline: None, priority: 0, submitted_at: None }
     }
 
     /// Attaches a relative latency budget (seconds).
@@ -74,6 +81,19 @@ impl WorkloadItem {
     pub fn with_priority(mut self, priority: i32) -> Self {
         self.priority = priority;
         self
+    }
+
+    /// Anchors latency accounting and deferred deadlines at an original
+    /// submission instant that predates `arrival_time` (failover replay).
+    pub fn with_submitted_at(mut self, submitted_at: f64) -> Self {
+        self.submitted_at = Some(submitted_at);
+        self
+    }
+
+    /// The instant latency is charged from: the original submission time
+    /// when set, the arrival time otherwise.
+    pub fn submit_anchor(&self) -> f64 {
+        self.submitted_at.unwrap_or(self.arrival_time)
     }
 }
 
@@ -253,6 +273,15 @@ pub struct SimResult {
     /// Worker-pool size when the run drained — `initial - lost + joined`
     /// by construction, which the rejoin-ordering property tests pin.
     pub final_pool_size: usize,
+    /// Virtual time at which [`FaultPlan::crash_at`] killed the run, or
+    /// `None` for a run that drained normally. A crashed result is the
+    /// durable log of the dead shard: `outcomes` and `aborted` hold what
+    /// was acknowledged before the crash, `unfinished` what was not.
+    pub crashed_at: Option<f64>,
+    /// Workload indices (arrival order) with no final fate when the run
+    /// ended — in flight, queued, or never arrived at crash time. Always
+    /// empty for a run that drained normally; sorted ascending.
+    pub unfinished: Vec<usize>,
 }
 
 /// Counters for the overload-protection layer: admission shedding,
@@ -430,6 +459,8 @@ impl SimResult {
             && self.fault_summary == other.fault_summary
             && self.resilience == other.resilience
             && self.final_pool_size == other.final_pool_size
+            && self.crashed_at.map(f64::to_bits) == other.crashed_at.map(f64::to_bits)
+            && self.unfinished == other.unfinished
     }
 
     /// Mean query latency.
@@ -686,6 +717,10 @@ pub struct Simulator {
     /// Per-workload-item "has received its first thread grant" flags,
     /// backing [`ResilienceSummary::max_queue_wait`]. Sized in `run`.
     item_granted: Vec<bool>,
+    /// Per-workload-item "has a final fate" flags (completed or
+    /// terminally aborted), backing [`SimResult::unfinished`] for
+    /// crash-truncated runs. Sized in `run`.
+    item_done: Vec<bool>,
     // metrics
     outcomes: Vec<QueryOutcome>,
     aborted: Vec<QueryOutcome>,
@@ -732,6 +767,7 @@ impl Simulator {
             tick_buf: Vec::new(),
             item_defers: Vec::new(),
             item_granted: Vec::new(),
+            item_done: Vec::new(),
             outcomes: Vec::new(),
             aborted: Vec::new(),
             fault_summary: FaultSummary::default(),
@@ -761,6 +797,8 @@ impl Simulator {
         self.next_qid = workload.len() as u64;
         self.item_defers = vec![0; workload.len()];
         self.item_granted = vec![false; workload.len()];
+        self.item_done = vec![false; workload.len()];
+        let crash_at = self.faults.as_ref().and_then(|f| f.plan().crash_at);
         for (i, item) in workload.iter().enumerate() {
             self.push_event(item.arrival_time, Ev::Arrival(i));
         }
@@ -788,6 +826,18 @@ impl Simulator {
         let mut processed: u64 = 0;
         while let Some(first) = self.heap.pop() {
             let tick_time = first.key.time;
+            if let Some(t) = crash_at {
+                if tick_time >= t {
+                    // The process dies before anything scheduled at or
+                    // after `t` can run. Whatever completed strictly
+                    // before the crash is the durable log; everything
+                    // else surfaces in `unfinished` for the supervisor
+                    // to fail over. No RNG is consumed by the check, so
+                    // the prefix is bit-identical to the crash-free run.
+                    self.time = self.time.max(t);
+                    return Ok(self.into_result(processed, Some(t)));
+                }
+            }
             self.time = self.time.max(tick_time);
             // Tick-local batch: drain every event firing at this exact
             // timestamp, run their handlers (which *defer* non-forced
@@ -875,8 +925,19 @@ impl Simulator {
             }
         }
 
-        Ok(SimResult {
-            makespan: self.outcomes.iter().map(|o| o.finish).fold(0.0, f64::max),
+        Ok(self.into_result(processed, None))
+    }
+
+    /// Final result assembly shared by the drained and crash-truncated
+    /// exits. A crash caps nothing retroactively: outcomes recorded
+    /// before the crash stand as-is, and the makespan covers the crash
+    /// instant so a dead shard still occupies its slot until it died.
+    fn into_result(self, processed: u64, crashed_at: Option<f64>) -> SimResult {
+        let last_finish = self.outcomes.iter().map(|o| o.finish).fold(0.0, f64::max);
+        let unfinished: Vec<usize> =
+            (0..self.item_done.len()).filter(|&i| !self.item_done[i]).collect();
+        SimResult {
+            makespan: crashed_at.map_or(last_finish, |t| t.max(last_finish)),
             outcomes: self.outcomes,
             sched_invocations: self.invocations,
             sched_decisions: self.decisions,
@@ -889,7 +950,9 @@ impl Simulator {
             fault_summary: self.fault_summary,
             resilience: self.resilience,
             final_pool_size: self.pool_size,
-        })
+            crashed_at,
+            unfinished,
+        }
     }
 
     /// Announces a (re-)submission of workload item `item` as attempt
@@ -919,9 +982,11 @@ impl Simulator {
         // the item's original arrival: an admission deferral must not
         // silently extend the SLO, so a query admitted after its deadline
         // already passed fires `DeadlineExceeded` immediately.
+        // Failover replays anchor at the original submission instead of
+        // the (shifted) replay arrival — the crash must not extend SLOs.
         qr.deadline = w.deadline.map(|d| match kind {
             RetryKind::Timeout => self.time + d,
-            RetryKind::Defer => w.arrival_time + d,
+            RetryKind::Defer => w.submit_anchor() + d,
         });
         let qi = qid.0 as usize;
         if self.qindex.len() <= qi {
@@ -931,10 +996,11 @@ impl Simulator {
         self.queries.push(qr);
         self.hot.push(self.queries.last().expect("query just pushed"));
         self.query_pipes.push(Vec::new());
-        // Retries keep charging latency from the ORIGINAL arrival, so a
-        // query that misses its deadline twice and then finishes reports
-        // its true end-to-end latency, not just the last attempt's.
-        self.query_meta.push(QueryMeta { item, attempt, submitted: w.arrival_time });
+        // Retries keep charging latency from the ORIGINAL arrival (and
+        // failover replays from the pre-crash submission), so a query
+        // that misses its deadline twice and then finishes reports its
+        // true end-to-end latency, not just the last attempt's.
+        self.query_meta.push(QueryMeta { item, attempt, submitted: w.submit_anchor() });
 
         // Admission gate (the default `Scheduler::admit` admits all, so
         // non-gated runs take this path with zero behavioural change and
@@ -1168,6 +1234,7 @@ impl Simulator {
         if self.queries[qidx].is_finished() {
             query_finished = true;
             let submitted = self.query_meta[qidx].submitted;
+            self.item_done[self.query_meta[qidx].item] = true;
             let q = &mut self.queries[qidx];
             q.finish_time = Some(self.time);
             self.outcomes.push(QueryOutcome {
@@ -1390,11 +1457,13 @@ impl Simulator {
             }
         }
         let submitted = self.query_meta[qidx].submitted;
+        let item = self.query_meta[qidx].item;
         let q = self.remove_query(qidx);
         // A timed-out attempt that will be retried is not a final fate:
         // only the last attempt lands in `aborted`, so completed +
         // aborted still partitions the workload exactly once per item.
         if record_outcome {
+            self.item_done[item] = true;
             self.aborted.push(QueryOutcome {
                 qid,
                 name: q.plan.name.clone(),
@@ -2925,5 +2994,134 @@ mod resilience_tests {
         let mut walled = r2.clone();
         walled.sched_wall_time += 123.0;
         assert!(r1.bit_eq(&walled));
+    }
+}
+
+#[cfg(test)]
+mod crash_tests {
+    use super::*;
+    use crate::plan::{OpKind, OpSpec, PlanBuilder};
+
+    /// Greedy FIFO, one thread per decision (same shape as the fault
+    /// tests' policy).
+    struct Greedy;
+    impl Scheduler for Greedy {
+        fn name(&self) -> String {
+            "greedy_crash_test".into()
+        }
+        fn on_event(&mut self, ctx: &SchedContext<'_>, _ev: &SchedEvent) -> Vec<SchedDecision> {
+            let mut out = Vec::new();
+            let mut free = ctx.free_threads;
+            for q in ctx.queries {
+                for &root in q.schedulable_ops() {
+                    if free == 0 {
+                        return out;
+                    }
+                    out.push(SchedDecision {
+                        query: q.qid,
+                        root,
+                        pipeline_degree: q.plan.longest_npb_chain(root),
+                        threads: 1,
+                    });
+                    free -= 1;
+                }
+            }
+            out
+        }
+    }
+
+    fn chain(name: &str, wos: u32) -> Arc<PhysicalPlan> {
+        let mut b = PlanBuilder::new(name);
+        let scan = b.add_op(OpKind::TableScan, OpSpec::Synthetic, vec![0], vec![0], 1e5, wos, 0.01, 1e5);
+        let sel = b.add_op(OpKind::Select, OpSpec::Synthetic, vec![0], vec![1], 5e4, wos, 0.008, 1e5);
+        b.connect(scan, sel, true);
+        Arc::new(b.finish(sel))
+    }
+
+    fn workload(n: usize) -> Vec<WorkloadItem> {
+        (0..n).map(|i| WorkloadItem::new(i as f64 * 0.01, chain(&format!("q{i}"), 6))).collect()
+    }
+
+    fn crash_cfg(threads: usize, at: Option<f64>) -> SimConfig {
+        SimConfig {
+            num_threads: threads,
+            seed: 17,
+            faults: at.map(|t| FaultPlan { crash_at: Some(t), ..FaultPlan::default() }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn crash_truncates_to_the_pre_crash_prefix() {
+        let wl = workload(8);
+        let full = simulate(crash_cfg(2, None), &wl, &mut Greedy);
+        assert!(full.crashed_at.is_none());
+        assert!(full.unfinished.is_empty(), "a drained run leaves nothing unfinished");
+        let t = full.makespan * 0.5;
+        let crashed = simulate(crash_cfg(2, Some(t)), &wl, &mut Greedy);
+        assert_eq!(crashed.crashed_at.map(f64::to_bits), Some(t.to_bits()));
+        assert!(!crashed.unfinished.is_empty(), "a mid-run crash must orphan something");
+        assert!(crashed.makespan.to_bits() == t.to_bits() || crashed.makespan > t);
+
+        // The durable log is exactly the crash-free outcomes that
+        // finished strictly before the crash, in the same order with the
+        // same bits: the crash consumes no RNG.
+        let prefix: Vec<&QueryOutcome> = full.outcomes.iter().filter(|o| o.finish < t).collect();
+        assert_eq!(crashed.outcomes.len(), prefix.len());
+        for (c, f) in crashed.outcomes.iter().zip(&prefix) {
+            assert_eq!(c.qid, f.qid);
+            assert_eq!(c.finish.to_bits(), f.finish.to_bits());
+            assert_eq!(c.duration.to_bits(), f.duration.to_bits());
+        }
+
+        // Finalized (completed + aborted) and unfinished partition the
+        // workload exactly.
+        let mut fates: Vec<usize> = crashed
+            .outcomes
+            .iter()
+            .chain(&crashed.aborted)
+            .map(|o| o.qid.0 as usize)
+            .chain(crashed.unfinished.iter().copied())
+            .collect();
+        fates.sort_unstable();
+        assert_eq!(fates, (0..wl.len()).collect::<Vec<_>>());
+
+        // Crash-truncated runs repeat bit-identically.
+        let again = simulate(crash_cfg(2, Some(t)), &wl, &mut Greedy);
+        assert!(crashed.bit_eq(&again));
+    }
+
+    #[test]
+    fn crash_at_zero_orphans_the_whole_workload() {
+        let wl = workload(4);
+        let res = simulate(crash_cfg(2, Some(0.0)), &wl, &mut Greedy);
+        assert!(res.outcomes.is_empty());
+        assert!(res.aborted.is_empty());
+        assert_eq!(res.unfinished, vec![0, 1, 2, 3]);
+        assert_eq!(res.makespan.to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn submitted_at_anchors_latency_and_deferred_deadlines() {
+        // A failover replay: the query originally arrived at 0.0, the
+        // survivor first sees it at 0.05. Latency must cover the
+        // pre-crash wait.
+        let wl = vec![WorkloadItem::new(0.05, chain("replayed", 2)).with_submitted_at(0.0)];
+        let res = simulate(crash_cfg(2, None), &wl, &mut Greedy);
+        assert_eq!(res.outcomes.len(), 1);
+        let o = &res.outcomes[0];
+        assert_eq!(o.arrival.to_bits(), 0.0f64.to_bits(), "latency charged from submission");
+        assert_eq!(o.duration.to_bits(), o.finish.to_bits(), "duration = finish - 0.0");
+        assert!(o.duration > 0.05, "the pre-crash wait is part of the latency");
+
+        // A deadline that already expired before the replay arrival
+        // fires immediately: the crash does not extend the SLO.
+        let doomed = vec![
+            WorkloadItem::new(0.05, chain("expired", 2)).with_submitted_at(0.0).with_deadline(0.04),
+        ];
+        let res = simulate(crash_cfg(2, None), &doomed, &mut Greedy);
+        assert!(res.outcomes.is_empty(), "an already-expired budget cannot complete");
+        assert_eq!(res.aborted.len(), 1);
+        assert_eq!(res.resilience.deadline_timeouts, 1);
     }
 }

@@ -346,6 +346,25 @@ pub struct GuardStats {
     pub stale_decisions: u64,
 }
 
+impl GuardStats {
+    /// Folds another guard's counters into this one. Every field is an
+    /// event count, so a multi-shard aggregate is the plain sum —
+    /// commutative and associative, independent of shard visit order
+    /// (the same contract as [`lsched_engine::fault::FaultSummary::merge`]).
+    pub fn merge(&mut self, other: &GuardStats) {
+        self.events += other.events;
+        self.trips += other.trips;
+        self.panics += other.panics;
+        self.invalid_decisions += other.invalid_decisions;
+        self.degraded_health += other.degraded_health;
+        self.poisoned_snapshots += other.poisoned_snapshots;
+        self.fallback_events += other.fallback_events;
+        self.probes += other.probes;
+        self.recoveries += other.recoveries;
+        self.stale_decisions += other.stale_decisions;
+    }
+}
+
 /// A circuit-breaker wrapper: `inner` serves decisions while healthy,
 /// `fallback` (Quickstep-default unless overridden) takes over on any
 /// violation. See the module docs for the full state machine.

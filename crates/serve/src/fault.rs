@@ -1,0 +1,189 @@
+//! Deterministic shard-level fault model for the serving layer.
+//!
+//! The engine's [`lsched_engine::fault::FaultPlan`] perturbs *inside* a
+//! simulator run (worker loss, transient work-order failures); a
+//! [`ShardFaultPlan`] perturbs the fleet *around* the runs: whole shards
+//! crash at a virtual time, crash and later restart, run slow, or
+//! poison their process outright. The supervisor
+//! ([`crate::supervisor`]) materializes each fault against the shard it
+//! targets.
+//!
+//! Determinism is the same contract as everywhere else in the repo:
+//! [`ShardFaultPlan::chaos`] derives every roll from a seed strided per
+//! shard with the existing [`crate::serve::SHARD_SEED_STRIDE`], crash
+//! times are fixed virtual instants (the engine consumes no RNG to
+//! honor them), and a given `(seed, shards)` pair always produces the
+//! same plan — so chaos runs are bit-reproducible end to end.
+
+use crate::serve::SHARD_SEED_STRIDE;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One shard-level fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardFault {
+    /// The shard process dies at a virtual time and never returns; its
+    /// unfinished queries fail over to the survivors.
+    Crash {
+        /// Virtual crash time (seconds).
+        at: f64,
+    },
+    /// The shard dies at a virtual time and rejoins `restart_delay`
+    /// seconds later from a clean simulator state; it is eligible for
+    /// failover work (including its own orphans) once restarted.
+    CrashRestart {
+        /// Virtual crash time (seconds).
+        at: f64,
+        /// Downtime before the restarted shard may accept work.
+        restart_delay: f64,
+    },
+    /// The shard runs but every work order stragglers by `factor` — the
+    /// supervisor's heartbeat flags it Degraded when its makespan blows
+    /// past the fleet median.
+    Slow {
+        /// Duration multiplier (≥ 1) applied to the shard's work orders.
+        factor: f64,
+    },
+    /// The shard panics the moment it is dispatched (a poisoned binary
+    /// or corrupt snapshot): no durable completion log survives, so its
+    /// whole slice fails over.
+    Poison,
+}
+
+/// A fleet-wide schedule of shard faults for one served run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardFaultPlan {
+    /// Faults as `(shard, fault)`. Several faults may target one shard
+    /// (e.g. a restart followed by a second crash); crashes fire in
+    /// ascending time order.
+    pub faults: Vec<(usize, ShardFault)>,
+}
+
+impl ShardFaultPlan {
+    /// The empty plan: no shard faults, supervised serving degenerates
+    /// to plain serving.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_noop(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// A single hard crash of `shard` at virtual time `at` — the
+    /// smallest interesting plan, used by the CI smoke gate.
+    pub fn crash_one(shard: usize, at: f64) -> Self {
+        Self { faults: vec![(shard, ShardFault::Crash { at })] }
+    }
+
+    /// A seeded chaos matrix over `shards` shards: each shard
+    /// independently rolls (off `seed` strided by the per-shard
+    /// [`SHARD_SEED_STRIDE`]) one of crash (25%), crash-then-restart
+    /// (20%), slow (20%), poison (5%), or stays healthy (30%). Crash
+    /// times and restart delays are fractions of `horizon`, an estimate
+    /// of the fault-free serving makespan. Deterministic: the same
+    /// `(seed, shards, horizon)` always yields the same plan.
+    pub fn chaos(seed: u64, shards: usize, horizon: f64) -> Self {
+        let mut faults = Vec::new();
+        for shard in 0..shards {
+            let stream = seed
+                .wrapping_add(SHARD_SEED_STRIDE.wrapping_mul(shard as u64))
+                ^ 0x5EED_FA11_5EED_FA11;
+            let mut rng = StdRng::seed_from_u64(stream);
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            let at = rng.gen_range(0.1..0.7) * horizon;
+            if roll < 0.25 {
+                faults.push((shard, ShardFault::Crash { at }));
+            } else if roll < 0.45 {
+                let restart_delay = rng.gen_range(0.02..0.15) * horizon;
+                faults.push((shard, ShardFault::CrashRestart { at, restart_delay }));
+            } else if roll < 0.65 {
+                faults.push((shard, ShardFault::Slow { factor: rng.gen_range(2.0..4.0) }));
+            } else if roll < 0.70 {
+                faults.push((shard, ShardFault::Poison));
+            }
+        }
+        Self { faults }
+    }
+
+    /// The crash schedule of `shard`, ascending by time: each entry is
+    /// `(crash_time, restart_delay)` with `None` for a crash that never
+    /// restarts.
+    pub fn crashes_for(&self, shard: usize) -> Vec<(f64, Option<f64>)> {
+        let mut out: Vec<(f64, Option<f64>)> = self
+            .faults
+            .iter()
+            .filter(|(s, _)| *s == shard)
+            .filter_map(|(_, f)| match *f {
+                ShardFault::Crash { at } => Some((at, None)),
+                ShardFault::CrashRestart { at, restart_delay } => Some((at, Some(restart_delay))),
+                _ => None,
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    /// The straggler factor of `shard` when a [`ShardFault::Slow`]
+    /// targets it (the largest, if several do).
+    pub fn slow_factor_for(&self, shard: usize) -> Option<f64> {
+        self.faults
+            .iter()
+            .filter(|(s, _)| *s == shard)
+            .filter_map(|(_, f)| match *f {
+                ShardFault::Slow { factor } => Some(factor),
+                _ => None,
+            })
+            .fold(None, |acc, f| Some(acc.map_or(f, |a: f64| a.max(f))))
+    }
+
+    /// Whether a [`ShardFault::Poison`] targets `shard`.
+    pub fn poisoned(&self, shard: usize) -> bool {
+        self.faults.iter().any(|(s, f)| *s == shard && matches!(f, ShardFault::Poison))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_is_deterministic_and_bounded() {
+        let a = ShardFaultPlan::chaos(7, 16, 10.0);
+        let b = ShardFaultPlan::chaos(7, 16, 10.0);
+        assert_eq!(a, b, "chaos generation must be a pure function of the seed");
+        assert_ne!(a, ShardFaultPlan::chaos(8, 16, 10.0), "seeds must decorrelate");
+        for (shard, fault) in &a.faults {
+            assert!(*shard < 16);
+            match fault {
+                ShardFault::Crash { at } | ShardFault::CrashRestart { at, .. } => {
+                    assert!(*at >= 1.0 && *at <= 7.0, "crash inside (0.1..0.7) * horizon");
+                }
+                ShardFault::Slow { factor } => assert!(*factor >= 2.0 && *factor < 4.0),
+                ShardFault::Poison => {}
+            }
+        }
+    }
+
+    #[test]
+    fn accessors_slice_the_plan_per_shard() {
+        let plan = ShardFaultPlan {
+            faults: vec![
+                (1, ShardFault::CrashRestart { at: 0.5, restart_delay: 0.1 }),
+                (1, ShardFault::Crash { at: 0.9 }),
+                (2, ShardFault::Slow { factor: 3.0 }),
+                (3, ShardFault::Poison),
+            ],
+        };
+        assert_eq!(plan.crashes_for(1), vec![(0.5, Some(0.1)), (0.9, None)]);
+        assert!(plan.crashes_for(0).is_empty());
+        assert_eq!(plan.slow_factor_for(2), Some(3.0));
+        assert_eq!(plan.slow_factor_for(1), None);
+        assert!(plan.poisoned(3));
+        assert!(!plan.poisoned(2));
+        assert!(!plan.is_noop());
+        assert!(ShardFaultPlan::none().is_noop());
+        assert_eq!(plan.crashes_for(1).len() + plan.crashes_for(2).len(), 2);
+    }
+}

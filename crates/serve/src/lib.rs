@@ -11,21 +11,35 @@
 //! * [`serve`] — the data plane: per-shard simulation on a
 //!   worker-per-shard pool and statistically honest cross-shard merging
 //!   (pooled latency samples, counter sums, starvation maxima).
+//! * [`fault`] — the deterministic shard-level fault model: crashes at
+//!   a virtual time, crash-then-restart, slow shards, poisoned shards.
+//! * [`supervisor`] — crash containment and recovery: every shard runs
+//!   under `catch_unwind` plus a health poll; crashed shards restart or
+//!   quarantine, and their unfinished queries fail over to survivors by
+//!   the same zero-RNG placement rule the router uses.
 //!
 //! The determinism contract, pinned by `tests/serve_props.rs` at the
 //! workspace root: a 1-shard served run is bit-identical to the
 //! unsharded simulator, and an N-shard run is bit-identical across
-//! repeats — with fault injection on.
+//! repeats — with fault injection on, and with shard crashes and
+//! failover on.
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod router;
 pub mod serve;
+pub mod supervisor;
 
+pub use fault::{ShardFault, ShardFaultPlan};
 pub use router::{
-    route_workload, tenantize, Router, RouterConfig, RouterStats, SloClass, TenantId, TenantQuery,
+    assign_failover, failover_order, route_workload, tenantize, FailoverQuery, Router,
+    RouterConfig, RouterStats, SloClass, TenantId, TenantQuery,
 };
 pub use serve::{
-    merge_shards, serve_workload, shard_sim_config, AdmissionReport, ServeConfig, ServeError,
-    ServeResult, ShardRun, SHARD_SEED_STRIDE,
+    merge_shards, serve_workload, shard_sim_config, AdmissionReport, HealthReport, ServeConfig,
+    ServeError, ServeResult, ShardRun, SHARD_SEED_STRIDE,
+};
+pub use supervisor::{
+    serve_supervised, FailoverSummary, ShardHealth, SupervisorConfig, EPOCH_SEED_STRIDE,
 };

@@ -335,6 +335,78 @@ impl Router {
     }
 }
 
+/// One orphaned query awaiting failover placement: the routing-visible
+/// facts of a query whose shard died before finishing it.
+#[derive(Debug, Clone)]
+pub struct FailoverQuery {
+    /// Original (global) workload index.
+    pub global: usize,
+    /// Owning tenant — failover keeps per-tenant FIFO within the order.
+    pub tenant: TenantId,
+    /// SLO-class weight (gold fails over first).
+    pub class_weight: u32,
+    /// Original arrival time.
+    pub arrival: f64,
+    /// Optimizer cost estimate ([`plan_est_cost`], thread-seconds).
+    pub est_cost: f64,
+    /// Virtual time the owning shard crashed.
+    pub crash_time: f64,
+}
+
+/// Sorts orphans into the deterministic failover order: heaviest SLO
+/// class first (gold before silver before best-effort), then original
+/// arrival, then global index. Same-tenant queries share a class, so the
+/// order is a per-tenant FIFO — re-routing never reorders a tenant.
+pub fn failover_order(orphans: &mut [FailoverQuery]) {
+    orphans.sort_by(|a, b| {
+        b.class_weight
+            .cmp(&a.class_weight)
+            .then(a.arrival.total_cmp(&b.arrival))
+            .then(a.global.cmp(&b.global))
+    });
+}
+
+/// Assigns each orphan (already in [`failover_order`]) to the eligible
+/// shard minimizing the projected backlog after placement — feature 4 of
+/// the routing block, the same zero-RNG argmin rule pressure migration
+/// uses; ties break on the lowest shard id. `eligible` lists surviving
+/// shard ids in ascending order and `busy_until` (parallel to it) their
+/// absolute virtual availability; each placement charges the chosen
+/// shard's clock so one hot survivor does not absorb every orphan.
+/// Returns the chosen shard id per orphan.
+pub fn assign_failover(
+    cfg: &RouterConfig,
+    eligible: &[usize],
+    busy_until: &mut [f64],
+    orphans: &[FailoverQuery],
+) -> Vec<usize> {
+    debug_assert_eq!(eligible.len(), busy_until.len());
+    if eligible.is_empty() {
+        // No survivors: nothing to assign. The caller must treat the
+        // orphans as abandoned (they still count in the partition).
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(orphans.len());
+    for o in orphans {
+        let base = busy_until.iter().copied().fold(f64::INFINITY, f64::min).min(o.crash_time);
+        let wall = o.est_cost / cfg.threads_per_shard as f64;
+        let mut best = 0usize;
+        let mut best_key = f32::INFINITY;
+        for (i, &busy) in busy_until.iter().enumerate() {
+            let key = route_features((busy - base).max(0.0), 0, wall, 0.0, cfg.mem_budget)[4];
+            if key < best_key {
+                best = i;
+                best_key = key;
+            }
+        }
+        // Mirror `Router::route`: the replay cannot start before the
+        // orphan exists (its arrival) or before its shard slot is free.
+        busy_until[best] = busy_until[best].max(o.arrival).max(o.crash_time) + wall;
+        out.push(eligible[best]);
+    }
+    out
+}
+
 /// Routes a whole tenant workload: returns the per-shard sub-workloads
 /// (class-decorated, original arrival order preserved within each
 /// shard), the original workload index of each sub-workload item

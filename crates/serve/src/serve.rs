@@ -12,12 +12,13 @@
 //! (shard 0 keeps the base seed and the untouched workload).
 
 use crate::router::{route_workload, RouterConfig, RouterStats, TenantQuery};
+use crate::supervisor::{FailoverSummary, ShardHealth};
 use lsched_engine::fault::FaultSummary;
 use lsched_engine::sim::{
     try_simulate, LatencyStats, ResilienceSummary, SimConfig, SimError, SimResult,
 };
 use lsched_engine::Scheduler;
-use lsched_sched::{AdmissionStats, GuardedScheduler};
+use lsched_sched::{AdmissionStats, GuardState, GuardStats, GuardedScheduler};
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 
@@ -54,14 +55,44 @@ impl ServeConfig {
 pub struct ShardRun {
     /// Shard index.
     pub shard: usize,
+    /// Failover epoch this run belongs to: 0 is the initial routed run,
+    /// `k ≥ 1` the `k`-th replay round of orphaned queries. Plain
+    /// (unsupervised) serving only ever produces epoch 0.
+    pub epoch: u32,
     /// Original workload index of each shard-local query (aligned with
     /// the shard's arrival order, so local `qid` → global index).
     pub assigned: Vec<usize>,
-    /// The shard's simulation result.
+    /// The shard's simulation result. A crash-truncated run has
+    /// `result.crashed_at` set and its orphans in `result.unfinished`.
     pub result: SimResult,
     /// Admission counters harvested from the shard's scheduler, when it
     /// exposes them (see [`AdmissionReport`]).
     pub admission: Option<AdmissionStats>,
+    /// Circuit-breaker counters harvested from the shard's scheduler,
+    /// when it exposes them (see [`HealthReport`]).
+    pub guard: Option<GuardStats>,
+}
+
+impl ShardRun {
+    /// Global workload indices this run gave a final fate (completed or
+    /// terminally aborted): its assignment minus the crash orphans.
+    pub fn finalized(&self) -> Vec<usize> {
+        if self.result.unfinished.is_empty() {
+            return self.assigned.clone();
+        }
+        let mut orphaned = vec![false; self.assigned.len()];
+        for &li in &self.result.unfinished {
+            if li < orphaned.len() {
+                orphaned[li] = true;
+            }
+        }
+        self.assigned
+            .iter()
+            .enumerate()
+            .filter(|&(li, _)| !orphaned[li])
+            .map(|(_, &g)| g)
+            .collect()
+    }
 }
 
 /// Aggregate of a served run: per-shard slices plus cross-shard merges.
@@ -90,20 +121,77 @@ pub struct ServeResult {
     pub faults: FaultSummary,
     /// Summed admission counters (zero when no shard exposes a gate).
     pub admission: AdmissionStats,
+    /// Summed circuit-breaker counters (zero when no shard exposes a
+    /// guard — see [`HealthReport`]).
+    pub guard: GuardStats,
+    /// Crash/restart/failover accounting (all zero for unsupervised or
+    /// fault-free runs).
+    pub failover: FailoverSummary,
+    /// Final supervisor verdict per shard (all `Healthy` for
+    /// unsupervised runs).
+    pub health: Vec<ShardHealth>,
+    /// Global indices of queries orphaned with no eligible survivor
+    /// left (or past the epoch cap) — still part of the exact
+    /// partition, explicitly accounted instead of silently dropped.
+    /// Sorted ascending; always empty for unsupervised runs.
+    pub abandoned: Vec<usize>,
 }
 
-/// A shard failed to simulate.
+/// Why a served run could not produce a result.
 #[derive(Debug)]
-pub struct ServeError {
-    /// The failing shard.
-    pub shard: usize,
-    /// The underlying simulator error.
-    pub error: SimError,
+pub enum ServeError {
+    /// A shard's simulator failed structurally (event cap, deadlock,
+    /// invariant violation).
+    Shard {
+        /// The failing shard.
+        shard: usize,
+        /// The underlying simulator error.
+        error: SimError,
+    },
+    /// `router.threads_per_shard` disagrees with `sim.num_threads`: the
+    /// router's backlog model would silently diverge from the pools it
+    /// models. [`ServeConfig::new`] keeps them in sync; hand-built
+    /// configs are validated instead of trusted.
+    ConfigMismatch {
+        /// The router's per-shard thread estimate.
+        router_threads: usize,
+        /// The simulator template's pool size.
+        sim_threads: usize,
+    },
+    /// The worker-per-shard pool could not be built.
+    PoolBuild {
+        /// The pool builder's error description.
+        reason: String,
+    },
+    /// Exactly-once accounting failed: a query's fate count across
+    /// survivor outcomes, replays and abandonment is not exactly one.
+    /// This is a supervisor invariant violation, surfaced as an error
+    /// instead of a silently wrong merge.
+    PartitionViolation {
+        /// The global workload index at fault.
+        query: usize,
+        /// How many final fates it received.
+        count: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "shard {} failed: {}", self.shard, self.error)
+        match self {
+            ServeError::Shard { shard, error } => write!(f, "shard {shard} failed: {error}"),
+            ServeError::ConfigMismatch { router_threads, sim_threads } => write!(
+                f,
+                "router models {router_threads} threads/shard but the simulator template runs \
+                 {sim_threads}: backlog estimates would silently diverge"
+            ),
+            ServeError::PoolBuild { reason } => {
+                write!(f, "shard worker pool could not be built: {reason}")
+            }
+            ServeError::PartitionViolation { query, count } => write!(
+                f,
+                "query {query} received {count} final fates across shards (exactly 1 required)"
+            ),
+        }
     }
 }
 
@@ -134,6 +222,42 @@ impl AdmissionReport for lsched_sched::CriticalPathScheduler {}
 impl AdmissionReport for lsched_sched::QuickstepScheduler {}
 impl AdmissionReport for lsched_sched::SelfTuneScheduler {}
 
+/// Health hook for the shard supervisor's heartbeat: guarded schedulers
+/// expose their breaker counters and whether they ended the run off the
+/// primary policy; everything else reports healthy (the defaults).
+pub trait HealthReport {
+    /// Circuit-breaker counters accumulated so far, if any.
+    fn guard_report(&self) -> Option<GuardStats> {
+        None
+    }
+
+    /// True when the scheduler finished the run with its breaker open
+    /// (serving from the fallback) — the supervisor marks the shard
+    /// Degraded even though the run itself completed.
+    fn ended_degraded(&self) -> bool {
+        false
+    }
+}
+
+impl<S: Scheduler, F: Scheduler> HealthReport for GuardedScheduler<S, F> {
+    fn guard_report(&self) -> Option<GuardStats> {
+        Some(self.stats())
+    }
+
+    fn ended_degraded(&self) -> bool {
+        !matches!(self.state(), GuardState::Primary)
+    }
+}
+
+impl HealthReport for Box<dyn Scheduler> {}
+impl HealthReport for lsched_sched::FifoScheduler {}
+impl HealthReport for lsched_sched::FairScheduler {}
+impl HealthReport for lsched_sched::SjfScheduler {}
+impl HealthReport for lsched_sched::HpfScheduler {}
+impl HealthReport for lsched_sched::CriticalPathScheduler {}
+impl HealthReport for lsched_sched::QuickstepScheduler {}
+impl HealthReport for lsched_sched::SelfTuneScheduler {}
+
 /// The per-shard simulator config: base template with the seed (and the
 /// fault plan's seed, when present) shifted by the shard stride. Shard 0
 /// is the untouched template.
@@ -157,40 +281,62 @@ pub fn serve_workload<S, F>(
     make_sched: F,
 ) -> Result<ServeResult, ServeError>
 where
-    S: Scheduler + AdmissionReport,
+    S: Scheduler + AdmissionReport + HealthReport,
     F: Fn(usize) -> S + Sync,
 {
+    validate_config(cfg)?;
     let (sub_workloads, assigned, router_stats) = route_workload(&cfg.router, queries);
     let n = sub_workloads.len();
 
     // Worker-per-shard: the pool caps parallel-iterator fan-out at the
     // shard count; the shim's ordered collect returns shard results in
     // shard order regardless of completion order.
-    let pool = ThreadPoolBuilder::new()
-        .num_threads(n)
-        .build()
-        .expect("shard pool build cannot fail");
-    let runs: Vec<Result<(SimResult, Option<AdmissionStats>), ServeError>> = pool.install(|| {
-        sub_workloads
-            .into_iter()
-            .enumerate()
-            .collect::<Vec<_>>()
-            .into_par_iter()
-            .map(|(shard, wl)| {
-                let mut sched = make_sched(shard);
-                let res = try_simulate(shard_sim_config(&cfg.sim, shard), &wl, &mut sched)
-                    .map_err(|error| ServeError { shard, error })?;
-                Ok((res, sched.admission_report()))
-            })
-            .collect()
-    });
+    let pool = build_shard_pool(n)?;
+    type Harvest = (SimResult, Option<AdmissionStats>, Option<GuardStats>);
+    let runs: Vec<Result<Harvest, ServeError>> =
+        pool.install(|| {
+            sub_workloads
+                .into_iter()
+                .enumerate()
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|(shard, wl)| {
+                    let mut sched = make_sched(shard);
+                    let res = try_simulate(shard_sim_config(&cfg.sim, shard), &wl, &mut sched)
+                        .map_err(|error| ServeError::Shard { shard, error })?;
+                    Ok((res, sched.admission_report(), sched.guard_report()))
+                })
+                .collect()
+        });
 
     let mut shards = Vec::with_capacity(n);
     for (shard, (run, assigned)) in runs.into_iter().zip(assigned).enumerate() {
-        let (result, admission) = run?;
-        shards.push(ShardRun { shard, assigned, result, admission });
+        let (result, admission, guard) = run?;
+        shards.push(ShardRun { shard, epoch: 0, assigned, result, admission, guard });
     }
     Ok(merge_shards(shards, router_stats))
+}
+
+/// Rejects a config whose router thread model disagrees with the
+/// simulator template (the silent-divergence hazard of hand-built
+/// [`ServeConfig`]s).
+pub(crate) fn validate_config(cfg: &ServeConfig) -> Result<(), ServeError> {
+    if cfg.router.threads_per_shard != cfg.sim.num_threads {
+        return Err(ServeError::ConfigMismatch {
+            router_threads: cfg.router.threads_per_shard,
+            sim_threads: cfg.sim.num_threads,
+        });
+    }
+    Ok(())
+}
+
+/// Builds the worker-per-shard pool, routing builder failure through
+/// [`ServeError::PoolBuild`] instead of panicking in library code.
+pub(crate) fn build_shard_pool(n: usize) -> Result<rayon::ThreadPool, ServeError> {
+    ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .map_err(|e| ServeError::PoolBuild { reason: e.to_string() })
 }
 
 /// Merges per-shard runs into the cross-shard aggregate. Percentile
@@ -201,6 +347,7 @@ pub fn merge_shards(shards: Vec<ShardRun>, router: RouterStats) -> ServeResult {
     let mut resilience = ResilienceSummary::default();
     let mut faults = FaultSummary::default();
     let mut admission = AdmissionStats::default();
+    let mut guard = GuardStats::default();
     let mut makespan = 0.0f64;
     let mut events = 0u64;
     let mut completed = 0u64;
@@ -212,11 +359,15 @@ pub fn merge_shards(shards: Vec<ShardRun>, router: RouterStats) -> ServeResult {
         if let Some(a) = &run.admission {
             admission.merge(a);
         }
+        if let Some(g) = &run.guard {
+            guard.merge(g);
+        }
         makespan = makespan.max(run.result.makespan);
         events += run.result.events_processed;
         completed += run.result.outcomes.len() as u64;
         aborted += run.result.aborted.len() as u64;
     }
+    let health = vec![ShardHealth::Healthy; router.per_shard.len()];
     ServeResult {
         shards,
         router,
@@ -228,6 +379,10 @@ pub fn merge_shards(shards: Vec<ShardRun>, router: RouterStats) -> ServeResult {
         resilience,
         faults,
         admission,
+        guard,
+        failover: FailoverSummary::default(),
+        health,
+        abandoned: Vec::new(),
     }
 }
 

@@ -21,7 +21,8 @@
 //!   SelfTune heuristic baselines;
 //! * [`serve`] — the sharded multi-tenant serving layer: deterministic
 //!   tenant routing, weighted SLO classes, hysteresis-gated query
-//!   migration and cross-shard result merging.
+//!   migration, cross-shard result merging, and supervised crash
+//!   recovery with deterministic query failover.
 //!
 //! ## Quickstart
 //!
@@ -71,7 +72,9 @@ pub mod prelude {
         SjfScheduler,
     };
     pub use lsched_serve::{
-        serve_workload, tenantize, RouterConfig, ServeConfig, ServeResult, SloClass, TenantQuery,
+        serve_supervised, serve_workload, tenantize, FailoverSummary, RouterConfig, ServeConfig,
+        ServeResult, ShardFault, ShardFaultPlan, ShardHealth, SloClass, SupervisorConfig,
+        TenantQuery,
     };
     pub use lsched_workloads::{gen_workload, split_train_test, ArrivalPattern, EpisodeSampler};
 }

@@ -174,3 +174,160 @@ fn sharded_admission_counters_sum_exactly() {
     assert_eq!(served.admission.arrivals, 30);
     assert_eq!(served.completed + served.aborted, 30);
 }
+
+/// Quiets the default panic hook for a closure that exercises injected
+/// shard panics (the supervisor catches them; the hook would still spam
+/// stderr), restoring the previous hook afterwards.
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+/// Every query index 0..n appears exactly once across the runs'
+/// finalized sets plus the abandoned list — the exactly-once contract,
+/// recomputed externally from the per-run durable logs.
+fn assert_exact_fates(r: &ServeResult, n: usize) -> Result<(), String> {
+    let mut fates = vec![0usize; n];
+    for run in &r.shards {
+        for g in run.finalized() {
+            fates[g] += 1;
+        }
+    }
+    for &g in &r.abandoned {
+        fates[g] += 1;
+    }
+    for (g, &c) in fates.iter().enumerate() {
+        prop_assert_eq!(c, 1, "query {} has {} fates (must be exactly 1)", g, c);
+    }
+    prop_assert_eq!(r.completed + r.aborted + r.abandoned.len() as u64, n as u64);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Supervised serving with an empty shard-fault plan degenerates to
+    /// plain serving bit-for-bit: the supervisor adds zero noise when
+    /// nothing crashes.
+    #[test]
+    fn supervised_noop_is_bit_identical_to_plain_serving(
+        n_queries in 4usize..28,
+        threads in 2usize..6,
+        seed in 0u64..300,
+        which in 0u8..5,
+        shards in 1usize..5,
+        tenants in 2u64..10,
+    ) {
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, n_queries, ArrivalPattern::Streaming { lambda: 80.0 }, seed);
+        let queries = tenantize(&wl, tenants, &classes());
+        let cfg = ServeConfig::new(
+            shards,
+            SimConfig { num_threads: threads, seed, ..Default::default() },
+        );
+        let plain = serve_workload(&cfg, &queries, |_| policy(which)).expect("plain serve");
+        let sup = serve_supervised(
+            &cfg, &queries, &ShardFaultPlan::none(), &SupervisorConfig::default(),
+            |_| policy(which),
+        ).expect("supervised serve");
+        prop_assert_eq!(sup.shards.len(), plain.shards.len());
+        for (a, b) in sup.shards.iter().zip(&plain.shards) {
+            prop_assert_eq!(a.epoch, 0, "noop run must not spawn failover epochs");
+            prop_assert_eq!(&a.assigned, &b.assigned);
+            prop_assert!(a.result.bit_eq(&b.result), "shard {} diverged under the supervisor", a.shard);
+        }
+        prop_assert_eq!(sup.makespan.to_bits(), plain.makespan.to_bits());
+        prop_assert_eq!(sup.failover, FailoverSummary::default());
+        prop_assert!(sup.abandoned.is_empty());
+        prop_assert!(sup.health.iter().all(|h| *h == ShardHealth::Healthy || *h == ShardHealth::Degraded));
+    }
+
+    /// The full chaos matrix (crashes, restarts, slow shards, poison)
+    /// is bit-identical across repeats, and no query is ever lost or
+    /// duplicated: completions + terminal aborts + explicit abandonment
+    /// exactly partition the workload, including failover replays.
+    #[test]
+    fn chaos_matrix_is_repeatable_and_exactly_once(
+        n_queries in 8usize..36,
+        threads in 2usize..5,
+        seed in 0u64..300,
+        which in 0u8..5,
+        shards in 2usize..6,
+        tenants in 2u64..10,
+    ) {
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, n_queries, ArrivalPattern::Streaming { lambda: 80.0 }, seed);
+        let queries = tenantize(&wl, tenants, &classes());
+        let cfg = ServeConfig::new(
+            shards,
+            SimConfig { num_threads: threads, seed, ..Default::default() },
+        );
+        let horizon = serve_workload(&cfg, &queries, |_| policy(which))
+            .expect("fault-free horizon run")
+            .makespan;
+        let faults = ShardFaultPlan::chaos(seed, shards, horizon.max(0.01));
+        let run = || with_quiet_panics(|| {
+            serve_supervised(&cfg, &queries, &faults, &SupervisorConfig::default(),
+                |_| policy(which)).expect("supervised chaos run")
+        });
+        let a = run();
+        let b = run();
+
+        prop_assert_eq!(a.shards.len(), b.shards.len(), "replay structure diverged");
+        for (x, y) in a.shards.iter().zip(&b.shards) {
+            prop_assert_eq!((x.shard, x.epoch, &x.assigned), (y.shard, y.epoch, &y.assigned));
+            prop_assert!(x.result.bit_eq(&y.result),
+                "shard {} epoch {} diverged across repeats", x.shard, x.epoch);
+        }
+        prop_assert_eq!(a.failover, b.failover, "failover accounting diverged");
+        prop_assert_eq!(&a.health, &b.health);
+        prop_assert_eq!(&a.abandoned, &b.abandoned);
+        prop_assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+
+        assert_exact_fates(&a, n_queries)?;
+        prop_assert_eq!(a.failover.recovered + a.failover.abandoned, a.failover.orphaned,
+            "every orphan is either recovered or explicitly abandoned");
+    }
+
+    /// Failover re-routing preserves per-tenant FIFO: inside every
+    /// replay batch a tenant's queries appear in original submission
+    /// order (class weight is a pure function of the tenant, so the
+    /// SLO-first failover order cannot interleave a tenant with itself).
+    #[test]
+    fn failover_replays_preserve_tenant_fifo(
+        n_queries in 12usize..40,
+        threads in 2usize..5,
+        seed in 0u64..300,
+        shards in 2usize..6,
+        tenants in 2u64..10,
+    ) {
+        let pool = tpch::plan_pool(&[0.3]);
+        let wl = gen_workload(&pool, n_queries, ArrivalPattern::Streaming { lambda: 80.0 }, seed);
+        let queries = tenantize(&wl, tenants, &classes());
+        let cfg = ServeConfig::new(
+            shards,
+            SimConfig { num_threads: threads, seed, ..Default::default() },
+        );
+        let clean = serve_workload(&cfg, &queries, |_| FifoScheduler).expect("clean run");
+        let crash_at = 0.25 * clean.shards[0].result.makespan.max(0.01);
+        let faults = ShardFaultPlan::crash_one(0, crash_at);
+        let r = serve_supervised(&cfg, &queries, &faults, &SupervisorConfig::default(),
+            |_| FifoScheduler).expect("supervised run");
+
+        for run in r.shards.iter().filter(|s| s.epoch > 0) {
+            let mut last: HashMap<u64, usize> = HashMap::new();
+            for &gi in &run.assigned {
+                let t = queries[gi].tenant;
+                if let Some(&prev) = last.get(&t) {
+                    prop_assert!(gi > prev,
+                        "replay batch reordered tenant {}: {} then {}", t, prev, gi);
+                }
+                last.insert(t, gi);
+            }
+        }
+        assert_exact_fates(&r, n_queries)?;
+    }
+}

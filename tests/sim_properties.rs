@@ -153,3 +153,68 @@ proptest! {
         prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
     }
 }
+
+/// Degenerate-input behavior of the O(n+m) sorted merge behind
+/// cross-shard latency pooling: empty⊕empty, empty⊕nonempty,
+/// single-sample, and all-identical inputs must stay NaN-free and be
+/// bitwise equal to the pooled-samples oracle.
+#[test]
+fn latency_merge_degenerate_cases_match_pooled_oracle() {
+    use lsched::engine::sim::LatencyStats;
+
+    let cases: Vec<(Vec<f64>, Vec<f64>)> = vec![
+        (vec![], vec![]),
+        (vec![], vec![0.25]),
+        (vec![0.25], vec![]),
+        (vec![0.5], vec![0.5]),
+        (vec![1.0; 7], vec![1.0; 3]),
+        (vec![0.125], vec![0.5, 0.25, 0.75]),
+        (vec![3.0, 1.0, 2.0], vec![2.5]),
+        (vec![0.0, 0.0], vec![0.0]),
+    ];
+    for (a, b) in cases {
+        let mut merged = LatencyStats::from_samples(a.clone());
+        merged.merge(&LatencyStats::from_samples(b.clone()));
+        let pooled: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let oracle = LatencyStats::from_samples(pooled);
+        assert_eq!(merged.len(), a.len() + b.len(), "merge must not drop samples");
+        assert_eq!(merged.len(), oracle.len());
+        for (m, o) in merged.samples().iter().zip(oracle.samples()) {
+            assert_eq!(m.to_bits(), o.to_bits(), "merged sample diverged from pooled oracle");
+        }
+        assert!(!merged.mean().is_nan(), "mean must be NaN-free on {:?}+{:?}", a, b);
+        for p in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let q = merged.quantile(p);
+            assert!(!q.is_nan(), "quantile({p}) must be NaN-free");
+            assert_eq!(q.to_bits(), oracle.quantile(p).to_bits());
+        }
+        // Empty statistics define mean/quantiles as 0 rather than NaN.
+        if merged.is_empty() {
+            assert_eq!(merged.mean(), 0.0);
+            assert_eq!(merged.quantile(0.99), 0.0);
+        }
+    }
+}
+
+/// Merging is associative in effect: folding three shards' samples in
+/// either grouping yields the same sorted basis, even when whole shards
+/// are empty or duplicate each other.
+#[test]
+fn latency_merge_grouping_is_immaterial() {
+    use lsched::engine::sim::LatencyStats;
+
+    let shards = [vec![0.3, 0.1], vec![], vec![0.2, 0.2, 0.05]];
+    let mut left = LatencyStats::from_samples(shards[0].clone());
+    left.merge(&LatencyStats::from_samples(shards[1].clone()));
+    left.merge(&LatencyStats::from_samples(shards[2].clone()));
+
+    let mut tail = LatencyStats::from_samples(shards[1].clone());
+    tail.merge(&LatencyStats::from_samples(shards[2].clone()));
+    let mut right = LatencyStats::from_samples(shards[0].clone());
+    right.merge(&tail);
+
+    assert_eq!(left.len(), right.len());
+    for (l, r) in left.samples().iter().zip(right.samples()) {
+        assert_eq!(l.to_bits(), r.to_bits());
+    }
+}
